@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks: inference — exhaustive scoring, top-k,
+//! and the cascaded beam at several widths (the Fig. 8c mechanism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taxrec_core::{cascade, CascadeConfig, ModelConfig, Scorer, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+fn fixture() -> (SyntheticDataset, taxrec_core::TfModel) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(), 99);
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 1).with_factors(16).with_epochs(2),
+        &data.taxonomy,
+    )
+    .fit(&data.train, 5);
+    (data, model)
+}
+
+fn bench_scorer_build(c: &mut Criterion) {
+    let (_, model) = fixture();
+    c.bench_function("scorer_build", |b| b.iter(|| Scorer::new(&model)));
+}
+
+fn bench_score_all(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let scorer = Scorer::new(&model);
+    let q = scorer.query(0, data.train.user(0));
+    let n = model.num_items();
+    let mut g = c.benchmark_group("score_all_items");
+    g.throughput(Throughput::Elements(n as u64));
+    let mut scores = vec![0.0f32; n];
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| scorer.score_all_items_into(&q, &mut scores))
+    });
+    g.finish();
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let scorer = Scorer::new(&model);
+    let q = scorer.query(0, data.train.user(0));
+    let mut g = c.benchmark_group("top_k");
+    for k in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| scorer.top_k_items(&q, k, &[]))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let scorer = Scorer::new(&model);
+    let q = scorer.query(0, data.train.user(0));
+    let depth = model.taxonomy().depth();
+    let mut g = c.benchmark_group("cascade");
+    for pct in [5u32, 20, 50, 100] {
+        let cfg = CascadeConfig::uniform(depth, pct as f64 / 100.0);
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &cfg, |b, cfg| {
+            b.iter(|| cascade(&scorer, &q, cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_build(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let scorer = Scorer::new(&model);
+    // A user with a long history exercises the Markov term.
+    let user = (0..data.train.num_users())
+        .max_by_key(|&u| data.train.user(u).len())
+        .unwrap();
+    let mut q = vec![0.0f32; model.k()];
+    c.bench_function("query_build_markov", |b| {
+        b.iter(|| scorer.query_into(user, data.train.user(user), &mut q))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scorer_build,
+    bench_score_all,
+    bench_top_k,
+    bench_cascade,
+    bench_query_build
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: the SGD sampling hot path and dataset
+//! generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taxrec_core::train::sampler::{sample_negative, PurchaseIndex};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+use taxrec_taxonomy::ItemId;
+
+fn bench_purchase_index(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(), 3);
+    let mut g = c.benchmark_group("sampler");
+    g.bench_function("index_build", |b| b.iter(|| PurchaseIndex::build(&data.train)));
+    let index = PurchaseIndex::build(&data.train);
+    let mut rng = StdRng::seed_from_u64(1);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("event_draw", |b| b.iter(|| index.sample(&mut rng)));
+    g.finish();
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let basket: Vec<ItemId> = vec![ItemId(3), ItemId(400), ItemId(90_000)];
+    let mut g = c.benchmark_group("negative_sample");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("catalog_100k", |b| {
+        b.iter(|| sample_negative(&basket, 100_000, &mut rng))
+    });
+    // Worst case: basket covers most of a small catalog → scan fallback.
+    let dense: Vec<ItemId> = (0..63).map(ItemId).collect();
+    g.bench_function("dense_basket_catalog_64", |b| {
+        b.iter(|| sample_negative(&dense, 64, &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let cfg = DatasetConfig::tiny();
+    let mut g = c.benchmark_group("dataset");
+    g.sample_size(10);
+    g.bench_function("generate_tiny", |b| b.iter(|| SyntheticDataset::generate(&cfg, 5)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_purchase_index,
+    bench_negative_sampling,
+    bench_dataset_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks: taxonomy primitives — the DESIGN.md
+//! ablation of precomputed paths vs pointer walking, plus sibling and
+//! serialisation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxrec_taxonomy::{ItemId, PathTable, TaxonomyGenerator, TaxonomyShape};
+
+fn tax() -> taxrec_taxonomy::Taxonomy {
+    TaxonomyGenerator::new(TaxonomyShape {
+        level_sizes: vec![23, 270, 1500],
+        num_items: 100_000,
+        item_skew: 0.8,
+    })
+    .generate(&mut StdRng::seed_from_u64(1))
+    .taxonomy
+}
+
+fn bench_path_walk_vs_table(c: &mut Criterion) {
+    let t = tax();
+    let pt = PathTable::build(&t, 4);
+    let items: Vec<ItemId> = {
+        let mut rng = StdRng::seed_from_u64(2);
+        (0..1024)
+            .map(|_| ItemId(rng.gen_range(0..t.num_items() as u32)))
+            .collect()
+    };
+    let mut g = c.benchmark_group("root_path");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("pointer_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &items {
+                for n in t.root_path(t.item_node(i)) {
+                    acc += n.0 as u64;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("path_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &items {
+                for &n in pt.path(i) {
+                    acc += n as u64;
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_path_table_build(c: &mut Criterion) {
+    let t = tax();
+    c.bench_function("path_table_build", |b| b.iter(|| PathTable::build(&t, 4)));
+}
+
+fn bench_sibling_iteration(c: &mut Criterion) {
+    let t = tax();
+    let nodes: Vec<u32> = t.nodes_at_level(3).to_vec();
+    let mut g = c.benchmark_group("siblings");
+    g.throughput(Throughput::Elements(nodes.len() as u64));
+    g.bench_function("count_level3", |b| {
+        b.iter(|| {
+            nodes
+                .iter()
+                .map(|&n| t.num_siblings(taxrec_taxonomy::NodeId(n)))
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let t = tax();
+    let enc = taxrec_taxonomy::serialize::encode(&t);
+    let mut g = c.benchmark_group("serialize");
+    g.throughput(Throughput::Bytes(enc.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| taxrec_taxonomy::serialize::encode(&t)));
+    g.bench_function("decode", |b| {
+        b.iter(|| taxrec_taxonomy::serialize::decode(&enc).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_path_walk_vs_table,
+    bench_path_table_build,
+    bench_sibling_iteration,
+    bench_serialize
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks: SGD training throughput.
+//!
+//! Covers the ablations DESIGN.md calls out: taxonomy depth (U), Markov
+//! order (B), sibling mix, thread count, and the drift cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taxrec_core::{ModelConfig, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+fn fixture() -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::tiny().with_users(1500), 99)
+}
+
+fn bench_epoch_by_system(c: &mut Criterion) {
+    let data = fixture();
+    let purchases = data.train.num_purchases() as u64;
+    let mut g = c.benchmark_group("train_epoch");
+    g.throughput(Throughput::Elements(purchases));
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("MF(0)", ModelConfig::mf(0)),
+        ("MF(1)", ModelConfig::mf(1)),
+        ("TF(2,0)", ModelConfig::tf(2, 0)),
+        ("TF(4,0)", ModelConfig::tf(4, 0)),
+        ("TF(4,1)", ModelConfig::tf(4, 1)),
+        ("TF(4,3)", ModelConfig::tf(4, 3)),
+    ] {
+        let cfg = cfg.with_factors(16).with_epochs(1);
+        let trainer = TfTrainer::new(cfg, &data.taxonomy);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| trainer.fit(&data.train, 5));
+        });
+    }
+    g.finish();
+}
+
+fn bench_epoch_by_threads(c: &mut Criterion) {
+    let data = fixture();
+    let mut g = c.benchmark_group("train_threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ModelConfig::tf(4, 0).with_factors(16).with_epochs(1);
+        let trainer = TfTrainer::new(cfg, &data.taxonomy);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| trainer.fit_parallel(&data.train, 5, t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_drift_cache(c: &mut Criterion) {
+    let data = fixture();
+    let mut g = c.benchmark_group("train_cache");
+    g.sample_size(10);
+    for (name, th) in [("no_cache", None), ("cache_0.1", Some(0.1f32))] {
+        let cfg = ModelConfig::tf(4, 0)
+            .with_factors(16)
+            .with_epochs(1)
+            .with_cache_threshold(th);
+        let trainer = TfTrainer::new(cfg, &data.taxonomy);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| trainer.fit_parallel(&data.train, 5, 8));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sibling_mix(c: &mut Criterion) {
+    let data = fixture();
+    let mut g = c.benchmark_group("train_sibling_mix");
+    g.sample_size(10);
+    for mix in [0.0f64, 0.5, 1.0] {
+        let cfg = ModelConfig::tf(4, 0)
+            .with_factors(16)
+            .with_epochs(1)
+            .with_sibling_mix(mix);
+        let trainer = TfTrainer::new(cfg, &data.taxonomy);
+        g.bench_with_input(BenchmarkId::from_parameter(mix), &mix, |b, _| {
+            b.iter(|| trainer.fit(&data.train, 5));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_epoch_by_system,
+    bench_epoch_by_threads,
+    bench_drift_cache,
+    bench_sibling_mix
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Minimal CLI argument parsing shared by the figure binaries.
+//!
+//! Deliberately dependency-free: `--scale tiny|small|full`, `--seed N`,
+//! `--threads N`, `--epochs N`, plus binary-specific flags read through
+//! [`Args::flag`] / [`Args::value`].
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: Vec<String>,
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit iterator (tests).
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut args = Args::default();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = iter.next().expect("peeked value exists");
+                        args.values.insert(name.to_string(), v);
+                    }
+                    _ => args.flags.push(name.to_string()),
+                }
+            } else {
+                // Bare words are treated as flags for forgiving CLIs.
+                args.flags.push(a);
+            }
+        }
+        args
+    }
+
+    /// `true` iff `--name` appeared without a value.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of `--name <value>`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// Typed accessor with default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Dataset scale: `tiny`, `small` (default) or `full`.
+    pub fn scale(&self) -> Scale {
+        match self.value("scale").unwrap_or("small") {
+            "tiny" => Scale::Tiny,
+            "full" => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// RNG seed (default 42).
+    pub fn seed(&self) -> u64 {
+        self.get("seed", 42)
+    }
+
+    /// Worker threads (default: available parallelism).
+    pub fn threads(&self) -> usize {
+        self.get(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+}
+
+/// Dataset scale presets for the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale run (CI smoke).
+    Tiny,
+    /// Default: minutes-scale, stable metric ordering.
+    Small,
+    /// Closest to the paper's scale that stays laptop-friendly.
+    Full,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = parse("--seed 7 --verbose --scale full");
+        assert_eq!(a.seed(), 7);
+        assert!(a.flag("verbose"));
+        assert_eq!(a.scale(), Scale::Full);
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert_eq!(a.seed(), 42);
+        assert_eq!(a.scale(), Scale::Small);
+        assert_eq!(a.get("epochs", 9usize), 9);
+    }
+
+    #[test]
+    fn typed_get_parses() {
+        let a = parse("--epochs 30 --mu 0.25");
+        assert_eq!(a.get("epochs", 0usize), 30);
+        assert!((a.get("mu", 0.0f64) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_value_falls_back() {
+        let a = parse("--epochs banana");
+        assert_eq!(a.get("epochs", 5usize), 5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Ablation studies beyond the paper's figures — the design choices
+//! DESIGN.md calls out, each toggled in isolation on the same dataset.
+//!
+//! * node-offset init: zero (cold-start estimate) vs Gaussian;
+//! * sibling training: off / all levels / skip 1 / skip 2 (default);
+//! * drift-cache threshold sweep (quality must be flat, speed varies);
+//! * negative samples per positive.
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin ablations -- --scale tiny
+//! ```
+
+use taxrec_bench::args::Args;
+use taxrec_bench::fixtures;
+use taxrec_bench::report::{fmt, fmt_opt, Table};
+use taxrec_core::{eval::evaluate, loss::estimate_bpr_loss, ModelConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let data = fixtures::dataset(&args);
+    let epochs = fixtures::epochs(&args);
+    let threads = args.threads();
+    let eval_cfg = fixtures::eval_config(&args);
+    let k = args.get("factors", 16usize);
+    let seed = args.seed();
+
+    eprintln!(
+        "# ablations: users={} items={} epochs={epochs}",
+        data.train.num_users(),
+        data.taxonomy.num_items()
+    );
+
+    let run = |cfg: ModelConfig| {
+        let (model, stats) = fixtures::train(&data, cfg.with_factors(k).with_epochs(epochs), seed, threads);
+        let r = evaluate(&model, &data.train, &data.test, &eval_cfg);
+        let l = estimate_bpr_loss(&model, &data.train, 3000, seed);
+        (r, l, stats)
+    };
+
+    // --- node init ------------------------------------------------------
+    let mut t = Table::new(["node init", "AUC", "cold norm rank", "train loglik"]);
+    for (name, sigma) in [("zero (default)", 0.0f32), ("gaussian 0.1", 0.1)] {
+        let (r, l, _) = run(ModelConfig::tf(4, 0).with_node_init_sigma(sigma));
+        t.row([
+            name.to_string(),
+            fmt_opt(r.auc),
+            fmt_opt(r.cold_norm_rank),
+            fmt(l.mean_log_likelihood, 4),
+        ]);
+    }
+    t.print("Ablation: node-offset initialisation (cold start, Fig. 7c mechanism)");
+
+    // --- sibling levels ---------------------------------------------------
+    let mut t = Table::new(["sibling training", "AUC", "category AUC"]);
+    for (name, mix, skip) in [
+        ("off", 0.0f64, 2usize),
+        ("all levels (paper literal)", 0.5, 0),
+        ("skip item level", 0.5, 1),
+        ("skip 2 levels (default)", 0.5, 2),
+    ] {
+        let mut cfg = ModelConfig::tf(4, 0).with_sibling_mix(mix);
+        cfg.sibling_skip_levels = skip;
+        let (r, _, _) = run(cfg);
+        t.row([name.to_string(), fmt_opt(r.auc), fmt_opt(r.category_auc)]);
+    }
+    t.print("Ablation: sibling-based training variants (Sec. 4.2)");
+
+    // --- cache threshold --------------------------------------------------
+    let mut t = Table::new(["cache threshold", "AUC", "s/epoch", "flushes"]);
+    for (name, th) in [
+        ("none", None),
+        ("0.01", Some(0.01f32)),
+        ("0.1 (paper)", Some(0.1)),
+        ("1.0", Some(1.0)),
+    ] {
+        let (r, _, stats) = run(ModelConfig::tf(4, 0).with_cache_threshold(th));
+        t.row([
+            name.to_string(),
+            fmt_opt(r.auc),
+            fmt(stats.mean_epoch_time().as_secs_f64(), 4),
+            stats.cache_flushes.to_string(),
+        ]);
+    }
+    t.print("Ablation: drift-cache threshold (Sec. 6.1; quality must be flat)");
+
+    // --- negatives per positive -------------------------------------------
+    let mut t = Table::new(["negatives/positive", "AUC", "steps"]);
+    for n in [1usize, 2, 4] {
+        let mut cfg = ModelConfig::tf(4, 0);
+        cfg.negatives_per_positive = n;
+        let (r, _, stats) = run(cfg);
+        t.row([n.to_string(), fmt_opt(r.auc), stats.steps.to_string()]);
+    }
+    t.print("Ablation: negative-sampling rate");
+}

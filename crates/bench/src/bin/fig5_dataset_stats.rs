@@ -1,0 +1,49 @@
+//! Figure 5 (a,b,c): dataset characteristics.
+//!
+//! Prints the three histograms the paper uses to characterise its
+//! shopping log — distinct items per user in train (5a), *new* items per
+//! user in test (5b), and item popularity (5c) — plus the scalar summary
+//! of Sec. 7.1 (users, items, purchases/user, taxonomy level sizes).
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin fig5_dataset_stats -- --scale small
+//! ```
+
+use taxrec_bench::args::Args;
+use taxrec_bench::fixtures;
+use taxrec_dataset::stats::{self, DatasetSummary};
+
+fn main() {
+    let args = Args::from_env();
+    let data = fixtures::dataset(&args);
+    let bins = args.get("bins", 51usize);
+
+    let summary = DatasetSummary::compute(&data.taxonomy, &data.train, &data.test, bins);
+
+    println!("=== Dataset summary (paper Sec. 7.1) ===");
+    println!("users                : {}", summary.num_users);
+    println!("items                : {}", summary.num_items);
+    println!("taxonomy level sizes : {:?} (root first)", summary.level_sizes);
+    println!("train transactions   : {}", summary.num_transactions);
+    println!(
+        "purchases per user   : {:.2} (paper reports 2.3 on the Yahoo! log)",
+        summary.purchases_per_user
+    );
+    println!(
+        "top-10% item share   : {:.1}% of purchases (heavy tail, cf. Fig. 5c)",
+        100.0 * stats::top_share(&data.train, data.taxonomy.num_items(), 0.10)
+    );
+    println!("cold items           : {}", data.cold_items().len());
+
+    println!("\n=== Fig. 5(a): distinct items per user (train) ===");
+    print!("{}", summary.items_per_user.render("users with k distinct items", 60));
+    println!("mean = {:.2}", summary.items_per_user.mean());
+
+    println!("\n=== Fig. 5(b): new items per user (test) ===");
+    print!("{}", summary.new_items_per_user.render("users with k new items", 60));
+    println!("mean = {:.2}", summary.new_items_per_user.mean());
+
+    println!("\n=== Fig. 5(c): item popularity ===");
+    print!("{}", summary.popularity.render("items purchased k times", 60));
+    println!("mean = {:.2}", summary.popularity.mean());
+}

@@ -1,0 +1,81 @@
+//! Figure 6 (a–e): TF vs MF accuracy across factor counts.
+//!
+//! * 6(a) AUC vs factors, `MF(0)` vs `TF(4,0)`
+//! * 6(b) average mean rank vs factors, same pair
+//! * 6(c) category-level AUC of `TF(4,0)` (vs `MF(0)` product-level)
+//! * 6(d) category-level mean rank of `TF(4,0)`
+//! * 6(e) AUC vs factors, `MF(1)` vs `TF(4,1)` (FPMC vs temporal TF)
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin fig6_accuracy -- --scale small
+//! ```
+
+use taxrec_bench::args::Args;
+use taxrec_bench::fixtures;
+use taxrec_bench::report::{fmt_opt, Table};
+use taxrec_core::{eval::evaluate, ModelConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let data = fixtures::dataset(&args);
+    let epochs = fixtures::epochs(&args);
+    let threads = args.threads();
+    let eval_cfg = fixtures::eval_config(&args);
+    let factor_grid: Vec<usize> = if args.flag("quick") {
+        vec![10, 20]
+    } else {
+        vec![10, 20, 30, 40, 50]
+    };
+
+    eprintln!(
+        "# fig6: users={} items={} epochs={epochs} threads={threads}",
+        data.train.num_users(),
+        data.taxonomy.num_items()
+    );
+
+    let mut t6a = Table::new(["factors", "MF(0) AUC", "TF(4,0) AUC"]);
+    let mut t6b = Table::new(["factors", "MF(0) meanRank", "TF(4,0) meanRank"]);
+    let mut t6cd = Table::new([
+        "factors",
+        "TF(4,0) cat AUC",
+        "MF(0) item AUC",
+        "TF(4,0) cat meanRank",
+    ]);
+    let mut t6e = Table::new(["factors", "MF(1) AUC", "TF(4,1) AUC"]);
+
+    for &k in &factor_grid {
+        let run = |cfg: ModelConfig| {
+            let (model, _) = fixtures::train(
+                &data,
+                cfg.with_factors(k).with_epochs(epochs),
+                args.seed(),
+                threads,
+            );
+            evaluate(&model, &data.train, &data.test, &eval_cfg)
+        };
+        let mf0 = run(ModelConfig::mf(0));
+        let tf40 = run(ModelConfig::tf(4, 0));
+        let mf1 = run(ModelConfig::mf(1));
+        let tf41 = run(ModelConfig::tf(4, 1));
+
+        t6a.row([k.to_string(), fmt_opt(mf0.auc), fmt_opt(tf40.auc)]);
+        t6b.row([
+            k.to_string(),
+            fmt_opt(mf0.mean_rank),
+            fmt_opt(tf40.mean_rank),
+        ]);
+        t6cd.row([
+            k.to_string(),
+            fmt_opt(tf40.category_auc),
+            fmt_opt(mf0.auc),
+            fmt_opt(tf40.category_mean_rank),
+        ]);
+        t6e.row([k.to_string(), fmt_opt(mf1.auc), fmt_opt(tf41.auc)]);
+        eprintln!("# factors={k} done");
+    }
+
+    t6a.print("Fig. 6(a): AUC — TF(4,0) vs MF(0)");
+    t6b.print("Fig. 6(b): average mean rank — TF(4,0) vs MF(0)");
+    t6cd.print("Fig. 6(c,d): category-level AUC & mean rank — TF(4,0)");
+    t6e.print("Fig. 6(e): AUC — TF(4,1) vs MF(1) (FPMC)");
+}

@@ -1,0 +1,201 @@
+//! Figure 7 (a–f): the effect of the taxonomy.
+//!
+//! * 7(a) AUC for `MF(0)`, `TF(2,0)`, `TF(3,0)`, `TF(4,0)` — more levels help
+//! * 7(b) sparsity: µ ∈ {0.25, 0.50, 0.75}, `MF(0)` vs `TF(4,0)`
+//! * 7(c) cold start: normalised rank of never-trained items vs factors
+//! * 7(d) sibling training on/off vs factors
+//! * 7(e) factor-space clustering: ancestor-distance ratio + optional
+//!   t-SNE/PCA coordinates (`--viz` writes `fig7e_embedding.tsv`)
+//! * 7(f) higher-order Markov chains: `TF(4,1)`, `TF(4,2)`, `TF(4,3)`
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin fig7_taxonomy -- --scale small
+//! ```
+
+use taxrec_bench::args::Args;
+use taxrec_bench::fixtures;
+use taxrec_bench::report::{fmt_opt, Table};
+use taxrec_core::{eval::evaluate, viz, ModelConfig, Scorer};
+use taxrec_factors::FactorMatrix;
+use taxrec_taxonomy::NodeId;
+
+fn main() {
+    let args = Args::from_env();
+    let mut data = fixtures::dataset(&args);
+    let epochs = fixtures::epochs(&args);
+    let threads = args.threads();
+    let eval_cfg = fixtures::eval_config(&args);
+    let seed = args.seed();
+    let k_default = args.get("factors", 20usize);
+
+    eprintln!(
+        "# fig7: users={} items={} epochs={epochs} threads={threads}",
+        data.train.num_users(),
+        data.taxonomy.num_items()
+    );
+
+    // --- 7(a): taxonomy depth sweep -----------------------------------
+    let mut t7a = Table::new(["system", "AUC"]);
+    for cfg in [
+        ModelConfig::mf(0),
+        ModelConfig::tf(2, 0),
+        ModelConfig::tf(3, 0),
+        ModelConfig::tf(4, 0),
+    ] {
+        let name = cfg.system_name();
+        let (m, _) = fixtures::train(
+            &data,
+            cfg.with_factors(k_default).with_epochs(epochs),
+            seed,
+            threads,
+        );
+        let r = evaluate(&m, &data.train, &data.test, &eval_cfg);
+        t7a.row([name, fmt_opt(r.auc)]);
+    }
+    t7a.print("Fig. 7(a): effect of taxonomy levels (AUC)");
+
+    // --- 7(b): sparsity sweep ------------------------------------------
+    let mut t7b = Table::new(["mu", "MF(0) AUC", "TF(4,0) AUC"]);
+    for mu in [0.25, 0.50, 0.75] {
+        data.resplit(mu);
+        let run = |cfg: ModelConfig| {
+            let (m, _) = fixtures::train(
+                &data,
+                cfg.with_factors(k_default).with_epochs(epochs),
+                seed,
+                threads,
+            );
+            evaluate(&m, &data.train, &data.test, &eval_cfg)
+        };
+        let mf = run(ModelConfig::mf(0));
+        let tf = run(ModelConfig::tf(4, 0));
+        let label = match mu {
+            0.25 => "0.25 (sparse)".to_string(),
+            0.75 => "0.75 (dense)".to_string(),
+            _ => format!("{mu:.2}"),
+        };
+        t7b.row([label, fmt_opt(mf.auc), fmt_opt(tf.auc)]);
+    }
+    data.resplit(0.5);
+    t7b.print("Fig. 7(b): sparsity study (AUC)");
+
+    // --- 7(c): cold start ----------------------------------------------
+    let factor_grid: Vec<usize> = if args.flag("quick") {
+        vec![10, 20]
+    } else {
+        vec![10, 20, 30, 40, 50]
+    };
+    let mut t7c = Table::new([
+        "factors",
+        "MF(0) new-item rank",
+        "TF(4,0) new-item rank",
+    ]);
+    for &k in &factor_grid {
+        let run = |cfg: ModelConfig| {
+            let (m, _) = fixtures::train(
+                &data,
+                cfg.with_factors(k).with_epochs(epochs),
+                seed,
+                threads,
+            );
+            evaluate(&m, &data.train, &data.test, &eval_cfg)
+        };
+        let mf = run(ModelConfig::mf(0));
+        let tf = run(ModelConfig::tf(4, 0));
+        t7c.row([
+            k.to_string(),
+            fmt_opt(mf.cold_norm_rank),
+            fmt_opt(tf.cold_norm_rank),
+        ]);
+    }
+    t7c.print("Fig. 7(c): cold start — normalised rank of new items (higher = better)");
+
+    // --- 7(d): sibling training ----------------------------------------
+    let mut t7d = Table::new([
+        "factors",
+        "no sibling AUC",
+        "sibling AUC",
+        "no sibling cat AUC",
+        "sibling cat AUC",
+    ]);
+    for &k in &factor_grid {
+        let run = |mix: f64| {
+            let cfg = ModelConfig::tf(4, 0)
+                .with_factors(k)
+                .with_epochs(epochs)
+                .with_sibling_mix(mix);
+            let (m, _) = fixtures::train(&data, cfg, seed, threads);
+            evaluate(&m, &data.train, &data.test, &eval_cfg)
+        };
+        let without = run(0.0);
+        let with = run(0.5);
+        t7d.row([
+            k.to_string(),
+            fmt_opt(without.auc),
+            fmt_opt(with.auc),
+            fmt_opt(without.category_auc),
+            fmt_opt(with.category_auc),
+        ]);
+    }
+    t7d.print("Fig. 7(d): sibling-based training (item & category AUC)");
+
+    // --- 7(e): factor-space clustering ----------------------------------
+    let (m, _) = fixtures::train(
+        &data,
+        ModelConfig::tf(4, 0).with_factors(k_default).with_epochs(epochs),
+        seed,
+        threads,
+    );
+    let scorer = Scorer::new(&m);
+    let ratio = viz::ancestor_distance_ratio(&scorer, seed);
+    println!("\n=== Fig. 7(e): taxonomy structure in factor space ===");
+    println!(
+        "ancestor-distance ratio = {} (≪ 1 ⇒ children cluster around their own ancestors)",
+        ratio.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into())
+    );
+    if args.flag("viz") {
+        write_embedding(&m, &scorer, seed);
+    }
+
+    // --- 7(f): higher-order Markov chains --------------------------------
+    let mut t7f = Table::new(["system", "AUC"]);
+    for b in [1usize, 2, 3] {
+        let cfg = ModelConfig::tf(4, b).with_factors(k_default).with_epochs(epochs);
+        let name = cfg.system_name();
+        let (m, _) = fixtures::train(&data, cfg, seed, threads);
+        let r = evaluate(&m, &data.train, &data.test, &eval_cfg);
+        t7f.row([name, fmt_opt(r.auc)]);
+    }
+    t7f.print("Fig. 7(f): effect of Markov-chain order (AUC)");
+}
+
+/// Dump a t-SNE embedding of the upper-level effective factors as TSV
+/// (`level<TAB>x<TAB>y`), mirroring the paper's coloured scatter.
+fn write_embedding(m: &taxrec_core::TfModel, scorer: &Scorer<'_>, seed: u64) {
+    let tax = m.taxonomy();
+    let max_level = 3.min(tax.depth() - 1);
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for level in 1..=max_level {
+        nodes.extend(tax.nodes_at_level(level).iter().map(|&n| NodeId(n)));
+    }
+    let mut mat = FactorMatrix::zeros(nodes.len(), m.k());
+    for (i, &n) in nodes.iter().enumerate() {
+        mat.row_mut(i).copy_from_slice(scorer.node_factor(n));
+    }
+    let emb = viz::tsne_2d(
+        &mat,
+        &viz::TsneConfig {
+            perplexity: 15.0,
+            iterations: 250,
+            learning_rate: 0.0,
+            seed,
+        },
+    );
+    let mut out = String::from("level\tx\ty\n");
+    for (i, &n) in nodes.iter().enumerate() {
+        out.push_str(&format!("{}\t{}\t{}\n", tax.level(n), emb[i][0], emb[i][1]));
+    }
+    let path = "fig7e_embedding.tsv";
+    std::fs::write(path, out).expect("write embedding TSV");
+    println!("t-SNE embedding of {} upper-level nodes written to {path}", nodes.len());
+}

@@ -1,0 +1,114 @@
+//! Figure 8 (c,d): cascaded inference accuracy/time trade-off.
+//!
+//! Sweeps the keep-fraction `K` and reports, relative to exhaustive
+//! inference: the AUC ratio and the time ratio.
+//!
+//! * 8(c): all levels swept together (`k₁ = k₂ = k₃ = K`);
+//! * 8(d): upper levels at 100%, only the leaf level swept — the paper's
+//!   monotone variant.
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin fig8_cascade -- --scale small
+//! ```
+
+use std::time::Instant;
+use taxrec_bench::args::Args;
+use taxrec_bench::fixtures;
+use taxrec_bench::report::{fmt, Table};
+use taxrec_core::{
+    cascade, cascaded_auc, metrics, CascadeConfig, ModelConfig, Scorer,
+};
+
+fn main() {
+    let args = Args::from_env();
+    let data = fixtures::dataset(&args);
+    let epochs = fixtures::epochs(&args);
+    let threads = args.threads();
+    let k_factors = args.get("factors", 20usize);
+    let max_users = args.get("max-users", 1500usize);
+
+    eprintln!(
+        "# fig8cd: users={} items={} epochs={epochs}",
+        data.train.num_users(),
+        data.taxonomy.num_items()
+    );
+
+    let (model, _) = fixtures::train(
+        &data,
+        ModelConfig::tf(4, 0).with_factors(k_factors).with_epochs(epochs),
+        args.seed(),
+        threads,
+    );
+    let scorer = Scorer::new(&model);
+    let tax = model.taxonomy();
+    let depth = tax.depth();
+    let n_items = model.num_items();
+
+    // Evaluation users: those with a non-empty test transaction.
+    let users: Vec<usize> = (0..data.test.num_users())
+        .filter(|&u| data.test.user(u).first().is_some_and(|t| !t.is_empty()))
+        .take(max_users)
+        .collect();
+    eprintln!("# evaluating {} users", users.len());
+
+    // Exhaustive baseline: AUC and wall time.
+    let t0 = Instant::now();
+    let mut base_auc_sum = 0.0f64;
+    let mut n_eval = 0u64;
+    let mut scores = vec![0.0f32; n_items];
+    for &u in &users {
+        let q = scorer.query(u, data.train.user(u));
+        scorer.score_all_items_into(&q, &mut scores);
+        let positives: Vec<usize> =
+            data.test.user(u)[0].iter().map(|i| i.index()).collect();
+        if let Some(a) = metrics::auc(&scores, &positives) {
+            base_auc_sum += a;
+            n_eval += 1;
+        }
+    }
+    let base_time = t0.elapsed().as_secs_f64();
+    let base_auc = base_auc_sum / n_eval.max(1) as f64;
+    println!(
+        "exhaustive baseline: AUC={base_auc:.4}, {base_time:.2}s for {} users",
+        users.len()
+    );
+
+    let ks: Vec<f64> = vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0];
+
+    for (title, leaf_only) in [
+        ("Fig. 8(c): sweep all levels (k1=k2=k3=K)", false),
+        ("Fig. 8(d): upper levels full, sweep leaf level", true),
+    ] {
+        let mut table = Table::new(["K %", "AUC ratio", "time ratio", "nodes scored"]);
+        for &kf in &ks {
+            let cfg = if leaf_only {
+                CascadeConfig::leaf_only(depth, kf)
+            } else {
+                CascadeConfig::uniform(depth, kf)
+            };
+            let t0 = Instant::now();
+            let mut auc_sum = 0.0f64;
+            let mut n = 0u64;
+            let mut nodes_scored = 0usize;
+            for &u in &users {
+                let q = scorer.query(u, data.train.user(u));
+                let res = cascade(&scorer, &q, &cfg);
+                nodes_scored += res.scored_nodes;
+                let positives = &data.test.user(u)[0];
+                if let Some(a) = cascaded_auc(&res, n_items, positives) {
+                    auc_sum += a;
+                    n += 1;
+                }
+            }
+            let time = t0.elapsed().as_secs_f64();
+            let auc = auc_sum / n.max(1) as f64;
+            table.row([
+                fmt(kf * 100.0, 0),
+                fmt(auc / base_auc, 3),
+                fmt(time / base_time, 3),
+                (nodes_scored / users.len().max(1)).to_string(),
+            ]);
+        }
+        table.print(title);
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 8 (a,b): multi-core training performance.
+//!
+//! Measures wall-clock time per epoch and speed-up versus thread count
+//! for `MF(0)`, `TF(4,0)` without caching, and `TF(4,0)` with the drift
+//! cache at the paper's threshold 0.1 (Sec. 6.1).
+//!
+//! The paper's qualitative claims to check:
+//! * TF is more expensive per epoch than MF, but the gap shrinks with
+//!   threads (TF does more compute per lock acquisition);
+//! * caching helps at high thread counts where the internal taxonomy
+//!   rows become the lock bottleneck.
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin fig8_parallel -- --scale small
+//! ```
+
+use taxrec_bench::args::Args;
+use taxrec_bench::fixtures;
+use taxrec_bench::report::{fmt, Table};
+use taxrec_core::ModelConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let data = fixtures::dataset(&args);
+    let epochs = args.get("epochs", 3usize);
+    let k = args.get("factors", 20usize);
+    let max_threads = args.get(
+        "max-threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
+    );
+
+    let mut grid: Vec<usize> = vec![1, 2, 4, 8, 16, 24, 32, 48]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    if grid.is_empty() {
+        grid.push(1);
+    }
+
+    eprintln!(
+        "# fig8ab: users={} items={} epochs={epochs} grid={grid:?}",
+        data.train.num_users(),
+        data.taxonomy.num_items()
+    );
+
+    let systems: Vec<(&str, ModelConfig)> = vec![
+        ("MF(0)", ModelConfig::mf(0)),
+        ("TF(4,0) no-cache", ModelConfig::tf(4, 0)),
+        (
+            "TF(4,0) cache th=0.1",
+            ModelConfig::tf(4, 0).with_cache_threshold(Some(0.1)),
+        ),
+    ];
+
+    let mut time_table = Table::new([
+        "threads".to_string(),
+        systems[0].0.to_string() + " s/epoch",
+        systems[1].0.to_string() + " s/epoch",
+        systems[2].0.to_string() + " s/epoch",
+    ]);
+    let mut speedup_table = Table::new([
+        "threads".to_string(),
+        systems[0].0.to_string() + " speedup",
+        systems[1].0.to_string() + " speedup",
+        systems[2].0.to_string() + " speedup",
+    ]);
+
+    let mut base: Vec<f64> = vec![0.0; systems.len()];
+    for &threads in &grid {
+        let mut times = Vec::with_capacity(systems.len());
+        for (si, (_, cfg)) in systems.iter().enumerate() {
+            let cfg = cfg.clone().with_factors(k).with_epochs(epochs);
+            let (_, stats) = fixtures::train(&data, cfg, args.seed(), threads);
+            let per_epoch = stats.mean_epoch_time().as_secs_f64();
+            if threads == grid[0] {
+                base[si] = per_epoch;
+            }
+            times.push(per_epoch);
+            eprintln!("# threads={threads} {} {per_epoch:.3}s/epoch", systems[si].0);
+        }
+        time_table.row([
+            threads.to_string(),
+            fmt(times[0], 3),
+            fmt(times[1], 3),
+            fmt(times[2], 3),
+        ]);
+        speedup_table.row([
+            threads.to_string(),
+            fmt(base[0] / times[0].max(1e-12), 2),
+            fmt(base[1] / times[1].max(1e-12), 2),
+            fmt(base[2] / times[2].max(1e-12), 2),
+        ]);
+    }
+
+    time_table.print("Fig. 8(a): wall-clock time per epoch");
+    speedup_table.print("Fig. 8(b): speed-up vs single thread");
+}

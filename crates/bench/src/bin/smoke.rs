@@ -1,0 +1,56 @@
+//! End-to-end sanity run: trains all four headline systems on a tiny
+//! dataset and prints their metrics. Finishes in seconds; useful as a
+//! first check after any change.
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin smoke
+//! ```
+
+use std::time::Instant;
+use taxrec_bench::args::Args;
+use taxrec_core::{
+    baselines,
+    eval::{evaluate, EvalConfig},
+    ModelConfig,
+};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = DatasetConfig::tiny().with_users(2000);
+    let d = SyntheticDataset::generate(&cfg, args.seed());
+    println!(
+        "dataset: users={} items={} train_tx={} test_tx={} purch/user={:.2}",
+        d.log.num_users(),
+        d.taxonomy.num_items(),
+        d.train.num_transactions(),
+        d.test.num_transactions(),
+        d.train.purchases_per_user()
+    );
+    let pop = baselines::evaluate_popularity(&d.train, &d.test, d.taxonomy.num_items(), 10);
+    println!("popularity floor: auc={:.4}", pop.auc.unwrap_or(0.5));
+    for mc in [
+        ModelConfig::mf(0),
+        ModelConfig::tf(4, 0),
+        ModelConfig::mf(1),
+        ModelConfig::tf(4, 1),
+    ] {
+        let name = mc.system_name();
+        let t0 = Instant::now();
+        let (m, _) = taxrec_bench::fixtures::train(
+            &d,
+            mc.with_factors(16).with_epochs(15),
+            7,
+            args.threads(),
+        );
+        let r = evaluate(&m, &d.train, &d.test, &EvalConfig::default());
+        println!(
+            "{name:8} auc={:.4} mrank={:7.1} cat_auc={:.4} cold_norm={:.3} ({:.1}s)",
+            r.auc.unwrap_or(0.0),
+            r.mean_rank.unwrap_or(0.0),
+            r.category_auc.unwrap_or(0.0),
+            r.cold_norm_rank.unwrap_or(0.0),
+            t0.elapsed().as_secs_f32()
+        );
+    }
+}

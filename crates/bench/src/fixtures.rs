@@ -1,0 +1,99 @@
+//! Shared dataset and training fixtures for the figure binaries.
+
+use crate::args::{Args, Scale};
+use taxrec_core::{eval::EvalConfig, ModelConfig, TfModel, TfTrainer, TrainStats};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+use taxrec_taxonomy::TaxonomyShape;
+
+/// Dataset config for a scale preset.
+///
+/// `Full` approximates the paper's *relative* shape (deep skew, sparse
+/// users) at ~1/40 of its absolute size so every figure regenerates on a
+/// laptop in minutes; absolute numbers are not comparable to the paper,
+/// shapes are.
+pub fn dataset_config(scale: Scale) -> DatasetConfig {
+    match scale {
+        Scale::Tiny => DatasetConfig::tiny().with_users(2000),
+        Scale::Small => DatasetConfig {
+            shape: TaxonomyShape {
+                level_sizes: vec![8, 40, 160],
+                num_items: 4000,
+                item_skew: 0.8,
+            },
+            num_users: 6000,
+            ..DatasetConfig::default()
+        },
+        Scale::Full => DatasetConfig {
+            shape: TaxonomyShape {
+                level_sizes: vec![23, 270, 1500],
+                num_items: 40_000,
+                item_skew: 0.8,
+            },
+            num_users: 25_000,
+            ..DatasetConfig::default()
+        },
+    }
+}
+
+/// Generate the dataset for a parsed command line.
+pub fn dataset(args: &Args) -> SyntheticDataset {
+    SyntheticDataset::generate(&dataset_config(args.scale()), args.seed())
+}
+
+/// Epoch count appropriate for the scale (override with `--epochs`).
+pub fn epochs(args: &Args) -> usize {
+    let default = match args.scale() {
+        Scale::Tiny => 15,
+        Scale::Small => 20,
+        Scale::Full => 12,
+    };
+    args.get("epochs", default)
+}
+
+/// Train one system and return the model with its stats.
+pub fn train(
+    data: &SyntheticDataset,
+    config: ModelConfig,
+    seed: u64,
+    threads: usize,
+) -> (TfModel, TrainStats) {
+    TfTrainer::new(config, &data.taxonomy).fit_parallel(&data.train, seed, threads)
+}
+
+/// Evaluation config used by the accuracy figures.
+pub fn eval_config(args: &Args) -> EvalConfig {
+    EvalConfig {
+        threads: args.threads(),
+        category_level: Some(1),
+        cold_start: true,
+        hit_k: 10,
+        max_users: args.value("max-users").and_then(|v| v.parse().ok()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_increasing() {
+        let t = dataset_config(Scale::Tiny);
+        let s = dataset_config(Scale::Small);
+        let f = dataset_config(Scale::Full);
+        assert!(t.num_users <= s.num_users && s.num_users <= f.num_users);
+        assert!(t.shape.num_items <= s.shape.num_items);
+        assert!(s.shape.num_items <= f.shape.num_items);
+    }
+
+    #[test]
+    fn full_matches_paper_interior_shape() {
+        let f = dataset_config(Scale::Full);
+        assert_eq!(f.shape.level_sizes, vec![23, 270, 1500]);
+    }
+
+    #[test]
+    fn epochs_overridable() {
+        let a = Args::parse(["--epochs".to_string(), "3".to_string()]);
+        assert_eq!(epochs(&a), 3);
+    }
+}

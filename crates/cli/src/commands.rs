@@ -1,0 +1,422 @@
+//! The six CLI commands. Each returns its stdout report as a `String`
+//! so the whole surface is testable without spawning processes.
+
+use crate::args::CliArgs;
+use crate::store::DataDir;
+use crate::CliError;
+use taxrec_core::{
+    cascade, eval::EvalConfig, persist, CascadeConfig, ModelConfig, Scorer, TfModel, TfTrainer,
+};
+use taxrec_dataset::{split_log, DatasetConfig, SplitConfig, SyntheticDataset};
+use taxrec_taxonomy::TaxonomyShape;
+
+/// `taxrec generate` — synthesise a dataset into a data directory.
+pub fn generate(args: &CliArgs) -> Result<String, CliError> {
+    let out = DataDir::new(args.require("out")?);
+    let users = args.get("users", 4000usize)?;
+    let items = args.get("items", 6000usize)?;
+    let seed: u64 = args.get("seed", 42u64)?;
+    let mu: f64 = args.get("mu", 0.5f64)?;
+    if !(0.0..=1.0).contains(&mu) {
+        return Err(CliError::Usage(format!("--mu {mu} outside [0,1]")));
+    }
+    let cfg = DatasetConfig {
+        shape: TaxonomyShape {
+            num_items: items,
+            ..TaxonomyShape::default()
+        },
+        num_users: users,
+        split: SplitConfig { mu, ..SplitConfig::default() },
+        ..DatasetConfig::default()
+    };
+    let d = SyntheticDataset::generate(&cfg, seed);
+    out.save(&d.taxonomy, &d.train, &d.test, None)?;
+    Ok(format!(
+        "generated {} users / {} items (levels {:?}) into {}\n\
+         train: {} transactions, test: {} transactions (mu = {mu})\n",
+        d.log.num_users(),
+        d.taxonomy.num_items(),
+        d.taxonomy.level_sizes(),
+        out.path().display(),
+        d.train.num_transactions(),
+        d.test.num_transactions(),
+    ))
+}
+
+/// `taxrec import` — parse a TSV purchase export into a data directory.
+pub fn import(args: &CliArgs) -> Result<String, CliError> {
+    let input = args.require("input")?;
+    let out = DataDir::new(args.require("out")?);
+    let mu: f64 = args.get("mu", 0.5f64)?;
+    let seed: u64 = args.get("seed", 42u64)?;
+    let text = std::fs::read_to_string(input)?;
+    let imported = taxrec_dataset::parse_purchase_rows(&text)
+        .map_err(|e| CliError::Data(format!("{input}: {e}")))?;
+    let split = split_log(
+        &imported.log,
+        &SplitConfig { mu, seed, ..SplitConfig::default() },
+    );
+    out.save(
+        &imported.taxonomy,
+        &split.train,
+        &split.test,
+        Some(&imported.item_names),
+    )?;
+    Ok(format!(
+        "imported {} users / {} items / {} purchases from {input} into {}\n",
+        imported.log.num_users(),
+        imported.taxonomy.num_items(),
+        imported.log.num_purchases(),
+        out.path().display(),
+    ))
+}
+
+/// `taxrec train` — fit a model against a data directory.
+pub fn train(args: &CliArgs) -> Result<String, CliError> {
+    let data = DataDir::new(args.require("data")?);
+    let model_path = args.require("model")?.to_string();
+    let (u, b) = args.system()?;
+    let factors = args.get("factors", 16usize)?;
+    let epochs = args.get("epochs", 20usize)?;
+    let threads = args.get("threads", default_threads())?;
+    let seed: u64 = args.get("seed", 42u64)?;
+    let cache_th: f32 = args.get("cache-th", -1.0f32)?;
+
+    let mut cfg = ModelConfig::tf(u, b).with_factors(factors).with_epochs(epochs);
+    if cache_th >= 0.0 {
+        cfg = cfg.with_cache_threshold(Some(cache_th));
+    }
+    cfg.validate().map_err(CliError::Usage)?;
+
+    let taxonomy = data.taxonomy()?;
+    let train_log = data.train()?;
+    let trainer = TfTrainer::new(cfg.clone(), &taxonomy);
+    let (model, stats) = trainer.fit_parallel(&train_log, seed, threads);
+    std::fs::write(&model_path, persist::encode(&model))?;
+    Ok(format!(
+        "trained {} (K={factors}) on {} purchases: {} steps over {} epochs, \
+         {:.2?}/epoch with {threads} threads\nmodel written to {model_path}\n",
+        cfg.system_name(),
+        train_log.num_purchases(),
+        stats.steps,
+        stats.epoch_times.len(),
+        stats.mean_epoch_time(),
+    ))
+}
+
+/// `taxrec evaluate` — paper-protocol metrics of a model on a split.
+pub fn evaluate(args: &CliArgs) -> Result<String, CliError> {
+    let data = DataDir::new(args.require("data")?);
+    let model = load_model(args.require("model")?)?;
+    let threads = args.get("threads", default_threads())?;
+    let category_level = args.get("category-level", 1usize)?;
+    let train_log = data.train()?;
+    let test_log = data.test()?;
+    check_model_fits(&model, &train_log)?;
+    let cfg = EvalConfig {
+        threads,
+        category_level: Some(category_level),
+        cold_start: true,
+        ..EvalConfig::default()
+    };
+    let r = taxrec_core::eval::evaluate(&model, &train_log, &test_log, &cfg);
+    let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.4}"));
+    Ok(format!(
+        "system            : {}\n\
+         users evaluated   : {}\n\
+         AUC               : {}\n\
+         mean rank         : {}\n\
+         hit@10            : {}\n\
+         MRR               : {}\n\
+         category AUC (L{}) : {}\n\
+         category meanRank : {}\n\
+         cold-item norm rank: {} over {} cold purchases\n",
+        model.config().system_name(),
+        r.users_evaluated,
+        fmt(r.auc),
+        fmt(r.mean_rank),
+        fmt(r.hit_at_k),
+        fmt(r.mrr),
+        category_level,
+        fmt(r.category_auc),
+        fmt(r.category_mean_rank),
+        fmt(r.cold_norm_rank),
+        r.cold_count,
+    ))
+}
+
+/// `taxrec recommend` — top items + top categories for one user.
+pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
+    let data = DataDir::new(args.require("data")?);
+    let model = load_model(args.require("model")?)?;
+    let user: usize = args.get_required("user")?;
+    let top: usize = args.get("top", 10usize)?;
+    let cascade_k: f64 = args.get("cascade", 1.0f64)?;
+    let train_log = data.train()?;
+    check_model_fits(&model, &train_log)?;
+    if user >= train_log.num_users() {
+        return Err(CliError::Usage(format!(
+            "--user {user} out of range (0..{})",
+            train_log.num_users()
+        )));
+    }
+    let names = data.item_names()?;
+    let scorer = Scorer::new(&model);
+    let query = scorer.query(user, train_log.user(user));
+    let bought = train_log.distinct_items(user);
+
+    let mut out = format!(
+        "user {user}: {} training transactions, {} distinct items\n",
+        train_log.user(user).len(),
+        bought.len()
+    );
+    let item_label = |i: taxrec_taxonomy::ItemId| -> String {
+        names
+            .as_ref()
+            .and_then(|n| n.get(i.index()).cloned())
+            .unwrap_or_else(|| format!("{i}"))
+    };
+
+    if cascade_k < 1.0 {
+        let cfg = CascadeConfig::uniform(model.taxonomy().depth(), cascade_k);
+        let res = cascade(&scorer, &query, &cfg);
+        out.push_str(&format!(
+            "cascaded inference (K={cascade_k}): scored {} nodes\n",
+            res.scored_nodes
+        ));
+        for (rank, (item, score)) in res
+            .items
+            .iter()
+            .filter(|(i, _)| bought.binary_search(i).is_err())
+            .take(top)
+            .enumerate()
+        {
+            out.push_str(&format!("  #{:<3} {}  {score:+.3}\n", rank + 1, item_label(*item)));
+        }
+    } else {
+        for (rank, (item, score)) in
+            scorer.top_k_items(&query, top, &bought).iter().enumerate()
+        {
+            out.push_str(&format!("  #{:<3} {}  {score:+.3}\n", rank + 1, item_label(*item)));
+        }
+    }
+    out.push_str("top categories (level 1):\n");
+    for (rank, (node, score)) in scorer.rank_level(&query, 1).iter().take(5).enumerate() {
+        out.push_str(&format!("  #{:<3} {node}  {score:+.3}\n", rank + 1));
+    }
+    Ok(out)
+}
+
+/// `taxrec inspect` — summarise a model file.
+pub fn inspect(args: &CliArgs) -> Result<String, CliError> {
+    let path = args.require("model")?;
+    let bytes = std::fs::read(path)?;
+    let model = persist::decode(&bytes).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+    let cfg = model.config();
+    Ok(format!(
+        "model file        : {path} ({} bytes)\n\
+         system            : {}\n\
+         factors (K)       : {}\n\
+         users             : {}\n\
+         items             : {}\n\
+         taxonomy levels   : {:?}\n\
+         learning rate / λ : {} / {}\n\
+         sibling mix       : {} (skip {} levels)\n\
+         markov alpha      : {}\n",
+        bytes.len(),
+        cfg.system_name(),
+        cfg.factors,
+        model.num_users(),
+        model.num_items(),
+        model.taxonomy().level_sizes(),
+        cfg.learning_rate,
+        cfg.lambda,
+        cfg.sibling_mix,
+        cfg.sibling_skip_levels,
+        cfg.alpha,
+    ))
+}
+
+fn load_model(path: &str) -> Result<TfModel, CliError> {
+    let bytes = std::fs::read(path)?;
+    persist::decode(&bytes).map_err(|e| CliError::Data(format!("{path}: {e}")))
+}
+
+fn check_model_fits(model: &TfModel, train: &taxrec_dataset::PurchaseLog) -> Result<(), CliError> {
+    if model.num_users() != train.num_users() {
+        return Err(CliError::Data(format!(
+            "model covers {} users but the data directory has {} — \
+             was the model trained on this dataset?",
+            model.num_users(),
+            train.num_users()
+        )));
+    }
+    Ok(())
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::run;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "taxrec-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn full_pipeline_generate_train_evaluate_recommend() {
+        let dir = tmpdir("pipeline");
+        let data = dir.join("data");
+        let model = dir.join("m.tfm");
+        let out = run(&argv(&format!(
+            "generate --out {} --users 300 --items 400 --seed 7",
+            data.display()
+        )))
+        .unwrap();
+        assert!(out.contains("generated 300 users"));
+
+        let out = run(&argv(&format!(
+            "train --data {} --model {} --tf 4,1 --factors 8 --epochs 3 --threads 2",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.contains("TF(4,1)"), "{out}");
+        assert!(model.exists());
+
+        let out = run(&argv(&format!(
+            "evaluate --data {} --model {}",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.contains("AUC"), "{out}");
+
+        let out = run(&argv(&format!(
+            "recommend --data {} --model {} --user 0 --top 5",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.contains("#1"), "{out}");
+        assert!(out.contains("top categories"), "{out}");
+
+        let out = run(&argv(&format!("inspect --model {}", model.display()))).unwrap();
+        assert!(out.contains("TF(4,1)"), "{out}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn import_pipeline() {
+        let dir = tmpdir("import");
+        let tsv = dir.join("purchases.tsv");
+        std::fs::write(
+            &tsv,
+            "alice\t0\telectronics/cameras\tcanon\n\
+             alice\t1\telectronics/storage\tsd-card\n\
+             bob\t0\thome/garden\tpruner\n\
+             bob\t1\thome/garden\tgloves\n",
+        )
+        .unwrap();
+        let data = dir.join("data");
+        let out = run(&argv(&format!(
+            "import --input {} --out {} --mu 0.5",
+            tsv.display(),
+            data.display()
+        )))
+        .unwrap();
+        assert!(out.contains("imported 2 users"), "{out}");
+
+        // Item names must surface in recommendations.
+        let model = dir.join("m.tfm");
+        run(&argv(&format!(
+            "train --data {} --model {} --mf 0 --factors 4 --epochs 2",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        let out = run(&argv(&format!(
+            "recommend --data {} --model {} --user 0 --top 2",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(
+            ["canon", "sd-card", "pruner", "gloves"].iter().any(|n| out.contains(n)),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cascade_recommend_path() {
+        let dir = tmpdir("cascade");
+        let data = dir.join("data");
+        let model = dir.join("m.tfm");
+        run(&argv(&format!(
+            "generate --out {} --users 200 --items 300 --seed 3",
+            data.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "train --data {} --model {} --tf 4,0 --factors 4 --epochs 2",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        let out = run(&argv(&format!(
+            "recommend --data {} --model {} --user 1 --cascade 0.3",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.contains("cascaded inference"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&argv("train --model x")).is_err()); // missing --data
+        assert!(run(&argv("generate --out /tmp/x --mu 2.0")).is_err());
+        assert!(run(&argv("evaluate --data /nonexistent --model /nope")).is_err());
+    }
+
+    #[test]
+    fn mismatched_model_and_data_rejected() {
+        let dir = tmpdir("mismatch");
+        let d1 = dir.join("d1");
+        let d2 = dir.join("d2");
+        let model = dir.join("m.tfm");
+        run(&argv(&format!("generate --out {} --users 100 --items 200 --seed 1", d1.display()))).unwrap();
+        run(&argv(&format!("generate --out {} --users 150 --items 200 --seed 2", d2.display()))).unwrap();
+        run(&argv(&format!(
+            "train --data {} --model {} --mf 0 --factors 4 --epochs 1",
+            d1.display(),
+            model.display()
+        )))
+        .unwrap();
+        let err = run(&argv(&format!(
+            "evaluate --data {} --model {}",
+            d2.display(),
+            model.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("users"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

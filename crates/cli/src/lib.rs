@@ -1,0 +1,115 @@
+//! # taxrec-cli
+//!
+//! The `taxrec` command-line tool: the full paper pipeline from the
+//! shell, against on-disk artifacts.
+//!
+//! ```text
+//! taxrec generate  --out data/ [--users 4000] [--items 6000] [--seed 42] [--mu 0.5]
+//! taxrec import    --input purchases.tsv --out data/ [--mu 0.5]
+//! taxrec train     --data data/ --model m.tfm [--tf 4,1 | --mf 0] [--factors 16]
+//!                  [--epochs 20] [--threads N] [--cache-th 0.1]
+//! taxrec evaluate  --data data/ --model m.tfm [--category-level 1]
+//! taxrec recommend --data data/ --model m.tfm --user 0 [--top 10] [--cascade 0.3]
+//! taxrec inspect   --model m.tfm
+//! ```
+//!
+//! A data directory holds `taxonomy.bin` (taxonomy), `train.bin` /
+//! `test.bin` (purchase logs) and, for imports, `items.tsv` (dense id →
+//! original name). All commands are deterministic per `--seed`.
+
+mod args;
+mod commands;
+pub mod serve;
+mod store;
+
+pub use args::CliArgs;
+pub use store::DataDir;
+
+/// Entry point: parse, dispatch, and return the textual report.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(usage());
+    };
+    let args = CliArgs::parse(rest.iter().cloned());
+    match cmd.as_str() {
+        "generate" => commands::generate(&args),
+        "import" => commands::import(&args),
+        "train" => commands::train(&args),
+        "evaluate" => commands::evaluate(&args),
+        "recommend" => commands::recommend(&args),
+        "inspect" => commands::inspect(&args),
+        "serve" => serve::serve(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "\
+taxrec — taxonomy-aware recommender systems (VLDB'12 reproduction)
+
+USAGE:
+  taxrec generate  --out DIR [--users N] [--items M] [--seed S] [--mu F]
+  taxrec import    --input FILE.tsv --out DIR [--mu F] [--seed S]
+  taxrec train     --data DIR --model FILE [--tf U,B | --mf B] [--factors K]
+                   [--epochs E] [--threads T] [--cache-th TH] [--seed S]
+  taxrec evaluate  --data DIR --model FILE [--category-level L] [--threads T]
+  taxrec recommend --data DIR --model FILE --user U [--top K] [--cascade F]
+  taxrec inspect   --model FILE
+  taxrec serve     --data DIR --model FILE [--port 8080]
+"
+    .to_string()
+}
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (missing/invalid flags).
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A data artifact failed to decode.
+    Data(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}\n\n{}", usage()),
+            CliError::Io(e) => write!(f, "I/O: {e}"),
+            CliError::Data(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&["frobnicate".into()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn help_is_ok() {
+        assert!(run(&["help".into()]).unwrap().contains("taxrec"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `taxrec` — train and serve taxonomy-aware recommenders from the shell.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match taxrec_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! `taxrec serve` — a minimal HTTP recommendation service over a trained
+//! model (std-only; no framework dependency).
+//!
+//! ```text
+//! taxrec serve --data data/ --model m.tfm --port 8080
+//!
+//! GET /health                          → 200 "ok"
+//! GET /model                           → model summary (JSON)
+//! GET /recommend?user=0&top=10         → ranked items (JSON)
+//! GET /recommend?user=0&cascade=0.3    → cascaded fast path
+//! GET /categories?user=0&level=1       → ranked categories (JSON)
+//! ```
+//!
+//! The server is deliberately simple: HTTP/1.1, GET only, one thread per
+//! connection, shared immutable state behind `Arc`. Scoring is read-only
+//! against the materialised [`Scorer`], so concurrency needs no locking.
+
+use crate::store::DataDir;
+use crate::{CliArgs, CliError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use taxrec_core::{cascade, persist, CascadeConfig, Scorer, TfModel};
+use taxrec_dataset::PurchaseLog;
+
+/// Shared immutable serving state.
+pub struct ServeState {
+    model: TfModel,
+    train: PurchaseLog,
+    item_names: Option<Vec<String>>,
+}
+
+impl ServeState {
+    /// Load state from a data directory and model file.
+    pub fn load(data: &DataDir, model_path: &str) -> Result<ServeState, CliError> {
+        let bytes = std::fs::read(model_path)?;
+        let model = persist::decode(&bytes)
+            .map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
+        let train = data.train()?;
+        if model.num_users() != train.num_users() {
+            return Err(CliError::Data(format!(
+                "model has {} users, data dir has {}",
+                model.num_users(),
+                train.num_users()
+            )));
+        }
+        Ok(ServeState {
+            model,
+            train,
+            item_names: data.item_names()?,
+        })
+    }
+
+    fn item_label(&self, i: taxrec_taxonomy::ItemId) -> String {
+        self.item_names
+            .as_ref()
+            .and_then(|n| n.get(i.index()).cloned())
+            .unwrap_or_else(|| format!("{i}"))
+    }
+}
+
+/// One parsed HTTP response: status line + body.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON or plain text).
+    pub body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    fn bad(msg: &str) -> Response {
+        Response {
+            status: 400,
+            body: format!("{{\"error\":{}}}", json_str(msg)),
+        }
+    }
+
+    fn not_found() -> Response {
+        Response {
+            status: 404,
+            body: "{\"error\":\"not found\"}".to_string(),
+        }
+    }
+}
+
+/// Route a request path (e.g. `/recommend?user=3&top=5`). Exposed for
+/// in-process tests; the TCP loop is a thin shell around this.
+pub fn route(state: &ServeState, scorer: &Scorer<'_>, path_query: &str) -> Response {
+    let (path, query) = match path_query.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path_query, ""),
+    };
+    let get = |name: &str| -> Option<&str> {
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    };
+    match path {
+        "/health" => Response::ok("ok".to_string()),
+        "/model" => {
+            let cfg = state.model.config();
+            Response::ok(format!(
+                "{{\"system\":{},\"factors\":{},\"users\":{},\"items\":{},\"levels\":{:?}}}",
+                json_str(&cfg.system_name()),
+                cfg.factors,
+                state.model.num_users(),
+                state.model.num_items(),
+                state.model.taxonomy().level_sizes(),
+            ))
+        }
+        "/recommend" => {
+            let Some(user) = get("user").and_then(|v| v.parse::<usize>().ok()) else {
+                return Response::bad("user parameter required");
+            };
+            if user >= state.train.num_users() {
+                return Response::bad("user out of range");
+            }
+            let top = get("top").and_then(|v| v.parse().ok()).unwrap_or(10usize);
+            let query_vec = scorer.query(user, state.train.user(user));
+            let bought = state.train.distinct_items(user);
+            let recs: Vec<(taxrec_taxonomy::ItemId, f32)> = match get("cascade")
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                Some(k) if k < 1.0 => {
+                    let cfg =
+                        CascadeConfig::uniform(state.model.taxonomy().depth(), k.max(0.01));
+                    cascade(scorer, &query_vec, &cfg)
+                        .items
+                        .into_iter()
+                        .filter(|(i, _)| bought.binary_search(i).is_err())
+                        .take(top)
+                        .collect()
+                }
+                _ => scorer.top_k_items(&query_vec, top, &bought),
+            };
+            let items: Vec<String> = recs
+                .iter()
+                .map(|(i, s)| {
+                    format!(
+                        "{{\"item\":{},\"id\":{},\"score\":{s:.4}}}",
+                        json_str(&state.item_label(*i)),
+                        i.0
+                    )
+                })
+                .collect();
+            Response::ok(format!(
+                "{{\"user\":{user},\"recommendations\":[{}]}}",
+                items.join(",")
+            ))
+        }
+        "/categories" => {
+            let Some(user) = get("user").and_then(|v| v.parse::<usize>().ok()) else {
+                return Response::bad("user parameter required");
+            };
+            if user >= state.train.num_users() {
+                return Response::bad("user out of range");
+            }
+            let level = get("level").and_then(|v| v.parse().ok()).unwrap_or(1usize);
+            if level > state.model.taxonomy().depth() {
+                return Response::bad("level deeper than the taxonomy");
+            }
+            let query_vec = scorer.query(user, state.train.user(user));
+            let cats: Vec<String> = scorer
+                .rank_level(&query_vec, level)
+                .iter()
+                .take(10)
+                .map(|(n, s)| format!("{{\"node\":{},\"score\":{s:.4}}}", n.0))
+                .collect();
+            Response::ok(format!(
+                "{{\"user\":{user},\"level\":{level},\"categories\":[{}]}}",
+                cats.join(",")
+            ))
+        }
+        _ => Response::not_found(),
+    }
+}
+
+/// `taxrec serve` command: blocks forever handling requests.
+pub fn serve(args: &CliArgs) -> Result<String, CliError> {
+    let data = DataDir::new(args.require("data")?);
+    let state = Arc::new(ServeState::load(&data, args.require("model")?)?);
+    let port: u16 = args.get("port", 8080u16)?;
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    eprintln!("taxrec serving on http://{addr}");
+    serve_on(listener, state, None);
+    Ok(String::new())
+}
+
+/// Accept loop; `max_requests` bounds the loop for tests (`None` = forever).
+pub fn serve_on(listener: TcpListener, state: Arc<ServeState>, max_requests: Option<usize>) {
+    let scorer_state = Arc::clone(&state);
+    // The Scorer borrows the model, so it lives on this thread and every
+    // connection thread gets its own (cheap relative to a test run; a
+    // production build would share one behind Arc<Scorer> with a
+    // self-referential holder — out of scope here).
+    let mut handled = 0usize;
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let st = Arc::clone(&scorer_state);
+        handle_connection(stream, &st);
+        handled += 1;
+        if let Some(max) = max_requests {
+            if handled >= max {
+                break;
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServeState) {
+    let peer = stream.peer_addr().ok();
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers.
+    let mut line = String::new();
+    while reader.read_line(&mut line).is_ok() {
+        if line == "\r\n" || line == "\n" || line.is_empty() {
+            break;
+        }
+        line.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+    let scorer = Scorer::new(&state.model);
+    let resp = if method != "GET" {
+        Response {
+            status: 405,
+            body: "{\"error\":\"GET only\"}".to_string(),
+        }
+    } else {
+        route(state, &scorer, path)
+    };
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let payload = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        resp.status,
+        resp.body.len(),
+        resp.body
+    );
+    let mut stream = reader.into_inner();
+    let _ = stream.write_all(payload.as_bytes());
+    let _ = peer;
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use taxrec_core::{ModelConfig, TfTrainer};
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn state() -> ServeState {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(100), 3);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(4).with_epochs(2),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        ServeState {
+            model,
+            train: d.train,
+            item_names: None,
+        }
+    }
+
+    #[test]
+    fn health_and_model_routes() {
+        let st = state();
+        let scorer = Scorer::new(&st.model);
+        assert_eq!(route(&st, &scorer, "/health").body, "ok");
+        let m = route(&st, &scorer, "/model");
+        assert_eq!(m.status, 200);
+        assert!(m.body.contains("\"system\":\"TF(4,1)\""), "{}", m.body);
+    }
+
+    #[test]
+    fn recommend_route() {
+        let st = state();
+        let scorer = Scorer::new(&st.model);
+        let r = route(&st, &scorer, "/recommend?user=0&top=3");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.matches("\"score\"").count(), 3, "{}", r.body);
+        let rc = route(&st, &scorer, "/recommend?user=0&top=3&cascade=0.3");
+        assert_eq!(rc.status, 200);
+        assert!(rc.body.contains("recommendations"));
+    }
+
+    #[test]
+    fn categories_route() {
+        let st = state();
+        let scorer = Scorer::new(&st.model);
+        let r = route(&st, &scorer, "/categories?user=1&level=1");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"categories\""));
+        assert!(route(&st, &scorer, "/categories?user=1&level=99").status == 400);
+    }
+
+    #[test]
+    fn error_routes() {
+        let st = state();
+        let scorer = Scorer::new(&st.model);
+        assert_eq!(route(&st, &scorer, "/recommend").status, 400);
+        assert_eq!(route(&st, &scorer, "/recommend?user=999999").status, 400);
+        assert_eq!(route(&st, &scorer, "/nope").status, 404);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn tcp_end_to_end() {
+        let st = Arc::new(state());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn({
+            let st = Arc::clone(&st);
+            move || serve_on(listener, st, Some(2))
+        });
+        for path in ["/health", "/recommend?user=2&top=2"] {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut buf = String::new();
+            conn.read_to_string(&mut buf).unwrap();
+            assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+        }
+        server.join().unwrap();
+    }
+}

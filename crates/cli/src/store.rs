@@ -1,0 +1,158 @@
+//! On-disk layout of a taxrec data directory.
+//!
+//! ```text
+//! DIR/
+//!   taxonomy.bin   taxrec-taxonomy binary encoding
+//!   train.bin      purchase log (chronological prefix per user)
+//!   test.bin       purchase log (suffix, repeats removed)
+//!   items.tsv      optional: dense item id <TAB> original name
+//! ```
+
+use crate::CliError;
+use std::path::{Path, PathBuf};
+use taxrec_dataset::{serialize as log_ser, PurchaseLog};
+use taxrec_taxonomy::{serialize as tax_ser, Taxonomy};
+
+/// Handle to a data directory.
+#[derive(Debug, Clone)]
+pub struct DataDir {
+    root: PathBuf,
+}
+
+impl DataDir {
+    /// Wrap a path (no I/O yet).
+    pub fn new(root: impl Into<PathBuf>) -> DataDir {
+        DataDir { root: root.into() }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Persist a complete dataset.
+    pub fn save(
+        &self,
+        taxonomy: &Taxonomy,
+        train: &PurchaseLog,
+        test: &PurchaseLog,
+        item_names: Option<&[String]>,
+    ) -> Result<(), CliError> {
+        std::fs::create_dir_all(&self.root)?;
+        std::fs::write(self.file("taxonomy.bin"), tax_ser::encode(taxonomy))?;
+        std::fs::write(self.file("train.bin"), log_ser::encode(train))?;
+        std::fs::write(self.file("test.bin"), log_ser::encode(test))?;
+        if let Some(names) = item_names {
+            let mut tsv = String::new();
+            for (i, n) in names.iter().enumerate() {
+                tsv.push_str(&format!("{i}\t{n}\n"));
+            }
+            std::fs::write(self.file("items.tsv"), tsv)?;
+        }
+        Ok(())
+    }
+
+    /// Load the taxonomy.
+    pub fn taxonomy(&self) -> Result<Taxonomy, CliError> {
+        let bytes = std::fs::read(self.file("taxonomy.bin"))?;
+        tax_ser::decode(&bytes).map_err(|e| CliError::Data(format!("taxonomy.bin: {e}")))
+    }
+
+    /// Load the training log.
+    pub fn train(&self) -> Result<PurchaseLog, CliError> {
+        self.log("train.bin")
+    }
+
+    /// Load the test log.
+    pub fn test(&self) -> Result<PurchaseLog, CliError> {
+        self.log("test.bin")
+    }
+
+    fn log(&self, name: &str) -> Result<PurchaseLog, CliError> {
+        let bytes = std::fs::read(self.file(name))?;
+        log_ser::decode(&bytes).map_err(|e| CliError::Data(format!("{name}: {e}")))
+    }
+
+    /// Load item names, if `items.tsv` exists.
+    pub fn item_names(&self) -> Result<Option<Vec<String>>, CliError> {
+        let p = self.file("items.tsv");
+        if !p.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(p)?;
+        let mut names = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let (id, name) = line
+                .split_once('\t')
+                .ok_or_else(|| CliError::Data(format!("items.tsv line {}: no tab", ln + 1)))?;
+            let id: usize = id
+                .parse()
+                .map_err(|_| CliError::Data(format!("items.tsv line {}: bad id", ln + 1)))?;
+            if id != names.len() {
+                return Err(CliError::Data(format!(
+                    "items.tsv line {}: ids must be dense and ordered",
+                    ln + 1
+                )));
+            }
+            names.push(name.to_string());
+        }
+        Ok(Some(names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "taxrec-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_dataset() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(50), 3);
+        let dir = DataDir::new(tmp());
+        dir.save(&d.taxonomy, &d.train, &d.test, None).unwrap();
+        assert_eq!(dir.taxonomy().unwrap(), d.taxonomy);
+        assert_eq!(dir.train().unwrap(), d.train);
+        assert_eq!(dir.test().unwrap(), d.test);
+        assert_eq!(dir.item_names().unwrap(), None);
+        std::fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_item_names() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(10), 3);
+        let dir = DataDir::new(tmp());
+        let names: Vec<String> = (0..3).map(|i| format!("product-{i}")).collect();
+        dir.save(&d.taxonomy, &d.train, &d.test, Some(&names)).unwrap();
+        assert_eq!(dir.item_names().unwrap(), Some(names));
+        std::fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn missing_files_error() {
+        let dir = DataDir::new(tmp());
+        assert!(matches!(dir.taxonomy(), Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_taxonomy_reports_data_error() {
+        let dir = DataDir::new(tmp());
+        std::fs::create_dir_all(dir.path()).unwrap();
+        std::fs::write(dir.path().join("taxonomy.bin"), b"garbage!").unwrap();
+        assert!(matches!(dir.taxonomy(), Err(CliError::Data(_))));
+        std::fs::remove_dir_all(dir.path()).unwrap();
+    }
+}

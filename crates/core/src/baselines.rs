@@ -1,0 +1,110 @@
+//! Non-personalised baselines.
+//!
+//! The paper's comparisons are the MF(B) family ([`crate::ModelConfig::mf`]),
+//! which this crate recovers as TF special cases. This module adds the
+//! two trivial baselines every ranking paper implicitly benchmarks
+//! against — global popularity and random — both evaluated with the same
+//! protocol as the personalised models via [`crate::eval::evaluate_static`].
+
+use crate::eval::{evaluate_static, EvalResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxrec_dataset::{stats, PurchaseLog};
+
+/// Global popularity scores: `score[i]` = training purchase count of `i`.
+///
+/// A strong non-personalised baseline under heavy-tailed demand.
+pub fn popularity_scores(train: &PurchaseLog, num_items: usize) -> Vec<f32> {
+    stats::item_popularity(train, num_items)
+        .into_iter()
+        .map(|c| c as f32)
+        .collect()
+}
+
+/// Uniform-random scores (chance level ≈ 0.5 AUC) — the floor.
+pub fn random_scores(num_items: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_items).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Evaluate the popularity baseline with the standard protocol.
+pub fn evaluate_popularity(
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    num_items: usize,
+    hit_k: usize,
+) -> EvalResult {
+    evaluate_static(&popularity_scores(train, num_items), train, test, hit_k)
+}
+
+/// Evaluate the random baseline with the standard protocol.
+pub fn evaluate_random(
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    num_items: usize,
+    hit_k: usize,
+    seed: u64,
+) -> EvalResult {
+    evaluate_static(&random_scores(num_items, seed), train, test, hit_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn data() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny().with_users(1000), 8)
+    }
+
+    #[test]
+    fn popularity_beats_random() {
+        let d = data();
+        let n = d.taxonomy.num_items();
+        let pop = evaluate_popularity(&d.train, &d.test, n, 10);
+        let rnd = evaluate_random(&d.train, &d.test, n, 10, 1);
+        assert!(pop.auc.unwrap() > rnd.auc.unwrap() + 0.05);
+    }
+
+    #[test]
+    fn random_is_chance_level() {
+        let d = data();
+        let n = d.taxonomy.num_items();
+        let rnd = evaluate_random(&d.train, &d.test, n, 10, 2);
+        let auc = rnd.auc.unwrap();
+        assert!((0.45..0.55).contains(&auc), "random AUC {auc}");
+    }
+
+    #[test]
+    fn popularity_scores_match_counts() {
+        let d = data();
+        let n = d.taxonomy.num_items();
+        let scores = popularity_scores(&d.train, n);
+        let counts = stats::item_popularity(&d.train, n);
+        assert_eq!(scores.len(), n);
+        for (s, c) in scores.iter().zip(&counts) {
+            assert_eq!(*s, *c as f32);
+        }
+    }
+
+    #[test]
+    fn trained_model_beats_popularity() {
+        // The personalisation sanity check: TF must out-rank the best
+        // non-personalised baseline.
+        use crate::{eval::{evaluate, EvalConfig}, ModelConfig, TfTrainer};
+        let d = data();
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 0).with_factors(16).with_epochs(12),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 3);
+        let tf = evaluate(&model, &d.train, &d.test, &EvalConfig::fast());
+        let pop = evaluate_popularity(&d.train, &d.test, d.taxonomy.num_items(), 10);
+        assert!(
+            tf.auc.unwrap() > pop.auc.unwrap(),
+            "TF {:.4} must beat popularity {:.4}",
+            tf.auc.unwrap(),
+            pop.auc.unwrap()
+        );
+    }
+}

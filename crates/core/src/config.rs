@@ -1,0 +1,258 @@
+//! Model and training hyper-parameters.
+//!
+//! The paper parameterises every system as `TF(U, B)`:
+//!
+//! * `U` = `taxonomyUpdateLevels` — how many taxonomy levels, counted
+//!   from the items upward, receive latent factors. `U = 1` uses only
+//!   item-level factors, recovering plain matrix factorisation.
+//! * `B` = `maxPrevtransactions` — the order of the Markov chain over
+//!   previous baskets. `B = 0` ignores time; `U = 1, B = 1` recovers
+//!   FPMC (Rendle et al. 2010).
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a TF(U, B) model and its SGD training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Factor dimensionality `K` (paper sweeps 10–50).
+    pub factors: usize,
+    /// `taxonomyUpdateLevels` (U): number of levels, from items upward,
+    /// that carry factors. Clamped to the taxonomy depth at build time.
+    pub taxonomy_update_levels: usize,
+    /// `maxPrevtransactions` (B): Markov-chain order for short-term
+    /// interest. 0 disables the next-item term entirely.
+    pub max_prev_transactions: usize,
+    /// SGD learning rate ε.
+    pub learning_rate: f32,
+    /// L2 regulariser λ (∝ 1/σ² of the Gaussian prior).
+    pub lambda: f32,
+    /// Std-dev of the Gaussian *user*-factor initialisation (symmetry
+    /// breaking).
+    pub init_sigma: f32,
+    /// Std-dev of the node-offset initialisation. The default `0.0`
+    /// starts every offset at the prior mean, which makes a never-trained
+    /// item's effective factor exactly its super-category's — the paper's
+    /// cold-start estimate (Fig. 7c). Set `> 0.0` for the Gaussian-init
+    /// ablation.
+    pub node_init_sigma: f32,
+    /// Decay base α for the higher-order weights `α_n = α·e^(−n/N)`
+    /// (Sec. 3.2). Irrelevant when `max_prev_transactions == 0`.
+    pub alpha: f32,
+    /// Training epochs; one epoch ≈ one pass over all purchase events.
+    pub epochs: usize,
+    /// Probability that a sampled purchase *additionally* produces the
+    /// per-level sibling-based examples of Sec. 4.2 (every purchase gets
+    /// the random-negative update regardless) — the paper "mixes random
+    /// sampling with sibling-based training".
+    pub sibling_mix: f64,
+    /// Skip this many levels from the bottom in sibling-based training.
+    /// A sibling at the item or lowest-category level is often a likely
+    /// *future purchase* (accessory dynamics), so discriminating against
+    /// it injects label noise; siblings at higher levels carry clean
+    /// preference signal. Default `2` starts above the accessory radius
+    /// of the synthetic data; set `0` to reproduce the paper's all-levels
+    /// variant (ablated in `EXPERIMENTS.md`).
+    pub sibling_skip_levels: usize,
+    /// Negative samples drawn per positive purchase event.
+    pub negatives_per_positive: usize,
+    /// Drift-cache flush threshold for parallel training of hot
+    /// (internal-node) rows; `None` disables caching (paper compares
+    /// `th = 0.1` against no caching in Fig. 8).
+    pub cache_threshold: Option<f32>,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            factors: 16,
+            taxonomy_update_levels: 4,
+            max_prev_transactions: 0,
+            learning_rate: 0.05,
+            lambda: 0.005,
+            init_sigma: 0.1,
+            node_init_sigma: 0.0,
+            alpha: 1.0,
+            epochs: 20,
+            sibling_mix: 0.5,
+            sibling_skip_levels: 2,
+            negatives_per_positive: 1,
+            cache_threshold: None,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// The paper's `TF(U, B)` constructor.
+    pub fn tf(update_levels: usize, prev_transactions: usize) -> Self {
+        ModelConfig {
+            taxonomy_update_levels: update_levels,
+            max_prev_transactions: prev_transactions,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's `MF(B)` baseline: no taxonomy (`U = 1`), optional
+    /// Markov order. `MF(0)` is BPR-MF, `MF(1)` is FPMC. Sibling
+    /// training is meaningless without taxonomy levels and is disabled.
+    pub fn mf(prev_transactions: usize) -> Self {
+        ModelConfig {
+            taxonomy_update_levels: 1,
+            max_prev_transactions: prev_transactions,
+            sibling_mix: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of `K`.
+    pub fn with_factors(mut self, k: usize) -> Self {
+        self.factors = k;
+        self
+    }
+
+    /// Builder-style override of the epoch count.
+    pub fn with_epochs(mut self, e: usize) -> Self {
+        self.epochs = e;
+        self
+    }
+
+    /// Builder-style override of the sibling-training mix.
+    pub fn with_sibling_mix(mut self, mix: f64) -> Self {
+        self.sibling_mix = mix;
+        self
+    }
+
+    /// Builder-style override of the learning rate.
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Builder-style override of the regulariser.
+    pub fn with_lambda(mut self, l: f32) -> Self {
+        self.lambda = l;
+        self
+    }
+
+    /// Builder-style override of the drift-cache threshold.
+    pub fn with_cache_threshold(mut self, th: Option<f32>) -> Self {
+        self.cache_threshold = th;
+        self
+    }
+
+    /// Builder-style override of the node-offset init σ (Gaussian-init
+    /// ablation; `0.0` is the paper's cold-start-friendly zero init).
+    pub fn with_node_init_sigma(mut self, sigma: f32) -> Self {
+        self.node_init_sigma = sigma;
+        self
+    }
+
+    /// The decay weight `α_n = α · e^(−n/N)` of the `n`-th previous
+    /// basket (`n ≥ 1`), with `N = max_prev_transactions`.
+    pub fn markov_weight(&self, n: usize) -> f32 {
+        debug_assert!(n >= 1);
+        let big_n = self.max_prev_transactions.max(1) as f32;
+        self.alpha * (-(n as f32) / big_n).exp()
+    }
+
+    /// Validate ranges, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.factors == 0 {
+            return Err("factors must be >= 1".into());
+        }
+        if self.taxonomy_update_levels == 0 {
+            return Err("taxonomy_update_levels must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.sibling_mix) {
+            return Err(format!("sibling_mix {} outside [0,1]", self.sibling_mix));
+        }
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(format!("learning_rate {} must be positive", self.learning_rate));
+        }
+        if self.lambda < 0.0 || !self.lambda.is_finite() {
+            return Err(format!("lambda {} must be non-negative", self.lambda));
+        }
+        if self.negatives_per_positive == 0 {
+            return Err("negatives_per_positive must be >= 1".into());
+        }
+        if self.node_init_sigma < 0.0 || !self.node_init_sigma.is_finite() {
+            return Err(format!(
+                "node_init_sigma {} must be non-negative",
+                self.node_init_sigma
+            ));
+        }
+        if let Some(th) = self.cache_threshold {
+            if th < 0.0 || !th.is_finite() {
+                return Err(format!("cache_threshold {th} must be non-negative"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Short system name in the paper's notation, e.g. `TF(4,1)` / `MF(0)`.
+    pub fn system_name(&self) -> String {
+        if self.taxonomy_update_levels == 1 {
+            format!("MF({})", self.max_prev_transactions)
+        } else {
+            format!(
+                "TF({},{})",
+                self.taxonomy_update_levels, self.max_prev_transactions
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tf_and_mf_constructors() {
+        let tf = ModelConfig::tf(4, 2);
+        assert_eq!(tf.taxonomy_update_levels, 4);
+        assert_eq!(tf.max_prev_transactions, 2);
+        assert_eq!(tf.system_name(), "TF(4,2)");
+        let mf = ModelConfig::mf(1);
+        assert_eq!(mf.taxonomy_update_levels, 1);
+        assert_eq!(mf.sibling_mix, 0.0);
+        assert_eq!(mf.system_name(), "MF(1)");
+    }
+
+    #[test]
+    fn markov_weights_decay() {
+        let cfg = ModelConfig::tf(4, 3);
+        assert!(cfg.markov_weight(1) > cfg.markov_weight(2));
+        assert!(cfg.markov_weight(2) > cfg.markov_weight(3));
+        assert!(cfg.markov_weight(1) <= cfg.alpha);
+    }
+
+    #[test]
+    fn default_validates() {
+        assert!(ModelConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(ModelConfig { factors: 0, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig { taxonomy_update_levels: 0, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig { sibling_mix: 1.5, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig { learning_rate: -0.1, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig { lambda: f32::NAN, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig { negatives_per_positive: 0, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig { cache_threshold: Some(-1.0), ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ModelConfig::tf(3, 1)
+            .with_factors(32)
+            .with_epochs(5)
+            .with_learning_rate(0.1)
+            .with_lambda(0.02)
+            .with_sibling_mix(0.25)
+            .with_cache_threshold(Some(0.1));
+        assert_eq!(c.factors, 32);
+        assert_eq!(c.epochs, 5);
+        assert_eq!(c.cache_threshold, Some(0.1));
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,361 @@
+//! Dynamic-catalog and online operations: the production concerns the
+//! paper motivates ("new items are released continuously", users arrive
+//! after training) turned into API.
+//!
+//! * [`TfModel::with_added_item`] — register a just-released product
+//!   under its category. Its offsets start at the prior mean 0, so its
+//!   effective factor *is* its category's (the paper's Fig. 7c
+//!   estimate); later training refines it.
+//! * [`fold_in_user`] — compute a factor for a user who was not in the
+//!   training matrix, by running the user-gradient-only BPR updates
+//!   against the frozen item factors. The standard fold-in trick for
+//!   latent factor models; no other parameter moves.
+//! * [`TfTrainer::resume`] — warm-start training of an existing model on
+//!   new data (more epochs, new transactions), preserving learned state.
+
+use crate::config::ModelConfig;
+use crate::model::TfModel;
+use crate::scoring::Scorer;
+use crate::train::sampler::sample_negative;
+use crate::train::{TfTrainer, TrainStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use taxrec_dataset::{PurchaseLog, Transaction};
+use taxrec_factors::{ops, FactorMatrix};
+use taxrec_taxonomy::{ItemId, NodeId, PathTable, TaxonomyError};
+
+impl TfModel {
+    /// Extend the model with a newly released item under `parent`
+    /// (an interior category node). Existing ids and factors are
+    /// untouched; the new node's offsets start at 0 in both matrices.
+    pub fn with_added_item(
+        &self,
+        parent: NodeId,
+    ) -> Result<(TfModel, ItemId), TaxonomyError> {
+        let (tax, _node, item) = self.taxonomy().with_added_leaf(parent)?;
+        let tax = Arc::new(tax);
+        let k = self.k();
+        let grow = |m: &FactorMatrix| {
+            let mut g = FactorMatrix::zeros(m.rows() + 1, k);
+            g.as_mut_slice()[..m.rows() * k].copy_from_slice(m.as_slice());
+            g
+        };
+        let paths = PathTable::build(&tax, self.config().taxonomy_update_levels);
+        let model = TfModel {
+            node_factors: grow(&self.node_factors),
+            next_factors: grow(&self.next_factors),
+            user_factors: self.user_factors.clone(),
+            config: self.config().clone(),
+            cutoff_level: self.cutoff_level(),
+            paths,
+            taxonomy: tax,
+        };
+        Ok((model, item))
+    }
+}
+
+/// Compute a latent factor for an out-of-matrix user from their observed
+/// transactions, against frozen item factors.
+///
+/// Runs `steps` BPR steps updating only the user vector: sample a
+/// purchase `(t, i)`, a catalog negative `j`, and ascend
+/// `ln σ(s_t(i) − s_t(j))` in the user coordinate. Returns the folded-in
+/// factor; score with [`folded_user_query`].
+pub fn fold_in_user(
+    scorer: &Scorer<'_>,
+    history: &[Transaction],
+    steps: usize,
+    seed: u64,
+) -> Vec<f32> {
+    let model = scorer.model();
+    let cfg = model.config();
+    let k = model.k();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v_u = vec![0.0f32; k];
+    // Start at the prior mean; the Gaussian user init only exists to
+    // break symmetry during joint training, which is not a concern here.
+    let purchases: Vec<(usize, ItemId)> = history
+        .iter()
+        .enumerate()
+        .flat_map(|(t, basket)| basket.iter().map(move |&i| (t, i)))
+        .collect();
+    if purchases.is_empty() {
+        return v_u;
+    }
+    let n_items = model.num_items();
+    let mut q = vec![0.0f32; k];
+    let mut diff = vec![0.0f32; k];
+    for _ in 0..steps {
+        let &(t, i) = &purchases[rng.gen_range(0..purchases.len())];
+        let basket = &history[t];
+        let Some(j) = sample_negative(basket, n_items, &mut rng) else {
+            continue;
+        };
+        // q = v_u + Markov term over history[..t] (frozen next factors).
+        q.copy_from_slice(&v_u);
+        if cfg.max_prev_transactions > 0 {
+            let hist = &history[..t];
+            for n in 1..=cfg.max_prev_transactions.min(hist.len()) {
+                let b = &hist[hist.len() - n];
+                if b.is_empty() {
+                    continue;
+                }
+                let w = cfg.markov_weight(n) / b.len() as f32;
+                for &l in b {
+                    ops::axpy(w, scorer.next_item_factor(l), &mut q);
+                }
+            }
+        }
+        let vi = scorer.item_factor(i);
+        let vj = scorer.item_factor(j);
+        ops::sub_into(vi, vj, &mut diff);
+        let c = 1.0 - ops::sigmoid(ops::dot(&q, vi) - ops::dot(&q, vj));
+        for z in 0..k {
+            v_u[z] += cfg.learning_rate * (c * diff[z] - cfg.lambda * v_u[z]);
+        }
+    }
+    v_u
+}
+
+/// Build the query vector for a folded-in user (the analogue of
+/// [`Scorer::query`] with an external user factor).
+pub fn folded_user_query(
+    scorer: &Scorer<'_>,
+    user_factor: &[f32],
+    history: &[Transaction],
+) -> Vec<f32> {
+    let model = scorer.model();
+    let cfg = model.config();
+    let mut q = user_factor.to_vec();
+    if cfg.max_prev_transactions > 0 {
+        for n in 1..=cfg.max_prev_transactions.min(history.len()) {
+            let b = &history[history.len() - n];
+            if b.is_empty() {
+                continue;
+            }
+            let w = cfg.markov_weight(n) / b.len() as f32;
+            for &l in b {
+                ops::axpy(w, scorer.next_item_factor(l), &mut q);
+            }
+        }
+    }
+    q
+}
+
+impl TfTrainer {
+    /// Warm-start: continue training `model` on `train` for
+    /// `self.config().epochs` more epochs. The model's learned factors
+    /// are the starting point; the trainer's config drives the run (and
+    /// must agree with the model on `K`, `U` and the taxonomy).
+    ///
+    /// `train` may contain more users than the model knows; new user
+    /// rows are appended with the standard Gaussian init.
+    ///
+    /// # Panics
+    /// If `K`/`U` disagree or the taxonomy differs.
+    pub fn resume(
+        &self,
+        model: &TfModel,
+        train: &PurchaseLog,
+        seed: u64,
+        threads: usize,
+    ) -> (TfModel, TrainStats) {
+        let cfg: &ModelConfig = self.config();
+        assert_eq!(cfg.factors, model.k(), "factor dim mismatch");
+        assert_eq!(
+            cfg.taxonomy_update_levels,
+            model.config().taxonomy_update_levels,
+            "taxonomyUpdateLevels mismatch"
+        );
+        assert_eq!(
+            self.taxonomy_ref().num_nodes(),
+            model.taxonomy().num_nodes(),
+            "taxonomy mismatch"
+        );
+        assert!(
+            train.num_users() >= model.num_users(),
+            "warm-start log must cover the model's users"
+        );
+        // Seed matrices from the model, growing the user matrix if the
+        // log brings new users.
+        let mut user_factors = FactorMatrix::zeros(train.num_users(), cfg.factors);
+        user_factors.as_mut_slice()[..model.user_factors.as_slice().len()]
+            .copy_from_slice(model.user_factors.as_slice());
+        if train.num_users() > model.num_users() {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let fresh = FactorMatrix::gaussian(
+                train.num_users() - model.num_users(),
+                cfg.factors,
+                cfg.init_sigma,
+                &mut rng,
+            );
+            user_factors.as_mut_slice()[model.user_factors.as_slice().len()..]
+                .copy_from_slice(fresh.as_slice());
+        }
+        let warm = TfModel {
+            taxonomy: model.taxonomy_arc(),
+            config: cfg.clone(),
+            user_factors,
+            node_factors: model.node_factors.clone(),
+            next_factors: model.next_factors.clone(),
+            paths: PathTable::build(model.taxonomy(), cfg.taxonomy_update_levels),
+            cutoff_level: model.cutoff_level(),
+        };
+        self.fit_parallel_from(warm, train, seed, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, EvalConfig};
+    use crate::metrics;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn data() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny().with_users(1200), 31)
+    }
+
+    fn trained(d: &SyntheticDataset, epochs: usize) -> TfModel {
+        TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(8).with_epochs(epochs),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 2)
+    }
+
+    #[test]
+    fn added_item_scores_like_its_category() {
+        let d = data();
+        let m = trained(&d, 8);
+        let parent = {
+            // Lowest category level: parent of item 0.
+            let tax = m.taxonomy();
+            tax.parent(tax.item_node(ItemId(0))).unwrap()
+        };
+        let (m2, new_item) = m.with_added_item(parent).unwrap();
+        assert_eq!(m2.num_items(), m.num_items() + 1);
+        let s2 = Scorer::new(&m2);
+        let q = s2.query(0, d.train.user(0));
+        // Effective factor of the new item == its parent category's.
+        let got = s2.score_item(&q, new_item);
+        let want = s2.score_node(&q, parent);
+        assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+        // Old items keep their exact scores.
+        let s1 = Scorer::new(&m);
+        let q1 = s1.query(0, d.train.user(0));
+        for i in [0u32, 7, 200] {
+            assert!((s1.score_item(&q1, ItemId(i)) - s2.score_item(&q, ItemId(i))).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn added_item_requires_interior_parent() {
+        let d = data();
+        let m = trained(&d, 1);
+        let leaf = m.taxonomy().item_node(ItemId(3));
+        assert!(m.with_added_item(leaf).is_err());
+    }
+
+    #[test]
+    fn fold_in_beats_zero_vector() {
+        let d = data();
+        let m = trained(&d, 10);
+        let scorer = Scorer::new(&m);
+        // Take a real user's history as the "new" user; fold in on all
+        // but the last transaction, test on the last.
+        let mut auc_folded = 0.0f64;
+        let mut auc_zero = 0.0f64;
+        let mut total = 0usize;
+        for u in 0..d.train.num_users().min(250) {
+            let hist = d.train.user(u);
+            if hist.len() < 3 {
+                continue;
+            }
+            let (past, target) = hist.split_at(hist.len() - 1);
+            let v = fold_in_user(&scorer, past, 400, 7);
+            let q_folded = folded_user_query(&scorer, &v, past);
+            let q_zero = folded_user_query(&scorer, &vec![0.0; m.k()], past);
+            let sf = scorer.score_all_items(&q_folded);
+            let sz = scorer.score_all_items(&q_zero);
+            let pos: Vec<usize> = target[0].iter().map(|i| i.index()).collect();
+            let (Some(af), Some(az)) = (metrics::auc(&sf, &pos), metrics::auc(&sz, &pos)) else {
+                continue;
+            };
+            total += 1;
+            auc_folded += af;
+            auc_zero += az;
+        }
+        assert!(total >= 30, "not enough evaluable users ({total})");
+        let (mf, mz) = (auc_folded / total as f64, auc_zero / total as f64);
+        assert!(
+            mf > mz + 0.01,
+            "fold-in mean AUC {mf:.4} must beat history-only baseline {mz:.4} over {total} users"
+        );
+    }
+
+    #[test]
+    fn fold_in_empty_history_is_zero() {
+        let d = data();
+        let m = trained(&d, 1);
+        let scorer = Scorer::new(&m);
+        let v = fold_in_user(&scorer, &[], 100, 1);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn resume_improves_or_matches_short_run() {
+        let d = data();
+        // 3 epochs cold vs 3 cold + 5 resumed: the resumed model must be
+        // at least as good as the short run.
+        let short = trained(&d, 3);
+        let resumed = {
+            let t = TfTrainer::new(
+                ModelConfig::tf(4, 1).with_factors(8).with_epochs(5),
+                &d.taxonomy,
+            );
+            t.resume(&short, &d.train, 9, 2).0
+        };
+        let cfg = EvalConfig::fast();
+        let a_short = evaluate(&short, &d.train, &d.test, &cfg).auc.unwrap();
+        let a_resumed = evaluate(&resumed, &d.train, &d.test, &cfg).auc.unwrap();
+        assert!(
+            a_resumed > a_short - 0.01,
+            "resume regressed: {a_short:.4} -> {a_resumed:.4}"
+        );
+    }
+
+    #[test]
+    fn resume_grows_user_matrix_for_new_users() {
+        let d = data();
+        let m = trained(&d, 2);
+        // Extend the log with 50 extra users cloned from the originals.
+        let mut b = taxrec_dataset::PurchaseLogBuilder::new();
+        for (_, h) in d.train.iter_users() {
+            b.push_user(h.to_vec());
+        }
+        for u in 0..50 {
+            b.push_user(d.train.user(u).to_vec());
+        }
+        let bigger = b.build();
+        let t = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(8).with_epochs(1),
+            &d.taxonomy,
+        );
+        let (m2, _) = t.resume(&m, &bigger, 3, 2);
+        assert_eq!(m2.num_users(), bigger.num_users());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor dim mismatch")]
+    fn resume_rejects_k_mismatch() {
+        let d = data();
+        let m = trained(&d, 1);
+        let t = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(16).with_epochs(1),
+            &d.taxonomy,
+        );
+        let _ = t.resume(&m, &d.train, 1, 1);
+    }
+}

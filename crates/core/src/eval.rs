@@ -1,0 +1,553 @@
+//! Evaluation harness (Sec. 7.1, 7.3): per-user ranking metrics over a
+//! train/test split, computed in parallel shards over users (the paper
+//! parallelised this over Hadoop; one machine, many threads here).
+//!
+//! Protocol, following the paper:
+//! * the **first** test transaction of each user is the prediction target
+//!   (`T = 1`);
+//! * the Markov term conditions on the user's *training* history;
+//! * candidates are the full catalog (repeat purchases were already
+//!   removed from test at split time);
+//! * category-level metrics roll test items up to their ancestor at a
+//!   chosen level and rank that level's nodes;
+//! * cold-start metrics restrict to test items never seen in training.
+
+use crate::metrics::{self, MeanAccumulator};
+use crate::model::TfModel;
+use crate::scoring::Scorer;
+use taxrec_dataset::PurchaseLog;
+use taxrec_taxonomy::NodeId;
+
+/// What to evaluate and with how many threads.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Worker threads sharding the user set.
+    pub threads: usize,
+    /// Taxonomy level for category-level metrics (1 = top categories);
+    /// `None` skips them.
+    pub category_level: Option<usize>,
+    /// Compute cold-start (never-trained item) rank metrics.
+    pub cold_start: bool,
+    /// `k` for hit@k.
+    pub hit_k: usize,
+    /// Evaluate at most this many users (prefix), e.g. for quick sweeps.
+    pub max_users: Option<usize>,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            threads: 4,
+            category_level: Some(1),
+            cold_start: true,
+            hit_k: 10,
+            max_users: None,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Minimal single-threaded config (unit tests).
+    pub fn fast() -> Self {
+        EvalConfig {
+            threads: 1,
+            category_level: None,
+            cold_start: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregated evaluation metrics. All means are user-averaged (then
+/// item-averaged within a user), matching the paper's "average AUC" /
+/// "average meanRank".
+#[derive(Debug, Clone, Default)]
+pub struct EvalResult {
+    /// Average AUC at the item level (Fig. 6a/e, 7a/b/d/f).
+    pub auc: Option<f64>,
+    /// Average mean rank at the item level (Fig. 6b).
+    pub mean_rank: Option<f64>,
+    /// Average hit@k.
+    pub hit_at_k: Option<f64>,
+    /// Mean reciprocal rank.
+    pub mrr: Option<f64>,
+    /// Average AUC at the category level (Fig. 6c).
+    pub category_auc: Option<f64>,
+    /// Average mean rank at the category level (Fig. 6d).
+    pub category_mean_rank: Option<f64>,
+    /// Cold items: mean raw rank (lower is better).
+    pub cold_mean_rank: Option<f64>,
+    /// Cold items: mean normalised rank `(n − rank)/(n − 1)` ∈ [0, 1]
+    /// (higher is better — the Fig. 7c "average new rank" axis).
+    pub cold_norm_rank: Option<f64>,
+    /// Cold purchases scored.
+    pub cold_count: u64,
+    /// Users contributing to the item-level metrics.
+    pub users_evaluated: u64,
+}
+
+/// Evaluate `model` on a split.
+///
+/// # Panics
+/// If `train` and `test` disagree on the user count.
+pub fn evaluate(
+    model: &TfModel,
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    config: &EvalConfig,
+) -> EvalResult {
+    assert_eq!(
+        train.num_users(),
+        test.num_users(),
+        "train/test must cover the same users"
+    );
+    let scorer = Scorer::new(model);
+    evaluate_with_scorer(&scorer, train, test, config)
+}
+
+/// [`evaluate`] against a prebuilt scorer (reuse across sweeps).
+pub fn evaluate_with_scorer(
+    scorer: &Scorer<'_>,
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    config: &EvalConfig,
+) -> EvalResult {
+    let model = scorer.model();
+    let num_users = train
+        .num_users()
+        .min(config.max_users.unwrap_or(usize::MAX));
+    let threads = config.threads.max(1).min(num_users.max(1));
+
+    // Cold item mask: never purchased in train, by any user.
+    let cold_mask: Option<Vec<bool>> = config.cold_start.then(|| {
+        let mut seen = vec![false; model.num_items()];
+        for (_, hist) in train.iter_users() {
+            for t in hist {
+                for &i in t {
+                    seen[i.index()] = true;
+                }
+            }
+        }
+        seen.iter().map(|&s| !s).collect()
+    });
+
+    // Category-level node index: position of each level node in the score
+    // array.
+    let cat_level = config.category_level;
+    let cat_nodes: Vec<u32> = cat_level
+        .map(|l| model.taxonomy().nodes_at_level(l).to_vec())
+        .unwrap_or_default();
+
+    let shard_size = num_users.div_ceil(threads);
+    let shards: Vec<Shard> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let lo = w * shard_size;
+            let hi = ((w + 1) * shard_size).min(num_users);
+            let cold_mask = cold_mask.as_deref();
+            let cat_nodes = cat_nodes.as_slice();
+            handles.push(scope.spawn(move || {
+                eval_shard(
+                    scorer, train, test, lo, hi, config, cold_mask, cat_nodes,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation shard panicked"))
+            .collect()
+    });
+
+    let mut total = Shard::default();
+    for s in shards {
+        total.merge(s);
+    }
+    total.into_result()
+}
+
+/// Per-shard accumulators.
+#[derive(Debug, Default)]
+struct Shard {
+    auc: MeanAccumulator,
+    mean_rank: MeanAccumulator,
+    hit: MeanAccumulator,
+    mrr: MeanAccumulator,
+    cat_auc: MeanAccumulator,
+    cat_rank: MeanAccumulator,
+    cold_rank: MeanAccumulator,
+    cold_norm: MeanAccumulator,
+}
+
+impl Shard {
+    fn merge(&mut self, o: Shard) {
+        self.auc.merge(o.auc);
+        self.mean_rank.merge(o.mean_rank);
+        self.hit.merge(o.hit);
+        self.mrr.merge(o.mrr);
+        self.cat_auc.merge(o.cat_auc);
+        self.cat_rank.merge(o.cat_rank);
+        self.cold_rank.merge(o.cold_rank);
+        self.cold_norm.merge(o.cold_norm);
+    }
+
+    fn into_result(self) -> EvalResult {
+        EvalResult {
+            auc: self.auc.mean(),
+            mean_rank: self.mean_rank.mean(),
+            hit_at_k: self.hit.mean(),
+            mrr: self.mrr.mean(),
+            category_auc: self.cat_auc.mean(),
+            category_mean_rank: self.cat_rank.mean(),
+            cold_mean_rank: self.cold_rank.mean(),
+            cold_norm_rank: self.cold_norm.mean(),
+            cold_count: self.cold_rank.count(),
+            users_evaluated: self.auc.count(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_shard(
+    scorer: &Scorer<'_>,
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    lo: usize,
+    hi: usize,
+    config: &EvalConfig,
+    cold_mask: Option<&[bool]>,
+    cat_nodes: &[u32],
+) -> Shard {
+    let model = scorer.model();
+    let n_items = model.num_items();
+    let mut shard = Shard::default();
+    let mut q = vec![0.0f32; model.k()];
+    let mut scores = vec![0.0f32; n_items];
+    let mut cat_scores = vec![0.0f32; cat_nodes.len()];
+
+    for u in lo..hi {
+        let target = match test.user(u).first() {
+            Some(t) if !t.is_empty() => t,
+            _ => continue,
+        };
+        let history = train.user(u);
+        scorer.query_into(u, history, &mut q);
+        scorer.score_all_items_into(&q, &mut scores);
+
+        let positives: Vec<usize> = target.iter().map(|i| i.index()).collect();
+        if let Some(a) = metrics::auc(&scores, &positives) {
+            shard.auc.push(a);
+        }
+        if let Some(r) = metrics::mean_rank(&scores, &positives) {
+            shard.mean_rank.push(r);
+        }
+        if let Some(h) = metrics::hit_at_k(&scores, &positives, config.hit_k) {
+            shard.hit.push(h);
+        }
+        if let Some(m) = metrics::mrr(&scores, &positives) {
+            shard.mrr.push(m);
+        }
+
+        // Category level.
+        if let Some(level) = config.category_level {
+            let tax = model.taxonomy();
+            for (z, &n) in cat_nodes.iter().enumerate() {
+                cat_scores[z] = scorer.score_node(&q, NodeId(n));
+            }
+            let mut cat_pos: Vec<usize> = target
+                .iter()
+                .map(|&i| {
+                    let anc = tax.ancestor_at_level(tax.item_node(i), level);
+                    cat_nodes
+                        .iter()
+                        .position(|&n| n == anc.0)
+                        .expect("ancestor must be a level node")
+                })
+                .collect();
+            cat_pos.sort_unstable();
+            cat_pos.dedup();
+            if let Some(a) = metrics::auc(&cat_scores, &cat_pos) {
+                shard.cat_auc.push(a);
+            }
+            if let Some(r) = metrics::mean_rank(&cat_scores, &cat_pos) {
+                shard.cat_rank.push(r);
+            }
+        }
+
+        // Cold start.
+        if let Some(mask) = cold_mask {
+            for &p in &positives {
+                if mask[p] {
+                    let r = metrics::rank_of(&scores, p);
+                    shard.cold_rank.push(r);
+                    if n_items > 1 {
+                        shard
+                            .cold_norm
+                            .push((n_items as f64 - r) / (n_items as f64 - 1.0));
+                    }
+                }
+            }
+        }
+    }
+    shard
+}
+
+/// Result of evaluating cascaded inference against the exhaustive
+/// baseline (the Fig. 8c/d protocol).
+#[derive(Debug, Clone)]
+pub struct CascadeEvalResult {
+    /// User-averaged AUC of the cascaded ranking (pruned items treated
+    /// as tied at the bottom).
+    pub cascaded_auc: Option<f64>,
+    /// User-averaged AUC of exhaustive scoring on the same users.
+    pub exhaustive_auc: Option<f64>,
+    /// Total taxonomy nodes scored by the cascade.
+    pub cascaded_nodes: u64,
+    /// Total leaf scores the exhaustive pass needed (`users × items`).
+    pub exhaustive_nodes: u64,
+    /// Users contributing to the averages.
+    pub users_evaluated: u64,
+}
+
+impl CascadeEvalResult {
+    /// `AUC(cascade) / AUC(exhaustive)` — the paper's accuracy ratio.
+    pub fn accuracy_ratio(&self) -> Option<f64> {
+        match (self.cascaded_auc, self.exhaustive_auc) {
+            (Some(c), Some(e)) if e > 0.0 => Some(c / e),
+            _ => None,
+        }
+    }
+
+    /// Scored-node ratio — the work measure behind the time ratio.
+    pub fn work_ratio(&self) -> f64 {
+        self.cascaded_nodes as f64 / (self.exhaustive_nodes.max(1)) as f64
+    }
+}
+
+/// Evaluate cascaded inference vs exhaustive scoring over the standard
+/// protocol (first test transaction per user).
+pub fn evaluate_cascaded(
+    scorer: &Scorer<'_>,
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    cascade_config: &crate::inference::CascadeConfig,
+    max_users: Option<usize>,
+) -> CascadeEvalResult {
+    assert_eq!(train.num_users(), test.num_users());
+    let model = scorer.model();
+    let n_items = model.num_items();
+    let mut q = vec![0.0f32; model.k()];
+    let mut scores = vec![0.0f32; n_items];
+    let mut casc = MeanAccumulator::default();
+    let mut exact = MeanAccumulator::default();
+    let mut cascaded_nodes = 0u64;
+    let mut exhaustive_nodes = 0u64;
+    let limit = max_users.unwrap_or(usize::MAX);
+    let mut used = 0usize;
+    for u in 0..train.num_users() {
+        if used >= limit {
+            break;
+        }
+        let Some(target) = test.user(u).first().filter(|t| !t.is_empty()) else {
+            continue;
+        };
+        used += 1;
+        scorer.query_into(u, train.user(u), &mut q);
+        // Exhaustive.
+        scorer.score_all_items_into(&q, &mut scores);
+        exhaustive_nodes += n_items as u64;
+        let positives: Vec<usize> = target.iter().map(|i| i.index()).collect();
+        if let Some(a) = metrics::auc(&scores, &positives) {
+            exact.push(a);
+        }
+        // Cascaded.
+        let res = crate::inference::cascade(scorer, &q, cascade_config);
+        cascaded_nodes += res.scored_nodes as u64;
+        if let Some(a) = crate::inference::cascaded_auc(&res, n_items, target) {
+            casc.push(a);
+        }
+    }
+    CascadeEvalResult {
+        cascaded_auc: casc.mean(),
+        exhaustive_auc: exact.mean(),
+        cascaded_nodes,
+        exhaustive_nodes,
+        users_evaluated: casc.count(),
+    }
+}
+
+/// Evaluate a *static* global ranking (e.g. popularity) with the same
+/// protocol — the trivial baseline every personalised model must beat.
+pub fn evaluate_static(
+    global_scores: &[f32],
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    hit_k: usize,
+) -> EvalResult {
+    assert_eq!(train.num_users(), test.num_users());
+    let mut shard = Shard::default();
+    for u in 0..train.num_users() {
+        let target = match test.user(u).first() {
+            Some(t) if !t.is_empty() => t,
+            _ => continue,
+        };
+        let positives: Vec<usize> = target.iter().map(|i| i.index()).collect();
+        if let Some(a) = metrics::auc(global_scores, &positives) {
+            shard.auc.push(a);
+        }
+        if let Some(r) = metrics::mean_rank(global_scores, &positives) {
+            shard.mean_rank.push(r);
+        }
+        if let Some(h) = metrics::hit_at_k(global_scores, &positives, hit_k) {
+            shard.hit.push(h);
+        }
+        if let Some(m) = metrics::mrr(global_scores, &positives) {
+            shard.mrr.push(m);
+        }
+    }
+    shard.into_result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::train::TfTrainer;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn data() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny(), 123)
+    }
+
+    fn trained(d: &SyntheticDataset, cfg: ModelConfig) -> TfModel {
+        TfTrainer::new(cfg, &d.taxonomy).fit(&d.train, 11)
+    }
+
+    use crate::model::TfModel;
+
+    #[test]
+    fn evaluate_produces_metrics_in_range() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(4, 0).with_factors(8).with_epochs(5));
+        let r = evaluate(&m, &d.train, &d.test, &EvalConfig::default());
+        let auc = r.auc.expect("some users must be evaluable");
+        assert!((0.0..=1.0).contains(&auc));
+        assert!(r.mean_rank.unwrap() >= 1.0);
+        assert!(r.mean_rank.unwrap() <= d.taxonomy.num_items() as f64);
+        assert!(r.users_evaluated > 0);
+        let cauc = r.category_auc.expect("category metrics requested");
+        assert!((0.0..=1.0).contains(&cauc));
+    }
+
+    #[test]
+    fn trained_model_beats_chance() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(4, 0).with_factors(8).with_epochs(10));
+        let r = evaluate(&m, &d.train, &d.test, &EvalConfig::default());
+        assert!(
+            r.auc.unwrap() > 0.55,
+            "trained AUC {} not above chance",
+            r.auc.unwrap()
+        );
+    }
+
+    #[test]
+    fn untrained_model_near_chance() {
+        let d = data();
+        let m = crate::train::untrained_model(
+            ModelConfig::tf(4, 0).with_factors(8),
+            &d.taxonomy,
+            d.train.num_users(),
+            3,
+        );
+        let r = evaluate(&m, &d.train, &d.test, &EvalConfig::fast());
+        let auc = r.auc.unwrap();
+        assert!((0.35..0.65).contains(&auc), "untrained AUC {auc}");
+    }
+
+    #[test]
+    fn parallel_eval_matches_serial() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(4, 0).with_factors(4).with_epochs(3));
+        let serial = evaluate(&m, &d.train, &d.test, &EvalConfig { threads: 1, ..Default::default() });
+        let parallel = evaluate(&m, &d.train, &d.test, &EvalConfig { threads: 4, ..Default::default() });
+        assert_eq!(serial.users_evaluated, parallel.users_evaluated);
+        assert!((serial.auc.unwrap() - parallel.auc.unwrap()).abs() < 1e-12);
+        assert!((serial.mean_rank.unwrap() - parallel.mean_rank.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_users_limits_work() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(4, 0).with_factors(4).with_epochs(2));
+        let r = evaluate(
+            &m,
+            &d.train,
+            &d.test,
+            &EvalConfig { max_users: Some(10), ..EvalConfig::fast() },
+        );
+        assert!(r.users_evaluated <= 10);
+    }
+
+    #[test]
+    fn cold_metrics_when_cold_items_exist() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(4, 0).with_factors(4).with_epochs(2));
+        let r = evaluate(
+            &m,
+            &d.train,
+            &d.test,
+            &EvalConfig { cold_start: true, ..EvalConfig::default() },
+        );
+        // The tiny dataset reliably produces some cold purchases.
+        if r.cold_count > 0 {
+            let nr = r.cold_norm_rank.unwrap();
+            assert!((0.0..=1.0).contains(&nr));
+            assert!(r.cold_mean_rank.unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn static_popularity_beats_chance() {
+        let d = data();
+        let pop = taxrec_dataset::stats::item_popularity(&d.train, d.taxonomy.num_items());
+        let scores: Vec<f32> = pop.iter().map(|&c| c as f32).collect();
+        let r = evaluate_static(&scores, &d.train, &d.test, 10);
+        assert!(r.auc.unwrap() > 0.5, "popularity AUC {}", r.auc.unwrap());
+    }
+
+    #[test]
+    fn cascaded_eval_full_beam_matches_exhaustive() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(4, 0).with_factors(8).with_epochs(5));
+        let scorer = crate::scoring::Scorer::new(&m);
+        let cfg = crate::inference::CascadeConfig::uniform(m.taxonomy().depth(), 1.0);
+        let r = evaluate_cascaded(&scorer, &d.train, &d.test, &cfg, Some(120));
+        assert!(r.users_evaluated > 0);
+        let ratio = r.accuracy_ratio().unwrap();
+        assert!((ratio - 1.0).abs() < 0.01, "full-beam ratio {ratio}");
+        // Full cascade scores interior nodes too, so it does *more* work
+        // than exhaustive leaf scoring.
+        assert!(r.work_ratio() > 1.0);
+    }
+
+    #[test]
+    fn cascaded_eval_narrow_beam_does_less_work() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(4, 0).with_factors(8).with_epochs(5));
+        let scorer = crate::scoring::Scorer::new(&m);
+        let cfg = crate::inference::CascadeConfig::uniform(m.taxonomy().depth(), 0.1);
+        let r = evaluate_cascaded(&scorer, &d.train, &d.test, &cfg, Some(120));
+        assert!(r.work_ratio() < 0.5, "work ratio {}", r.work_ratio());
+        let ratio = r.accuracy_ratio().unwrap();
+        assert!(ratio > 0.6 && ratio <= 1.05, "accuracy ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same users")]
+    fn mismatched_split_panics() {
+        let d = data();
+        let m = trained(&d, ModelConfig::tf(2, 0).with_epochs(1));
+        let empty = taxrec_dataset::PurchaseLogBuilder::new().build();
+        let _ = evaluate(&m, &d.train, &empty, &EvalConfig::fast());
+    }
+}

@@ -1,0 +1,338 @@
+//! Cascaded inference (Sec. 5.1): top-down beam ranking through the
+//! taxonomy.
+//!
+//! Exhaustive inference scores every item (`num_items` dot products per
+//! user). Cascaded inference instead ranks the taxonomy level by level:
+//! score the nodes of level 1, keep the best `k₁·size(1)`, expand only
+//! their children, and recurse. The kept fractions trade accuracy for
+//! work — Fig. 8(c,d) — and the per-level rankings double as the paper's
+//! "structured" (category-level) recommendations.
+
+use crate::scoring::Scorer;
+use std::cmp::Ordering;
+use taxrec_taxonomy::{ItemId, NodeId};
+
+/// Per-level keep fractions `k_i ∈ [0, 1]` for levels `1..=depth`.
+///
+/// `n_i = max(1, ⌈k_i · size(level i)⌉)` nodes are kept at level `i`
+/// (clamped to the current frontier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeConfig {
+    /// One fraction per taxonomy level below the root.
+    pub keep_fractions: Vec<f64>,
+}
+
+impl CascadeConfig {
+    /// Same fraction at every level (`depth` levels below the root) —
+    /// the sweep of Fig. 8(c).
+    pub fn uniform(depth: usize, k: f64) -> Self {
+        CascadeConfig {
+            keep_fractions: vec![k; depth],
+        }
+    }
+
+    /// Full fan-out above the leaves, fraction `k` at the leaf level —
+    /// the monotone variant of Fig. 8(d).
+    pub fn leaf_only(depth: usize, k: f64) -> Self {
+        let mut keep_fractions = vec![1.0; depth];
+        if let Some(last) = keep_fractions.last_mut() {
+            *last = k;
+        }
+        CascadeConfig { keep_fractions }
+    }
+
+    fn fraction(&self, level: usize) -> f64 {
+        // level is 1-based below the root.
+        self.keep_fractions
+            .get(level - 1)
+            .copied()
+            .unwrap_or(1.0)
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// Outcome of one cascaded inference pass.
+#[derive(Debug, Clone)]
+pub struct CascadeResult {
+    /// Ranked items that survived to the leaf level, best first.
+    pub items: Vec<(ItemId, f32)>,
+    /// Ranked kept nodes per level (index 0 = taxonomy level 1) — the
+    /// structured category recommendation.
+    pub per_level: Vec<Vec<(NodeId, f32)>>,
+    /// Number of nodes scored — the work measure for the time/accuracy
+    /// trade-off (exhaustive inference scores `num_items` leaves).
+    pub scored_nodes: usize,
+}
+
+impl CascadeResult {
+    /// Whether `item` survived the cascade.
+    pub fn reached(&self, item: ItemId) -> bool {
+        self.items.iter().any(|(i, _)| *i == item)
+    }
+}
+
+/// Run cascaded inference for a prepared query vector.
+pub fn cascade(scorer: &Scorer<'_>, query: &[f32], config: &CascadeConfig) -> CascadeResult {
+    let tax = scorer.model().taxonomy();
+    let depth = tax.depth();
+    let mut per_level: Vec<Vec<(NodeId, f32)>> = Vec::with_capacity(depth);
+    let mut scored_nodes = 0usize;
+
+    // Frontier starts at level 1 (children of the root).
+    let mut frontier: Vec<NodeId> = tax.children_ids(NodeId::ROOT).collect();
+    for level in 1..=depth {
+        let mut scored: Vec<(NodeId, f32)> = frontier
+            .iter()
+            .map(|&n| (n, scorer.score_node(query, n)))
+            .collect();
+        scored_nodes += scored.len();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+
+        let level_size = tax.nodes_at_level(level).len().max(1);
+        let keep = ((config.fraction(level) * level_size as f64).ceil() as usize)
+            .clamp(if config.fraction(level) > 0.0 { 1 } else { 0 }, scored.len());
+        scored.truncate(keep);
+
+        frontier = scored
+            .iter()
+            .flat_map(|(n, _)| tax.children_ids(*n))
+            .collect();
+        per_level.push(scored);
+    }
+
+    // The last level's kept nodes are leaves = items.
+    let items: Vec<(ItemId, f32)> = per_level
+        .last()
+        .map(|leafs| {
+            leafs
+                .iter()
+                .filter_map(|&(n, s)| tax.node_item(n).map(|i| (i, s)))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    CascadeResult {
+        items,
+        per_level,
+        scored_nodes,
+    }
+}
+
+/// AUC of a cascaded ranking against `positives`, over the full catalog.
+///
+/// Items pruned by the cascade are treated as tied below every survivor
+/// (half credit among themselves), matching how a production system would
+/// back-fill: survivors first, the rest in arbitrary order.
+pub fn cascaded_auc(
+    result: &CascadeResult,
+    num_items: usize,
+    positives: &[ItemId],
+) -> Option<f64> {
+    let n_pos = positives.len();
+    if n_pos == 0 || n_pos >= num_items {
+        return None;
+    }
+    let n_neg = num_items - n_pos;
+    let mut pos_sorted: Vec<ItemId> = positives.to_vec();
+    pos_sorted.sort_unstable();
+
+    let survivors = &result.items; // already sorted desc
+    let is_pos: Vec<bool> = survivors
+        .iter()
+        .map(|(i, _)| pos_sorted.binary_search(i).is_ok())
+        .collect();
+    let pos_in_survivors = is_pos.iter().filter(|&&p| p).count();
+    let pruned_pos = n_pos - pos_in_survivors;
+    let pruned_neg = (num_items - survivors.len()) - pruned_pos;
+
+    // Suffix counts: positives among survivors strictly below each rank.
+    let mut pos_below = 0usize;
+    let mut correct = 0.0f64;
+    for rank in (0..survivors.len()).rev() {
+        if is_pos[rank] {
+            let below = survivors.len() - rank - 1;
+            let neg_below = below - pos_below;
+            correct += (neg_below + pruned_neg) as f64;
+            pos_below += 1;
+        }
+    }
+
+    // Pruned positives: tied with all pruned negatives → half credit.
+    correct += pruned_pos as f64 * (pruned_neg as f64 / 2.0);
+
+    Some(correct / (n_pos as f64 * n_neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::TfModel;
+    use crate::scoring::Scorer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use taxrec_taxonomy::{Taxonomy, TaxonomyGenerator, TaxonomyShape};
+
+    fn tax() -> Arc<Taxonomy> {
+        Arc::new(
+            TaxonomyGenerator::new(TaxonomyShape {
+                level_sizes: vec![4, 8, 16],
+                num_items: 200,
+                item_skew: 0.4,
+            })
+            .generate(&mut StdRng::seed_from_u64(3))
+            .taxonomy,
+        )
+    }
+
+    fn scorer_fixture() -> (TfModel, ()) {
+        // Gaussian node init: inference tests need non-degenerate scores.
+        let cfg = ModelConfig::tf(4, 0).with_factors(6).with_node_init_sigma(0.1);
+        let m = TfModel::init(cfg, tax(), 8, 1);
+        (m, ())
+    }
+
+    #[test]
+    fn full_cascade_equals_exhaustive() {
+        let (m, _) = scorer_fixture();
+        let s = Scorer::new(&m);
+        let q = s.query(0, &[]);
+        let cfg = CascadeConfig::uniform(m.taxonomy().depth(), 1.0);
+        let res = cascade(&s, &q, &cfg);
+        assert_eq!(res.items.len(), m.num_items());
+        // Order must match the exhaustive ranking.
+        let top = s.top_k_items(&q, 10, &[]);
+        for (a, b) in res.items.iter().take(10).zip(&top) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tighter_beam_scores_fewer_nodes() {
+        let (m, _) = scorer_fixture();
+        let s = Scorer::new(&m);
+        let q = s.query(1, &[]);
+        let depth = m.taxonomy().depth();
+        let full = cascade(&s, &q, &CascadeConfig::uniform(depth, 1.0));
+        let half = cascade(&s, &q, &CascadeConfig::uniform(depth, 0.5));
+        let tight = cascade(&s, &q, &CascadeConfig::uniform(depth, 0.1));
+        assert!(half.scored_nodes < full.scored_nodes);
+        assert!(tight.scored_nodes < half.scored_nodes);
+        assert!(tight.items.len() < half.items.len());
+    }
+
+    #[test]
+    fn survivors_are_sorted_and_are_leaves() {
+        let (m, _) = scorer_fixture();
+        let s = Scorer::new(&m);
+        let q = s.query(2, &[]);
+        let res = cascade(&s, &q, &CascadeConfig::uniform(m.taxonomy().depth(), 0.4));
+        for w in res.items.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for (i, _) in &res.items {
+            assert!(m.taxonomy().node_item(m.taxonomy().item_node(*i)) == Some(*i));
+        }
+    }
+
+    #[test]
+    fn per_level_rankings_cover_all_levels() {
+        let (m, _) = scorer_fixture();
+        let s = Scorer::new(&m);
+        let q = s.query(3, &[]);
+        let res = cascade(&s, &q, &CascadeConfig::uniform(m.taxonomy().depth(), 0.6));
+        assert_eq!(res.per_level.len(), m.taxonomy().depth());
+        for (li, level) in res.per_level.iter().enumerate() {
+            assert!(!level.is_empty(), "level {} kept nothing", li + 1);
+            for (n, _) in level {
+                assert_eq!(m.taxonomy().level(*n), li + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_only_config_keeps_upper_levels_full() {
+        let (m, _) = scorer_fixture();
+        let s = Scorer::new(&m);
+        let q = s.query(4, &[]);
+        let depth = m.taxonomy().depth();
+        let res = cascade(&s, &q, &CascadeConfig::leaf_only(depth, 0.3));
+        for (li, level) in res.per_level.iter().enumerate().take(depth - 1) {
+            assert_eq!(
+                level.len(),
+                m.taxonomy().nodes_at_level(li + 1).len(),
+                "level {} pruned",
+                li + 1
+            );
+        }
+        assert!(res.items.len() < m.num_items());
+    }
+
+    #[test]
+    fn cascaded_auc_with_full_beam_matches_exact() {
+        let (m, _) = scorer_fixture();
+        let s = Scorer::new(&m);
+        let q = s.query(5, &[]);
+        let res = cascade(&s, &q, &CascadeConfig::uniform(m.taxonomy().depth(), 1.0));
+        let positives = vec![ItemId(3), ItemId(77)];
+        let scores = s.score_all_items(&q);
+        let exact = crate::metrics::auc(&scores, &[3, 77]).unwrap();
+        let casc = cascaded_auc(&res, m.num_items(), &positives).unwrap();
+        assert!((exact - casc).abs() < 1e-9, "exact {exact} vs cascaded {casc}");
+    }
+
+    #[test]
+    fn cascaded_auc_pruned_positive_gets_half_credit() {
+        // Craft a result with no survivors: every positive is pruned.
+        let res = CascadeResult {
+            items: vec![],
+            per_level: vec![],
+            scored_nodes: 0,
+        };
+        let got = cascaded_auc(&res, 10, &[ItemId(0)]).unwrap();
+        assert!((got - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascaded_auc_degenerate() {
+        let res = CascadeResult {
+            items: vec![],
+            per_level: vec![],
+            scored_nodes: 0,
+        };
+        assert_eq!(cascaded_auc(&res, 5, &[]), None);
+    }
+
+    #[test]
+    fn accuracy_improves_with_wider_beam() {
+        // Statistical property: averaged over users and positive draws,
+        // a wider beam cannot hurt cascaded AUC (it only adds correctly
+        // ordered survivors). Check on average.
+        let (m, _) = scorer_fixture();
+        let s = Scorer::new(&m);
+        let depth = m.taxonomy().depth();
+        let mut narrow_sum = 0.0;
+        let mut wide_sum = 0.0;
+        let mut n = 0;
+        for u in 0..m.num_users() {
+            let q = s.query(u, &[]);
+            // Positive = the globally best item for the user: the cascade
+            // should find it when the beam widens.
+            let best = s.top_k_items(&q, 1, &[])[0].0;
+            let narrow = cascade(&s, &q, &CascadeConfig::uniform(depth, 0.05));
+            let wide = cascade(&s, &q, &CascadeConfig::uniform(depth, 0.6));
+            narrow_sum += cascaded_auc(&narrow, m.num_items(), &[best]).unwrap();
+            wide_sum += cascaded_auc(&wide, m.num_items(), &[best]).unwrap();
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(
+            wide_sum >= narrow_sum,
+            "wide {} < narrow {}",
+            wide_sum / n as f64,
+            narrow_sum / n as f64
+        );
+    }
+}

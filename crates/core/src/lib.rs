@@ -1,0 +1,55 @@
+//! # taxrec-core
+//!
+//! The taxonomy-aware latent factor model **TF(U, B)** of Kanagal et al.,
+//! *"Supercharging Recommender Systems using Taxonomies for Learning User
+//! Purchase Behavior"*, PVLDB 5(10), 2012 — plus everything around it:
+//! BPR/SGD training (serial and multi-core with per-row locks and drift
+//! caches), sibling-based training, exhaustive and cascaded inference,
+//! ranking metrics, a parallel evaluation harness, and factor-space
+//! diagnostics.
+//!
+//! ## Model zoo (paper Sec. 7.2)
+//!
+//! | System  | Construction                         | Notes                       |
+//! |---------|--------------------------------------|-----------------------------|
+//! | `MF(0)` | [`ModelConfig::mf`]`(0)`             | BPR matrix factorisation    |
+//! | `MF(1)` | [`ModelConfig::mf`]`(1)`             | FPMC (Rendle et al. 2010)   |
+//! | `TF(U,0)` | [`ModelConfig::tf`]`(U, 0)`        | taxonomy, no temporal term  |
+//! | `TF(U,B)` | [`ModelConfig::tf`]`(U, B)`        | full model                  |
+//!
+//! ## End to end
+//!
+//! ```
+//! use taxrec_core::{ModelConfig, TfTrainer, eval::{evaluate, EvalConfig}};
+//! use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+//!
+//! let data = SyntheticDataset::generate(&DatasetConfig::tiny(), 1);
+//! let cfg = ModelConfig::tf(4, 1).with_factors(8).with_epochs(3);
+//! let model = TfTrainer::new(cfg, &data.taxonomy).fit(&data.train, 1);
+//! let result = evaluate(&model, &data.train, &data.test, &EvalConfig::fast());
+//! println!("AUC = {:?}", result.auc);
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod dynamic;
+pub mod eval;
+pub mod inference;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod persist;
+pub mod scoring;
+pub mod train;
+pub mod tune;
+pub mod viz;
+
+pub use config::ModelConfig;
+pub use eval::{
+    evaluate, evaluate_cascaded, evaluate_static, CascadeEvalResult, EvalConfig, EvalResult,
+};
+pub use inference::{cascade, cascaded_auc, CascadeConfig, CascadeResult};
+pub use model::TfModel;
+pub use scoring::Scorer;
+pub use train::{untrained_model, TfTrainer, TrainStats};
+pub use tune::{grid_search, holdout_last_t, GridSearchResult};

@@ -1,0 +1,268 @@
+//! Ranking metrics (Sec. 7.3): AUC and average mean-rank, plus hit@k.
+//!
+//! All metrics operate on a full score array (`scores[i]` = model score of
+//! item/category `i`) and a set of positive indices — the per-user glue
+//! (query building, category roll-up, cold-item filtering) lives in
+//! [`crate::eval`].
+
+/// Area under the ROC curve for one ranking.
+///
+/// `AUC = (1/|T||X∖T|) Σ_{x∈T, y∈X∖T} δ(r(x) < r(y))` — the probability
+/// that a random positive outranks a random negative. Ties in score count
+/// half, making a constant scorer come out at exactly 0.5.
+///
+/// Returns `None` when there are no positives or no negatives.
+pub fn auc(scores: &[f32], positives: &[usize]) -> Option<f64> {
+    let n = scores.len();
+    let n_pos = positives.len();
+    if n_pos == 0 || n_pos >= n {
+        return None;
+    }
+    let n_neg = n - n_pos;
+    let mut is_pos = vec![false; n];
+    for &p in positives {
+        is_pos[p] = true;
+    }
+    // Sort indices by score descending; walk once counting, for each
+    // positive, how many negatives rank strictly above it, with tie
+    // groups handled by half-credit.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut correct = 0.0f64; // Σ over positives of negatives ranked below
+    let mut negs_above = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        // Tie group [i, j).
+        let mut j = i + 1;
+        while j < n && scores[order[j] as usize] == scores[order[i] as usize] {
+            j += 1;
+        }
+        let group = &order[i..j];
+        let pos_in_group = group.iter().filter(|&&x| is_pos[x as usize]).count();
+        let neg_in_group = group.len() - pos_in_group;
+        // Positives in this group beat all negatives below the group and
+        // get half credit against negatives inside the group.
+        let negs_below = n_neg - negs_above - neg_in_group;
+        correct += pos_in_group as f64 * (negs_below as f64 + neg_in_group as f64 / 2.0);
+        negs_above += neg_in_group;
+        i = j;
+    }
+    Some(correct / (n_pos as f64 * n_neg as f64))
+}
+
+/// Mean (1-based) rank of the positives; ties resolved as the average
+/// rank of the tie group. 1.0 is perfect.
+pub fn mean_rank(scores: &[f32], positives: &[usize]) -> Option<f64> {
+    if positives.is_empty() || scores.is_empty() {
+        return None;
+    }
+    let mut total = 0.0f64;
+    for &p in positives {
+        total += rank_of(scores, p);
+    }
+    Some(total / positives.len() as f64)
+}
+
+/// The 1-based rank of index `p` under descending score order, with ties
+/// averaged.
+pub fn rank_of(scores: &[f32], p: usize) -> f64 {
+    let sp = scores[p];
+    let mut above = 0usize;
+    let mut tied = 0usize; // excluding p itself
+    for (i, &s) in scores.iter().enumerate() {
+        if s > sp {
+            above += 1;
+        } else if s == sp && i != p {
+            tied += 1;
+        }
+    }
+    above as f64 + 1.0 + tied as f64 / 2.0
+}
+
+/// Fraction of positives appearing in the top `k` ranks.
+pub fn hit_at_k(scores: &[f32], positives: &[usize], k: usize) -> Option<f64> {
+    if positives.is_empty() {
+        return None;
+    }
+    let hits = positives
+        .iter()
+        .filter(|&&p| rank_of(scores, p) <= k as f64)
+        .count();
+    Some(hits as f64 / positives.len() as f64)
+}
+
+/// Mean reciprocal rank of the best-ranked positive.
+pub fn mrr(scores: &[f32], positives: &[usize]) -> Option<f64> {
+    if positives.is_empty() {
+        return None;
+    }
+    let best = positives
+        .iter()
+        .map(|&p| rank_of(scores, p))
+        .fold(f64::INFINITY, f64::min);
+    Some(1.0 / best)
+}
+
+/// Online accumulator averaging per-user metric values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanAccumulator {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanAccumulator {
+    /// Add one observation.
+    pub fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// Merge another accumulator (for parallel evaluation shards).
+    pub fn merge(&mut self, other: MeanAccumulator) {
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+
+    /// Current mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let scores = [5.0, 4.0, 1.0, 0.5];
+        assert_eq!(auc(&scores, &[0, 1]), Some(1.0));
+    }
+
+    #[test]
+    fn auc_worst_ranking() {
+        let scores = [5.0, 4.0, 1.0, 0.5];
+        assert_eq!(auc(&scores, &[2, 3]), Some(0.0));
+    }
+
+    #[test]
+    fn auc_mixed() {
+        // Ranking: idx1 (4.0) > idx0 (3.0) > idx2 (2.0); positives {0}.
+        // Pairs: (0 beats 2) yes, (0 beats 1) no → 0.5.
+        assert_eq!(auc(&[3.0, 4.0, 2.0], &[0]), Some(0.5));
+    }
+
+    #[test]
+    fn auc_constant_scores_is_half() {
+        let scores = [1.0; 10];
+        let got = auc(&scores, &[0, 3, 7]).unwrap();
+        assert!((got - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_cases() {
+        assert_eq!(auc(&[1.0, 2.0], &[]), None);
+        assert_eq!(auc(&[1.0, 2.0], &[0, 1]), None);
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform() {
+        let scores = [0.3, -1.0, 2.5, 0.0, 0.9];
+        let doubled: Vec<f32> = scores.iter().map(|s| s * 2.0 + 1.0).collect();
+        let pos = [2, 4];
+        assert_eq!(auc(&scores, &pos), auc(&doubled, &pos));
+    }
+
+    #[test]
+    fn mean_rank_basics() {
+        let scores = [5.0, 4.0, 3.0, 2.0];
+        assert_eq!(mean_rank(&scores, &[0]), Some(1.0));
+        assert_eq!(mean_rank(&scores, &[3]), Some(4.0));
+        assert_eq!(mean_rank(&scores, &[0, 3]), Some(2.5));
+        assert_eq!(mean_rank(&scores, &[]), None);
+    }
+
+    #[test]
+    fn rank_ties_are_averaged() {
+        let scores = [1.0, 1.0, 1.0];
+        // All tied: each has rank (1+2+3)/3 = 2.
+        for p in 0..3 {
+            assert!((rank_of(&scores, p) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hit_at_k_boundaries() {
+        let scores = [5.0, 4.0, 3.0, 2.0];
+        assert_eq!(hit_at_k(&scores, &[0], 1), Some(1.0));
+        assert_eq!(hit_at_k(&scores, &[3], 1), Some(0.0));
+        assert_eq!(hit_at_k(&scores, &[0, 3], 2), Some(0.5));
+    }
+
+    #[test]
+    fn mrr_uses_best_positive() {
+        let scores = [5.0, 4.0, 3.0];
+        assert_eq!(mrr(&scores, &[1, 2]), Some(0.5));
+    }
+
+    #[test]
+    fn accumulator_mean_and_merge() {
+        let mut a = MeanAccumulator::default();
+        assert_eq!(a.mean(), None);
+        a.push(1.0);
+        a.push(3.0);
+        let mut b = MeanAccumulator::default();
+        b.push(5.0);
+        a.merge(b);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn auc_agrees_with_bruteforce_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let n = rng.gen_range(5..40);
+            let scores: Vec<f32> = (0..n).map(|_| (rng.gen_range(0..6) as f32) / 2.0).collect();
+            let n_pos = rng.gen_range(1..n - 1);
+            let mut pos: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                pos.swap(i, j);
+            }
+            pos.truncate(n_pos);
+            let is_pos: Vec<bool> = (0..n).map(|i| pos.contains(&i)).collect();
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            for p in 0..n {
+                if !is_pos[p] {
+                    continue;
+                }
+                for q in 0..n {
+                    if is_pos[q] {
+                        continue;
+                    }
+                    den += 1.0;
+                    if scores[p] > scores[q] {
+                        num += 1.0;
+                    } else if scores[p] == scores[q] {
+                        num += 0.5;
+                    }
+                }
+            }
+            let expect = num / den;
+            let got = auc(&scores, &pos).unwrap();
+            assert!((got - expect).abs() < 1e-9, "got {got} expect {expect}");
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The taxonomy-aware latent factor model `TF(U, B)` (Sec. 3).
+//!
+//! Every taxonomy node `n` carries two offset vectors: `w_n` (long-term)
+//! and `w→_n` (next-item). The *effective* factor of a node is the sum
+//! of offsets along its root path, truncated to the `U` levels closest to
+//! the items (Eq. 1):
+//!
+//! ```text
+//! v_i  = Σ_{m=0}^{U-1} w_{p^m(i)}        v→_i = Σ_{m=0}^{U-1} w→_{p^m(i)}
+//! ```
+//!
+//! The affinity of user `u` to item `j` at time `t` (Eq. 2–3) is
+//!
+//! ```text
+//! s_t(j) = ⟨v^U_u, v_j⟩ + Σ_{n=1}^{B} (α_n/|B_{t−n}|) Σ_{ℓ∈B_{t−n}} ⟨v→_ℓ, v_j⟩
+//! ```
+//!
+//! Both terms are inner products with `v_j`, so scoring factorises
+//! through a per-(user, history) **query vector**
+//! `q = v^U_u + Σ_n (α_n/|B_{t−n}|) Σ_ℓ v→_ℓ`, and `s_t(j) = ⟨q, v_j⟩`.
+//! Everything downstream (training gradients, exhaustive and cascaded
+//! inference) is built on that identity.
+
+use crate::config::ModelConfig;
+use crate::scoring::Scorer;
+use std::sync::Arc;
+use taxrec_dataset::Transaction;
+use taxrec_factors::{ops, FactorMatrix};
+use taxrec_taxonomy::{ItemId, NodeId, PathTable, Taxonomy};
+
+/// A trained (or freshly initialised) TF(U, B) model.
+#[derive(Debug, Clone)]
+pub struct TfModel {
+    pub(crate) taxonomy: Arc<Taxonomy>,
+    pub(crate) config: ModelConfig,
+    /// `v^U` — one row per user.
+    pub(crate) user_factors: FactorMatrix,
+    /// `w^I` — long-term offset per taxonomy node.
+    pub(crate) node_factors: FactorMatrix,
+    /// `w^I→` — next-item offset per taxonomy node.
+    pub(crate) next_factors: FactorMatrix,
+    /// Item root paths truncated to `U` levels.
+    pub(crate) paths: PathTable,
+    /// Nodes at level ≥ `cutoff_level` carry factors; shallower nodes are
+    /// outside the configured `taxonomyUpdateLevels` and contribute 0.
+    pub(crate) cutoff_level: usize,
+}
+
+impl TfModel {
+    /// Gaussian-initialise a model for `num_users` users over `taxonomy`.
+    ///
+    /// # Panics
+    /// If the config fails [`ModelConfig::validate`].
+    pub fn init(
+        config: ModelConfig,
+        taxonomy: Arc<Taxonomy>,
+        num_users: usize,
+        seed: u64,
+    ) -> TfModel {
+        if let Err(e) = config.validate() {
+            panic!("invalid ModelConfig: {e}");
+        }
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = config.factors;
+        let n_nodes = taxonomy.num_nodes();
+        // Users break symmetry with Gaussian noise; node offsets start at
+        // the prior mean 0. Zero offsets matter for cold start: an item
+        // never seen in training keeps w = 0, so its effective factor is
+        // exactly its super-category's — the paper's Fig. 7(c) estimate
+        // ("we use the item's immediate super-category as an estimate for
+        // its factor") — instead of category + noise.
+        let user_factors = FactorMatrix::gaussian(num_users, k, config.init_sigma, &mut rng);
+        let (node_factors, next_factors) = if config.node_init_sigma > 0.0 {
+            (
+                FactorMatrix::gaussian(n_nodes, k, config.node_init_sigma, &mut rng),
+                FactorMatrix::gaussian(n_nodes, k, config.node_init_sigma, &mut rng),
+            )
+        } else {
+            (
+                FactorMatrix::zeros(n_nodes, k),
+                FactorMatrix::zeros(n_nodes, k),
+            )
+        };
+        let paths = PathTable::build(&taxonomy, config.taxonomy_update_levels);
+        let cutoff_level = cutoff_for(&taxonomy, config.taxonomy_update_levels);
+        TfModel {
+            taxonomy,
+            config,
+            user_factors,
+            node_factors,
+            next_factors,
+            paths,
+            cutoff_level,
+        }
+    }
+
+    /// The taxonomy the model is bound to.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Shared handle to the taxonomy.
+    pub fn taxonomy_arc(&self) -> Arc<Taxonomy> {
+        Arc::clone(&self.taxonomy)
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Number of users the model covers.
+    pub fn num_users(&self) -> usize {
+        self.user_factors.rows()
+    }
+
+    /// Number of items (taxonomy leaves).
+    pub fn num_items(&self) -> usize {
+        self.taxonomy.num_items()
+    }
+
+    /// Factor dimensionality `K`.
+    pub fn k(&self) -> usize {
+        self.config.factors
+    }
+
+    /// Level cutoff implied by `taxonomyUpdateLevels` (nodes at levels
+    /// ≥ cutoff carry factors).
+    pub fn cutoff_level(&self) -> usize {
+        self.cutoff_level
+    }
+
+    /// The truncated item root paths.
+    pub fn paths(&self) -> &PathTable {
+        &self.paths
+    }
+
+    /// User factor row.
+    pub fn user_factor(&self, user: usize) -> &[f32] {
+        self.user_factors.row(user)
+    }
+
+    /// Raw long-term offset of a node (`w_n`, *not* the effective factor).
+    pub fn node_offset(&self, node: NodeId) -> &[f32] {
+        self.node_factors.row(node.index())
+    }
+
+    /// Raw next-item offset of a node (`w→_n`).
+    pub fn next_offset(&self, node: NodeId) -> &[f32] {
+        self.next_factors.row(node.index())
+    }
+
+    /// Effective long-term item factor `v_i` (Eq. 1), accumulated into `out`.
+    pub fn item_factor_into(&self, item: ItemId, out: &mut [f32]) {
+        out.fill(0.0);
+        for &n in self.paths.path(item) {
+            ops::add_assign(self.node_factors.row(n as usize), out);
+        }
+    }
+
+    /// Effective next-item factor `v→_i`, accumulated into `out`.
+    pub fn next_item_factor_into(&self, item: ItemId, out: &mut [f32]) {
+        out.fill(0.0);
+        for &n in self.paths.path(item) {
+            ops::add_assign(self.next_factors.row(n as usize), out);
+        }
+    }
+
+    /// Effective long-term factor of *any* node (used for category-level
+    /// ranking and cascaded inference): sum of offsets from `node` to the
+    /// cutoff level.
+    pub fn node_factor_into(&self, node: NodeId, out: &mut [f32]) {
+        out.fill(0.0);
+        for n in self.taxonomy.root_path(node) {
+            if self.taxonomy.level(n) >= self.cutoff_level {
+                ops::add_assign(self.node_factors.row(n.index()), out);
+            }
+        }
+    }
+
+    /// The query vector `q` for `user` given their transaction history
+    /// (`history` is the user's past baskets, oldest first; the Markov
+    /// term conditions on the last `B` of them). See the module docs.
+    pub fn query_into(&self, user: usize, history: &[Transaction], out: &mut [f32]) {
+        out.copy_from_slice(self.user_factors.row(user));
+        if self.config.max_prev_transactions == 0 {
+            return;
+        }
+        let mut vnext = vec![0.0f32; self.k()];
+        for n in 1..=self.config.max_prev_transactions {
+            if n > history.len() {
+                break;
+            }
+            let basket = &history[history.len() - n];
+            if basket.is_empty() {
+                continue;
+            }
+            let weight = self.config.markov_weight(n) / basket.len() as f32;
+            for &l in basket {
+                self.next_item_factor_into(l, &mut vnext);
+                ops::axpy(weight, &vnext, out);
+            }
+        }
+    }
+
+    /// Affinity `s_t(j) = ⟨q, v_j⟩` of a prepared query to one item.
+    pub fn score_item(&self, query: &[f32], item: ItemId) -> f32 {
+        let mut v = vec![0.0f32; self.k()];
+        self.item_factor_into(item, &mut v);
+        ops::dot(query, &v)
+    }
+
+    /// Materialise the effective factors of **all nodes** for the given
+    /// offset matrix, in one forward pass (node ids are topological, so
+    /// `eff[n] = eff[parent(n)] + w_n` with the cutoff applied).
+    pub(crate) fn effective_all_nodes(&self, offsets: &FactorMatrix) -> FactorMatrix {
+        let k = self.k();
+        let tax = &*self.taxonomy;
+        let mut eff = FactorMatrix::zeros(tax.num_nodes(), k);
+        for idx in 0..tax.num_nodes() {
+            let node = NodeId(idx as u32);
+            let include_self = tax.level(node) >= self.cutoff_level;
+            if let Some(p) = tax.parent(node) {
+                let (row, parent_row) = eff.rows_mut2(idx, p.index());
+                row.copy_from_slice(parent_row);
+            }
+            if include_self {
+                let row = eff.row_mut(idx);
+                for (v, w) in row.iter_mut().zip(offsets.row(idx)) {
+                    *v += w;
+                }
+            }
+        }
+        eff
+    }
+
+    /// Convenience: exhaustively score all items for `(user, history)`
+    /// and return the top `k` as `(item, score)`, best first.
+    ///
+    /// Builds a throw-away [`Scorer`]; evaluation loops should build one
+    /// `Scorer` and reuse it across users.
+    pub fn recommend_top_k(
+        &self,
+        user: usize,
+        history: &[Transaction],
+        k: usize,
+    ) -> Vec<(ItemId, f32)> {
+        let scorer = Scorer::new(self);
+        let mut q = vec![0.0f32; self.k()];
+        self.query_into(user, history, &mut q);
+        scorer.top_k_items(&q, k, &[])
+    }
+}
+
+/// Level threshold implied by `taxonomyUpdateLevels`: with items at depth
+/// `D`, `U` levels from the bottom cover levels `D, D-1, …, D-U+1`.
+pub(crate) fn cutoff_for(tax: &Taxonomy, update_levels: usize) -> usize {
+    tax.depth().saturating_sub(update_levels.max(1) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taxrec_taxonomy::{TaxonomyGenerator, TaxonomyShape};
+
+    pub(crate) fn small_tax() -> Arc<Taxonomy> {
+        let shape = TaxonomyShape {
+            level_sizes: vec![3, 6, 12],
+            num_items: 100,
+            item_skew: 0.5,
+        };
+        Arc::new(
+            TaxonomyGenerator::new(shape)
+                .generate(&mut StdRng::seed_from_u64(5))
+                .taxonomy,
+        )
+    }
+
+    fn model(u: usize, b: usize) -> TfModel {
+        // Gaussian node init: these structural tests compare path sums,
+        // which would be trivially zero otherwise.
+        TfModel::init(
+            ModelConfig::tf(u, b).with_factors(8).with_node_init_sigma(0.1),
+            small_tax(),
+            20,
+            9,
+        )
+    }
+
+    #[test]
+    fn init_shapes() {
+        let m = model(4, 1);
+        assert_eq!(m.num_users(), 20);
+        assert_eq!(m.num_items(), 100);
+        assert_eq!(m.k(), 8);
+        assert_eq!(m.user_factors.rows(), 20);
+        assert_eq!(m.node_factors.rows(), m.taxonomy.num_nodes());
+        assert_eq!(m.next_factors.rows(), m.taxonomy.num_nodes());
+    }
+
+    #[test]
+    fn cutoff_levels() {
+        let tax = small_tax(); // depth 4 (root + 3 cat levels + items)
+        assert_eq!(tax.depth(), 4);
+        assert_eq!(cutoff_for(&tax, 1), 4);
+        assert_eq!(cutoff_for(&tax, 4), 1);
+        assert_eq!(cutoff_for(&tax, 5), 0);
+        assert_eq!(cutoff_for(&tax, 99), 0);
+    }
+
+    #[test]
+    fn item_factor_is_path_sum() {
+        let m = model(4, 0);
+        let item = ItemId(3);
+        let mut expect = vec![0.0f32; m.k()];
+        for n in m.taxonomy.root_path(m.taxonomy.item_node(item)) {
+            if m.taxonomy.level(n) >= m.cutoff_level {
+                ops::add_assign(m.node_factors.row(n.index()), &mut expect);
+            }
+        }
+        let mut got = vec![0.0f32; m.k()];
+        m.item_factor_into(item, &mut got);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn u1_item_factor_is_leaf_offset_only() {
+        let m = model(1, 0);
+        let item = ItemId(7);
+        let mut got = vec![0.0f32; m.k()];
+        m.item_factor_into(item, &mut got);
+        assert_eq!(got.as_slice(), m.node_factors.row(m.taxonomy.item_node(item).index()));
+    }
+
+    #[test]
+    fn node_factor_matches_item_factor_at_leaf() {
+        let m = model(4, 0);
+        let item = ItemId(11);
+        let node = m.taxonomy.item_node(item);
+        let mut a = vec![0.0f32; m.k()];
+        let mut b = vec![0.0f32; m.k()];
+        m.item_factor_into(item, &mut a);
+        m.node_factor_into(node, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_without_markov_is_user_factor() {
+        let m = model(4, 0);
+        let mut q = vec![0.0f32; m.k()];
+        m.query_into(3, &[vec![ItemId(0)], vec![ItemId(1)]], &mut q);
+        assert_eq!(q.as_slice(), m.user_factor(3));
+    }
+
+    #[test]
+    fn query_with_markov_adds_next_factors() {
+        let m = model(4, 1);
+        let hist = vec![vec![ItemId(2), ItemId(5)]];
+        let mut q = vec![0.0f32; m.k()];
+        m.query_into(0, &hist, &mut q);
+        // Expected: v_u + (α₁/2)(v→_2 + v→_5)
+        let mut expect = m.user_factor(0).to_vec();
+        let w = m.config.markov_weight(1) / 2.0;
+        let mut tmp = vec![0.0f32; m.k()];
+        for &i in &[ItemId(2), ItemId(5)] {
+            m.next_item_factor_into(i, &mut tmp);
+            ops::axpy(w, &tmp, &mut expect);
+        }
+        for (a, b) in q.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn higher_order_uses_older_baskets_with_decay() {
+        let m = model(4, 2);
+        let hist = vec![vec![ItemId(1)], vec![ItemId(2)]];
+        let mut q2 = vec![0.0f32; m.k()];
+        m.query_into(0, &hist, &mut q2);
+        // Dropping the older basket must change the query (it contributes
+        // with weight α₂ > 0).
+        let mut q1 = vec![0.0f32; m.k()];
+        m.query_into(0, &hist[1..], &mut q1);
+        assert_ne!(q1, q2);
+    }
+
+    #[test]
+    fn effective_all_nodes_matches_per_item() {
+        let m = model(3, 0);
+        let eff = m.effective_all_nodes(&m.node_factors);
+        let mut buf = vec![0.0f32; m.k()];
+        for item in m.taxonomy.item_ids() {
+            m.item_factor_into(item, &mut buf);
+            let row = eff.row(m.taxonomy.item_node(item).index());
+            for (a, b) in buf.iter().zip(row) {
+                assert!((a - b).abs() < 1e-5, "item {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_all_nodes_matches_node_factor() {
+        let m = model(4, 0);
+        let eff = m.effective_all_nodes(&m.node_factors);
+        let mut buf = vec![0.0f32; m.k()];
+        for node in m.taxonomy.node_ids() {
+            m.node_factor_into(node, &mut buf);
+            let row = eff.row(node.index());
+            for (a, b) in buf.iter().zip(row) {
+                assert!((a - b).abs() < 1e-5, "node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_item_is_query_dot_factor() {
+        let m = model(4, 1);
+        let hist = vec![vec![ItemId(9)]];
+        let mut q = vec![0.0f32; m.k()];
+        m.query_into(2, &hist, &mut q);
+        let mut v = vec![0.0f32; m.k()];
+        m.item_factor_into(ItemId(4), &mut v);
+        assert!((m.score_item(&q, ItemId(4)) - ops::dot(&q, &v)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recommend_returns_k_distinct_items() {
+        let m = model(4, 0);
+        let recs = m.recommend_top_k(0, &[], 10);
+        assert_eq!(recs.len(), 10);
+        let mut items: Vec<ItemId> = recs.iter().map(|r| r.0).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 10);
+        // Scores descending.
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ModelConfig")]
+    fn invalid_config_panics() {
+        let _ = TfModel::init(
+            ModelConfig::default().with_factors(0),
+            small_tax(),
+            5,
+            1,
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Model persistence: a compact, versioned binary format for trained
+//! TF models.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   u32 = 0x5446_4d31 ("TFM1")
+//! config  length-prefixed JSON-free K/V block (serde-free: fixed fields)
+//! taxonomy: length-prefixed taxrec-taxonomy binary encoding
+//! 3 × matrix: rows u64, k u64, then rows·k f32
+//! ```
+//!
+//! The taxonomy travels with the model — a TF model is meaningless
+//! against a different tree, and shipping both in one artifact removes
+//! the classic "factor matrix paired with the wrong catalog snapshot"
+//! failure mode.
+
+use crate::config::ModelConfig;
+use crate::model::TfModel;
+use bytes_shim::{get_f32, get_u32, get_u64, put_f32, put_u32, put_u64};
+use std::sync::Arc;
+use taxrec_factors::FactorMatrix;
+use taxrec_taxonomy::{serialize as tax_ser, PathTable};
+
+const MAGIC: u32 = 0x5446_4d31;
+
+/// Errors from decoding a persisted model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// Wrong magic/version or structural damage, with context.
+    Corrupt(String),
+    /// The embedded taxonomy failed to decode.
+    Taxonomy(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Corrupt(m) => write!(f, "corrupt model encoding: {m}"),
+            PersistError::Taxonomy(m) => write!(f, "embedded taxonomy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialise a trained model (taxonomy included).
+pub fn encode(model: &TfModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        16 + (model.user_factors.rows() + 2 * model.node_factors.rows())
+            * model.k()
+            * 4,
+    );
+    put_u32(&mut out, MAGIC);
+    encode_config(&mut out, model.config());
+    let tax = tax_ser::encode(model.taxonomy());
+    put_u64(&mut out, tax.len() as u64);
+    out.extend_from_slice(&tax);
+    for m in [&model.user_factors, &model.node_factors, &model.next_factors] {
+        encode_matrix(&mut out, m);
+    }
+    out
+}
+
+/// Decode a model produced by [`encode`].
+pub fn decode(buf: &[u8]) -> Result<TfModel, PersistError> {
+    let mut pos = 0usize;
+    let magic = get_u32(buf, &mut pos)?;
+    if magic != MAGIC {
+        return Err(PersistError::Corrupt(format!(
+            "bad magic 0x{magic:08x}, expected 0x{MAGIC:08x}"
+        )));
+    }
+    let config = decode_config(buf, &mut pos)?;
+    config
+        .validate()
+        .map_err(|e| PersistError::Corrupt(format!("embedded config invalid: {e}")))?;
+    let tax_len = get_u64(buf, &mut pos)? as usize;
+    let tax_end = pos
+        .checked_add(tax_len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| PersistError::Corrupt("taxonomy length overruns buffer".into()))?;
+    let taxonomy = tax_ser::decode(&buf[pos..tax_end])
+        .map_err(|e| PersistError::Taxonomy(e.to_string()))?;
+    pos = tax_end;
+    let user_factors = decode_matrix(buf, &mut pos)?;
+    let node_factors = decode_matrix(buf, &mut pos)?;
+    let next_factors = decode_matrix(buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes",
+            buf.len() - pos
+        )));
+    }
+    for (name, m) in [("node", &node_factors), ("next", &next_factors)] {
+        if m.rows() != taxonomy.num_nodes() {
+            return Err(PersistError::Corrupt(format!(
+                "{name} factor rows {} != taxonomy nodes {}",
+                m.rows(),
+                taxonomy.num_nodes()
+            )));
+        }
+    }
+    for (name, m) in [
+        ("user", &user_factors),
+        ("node", &node_factors),
+        ("next", &next_factors),
+    ] {
+        if m.k() != config.factors {
+            return Err(PersistError::Corrupt(format!(
+                "{name} factor dim {} != config K {}",
+                m.k(),
+                config.factors
+            )));
+        }
+    }
+    let taxonomy = Arc::new(taxonomy);
+    let paths = PathTable::build(&taxonomy, config.taxonomy_update_levels);
+    let cutoff_level = crate::model::cutoff_for(&taxonomy, config.taxonomy_update_levels);
+    Ok(TfModel {
+        taxonomy,
+        config,
+        user_factors,
+        node_factors,
+        next_factors,
+        paths,
+        cutoff_level,
+    })
+}
+
+fn encode_config(out: &mut Vec<u8>, c: &ModelConfig) {
+    put_u64(out, c.factors as u64);
+    put_u64(out, c.taxonomy_update_levels as u64);
+    put_u64(out, c.max_prev_transactions as u64);
+    put_f32(out, c.learning_rate);
+    put_f32(out, c.lambda);
+    put_f32(out, c.init_sigma);
+    put_f32(out, c.node_init_sigma);
+    put_f32(out, c.alpha);
+    put_u64(out, c.epochs as u64);
+    put_f32(out, c.sibling_mix as f32);
+    put_u64(out, c.sibling_skip_levels as u64);
+    put_u64(out, c.negatives_per_positive as u64);
+    match c.cache_threshold {
+        Some(th) => {
+            out.push(1);
+            put_f32(out, th);
+        }
+        None => out.push(0),
+    }
+}
+
+fn decode_config(buf: &[u8], pos: &mut usize) -> Result<ModelConfig, PersistError> {
+    let factors = get_u64(buf, pos)? as usize;
+    let taxonomy_update_levels = get_u64(buf, pos)? as usize;
+    let max_prev_transactions = get_u64(buf, pos)? as usize;
+    let learning_rate = get_f32(buf, pos)?;
+    let lambda = get_f32(buf, pos)?;
+    let init_sigma = get_f32(buf, pos)?;
+    let node_init_sigma = get_f32(buf, pos)?;
+    let alpha = get_f32(buf, pos)?;
+    let epochs = get_u64(buf, pos)? as usize;
+    let sibling_mix = get_f32(buf, pos)? as f64;
+    let sibling_skip_levels = get_u64(buf, pos)? as usize;
+    let negatives_per_positive = get_u64(buf, pos)? as usize;
+    let cache_threshold = match buf.get(*pos) {
+        Some(0) => {
+            *pos += 1;
+            None
+        }
+        Some(1) => {
+            *pos += 1;
+            Some(get_f32(buf, pos)?)
+        }
+        _ => return Err(PersistError::Corrupt("bad cache_threshold tag".into())),
+    };
+    Ok(ModelConfig {
+        factors,
+        taxonomy_update_levels,
+        max_prev_transactions,
+        learning_rate,
+        lambda,
+        init_sigma,
+        node_init_sigma,
+        alpha,
+        epochs,
+        sibling_mix,
+        sibling_skip_levels,
+        negatives_per_positive,
+        cache_threshold,
+    })
+}
+
+fn encode_matrix(out: &mut Vec<u8>, m: &FactorMatrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.k() as u64);
+    for &v in m.as_slice() {
+        put_f32(out, v);
+    }
+}
+
+fn decode_matrix(buf: &[u8], pos: &mut usize) -> Result<FactorMatrix, PersistError> {
+    let rows = get_u64(buf, pos)? as usize;
+    let k = get_u64(buf, pos)? as usize;
+    if k == 0 || k > 1 << 20 {
+        return Err(PersistError::Corrupt(format!("implausible K = {k}")));
+    }
+    let n = rows
+        .checked_mul(k)
+        .ok_or_else(|| PersistError::Corrupt("matrix size overflow".into()))?;
+    let mut m = FactorMatrix::zeros(rows, k);
+    for v in m.as_mut_slice().iter_mut().take(n) {
+        *v = get_f32(buf, pos)?;
+    }
+    Ok(m)
+}
+
+/// Minimal byte-cursor helpers (kept local: the on-disk format is ours).
+mod bytes_shim {
+    use super::PersistError;
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, PersistError> {
+        let b = take(buf, pos, 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+    pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, PersistError> {
+        let b = take(buf, pos, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+    pub fn get_f32(buf: &[u8], pos: &mut usize) -> Result<f32, PersistError> {
+        let b = take(buf, pos, 4)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| PersistError::Corrupt("unexpected end of buffer".into()))?;
+        let s = &buf[*pos..end];
+        *pos = end;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::scoring::Scorer;
+    use crate::train::TfTrainer;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn trained() -> (SyntheticDataset, TfModel) {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(), 5);
+        let cfg = ModelConfig::tf(4, 1)
+            .with_factors(8)
+            .with_epochs(2)
+            .with_cache_threshold(Some(0.1));
+        let m = TfTrainer::new(cfg, &d.taxonomy).fit(&d.train, 1);
+        (d, m)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (_, m) = trained();
+        let enc = encode(&m);
+        let dec = decode(&enc).expect("own encoding decodes");
+        assert_eq!(m.config(), dec.config());
+        assert_eq!(m.taxonomy(), dec.taxonomy());
+        assert_eq!(m.user_factors, dec.user_factors);
+        assert_eq!(m.node_factors, dec.node_factors);
+        assert_eq!(m.next_factors, dec.next_factors);
+        assert_eq!(m.cutoff_level(), dec.cutoff_level());
+    }
+
+    #[test]
+    fn decoded_model_scores_identically() {
+        let (d, m) = trained();
+        let dec = decode(&encode(&m)).unwrap();
+        let s1 = Scorer::new(&m);
+        let s2 = Scorer::new(&dec);
+        for u in 0..5 {
+            let q1 = s1.query(u, d.train.user(u));
+            let q2 = s2.query(u, d.train.user(u));
+            assert_eq!(q1, q2);
+            assert_eq!(s1.score_all_items(&q1), s2.score_all_items(&q2));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let (_, m) = trained();
+        let mut enc = encode(&m);
+        enc[0] ^= 0xFF;
+        assert!(matches!(decode(&enc), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let (_, m) = trained();
+        let enc = encode(&m);
+        // Cut at a spread of byte positions, including inside each section.
+        for frac in [0.01, 0.1, 0.3, 0.6, 0.9, 0.999] {
+            let cut = (enc.len() as f64 * frac) as usize;
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let (_, m) = trained();
+        let mut enc = encode(&m);
+        enc.push(0);
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn size_is_dominated_by_factors() {
+        let (_, m) = trained();
+        let enc = encode(&m);
+        let factor_bytes =
+            (m.user_factors.rows() + 2 * m.node_factors.rows()) * m.k() * 4;
+        assert!(enc.len() >= factor_bytes);
+        assert!(enc.len() < factor_bytes + factor_bytes / 4 + 4096);
+    }
+}

@@ -1,0 +1,297 @@
+//! Batch scoring against a frozen model.
+//!
+//! A [`Scorer`] materialises the effective factors of every taxonomy node
+//! once (two forward passes over the node arena, Eq. 1) and then answers
+//! any number of `(user, history)` queries with one dot product per
+//! candidate. Build one per trained model and reuse it — evaluation and
+//! the figure benches score millions of (user, item) pairs.
+
+use crate::model::TfModel;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use taxrec_dataset::Transaction;
+use taxrec_factors::{ops, FactorMatrix};
+use taxrec_taxonomy::{ItemId, NodeId};
+
+/// Precomputed effective factors for fast scoring.
+#[derive(Debug)]
+pub struct Scorer<'m> {
+    model: &'m TfModel,
+    /// Effective long-term factor per node.
+    eff_nodes: FactorMatrix,
+    /// Effective next-item factor per node.
+    eff_next: FactorMatrix,
+}
+
+impl<'m> Scorer<'m> {
+    /// Materialise effective factors for `model`.
+    pub fn new(model: &'m TfModel) -> Scorer<'m> {
+        Scorer {
+            model,
+            eff_nodes: model.effective_all_nodes(&model.node_factors),
+            eff_next: model.effective_all_nodes(&model.next_factors),
+        }
+    }
+
+    /// The model being scored.
+    pub fn model(&self) -> &TfModel {
+        self.model
+    }
+
+    /// Effective long-term factor of a node.
+    pub fn node_factor(&self, node: NodeId) -> &[f32] {
+        self.eff_nodes.row(node.index())
+    }
+
+    /// Effective long-term factor of an item.
+    pub fn item_factor(&self, item: ItemId) -> &[f32] {
+        self.eff_nodes.row(self.model.taxonomy().item_node(item).index())
+    }
+
+    /// Effective next-item factor of an item.
+    pub fn next_item_factor(&self, item: ItemId) -> &[f32] {
+        self.eff_next.row(self.model.taxonomy().item_node(item).index())
+    }
+
+    /// Build the query vector `q = v_u + Σ_n (α_n/|B_{t−n}|) Σ_ℓ v→_ℓ`
+    /// using the materialised next-item factors.
+    pub fn query_into(&self, user: usize, history: &[Transaction], out: &mut [f32]) {
+        let model = self.model;
+        out.copy_from_slice(model.user_factor(user));
+        if model.config().max_prev_transactions == 0 {
+            return;
+        }
+        for n in 1..=model.config().max_prev_transactions {
+            if n > history.len() {
+                break;
+            }
+            let basket = &history[history.len() - n];
+            if basket.is_empty() {
+                continue;
+            }
+            let weight = model.config().markov_weight(n) / basket.len() as f32;
+            for &l in basket {
+                ops::axpy(weight, self.next_item_factor(l), out);
+            }
+        }
+    }
+
+    /// Allocate-and-return variant of [`query_into`](Self::query_into).
+    pub fn query(&self, user: usize, history: &[Transaction]) -> Vec<f32> {
+        let mut q = vec![0.0f32; self.model.k()];
+        self.query_into(user, history, &mut q);
+        q
+    }
+
+    /// Score one item.
+    #[inline]
+    pub fn score_item(&self, query: &[f32], item: ItemId) -> f32 {
+        ops::dot(query, self.item_factor(item))
+    }
+
+    /// Score one node (category-level ranking).
+    #[inline]
+    pub fn score_node(&self, query: &[f32], node: NodeId) -> f32 {
+        ops::dot(query, self.node_factor(node))
+    }
+
+    /// Score **all** items into `scores` (`scores[i] = s(query, item i)`).
+    pub fn score_all_items_into(&self, query: &[f32], scores: &mut [f32]) {
+        let tax = self.model.taxonomy();
+        debug_assert_eq!(scores.len(), tax.num_items());
+        for (i, &node) in tax.item_nodes().iter().enumerate() {
+            scores[i] = ops::dot(query, self.eff_nodes.row(node as usize));
+        }
+    }
+
+    /// Allocate-and-return variant of
+    /// [`score_all_items_into`](Self::score_all_items_into).
+    pub fn score_all_items(&self, query: &[f32]) -> Vec<f32> {
+        let mut s = vec![0.0f32; self.model.num_items()];
+        self.score_all_items_into(query, &mut s);
+        s
+    }
+
+    /// Exhaustive top-`k` items, best first, skipping `exclude`
+    /// (typically the user's already-purchased items).
+    pub fn top_k_items(&self, query: &[f32], k: usize, exclude: &[ItemId]) -> Vec<(ItemId, f32)> {
+        let tax = self.model.taxonomy();
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for i in 0..tax.num_items() {
+            let item = ItemId(i as u32);
+            if exclude.contains(&item) {
+                continue;
+            }
+            let s = self.score_item(query, item);
+            if heap.len() < k {
+                heap.push(HeapEntry(s, item));
+            } else if let Some(min) = heap.peek() {
+                if s > min.0 {
+                    heap.pop();
+                    heap.push(HeapEntry(s, item));
+                }
+            }
+        }
+        let mut out: Vec<(ItemId, f32)> = heap.into_iter().map(|e| (e.1, e.0)).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    /// Rank all nodes of one taxonomy level, best first (the paper's
+    /// "structured ranking": recommendations at the category level).
+    pub fn rank_level(&self, query: &[f32], level: usize) -> Vec<(NodeId, f32)> {
+        let tax = self.model.taxonomy();
+        let mut out: Vec<(NodeId, f32)> = tax
+            .nodes_at_level(level)
+            .iter()
+            .map(|&n| (NodeId(n), ops::dot(query, self.eff_nodes.row(n as usize))))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        out
+    }
+}
+
+/// Min-heap entry: `BinaryHeap` is a max-heap, so order is reversed to
+/// keep the *smallest* score at the top for eviction.
+struct HeapEntry(f32, ItemId);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller score = "greater" for the max-heap.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::TfModel;
+    use std::sync::Arc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taxrec_taxonomy::{Taxonomy, TaxonomyGenerator, TaxonomyShape};
+
+    fn tax() -> Arc<Taxonomy> {
+        Arc::new(
+            TaxonomyGenerator::new(TaxonomyShape {
+                level_sizes: vec![3, 6, 12],
+                num_items: 80,
+                item_skew: 0.5,
+            })
+            .generate(&mut StdRng::seed_from_u64(2))
+            .taxonomy,
+        )
+    }
+
+    fn model(b: usize) -> TfModel {
+        // Gaussian node init so scores are non-degenerate without training.
+        let cfg = ModelConfig::tf(4, b).with_factors(6).with_node_init_sigma(0.1);
+        TfModel::init(cfg, tax(), 10, 3)
+    }
+
+    #[test]
+    fn scorer_matches_model_scoring() {
+        let m = model(1);
+        let s = Scorer::new(&m);
+        let hist = vec![vec![ItemId(1), ItemId(7)]];
+        let q_model = {
+            let mut q = vec![0.0f32; m.k()];
+            m.query_into(4, &hist, &mut q);
+            q
+        };
+        let q_scorer = s.query(4, &hist);
+        for (a, b) in q_model.iter().zip(&q_scorer) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        for item in [ItemId(0), ItemId(33), ItemId(79)] {
+            assert!((m.score_item(&q_model, item) - s.score_item(&q_scorer, item)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn score_all_matches_individual() {
+        let m = model(0);
+        let s = Scorer::new(&m);
+        let q = s.query(0, &[]);
+        let all = s.score_all_items(&q);
+        for i in [0usize, 17, 79] {
+            assert!((all[i] - s.score_item(&q, ItemId(i as u32))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn top_k_agrees_with_full_sort() {
+        let m = model(0);
+        let s = Scorer::new(&m);
+        let q = s.query(2, &[]);
+        let all = s.score_all_items(&q);
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        order.sort_by(|&a, &b| all[b].partial_cmp(&all[a]).unwrap());
+        let top = s.top_k_items(&q, 5, &[]);
+        for (rank, (item, score)) in top.iter().enumerate() {
+            assert_eq!(item.index(), order[rank]);
+            assert!((score - all[order[rank]]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn top_k_respects_exclusions() {
+        let m = model(0);
+        let s = Scorer::new(&m);
+        let q = s.query(1, &[]);
+        let full = s.top_k_items(&q, 3, &[]);
+        let best = full[0].0;
+        let excl = s.top_k_items(&q, 3, &[best]);
+        assert!(excl.iter().all(|(i, _)| *i != best));
+        assert_eq!(excl[0].0, full[1].0);
+    }
+
+    #[test]
+    fn top_k_larger_than_catalog() {
+        let m = model(0);
+        let s = Scorer::new(&m);
+        let q = s.query(0, &[]);
+        let top = s.top_k_items(&q, 10_000, &[]);
+        assert_eq!(top.len(), m.num_items());
+    }
+
+    #[test]
+    fn rank_level_sorted_and_complete() {
+        let m = model(0);
+        let s = Scorer::new(&m);
+        let q = s.query(0, &[]);
+        for level in 1..=m.taxonomy().depth() {
+            let ranked = s.rank_level(&q, level);
+            assert_eq!(ranked.len(), m.taxonomy().nodes_at_level(level).len());
+            for w in ranked.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn node_scores_consistent_with_item_scores_at_leaf_level() {
+        let m = model(0);
+        let s = Scorer::new(&m);
+        let q = s.query(3, &[]);
+        let item = ItemId(12);
+        let node = m.taxonomy().item_node(item);
+        assert!((s.score_item(&q, item) - s.score_node(&q, node)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,356 @@
+//! Training: BPR stochastic gradient descent over TF models (Sec. 4 & 6).
+//!
+//! [`TfTrainer::fit`] runs single-threaded (deterministic per seed);
+//! [`TfTrainer::fit_parallel`] reproduces the paper's multi-core design —
+//! shared factor matrices behind per-row locks, `threads` SGD workers,
+//! and optional thread-local drift caches for the hot internal taxonomy
+//! rows (enabled via [`ModelConfig::cache_threshold`]).
+
+pub mod sampler;
+mod worker;
+
+use crate::config::ModelConfig;
+use crate::model::{cutoff_for, TfModel};
+use sampler::PurchaseIndex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taxrec_dataset::PurchaseLog;
+use taxrec_factors::SharedFactors;
+use taxrec_taxonomy::{PathTable, Taxonomy};
+use worker::{SharedModel, Worker};
+
+/// Timing and counter statistics of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    /// Wall-clock duration of each epoch (the Fig. 8a measurement).
+    pub epoch_times: Vec<Duration>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total SGD steps executed.
+    pub steps: u64,
+    /// Steps that used sibling-based training.
+    pub sibling_steps: u64,
+    /// Steps skipped (no negative available).
+    pub skipped_steps: u64,
+    /// Drift-cache reconciliations.
+    pub cache_flushes: u64,
+}
+
+impl TrainStats {
+    /// Mean epoch duration.
+    pub fn mean_epoch_time(&self) -> Duration {
+        if self.epoch_times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.epoch_times.iter().sum::<Duration>() / self.epoch_times.len() as u32
+    }
+}
+
+/// Trains TF(U, B) models over a fixed taxonomy.
+#[derive(Debug, Clone)]
+pub struct TfTrainer {
+    config: ModelConfig,
+    taxonomy: Arc<Taxonomy>,
+}
+
+impl TfTrainer {
+    /// Trainer cloning `taxonomy` into shared ownership.
+    pub fn new(config: ModelConfig, taxonomy: &Taxonomy) -> TfTrainer {
+        Self::with_arc(config, Arc::new(taxonomy.clone()))
+    }
+
+    /// Trainer reusing an existing shared taxonomy.
+    pub fn with_arc(config: ModelConfig, taxonomy: Arc<Taxonomy>) -> TfTrainer {
+        if let Err(e) = config.validate() {
+            panic!("invalid ModelConfig: {e}");
+        }
+        TfTrainer { config, taxonomy }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Single-threaded training; deterministic for a given `(seed, data)`.
+    pub fn fit(&self, train: &PurchaseLog, seed: u64) -> TfModel {
+        self.fit_parallel(train, seed, 1).0
+    }
+
+    /// The taxonomy this trainer is bound to.
+    pub fn taxonomy_ref(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Multi-threaded training (Sec. 6.1). Returns the model and the
+    /// per-epoch wall-times used by the Fig. 8 benches.
+    ///
+    /// Steps per epoch = `purchases × negatives_per_positive`, matching
+    /// the paper's definition of an epoch as "a complete pass over the
+    /// data set".
+    pub fn fit_parallel(
+        &self,
+        train: &PurchaseLog,
+        seed: u64,
+        threads: usize,
+    ) -> (TfModel, TrainStats) {
+        let model = TfModel::init(
+            self.config.clone(),
+            Arc::clone(&self.taxonomy),
+            train.num_users(),
+            seed,
+        );
+        self.fit_parallel_from(model, train, seed, threads)
+    }
+
+    /// Run the SGD epochs starting from an existing model's factors
+    /// (warm start; see `TfTrainer::resume` for the validated wrapper).
+    pub(crate) fn fit_parallel_from(
+        &self,
+        model: TfModel,
+        train: &PurchaseLog,
+        seed: u64,
+        threads: usize,
+    ) -> (TfModel, TrainStats) {
+        let threads = threads.max(1);
+        let index = PurchaseIndex::build(train);
+        let mut stats = TrainStats {
+            threads,
+            ..TrainStats::default()
+        };
+        if index.is_empty() || self.config.epochs == 0 {
+            return (model, stats);
+        }
+
+        // Unpack the model into lock-guarded shared state.
+        let TfModel {
+            taxonomy,
+            config,
+            user_factors,
+            node_factors,
+            next_factors,
+            paths,
+            cutoff_level,
+        } = model;
+        let users = SharedFactors::new(user_factors);
+        let nodes = SharedFactors::new(node_factors);
+        let nexts = SharedFactors::new(next_factors);
+
+        let steps_per_epoch =
+            (index.len() as u64) * self.config.negatives_per_positive as u64;
+        let per_thread = steps_per_epoch.div_ceil(threads as u64);
+
+        for epoch in 0..self.config.epochs {
+            let t0 = Instant::now();
+            let worker_stats = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for w in 0..threads {
+                    let ctx = SharedModel {
+                        cfg: &config,
+                        tax: &taxonomy,
+                        paths: &paths,
+                        users: &users,
+                        nodes: &nodes,
+                        nexts: &nexts,
+                    };
+                    let index = &index;
+                    let rng_seed = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((epoch as u64) << 20)
+                        .wrapping_add(w as u64 + 1);
+                    handles.push(scope.spawn(move || {
+                        use rand::SeedableRng;
+                        let mut worker =
+                            Worker::new(ctx, rand::rngs::StdRng::seed_from_u64(rng_seed));
+                        worker.run_steps(train, index, per_thread);
+                        worker.stats
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("SGD worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            stats.epoch_times.push(t0.elapsed());
+            for ws in worker_stats {
+                stats.steps += ws.steps;
+                stats.sibling_steps += ws.sibling_steps;
+                stats.skipped_steps += ws.skipped;
+                stats.cache_flushes += ws.cache_flushes;
+            }
+        }
+
+        let model = TfModel {
+            taxonomy,
+            config,
+            user_factors: users.into_matrix(),
+            node_factors: nodes.into_matrix(),
+            next_factors: nexts.into_matrix(),
+            paths,
+            cutoff_level,
+        };
+        (model, stats)
+    }
+}
+
+/// Build an *untrained* model (random factors) — the paper's "cold" /
+/// random baseline and a convenient fixture for tests and benches.
+pub fn untrained_model(
+    config: ModelConfig,
+    taxonomy: &Taxonomy,
+    num_users: usize,
+    seed: u64,
+) -> TfModel {
+    TfModel::init(config, Arc::new(taxonomy.clone()), num_users, seed)
+}
+
+/// Re-exported internals for white-box tests of the path machinery.
+#[doc(hidden)]
+pub fn debug_paths(model: &TfModel) -> (&PathTable, usize) {
+    (model.paths(), model.cutoff_level())
+}
+
+/// Internal helper shared with `model.rs` (re-exported for tests).
+#[doc(hidden)]
+pub fn debug_cutoff(tax: &Taxonomy, u: usize) -> usize {
+    cutoff_for(tax, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+    use taxrec_taxonomy::ItemId;
+
+    fn tiny_data() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny(), 77)
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let d = tiny_data();
+        let cfg = ModelConfig::tf(4, 0).with_factors(4).with_epochs(2);
+        let t = TfTrainer::new(cfg, &d.taxonomy);
+        let a = t.fit(&d.train, 5);
+        let b = t.fit(&d.train, 5);
+        assert_eq!(a.user_factors, b.user_factors);
+        assert_eq!(a.node_factors, b.node_factors);
+        assert_eq!(a.next_factors, b.next_factors);
+    }
+
+    #[test]
+    fn fit_changes_factors() {
+        let d = tiny_data();
+        let cfg = ModelConfig::tf(4, 1).with_factors(4).with_epochs(2);
+        let trained = TfTrainer::new(cfg.clone(), &d.taxonomy).fit(&d.train, 5);
+        let init = untrained_model(cfg, &d.taxonomy, d.train.num_users(), 5);
+        assert_ne!(trained.node_factors, init.node_factors);
+        assert_ne!(trained.user_factors, init.user_factors);
+        assert_ne!(trained.next_factors, init.next_factors);
+    }
+
+    #[test]
+    fn factors_stay_finite() {
+        let d = tiny_data();
+        let cfg = ModelConfig::tf(4, 2).with_factors(8).with_epochs(5);
+        let m = TfTrainer::new(cfg, &d.taxonomy).fit(&d.train, 1);
+        for mat in [&m.user_factors, &m.node_factors, &m.next_factors] {
+            assert!(mat.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn stats_report_steps_and_epochs() {
+        let d = tiny_data();
+        let cfg = ModelConfig::tf(4, 0).with_factors(4).with_epochs(3);
+        let (_, stats) = TfTrainer::new(cfg, &d.taxonomy).fit_parallel(&d.train, 2, 2);
+        assert_eq!(stats.epoch_times.len(), 3);
+        assert_eq!(stats.threads, 2);
+        let purchases = d.train.num_purchases() as u64;
+        // div_ceil rounding may add up to (threads - 1) steps per epoch.
+        assert!(stats.steps >= purchases * 3);
+        assert!(stats.steps <= (purchases + 2) * 3 + 6);
+        assert!(stats.mean_epoch_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn sibling_steps_counted_only_when_mixed() {
+        let d = tiny_data();
+        let with = ModelConfig::tf(4, 0).with_epochs(1).with_sibling_mix(1.0);
+        let without = ModelConfig::tf(4, 0).with_epochs(1).with_sibling_mix(0.0);
+        let (_, s1) = TfTrainer::new(with, &d.taxonomy).fit_parallel(&d.train, 3, 1);
+        let (_, s0) = TfTrainer::new(without, &d.taxonomy).fit_parallel(&d.train, 3, 1);
+        assert_eq!(s1.sibling_steps, s1.steps);
+        assert_eq!(s0.sibling_steps, 0);
+    }
+
+    #[test]
+    fn parallel_training_matches_serial_quality() {
+        // Not bit-identical (different interleavings), but the parallel
+        // model must fit the training data about as well: compare mean
+        // score margin of positives over random negatives.
+        let d = tiny_data();
+        let cfg = ModelConfig::tf(4, 0).with_factors(8).with_epochs(4);
+        let trainer = TfTrainer::new(cfg, &d.taxonomy);
+        let serial = trainer.fit(&d.train, 9);
+        let (parallel, _) = trainer.fit_parallel(&d.train, 9, 4);
+        let margin = |m: &TfModel| {
+            let scorer = crate::scoring::Scorer::new(m);
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut total = 0.0f64;
+            let mut n = 0u32;
+            for (u, hist) in d.train.iter_users() {
+                for (t, basket) in hist.iter().enumerate() {
+                    let q = scorer.query(u, &hist[..t]);
+                    for &i in basket {
+                        use rand::Rng;
+                        let j = ItemId(rng.gen_range(0..m.num_items() as u32));
+                        total +=
+                            (scorer.score_item(&q, i) - scorer.score_item(&q, j)) as f64;
+                        n += 1;
+                    }
+                }
+            }
+            total / n as f64
+        };
+        let ms = margin(&serial);
+        let mp = margin(&parallel);
+        assert!(ms > 0.0, "serial model failed to learn (margin {ms})");
+        assert!(mp > 0.0, "parallel model failed to learn (margin {mp})");
+        assert!((ms - mp).abs() < 0.5 * ms.max(mp), "margins diverge: {ms} vs {mp}");
+    }
+
+    #[test]
+    fn cache_enabled_training_still_learns() {
+        let d = tiny_data();
+        let cfg = ModelConfig::tf(4, 0)
+            .with_factors(4)
+            .with_epochs(3)
+            .with_cache_threshold(Some(0.1));
+        let (m, stats) = TfTrainer::new(cfg, &d.taxonomy).fit_parallel(&d.train, 6, 3);
+        assert!(stats.cache_flushes > 0, "cache never reconciled");
+        assert!(m.node_factors.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_log_returns_init_model() {
+        let d = tiny_data();
+        let empty = taxrec_dataset::PurchaseLogBuilder::new().build();
+        let cfg = ModelConfig::tf(4, 0).with_epochs(2);
+        let (m, stats) = TfTrainer::new(cfg, &d.taxonomy).fit_parallel(&empty, 1, 2);
+        assert_eq!(stats.steps, 0);
+        assert!(stats.epoch_times.is_empty());
+        assert_eq!(m.num_users(), 0);
+    }
+
+    #[test]
+    fn zero_epochs_no_steps() {
+        let d = tiny_data();
+        let cfg = ModelConfig::tf(4, 0).with_epochs(0);
+        let (_, stats) = TfTrainer::new(cfg, &d.taxonomy).fit_parallel(&d.train, 1, 1);
+        assert_eq!(stats.steps, 0);
+    }
+}

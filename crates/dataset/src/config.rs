@@ -1,0 +1,213 @@
+//! Configuration for synthetic dataset generation and splitting.
+
+use serde::{Deserialize, Serialize};
+use taxrec_taxonomy::TaxonomyShape;
+
+/// Parameters of the synthetic shopping-log generator.
+///
+/// Defaults are tuned so that the generated log reproduces the qualitative
+/// shape of the paper's Figure 5: most users buy a handful of distinct
+/// items, item popularity is heavy-tailed, and users buy several items in
+/// the test period that they never bought in training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Shape of the item taxonomy to generate.
+    pub shape: TaxonomyShape,
+    /// Number of users.
+    pub num_users: usize,
+    /// Mean transactions per user (geometric-ish, clamped to
+    /// `[min_transactions, max_transactions]`).
+    pub mean_transactions: f64,
+    /// Minimum transactions per user. Keep ≥ 2 so every user can be split.
+    pub min_transactions: usize,
+    /// Hard cap on transactions per user (the paper's Fig. 5a histogram
+    /// caps at ~50 distinct items).
+    pub max_transactions: usize,
+    /// Basket sizes are uniform in `basket_min..=basket_max`.
+    pub basket_min: usize,
+    /// See `basket_min`.
+    pub basket_max: usize,
+    /// Number of favourite leaf categories per user (long-term interest).
+    pub user_favorites: usize,
+    /// Probability that a basket is driven by *short-term* dynamics, i.e.
+    /// drawn from a category related (sibling in the taxonomy) to a
+    /// recent basket's category. This is the signal the next-item
+    /// factors learn.
+    pub short_term_prob: f64,
+    /// How many recent baskets can drive short-term dynamics. The
+    /// reference basket is drawn with exponentially decaying weight over
+    /// the last `short_term_window` baskets — camera → flash-card → lens
+    /// chains span several steps, which is what higher-order Markov
+    /// models (Fig. 7f) exploit.
+    pub short_term_window: usize,
+    /// Zipf skew of item popularity within a leaf category.
+    pub item_popularity_skew: f64,
+    /// Fraction of items "released late": they only appear near the end of
+    /// user timelines, so they land mostly in test → cold start.
+    pub new_item_fraction: f64,
+    /// Probability a purchase is uniform noise instead of model-driven.
+    pub noise: f64,
+    /// Default split applied by [`crate::SyntheticDataset::generate`].
+    pub split: SplitConfig,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            shape: TaxonomyShape::default(),
+            num_users: 4000,
+            mean_transactions: 5.0,
+            min_transactions: 2,
+            max_transactions: 50,
+            basket_min: 1,
+            basket_max: 3,
+            user_favorites: 3,
+            short_term_prob: 0.45,
+            short_term_window: 3,
+            item_popularity_skew: 1.0,
+            new_item_fraction: 0.05,
+            noise: 0.08,
+            split: SplitConfig::default(),
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A deliberately tiny dataset for doc examples and fast unit tests
+    /// (hundreds of users, hundreds of items).
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            shape: TaxonomyShape {
+                level_sizes: vec![4, 10, 30],
+                num_items: 400,
+                item_skew: 0.8,
+            },
+            num_users: 300,
+            mean_transactions: 4.0,
+            ..Self::default()
+        }
+    }
+
+    /// A small dataset for integration tests (a few thousand purchases).
+    pub fn small() -> Self {
+        DatasetConfig {
+            shape: TaxonomyShape {
+                level_sizes: vec![8, 30, 120],
+                num_items: 2000,
+                item_skew: 0.8,
+            },
+            num_users: 1500,
+            ..Self::default()
+        }
+    }
+
+    /// The scale used by the figure-regeneration binaries: large enough for
+    /// stable metric ordering, small enough for minutes-scale runs.
+    pub fn experiment() -> Self {
+        DatasetConfig {
+            shape: TaxonomyShape {
+                level_sizes: vec![12, 60, 300],
+                num_items: 8000,
+                item_skew: 0.8,
+            },
+            num_users: 8000,
+            ..Self::default()
+        }
+    }
+
+    /// Override the number of users (builder style).
+    pub fn with_users(mut self, n: usize) -> Self {
+        self.num_users = n;
+        self
+    }
+
+    /// Override the split µ (builder style).
+    pub fn with_split_mu(mut self, mu: f64) -> Self {
+        self.split.mu = mu;
+        self
+    }
+}
+
+/// Train/test split parameters (Sec. 7.1 of the paper).
+///
+/// For each user, a fraction `~ N(mu, sigma)` (clamped) of their
+/// transactions — always the chronological prefix — goes to train; the
+/// remainder to test. `mu = 0.25` is the paper's "sparse" regime,
+/// `0.75` its "dense" regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitConfig {
+    /// Mean train fraction µ.
+    pub mu: f64,
+    /// Std-dev of the per-user train fraction (paper: 0.05).
+    pub sigma: f64,
+    /// Remove items from test transactions that the user already bought in
+    /// train (paper: "we remove those items ... repeated purchases").
+    pub drop_repeats: bool,
+    /// RNG seed for the per-user fraction draws.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            mu: 0.5,
+            sigma: 0.05,
+            drop_repeats: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SplitConfig {
+    /// The paper's sparse regime (µ = 0.25).
+    pub fn sparse() -> Self {
+        SplitConfig {
+            mu: 0.25,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's dense regime (µ = 0.75).
+    pub fn dense() -> Self {
+        SplitConfig {
+            mu: 0.75,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DatasetConfig::default();
+        assert!(c.basket_min >= 1);
+        assert!(c.basket_max >= c.basket_min);
+        assert!(c.min_transactions >= 2);
+        assert!(c.short_term_prob >= 0.0 && c.short_term_prob <= 1.0);
+        assert!((0.0..=1.0).contains(&c.new_item_fraction));
+    }
+
+    #[test]
+    fn presets_scale_up() {
+        assert!(DatasetConfig::tiny().num_users < DatasetConfig::experiment().num_users);
+        assert!(
+            DatasetConfig::tiny().shape.num_items < DatasetConfig::experiment().shape.num_items
+        );
+    }
+
+    #[test]
+    fn split_regimes() {
+        assert!(SplitConfig::sparse().mu < SplitConfig::default().mu);
+        assert!(SplitConfig::default().mu < SplitConfig::dense().mu);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = DatasetConfig::tiny().with_users(7).with_split_mu(0.33);
+        assert_eq!(c.num_users, 7);
+        assert!((c.split.mu - 0.33).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,316 @@
+//! Import real-world purchase logs from delimited text.
+//!
+//! The format a shop's data warehouse can trivially export:
+//!
+//! ```text
+//! # user_id <TAB> transaction_seq <TAB> category/path/of/item <TAB> item_name
+//! alice   0   electronics/cameras/dslr    canon-eos-550d
+//! alice   1   electronics/storage/sd-card sandisk-extreme-8gb
+//! bob     0   home/garden/tools           fiskars-pruner
+//! ```
+//!
+//! The importer builds **both** artifacts at once: the [`Taxonomy`]
+//! (category paths become interior nodes, item names become leaves) and
+//! the [`PurchaseLog`] (rows with the same `(user, seq)` form one
+//! basket; transactions are ordered by `seq`). User and item identifiers
+//! are assigned densely in first-appearance order, mirroring the paper's
+//! anonymised sequential numbering.
+
+use crate::log::{PurchaseLog, PurchaseLogBuilder, Transaction};
+use std::collections::HashMap;
+use taxrec_taxonomy::{ItemId, NodeId, Taxonomy, TaxonomyBuilder};
+
+/// Errors from parsing an import file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// A malformed line, with its 1-based number and a description.
+    BadLine(usize, String),
+    /// An item name appears under two different category paths.
+    InconsistentItem(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::BadLine(n, m) => write!(f, "line {n}: {m}"),
+            ImportError::InconsistentItem(item) => {
+                write!(f, "item '{item}' appears under multiple category paths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Result of a successful import.
+#[derive(Debug, Clone)]
+pub struct ImportedDataset {
+    /// The reconstructed taxonomy.
+    pub taxonomy: Taxonomy,
+    /// The purchase log over dense ids.
+    pub log: PurchaseLog,
+    /// Original user names in dense-id order.
+    pub user_names: Vec<String>,
+    /// Original item names in dense-`ItemId` order.
+    pub item_names: Vec<String>,
+    /// Slash-joined category path per taxonomy node (root = "").
+    pub node_paths: Vec<String>,
+}
+
+impl ImportedDataset {
+    /// Dense id of an original user name.
+    pub fn user_id(&self, name: &str) -> Option<usize> {
+        self.user_names.iter().position(|n| n == name)
+    }
+
+    /// Dense id of an original item name.
+    pub fn item_id(&self, name: &str) -> Option<ItemId> {
+        self.item_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ItemId(i as u32))
+    }
+}
+
+/// Parse tab- (or multi-space-) separated purchase rows. Lines starting
+/// with `#` and blank lines are skipped.
+pub fn parse_purchase_rows(text: &str) -> Result<ImportedDataset, ImportError> {
+    struct Row<'a> {
+        user: &'a str,
+        seq: u64,
+        path: &'a str,
+        item: &'a str,
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (user, seq, path, item) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(u), Some(s), Some(p), Some(i)) => (u.trim(), s.trim(), p.trim(), i.trim()),
+            _ => {
+                // Fall back to whitespace splitting for hand-written files.
+                let mut ws = line.split_whitespace();
+                match (ws.next(), ws.next(), ws.next(), ws.next()) {
+                    (Some(u), Some(s), Some(p), Some(i)) => (u, s, p, i),
+                    _ => {
+                        return Err(ImportError::BadLine(
+                            ln + 1,
+                            "expected 4 fields: user, seq, category-path, item".into(),
+                        ))
+                    }
+                }
+            }
+        };
+        let seq: u64 = seq.parse().map_err(|_| {
+            ImportError::BadLine(ln + 1, format!("transaction seq '{seq}' is not a number"))
+        })?;
+        if user.is_empty() || path.is_empty() || item.is_empty() {
+            return Err(ImportError::BadLine(ln + 1, "empty field".into()));
+        }
+        rows.push(Row { user, seq, path, item });
+    }
+
+    // Pass 1: taxonomy. Interior nodes from category paths, then leaves.
+    // (Items must be added after all categories so categories are never
+    // leaves; the builder assigns ids in insertion order, so we insert
+    // categories first.)
+    let mut b = TaxonomyBuilder::new();
+    let mut path_node: HashMap<String, NodeId> = HashMap::new();
+    let mut node_paths: Vec<String> = vec![String::new()];
+    for row in &rows {
+        let mut acc = String::new();
+        let mut parent = NodeId::ROOT;
+        for seg in row.path.split('/').filter(|s| !s.is_empty()) {
+            if !acc.is_empty() {
+                acc.push('/');
+            }
+            acc.push_str(seg);
+            parent = match path_node.get(&acc) {
+                Some(&n) => n,
+                None => {
+                    let n = b.add_child(parent).expect("arena capacity");
+                    path_node.insert(acc.clone(), n);
+                    node_paths.push(acc.clone());
+                    n
+                }
+            };
+        }
+    }
+    // Items: unique (item name) → leaf under its category path.
+    let mut item_parent: HashMap<&str, &str> = HashMap::new();
+    let mut item_order: Vec<&str> = Vec::new();
+    for row in &rows {
+        match item_parent.get(row.item) {
+            Some(&p) if p != row.path => {
+                return Err(ImportError::InconsistentItem(row.item.to_string()))
+            }
+            Some(_) => {}
+            None => {
+                item_parent.insert(row.item, row.path);
+                item_order.push(row.item);
+            }
+        }
+    }
+    let mut item_node: HashMap<&str, NodeId> = HashMap::with_capacity(item_order.len());
+    for &item in &item_order {
+        let path = item_parent[item];
+        let parent = *path_node
+            .get(&normalise_path(path))
+            .expect("path inserted in pass 1");
+        let n = b.add_child(parent).expect("arena capacity");
+        item_node.insert(item, n);
+        node_paths.push(format!("{}/{}", normalise_path(path), item));
+    }
+    let taxonomy = b.freeze();
+
+    // Pass 2: the log. Group rows by user (first appearance order), then
+    // by seq within user.
+    let mut user_ids: HashMap<&str, usize> = HashMap::new();
+    let mut user_names: Vec<String> = Vec::new();
+    let mut per_user: Vec<Vec<(u64, ItemId)>> = Vec::new();
+    for row in &rows {
+        let uid = *user_ids.entry(row.user).or_insert_with(|| {
+            user_names.push(row.user.to_string());
+            per_user.push(Vec::new());
+            user_names.len() - 1
+        });
+        let node = item_node[row.item];
+        let item = taxonomy.node_item(node).expect("items are leaves");
+        per_user[uid].push((row.seq, item));
+    }
+    let mut builder = PurchaseLogBuilder::with_capacity(per_user.len());
+    for purchases in &mut per_user {
+        purchases.sort_by_key(|&(seq, item)| (seq, item));
+        let mut history: Vec<Transaction> = Vec::new();
+        let mut cur_seq: Option<u64> = None;
+        for &(seq, item) in purchases.iter() {
+            if cur_seq != Some(seq) {
+                history.push(Vec::new());
+                cur_seq = Some(seq);
+            }
+            history.last_mut().expect("pushed above").push(item);
+        }
+        builder.push_user(history);
+    }
+
+    let item_names = item_order.iter().map(|s| s.to_string()).collect();
+    Ok(ImportedDataset {
+        taxonomy,
+        log: builder.build(),
+        user_names,
+        item_names,
+        node_paths,
+    })
+}
+
+fn normalise_path(p: &str) -> String {
+    p.split('/')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo shop export
+alice\t0\telectronics/cameras/dslr\tcanon-550d
+alice\t0\telectronics/cameras/dslr\tnikon-d90
+alice\t1\telectronics/storage/sd\tsandisk-8gb
+bob\t0\thome/garden\tpruner
+bob\t2\telectronics/cameras/dslr\tcanon-550d
+";
+
+    #[test]
+    fn builds_taxonomy_and_log() {
+        let d = parse_purchase_rows(SAMPLE).unwrap();
+        assert_eq!(d.user_names, vec!["alice", "bob"]);
+        assert_eq!(d.item_names.len(), 4);
+        // Interior: root + electronics, cameras, dslr, storage, sd, home,
+        // garden = 8 nodes; items = 4.
+        assert_eq!(d.taxonomy.num_interior(), 8);
+        assert_eq!(d.taxonomy.num_items(), 4);
+        // alice: two transactions (seq 0 has 2 items, seq 1 has 1).
+        assert_eq!(d.log.user(0).len(), 2);
+        assert_eq!(d.log.user(0)[0].len(), 2);
+        assert_eq!(d.log.user(0)[1].len(), 1);
+        // bob: seq 0 and seq 2 → two transactions, order preserved.
+        assert_eq!(d.log.user(1).len(), 2);
+    }
+
+    #[test]
+    fn shared_items_map_to_same_id() {
+        let d = parse_purchase_rows(SAMPLE).unwrap();
+        let canon = d.item_id("canon-550d").unwrap();
+        assert!(d.log.user(0)[0].contains(&canon));
+        assert!(d.log.user(1)[1].contains(&canon));
+    }
+
+    #[test]
+    fn category_structure_is_correct() {
+        let d = parse_purchase_rows(SAMPLE).unwrap();
+        let canon = d.item_id("canon-550d").unwrap();
+        let node = d.taxonomy.item_node(canon);
+        // canon-550d: root → electronics → cameras → dslr → item.
+        assert_eq!(d.taxonomy.level(node), 4);
+        let parent = d.taxonomy.parent(node).unwrap();
+        assert_eq!(d.node_paths[parent.index()], "electronics/cameras/dslr");
+    }
+
+    #[test]
+    fn whitespace_fallback_and_comments() {
+        let text = "carol 3 a/b thing\n# comment\n\n";
+        let d = parse_purchase_rows(text).unwrap();
+        assert_eq!(d.user_names, vec!["carol"]);
+        assert_eq!(d.log.user(0).len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            parse_purchase_rows("alice\t0\tonly-three-fields"),
+            Err(ImportError::BadLine(1, _))
+        ));
+        assert!(matches!(
+            parse_purchase_rows("alice\tnotanumber\ta/b\tx"),
+            Err(ImportError::BadLine(1, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_item_category() {
+        let text = "a\t0\tx/y\titem1\nb\t0\tx/z\titem1\n";
+        assert!(matches!(
+            parse_purchase_rows(text),
+            Err(ImportError::InconsistentItem(item)) if item == "item1"
+        ));
+    }
+
+    #[test]
+    fn ragged_depths_supported() {
+        let text = "a\t0\tshallow\titem1\nb\t0\tvery/deep/path/here\titem2\n";
+        let d = parse_purchase_rows(text).unwrap();
+        let i1 = d.item_id("item1").unwrap();
+        let i2 = d.item_id("item2").unwrap();
+        assert_eq!(d.taxonomy.level(d.taxonomy.item_node(i1)), 2);
+        assert_eq!(d.taxonomy.level(d.taxonomy.item_node(i2)), 5);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_dataset() {
+        let d = parse_purchase_rows("# nothing\n").unwrap();
+        assert_eq!(d.log.num_users(), 0);
+        assert_eq!(d.taxonomy.num_items(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # taxrec-dataset
+//!
+//! Purchase-log data model and synthetic shopping-log generation.
+//!
+//! The paper evaluates on a proprietary Yahoo! shopping log (≈1M users,
+//! ≈1.5M items, 2.3 purchases/user, 6 months). This crate substitutes a
+//! **seeded synthetic generator** ([`SyntheticDataset`]) whose output
+//! matches the *statistical shape* the evaluation depends on:
+//!
+//! * extreme sparsity (few purchases per user over a huge catalog);
+//! * heavy-tailed item popularity (Fig. 5c);
+//! * taxonomy-correlated long-term interests (users shop inside a few
+//!   favourite categories);
+//! * short-term co-purchase dynamics across *related* categories
+//!   (camera → flash-card, Sec. 1), realised as a category-level Markov
+//!   process — exactly the structure the TF next-item factors model;
+//! * late-released items for cold-start experiments (Fig. 7c).
+//!
+//! Train/test splitting ([`split`]) follows Sec. 7.1: a per-user random
+//! fraction `~ N(µ, 0.05)` of transactions goes to train, the rest to
+//! test, and repeat purchases are removed from test.
+
+pub mod config;
+pub mod generator;
+pub mod import;
+pub mod log;
+pub mod serialize;
+pub mod split;
+pub mod stats;
+
+pub use config::{DatasetConfig, SplitConfig};
+pub use generator::SyntheticDataset;
+pub use import::{parse_purchase_rows, ImportError, ImportedDataset};
+pub use log::{PurchaseLog, PurchaseLogBuilder, Transaction, UserId};
+pub use split::{split_log, Split};
+pub use stats::{DatasetSummary, Histogram};
+
+pub use taxrec_taxonomy::{ItemId, NodeId, Taxonomy};

@@ -1,0 +1,193 @@
+//! Compact binary (de)serialisation of purchase logs.
+//!
+//! Format (all varint unless noted):
+//!
+//! ```text
+//! magic   u32 LE = 0x5052_4c31 ("PRL1")
+//! users   varint
+//! per user:  transactions varint
+//!   per transaction: basket size varint, then delta-coded item ids
+//!                    (baskets are sorted, so deltas are small)
+//! ```
+
+use crate::log::{PurchaseLog, PurchaseLogBuilder, Transaction};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use taxrec_taxonomy::ItemId;
+
+const MAGIC: u32 = 0x5052_4c31;
+
+/// Errors from decoding a purchase-log buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogDecodeError(pub String);
+
+impl std::fmt::Display for LogDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt purchase log: {}", self.0)
+    }
+}
+
+impl std::error::Error for LogDecodeError {}
+
+/// Encode a log into a self-describing buffer.
+pub fn encode(log: &PurchaseLog) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + log.num_purchases() * 2);
+    buf.put_u32_le(MAGIC);
+    put_varint(&mut buf, log.num_users() as u64);
+    for (_, hist) in log.iter_users() {
+        put_varint(&mut buf, hist.len() as u64);
+        for t in hist {
+            put_varint(&mut buf, t.len() as u64);
+            let mut prev = 0u64;
+            for (i, item) in t.iter().enumerate() {
+                let v = item.0 as u64;
+                // First id absolute, rest delta-1 (strictly increasing).
+                if i == 0 {
+                    put_varint(&mut buf, v);
+                } else {
+                    put_varint(&mut buf, v - prev - 1);
+                }
+                prev = v;
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(mut buf: &[u8]) -> Result<PurchaseLog, LogDecodeError> {
+    if buf.remaining() < 4 {
+        return Err(LogDecodeError("truncated header".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(LogDecodeError(format!("bad magic 0x{magic:08x}")));
+    }
+    let users = get_varint(&mut buf)? as usize;
+    let mut b = PurchaseLogBuilder::with_capacity(users);
+    for u in 0..users {
+        let n_tx = get_varint(&mut buf)? as usize;
+        let mut hist: Vec<Transaction> = Vec::with_capacity(n_tx);
+        for _ in 0..n_tx {
+            let sz = get_varint(&mut buf)? as usize;
+            if sz == 0 {
+                return Err(LogDecodeError(format!("user {u}: empty basket encoded")));
+            }
+            let mut basket = Vec::with_capacity(sz);
+            let mut prev = 0u64;
+            for i in 0..sz {
+                let raw = get_varint(&mut buf)?;
+                let v = if i == 0 { raw } else { prev + 1 + raw };
+                if v > u32::MAX as u64 {
+                    return Err(LogDecodeError(format!("item id {v} exceeds u32")));
+                }
+                basket.push(ItemId(v as u32));
+                prev = v;
+            }
+            hist.push(basket);
+        }
+        b.push_user(hist);
+    }
+    if buf.has_remaining() {
+        return Err(LogDecodeError(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(b.build())
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, LogDecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(LogDecodeError("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(LogDecodeError("varint overflow".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use crate::generator::SyntheticDataset;
+    use crate::log::PurchaseLogBuilder;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let mut b = PurchaseLogBuilder::new();
+        b.push_user(vec![vec![item(5), item(2)], vec![item(9)]]);
+        b.push_user(vec![]);
+        b.push_user(vec![vec![item(0), item(1), item(2)]]);
+        let log = b.build();
+        assert_eq!(decode(&encode(&log)).unwrap(), log);
+    }
+
+    #[test]
+    fn roundtrip_generated() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(), 6);
+        let enc = encode(&d.log);
+        assert_eq!(decode(&enc).unwrap(), d.log);
+        // Delta coding should stay compact: < 3 bytes per purchase + tx
+        // overhead on the tiny catalog.
+        assert!(enc.len() < d.log.num_purchases() * 4 + d.log.num_transactions() * 2 + 64);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let log = PurchaseLog::new();
+        assert_eq!(decode(&encode(&log)).unwrap(), log);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(decode(&[1, 2, 3, 4, 0]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(20), 6);
+        let enc = encode(&d.log);
+        for cut in [0usize, 3, 10, enc.len() / 2, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let log = PurchaseLog::new();
+        let mut enc = encode(&log).to_vec();
+        enc.push(7);
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn large_item_ids_roundtrip() {
+        let mut b = PurchaseLogBuilder::new();
+        b.push_user(vec![vec![item(u32::MAX - 1), item(u32::MAX)]]);
+        let log = b.build();
+        assert_eq!(decode(&encode(&log)).unwrap(), log);
+    }
+}

@@ -1,0 +1,194 @@
+//! Train/test splitting (Sec. 7.1 of the paper).
+//!
+//! "For each user, we pick a random fraction of transactions (with mean µ
+//! and variance σ) and select all subsequent (in time) transactions into
+//! the test dataset. ... we remove those items (repeated purchases) from
+//! the users' test transactions which were previously bought by the user."
+
+use crate::config::SplitConfig;
+use crate::log::{PurchaseLog, PurchaseLogBuilder, Transaction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxrec_taxonomy::ItemId;
+
+/// Result of splitting one log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Per-user chronological prefix.
+    pub train: PurchaseLog,
+    /// Per-user suffix, with repeats of train items removed when
+    /// configured. Users keep their indices; a user whose entire history
+    /// went to train simply has an empty test history.
+    pub test: PurchaseLog,
+}
+
+/// Split `log` according to `config`. User indices are preserved in both
+/// halves (both logs have `log.num_users()` users).
+pub fn split_log(log: &PurchaseLog, config: &SplitConfig) -> Split {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut train_b = PurchaseLogBuilder::with_capacity(log.num_users());
+    let mut test_b = PurchaseLogBuilder::with_capacity(log.num_users());
+
+    for (_, hist) in log.iter_users() {
+        let n = hist.len();
+        if n < 2 {
+            // Too short to split: keep everything in train.
+            train_b.push_user(hist.to_vec());
+            test_b.push_user(Vec::new());
+            continue;
+        }
+        let frac = sample_fraction(config, &mut rng);
+        // At least 1 train transaction; at least 1 test transaction.
+        let n_train = ((frac * n as f64).round() as usize).clamp(1, n - 1);
+
+        let train_hist: Vec<Transaction> = hist[..n_train].to_vec();
+        let mut test_hist: Vec<Transaction> = hist[n_train..].to_vec();
+
+        if config.drop_repeats {
+            let mut seen: Vec<ItemId> = train_hist.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in &mut test_hist {
+                t.retain(|i| seen.binary_search(i).is_err());
+            }
+            test_hist.retain(|t| !t.is_empty());
+        }
+
+        train_b.push_user(train_hist);
+        test_b.push_user(test_hist);
+    }
+
+    Split {
+        train: train_b.build(),
+        test: test_b.build(),
+    }
+}
+
+/// Truncated-normal train fraction `~ N(µ, σ)`, clamped to (0, 1).
+fn sample_fraction(config: &SplitConfig, rng: &mut StdRng) -> f64 {
+    // Box–Muller; avoids a distributions dependency for one draw.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (config.mu + config.sigma * z).clamp(0.02, 0.98)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitConfig;
+    use crate::log::PurchaseLogBuilder;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn log_with(histories: Vec<Vec<Transaction>>) -> PurchaseLog {
+        let mut b = PurchaseLogBuilder::new();
+        for h in histories {
+            b.push_user(h);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn prefix_goes_to_train_suffix_to_test() {
+        let log = log_with(vec![vec![
+            vec![item(0)],
+            vec![item(1)],
+            vec![item(2)],
+            vec![item(3)],
+        ]]);
+        let s = split_log(&log, &SplitConfig { mu: 0.5, sigma: 0.0, ..Default::default() });
+        assert_eq!(s.train.user(0).len(), 2);
+        assert_eq!(s.test.user(0).len(), 2);
+        assert_eq!(s.train.user(0)[0], vec![item(0)]);
+        assert_eq!(s.test.user(0)[0], vec![item(2)]);
+    }
+
+    #[test]
+    fn single_transaction_user_stays_in_train() {
+        let log = log_with(vec![vec![vec![item(5)]]]);
+        let s = split_log(&log, &SplitConfig::default());
+        assert_eq!(s.train.user(0).len(), 1);
+        assert!(s.test.user(0).is_empty());
+    }
+
+    #[test]
+    fn every_user_keeps_at_least_one_train_transaction() {
+        let log = log_with(vec![
+            vec![vec![item(0)], vec![item(1)]];
+            50
+        ]);
+        let s = split_log(&log, &SplitConfig { mu: 0.02, sigma: 0.0, ..Default::default() });
+        for (u, hist) in s.train.iter_users() {
+            assert!(!hist.is_empty(), "user {u} has no train data");
+        }
+    }
+
+    #[test]
+    fn repeats_removed_from_test() {
+        let log = log_with(vec![vec![
+            vec![item(0), item(1)],
+            vec![item(0)],       // repeat of item 0 → dropped from test
+            vec![item(2), item(1)], // item 1 repeat dropped, item 2 stays
+        ]]);
+        let cfg = SplitConfig { mu: 0.34, sigma: 0.0, ..Default::default() };
+        let s = split_log(&log, &cfg);
+        assert_eq!(s.train.user(0).len(), 1);
+        let test_items: Vec<ItemId> = s.test.user(0).iter().flatten().copied().collect();
+        assert_eq!(test_items, vec![item(2)]);
+    }
+
+    #[test]
+    fn repeats_kept_when_disabled() {
+        let log = log_with(vec![vec![vec![item(0)], vec![item(0)]]]);
+        let cfg = SplitConfig { mu: 0.5, sigma: 0.0, drop_repeats: false, ..Default::default() };
+        let s = split_log(&log, &cfg);
+        assert_eq!(s.test.user(0), &[vec![item(0)]]);
+    }
+
+    #[test]
+    fn mu_controls_train_share() {
+        let log = log_with(vec![
+            vec![vec![item(0)]; 20];
+            200
+        ]);
+        let frac = |mu: f64| {
+            let cfg = SplitConfig { mu, sigma: 0.05, drop_repeats: false, ..Default::default() };
+            let s = split_log(&log, &cfg);
+            s.train.num_transactions() as f64 / log.num_transactions() as f64
+        };
+        let sparse = frac(0.25);
+        let mid = frac(0.5);
+        let dense = frac(0.75);
+        assert!((sparse - 0.25).abs() < 0.05, "sparse frac {sparse}");
+        assert!((mid - 0.5).abs() < 0.05, "mid frac {mid}");
+        assert!((dense - 0.75).abs() < 0.05, "dense frac {dense}");
+    }
+
+    #[test]
+    fn split_is_deterministic_in_seed() {
+        let log = log_with(vec![vec![vec![item(0)], vec![item(1)], vec![item(2)]]; 30]);
+        let a = split_log(&log, &SplitConfig::default());
+        let b = split_log(&log, &SplitConfig::default());
+        assert_eq!(a, b);
+        let c = split_log(&log, &SplitConfig { seed: 999, ..Default::default() });
+        // Different seed → different per-user fractions (almost surely).
+        assert!(a.train != c.train || a.test != c.test);
+    }
+
+    #[test]
+    fn no_purchase_lost_when_repeats_kept() {
+        let log = log_with(vec![
+            vec![vec![item(0), item(3)], vec![item(1)], vec![item(2)]];
+            10
+        ]);
+        let cfg = SplitConfig { drop_repeats: false, ..Default::default() };
+        let s = split_log(&log, &cfg);
+        assert_eq!(
+            s.train.num_purchases() + s.test.num_purchases(),
+            log.num_purchases()
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Dataset statistics (Figure 5 of the paper).
+//!
+//! Three histograms characterise the data: distinct items per user in
+//! train (Fig. 5a), *new* items per user in test (Fig. 5b), and item
+//! popularity (Fig. 5c). [`DatasetSummary`] bundles them with the scalar
+//! shape numbers the paper quotes (purchases/user, level sizes).
+
+use crate::log::PurchaseLog;
+use serde::{Deserialize, Serialize};
+use taxrec_taxonomy::Taxonomy;
+
+#[cfg(test)]
+use taxrec_taxonomy::ItemId;
+
+/// A fixed-width histogram over non-negative integer observations.
+///
+/// Observations `>= num_bins` are clamped into the last bin, mirroring how
+/// the paper's Fig. 5 axes cap at 50.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with `num_bins` bins.
+    pub fn new(num_bins: usize) -> Self {
+        assert!(num_bins > 0, "histogram needs at least one bin");
+        Histogram {
+            bins: vec![0; num_bins],
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: usize) {
+        let idx = value.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// All bins.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded (clamped) observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Fraction of observations at or below `value`.
+    pub fn cdf(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.bins[..=value.min(self.bins.len() - 1)].iter().sum();
+        upto as f64 / self.total as f64
+    }
+
+    /// Render as an ASCII bar chart (used by the `fig5` binary).
+    pub fn render(&self, label: &str, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::with_capacity(self.bins.len() * (max_width + 16));
+        out.push_str(label);
+        out.push('\n');
+        for (v, &c) in self.bins.iter().enumerate() {
+            let w = ((c as f64 / peak as f64) * max_width as f64).round() as usize;
+            let tail = if v == self.bins.len() - 1 { "+" } else { " " };
+            out.push_str(&format!("{v:>4}{tail} |{:<w$}| {c}\n", "#".repeat(w), w = max_width));
+        }
+        out
+    }
+}
+
+/// Distinct items bought per user (Fig. 5a when fed the train log).
+pub fn items_per_user_histogram(log: &PurchaseLog, num_bins: usize) -> Histogram {
+    let mut h = Histogram::new(num_bins);
+    for (u, _) in log.iter_users() {
+        h.record(log.distinct_items(u).len());
+    }
+    h
+}
+
+/// *New* items per user: distinct test items not bought in train
+/// (Fig. 5b). Assumes both logs index the same users.
+pub fn new_items_per_user_histogram(
+    train: &PurchaseLog,
+    test: &PurchaseLog,
+    num_bins: usize,
+) -> Histogram {
+    assert_eq!(
+        train.num_users(),
+        test.num_users(),
+        "train/test must cover the same users"
+    );
+    let mut h = Histogram::new(num_bins);
+    for u in 0..train.num_users() {
+        let train_items = train.distinct_items(u);
+        let new = test
+            .distinct_items(u)
+            .iter()
+            .filter(|i| train_items.binary_search(i).is_err())
+            .count();
+        h.record(new);
+    }
+    h
+}
+
+/// Number of purchases per item ("popularity", Fig. 5c raw counts).
+pub fn item_popularity(log: &PurchaseLog, num_items: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; num_items];
+    for (_, hist) in log.iter_users() {
+        for t in hist {
+            for &i in t {
+                counts[i.index()] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Histogram of item popularity (x = times purchased, y = #items).
+pub fn popularity_histogram(log: &PurchaseLog, num_items: usize, num_bins: usize) -> Histogram {
+    let mut h = Histogram::new(num_bins);
+    for c in item_popularity(log, num_items) {
+        h.record(c as usize);
+    }
+    h
+}
+
+/// Scalar + histogram summary of a dataset (the numbers Sec. 7.1 quotes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Users in the log.
+    pub num_users: usize,
+    /// Items in the taxonomy.
+    pub num_items: usize,
+    /// Nodes per taxonomy level, root first.
+    pub level_sizes: Vec<usize>,
+    /// Mean purchases per user (paper: 2.3).
+    pub purchases_per_user: f64,
+    /// Total transactions.
+    pub num_transactions: usize,
+    /// Fig. 5a.
+    pub items_per_user: Histogram,
+    /// Fig. 5b.
+    pub new_items_per_user: Histogram,
+    /// Fig. 5c.
+    pub popularity: Histogram,
+}
+
+impl DatasetSummary {
+    /// Compute the full summary for a split dataset.
+    pub fn compute(
+        taxonomy: &Taxonomy,
+        train: &PurchaseLog,
+        test: &PurchaseLog,
+        num_bins: usize,
+    ) -> DatasetSummary {
+        DatasetSummary {
+            num_users: train.num_users(),
+            num_items: taxonomy.num_items(),
+            level_sizes: taxonomy.level_sizes(),
+            purchases_per_user: train.purchases_per_user(),
+            num_transactions: train.num_transactions(),
+            items_per_user: items_per_user_histogram(train, num_bins),
+            new_items_per_user: new_items_per_user_histogram(train, test, num_bins),
+            popularity: popularity_histogram(train, taxonomy.num_items(), num_bins),
+        }
+    }
+}
+
+/// Share of purchases captured by the `top_fraction` most popular items —
+/// a scalar heavy-tail measure used in tests and EXPERIMENTS.md.
+pub fn top_share(log: &PurchaseLog, num_items: usize, top_fraction: f64) -> f64 {
+    let mut counts = item_popularity(log, num_items);
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = ((num_items as f64 * top_fraction).ceil() as usize).min(num_items);
+    let top: u64 = counts[..k].iter().sum();
+    top as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::PurchaseLogBuilder;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn demo_logs() -> (PurchaseLog, PurchaseLog) {
+        let mut train = PurchaseLogBuilder::new();
+        train.push_user(vec![vec![item(0), item(1)], vec![item(2)]]); // 3 distinct
+        train.push_user(vec![vec![item(0)]]); // 1 distinct
+        let mut test = PurchaseLogBuilder::new();
+        test.push_user(vec![vec![item(3)]]); // 1 new
+        test.push_user(vec![vec![item(0)], vec![item(4), item(5)]]); // 2 new (0 is repeat)
+        (train.build(), test.build())
+    }
+
+    #[test]
+    fn histogram_records_and_clamps() {
+        let mut h = Histogram::new(5);
+        h.record(0);
+        h.record(4);
+        h.record(99); // clamped into last bin
+        assert_eq!(h.bin(0), 1);
+        assert_eq!(h.bin(4), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_mean_and_cdf() {
+        let mut h = Histogram::new(10);
+        for v in [1, 2, 3] {
+            h.record(v);
+        }
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert!((h.cdf(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.cdf(9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn items_per_user_counts_distinct() {
+        let (train, _) = demo_logs();
+        let h = items_per_user_histogram(&train, 10);
+        assert_eq!(h.bin(3), 1);
+        assert_eq!(h.bin(1), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn new_items_exclude_train_repeats() {
+        let (train, test) = demo_logs();
+        let h = new_items_per_user_histogram(&train, &test, 10);
+        assert_eq!(h.bin(1), 1); // user 0
+        assert_eq!(h.bin(2), 1); // user 1: items 4, 5 new; 0 is a repeat
+    }
+
+    #[test]
+    fn popularity_counts_every_purchase() {
+        let (train, _) = demo_logs();
+        let pop = item_popularity(&train, 6);
+        assert_eq!(pop[0], 2);
+        assert_eq!(pop[1], 1);
+        assert_eq!(pop[5], 0);
+    }
+
+    #[test]
+    fn top_share_bounds() {
+        let (train, _) = demo_logs();
+        let s = top_share(&train, 6, 0.2);
+        assert!(s > 0.0 && s <= 1.0);
+        assert_eq!(top_share(&PurchaseLog::new(), 6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_labelled() {
+        let mut h = Histogram::new(3);
+        h.record(1);
+        let s = h.render("demo", 20);
+        assert!(s.starts_with("demo\n"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn summary_assembles() {
+        use taxrec_taxonomy::{TaxonomyGenerator, TaxonomyShape};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let tax = TaxonomyGenerator::new(TaxonomyShape {
+            level_sizes: vec![2, 4],
+            num_items: 10,
+            item_skew: 0.0,
+        })
+        .generate(&mut StdRng::seed_from_u64(0))
+        .taxonomy;
+        let (train, test) = demo_logs();
+        let s = DatasetSummary::compute(&tax, &train, &test, 8);
+        assert_eq!(s.num_items, 10);
+        assert_eq!(s.num_users, 2);
+        assert!(s.purchases_per_user > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same users")]
+    fn mismatched_user_counts_panic() {
+        let (train, _) = demo_logs();
+        let empty = PurchaseLog::new();
+        let _ = new_items_per_user_histogram(&train, &empty, 4);
+    }
+}

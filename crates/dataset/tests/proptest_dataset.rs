@@ -1,0 +1,117 @@
+//! Property-based tests of splitting, statistics and log serialisation.
+
+use proptest::prelude::*;
+use taxrec_dataset::{
+    config::SplitConfig, serialize, split_log, stats, PurchaseLog, PurchaseLogBuilder,
+};
+use taxrec_taxonomy::ItemId;
+
+/// Arbitrary log: up to 20 users × up to 8 transactions × up to 4 items
+/// over a 50-item catalog.
+fn arb_log() -> impl Strategy<Value = PurchaseLog> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..50, 1..5),
+            0..9,
+        ),
+        0..20,
+    )
+    .prop_map(|users| {
+        let mut b = PurchaseLogBuilder::with_capacity(users.len());
+        for hist in users {
+            b.push_user(
+                hist.into_iter()
+                    .map(|t| t.into_iter().map(ItemId).collect())
+                    .collect(),
+            );
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialization_roundtrips(log in arb_log()) {
+        let enc = serialize::encode(&log);
+        prop_assert_eq!(serialize::decode(&enc).unwrap(), log);
+    }
+
+    #[test]
+    fn split_preserves_users_and_order(log in arb_log(), mu in 0.05f64..0.95) {
+        let cfg = SplitConfig { mu, sigma: 0.1, drop_repeats: false, seed: 7 };
+        let s = split_log(&log, &cfg);
+        prop_assert_eq!(s.train.num_users(), log.num_users());
+        prop_assert_eq!(s.test.num_users(), log.num_users());
+        for u in 0..log.num_users() {
+            // train ++ test == original history (drop_repeats off).
+            let mut recombined: Vec<_> = s.train.user(u).to_vec();
+            recombined.extend(s.test.user(u).iter().cloned());
+            prop_assert_eq!(recombined.as_slice(), log.user(u));
+        }
+    }
+
+    #[test]
+    fn split_never_leaves_user_without_train(log in arb_log(), mu in 0.05f64..0.95) {
+        let cfg = SplitConfig { mu, sigma: 0.2, drop_repeats: true, seed: 3 };
+        let s = split_log(&log, &cfg);
+        for u in 0..log.num_users() {
+            if !log.user(u).is_empty() {
+                prop_assert!(!s.train.user(u).is_empty(), "user {u} lost all train data");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_repeats_removes_exactly_train_items(log in arb_log()) {
+        let cfg = SplitConfig { mu: 0.5, sigma: 0.1, drop_repeats: true, seed: 1 };
+        let with = split_log(&log, &cfg);
+        let without = split_log(&log, &SplitConfig { drop_repeats: false, ..cfg });
+        // Same split points (same seed): test-with = test-without minus
+        // train items.
+        for u in 0..log.num_users() {
+            let train_items = with.train.distinct_items(u);
+            let mut expect: Vec<Vec<ItemId>> = without
+                .test
+                .user(u)
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .copied()
+                        .filter(|i| train_items.binary_search(i).is_err())
+                        .collect()
+                })
+                .collect();
+            expect.retain(|t| !t.is_empty());
+            prop_assert_eq!(with.test.user(u), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn histograms_count_every_user(log in arb_log(), bins in 2usize..30) {
+        let h = stats::items_per_user_histogram(&log, bins);
+        prop_assert_eq!(h.total(), log.num_users() as u64);
+        prop_assert_eq!(h.bins().iter().sum::<u64>(), log.num_users() as u64);
+    }
+
+    #[test]
+    fn popularity_sums_to_purchases(log in arb_log()) {
+        let pop = stats::item_popularity(&log, 50);
+        prop_assert_eq!(pop.iter().sum::<u64>() as usize, log.num_purchases());
+    }
+
+    #[test]
+    fn top_share_is_monotone_in_fraction(log in arb_log()) {
+        let mut prev = 0.0;
+        for f in [0.1, 0.3, 0.6, 1.0] {
+            let s = stats::top_share(&log, 50, f);
+            prop_assert!(s >= prev - 1e-12);
+            prop_assert!(s <= 1.0 + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn decode_rejects_or_survives_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = serialize::decode(&bytes); // must not panic
+    }
+}

@@ -1,0 +1,276 @@
+//! Thread-local write-back cache with drift-threshold reconciliation
+//! (paper Sec. 6.1).
+//!
+//! Internal taxonomy nodes (~1500 of them) are touched on *every* SGD
+//! step while leaf items (~1.5M) are touched rarely, so the per-row locks
+//! of [`SharedFactors`] serialise all threads on a handful of hot rows.
+//! The paper's fix: "each thread maintains a local cache of the item
+//! factors which correspond to the internal nodes ... Whenever the
+//! difference between the corresponding local and global copies exceeds a
+//! threshold, we reconcile the local cached copy with the global factor
+//! matrices."
+//!
+//! A [`DriftCache`] accumulates updates locally per row and only takes the
+//! global row lock when the accumulated L1 drift exceeds the threshold
+//! (`th = 0.1` in the paper's Fig. 8b) or at explicit flush points (epoch
+//! boundaries). Reads are served from the local copy, which already
+//! includes the thread's own pending updates — fresher than the global row
+//! from this thread's perspective.
+
+use crate::locked::SharedFactors;
+use crate::ops;
+
+/// One cached row: the thread's view plus its not-yet-published delta.
+#[derive(Debug, Clone)]
+struct Slot {
+    row: u32,
+    /// Local copy = (global at last reconcile) + `delta`.
+    local: Vec<f32>,
+    /// Updates applied locally but not yet to the global matrix.
+    delta: Vec<f32>,
+    /// L1 norm of `delta`, maintained incrementally.
+    drift: f32,
+}
+
+/// Per-thread write-back cache over a [`SharedFactors`] matrix.
+///
+/// Not `Sync` — each worker thread owns one. Which rows are worth caching
+/// is the caller's policy (the trainer caches internal taxonomy nodes);
+/// the cache itself accepts any row and allocates slots lazily.
+#[derive(Debug)]
+pub struct DriftCache {
+    k: usize,
+    threshold: f32,
+    /// `slot_of_row[r]` = slot index + 1, or 0 when `r` is uncached.
+    slot_of_row: Vec<u32>,
+    slots: Vec<Slot>,
+    flushes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DriftCache {
+    /// Cache over a matrix with `rows` rows of dimension `k`, reconciling
+    /// when a row's pending L1 drift exceeds `threshold`.
+    pub fn new(rows: usize, k: usize, threshold: f32) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        DriftCache {
+            k,
+            threshold,
+            slot_of_row: vec![0; rows],
+            slots: Vec::new(),
+            flushes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The flush threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Number of reconciles performed (threshold-triggered and explicit).
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// (cache hits, cache misses) among reads.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of rows currently cached.
+    pub fn cached_rows(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot_index(&mut self, shared: &SharedFactors, r: usize) -> usize {
+        match self.slot_of_row[r] {
+            0 => {
+                self.misses += 1;
+                let mut local = vec![0.0; self.k];
+                shared.read_row_into(r, &mut local);
+                self.slots.push(Slot {
+                    row: r as u32,
+                    local,
+                    delta: vec![0.0; self.k],
+                    drift: 0.0,
+                });
+                let idx = self.slots.len() - 1;
+                self.slot_of_row[r] = idx as u32 + 1;
+                idx
+            }
+            s => {
+                self.hits += 1;
+                (s - 1) as usize
+            }
+        }
+    }
+
+    /// Read row `r` through the cache (loading it on first touch).
+    pub fn read<'a>(&'a mut self, shared: &SharedFactors, r: usize) -> &'a [f32] {
+        let idx = self.slot_index(shared, r);
+        &self.slots[idx].local
+    }
+
+    /// Apply `update` to row `r` locally; reconcile with the global matrix
+    /// if the accumulated drift crosses the threshold.
+    pub fn update(&mut self, shared: &SharedFactors, r: usize, update: &[f32]) {
+        debug_assert_eq!(update.len(), self.k);
+        let idx = self.slot_index(shared, r);
+        let slot = &mut self.slots[idx];
+        ops::add_assign(update, &mut slot.local);
+        ops::add_assign(update, &mut slot.delta);
+        slot.drift += ops::l1_norm(update);
+        if slot.drift > self.threshold {
+            Self::reconcile_slot(shared, slot);
+            self.flushes += 1;
+        }
+    }
+
+    /// Publish `slot.delta` to the global row and refresh the local copy
+    /// with other threads' published work.
+    fn reconcile_slot(shared: &SharedFactors, slot: &mut Slot) {
+        shared.with_row(slot.row as usize, |row| {
+            for (v, d) in row.iter_mut().zip(&slot.delta) {
+                *v += d;
+            }
+            slot.local.copy_from_slice(row);
+        });
+        slot.delta.fill(0.0);
+        slot.drift = 0.0;
+    }
+
+    /// Reconcile every cached row (call at epoch end and before any
+    /// snapshot that must observe this thread's work).
+    pub fn flush(&mut self, shared: &SharedFactors) {
+        for slot in &mut self.slots {
+            if slot.drift > 0.0 || slot.delta.iter().any(|&d| d != 0.0) {
+                Self::reconcile_slot(shared, slot);
+                self.flushes += 1;
+            }
+        }
+    }
+
+    /// Drop all cached rows (forces re-reads; used between epochs when the
+    /// caller wants tighter coupling at a known barrier).
+    pub fn invalidate(&mut self, shared: &SharedFactors) {
+        self.flush(shared);
+        for slot in &self.slots {
+            self.slot_of_row[slot.row as usize] = 0;
+        }
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::FactorMatrix;
+    use std::sync::Arc;
+
+    fn shared(rows: usize, k: usize) -> SharedFactors {
+        SharedFactors::new(FactorMatrix::zeros(rows, k))
+    }
+
+    #[test]
+    fn read_loads_from_global() {
+        let s = shared(2, 3);
+        s.add_to_row(1, &[1.0, 2.0, 3.0]);
+        let mut c = DriftCache::new(2, 3, 10.0);
+        assert_eq!(c.read(&s, 1), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.hit_miss(), (0, 1));
+        let _ = c.read(&s, 1);
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn updates_below_threshold_stay_local() {
+        let s = shared(1, 2);
+        let mut c = DriftCache::new(1, 2, 100.0);
+        c.update(&s, 0, &[1.0, 1.0]);
+        // Local view sees the update …
+        assert_eq!(c.read(&s, 0), &[1.0, 1.0]);
+        // … the global matrix does not yet.
+        assert_eq!(s.snapshot().row(0), &[0.0, 0.0]);
+        assert_eq!(c.flushes(), 0);
+    }
+
+    #[test]
+    fn threshold_crossing_reconciles() {
+        let s = shared(1, 2);
+        let mut c = DriftCache::new(1, 2, 0.5);
+        c.update(&s, 0, &[0.4, 0.3]); // drift 0.7 > 0.5 → flush
+        assert_eq!(s.snapshot().row(0), &[0.4, 0.3]);
+        assert_eq!(c.flushes(), 1);
+    }
+
+    #[test]
+    fn flush_publishes_everything() {
+        let s = shared(3, 1);
+        let mut c = DriftCache::new(3, 1, f32::MAX);
+        c.update(&s, 0, &[1.0]);
+        c.update(&s, 2, &[2.0]);
+        c.flush(&s);
+        let snap = s.snapshot();
+        assert_eq!(snap.row(0), &[1.0]);
+        assert_eq!(snap.row(1), &[0.0]);
+        assert_eq!(snap.row(2), &[2.0]);
+    }
+
+    #[test]
+    fn reconcile_picks_up_remote_updates() {
+        let s = shared(1, 1);
+        let mut c = DriftCache::new(1, 1, 0.05);
+        let _ = c.read(&s, 0);
+        // Another thread publishes +10 directly.
+        s.add_to_row(0, &[10.0]);
+        // Our update crosses the threshold → reconcile merges both.
+        c.update(&s, 0, &[0.1]);
+        assert_eq!(s.snapshot().row(0), &[10.1]);
+        assert_eq!(c.read(&s, 0), &[10.1]);
+    }
+
+    #[test]
+    fn invalidate_clears_slots() {
+        let s = shared(2, 1);
+        let mut c = DriftCache::new(2, 1, f32::MAX);
+        c.update(&s, 0, &[1.0]);
+        c.invalidate(&s);
+        assert_eq!(c.cached_rows(), 0);
+        assert_eq!(s.snapshot().row(0), &[1.0]); // flushed on invalidate
+        // Re-read loads fresh.
+        assert_eq!(c.read(&s, 0), &[1.0]);
+    }
+
+    #[test]
+    fn no_update_lost_across_threads() {
+        // 4 threads, each its own cache, each adds +1 to row 0 exactly
+        // 1000 times with a small threshold. After all flush, global must
+        // be exactly 4000 (drift caching may delay but never lose or
+        // double-apply updates).
+        let s = Arc::new(shared(1, 1));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let mut c = DriftCache::new(1, 1, 2.5);
+                    for _ in 0..1000 {
+                        c.update(&s, 0, &[1.0]);
+                    }
+                    c.flush(&s);
+                });
+            }
+        });
+        assert_eq!(s.snapshot().row(0), &[4000.0]);
+    }
+
+    #[test]
+    fn zero_threshold_writes_through() {
+        let s = shared(1, 1);
+        let mut c = DriftCache::new(1, 1, 0.0);
+        c.update(&s, 0, &[0.5]);
+        assert_eq!(s.snapshot().row(0), &[0.5]);
+    }
+}

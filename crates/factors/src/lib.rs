@@ -1,0 +1,29 @@
+//! # taxrec-factors
+//!
+//! Dense latent-factor storage for parallel stochastic gradient descent.
+//!
+//! The paper trains three factor matrices (`v^U` users, `w^I` taxonomy
+//! nodes, `w^I→` next-item taxonomy nodes) shared across SGD threads,
+//! with **a lock per row** (Sec. 6.1). Internal taxonomy nodes are
+//! updated ~1000× more often than leaves, so the paper adds a
+//! **thread-local cache** for those rows: updates accumulate locally and
+//! are reconciled with the global matrix only when the drift exceeds a
+//! threshold. This crate provides exactly those pieces:
+//!
+//! * [`FactorMatrix`] — plain contiguous `rows × k` storage with Gaussian
+//!   init, for single-threaded use and snapshots;
+//! * [`SharedFactors`] — the same storage behind per-row
+//!   `parking_lot::Mutex`es, safely shareable across threads;
+//! * [`DriftCache`] — the per-thread write-back cache with an L1-drift
+//!   flush threshold (the paper's `th = 0.1`);
+//! * [`ops`] — the tiny dense-vector kernels (dot, axpy) every hot loop
+//!   uses.
+
+pub mod cache;
+pub mod locked;
+pub mod matrix;
+pub mod ops;
+
+pub use cache::DriftCache;
+pub use locked::SharedFactors;
+pub use matrix::FactorMatrix;

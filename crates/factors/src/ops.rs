@@ -1,0 +1,124 @@
+//! Dense vector kernels used by every hot loop.
+//!
+//! These are deliberately plain safe Rust over `&[f32]`: with slices of
+//! equal length the compiler auto-vectorises the loops, and keeping them
+//! in one place lets benches compare against manual variants.
+
+/// Dot product `⟨a, b⟩`.
+///
+/// # Panics
+/// If lengths differ (debug builds; release relies on the zip).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (BLAS axpy).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * y` in place.
+#[inline]
+pub fn scale(alpha: f32, y: &mut [f32]) {
+    for yi in y {
+        *yi *= alpha;
+    }
+}
+
+/// `out = a - b`.
+#[inline]
+pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// `y += x`.
+#[inline]
+pub fn add_assign(x: &[f32], y: &mut [f32]) {
+    axpy(1.0, x, y);
+}
+
+/// L1 norm `Σ |x|` — the drift measure of the caching heuristic.
+#[inline]
+pub fn l1_norm(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Squared L2 norm `Σ x²` — the regulariser `‖Θ‖²`.
+#[inline]
+pub fn l2_norm_sq(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Numerically-stable logistic sigmoid `σ(z) = 1/(1+e^{-z})`.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut y = vec![2.0, -4.0];
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn sub_into_diff() {
+        let mut out = vec![0.0; 2];
+        sub_into(&[5.0, 3.0], &[2.0, 4.0], &mut out);
+        assert_eq!(out, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(l1_norm(&[1.0, -2.0, 3.0]), 6.0);
+        assert_eq!(l2_norm_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        // symmetric: σ(-z) = 1 - σ(z)
+        for z in [-3.0f32, -0.5, 0.1, 2.7] {
+            assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-6);
+        }
+        // No NaN at extremes.
+        assert!(sigmoid(f32::MAX).is_finite());
+        assert!(sigmoid(f32::MIN).is_finite());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the factor substrate: vector kernels, the
+//! locked store, and drift-cache conservation under arbitrary schedules.
+
+use proptest::prelude::*;
+use taxrec_factors::{ops, DriftCache, FactorMatrix, SharedFactors};
+
+proptest! {
+    #[test]
+    fn dot_is_bilinear(
+        a in proptest::collection::vec(-10.0f32..10.0, 1..16),
+        s in -4.0f32..4.0,
+    ) {
+        let b: Vec<f32> = a.iter().rev().copied().collect();
+        let scaled: Vec<f32> = a.iter().map(|x| x * s).collect();
+        let lhs = ops::dot(&scaled, &b);
+        let rhs = s * ops::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn axpy_matches_manual(
+        x in proptest::collection::vec(-5.0f32..5.0, 1..16),
+        alpha in -3.0f32..3.0,
+    ) {
+        let mut y = vec![1.0f32; x.len()];
+        ops::axpy(alpha, &x, &mut y);
+        for (yi, xi) in y.iter().zip(&x) {
+            prop_assert!((yi - (1.0 + alpha * xi)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sigmoid_monotone_and_bounded(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let (sa, sb) = (ops::sigmoid(a), ops::sigmoid(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    #[test]
+    fn l1_l2_relationship(x in proptest::collection::vec(-5.0f32..5.0, 1..16)) {
+        // ‖x‖₂² ≤ ‖x‖₁² and ‖x‖₁ ≤ √n·‖x‖₂.
+        let l1 = ops::l1_norm(&x) as f64;
+        let l2sq = ops::l2_norm_sq(&x) as f64;
+        prop_assert!(l2sq <= l1 * l1 + 1e-3);
+        prop_assert!(l1 * l1 <= x.len() as f64 * l2sq + 1e-3);
+    }
+
+    #[test]
+    fn shared_factors_sum_conservation(
+        updates in proptest::collection::vec((0usize..8, -2.0f32..2.0), 0..64),
+    ) {
+        // Applying updates through the locked API accumulates exactly.
+        let s = SharedFactors::new(FactorMatrix::zeros(8, 1));
+        let mut expect = [0.0f64; 8];
+        for &(row, delta) in &updates {
+            s.add_to_row(row, &[delta]);
+            expect[row] += delta as f64;
+        }
+        let snap = s.snapshot();
+        for (r, e) in expect.iter().enumerate() {
+            prop_assert!((snap.row(r)[0] as f64 - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn drift_cache_conserves_updates(
+        updates in proptest::collection::vec((0usize..4, -1.0f32..1.0), 0..64),
+        threshold in 0.0f32..4.0,
+    ) {
+        // Whatever the flush schedule, after the final flush the global
+        // matrix holds exactly the sum of all updates.
+        let s = SharedFactors::new(FactorMatrix::zeros(4, 2));
+        let mut cache = DriftCache::new(4, 2, threshold);
+        let mut expect = [[0.0f64; 2]; 4];
+        for &(row, v) in &updates {
+            cache.update(&s, row, &[v, -v]);
+            expect[row][0] += v as f64;
+            expect[row][1] -= v as f64;
+        }
+        cache.flush(&s);
+        let snap = s.snapshot();
+        for (r, row) in expect.iter().enumerate() {
+            for (c, e) in row.iter().enumerate() {
+                prop_assert!(
+                    (snap.row(r)[c] as f64 - e).abs() < 1e-3,
+                    "row {r} col {c}: {} vs {}",
+                    snap.row(r)[c],
+                    e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_matrices_depend_only_on_seed(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let a = FactorMatrix::gaussian(5, 3, 0.2, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        let b = FactorMatrix::gaussian(5, 3, 0.2, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for taxonomy construction and decoding.
+
+use crate::node::NodeId;
+
+/// Errors arising while building, validating, or decoding a taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// A referenced node id is out of range for the arena.
+    UnknownNode(NodeId),
+    /// Arena exceeded `u32` capacity.
+    TooManyNodes,
+    /// Attempted to add a child under a node after the builder froze its
+    /// leaf set (not currently reachable through the public API, kept for
+    /// forward compatibility of the binary format).
+    FrozenNode(NodeId),
+    /// Binary decode failure with human-readable context.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaxonomyError::UnknownNode(n) => write!(f, "unknown taxonomy node {n}"),
+            TaxonomyError::TooManyNodes => write!(f, "taxonomy exceeds u32::MAX nodes"),
+            TaxonomyError::FrozenNode(n) => write!(f, "node {n} is frozen and cannot take children"),
+            TaxonomyError::Corrupt(msg) => write!(f, "corrupt taxonomy encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node() {
+        let e = TaxonomyError::UnknownNode(NodeId(3));
+        assert!(e.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn corrupt_carries_message() {
+        let e = TaxonomyError::Corrupt("truncated header".into());
+        assert!(e.to_string().contains("truncated header"));
+    }
+}

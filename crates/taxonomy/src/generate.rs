@@ -1,0 +1,364 @@
+//! Random taxonomy generation with a configurable branching profile.
+//!
+//! The paper's taxonomy (Yahoo! Shopping) is 3 levels deep with roughly
+//! 23 top-level categories, 270 mid-level, 1500 low-level categories and
+//! 1.5M items in the leaves. The dataset itself is proprietary, so this
+//! generator synthesises trees with the same *shape*: a fixed number of
+//! interior levels with target sizes, and items distributed over the
+//! lowest category level with a heavy-tailed (Zipf-like) skew — real
+//! catalogs concentrate most products in a few categories.
+
+use crate::node::NodeId;
+use crate::tree::{Taxonomy, TaxonomyBuilder};
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Target shape of a generated taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxonomyShape {
+    /// Number of interior nodes per level, top-down, excluding the root.
+    /// The paper's tree is `[23, 270, 1500]`; the default is a 1:20 scale
+    /// of that: `[12, 60, 300]`.
+    pub level_sizes: Vec<usize>,
+    /// Number of items to hang under the lowest interior level.
+    pub num_items: usize,
+    /// Zipf skew for distributing items over lowest-level categories;
+    /// `0.0` is uniform, `1.0` matches typical catalog skew.
+    pub item_skew: f64,
+}
+
+impl Default for TaxonomyShape {
+    fn default() -> Self {
+        TaxonomyShape {
+            level_sizes: vec![12, 60, 300],
+            num_items: 6000,
+            item_skew: 0.8,
+        }
+    }
+}
+
+impl TaxonomyShape {
+    /// The paper's shape at full scale (1.5M items). Useful for memory /
+    /// throughput benches; accuracy experiments use scaled shapes.
+    pub fn paper_full() -> Self {
+        TaxonomyShape {
+            level_sizes: vec![23, 270, 1500],
+            num_items: 1_500_000,
+            item_skew: 0.8,
+        }
+    }
+
+    /// A shape scaled by `f` in every level (at least 1 node per level).
+    pub fn paper_scaled(f: f64) -> Self {
+        let full = Self::paper_full();
+        TaxonomyShape {
+            level_sizes: full
+                .level_sizes
+                .iter()
+                .map(|&s| ((s as f64 * f).round() as usize).max(1))
+                .collect(),
+            num_items: ((full.num_items as f64 * f).round() as usize).max(1),
+            item_skew: full.item_skew,
+        }
+    }
+
+    /// Total interior nodes (excluding root) implied by the shape.
+    pub fn num_interior(&self) -> usize {
+        self.level_sizes.iter().sum()
+    }
+}
+
+/// A generated taxonomy plus provenance.
+#[derive(Debug, Clone)]
+pub struct GeneratedTaxonomy {
+    /// The tree itself.
+    pub taxonomy: Taxonomy,
+    /// Shape it was generated from.
+    pub shape: TaxonomyShape,
+}
+
+/// Generates random taxonomies with a given [`TaxonomyShape`].
+///
+/// Each node at level `l+1` picks a uniformly random parent among level-`l`
+/// nodes, then items are assigned to lowest-level categories by a Zipf
+/// draw. Every interior node is guaranteed at least one child so no
+/// "category" accidentally becomes an item (leaves define items).
+#[derive(Debug, Clone)]
+pub struct TaxonomyGenerator {
+    shape: TaxonomyShape,
+}
+
+impl TaxonomyGenerator {
+    /// Generator for the given shape.
+    pub fn new(shape: TaxonomyShape) -> Self {
+        TaxonomyGenerator { shape }
+    }
+
+    /// Generator with the default scaled-down paper shape.
+    pub fn default_shape() -> Self {
+        Self::new(TaxonomyShape::default())
+    }
+
+    /// Generate a taxonomy using `rng`.
+    ///
+    /// Determinism: the output depends only on the shape and the RNG
+    /// stream, so a seeded RNG reproduces the tree bit-for-bit.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> GeneratedTaxonomy {
+        let shape = &self.shape;
+        let total = 1 + shape.num_interior() + shape.num_items;
+        let mut b = TaxonomyBuilder::with_capacity(total);
+
+        // Interior levels, top-down. `prev` holds the node ids of the
+        // previous level.
+        let mut prev: Vec<NodeId> = vec![NodeId::ROOT];
+        for (li, &size) in shape.level_sizes.iter().enumerate() {
+            assert!(size > 0, "level {li} must have at least one node");
+            // A level wider than the item count would leave categories
+            // childless, silently turning them into items at the wrong
+            // depth. Clamp: you cannot meaningfully have more lowest
+            // categories than products.
+            let size = size.min(shape.num_items.max(1));
+            let mut level_nodes = Vec::with_capacity(size);
+            // First `prev.len()` nodes cover each parent once (no childless
+            // interior node may exist, or it would be misread as an item);
+            // the remainder pick parents uniformly at random. If the level
+            // is smaller than its parent level, the surplus parents are
+            // merged away: we simply reassign by cycling, which keeps every
+            // parent covered whenever size >= prev.len().
+            for k in 0..size {
+                let parent = if k < prev.len() && size >= prev.len() {
+                    prev[k]
+                } else if size < prev.len() {
+                    prev[k % prev.len()]
+                } else {
+                    prev[rng.gen_range(0..prev.len())]
+                };
+                level_nodes.push(
+                    b.add_child(parent)
+                        .expect("arena capacity exceeded during generation"),
+                );
+            }
+            // When size < prev.len() some parents end up childless, which
+            // would turn them into items. Give each uncovered parent one
+            // child (over-filling the level slightly rather than corrupting
+            // the structure). This is an explicit, documented deviation
+            // from the target size.
+            if size < prev.len() {
+                for (pi, p) in prev.iter().enumerate().skip(size) {
+                    let _ = pi;
+                    level_nodes.push(b.add_child(*p).expect("arena capacity exceeded"));
+                }
+            }
+            prev = level_nodes;
+        }
+
+        // Items over the lowest interior level with Zipf skew.
+        let zipf = ZipfWeights::new(prev.len(), shape.item_skew);
+        // Cover every lowest-level category once, then skew the rest.
+        for (k, _) in (0..shape.num_items).zip(0..prev.len()) {
+            b.add_child(prev[k]).expect("arena capacity exceeded");
+        }
+        for _ in prev.len().min(shape.num_items)..shape.num_items {
+            let c = zipf.sample(rng);
+            b.add_child(prev[c]).expect("arena capacity exceeded");
+        }
+
+        GeneratedTaxonomy {
+            taxonomy: b.freeze(),
+            shape: shape.clone(),
+        }
+    }
+}
+
+/// Zipf-like categorical sampler over `0..n` with exponent `s`:
+/// `P(k) ∝ 1 / (k+1)^s`. Implemented as an alias-free inverse-CDF table —
+/// n is at most the lowest category level size, so O(log n) sampling with
+/// a precomputed prefix array is plenty fast and has no extra deps.
+#[derive(Debug, Clone)]
+pub struct ZipfWeights {
+    cdf: Vec<f64>,
+}
+
+impl ZipfWeights {
+    /// Build the sampler; `s = 0` is uniform.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfWeights { cdf }
+    }
+
+    /// Probability mass of index `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - lo
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` iff the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+impl Distribution<usize> for ZipfWeights {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_shape_matches_request() {
+        let shape = TaxonomyShape {
+            level_sizes: vec![4, 12, 40],
+            num_items: 500,
+            item_skew: 0.9,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = TaxonomyGenerator::new(shape.clone()).generate(&mut rng);
+        let t = &g.taxonomy;
+        assert_eq!(t.num_items(), 500);
+        let sizes = t.level_sizes();
+        assert_eq!(sizes[0], 1); // root
+        assert_eq!(sizes[1], 4);
+        assert_eq!(sizes[2], 12);
+        assert_eq!(sizes[3], 40);
+        assert_eq!(sizes[4], 500);
+        assert_eq!(t.depth(), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = TaxonomyGenerator::default_shape();
+        let a = gen.generate(&mut StdRng::seed_from_u64(1)).taxonomy;
+        let b = gen.generate(&mut StdRng::seed_from_u64(1)).taxonomy;
+        let c = gen.generate(&mut StdRng::seed_from_u64(2)).taxonomy;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_interior_node_is_childless() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = TaxonomyGenerator::default_shape().generate(&mut rng);
+        let t = &g.taxonomy;
+        // Interior levels: all but the last.
+        for l in 0..t.depth() {
+            for &n in t.nodes_at_level(l) {
+                assert!(
+                    !t.children(NodeId(n)).is_empty(),
+                    "interior node n{n} at level {l} has no children"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn items_all_at_leaf_level() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = TaxonomyGenerator::default_shape().generate(&mut rng);
+        let t = &g.taxonomy;
+        for item in t.item_ids() {
+            assert_eq!(t.level(t.item_node(item)), t.depth());
+        }
+    }
+
+    #[test]
+    fn shrinking_level_keeps_parents_covered() {
+        // Deliberately make level 2 smaller than level 1.
+        let shape = TaxonomyShape {
+            level_sizes: vec![8, 3],
+            num_items: 50,
+            item_skew: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = TaxonomyGenerator::new(shape).generate(&mut rng);
+        let t = &g.taxonomy;
+        for &n in t.nodes_at_level(1) {
+            assert!(!t.children(NodeId(n)).is_empty());
+        }
+        assert_eq!(t.num_items(), 50);
+    }
+
+    #[test]
+    fn paper_scaled_shrinks_every_level() {
+        let s = TaxonomyShape::paper_scaled(0.01);
+        assert_eq!(s.level_sizes.len(), 3);
+        assert!(s.level_sizes[0] >= 1);
+        assert!(s.num_items >= 1);
+        assert!(s.num_items < TaxonomyShape::paper_full().num_items);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decays() {
+        let z = ZipfWeights::new(100, 1.0);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(50));
+        assert!(z.pmf(50) > z.pmf(99));
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let z = ZipfWeights::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_cover_support() {
+        let z = ZipfWeights::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 5];
+        for _ in 0..5000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn skew_concentrates_items() {
+        let shape_flat = TaxonomyShape {
+            level_sizes: vec![2, 4, 20],
+            num_items: 2000,
+            item_skew: 0.0,
+        };
+        let shape_skew = TaxonomyShape {
+            item_skew: 1.4,
+            ..shape_flat.clone()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let flat = TaxonomyGenerator::new(shape_flat).generate(&mut rng).taxonomy;
+        let skew = TaxonomyGenerator::new(shape_skew).generate(&mut rng).taxonomy;
+        let max_children = |t: &Taxonomy| {
+            t.nodes_at_level(3)
+                .iter()
+                .map(|&n| t.children(NodeId(n)).len())
+                .max()
+                .unwrap()
+        };
+        assert!(max_children(&skew) > max_children(&flat));
+    }
+}

@@ -1,0 +1,158 @@
+//! Human-readable node labels.
+//!
+//! The arena itself stores no strings (the training hot path never needs
+//! them); a [`LabelTable`] is an optional sidecar mapping node ids to
+//! names and slash-joined paths, built alongside the tree or attached
+//! afterwards. Used by the CLI and examples to print "Electronics >
+//! Cameras > DSLR" instead of `n17`.
+
+use crate::node::NodeId;
+use crate::tree::Taxonomy;
+
+/// Sidecar table of node names. Index-aligned with the arena.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LabelTable {
+    names: Vec<String>,
+}
+
+impl LabelTable {
+    /// A table where every node is named by its id (`n0`, `n1`, …).
+    pub fn numbered(tax: &Taxonomy) -> LabelTable {
+        LabelTable {
+            names: (0..tax.num_nodes()).map(|i| format!("n{i}")).collect(),
+        }
+    }
+
+    /// Build from explicit names; must cover every node.
+    ///
+    /// # Panics
+    /// If `names.len() != tax.num_nodes()`.
+    pub fn from_names(tax: &Taxonomy, names: Vec<String>) -> LabelTable {
+        assert_eq!(
+            names.len(),
+            tax.num_nodes(),
+            "one name per node required"
+        );
+        LabelTable { names }
+    }
+
+    /// The name of one node.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.names[node.index()]
+    }
+
+    /// Rename one node.
+    pub fn set_name(&mut self, node: NodeId, name: impl Into<String>) {
+        self.names[node.index()] = name.into();
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Slash-joined path from the root (root name omitted):
+    /// `electronics/cameras/dslr`.
+    pub fn path(&self, tax: &Taxonomy, node: NodeId) -> String {
+        let mut parts: Vec<&str> = tax
+            .root_path(node)
+            .filter(|&n| n != NodeId::ROOT)
+            .map(|n| self.name(n))
+            .collect();
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// `>`-joined display path: `Electronics > Cameras > DSLR`.
+    pub fn display_path(&self, tax: &Taxonomy, node: NodeId) -> String {
+        let mut parts: Vec<&str> = tax
+            .root_path(node)
+            .filter(|&n| n != NodeId::ROOT)
+            .map(|n| self.name(n))
+            .collect();
+        parts.reverse();
+        parts.join(" > ")
+    }
+
+    /// Find a node by its exact slash path (linear scan — diagnostics
+    /// only, not a hot path).
+    pub fn find_path(&self, tax: &Taxonomy, path: &str) -> Option<NodeId> {
+        tax.node_ids().find(|&n| self.path(tax, n) == path)
+    }
+
+    /// Grow the table when the taxonomy gains a node (see
+    /// `Taxonomy::with_added_leaf` in `taxrec-core` workflows).
+    pub fn push(&mut self, name: impl Into<String>) {
+        self.names.push(name.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TaxonomyBuilder;
+
+    fn fixture() -> (Taxonomy, LabelTable) {
+        let mut b = TaxonomyBuilder::new();
+        let e = b.add_child(NodeId::ROOT).unwrap();
+        let c = b.add_child(e).unwrap();
+        let d = b.add_child(c).unwrap();
+        let _ = d;
+        let tax = b.freeze();
+        let labels = LabelTable::from_names(
+            &tax,
+            vec!["root".into(), "electronics".into(), "cameras".into(), "dslr".into()],
+        );
+        (tax, labels)
+    }
+
+    #[test]
+    fn numbered_covers_all_nodes() {
+        let (tax, _) = fixture();
+        let t = LabelTable::numbered(&tax);
+        assert_eq!(t.len(), tax.num_nodes());
+        assert_eq!(t.name(NodeId(2)), "n2");
+    }
+
+    #[test]
+    fn paths_join_down_from_root() {
+        let (tax, labels) = fixture();
+        assert_eq!(labels.path(&tax, NodeId(3)), "electronics/cameras/dslr");
+        assert_eq!(
+            labels.display_path(&tax, NodeId(3)),
+            "electronics > cameras > dslr"
+        );
+        assert_eq!(labels.path(&tax, NodeId::ROOT), "");
+    }
+
+    #[test]
+    fn find_path_roundtrips() {
+        let (tax, labels) = fixture();
+        assert_eq!(
+            labels.find_path(&tax, "electronics/cameras"),
+            Some(NodeId(2))
+        );
+        assert_eq!(labels.find_path(&tax, "nope"), None);
+    }
+
+    #[test]
+    fn rename_and_push() {
+        let (tax, mut labels) = fixture();
+        labels.set_name(NodeId(3), "slr");
+        assert_eq!(labels.path(&tax, NodeId(3)), "electronics/cameras/slr");
+        labels.push("new-leaf");
+        assert_eq!(labels.len(), tax.num_nodes() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per node")]
+    fn wrong_arity_panics() {
+        let (tax, _) = fixture();
+        let _ = LabelTable::from_names(&tax, vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # taxrec-taxonomy
+//!
+//! Arena-based product taxonomy used by the taxonomy-aware latent factor
+//! model (TF) of Kanagal et al., VLDB 2012.
+//!
+//! A [`Taxonomy`] is an immutable rooted tree. Interior nodes are product
+//! *categories*; leaves are individual *items* (products). The model
+//! attaches a latent *offset* factor to every node and defines the
+//! effective factor of an item as the sum of offsets along its root path
+//! (Eq. 1 of the paper), so the operations this crate optimises for are:
+//!
+//! * **root paths** — `p^0(i) = i, p^1(i) = parent(i), …` up to the root,
+//!   precomputed into a flat [`PathTable`] for cache-friendly access;
+//! * **siblings** — needed by sibling-based training (Sec. 4.2);
+//! * **level traversal** — needed by cascaded inference (Sec. 5.1).
+//!
+//! Trees are constructed through [`TaxonomyBuilder`] and frozen into a
+//! compact CSR-like representation. A configurable random generator
+//! ([`generate::TaxonomyGenerator`]) reproduces the branching profile of
+//! the Yahoo! shopping taxonomy used in the paper (23 / 270 / 1500
+//! internal nodes over 1.5M items, here scaled to laptop size).
+//!
+//! ```
+//! use taxrec_taxonomy::{TaxonomyBuilder, NodeId};
+//!
+//! let mut b = TaxonomyBuilder::new();
+//! let root = b.root();
+//! let electronics = b.add_child(root).unwrap();
+//! let cameras = b.add_child(electronics).unwrap();
+//! let slr = b.add_child(cameras).unwrap();
+//! let tax = b.freeze();
+//!
+//! assert_eq!(tax.parent(slr), Some(cameras));
+//! assert_eq!(tax.level(slr), 3);
+//! assert!(tax.is_leaf(slr));
+//! ```
+
+pub mod error;
+pub mod generate;
+pub mod labels;
+pub mod node;
+pub mod paths;
+pub mod serialize;
+pub mod tree;
+
+pub use error::TaxonomyError;
+pub use labels::LabelTable;
+pub use generate::{GeneratedTaxonomy, TaxonomyGenerator, TaxonomyShape, ZipfWeights};
+pub use node::{ItemId, NodeId};
+pub use paths::PathTable;
+pub use tree::{Taxonomy, TaxonomyBuilder};

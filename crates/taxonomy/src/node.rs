@@ -1,0 +1,109 @@
+//! Identifier newtypes.
+//!
+//! Node identifiers are dense `u32` indices into the taxonomy arena; item
+//! identifiers are dense `u32` indices over the *leaf* nodes only. Keeping
+//! them distinct types prevents the classic bug of indexing an item factor
+//! matrix with a taxonomy node id (the two spaces differ by exactly the
+//! number of interior nodes).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of any node (interior category or leaf item) in a [`crate::Taxonomy`].
+///
+/// Dense: valid ids are `0..taxonomy.num_nodes()`. The root is always
+/// `NodeId(0)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a leaf item, dense over `0..taxonomy.num_items()`.
+///
+/// Every `ItemId` corresponds to exactly one leaf `NodeId` (see
+/// [`crate::Taxonomy::item_node`]); interior nodes have no `ItemId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl NodeId {
+    /// The root node of every taxonomy.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Index form for slicing into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// Index form for slicing into per-item arrays (factor matrices, popularity tables).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_zero() {
+        assert_eq!(NodeId::ROOT, NodeId(0));
+        assert_eq!(NodeId::ROOT.index(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ItemId(0) < ItemId(9));
+    }
+
+    #[test]
+    fn debug_formats_are_distinct() {
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(format!("{:?}", ItemId(7)), "i7");
+    }
+
+    #[test]
+    fn from_u32_roundtrip() {
+        let n: NodeId = 42u32.into();
+        assert_eq!(n.index(), 42);
+        let i: ItemId = 7u32.into();
+        assert_eq!(i.index(), 7);
+    }
+}

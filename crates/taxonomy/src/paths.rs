@@ -1,0 +1,158 @@
+//! Precomputed root paths for every item.
+//!
+//! The TF model touches the full root path of an item on *every* SGD step
+//! (Eq. 1: `v_i = Σ_m w_{p^m(i)}`) and on every scored candidate during
+//! inference. Walking parent pointers each time chases cold cache lines;
+//! the [`PathTable`] flattens all item paths into one contiguous array at
+//! model-build time, truncated to the `taxonomyUpdateLevels` actually in
+//! use.
+
+use crate::node::{ItemId, NodeId};
+use crate::tree::Taxonomy;
+
+/// Flat table of item → (truncated) root path.
+///
+/// Paths are stored leaf-first: `path(i)[0]` is the item's own node,
+/// `path(i)[1]` its parent, and so on. When `update_levels = U`, only the
+/// first `min(U, full path length)` entries are retained, matching the
+/// paper's `taxonomyUpdateLevels` parameter (`U = 1` reduces TF to plain
+/// MF because only the leaf node's factor is ever touched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathTable {
+    /// CSR offsets: path of item `i` is `data[index[i]..index[i+1]]`.
+    index: Vec<u32>,
+    data: Vec<u32>,
+    update_levels: usize,
+}
+
+impl PathTable {
+    /// Build the table for all items of `tax`, keeping at most
+    /// `update_levels` nodes per path (≥ 1; clamped internally).
+    pub fn build(tax: &Taxonomy, update_levels: usize) -> PathTable {
+        let u = update_levels.max(1);
+        let n = tax.num_items();
+        let mut index = Vec::with_capacity(n + 1);
+        // Full depth paths have depth+1 entries.
+        let mut data = Vec::with_capacity(n * u.min(tax.depth() + 1));
+        index.push(0u32);
+        for item in tax.item_ids() {
+            let node = tax.item_node(item);
+            for (k, anc) in tax.root_path(node).enumerate() {
+                if k >= u {
+                    break;
+                }
+                data.push(anc.0);
+            }
+            index.push(data.len() as u32);
+        }
+        PathTable {
+            index,
+            data,
+            update_levels: u,
+        }
+    }
+
+    /// The truncated root path of `item`, leaf-first.
+    #[inline]
+    pub fn path(&self, item: ItemId) -> &[u32] {
+        let i = item.index();
+        &self.data[self.index[i] as usize..self.index[i + 1] as usize]
+    }
+
+    /// Same as [`path`](Self::path) but yielding `NodeId`s.
+    pub fn path_ids(&self, item: ItemId) -> impl Iterator<Item = NodeId> + '_ {
+        self.path(item).iter().map(|&n| NodeId(n))
+    }
+
+    /// Number of items covered.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.index.len() - 1
+    }
+
+    /// The `taxonomyUpdateLevels` value this table was built with.
+    #[inline]
+    pub fn update_levels(&self) -> usize {
+        self.update_levels
+    }
+
+    /// Total stored path entries (for memory accounting in benches).
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TaxonomyBuilder;
+
+    /// Depth-3 chain plus a bushy sibling branch.
+    fn tree() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new();
+        let cat = b.add_child(NodeId::ROOT).unwrap();
+        let sub = b.add_child(cat).unwrap();
+        b.add_child(sub).unwrap(); // item 0 at level 3
+        b.add_child(sub).unwrap(); // item 1
+        let cat2 = b.add_child(NodeId::ROOT).unwrap();
+        b.add_child(cat2).unwrap(); // item 2 at level 2 (ragged)
+        b.freeze()
+    }
+
+    #[test]
+    fn full_paths_reach_root() {
+        let t = tree();
+        let pt = PathTable::build(&t, 16);
+        assert_eq!(pt.num_items(), 3);
+        let p0 = pt.path(ItemId(0));
+        assert_eq!(p0.len(), 4);
+        assert_eq!(*p0.last().unwrap(), NodeId::ROOT.0);
+        // Ragged leaf has a shorter path.
+        assert_eq!(pt.path(ItemId(2)).len(), 3);
+    }
+
+    #[test]
+    fn truncation_matches_update_levels() {
+        let t = tree();
+        let pt1 = PathTable::build(&t, 1);
+        assert_eq!(pt1.path(ItemId(0)).len(), 1);
+        assert_eq!(pt1.path(ItemId(0))[0], t.item_node(ItemId(0)).0);
+        let pt2 = PathTable::build(&t, 2);
+        assert_eq!(pt2.path(ItemId(0)).len(), 2);
+        assert_eq!(pt2.update_levels(), 2);
+    }
+
+    #[test]
+    fn zero_levels_clamped_to_one() {
+        let t = tree();
+        let pt = PathTable::build(&t, 0);
+        assert_eq!(pt.update_levels(), 1);
+        assert_eq!(pt.path(ItemId(1)).len(), 1);
+    }
+
+    #[test]
+    fn paths_agree_with_tree_walk() {
+        let t = tree();
+        let pt = PathTable::build(&t, 16);
+        for item in t.item_ids() {
+            let walked: Vec<u32> = t.root_path(t.item_node(item)).map(|n| n.0).collect();
+            assert_eq!(pt.path(item), walked.as_slice());
+        }
+    }
+
+    #[test]
+    fn path_ids_matches_raw() {
+        let t = tree();
+        let pt = PathTable::build(&t, 3);
+        let ids: Vec<u32> = pt.path_ids(ItemId(0)).map(|n| n.0).collect();
+        assert_eq!(ids.as_slice(), pt.path(ItemId(0)));
+    }
+
+    #[test]
+    fn total_entries_counts_everything() {
+        let t = tree();
+        let pt = PathTable::build(&t, 16);
+        assert_eq!(pt.total_entries(), 4 + 4 + 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Compact binary (de)serialisation of taxonomies.
+//!
+//! The wire format is the parent array varint-delta encoded: taxonomies
+//! are built top-down so `parent(i) < i`, and in generated trees parents
+//! of consecutive nodes are close together, making `i - parent(i)` small.
+//! Format:
+//!
+//! ```text
+//! magic  u32 LE  = 0x5441584f ("TAXO")
+//! version u8     = 1
+//! n      varint  number of nodes
+//! then n-1 varints: i - parent(i) for i in 1..n
+//! ```
+
+use crate::error::TaxonomyError;
+use crate::tree::Taxonomy;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5441_584f;
+const VERSION: u8 = 1;
+
+/// Encode `tax` into a self-describing binary buffer.
+pub fn encode(tax: &Taxonomy) -> Bytes {
+    let parents = tax.parents_raw();
+    let mut buf = BytesMut::with_capacity(8 + parents.len() * 2);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    put_varint(&mut buf, parents.len() as u64);
+    for (i, &p) in parents.iter().enumerate().skip(1) {
+        put_varint(&mut buf, (i as u64) - (p as u64));
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(mut buf: &[u8]) -> Result<Taxonomy, TaxonomyError> {
+    if buf.remaining() < 5 {
+        return Err(TaxonomyError::Corrupt("truncated header".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TaxonomyError::Corrupt(format!(
+            "bad magic 0x{magic:08x}, expected 0x{MAGIC:08x}"
+        )));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(TaxonomyError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let n = get_varint(&mut buf)? as usize;
+    if n == 0 {
+        return Err(TaxonomyError::Corrupt("empty taxonomy".into()));
+    }
+    if n > u32::MAX as usize {
+        return Err(TaxonomyError::Corrupt("node count exceeds u32".into()));
+    }
+    let mut parents = Vec::with_capacity(n);
+    parents.push(0u32);
+    for i in 1..n {
+        let delta = get_varint(&mut buf)?;
+        let p = (i as u64)
+            .checked_sub(delta)
+            .ok_or_else(|| TaxonomyError::Corrupt(format!("node {i}: delta {delta} underflows")))?;
+        if delta == 0 {
+            return Err(TaxonomyError::Corrupt(format!(
+                "node {i} would be its own parent"
+            )));
+        }
+        parents.push(p as u32);
+    }
+    if buf.has_remaining() {
+        return Err(TaxonomyError::Corrupt(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(Taxonomy::from_parents(parents))
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, TaxonomyError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(TaxonomyError::Corrupt("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(TaxonomyError::Corrupt("varint overflow".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{TaxonomyGenerator, TaxonomyShape};
+    use crate::tree::TaxonomyBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_small() {
+        let mut b = TaxonomyBuilder::new();
+        let a = b.add_child(crate::NodeId::ROOT).unwrap();
+        b.add_child(a).unwrap();
+        b.add_child(a).unwrap();
+        let t = b.freeze();
+        let enc = encode(&t);
+        let t2 = decode(&enc).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn roundtrip_generated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = TaxonomyGenerator::new(TaxonomyShape {
+            level_sizes: vec![5, 20, 80],
+            num_items: 2000,
+            item_skew: 0.7,
+        })
+        .generate(&mut rng)
+        .taxonomy;
+        let enc = encode(&t);
+        // Delta coding should stay well under 4 bytes/node on generated trees.
+        assert!(enc.len() < t.num_nodes() * 4);
+        assert_eq!(decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_root_only() {
+        let t = TaxonomyBuilder::new().freeze();
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode(&[0, 0, 0, 0, 1, 1]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = {
+            let mut b = TaxonomyBuilder::new();
+            b.add_children(crate::NodeId::ROOT, 50).unwrap();
+            b.freeze()
+        };
+        let enc = encode(&t);
+        for cut in [0, 3, 5, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let t = TaxonomyBuilder::new().freeze();
+        let mut enc = encode(&t).to_vec();
+        enc.push(0xFF);
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn rejects_self_parent() {
+        // Hand-craft: n=2, delta 0 → node 1 its own parent.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(super::MAGIC);
+        buf.put_u8(super::VERSION);
+        super::put_varint(&mut buf, 2);
+        super::put_varint(&mut buf, 0);
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            super::put_varint(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(super::get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+}

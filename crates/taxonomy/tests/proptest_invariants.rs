@@ -1,0 +1,140 @@
+//! Property-based invariants of the taxonomy arena.
+//!
+//! Strategy: generate a random parent-pointer forest shape (every node
+//! picks a parent among earlier nodes), freeze it, and check structural
+//! invariants that every algorithm in the workspace depends on.
+
+use proptest::prelude::*;
+use taxrec_taxonomy::{serialize, NodeId, PathTable, Taxonomy, TaxonomyBuilder};
+
+/// Build a random tree with `n` non-root nodes from a seed vector: node
+/// `i+1` attaches under node `seeds[i] % (i+1)`.
+fn tree_from_seeds(seeds: &[u32]) -> Taxonomy {
+    let mut b = TaxonomyBuilder::with_capacity(seeds.len() + 1);
+    for (i, &s) in seeds.iter().enumerate() {
+        let parent = NodeId(s % (i as u32 + 1));
+        b.add_child(parent).expect("parent precedes child by construction");
+    }
+    b.freeze()
+}
+
+proptest! {
+    #[test]
+    fn parent_child_are_inverse(seeds in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let t = tree_from_seeds(&seeds);
+        for node in t.node_ids() {
+            for child in t.children_ids(node).collect::<Vec<_>>() {
+                prop_assert_eq!(t.parent(child), Some(node));
+            }
+            if let Some(p) = t.parent(node) {
+                prop_assert!(t.children(p).contains(&node.0));
+            }
+        }
+    }
+
+    #[test]
+    fn levels_increase_by_one(seeds in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let t = tree_from_seeds(&seeds);
+        for node in t.node_ids() {
+            match t.parent(node) {
+                Some(p) => prop_assert_eq!(t.level(node), t.level(p) + 1),
+                None => prop_assert_eq!(t.level(node), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn root_path_is_strictly_ascending_to_root(seeds in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let t = tree_from_seeds(&seeds);
+        for node in t.node_ids() {
+            let path: Vec<NodeId> = t.root_path(node).collect();
+            prop_assert_eq!(path[0], node);
+            prop_assert_eq!(*path.last().unwrap(), NodeId::ROOT);
+            prop_assert_eq!(path.len(), t.level(node) + 1);
+            for w in path.windows(2) {
+                prop_assert_eq!(t.parent(w[0]), Some(w[1]));
+                prop_assert!(w[1].0 < w[0].0, "ids are topological");
+            }
+        }
+    }
+
+    #[test]
+    fn items_are_exactly_the_nonroot_leaves(seeds in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let t = tree_from_seeds(&seeds);
+        let mut leaf_count = 0usize;
+        for node in t.node_ids() {
+            let is_item = t.node_item(node).is_some();
+            let expect = t.is_leaf(node) && node != NodeId::ROOT;
+            prop_assert_eq!(is_item, expect);
+            if is_item { leaf_count += 1; }
+        }
+        prop_assert_eq!(leaf_count, t.num_items());
+        // item ↔ node bijection
+        for item in t.item_ids() {
+            prop_assert_eq!(t.node_item(t.item_node(item)), Some(item));
+        }
+    }
+
+    #[test]
+    fn level_partition_covers_all_nodes(seeds in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let t = tree_from_seeds(&seeds);
+        let mut seen = vec![false; t.num_nodes()];
+        for l in 0..=t.depth() {
+            for &n in t.nodes_at_level(l) {
+                prop_assert!(!seen[n as usize], "node listed twice");
+                seen[n as usize] = true;
+                prop_assert_eq!(t.level(NodeId(n)), l);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn siblings_share_parent_and_exclude_self(seeds in proptest::collection::vec(any::<u32>(), 1..150)) {
+        let t = tree_from_seeds(&seeds);
+        for node in t.node_ids() {
+            let sibs: Vec<NodeId> = t.siblings(node).collect();
+            prop_assert_eq!(sibs.len(), t.num_siblings(node));
+            for s in sibs {
+                prop_assert_ne!(s, node);
+                prop_assert_eq!(t.parent(s), t.parent(node));
+            }
+        }
+    }
+
+    #[test]
+    fn path_table_matches_tree_walk(
+        seeds in proptest::collection::vec(any::<u32>(), 1..150),
+        levels in 1usize..6,
+    ) {
+        let t = tree_from_seeds(&seeds);
+        let pt = PathTable::build(&t, levels);
+        for item in t.item_ids() {
+            let walked: Vec<u32> = t
+                .root_path(t.item_node(item))
+                .take(levels)
+                .map(|n| n.0)
+                .collect();
+            prop_assert_eq!(pt.path(item), walked.as_slice());
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrips(seeds in proptest::collection::vec(any::<u32>(), 0..300)) {
+        let t = tree_from_seeds(&seeds);
+        let enc = serialize::encode(&t);
+        let dec = serialize::decode(&enc).expect("decode of own encoding");
+        prop_assert_eq!(t, dec);
+    }
+
+    #[test]
+    fn ancestor_at_level_is_on_root_path(seeds in proptest::collection::vec(any::<u32>(), 1..150), lvl in 0usize..5) {
+        let t = tree_from_seeds(&seeds);
+        for item in t.item_ids() {
+            let node = t.item_node(item);
+            let anc = t.ancestor_at_level(node, lvl);
+            prop_assert!(t.level(anc) <= lvl.max(t.level(node)).min(t.level(node)) || t.level(anc) == lvl);
+            prop_assert!(t.root_path(node).any(|n| n == anc));
+        }
+    }
+}

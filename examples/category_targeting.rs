@@ -1,0 +1,89 @@
+//! Category targeting: the advertising use-case from the paper's intro.
+//!
+//! "Using taxonomies allows us to target users by product categories,
+//! which is commonly required in advertising campaigns." The effective
+//! factor of an interior node ranks *categories* per user — and,
+//! inverted, ranks users per category. This example builds a small
+//! campaign audience for one category and verifies the audience actually
+//! buys more from it. It also demonstrates cascaded inference as the
+//! fast path for producing structured recommendations.
+//!
+//! ```text
+//! cargo run --release --example category_targeting
+//! ```
+
+use taxrec::dataset::{DatasetConfig, SyntheticDataset};
+use taxrec::model::{cascade, CascadeConfig, ModelConfig, Scorer, TfTrainer};
+use taxrec::taxonomy::NodeId;
+
+fn main() {
+    let data = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(3000), 33);
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 0).with_factors(16).with_epochs(15),
+        &data.taxonomy,
+    )
+    .fit(&data.train, 4);
+    let scorer = Scorer::new(&model);
+    let tax = model.taxonomy();
+
+    // Campaign target: the busiest top-level category.
+    let target = NodeId(tax.nodes_at_level(1)[0]);
+    println!("campaign target: top-level category {target}");
+
+    // Score every user's affinity to the target category and take the
+    // top 10% as the audience.
+    let mut affinities: Vec<(usize, f32)> = (0..model.num_users())
+        .map(|u| {
+            let q = scorer.query(u, data.train.user(u));
+            (u, scorer.score_node(&q, target))
+        })
+        .collect();
+    affinities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let audience: Vec<usize> = affinities[..model.num_users() / 10]
+        .iter()
+        .map(|&(u, _)| u)
+        .collect();
+
+    // Validate on the *test* split: does the audience buy in the target
+    // category more often than the rest?
+    let buys_in_target = |users: &[usize]| {
+        let mut buyers = 0usize;
+        for &u in users {
+            let bought = data.test.user(u).iter().flatten().any(|&i| {
+                tax.ancestor_at_level(tax.item_node(i), 1) == target
+            });
+            if bought {
+                buyers += 1;
+            }
+        }
+        buyers as f64 / users.len().max(1) as f64
+    };
+    let rest: Vec<usize> = affinities[model.num_users() / 10..]
+        .iter()
+        .map(|&(u, _)| u)
+        .collect();
+    let lift = buys_in_target(&audience) / buys_in_target(&rest).max(1e-9);
+    println!(
+        "audience size {}; {:.1}% of the audience buys in-category during test vs {:.1}% of others (lift {lift:.1}x)",
+        audience.len(),
+        100.0 * buys_in_target(&audience),
+        100.0 * buys_in_target(&rest),
+    );
+
+    // Structured recommendation for the best-matching user, via the fast
+    // cascaded path (keep 50% of each level).
+    let best_user = audience[0];
+    let q = scorer.query(best_user, data.train.user(best_user));
+    let result = cascade(&scorer, &q, &CascadeConfig::uniform(tax.depth(), 0.5));
+    println!(
+        "\nuser {best_user}: cascaded inference scored {} nodes (exhaustive = {} items)",
+        result.scored_nodes,
+        tax.num_items()
+    );
+    for (li, level) in result.per_level.iter().enumerate().take(2) {
+        let head: Vec<String> = level.iter().take(3).map(|(n, s)| format!("{n}({s:+.2})")).collect();
+        println!("  level {} leaders: {}", li + 1, head.join("  "));
+    }
+    let top: Vec<String> = result.items.iter().take(5).map(|(i, s)| format!("{i}({s:+.2})")).collect();
+    println!("  top items: {}", top.join("  "));
+}

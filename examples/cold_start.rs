@@ -1,0 +1,68 @@
+//! Cold start: how the taxonomy rescues items that were never trained.
+//!
+//! A *cold* item has no training purchases, so a plain matrix
+//! factorisation model knows nothing about it — its rank is random. The
+//! TF model's effective factor for a cold item degrades gracefully to
+//! its super-category's factor (the leaf offset stays at the prior mean
+//! 0), so users interested in that category still see the new product.
+//! This is the mechanism behind the paper's Fig. 7(c).
+//!
+//! ```text
+//! cargo run --release --example cold_start
+//! ```
+
+use taxrec::dataset::{DatasetConfig, SyntheticDataset};
+use taxrec::model::{metrics, ModelConfig, Scorer, TfTrainer};
+
+fn main() {
+    let data = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(3000), 9);
+    let cold = data.cold_items();
+    println!(
+        "{} of {} items are cold (never purchased in training)",
+        cold.len(),
+        data.taxonomy.num_items()
+    );
+
+    // Train the taxonomy model and the MF baseline on the same data.
+    let tf = TfTrainer::new(
+        ModelConfig::tf(4, 0).with_factors(16).with_epochs(15),
+        &data.taxonomy,
+    )
+    .fit(&data.train, 3);
+    let mf = TfTrainer::new(
+        ModelConfig::mf(0).with_factors(16).with_epochs(15),
+        &data.taxonomy,
+    )
+    .fit(&data.train, 3);
+
+    // For every *test* purchase of a cold item, record its normalised
+    // rank ((n − rank)/(n − 1): 1.0 = top of the list, 0.5 = random).
+    let n = data.taxonomy.num_items();
+    let mut tf_norm = Vec::new();
+    let mut mf_norm = Vec::new();
+    for (model, out) in [(&tf, &mut tf_norm), (&mf, &mut mf_norm)] {
+        let scorer = Scorer::new(model);
+        let mut scores = vec![0.0f32; n];
+        for u in 0..data.test.num_users() {
+            let Some(basket) = data.test.user(u).first() else { continue };
+            let query = scorer.query(u, data.train.user(u));
+            scorer.score_all_items_into(&query, &mut scores);
+            for &item in basket {
+                if cold.binary_search(&item).is_ok() {
+                    let r = metrics::rank_of(&scores, item.index());
+                    out.push((n as f64 - r) / (n as f64 - 1.0));
+                }
+            }
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("cold purchases evaluated : {}", tf_norm.len());
+    println!("MF(0)  mean normalised rank of cold items: {:.3} (0.5 = random)", mean(&mf_norm));
+    println!("TF(4,0) mean normalised rank of cold items: {:.3}", mean(&tf_norm));
+    println!(
+        "\nThe TF model places never-seen items {:.0}% higher than chance by\n\
+         scoring them through their category's learned factor.",
+        (mean(&tf_norm) - 0.5) * 200.0
+    );
+}

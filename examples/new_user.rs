@@ -1,0 +1,77 @@
+//! New-user fold-in: serving a user who wasn't in the training matrix.
+//!
+//! Retraining the whole model for every signup is not an option in
+//! production. The fold-in trick keeps all item/taxonomy factors frozen
+//! and fits only the newcomer's vector from their first few purchases —
+//! a few hundred BPR steps, microseconds of work.
+//!
+//! ```text
+//! cargo run --release --example new_user
+//! ```
+
+use taxrec::dataset::{DatasetConfig, SyntheticDataset};
+use taxrec::model::{
+    dynamic::{fold_in_user, folded_user_query},
+    metrics, ModelConfig, Scorer, TfTrainer,
+};
+
+fn main() {
+    let data = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(2500), 17);
+
+    // Train on the first 2000 users only; the rest "sign up later".
+    let cutoff = 2000usize;
+    let mut b = taxrec::dataset::PurchaseLogBuilder::with_capacity(cutoff);
+    for u in 0..cutoff {
+        b.push_user(data.train.user(u).to_vec());
+    }
+    let train_subset = b.build();
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 1).with_factors(16).with_epochs(15),
+        &data.taxonomy,
+    )
+    .fit(&train_subset, 3);
+    let scorer = Scorer::new(&model);
+    println!(
+        "model trained on {} users; folding in {} late signups\n",
+        cutoff,
+        data.train.num_users() - cutoff
+    );
+
+    // For each late user: fold in on their train history, predict their
+    // first test transaction.
+    let n = model.num_items();
+    let mut folded_auc = 0.0f64;
+    let mut anon_auc = 0.0f64;
+    let mut count = 0u32;
+    for u in cutoff..data.train.num_users() {
+        let history = data.train.user(u);
+        let Some(target) = data.test.user(u).first() else { continue };
+        if history.is_empty() || target.is_empty() {
+            continue;
+        }
+        let v = fold_in_user(&scorer, history, 500, u as u64);
+        let q_folded = folded_user_query(&scorer, &v, history);
+        // Anonymous baseline: no user vector, history-only Markov term.
+        let q_anon = folded_user_query(&scorer, &vec![0.0; model.k()], history);
+        let positives: Vec<usize> = target.iter().map(|i| i.index()).collect();
+        let sf = scorer.score_all_items(&q_folded);
+        let sa = scorer.score_all_items(&q_anon);
+        if let (Some(af), Some(aa)) = (
+            metrics::auc(&sf, &positives),
+            metrics::auc(&sa, &positives),
+        ) {
+            folded_auc += af;
+            anon_auc += aa;
+            count += 1;
+        }
+        let _ = n;
+    }
+    println!("late signups evaluated : {count}");
+    println!("anonymous (history-only) AUC : {:.4}", anon_auc / count as f64);
+    println!("after fold-in            AUC : {:.4}", folded_auc / count as f64);
+    println!(
+        "\nFold-in lifts a brand-new user's ranking quality without touching\n\
+         any shared parameter — the item, taxonomy and next-item factors\n\
+         stay exactly as trained."
+    );
+}

@@ -1,0 +1,37 @@
+//! # taxrec — taxonomy-aware recommender systems
+//!
+//! Facade crate re-exporting the whole workspace: a Rust reproduction of
+//! *"Supercharging Recommender Systems using Taxonomies for Learning User
+//! Purchase Behavior"* (Kanagal et al., PVLDB 5(10), 2012).
+//!
+//! The paper's TF(U, B) model augments Bayesian-personalized-ranking
+//! matrix factorization with (a) per-taxonomy-node offset factors whose
+//! root-path sums form item factors, and (b) a B-order Markov chain of
+//! *next-item* factors for short-term purchase dynamics. See the
+//! individual crates:
+//!
+//! * [`taxonomy`] — arena tree, root paths, siblings, generators;
+//! * [`dataset`] — purchase logs, the synthetic shopping-log generator,
+//!   train/test splitting, dataset statistics;
+//! * [`factors`] — dense factor matrices with per-row locks and
+//!   thread-local drift caches for parallel SGD;
+//! * [`model`] — the TF model, trainers, cascaded inference, metrics and
+//!   the evaluation harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use taxrec::model::{ModelConfig, TfTrainer};
+//! use taxrec::dataset::{DatasetConfig, SyntheticDataset};
+//!
+//! let data = SyntheticDataset::generate(&DatasetConfig::tiny(), 42);
+//! let cfg = ModelConfig::tf(4, 0).with_factors(8).with_epochs(3);
+//! let model = TfTrainer::new(cfg, &data.taxonomy).fit(&data.train, 42);
+//! let top = model.recommend_top_k(0, &data.train.user(0), 5);
+//! assert_eq!(top.len(), 5);
+//! ```
+
+pub use taxrec_core as model;
+pub use taxrec_dataset as dataset;
+pub use taxrec_factors as factors;
+pub use taxrec_taxonomy as taxonomy;

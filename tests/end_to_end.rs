@@ -1,0 +1,204 @@
+//! End-to-end integration: dataset generation → training → evaluation
+//! → inference, across all workspace crates.
+
+use taxrec::dataset::{DatasetConfig, SplitConfig, SyntheticDataset};
+use taxrec::model::{
+    cascade, cascaded_auc,
+    eval::{evaluate, EvalConfig},
+    CascadeConfig, ModelConfig, Scorer, TfTrainer,
+};
+
+fn data() -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::tiny().with_users(1200), 2024)
+}
+
+#[test]
+fn headline_result_tf_beats_mf() {
+    // The paper's central claim (Fig. 6a): the taxonomy-aware model beats
+    // plain BPR matrix factorisation on held-out purchases.
+    let d = data();
+    let train = |cfg: ModelConfig| {
+        TfTrainer::new(cfg.with_factors(16).with_epochs(12), &d.taxonomy).fit(&d.train, 1)
+    };
+    let mf = train(ModelConfig::mf(0));
+    let tf = train(ModelConfig::tf(4, 0));
+    let cfg = EvalConfig::default();
+    let mf_auc = evaluate(&mf, &d.train, &d.test, &cfg).auc.unwrap();
+    let tf_auc = evaluate(&tf, &d.train, &d.test, &cfg).auc.unwrap();
+    assert!(
+        tf_auc > mf_auc + 0.02,
+        "TF(4,0) AUC {tf_auc:.4} must clearly beat MF(0) {mf_auc:.4}"
+    );
+}
+
+#[test]
+fn temporal_term_helps() {
+    // Fig. 6(e): the Markov term adds accuracy on top of the taxonomy.
+    let d = data();
+    let train = |cfg: ModelConfig| {
+        TfTrainer::new(cfg.with_factors(16).with_epochs(12), &d.taxonomy).fit(&d.train, 1)
+    };
+    let tf0 = train(ModelConfig::tf(4, 0));
+    let tf1 = train(ModelConfig::tf(4, 1));
+    let cfg = EvalConfig::fast();
+    let a0 = evaluate(&tf0, &d.train, &d.test, &cfg).auc.unwrap();
+    let a1 = evaluate(&tf1, &d.train, &d.test, &cfg).auc.unwrap();
+    assert!(a1 > a0, "TF(4,1) {a1:.4} must beat TF(4,0) {a0:.4}");
+}
+
+#[test]
+fn category_level_ranking_works_only_with_taxonomy() {
+    let d = data();
+    let train = |cfg: ModelConfig| {
+        TfTrainer::new(cfg.with_factors(8).with_epochs(8), &d.taxonomy).fit(&d.train, 2)
+    };
+    let cfg = EvalConfig { category_level: Some(1), ..EvalConfig::default() };
+    let tf = evaluate(&train(ModelConfig::tf(4, 0)), &d.train, &d.test, &cfg);
+    let mf = evaluate(&train(ModelConfig::mf(0)), &d.train, &d.test, &cfg);
+    // MF has no interior factors: every category ties at score 0 → 0.5.
+    assert!((mf.category_auc.unwrap() - 0.5).abs() < 0.02);
+    assert!(tf.category_auc.unwrap() > 0.6);
+}
+
+#[test]
+fn cold_start_taxonomy_advantage() {
+    // Fig. 7(c): TF ranks never-trained items above chance, MF cannot.
+    let d = data();
+    let train = |cfg: ModelConfig| {
+        TfTrainer::new(cfg.with_factors(16).with_epochs(12), &d.taxonomy).fit(&d.train, 3)
+    };
+    let cfg = EvalConfig { cold_start: true, ..EvalConfig::default() };
+    let tf = evaluate(&train(ModelConfig::tf(4, 0)), &d.train, &d.test, &cfg);
+    let mf = evaluate(&train(ModelConfig::mf(0)), &d.train, &d.test, &cfg);
+    assert!(tf.cold_count > 0, "dataset must contain cold purchases");
+    let tf_cold = tf.cold_norm_rank.unwrap();
+    let mf_cold = mf.cold_norm_rank.unwrap();
+    assert!(
+        tf_cold > mf_cold + 0.05,
+        "TF cold rank {tf_cold:.3} must beat MF {mf_cold:.3}"
+    );
+    assert!(tf_cold > 0.55, "TF cold rank {tf_cold:.3} must beat chance");
+}
+
+#[test]
+fn sparsity_taxonomy_gap_grows_when_sparse() {
+    // Fig. 7(b): the TF advantage is larger in the sparse regime.
+    let mut d = data();
+    let gap_at = |d: &SyntheticDataset| {
+        let train = |cfg: ModelConfig| {
+            TfTrainer::new(cfg.with_factors(16).with_epochs(12), &d.taxonomy).fit(&d.train, 4)
+        };
+        let cfg = EvalConfig::fast();
+        let tf = evaluate(&train(ModelConfig::tf(4, 0)), &d.train, &d.test, &cfg);
+        let mf = evaluate(&train(ModelConfig::mf(0)), &d.train, &d.test, &cfg);
+        tf.auc.unwrap() - mf.auc.unwrap()
+    };
+    d.resplit(0.25);
+    let sparse_gap = gap_at(&d);
+    d.resplit(0.75);
+    let dense_gap = gap_at(&d);
+    assert!(
+        sparse_gap > dense_gap,
+        "sparse gap {sparse_gap:.4} must exceed dense gap {dense_gap:.4}"
+    );
+    assert!(sparse_gap > 0.0);
+}
+
+#[test]
+fn cascade_trades_accuracy_for_work() {
+    // Fig. 8(c): tighter beams do less work; the AUC ratio degrades
+    // gracefully and reaches 1.0 at full width.
+    let d = data();
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 0).with_factors(8).with_epochs(8),
+        &d.taxonomy,
+    )
+    .fit(&d.train, 5);
+    let scorer = Scorer::new(&model);
+    let depth = model.taxonomy().depth();
+    let n = model.num_items();
+
+    let mut work = Vec::new();
+    let mut auc = Vec::new();
+    for k in [0.1, 0.5, 1.0] {
+        let cfg = CascadeConfig::uniform(depth, k);
+        let mut nodes = 0usize;
+        let mut auc_sum = 0.0;
+        let mut cnt = 0u32;
+        for u in 0..200 {
+            let Some(basket) = d.test.user(u).first() else { continue };
+            if basket.is_empty() {
+                continue;
+            }
+            let q = scorer.query(u, d.train.user(u));
+            let res = cascade(&scorer, &q, &cfg);
+            nodes += res.scored_nodes;
+            if let Some(a) = cascaded_auc(&res, n, basket) {
+                auc_sum += a;
+                cnt += 1;
+            }
+        }
+        work.push(nodes);
+        auc.push(auc_sum / cnt as f64);
+    }
+    assert!(work[0] < work[1] && work[1] < work[2]);
+    assert!(auc[2] >= auc[0], "full beam must not lose to a 10% beam");
+}
+
+#[test]
+fn split_protocol_respects_paper_rules() {
+    // Repeats removed, prefix/suffix split, users preserved.
+    let d = data();
+    assert_eq!(d.train.num_users(), d.test.num_users());
+    for u in 0..d.train.num_users() {
+        let train_items = d.train.distinct_items(u);
+        for basket in d.test.user(u) {
+            for item in basket {
+                assert!(
+                    train_items.binary_search(item).is_err(),
+                    "user {u} has a repeat purchase in test"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_pipeline() {
+    let cfg = DatasetConfig::tiny();
+    let a = SyntheticDataset::generate(&cfg, 7);
+    let b = SyntheticDataset::generate(&cfg, 7);
+    assert_eq!(a.log, b.log);
+    let ta = TfTrainer::new(ModelConfig::tf(4, 1).with_epochs(2), &a.taxonomy).fit(&a.train, 9);
+    let tb = TfTrainer::new(ModelConfig::tf(4, 1).with_epochs(2), &b.taxonomy).fit(&b.train, 9);
+    let ra = evaluate(&ta, &a.train, &a.test, &EvalConfig::fast());
+    let rb = evaluate(&tb, &b.train, &b.test, &EvalConfig::fast());
+    assert_eq!(ra.auc, rb.auc);
+    assert_eq!(ra.mean_rank, rb.mean_rank);
+}
+
+#[test]
+fn resplit_consistency() {
+    let mut d = data();
+    d.resplit(0.3);
+    // µ must be recorded and the split must stay valid.
+    assert!((d.config.split.mu - 0.3).abs() < 1e-12);
+    assert_eq!(d.train.num_users(), d.test.num_users());
+    let total_split: usize = d.train.num_transactions();
+    d.resplit(0.8);
+    assert!(d.train.num_transactions() > total_split);
+}
+
+#[test]
+fn custom_split_config_flows_through() {
+    let cfg = DatasetConfig {
+        split: SplitConfig { mu: 0.6, sigma: 0.0, drop_repeats: false, seed: 1 },
+        ..DatasetConfig::tiny()
+    };
+    let d = SyntheticDataset::generate(&cfg, 5);
+    // With drop_repeats=false, purchases are conserved.
+    assert_eq!(
+        d.train.num_purchases() + d.test.num_purchases(),
+        d.log.num_purchases()
+    );
+}

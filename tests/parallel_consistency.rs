@@ -1,0 +1,90 @@
+//! Cross-crate tests of the parallel machinery: multi-threaded training
+//! with and without drift caches must match single-threaded quality, and
+//! parallel evaluation must be exact.
+
+use taxrec::dataset::{DatasetConfig, SyntheticDataset};
+use taxrec::model::{
+    eval::{evaluate, EvalConfig},
+    ModelConfig, TfTrainer,
+};
+
+fn data() -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::tiny().with_users(1500), 7)
+}
+
+fn auc_with(d: &SyntheticDataset, threads: usize, cache: Option<f32>) -> f64 {
+    let cfg = ModelConfig::tf(4, 1)
+        .with_factors(8)
+        .with_epochs(10)
+        .with_cache_threshold(cache);
+    let (model, stats) = TfTrainer::new(cfg, &d.taxonomy).fit_parallel(&d.train, 3, threads);
+    assert_eq!(stats.threads, threads);
+    evaluate(&model, &d.train, &d.test, &EvalConfig::fast())
+        .auc
+        .unwrap()
+}
+
+#[test]
+fn parallel_training_quality_matches_serial() {
+    let d = data();
+    let serial = auc_with(&d, 1, None);
+    let parallel = auc_with(&d, 8, None);
+    assert!(serial > 0.6, "serial AUC {serial:.4} must learn");
+    assert!(
+        (serial - parallel).abs() < 0.05,
+        "8-thread AUC {parallel:.4} diverges from serial {serial:.4}"
+    );
+}
+
+#[test]
+fn drift_cache_preserves_quality() {
+    let d = data();
+    let uncached = auc_with(&d, 8, None);
+    let cached = auc_with(&d, 8, Some(0.1));
+    assert!(
+        (uncached - cached).abs() < 0.05,
+        "cached AUC {cached:.4} diverges from uncached {uncached:.4}"
+    );
+}
+
+#[test]
+fn aggressive_cache_threshold_still_learns() {
+    // A huge threshold delays reconciliation to the epoch barrier —
+    // extreme staleness, but updates must never be lost.
+    let d = data();
+    let auc = auc_with(&d, 4, Some(1e6));
+    assert!(auc > 0.55, "epoch-grained cache sync AUC {auc:.4}");
+}
+
+#[test]
+fn thread_count_does_not_change_eval() {
+    let d = data();
+    let cfg = ModelConfig::tf(4, 0).with_factors(8).with_epochs(5);
+    let model = TfTrainer::new(cfg, &d.taxonomy).fit(&d.train, 1);
+    let base = evaluate(
+        &model,
+        &d.train,
+        &d.test,
+        &EvalConfig { threads: 1, ..EvalConfig::default() },
+    );
+    for threads in [2, 5, 16] {
+        let r = evaluate(
+            &model,
+            &d.train,
+            &d.test,
+            &EvalConfig { threads, ..EvalConfig::default() },
+        );
+        assert_eq!(base.users_evaluated, r.users_evaluated);
+        assert!((base.auc.unwrap() - r.auc.unwrap()).abs() < 1e-12);
+        assert!((base.category_auc.unwrap() - r.category_auc.unwrap()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn oversubscribed_threads_are_safe() {
+    // More threads than work items must not panic or deadlock.
+    let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(30), 1);
+    let cfg = ModelConfig::tf(4, 0).with_factors(4).with_epochs(2);
+    let (model, _) = TfTrainer::new(cfg, &d.taxonomy).fit_parallel(&d.train, 1, 64);
+    assert!(model.num_users() == 30);
+}
