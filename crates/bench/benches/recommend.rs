@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks: the batched recommendation engine —
+//! engine build, single-request latency, batch throughput per backend
+//! and thread count, and the blocked top-K kernel against a full sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taxrec_core::recommend::{Backend, RecommendEngine, RecommendRequest};
+use taxrec_core::{CascadeConfig, ModelConfig, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+fn fixture() -> (SyntheticDataset, taxrec_core::TfModel) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(), 77);
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 1).with_factors(16).with_epochs(2),
+        &data.taxonomy,
+    )
+    .fit(&data.train, 5);
+    (data, model)
+}
+
+fn requests(data: &SyntheticDataset, n: usize, k: usize) -> Vec<RecommendRequest<'_>> {
+    (0..n)
+        .map(|u| RecommendRequest {
+            user: u,
+            history: data.train.user(u),
+            k,
+            exclude: &[],
+        })
+        .collect()
+}
+
+fn bench_engine_build(c: &mut Criterion) {
+    let (_, model) = fixture();
+    c.bench_function("engine_build", |b| b.iter(|| RecommendEngine::new(&model)));
+}
+
+fn bench_single_request(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let engine = RecommendEngine::new(&model);
+    let reqs = requests(&data, 1, 10);
+    c.bench_function("recommend_single_top10", |b| {
+        b.iter(|| engine.recommend(&reqs[0]))
+    });
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let engine = RecommendEngine::new(&model);
+    let batch = requests(&data, 256, 10);
+    let mut g = c.benchmark_group("batch_256_users");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    for threads in [1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive", threads),
+            &threads,
+            |b, &t| b.iter(|| engine.recommend_batch(&batch, t)),
+        );
+    }
+    let depth = model.taxonomy().depth();
+    let cascaded = Backend::Cascaded(CascadeConfig::uniform(depth, 0.2));
+    for threads in [1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("cascade_k0.2", threads),
+            &threads,
+            |b, &t| b.iter(|| engine.recommend_batch_with(&batch, t, &cascaded)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_topk_vs_sort(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let engine = RecommendEngine::new(&model);
+    let scorer = engine.scorer();
+    let q = scorer.query(0, data.train.user(0));
+    let n = model.num_items();
+    let mut g = c.benchmark_group("select_top10");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("blocked_heap", |b| {
+        b.iter(|| engine.recommend(&RecommendRequest::simple(0, 10)))
+    });
+    g.bench_function("full_sort", |b| {
+        b.iter(|| {
+            let mut scores = scorer.score_all_items(&q);
+            scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            scores.truncate(10);
+            scores
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_build,
+    bench_single_request,
+    bench_batch_throughput,
+    bench_topk_vs_sort
+);
+criterion_main!(benches);

@@ -11,7 +11,9 @@ use taxrec_taxonomy::ItemId;
 fn bench_purchase_index(c: &mut Criterion) {
     let data = SyntheticDataset::generate(&DatasetConfig::small(), 3);
     let mut g = c.benchmark_group("sampler");
-    g.bench_function("index_build", |b| b.iter(|| PurchaseIndex::build(&data.train)));
+    g.bench_function("index_build", |b| {
+        b.iter(|| PurchaseIndex::build(&data.train))
+    });
     let index = PurchaseIndex::build(&data.train);
     let mut rng = StdRng::seed_from_u64(1);
     g.throughput(Throughput::Elements(1));
@@ -39,7 +41,9 @@ fn bench_dataset_generation(c: &mut Criterion) {
     let cfg = DatasetConfig::tiny();
     let mut g = c.benchmark_group("dataset");
     g.sample_size(10);
-    g.bench_function("generate_tiny", |b| b.iter(|| SyntheticDataset::generate(&cfg, 5)));
+    g.bench_function("generate_tiny", |b| {
+        b.iter(|| SyntheticDataset::generate(&cfg, 5))
+    });
     g.finish();
 }
 

@@ -79,7 +79,9 @@ fn bench_serialize(c: &mut Criterion) {
     let enc = taxrec_taxonomy::serialize::encode(&t);
     let mut g = c.benchmark_group("serialize");
     g.throughput(Throughput::Bytes(enc.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| taxrec_taxonomy::serialize::encode(&t)));
+    g.bench_function("encode", |b| {
+        b.iter(|| taxrec_taxonomy::serialize::encode(&t))
+    });
     g.bench_function("decode", |b| {
         b.iter(|| taxrec_taxonomy::serialize::decode(&enc).unwrap())
     });

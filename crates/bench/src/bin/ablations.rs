@@ -31,7 +31,12 @@ fn main() {
     );
 
     let run = |cfg: ModelConfig| {
-        let (model, stats) = fixtures::train(&data, cfg.with_factors(k).with_epochs(epochs), seed, threads);
+        let (model, stats) = fixtures::train(
+            &data,
+            cfg.with_factors(k).with_epochs(epochs),
+            seed,
+            threads,
+        );
         let r = evaluate(&model, &data.train, &data.test, &eval_cfg);
         let l = estimate_bpr_loss(&model, &data.train, 3000, seed);
         (r, l, stats)

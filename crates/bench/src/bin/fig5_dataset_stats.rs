@@ -23,7 +23,10 @@ fn main() {
     println!("=== Dataset summary (paper Sec. 7.1) ===");
     println!("users                : {}", summary.num_users);
     println!("items                : {}", summary.num_items);
-    println!("taxonomy level sizes : {:?} (root first)", summary.level_sizes);
+    println!(
+        "taxonomy level sizes : {:?} (root first)",
+        summary.level_sizes
+    );
     println!("train transactions   : {}", summary.num_transactions);
     println!(
         "purchases per user   : {:.2} (paper reports 2.3 on the Yahoo! log)",
@@ -36,14 +39,27 @@ fn main() {
     println!("cold items           : {}", data.cold_items().len());
 
     println!("\n=== Fig. 5(a): distinct items per user (train) ===");
-    print!("{}", summary.items_per_user.render("users with k distinct items", 60));
+    print!(
+        "{}",
+        summary
+            .items_per_user
+            .render("users with k distinct items", 60)
+    );
     println!("mean = {:.2}", summary.items_per_user.mean());
 
     println!("\n=== Fig. 5(b): new items per user (test) ===");
-    print!("{}", summary.new_items_per_user.render("users with k new items", 60));
+    print!(
+        "{}",
+        summary
+            .new_items_per_user
+            .render("users with k new items", 60)
+    );
     println!("mean = {:.2}", summary.new_items_per_user.mean());
 
     println!("\n=== Fig. 5(c): item popularity ===");
-    print!("{}", summary.popularity.render("items purchased k times", 60));
+    print!(
+        "{}",
+        summary.popularity.render("items purchased k times", 60)
+    );
     println!("mean = {:.2}", summary.popularity.mean());
 }

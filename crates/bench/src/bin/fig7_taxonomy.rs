@@ -85,11 +85,7 @@ fn main() {
     } else {
         vec![10, 20, 30, 40, 50]
     };
-    let mut t7c = Table::new([
-        "factors",
-        "MF(0) new-item rank",
-        "TF(4,0) new-item rank",
-    ]);
+    let mut t7c = Table::new(["factors", "MF(0) new-item rank", "TF(4,0) new-item rank"]);
     for &k in &factor_grid {
         let run = |cfg: ModelConfig| {
             let (m, _) = fixtures::train(
@@ -142,7 +138,9 @@ fn main() {
     // --- 7(e): factor-space clustering ----------------------------------
     let (m, _) = fixtures::train(
         &data,
-        ModelConfig::tf(4, 0).with_factors(k_default).with_epochs(epochs),
+        ModelConfig::tf(4, 0)
+            .with_factors(k_default)
+            .with_epochs(epochs),
         seed,
         threads,
     );
@@ -151,7 +149,9 @@ fn main() {
     println!("\n=== Fig. 7(e): taxonomy structure in factor space ===");
     println!(
         "ancestor-distance ratio = {} (≪ 1 ⇒ children cluster around their own ancestors)",
-        ratio.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into())
+        ratio
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "-".into())
     );
     if args.flag("viz") {
         write_embedding(&m, &scorer, seed);
@@ -160,7 +160,9 @@ fn main() {
     // --- 7(f): higher-order Markov chains --------------------------------
     let mut t7f = Table::new(["system", "AUC"]);
     for b in [1usize, 2, 3] {
-        let cfg = ModelConfig::tf(4, b).with_factors(k_default).with_epochs(epochs);
+        let cfg = ModelConfig::tf(4, b)
+            .with_factors(k_default)
+            .with_epochs(epochs);
         let name = cfg.system_name();
         let (m, _) = fixtures::train(&data, cfg, seed, threads);
         let r = evaluate(&m, &data.train, &data.test, &eval_cfg);
@@ -197,5 +199,8 @@ fn write_embedding(m: &taxrec_core::TfModel, scorer: &Scorer<'_>, seed: u64) {
     }
     let path = "fig7e_embedding.tsv";
     std::fs::write(path, out).expect("write embedding TSV");
-    println!("t-SNE embedding of {} upper-level nodes written to {path}", nodes.len());
+    println!(
+        "t-SNE embedding of {} upper-level nodes written to {path}",
+        nodes.len()
+    );
 }

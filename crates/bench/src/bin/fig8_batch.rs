@@ -1,0 +1,126 @@
+//! Figure 8-style study for the serving path: batched multi-user top-K
+//! throughput, exhaustive vs cascaded backends.
+//!
+//! The paper's Fig. 8 trades inference work against accuracy for one
+//! user at a time; a serving system amortises that work across a batch.
+//! This binary sweeps worker threads and the cascade keep-fraction and
+//! reports end-to-end batch throughput (users/sec) plus the speed-up of
+//! the cascaded backend over exhaustive at the same thread count.
+//!
+//! ```text
+//! cargo run --release -p taxrec-bench --bin fig8_batch -- --scale small
+//!   [--batch 512] [--top 10] [--factors 20] [--threads-list 1,2,4,8]
+//! ```
+
+use std::time::Instant;
+use taxrec_bench::args::Args;
+use taxrec_bench::fixtures;
+use taxrec_bench::report::{fmt, Table};
+use taxrec_core::recommend::{Backend, RecommendEngine, RecommendRequest};
+use taxrec_core::{CascadeConfig, ModelConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let data = fixtures::dataset(&args);
+    let epochs = fixtures::epochs(&args);
+    let k_factors = args.get("factors", 20usize);
+    let batch = args.get("batch", 512usize).min(data.train.num_users());
+    let top = args.get("top", 10usize);
+    let thread_list: Vec<usize> = args
+        .value("threads-list")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .filter_map(|t| t.parse().ok())
+        .collect();
+
+    eprintln!(
+        "# fig8batch: users={} items={} epochs={epochs} batch={batch} top={top}",
+        data.train.num_users(),
+        data.taxonomy.num_items()
+    );
+
+    let (model, _) = fixtures::train(
+        &data,
+        ModelConfig::tf(4, 1)
+            .with_factors(k_factors)
+            .with_epochs(epochs),
+        args.seed(),
+        args.threads(),
+    );
+    let engine = RecommendEngine::new(&model);
+    let depth = model.taxonomy().depth();
+
+    // The batch: the first `batch` users, conditioning on their full
+    // training history, excluding their past purchases.
+    let excludes: Vec<Vec<taxrec_taxonomy::ItemId>> =
+        (0..batch).map(|u| data.train.distinct_items(u)).collect();
+    let requests: Vec<RecommendRequest<'_>> = (0..batch)
+        .map(|u| RecommendRequest {
+            user: u,
+            history: data.train.user(u),
+            k: top,
+            exclude: &excludes[u],
+        })
+        .collect();
+
+    let backends: Vec<(String, Backend)> = vec![
+        ("exhaustive".into(), Backend::Exhaustive),
+        (
+            "cascade K=0.5".into(),
+            Backend::Cascaded(CascadeConfig::uniform(depth, 0.5)),
+        ),
+        (
+            "cascade K=0.2".into(),
+            Backend::Cascaded(CascadeConfig::uniform(depth, 0.2)),
+        ),
+        (
+            "cascade K=0.05".into(),
+            Backend::Cascaded(CascadeConfig::uniform(depth, 0.05)),
+        ),
+    ];
+
+    let mut t = Table::new(
+        [
+            "backend",
+            "threads",
+            "batch time",
+            "users/sec",
+            "vs exhaustive",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    for &threads in &thread_list {
+        let mut exhaustive_rate = None;
+        for (name, backend) in &backends {
+            // Warm-up pass (page in factors), then measure.
+            let _ = engine.recommend_batch_with(&requests, threads, backend);
+            let t0 = Instant::now();
+            let reps = 3;
+            for _ in 0..reps {
+                let results = engine.recommend_batch_with(&requests, threads, backend);
+                assert_eq!(results.len(), batch);
+            }
+            let secs = t0.elapsed().as_secs_f64() / reps as f64;
+            let rate = batch as f64 / secs;
+            let speedup = match (name.as_str(), exhaustive_rate) {
+                ("exhaustive", _) => {
+                    exhaustive_rate = Some(rate);
+                    "1.00×".to_string()
+                }
+                (_, Some(base)) => format!("{:.2}×", rate / base),
+                _ => "-".to_string(),
+            };
+            t.row([
+                name.clone(),
+                threads.to_string(),
+                format!("{:.2} ms", secs * 1e3),
+                fmt(rate, 0),
+                speedup,
+            ]);
+        }
+    }
+    t.print(&format!(
+        "Batched top-{top} throughput over {batch} users (exhaustive vs cascaded)"
+    ));
+}

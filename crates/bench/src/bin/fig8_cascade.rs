@@ -15,9 +15,7 @@ use std::time::Instant;
 use taxrec_bench::args::Args;
 use taxrec_bench::fixtures;
 use taxrec_bench::report::{fmt, Table};
-use taxrec_core::{
-    cascade, cascaded_auc, metrics, CascadeConfig, ModelConfig, Scorer,
-};
+use taxrec_core::{cascade, cascaded_auc, metrics, CascadeConfig, ModelConfig, Scorer};
 
 fn main() {
     let args = Args::from_env();
@@ -35,7 +33,9 @@ fn main() {
 
     let (model, _) = fixtures::train(
         &data,
-        ModelConfig::tf(4, 0).with_factors(k_factors).with_epochs(epochs),
+        ModelConfig::tf(4, 0)
+            .with_factors(k_factors)
+            .with_epochs(epochs),
         args.seed(),
         threads,
     );
@@ -59,8 +59,7 @@ fn main() {
     for &u in &users {
         let q = scorer.query(u, data.train.user(u));
         scorer.score_all_items_into(&q, &mut scores);
-        let positives: Vec<usize> =
-            data.test.user(u)[0].iter().map(|i| i.index()).collect();
+        let positives: Vec<usize> = data.test.user(u)[0].iter().map(|i| i.index()).collect();
         if let Some(a) = metrics::auc(&scores, &positives) {
             base_auc_sum += a;
             n_eval += 1;

@@ -26,7 +26,9 @@ fn main() {
     let k = args.get("factors", 20usize);
     let max_threads = args.get(
         "max-threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8),
     );
 
     let mut grid: Vec<usize> = vec![1, 2, 4, 8, 16, 24, 32, 48]
@@ -76,7 +78,10 @@ fn main() {
                 base[si] = per_epoch;
             }
             times.push(per_epoch);
-            eprintln!("# threads={threads} {} {per_epoch:.3}s/epoch", systems[si].0);
+            eprintln!(
+                "# threads={threads} {} {per_epoch:.3}s/epoch",
+                systems[si].0
+            );
         }
         time_table.row([
             threads.to_string(),

@@ -13,13 +13,17 @@
 //! | `fig7_taxonomy`     | Fig. 7(a–f) taxonomy effect studies      |
 //! | `fig8_parallel`     | Fig. 8(a,b) multi-core speed-up          |
 //! | `fig8_cascade`      | Fig. 8(c,d) cascaded inference trade-off |
+//! | `fig8_batch`        | batched serving throughput, exhaustive vs cascaded (beyond the paper) |
 //! | `ablations`         | non-figure design studies (init, sibling levels, cache threshold, negatives) |
 //! | `smoke`             | quick end-to-end sanity run              |
 //!
 //! Every binary accepts `--scale <tiny|small|full>` (dataset size) and
 //! `--seed <u64>`, prints the series the paper plots as aligned text
 //! tables, and is deterministic per seed (modulo wall-clock timings).
-//! Results are summarised against the paper in `EXPERIMENTS.md`.
+//! The repeatable evaluation workflow (including the JSON report
+//! format) is documented in `docs/guide/evaluation.md`.
+
+#![warn(missing_docs)]
 
 pub mod args;
 pub mod fixtures;

@@ -73,12 +73,14 @@ impl CliArgs {
                 let (u, b) = tf
                     .split_once(',')
                     .ok_or_else(|| CliError::Usage(format!("--tf: expected U,B got '{tf}'")))?;
-                let u = u.trim().parse().map_err(|_| {
-                    CliError::Usage(format!("--tf: bad U '{u}'"))
-                })?;
-                let b = b.trim().parse().map_err(|_| {
-                    CliError::Usage(format!("--tf: bad B '{b}'"))
-                })?;
+                let u = u
+                    .trim()
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--tf: bad U '{u}'")))?;
+                let b = b
+                    .trim()
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--tf: bad B '{b}'")))?;
                 Ok((u, b))
             }
             (None, Some(mf)) => {

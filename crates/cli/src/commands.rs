@@ -5,7 +5,8 @@ use crate::args::CliArgs;
 use crate::store::DataDir;
 use crate::CliError;
 use taxrec_core::{
-    cascade, eval::EvalConfig, persist, CascadeConfig, ModelConfig, Scorer, TfModel, TfTrainer,
+    eval::EvalConfig, persist, Backend, CascadeConfig, ModelConfig, RecommendEngine,
+    RecommendRequest, TfModel, TfTrainer,
 };
 use taxrec_dataset::{split_log, DatasetConfig, SplitConfig, SyntheticDataset};
 use taxrec_taxonomy::TaxonomyShape;
@@ -26,7 +27,10 @@ pub fn generate(args: &CliArgs) -> Result<String, CliError> {
             ..TaxonomyShape::default()
         },
         num_users: users,
-        split: SplitConfig { mu, ..SplitConfig::default() },
+        split: SplitConfig {
+            mu,
+            ..SplitConfig::default()
+        },
         ..DatasetConfig::default()
     };
     let d = SyntheticDataset::generate(&cfg, seed);
@@ -54,7 +58,11 @@ pub fn import(args: &CliArgs) -> Result<String, CliError> {
         .map_err(|e| CliError::Data(format!("{input}: {e}")))?;
     let split = split_log(
         &imported.log,
-        &SplitConfig { mu, seed, ..SplitConfig::default() },
+        &SplitConfig {
+            mu,
+            seed,
+            ..SplitConfig::default()
+        },
     );
     out.save(
         &imported.taxonomy,
@@ -82,7 +90,9 @@ pub fn train(args: &CliArgs) -> Result<String, CliError> {
     let seed: u64 = args.get("seed", 42u64)?;
     let cache_th: f32 = args.get("cache-th", -1.0f32)?;
 
-    let mut cfg = ModelConfig::tf(u, b).with_factors(factors).with_epochs(epochs);
+    let mut cfg = ModelConfig::tf(u, b)
+        .with_factors(factors)
+        .with_epochs(epochs);
     if cache_th >= 0.0 {
         cfg = cfg.with_cache_threshold(Some(cache_th));
     }
@@ -120,6 +130,25 @@ pub fn evaluate(args: &CliArgs) -> Result<String, CliError> {
         ..EvalConfig::default()
     };
     let r = taxrec_core::eval::evaluate(&model, &train_log, &test_log, &cfg);
+    if args.flag("json") {
+        let j = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.6}"));
+        return Ok(format!(
+            "{{\"system\":\"{}\",\"users_evaluated\":{},\"auc\":{},\"mean_rank\":{},\
+             \"hit_at_10\":{},\"mrr\":{},\"category_level\":{category_level},\
+             \"category_auc\":{},\"category_mean_rank\":{},\"cold_norm_rank\":{},\
+             \"cold_count\":{}}}\n",
+            model.config().system_name(),
+            r.users_evaluated,
+            j(r.auc),
+            j(r.mean_rank),
+            j(r.hit_at_k),
+            j(r.mrr),
+            j(r.category_auc),
+            j(r.category_mean_rank),
+            j(r.cold_norm_rank),
+            r.cold_count,
+        ));
+    }
     let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.4}"));
     Ok(format!(
         "system            : {}\n\
@@ -145,31 +174,44 @@ pub fn evaluate(args: &CliArgs) -> Result<String, CliError> {
     ))
 }
 
-/// `taxrec recommend` — top items + top categories for one user.
+/// Largest user batch `taxrec recommend --users` accepts; generous for
+/// offline scoring, but bounded so a typo'd range fails instead of
+/// materialising the id list unchecked.
+const CLI_BATCH_CAP: usize = 65_536;
+
+/// `taxrec recommend` — top items (+ top categories) for one user
+/// (`--user U`) or a whole batch (`--users 0,3,9` / `--users 0-63`),
+/// served through the batched [`RecommendEngine`].
 pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
     let data = DataDir::new(args.require("data")?);
     let model = load_model(args.require("model")?)?;
-    let user: usize = args.get_required("user")?;
     let top: usize = args.get("top", 10usize)?;
     let cascade_k: f64 = args.get("cascade", 1.0f64)?;
+    let threads = args.get("threads", default_threads())?;
     let train_log = data.train()?;
     check_model_fits(&model, &train_log)?;
-    if user >= train_log.num_users() {
+
+    // One user via --user, or many via --users.
+    let users: Vec<usize> = match (args.value("user"), args.value("users")) {
+        (Some(_), _) => vec![args.get_required("user")?],
+        (None, Some(spec)) => {
+            crate::users::parse_user_list(spec, train_log.num_users(), CLI_BATCH_CAP)
+                .map_err(|e| CliError::Usage(format!("--users: {e}")))?
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "--user U or --users LIST is required".to_string(),
+            ))
+        }
+    };
+    if let Some(&bad) = users.iter().find(|&&u| u >= train_log.num_users()) {
         return Err(CliError::Usage(format!(
-            "--user {user} out of range (0..{})",
+            "user {bad} out of range (0..{})",
             train_log.num_users()
         )));
     }
-    let names = data.item_names()?;
-    let scorer = Scorer::new(&model);
-    let query = scorer.query(user, train_log.user(user));
-    let bought = train_log.distinct_items(user);
 
-    let mut out = format!(
-        "user {user}: {} training transactions, {} distinct items\n",
-        train_log.user(user).len(),
-        bought.len()
-    );
+    let names = data.item_names()?;
     let item_label = |i: taxrec_taxonomy::ItemId| -> String {
         names
             .as_ref()
@@ -177,34 +219,78 @@ pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
             .unwrap_or_else(|| format!("{i}"))
     };
 
-    if cascade_k < 1.0 {
-        let cfg = CascadeConfig::uniform(model.taxonomy().depth(), cascade_k);
-        let res = cascade(&scorer, &query, &cfg);
-        out.push_str(&format!(
-            "cascaded inference (K={cascade_k}): scored {} nodes\n",
-            res.scored_nodes
-        ));
-        for (rank, (item, score)) in res
-            .items
-            .iter()
-            .filter(|(i, _)| bought.binary_search(i).is_err())
-            .take(top)
-            .enumerate()
-        {
-            out.push_str(&format!("  #{:<3} {}  {score:+.3}\n", rank + 1, item_label(*item)));
-        }
+    let backend = if cascade_k < 1.0 {
+        Backend::Cascaded(CascadeConfig::uniform(
+            model.taxonomy().depth(),
+            cascade_k.max(0.01),
+        ))
     } else {
-        for (rank, (item, score)) in
-            scorer.top_k_items(&query, top, &bought).iter().enumerate()
-        {
-            out.push_str(&format!("  #{:<3} {}  {score:+.3}\n", rank + 1, item_label(*item)));
+        Backend::Exhaustive
+    };
+    let engine = RecommendEngine::with_backend(&model, backend);
+
+    let excludes: Vec<Vec<taxrec_taxonomy::ItemId>> =
+        users.iter().map(|&u| train_log.distinct_items(u)).collect();
+    let requests: Vec<RecommendRequest<'_>> = users
+        .iter()
+        .zip(&excludes)
+        .map(|(&u, excl)| RecommendRequest {
+            user: u,
+            history: train_log.user(u),
+            k: top,
+            exclude: excl,
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let results = engine.recommend_batch(&requests, threads);
+    let elapsed = t0.elapsed();
+
+    let mut out = String::new();
+    if users.len() > 1 {
+        out.push_str(&format!(
+            "batch of {} users ({}, {threads} threads): {:.2?} total, {:.0} users/sec\n",
+            users.len(),
+            backend_name(engine.backend(), cascade_k),
+            elapsed,
+            users.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        ));
+    }
+    for (req, recs) in requests.iter().zip(&results) {
+        out.push_str(&format!(
+            "user {}: {} training transactions, {} distinct items\n",
+            req.user,
+            req.history.len(),
+            req.exclude.len()
+        ));
+        if let Backend::Cascaded(_) = engine.backend() {
+            out.push_str(&format!("cascaded inference (K={cascade_k})\n"));
+        }
+        for (rank, (item, score)) in recs.iter().enumerate() {
+            out.push_str(&format!(
+                "  #{:<3} {}  {score:+.3}\n",
+                rank + 1,
+                item_label(*item)
+            ));
         }
     }
-    out.push_str("top categories (level 1):\n");
-    for (rank, (node, score)) in scorer.rank_level(&query, 1).iter().take(5).enumerate() {
-        out.push_str(&format!("  #{:<3} {node}  {score:+.3}\n", rank + 1));
+
+    // Category summary only in single-user mode (matches the old CLI).
+    if let [user] = users[..] {
+        let scorer = engine.scorer();
+        let query = scorer.query(user, train_log.user(user));
+        out.push_str("top categories (level 1):\n");
+        for (rank, (node, score)) in scorer.rank_level(&query, 1).iter().take(5).enumerate() {
+            out.push_str(&format!("  #{:<3} {node}  {score:+.3}\n", rank + 1));
+        }
     }
     Ok(out)
+}
+
+fn backend_name(backend: &Backend, cascade_k: f64) -> String {
+    match backend {
+        Backend::Exhaustive => "exhaustive".to_string(),
+        Backend::Cascaded(_) => format!("cascaded K={cascade_k}"),
+    }
 }
 
 /// `taxrec inspect` — summarise a model file.
@@ -255,19 +341,19 @@ fn check_model_fits(model: &TfModel, train: &taxrec_dataset::PurchaseLog) -> Res
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::run;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "taxrec-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("taxrec-cli-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -305,6 +391,15 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("AUC"), "{out}");
+
+        let out = run(&argv(&format!(
+            "evaluate --data {} --model {} --json",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.starts_with("{\"system\":\"TF(4,1)\""), "{out}");
+        assert!(out.contains("\"auc\":0."), "{out}");
 
         let out = run(&argv(&format!(
             "recommend --data {} --model {} --user 0 --top 5",
@@ -357,7 +452,9 @@ mod tests {
         )))
         .unwrap();
         assert!(
-            ["canon", "sd-card", "pruner", "gloves"].iter().any(|n| out.contains(n)),
+            ["canon", "sd-card", "pruner", "gloves"]
+                .iter()
+                .any(|n| out.contains(n)),
             "{out}"
         );
         std::fs::remove_dir_all(&dir).unwrap();
@@ -390,6 +487,65 @@ mod tests {
     }
 
     #[test]
+    fn batched_recommend_matches_single_calls() {
+        let dir = tmpdir("batchrec");
+        let data = dir.join("data");
+        let model = dir.join("m.tfm");
+        run(&argv(&format!(
+            "generate --out {} --users 200 --items 300 --seed 9",
+            data.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "train --data {} --model {} --tf 4,1 --factors 8 --epochs 2",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+
+        let batch = run(&argv(&format!(
+            "recommend --data {} --model {} --users 0-63 --top 5 --threads 4",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(batch.contains("batch of 64 users"), "{batch}");
+        assert!(batch.contains("users/sec"), "{batch}");
+        // Every user's block must equal the single-user invocation's.
+        for user in [0usize, 31, 63] {
+            let single = run(&argv(&format!(
+                "recommend --data {} --model {} --user {user} --top 5",
+                data.display(),
+                model.display()
+            )))
+            .unwrap();
+            let block = single.split("top categories").next().unwrap();
+            assert!(
+                batch.contains(block),
+                "user {user} diverges:\n{block}\nvs\n{batch}"
+            );
+        }
+
+        // Range + list syntax and the cascaded backend parse and run.
+        let casc = run(&argv(&format!(
+            "recommend --data {} --model {} --users 0-3,7 --cascade 0.3 --top 3",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(casc.contains("batch of 5 users"), "{casc}");
+        assert!(casc.contains("cascaded"), "{casc}");
+
+        assert!(run(&argv(&format!(
+            "recommend --data {} --model {} --users 9-2",
+            data.display(),
+            model.display()
+        )))
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn helpful_errors() {
         assert!(run(&argv("train --model x")).is_err()); // missing --data
         assert!(run(&argv("generate --out /tmp/x --mu 2.0")).is_err());
@@ -402,8 +558,16 @@ mod tests {
         let d1 = dir.join("d1");
         let d2 = dir.join("d2");
         let model = dir.join("m.tfm");
-        run(&argv(&format!("generate --out {} --users 100 --items 200 --seed 1", d1.display()))).unwrap();
-        run(&argv(&format!("generate --out {} --users 150 --items 200 --seed 2", d2.display()))).unwrap();
+        run(&argv(&format!(
+            "generate --out {} --users 100 --items 200 --seed 1",
+            d1.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "generate --out {} --users 150 --items 200 --seed 2",
+            d2.display()
+        )))
+        .unwrap();
         run(&argv(&format!(
             "train --data {} --model {} --mf 0 --factors 4 --epochs 1",
             d1.display(),

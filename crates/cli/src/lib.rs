@@ -10,6 +10,7 @@
 //!                  [--epochs 20] [--threads N] [--cache-th 0.1]
 //! taxrec evaluate  --data data/ --model m.tfm [--category-level 1]
 //! taxrec recommend --data data/ --model m.tfm --user 0 [--top 10] [--cascade 0.3]
+//! taxrec recommend --data data/ --model m.tfm --users 0-63 [--threads 8]
 //! taxrec inspect   --model m.tfm
 //! ```
 //!
@@ -17,10 +18,13 @@
 //! `test.bin` (purchase logs) and, for imports, `items.tsv` (dense id →
 //! original name). All commands are deterministic per `--seed`.
 
+#![warn(missing_docs)]
+
 mod args;
 mod commands;
 pub mod serve;
 mod store;
+mod users;
 
 pub use args::CliArgs;
 pub use store::DataDir;
@@ -55,9 +59,12 @@ USAGE:
   taxrec train     --data DIR --model FILE [--tf U,B | --mf B] [--factors K]
                    [--epochs E] [--threads T] [--cache-th TH] [--seed S]
   taxrec evaluate  --data DIR --model FILE [--category-level L] [--threads T]
-  taxrec recommend --data DIR --model FILE --user U [--top K] [--cascade F]
+  taxrec recommend --data DIR --model FILE (--user U | --users LIST)
+                   [--top K] [--cascade F] [--threads T]
   taxrec inspect   --model FILE
   taxrec serve     --data DIR --model FILE [--port 8080]
+
+LIST is comma ids and/or inclusive ranges: 0,3,9 or 0-63 or 0-7,32-39.
 "
     .to_string()
 }

@@ -4,24 +4,30 @@
 //! ```text
 //! taxrec serve --data data/ --model m.tfm --port 8080
 //!
-//! GET /health                          → 200 "ok"
-//! GET /model                           → model summary (JSON)
-//! GET /recommend?user=0&top=10         → ranked items (JSON)
-//! GET /recommend?user=0&cascade=0.3    → cascaded fast path
-//! GET /categories?user=0&level=1       → ranked categories (JSON)
+//! GET /health                             → 200 "ok"
+//! GET /model                              → model summary (JSON)
+//! GET /recommend?user=0&top=10            → ranked items (JSON)
+//! GET /recommend?user=0&cascade=0.3       → cascaded fast path
+//! GET /recommend/batch?users=0,1,2&top=10 → multi-user batch (JSON)
+//! GET /recommend/batch?users=0-63&cascade=0.3&threads=8
+//! GET /categories?user=0&level=1          → ranked categories (JSON)
 //! ```
 //!
-//! The server is deliberately simple: HTTP/1.1, GET only, one thread per
-//! connection, shared immutable state behind `Arc`. Scoring is read-only
-//! against the materialised [`Scorer`], so concurrency needs no locking.
+//! The server is deliberately simple: HTTP/1.1, GET only, requests
+//! handled on the accept loop, shared immutable state behind `Arc`. All
+//! scoring goes through one [`RecommendEngine`] built at startup —
+//! read-only, so serving needs no locking; `/recommend/batch` fans a
+//! batch out over the engine's worker shards (see
+//! `taxrec_core::recommend`).
 
 use crate::store::DataDir;
 use crate::{CliArgs, CliError};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
-use taxrec_core::{cascade, persist, CascadeConfig, Scorer, TfModel};
+use taxrec_core::{persist, Backend, CascadeConfig, RecommendEngine, RecommendRequest, TfModel};
 use taxrec_dataset::PurchaseLog;
+use taxrec_taxonomy::ItemId;
 
 /// Shared immutable serving state.
 pub struct ServeState {
@@ -34,8 +40,8 @@ impl ServeState {
     /// Load state from a data directory and model file.
     pub fn load(data: &DataDir, model_path: &str) -> Result<ServeState, CliError> {
         let bytes = std::fs::read(model_path)?;
-        let model = persist::decode(&bytes)
-            .map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
+        let model =
+            persist::decode(&bytes).map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
         let train = data.train()?;
         if model.num_users() != train.num_users() {
             return Err(CliError::Data(format!(
@@ -51,7 +57,7 @@ impl ServeState {
         })
     }
 
-    fn item_label(&self, i: taxrec_taxonomy::ItemId) -> String {
+    fn item_label(&self, i: ItemId) -> String {
         self.item_names
             .as_ref()
             .and_then(|n| n.get(i.index()).cloned())
@@ -88,9 +94,38 @@ impl Response {
     }
 }
 
+/// Parse the `cascade` parameter into a backend override.
+fn backend_from(cascade: Option<&str>, depth: usize) -> Backend {
+    match cascade.and_then(|v| v.parse::<f64>().ok()) {
+        Some(k) if k < 1.0 => Backend::Cascaded(CascadeConfig::uniform(depth, k.max(0.01))),
+        _ => Backend::Exhaustive,
+    }
+}
+
+/// Largest user batch one HTTP request may name.
+const BATCH_CAP: usize = 4096;
+
+/// One user's recommendations as a JSON object.
+fn user_json(state: &ServeState, user: usize, recs: &[(ItemId, f32)]) -> String {
+    let items: Vec<String> = recs
+        .iter()
+        .map(|(i, s)| {
+            format!(
+                "{{\"item\":{},\"id\":{},\"score\":{s:.4}}}",
+                json_str(&state.item_label(*i)),
+                i.0
+            )
+        })
+        .collect();
+    format!(
+        "{{\"user\":{user},\"recommendations\":[{}]}}",
+        items.join(",")
+    )
+}
+
 /// Route a request path (e.g. `/recommend?user=3&top=5`). Exposed for
 /// in-process tests; the TCP loop is a thin shell around this.
-pub fn route(state: &ServeState, scorer: &Scorer<'_>, path_query: &str) -> Response {
+pub fn route(state: &ServeState, engine: &RecommendEngine<'_>, path_query: &str) -> Response {
     let (path, query) = match path_query.split_once('?') {
         Some((p, q)) => (p, q),
         None => (path_query, ""),
@@ -123,36 +158,59 @@ pub fn route(state: &ServeState, scorer: &Scorer<'_>, path_query: &str) -> Respo
                 return Response::bad("user out of range");
             }
             let top = get("top").and_then(|v| v.parse().ok()).unwrap_or(10usize);
-            let query_vec = scorer.query(user, state.train.user(user));
+            let backend = backend_from(get("cascade"), state.model.taxonomy().depth());
             let bought = state.train.distinct_items(user);
-            let recs: Vec<(taxrec_taxonomy::ItemId, f32)> = match get("cascade")
-                .and_then(|v| v.parse::<f64>().ok())
-            {
-                Some(k) if k < 1.0 => {
-                    let cfg =
-                        CascadeConfig::uniform(state.model.taxonomy().depth(), k.max(0.01));
-                    cascade(scorer, &query_vec, &cfg)
-                        .items
-                        .into_iter()
-                        .filter(|(i, _)| bought.binary_search(i).is_err())
-                        .take(top)
-                        .collect()
-                }
-                _ => scorer.top_k_items(&query_vec, top, &bought),
+            let recs = engine.recommend_with(
+                &RecommendRequest {
+                    user,
+                    history: state.train.user(user),
+                    k: top,
+                    exclude: &bought,
+                },
+                &backend,
+            );
+            Response::ok(user_json(state, user, &recs))
+        }
+        "/recommend/batch" => {
+            let Some(spec) = get("users") else {
+                return Response::bad("users parameter required (e.g. users=0,1,2 or users=0-63)");
             };
-            let items: Vec<String> = recs
+            let users =
+                match crate::users::parse_user_list(spec, state.train.num_users(), BATCH_CAP) {
+                    Ok(u) => u,
+                    Err(e) => return Response::bad(&e),
+                };
+            let top = get("top").and_then(|v| v.parse().ok()).unwrap_or(10usize);
+            let threads = get("threads")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(default_threads)
+                .clamp(1, 64);
+            let backend = backend_from(get("cascade"), state.model.taxonomy().depth());
+
+            let excludes: Vec<Vec<ItemId>> = users
                 .iter()
-                .map(|(i, s)| {
-                    format!(
-                        "{{\"item\":{},\"id\":{},\"score\":{s:.4}}}",
-                        json_str(&state.item_label(*i)),
-                        i.0
-                    )
+                .map(|&u| state.train.distinct_items(u))
+                .collect();
+            let requests: Vec<RecommendRequest<'_>> = users
+                .iter()
+                .zip(&excludes)
+                .map(|(&u, excl)| RecommendRequest {
+                    user: u,
+                    history: state.train.user(u),
+                    k: top,
+                    exclude: excl,
                 })
                 .collect();
+            let results = engine.recommend_batch_with(&requests, threads, &backend);
+            let body: Vec<String> = users
+                .iter()
+                .zip(&results)
+                .map(|(&u, recs)| user_json(state, u, recs))
+                .collect();
             Response::ok(format!(
-                "{{\"user\":{user},\"recommendations\":[{}]}}",
-                items.join(",")
+                "{{\"batch\":{},\"results\":[{}]}}",
+                users.len(),
+                body.join(",")
             ))
         }
         "/categories" => {
@@ -166,6 +224,7 @@ pub fn route(state: &ServeState, scorer: &Scorer<'_>, path_query: &str) -> Respo
             if level > state.model.taxonomy().depth() {
                 return Response::bad("level deeper than the taxonomy");
             }
+            let scorer = engine.scorer();
             let query_vec = scorer.query(user, state.train.user(user));
             let cats: Vec<String> = scorer
                 .rank_level(&query_vec, level)
@@ -182,6 +241,12 @@ pub fn route(state: &ServeState, scorer: &Scorer<'_>, path_query: &str) -> Respo
     }
 }
 
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
 /// `taxrec serve` command: blocks forever handling requests.
 pub fn serve(args: &CliArgs) -> Result<String, CliError> {
     let data = DataDir::new(args.require("data")?);
@@ -195,17 +260,17 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
 }
 
 /// Accept loop; `max_requests` bounds the loop for tests (`None` = forever).
+///
+/// The [`RecommendEngine`] (materialised factors + dense item matrix) is
+/// built once here and shared by every request; per-request parallelism
+/// happens *inside* the engine's batch path, so the accept loop itself
+/// stays single-threaded.
 pub fn serve_on(listener: TcpListener, state: Arc<ServeState>, max_requests: Option<usize>) {
-    let scorer_state = Arc::clone(&state);
-    // The Scorer borrows the model, so it lives on this thread and every
-    // connection thread gets its own (cheap relative to a test run; a
-    // production build would share one behind Arc<Scorer> with a
-    // self-referential holder — out of scope here).
+    let engine = RecommendEngine::new(&state.model);
     let mut handled = 0usize;
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
-        let st = Arc::clone(&scorer_state);
-        handle_connection(stream, &st);
+        handle_connection(stream, &state, &engine);
         handled += 1;
         if let Some(max) = max_requests {
             if handled >= max {
@@ -215,7 +280,7 @@ pub fn serve_on(listener: TcpListener, state: Arc<ServeState>, max_requests: Opt
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServeState) {
+fn handle_connection(stream: TcpStream, state: &ServeState, engine: &RecommendEngine<'_>) {
     let peer = stream.peer_addr().ok();
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
@@ -232,14 +297,13 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
     }
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
-    let scorer = Scorer::new(&state.model);
     let resp = if method != "GET" {
         Response {
             status: 405,
             body: "{\"error\":\"GET only\"}".to_string(),
         }
     } else {
-        route(state, &scorer, path)
+        route(state, engine, path)
     };
     let reason = match resp.status {
         200 => "OK",
@@ -299,9 +363,9 @@ mod tests {
     #[test]
     fn health_and_model_routes() {
         let st = state();
-        let scorer = Scorer::new(&st.model);
-        assert_eq!(route(&st, &scorer, "/health").body, "ok");
-        let m = route(&st, &scorer, "/model");
+        let engine = RecommendEngine::new(&st.model);
+        assert_eq!(route(&st, &engine, "/health").body, "ok");
+        let m = route(&st, &engine, "/model");
         assert_eq!(m.status, 200);
         assert!(m.body.contains("\"system\":\"TF(4,1)\""), "{}", m.body);
     }
@@ -309,32 +373,112 @@ mod tests {
     #[test]
     fn recommend_route() {
         let st = state();
-        let scorer = Scorer::new(&st.model);
-        let r = route(&st, &scorer, "/recommend?user=0&top=3");
+        let engine = RecommendEngine::new(&st.model);
+        let r = route(&st, &engine, "/recommend?user=0&top=3");
         assert_eq!(r.status, 200);
         assert_eq!(r.body.matches("\"score\"").count(), 3, "{}", r.body);
-        let rc = route(&st, &scorer, "/recommend?user=0&top=3&cascade=0.3");
+        let rc = route(&st, &engine, "/recommend?user=0&top=3&cascade=0.3");
         assert_eq!(rc.status, 200);
         assert!(rc.body.contains("recommendations"));
     }
 
     #[test]
+    fn batch_route_matches_single_requests() {
+        let st = state();
+        let engine = RecommendEngine::new(&st.model);
+        let batch = route(&st, &engine, "/recommend/batch?users=0-63&top=5&threads=4");
+        assert_eq!(batch.status, 200);
+        assert!(batch.body.starts_with("{\"batch\":64,"), "{}", batch.body);
+        // Every user's object in the batch equals their single-user route.
+        for user in [0usize, 17, 63] {
+            let single = route(&st, &engine, &format!("/recommend?user={user}&top=5"));
+            assert!(
+                batch.body.contains(&single.body),
+                "batch response diverges for user {user}:\n{}\nnot in\n{}",
+                single.body,
+                batch.body
+            );
+        }
+    }
+
+    #[test]
+    fn batch_route_cascaded() {
+        let st = state();
+        let engine = RecommendEngine::new(&st.model);
+        let r = route(
+            &st,
+            &engine,
+            "/recommend/batch?users=1,5,9&top=4&cascade=0.3",
+        );
+        assert_eq!(r.status, 200);
+        assert!(r.body.starts_with("{\"batch\":3,"), "{}", r.body);
+        for user in [1usize, 5, 9] {
+            let single = route(
+                &st,
+                &engine,
+                &format!("/recommend?user={user}&top=4&cascade=0.3"),
+            );
+            assert!(r.body.contains(&single.body), "user {user}");
+        }
+    }
+
+    #[test]
+    fn huge_top_and_huge_range_do_not_allocate() {
+        let st = state();
+        let engine = RecommendEngine::new(&st.model);
+        // top= is attacker-controlled; must clamp, not reserve 2^64.
+        let r = route(&st, &engine, "/recommend?user=0&top=18446744073709551615");
+        assert_eq!(r.status, 200);
+        // A u64::MAX-wide range must be rejected before materialising.
+        let r = route(
+            &st,
+            &engine,
+            "/recommend/batch?users=0-18446744073709551614&top=1",
+        );
+        assert_eq!(r.status, 400, "{}", r.body);
+    }
+
+    #[test]
+    fn batch_route_rejects_bad_specs() {
+        let st = state();
+        let engine = RecommendEngine::new(&st.model);
+        assert_eq!(route(&st, &engine, "/recommend/batch").status, 400);
+        assert_eq!(route(&st, &engine, "/recommend/batch?users=").status, 400);
+        assert_eq!(
+            route(&st, &engine, "/recommend/batch?users=abc").status,
+            400
+        );
+        assert_eq!(
+            route(&st, &engine, "/recommend/batch?users=5-2").status,
+            400
+        );
+        assert_eq!(
+            route(&st, &engine, "/recommend/batch?users=0,999999").status,
+            400
+        );
+        assert_eq!(
+            route(&st, &engine, "/recommend/batch?users=0-99999").status,
+            400
+        );
+    }
+
+    #[test]
     fn categories_route() {
         let st = state();
-        let scorer = Scorer::new(&st.model);
-        let r = route(&st, &scorer, "/categories?user=1&level=1");
+        let engine = RecommendEngine::new(&st.model);
+        let r = route(&st, &engine, "/categories?user=1&level=1");
         assert_eq!(r.status, 200);
         assert!(r.body.contains("\"categories\""));
-        assert!(route(&st, &scorer, "/categories?user=1&level=99").status == 400);
+        assert!(route(&st, &engine, "/categories?user=1&level=99").status == 400);
     }
 
     #[test]
     fn error_routes() {
         let st = state();
-        let scorer = Scorer::new(&st.model);
-        assert_eq!(route(&st, &scorer, "/recommend").status, 400);
-        assert_eq!(route(&st, &scorer, "/recommend?user=999999").status, 400);
-        assert_eq!(route(&st, &scorer, "/nope").status, 404);
+        let engine = RecommendEngine::new(&st.model);
+        assert_eq!(route(&st, &engine, "/recommend").status, 400);
+        assert_eq!(route(&st, &engine, "/recommend?user=999999").status, 400);
+        assert_eq!(route(&st, &engine, "/nope").status, 404);
     }
 
     #[test]

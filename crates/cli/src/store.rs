@@ -136,7 +136,8 @@ mod tests {
         let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(10), 3);
         let dir = DataDir::new(tmp());
         let names: Vec<String> = (0..3).map(|i| format!("product-{i}")).collect();
-        dir.save(&d.taxonomy, &d.train, &d.test, Some(&names)).unwrap();
+        dir.save(&d.taxonomy, &d.train, &d.test, Some(&names))
+            .unwrap();
         assert_eq!(dir.item_names().unwrap(), Some(names));
         std::fs::remove_dir_all(dir.path()).unwrap();
     }

@@ -1,0 +1,84 @@
+//! Shared parsing of multi-user specs (`--users 0,3,9` / `users=0-63`).
+
+/// Parse comma-separated ids and inclusive ranges into user ids.
+///
+/// Every id and range bound is validated against `num_users` — and the
+/// running total against `cap` — **before** anything is materialised,
+/// so a hostile or typo'd spec like `0-18446744073709551614` returns
+/// an error instead of allocating a huge vector (the HTTP server hands
+/// this function attacker-controlled input).
+pub(crate) fn parse_user_list(
+    spec: &str,
+    num_users: usize,
+    cap: usize,
+) -> Result<Vec<usize>, String> {
+    let mut users = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (lo, hi) = match part.split_once('-') {
+            Some((lo, hi)) => match (lo.parse::<usize>(), hi.parse::<usize>()) {
+                (Ok(l), Ok(h)) if l <= h => (l, h),
+                _ => return Err(format!("bad user range '{part}'")),
+            },
+            None => match part.parse::<usize>() {
+                Ok(u) => (u, u),
+                Err(_) => return Err(format!("bad user id '{part}'")),
+            },
+        };
+        if hi >= num_users {
+            return Err(format!("user {hi} out of range (0..{num_users})"));
+        }
+        let adding = hi - lo + 1;
+        if users.len() + adding > cap {
+            return Err(format!(
+                "batch of {} users exceeds the {cap} cap",
+                users.len() + adding
+            ));
+        }
+        users.reserve(adding);
+        users.extend(lo..=hi);
+    }
+    if users.is_empty() {
+        return Err("users spec must name at least one user (e.g. 0,1,2 or 0-63)".to_string());
+    }
+    Ok(users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_ranges_and_mixes() {
+        assert_eq!(parse_user_list("3", 10, 100).unwrap(), vec![3]);
+        assert_eq!(parse_user_list("0-3", 10, 100).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            parse_user_list("7,0-2,9", 10, 100).unwrap(),
+            vec![7, 0, 1, 2, 9]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_user_list("abc", 10, 100).is_err());
+        assert!(parse_user_list("5-2", 10, 100).is_err());
+        assert!(parse_user_list("", 10, 100).is_err());
+        assert!(parse_user_list(",,", 10, 100).is_err());
+        assert!(parse_user_list("-3", 10, 100).is_err());
+    }
+
+    #[test]
+    fn validates_bounds_before_allocating() {
+        // A u64::MAX-sized range must fail fast on the bound check, not
+        // try to materialise ~2^64 ids.
+        assert!(parse_user_list("0-18446744073709551614", 10, 100).is_err());
+        assert!(parse_user_list("10", 10, 100).is_err());
+        assert!(parse_user_list("0-10", 10, 100).is_err());
+    }
+
+    #[test]
+    fn enforces_cap_across_parts() {
+        assert!(parse_user_list("0-9", 100, 10).is_ok());
+        assert!(parse_user_list("0-9,10", 100, 10).is_err());
+        assert!(parse_user_list("0-49,50-99", 100, 60).is_err());
+    }
+}

@@ -91,7 +91,10 @@ mod tests {
     fn trained_model_beats_popularity() {
         // The personalisation sanity check: TF must out-rank the best
         // non-personalised baseline.
-        use crate::{eval::{evaluate, EvalConfig}, ModelConfig, TfTrainer};
+        use crate::{
+            eval::{evaluate, EvalConfig},
+            ModelConfig, TfTrainer,
+        };
         let d = data();
         let model = TfTrainer::new(
             ModelConfig::tf(4, 0).with_factors(16).with_epochs(12),

@@ -166,7 +166,10 @@ impl ModelConfig {
             return Err(format!("sibling_mix {} outside [0,1]", self.sibling_mix));
         }
         if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
-            return Err(format!("learning_rate {} must be positive", self.learning_rate));
+            return Err(format!(
+                "learning_rate {} must be positive",
+                self.learning_rate
+            ));
         }
         if self.lambda < 0.0 || !self.lambda.is_finite() {
             return Err(format!("lambda {} must be non-negative", self.lambda));
@@ -232,13 +235,48 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(ModelConfig { factors: 0, ..Default::default() }.validate().is_err());
-        assert!(ModelConfig { taxonomy_update_levels: 0, ..Default::default() }.validate().is_err());
-        assert!(ModelConfig { sibling_mix: 1.5, ..Default::default() }.validate().is_err());
-        assert!(ModelConfig { learning_rate: -0.1, ..Default::default() }.validate().is_err());
-        assert!(ModelConfig { lambda: f32::NAN, ..Default::default() }.validate().is_err());
-        assert!(ModelConfig { negatives_per_positive: 0, ..Default::default() }.validate().is_err());
-        assert!(ModelConfig { cache_threshold: Some(-1.0), ..Default::default() }.validate().is_err());
+        assert!(ModelConfig {
+            factors: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelConfig {
+            taxonomy_update_levels: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelConfig {
+            sibling_mix: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelConfig {
+            learning_rate: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelConfig {
+            lambda: f32::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelConfig {
+            negatives_per_positive: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelConfig {
+            cache_threshold: Some(-1.0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -29,10 +29,7 @@ impl TfModel {
     /// Extend the model with a newly released item under `parent`
     /// (an interior category node). Existing ids and factors are
     /// untouched; the new node's offsets start at 0 in both matrices.
-    pub fn with_added_item(
-        &self,
-        parent: NodeId,
-    ) -> Result<(TfModel, ItemId), TaxonomyError> {
+    pub fn with_added_item(&self, parent: NodeId) -> Result<(TfModel, ItemId), TaxonomyError> {
         let (tax, _node, item) = self.taxonomy().with_added_leaf(parent)?;
         let tax = Arc::new(tax);
         let k = self.k();

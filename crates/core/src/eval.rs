@@ -147,9 +147,7 @@ pub fn evaluate_with_scorer(
             let cold_mask = cold_mask.as_deref();
             let cat_nodes = cat_nodes.as_slice();
             handles.push(scope.spawn(move || {
-                eval_shard(
-                    scorer, train, test, lo, hi, config, cold_mask, cat_nodes,
-                )
+                eval_shard(scorer, train, test, lo, hi, config, cold_mask, cat_nodes)
             }));
         }
         handles
@@ -468,8 +466,24 @@ mod tests {
     fn parallel_eval_matches_serial() {
         let d = data();
         let m = trained(&d, ModelConfig::tf(4, 0).with_factors(4).with_epochs(3));
-        let serial = evaluate(&m, &d.train, &d.test, &EvalConfig { threads: 1, ..Default::default() });
-        let parallel = evaluate(&m, &d.train, &d.test, &EvalConfig { threads: 4, ..Default::default() });
+        let serial = evaluate(
+            &m,
+            &d.train,
+            &d.test,
+            &EvalConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = evaluate(
+            &m,
+            &d.train,
+            &d.test,
+            &EvalConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(serial.users_evaluated, parallel.users_evaluated);
         assert!((serial.auc.unwrap() - parallel.auc.unwrap()).abs() < 1e-12);
         assert!((serial.mean_rank.unwrap() - parallel.mean_rank.unwrap()).abs() < 1e-9);
@@ -483,7 +497,10 @@ mod tests {
             &m,
             &d.train,
             &d.test,
-            &EvalConfig { max_users: Some(10), ..EvalConfig::fast() },
+            &EvalConfig {
+                max_users: Some(10),
+                ..EvalConfig::fast()
+            },
         );
         assert!(r.users_evaluated <= 10);
     }
@@ -496,7 +513,10 @@ mod tests {
             &m,
             &d.train,
             &d.test,
-            &EvalConfig { cold_start: true, ..EvalConfig::default() },
+            &EvalConfig {
+                cold_start: true,
+                ..EvalConfig::default()
+            },
         );
         // The tiny dataset reliably produces some cold purchases.
         if r.cold_count > 0 {

@@ -89,8 +89,10 @@ pub fn cascade(scorer: &Scorer<'_>, query: &[f32], config: &CascadeConfig) -> Ca
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
 
         let level_size = tax.nodes_at_level(level).len().max(1);
-        let keep = ((config.fraction(level) * level_size as f64).ceil() as usize)
-            .clamp(if config.fraction(level) > 0.0 { 1 } else { 0 }, scored.len());
+        let keep = ((config.fraction(level) * level_size as f64).ceil() as usize).clamp(
+            if config.fraction(level) > 0.0 { 1 } else { 0 },
+            scored.len(),
+        );
         scored.truncate(keep);
 
         frontier = scored
@@ -123,11 +125,7 @@ pub fn cascade(scorer: &Scorer<'_>, query: &[f32], config: &CascadeConfig) -> Ca
 /// Items pruned by the cascade are treated as tied below every survivor
 /// (half credit among themselves), matching how a production system would
 /// back-fill: survivors first, the rest in arbitrary order.
-pub fn cascaded_auc(
-    result: &CascadeResult,
-    num_items: usize,
-    positives: &[ItemId],
-) -> Option<f64> {
+pub fn cascaded_auc(result: &CascadeResult, num_items: usize, positives: &[ItemId]) -> Option<f64> {
     let n_pos = positives.len();
     if n_pos == 0 || n_pos >= num_items {
         return None;
@@ -188,7 +186,9 @@ mod tests {
 
     fn scorer_fixture() -> (TfModel, ()) {
         // Gaussian node init: inference tests need non-degenerate scores.
-        let cfg = ModelConfig::tf(4, 0).with_factors(6).with_node_init_sigma(0.1);
+        let cfg = ModelConfig::tf(4, 0)
+            .with_factors(6)
+            .with_node_init_sigma(0.1);
         let m = TfModel::init(cfg, tax(), 8, 1);
         (m, ())
     }
@@ -280,7 +280,10 @@ mod tests {
         let scores = s.score_all_items(&q);
         let exact = crate::metrics::auc(&scores, &[3, 77]).unwrap();
         let casc = cascaded_auc(&res, m.num_items(), &positives).unwrap();
-        assert!((exact - casc).abs() < 1e-9, "exact {exact} vs cascaded {casc}");
+        assert!(
+            (exact - casc).abs() < 1e-9,
+            "exact {exact} vs cascaded {casc}"
+        );
     }
 
     #[test]

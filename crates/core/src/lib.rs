@@ -30,6 +30,8 @@
 //! println!("AUC = {:?}", result.auc);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod config;
 pub mod dynamic;
@@ -39,6 +41,7 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod persist;
+pub mod recommend;
 pub mod scoring;
 pub mod train;
 pub mod tune;
@@ -50,6 +53,7 @@ pub use eval::{
 };
 pub use inference::{cascade, cascaded_auc, CascadeConfig, CascadeResult};
 pub use model::TfModel;
+pub use recommend::{Backend, RecommendEngine, RecommendRequest};
 pub use scoring::Scorer;
 pub use train::{untrained_model, TfTrainer, TrainStats};
 pub use tune::{grid_search, holdout_last_t, GridSearchResult};

@@ -36,17 +36,11 @@ impl BprLoss {
 }
 
 /// Sample the BPR objective of `model` on `log`.
-pub fn estimate_bpr_loss(
-    model: &TfModel,
-    log: &PurchaseLog,
-    samples: usize,
-    seed: u64,
-) -> BprLoss {
+pub fn estimate_bpr_loss(model: &TfModel, log: &PurchaseLog, samples: usize, seed: u64) -> BprLoss {
     let scorer = Scorer::new(model);
     let index = PurchaseIndex::build(log);
     let lambda = model.config().lambda as f64;
-    let reg = lambda
-        * (model_frob(model));
+    let reg = lambda * (model_frob(model));
     if index.is_empty() || samples == 0 {
         return BprLoss {
             mean_log_likelihood: 0.0,

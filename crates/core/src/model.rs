@@ -283,7 +283,9 @@ mod tests {
         // Gaussian node init: these structural tests compare path sums,
         // which would be trivially zero otherwise.
         TfModel::init(
-            ModelConfig::tf(u, b).with_factors(8).with_node_init_sigma(0.1),
+            ModelConfig::tf(u, b)
+                .with_factors(8)
+                .with_node_init_sigma(0.1),
             small_tax(),
             20,
             9,
@@ -334,7 +336,10 @@ mod tests {
         let item = ItemId(7);
         let mut got = vec![0.0f32; m.k()];
         m.item_factor_into(item, &mut got);
-        assert_eq!(got.as_slice(), m.node_factors.row(m.taxonomy.item_node(item).index()));
+        assert_eq!(
+            got.as_slice(),
+            m.node_factors.row(m.taxonomy.item_node(item).index())
+        );
     }
 
     #[test]
@@ -446,11 +451,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid ModelConfig")]
     fn invalid_config_panics() {
-        let _ = TfModel::init(
-            ModelConfig::default().with_factors(0),
-            small_tax(),
-            5,
-            1,
-        );
+        let _ = TfModel::init(ModelConfig::default().with_factors(0), small_tax(), 5, 1);
     }
 }

@@ -47,16 +47,18 @@ impl std::error::Error for PersistError {}
 /// Serialise a trained model (taxonomy included).
 pub fn encode(model: &TfModel) -> Vec<u8> {
     let mut out = Vec::with_capacity(
-        16 + (model.user_factors.rows() + 2 * model.node_factors.rows())
-            * model.k()
-            * 4,
+        16 + (model.user_factors.rows() + 2 * model.node_factors.rows()) * model.k() * 4,
     );
     put_u32(&mut out, MAGIC);
     encode_config(&mut out, model.config());
     let tax = tax_ser::encode(model.taxonomy());
     put_u64(&mut out, tax.len() as u64);
     out.extend_from_slice(&tax);
-    for m in [&model.user_factors, &model.node_factors, &model.next_factors] {
+    for m in [
+        &model.user_factors,
+        &model.node_factors,
+        &model.next_factors,
+    ] {
         encode_matrix(&mut out, m);
     }
     out
@@ -80,8 +82,8 @@ pub fn decode(buf: &[u8]) -> Result<TfModel, PersistError> {
         .checked_add(tax_len)
         .filter(|&e| e <= buf.len())
         .ok_or_else(|| PersistError::Corrupt("taxonomy length overruns buffer".into()))?;
-    let taxonomy = tax_ser::decode(&buf[pos..tax_end])
-        .map_err(|e| PersistError::Taxonomy(e.to_string()))?;
+    let taxonomy =
+        tax_ser::decode(&buf[pos..tax_end]).map_err(|e| PersistError::Taxonomy(e.to_string()))?;
     pos = tax_end;
     let user_factors = decode_matrix(buf, &mut pos)?;
     let node_factors = decode_matrix(buf, &mut pos)?;
@@ -329,8 +331,7 @@ mod tests {
     fn size_is_dominated_by_factors() {
         let (_, m) = trained();
         let enc = encode(&m);
-        let factor_bytes =
-            (m.user_factors.rows() + 2 * m.node_factors.rows()) * m.k() * 4;
+        let factor_bytes = (m.user_factors.rows() + 2 * m.node_factors.rows()) * m.k() * 4;
         assert!(enc.len() >= factor_bytes);
         assert!(enc.len() < factor_bytes + factor_bytes / 4 + 4096);
     }

@@ -1,0 +1,489 @@
+//! The batched recommendation engine.
+//!
+//! [`RecommendEngine`] is the serving-side entry point of the crate: it
+//! freezes a trained [`TfModel`] into scan-friendly state once, then
+//! answers any number of single or batched top-K requests without
+//! further allocation beyond per-worker scratch. See the module docs of
+//! [`crate::recommend`] for the data-path overview.
+
+use super::batch::{self, Shard};
+use super::topk::{score_block_into, TopK, SCORE_BLOCK};
+use crate::inference::{cascade, CascadeConfig};
+use crate::model::TfModel;
+use crate::scoring::Scorer;
+use taxrec_dataset::Transaction;
+use taxrec_factors::FactorMatrix;
+use taxrec_taxonomy::ItemId;
+
+/// Which inference path serves a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// Score every catalog item (exact).
+    Exhaustive,
+    /// Beam through the taxonomy with the given per-level keep
+    /// fractions (approximate; Sec. 5.1). Keep fractions of 1.0
+    /// reproduce the exhaustive ranking.
+    Cascaded(CascadeConfig),
+}
+
+/// One user's slot in a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RecommendRequest<'a> {
+    /// User row in the model.
+    pub user: usize,
+    /// The user's transaction history, oldest first (the Markov term
+    /// conditions on the last `B` baskets).
+    pub history: &'a [Transaction],
+    /// How many items to return.
+    pub k: usize,
+    /// Items to skip, **sorted ascending** (typically the user's past
+    /// purchases).
+    pub exclude: &'a [ItemId],
+}
+
+impl<'a> RecommendRequest<'a> {
+    /// Request `k` items for `user` with no history or exclusions.
+    pub fn simple(user: usize, k: usize) -> RecommendRequest<'a> {
+        RecommendRequest {
+            user,
+            history: &[],
+            k,
+            exclude: &[],
+        }
+    }
+}
+
+/// Per-worker scratch: allocated once, reused across every request the
+/// worker serves.
+#[derive(Debug, Default)]
+struct Scratch {
+    query: Vec<f32>,
+    block: Vec<f32>,
+    topk: TopK,
+}
+
+impl Scratch {
+    fn new(k_factors: usize) -> Scratch {
+        Scratch {
+            query: vec![0.0; k_factors],
+            block: vec![0.0; SCORE_BLOCK],
+            topk: TopK::new(),
+        }
+    }
+}
+
+/// A frozen model ready to serve batched top-K recommendations.
+///
+/// Construction materialises the effective factors of every taxonomy
+/// node (via [`Scorer`]) *and* packs the leaf factors into a dense
+/// `num_items × K` matrix so the exhaustive path scans contiguous
+/// memory instead of hopping through the node arena.
+///
+/// ```
+/// use taxrec_core::recommend::{Backend, RecommendEngine, RecommendRequest};
+/// use taxrec_core::{ModelConfig, TfTrainer};
+/// use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+///
+/// let data = SyntheticDataset::generate(&DatasetConfig::tiny(), 42);
+/// let model = TfTrainer::new(
+///     ModelConfig::tf(4, 1).with_factors(8).with_epochs(2),
+///     &data.taxonomy,
+/// )
+/// .fit(&data.train, 42);
+///
+/// let engine = RecommendEngine::new(&model);
+/// let requests: Vec<RecommendRequest> = (0..8)
+///     .map(|u| RecommendRequest {
+///         user: u,
+///         history: data.train.user(u),
+///         k: 5,
+///         exclude: &[],
+///     })
+///     .collect();
+/// let results = engine.recommend_batch(&requests, 2);
+/// assert_eq!(results.len(), 8);
+/// assert!(results.iter().all(|r| r.len() == 5));
+/// ```
+#[derive(Debug)]
+pub struct RecommendEngine<'m> {
+    scorer: Scorer<'m>,
+    /// Dense effective item factors, row `i` = item `i`.
+    items: FactorMatrix,
+    backend: Backend,
+}
+
+impl<'m> RecommendEngine<'m> {
+    /// Engine over the exhaustive backend.
+    pub fn new(model: &'m TfModel) -> RecommendEngine<'m> {
+        Self::with_backend(model, Backend::Exhaustive)
+    }
+
+    /// Engine over an explicit backend.
+    pub fn with_backend(model: &'m TfModel, backend: Backend) -> RecommendEngine<'m> {
+        let scorer = Scorer::new(model);
+        let k = model.k();
+        let mut items = FactorMatrix::zeros(model.num_items(), k);
+        for i in 0..model.num_items() {
+            items
+                .row_mut(i)
+                .copy_from_slice(scorer.item_factor(ItemId(i as u32)));
+        }
+        RecommendEngine {
+            scorer,
+            items,
+            backend,
+        }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &TfModel {
+        self.scorer.model()
+    }
+
+    /// The underlying scorer (query building, category ranking).
+    pub fn scorer(&self) -> &Scorer<'m> {
+        &self.scorer
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Serve one request. Equivalent to a 1-element
+    /// [`recommend_batch`](Self::recommend_batch).
+    pub fn recommend(&self, req: &RecommendRequest<'_>) -> Vec<(ItemId, f32)> {
+        self.recommend_with(req, &self.backend)
+    }
+
+    /// [`recommend`](Self::recommend) through an explicit backend,
+    /// overriding the engine default for this request only.
+    pub fn recommend_with(
+        &self,
+        req: &RecommendRequest<'_>,
+        backend: &Backend,
+    ) -> Vec<(ItemId, f32)> {
+        let mut scratch = Scratch::new(self.model().k());
+        let mut out = Vec::new();
+        self.serve_into(req, backend, &mut scratch, &mut out);
+        out
+    }
+
+    /// Serve a batch, parallelised over up to `threads` workers.
+    ///
+    /// Results come back in request order; each entry holds up to
+    /// `req.k` `(item, score)` pairs, best first, with `req.exclude`
+    /// filtered out. Identical to calling
+    /// [`recommend`](Self::recommend) per request, only faster.
+    pub fn recommend_batch(
+        &self,
+        requests: &[RecommendRequest<'_>],
+        threads: usize,
+    ) -> Vec<Vec<(ItemId, f32)>> {
+        self.recommend_batch_with(requests, threads, &self.backend)
+    }
+
+    /// [`recommend_batch`](Self::recommend_batch) through an explicit
+    /// backend, overriding the engine default for this batch only.
+    pub fn recommend_batch_with(
+        &self,
+        requests: &[RecommendRequest<'_>],
+        threads: usize,
+        backend: &Backend,
+    ) -> Vec<Vec<(ItemId, f32)>> {
+        let costs: Vec<u64> = requests.iter().map(|r| self.cost(r, backend)).collect();
+        let shards = batch::plan(&costs, threads.max(1).min(requests.len().max(1)));
+
+        let mut results: Vec<Vec<(ItemId, f32)>> = Vec::with_capacity(requests.len());
+        results.resize_with(requests.len(), Vec::new);
+
+        if shards.len() <= 1 {
+            // No parallelism worth spawning for.
+            let mut scratch = Scratch::new(self.model().k());
+            for (req, out) in requests.iter().zip(results.iter_mut()) {
+                self.serve_into(req, backend, &mut scratch, out);
+            }
+            return results;
+        }
+
+        // One worker per shard; each gets a disjoint slice of the result
+        // vector matching its request span.
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Vec<(ItemId, f32)>] = &mut results;
+            let mut consumed = 0usize;
+            for Shard { start, end } in shards {
+                let (mine, tail) = rest.split_at_mut(end - consumed);
+                rest = tail;
+                consumed = end;
+                let span = &requests[start..end];
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new(self.model().k());
+                    for (req, out) in span.iter().zip(mine.iter_mut()) {
+                        self.serve_into(req, backend, &mut scratch, out);
+                    }
+                });
+            }
+        });
+        results
+    }
+
+    /// Estimated cost of one request, in arbitrary comparable units.
+    fn cost(&self, req: &RecommendRequest<'_>, backend: &Backend) -> u64 {
+        let scan = match backend {
+            Backend::Exhaustive => self.model().num_items(),
+            // A beam touches a config-dependent fraction of the catalog;
+            // the planner only needs relative weights, so approximate
+            // with the leaf-level keep fraction.
+            Backend::Cascaded(cfg) => {
+                let leaf_frac = cfg.keep_fractions.last().copied().unwrap_or(1.0);
+                ((self.model().num_items() as f64 * leaf_frac.clamp(0.05, 1.0)) as usize).max(1)
+            }
+        };
+        // Query building touches the conditioning history once per item
+        // in the last B baskets.
+        let markov: usize = req.history.iter().rev().take(8).map(|b| b.len()).sum();
+        (scan + 4 * markov) as u64
+    }
+
+    fn serve_into(
+        &self,
+        req: &RecommendRequest<'_>,
+        backend: &Backend,
+        scratch: &mut Scratch,
+        out: &mut Vec<(ItemId, f32)>,
+    ) {
+        debug_assert!(
+            req.exclude.windows(2).all(|w| w[0] <= w[1]),
+            "exclude list must be sorted"
+        );
+        self.scorer
+            .query_into(req.user, req.history, &mut scratch.query);
+        match backend {
+            Backend::Exhaustive => self.exhaustive_into(req, scratch, out),
+            Backend::Cascaded(cfg) => {
+                let res = cascade(&self.scorer, &scratch.query, cfg);
+                out.clear();
+                out.extend(
+                    res.items
+                        .into_iter()
+                        .filter(|(i, _)| req.exclude.binary_search(i).is_err())
+                        .take(req.k),
+                );
+            }
+        }
+    }
+
+    /// Blocked exhaustive scan: dense dot products per block, then a
+    /// thresholded sweep into the reusable top-K heap.
+    fn exhaustive_into(
+        &self,
+        req: &RecommendRequest<'_>,
+        scratch: &mut Scratch,
+        out: &mut Vec<(ItemId, f32)>,
+    ) {
+        let n = self.items.rows();
+        let k_factors = self.model().k();
+        // Clamp to the catalog: more than n items can never be returned,
+        // and an attacker-supplied huge `k` must not drive the heap
+        // reservation (the HTTP layer passes `top=` through unchecked).
+        let k = req.k.min(n);
+        scratch.topk.reset(k);
+        let flat = self.items.as_slice();
+        let mut first = 0usize;
+        while first < n {
+            let len = SCORE_BLOCK.min(n - first);
+            let rows = &flat[first * k_factors..(first + len) * k_factors];
+            let scores = &mut scratch.block[..len];
+            score_block_into(&scratch.query, rows, scores);
+            let threshold = scratch.topk.threshold();
+            for (off, &s) in scores.iter().enumerate() {
+                // Fast reject: full heaps only admit strictly better
+                // scores, and the threshold only rises within a block.
+                if s <= threshold && scratch.topk.len() >= k {
+                    continue;
+                }
+                let item = ItemId((first + off) as u32);
+                if req.exclude.binary_search(&item).is_ok() {
+                    continue;
+                }
+                scratch.topk.offer(item, s);
+            }
+            first += len;
+        }
+        scratch.topk.drain_sorted_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use taxrec_taxonomy::{Taxonomy, TaxonomyGenerator, TaxonomyShape};
+
+    fn tax() -> Arc<Taxonomy> {
+        Arc::new(
+            TaxonomyGenerator::new(TaxonomyShape {
+                level_sizes: vec![4, 8, 20],
+                num_items: 300,
+                item_skew: 0.5,
+            })
+            .generate(&mut StdRng::seed_from_u64(11))
+            .taxonomy,
+        )
+    }
+
+    fn model(b: usize) -> TfModel {
+        // Gaussian node init: untrained factors must still give
+        // non-degenerate, distinct scores.
+        let cfg = ModelConfig::tf(4, b)
+            .with_factors(8)
+            .with_node_init_sigma(0.1);
+        TfModel::init(cfg, tax(), 64, 17)
+    }
+
+    #[test]
+    fn single_request_matches_scorer_top_k() {
+        let m = model(0);
+        let engine = RecommendEngine::new(&m);
+        for user in [0usize, 7, 63] {
+            let got = engine.recommend(&RecommendRequest::simple(user, 10));
+            let q = engine.scorer().query(user, &[]);
+            let expect = engine.scorer().top_k_items(&q, 10, &[]);
+            assert_eq!(got, expect, "user {user}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_user_calls_exhaustive() {
+        let m = model(1);
+        let engine = RecommendEngine::new(&m);
+        let histories: Vec<Vec<Transaction>> = (0..64)
+            .map(|u| {
+                vec![
+                    vec![ItemId((u % 300) as u32)],
+                    vec![ItemId(((u * 7) % 300) as u32)],
+                ]
+            })
+            .collect();
+        let requests: Vec<RecommendRequest> = (0..64)
+            .map(|u| RecommendRequest {
+                user: u,
+                history: &histories[u],
+                k: 10,
+                exclude: &[],
+            })
+            .collect();
+        let batched = engine.recommend_batch(&requests, 8);
+        assert_eq!(batched.len(), 64);
+        for (req, got) in requests.iter().zip(&batched) {
+            assert_eq!(got, &engine.recommend(req), "user {}", req.user);
+            assert_eq!(got.len(), 10);
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_user_calls_cascaded() {
+        let m = model(0);
+        let depth = m.taxonomy().depth();
+        let engine = RecommendEngine::with_backend(
+            &m,
+            Backend::Cascaded(CascadeConfig::uniform(depth, 0.4)),
+        );
+        let requests: Vec<RecommendRequest> =
+            (0..64).map(|u| RecommendRequest::simple(u, 10)).collect();
+        let batched = engine.recommend_batch(&requests, 5);
+        for (req, got) in requests.iter().zip(&batched) {
+            assert_eq!(got, &engine.recommend(req), "user {}", req.user);
+        }
+    }
+
+    #[test]
+    fn cascaded_full_beam_matches_exhaustive() {
+        let m = model(0);
+        let depth = m.taxonomy().depth();
+        let exact = RecommendEngine::new(&m);
+        let full = RecommendEngine::with_backend(
+            &m,
+            Backend::Cascaded(CascadeConfig::uniform(depth, 1.0)),
+        );
+        for user in 0..16 {
+            let req = RecommendRequest::simple(user, 8);
+            assert_eq!(exact.recommend(&req), full.recommend(&req), "user {user}");
+        }
+    }
+
+    #[test]
+    fn exclusions_are_respected_in_both_backends() {
+        let m = model(0);
+        let depth = m.taxonomy().depth();
+        for backend in [
+            Backend::Exhaustive,
+            Backend::Cascaded(CascadeConfig::uniform(depth, 1.0)),
+        ] {
+            let engine = RecommendEngine::with_backend(&m, backend.clone());
+            let top = engine.recommend(&RecommendRequest::simple(3, 5));
+            let mut exclude: Vec<ItemId> = top.iter().take(2).map(|r| r.0).collect();
+            exclude.sort_unstable();
+            let req = RecommendRequest {
+                user: 3,
+                history: &[],
+                k: 5,
+                exclude: &exclude,
+            };
+            let filtered = engine.recommend(&req);
+            assert!(
+                filtered.iter().all(|(i, _)| !exclude.contains(i)),
+                "{backend:?} leaked an excluded item"
+            );
+            assert_eq!(filtered[0].0, top[2].0, "{backend:?} order changed");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let m = model(1);
+        let engine = RecommendEngine::new(&m);
+        let requests: Vec<RecommendRequest> =
+            (0..31).map(|u| RecommendRequest::simple(u, 7)).collect();
+        let base = engine.recommend_batch(&requests, 1);
+        for threads in [2usize, 3, 8, 64] {
+            assert_eq!(
+                engine.recommend_batch(&requests, threads),
+                base,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn k_larger_than_catalog_and_empty_batch() {
+        let m = model(0);
+        let engine = RecommendEngine::new(&m);
+        // usize::MAX must not drive the heap reservation (attacker-
+        // controlled `top=` reaches this path through the HTTP layer).
+        let all = engine.recommend(&RecommendRequest::simple(0, usize::MAX));
+        assert_eq!(all.len(), m.num_items());
+        for w in all.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(engine.recommend_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn history_changes_markov_results() {
+        let m = model(2);
+        let engine = RecommendEngine::new(&m);
+        let no_hist = engine.recommend(&RecommendRequest::simple(5, 10));
+        let hist = vec![vec![ItemId(1), ItemId(2)], vec![ItemId(3)]];
+        let with_hist = engine.recommend(&RecommendRequest {
+            user: 5,
+            history: &hist,
+            k: 10,
+            exclude: &[],
+        });
+        assert_ne!(no_hist, with_hist, "history must shift the ranking");
+    }
+}

@@ -1,0 +1,45 @@
+//! Batched multi-user top-K recommendation serving.
+//!
+//! The paper's inference sections (Sec. 5) rank items for *one* user at
+//! a time; a serving system faces batches of users per tick. This
+//! module is the serving data path every scaling feature builds on:
+//!
+//! ```text
+//!                    ┌───────────────────────────────┐
+//!  TfModel ────────► │ RecommendEngine               │
+//!   (trained)        │  · Scorer (effective factors) │
+//!                    │  · dense item-factor matrix   │
+//!                    └──────────────┬────────────────┘
+//!  requests ─► batch::plan ─► shard │ shard │ shard    (worker threads)
+//!                                   ▼       ▼
+//!                        per-worker Scratch: query buf,
+//!                        block buf, reusable TopK heap
+//!                                   │
+//!          Backend::Exhaustive ─ blocked dot-product scan ─► TopK
+//!          Backend::Cascaded  ─ taxonomy beam (Sec. 5.1)  ─► truncate
+//! ```
+//!
+//! Three properties the tests pin down:
+//!
+//! * **batch ≡ per-user** — [`RecommendEngine::recommend_batch`]
+//!   returns exactly what per-request [`RecommendEngine::recommend`]
+//!   calls would, for both backends, at any thread count;
+//! * **heap ≡ full sort** — the blocked heap selection equals sorting
+//!   all scores and truncating (property-tested in
+//!   `tests/proptest_recommend.rs`);
+//! * **cascade(1.0) ≡ exhaustive** — a full-beam cascaded backend
+//!   reproduces the exhaustive ranking.
+//!
+//! Cross-user parallelism uses `std::thread::scope` shards (the same
+//! idiom as [`crate::eval`]) rather than a work-stealing pool: requests
+//! are planned into contiguous, cost-balanced shards up front by
+//! [`batch::plan`], so stealing would only add queue traffic. The
+//! dependency-free choice also matches this workspace's offline build
+//! constraints (see `vendor/README.md`).
+
+pub mod batch;
+mod engine;
+mod topk;
+
+pub use engine::{Backend, RecommendEngine, RecommendRequest};
+pub use topk::{score_block_into, TopK, SCORE_BLOCK};

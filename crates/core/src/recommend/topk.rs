@@ -1,0 +1,279 @@
+//! Reusable heap-based top-K selection and the blocked scoring kernel.
+//!
+//! [`TopK`] is a bounded min-heap that an engine worker resets and
+//! refills once per request — no per-request allocation after the first
+//! use. Selection semantics match [`Scorer::top_k_items`]: candidates
+//! are offered in ascending item order and evict the current minimum
+//! only on a strictly greater score, so both paths pick the identical
+//! item set (and identical order for distinct scores).
+//!
+//! [`score_block_into`] is the inner loop of exhaustive inference: one
+//! query against a contiguous block of item-factor rows, written to a
+//! dense score buffer. Keeping the dot products in a branch-free loop
+//! over adjacent rows (instead of interleaving them with heap pushes)
+//! is what lets the compiler vectorise the scan; the heap then consumes
+//! the block with a cheap `> threshold` pre-filter.
+//!
+//! [`Scorer::top_k_items`]: crate::scoring::Scorer::top_k_items
+
+use std::cmp::Ordering;
+use taxrec_factors::ops;
+use taxrec_taxonomy::ItemId;
+
+/// Min-heap entry ordered so the *worst* kept candidate is at the root.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    score: f32,
+    item: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.item == other.item
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on score: `std::collections::BinaryHeap` is a
+        // max-heap, so "greater" here means "worse candidate".
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+/// A bounded top-K accumulator, reusable across requests.
+///
+/// The backing storage is kept between [`reset`](TopK::reset) calls, so
+/// a worker thread allocates once and serves any number of requests.
+#[derive(Debug, Default)]
+pub struct TopK {
+    k: usize,
+    heap: Vec<Entry>,
+}
+
+impl TopK {
+    /// A fresh accumulator (no capacity reserved yet).
+    pub fn new() -> TopK {
+        TopK::default()
+    }
+
+    /// Clear and re-arm for a request wanting `k` items.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        // `reserve` is relative to the (now zero) length, so this
+        // guarantees capacity ≥ k + 1 — no reallocation during offers.
+        self.heap.reserve(k + 1);
+    }
+
+    /// Candidates currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no candidate has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The score a candidate must strictly beat to enter a full heap,
+    /// or `-inf` while the heap still has room.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.k == 0 {
+            return f32::INFINITY;
+        }
+        if self.heap.len() < self.k {
+            f32::NEG_INFINITY
+        } else {
+            self.heap[0].score
+        }
+    }
+
+    /// Offer one candidate.
+    #[inline]
+    pub fn offer(&mut self, item: ItemId, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.push(Entry {
+                score,
+                item: item.0,
+            });
+        } else if score > self.heap[0].score {
+            self.pop_root();
+            self.push(Entry {
+                score,
+                item: item.0,
+            });
+        }
+    }
+
+    /// Drain into `out`, best first (descending score; ascending item id
+    /// among exactly-equal scores).
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(ItemId, f32)>) {
+        out.clear();
+        out.extend(self.heap.iter().map(|e| (ItemId(e.item), e.score)));
+        self.heap.clear();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+    }
+
+    // Plain sift-up/sift-down on the Vec; `BinaryHeap` itself would force
+    // a fresh allocation per request (`into_iter` consumes it).
+    fn push(&mut self, e: Entry) {
+        self.heap.push(e);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] <= self.heap[parent] {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn pop_root(&mut self) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        self.heap.pop();
+        let n = self.heap.len();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut biggest = i;
+            if l < n && self.heap[l] > self.heap[biggest] {
+                biggest = l;
+            }
+            if r < n && self.heap[r] > self.heap[biggest] {
+                biggest = r;
+            }
+            if biggest == i {
+                break;
+            }
+            self.heap.swap(i, biggest);
+            i = biggest;
+        }
+    }
+}
+
+/// Number of items scored per block by the exhaustive scan.
+///
+/// 256 rows × K=16 f32 ≈ 16 KiB of factors per block — comfortably
+/// inside L1/L2 alongside the query and score buffer.
+pub const SCORE_BLOCK: usize = 256;
+
+/// Score a contiguous block of item rows against one query.
+///
+/// `rows` is the row-major slice covering items `[first, first + n)` of
+/// the engine's item-factor matrix; `out[i]` receives the score of item
+/// `first + i`.
+///
+/// # Panics
+/// If `rows.len() != out.len() * query.len()` (debug builds).
+#[inline]
+pub fn score_block_into(query: &[f32], rows: &[f32], out: &mut [f32]) {
+    let k = query.len();
+    debug_assert_eq!(rows.len(), out.len() * k);
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(k)) {
+        *o = ops::dot(query, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(scores: &[f32], k: usize) -> Vec<(ItemId, f32)> {
+        let mut t = TopK::new();
+        t.reset(k);
+        for (i, &s) in scores.iter().enumerate() {
+            t.offer(ItemId(i as u32), s);
+        }
+        let mut out = Vec::new();
+        t.drain_sorted_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn matches_full_sort() {
+        let scores = [0.3f32, -1.0, 2.5, 2.5, 0.0, 7.0, -3.2, 0.3];
+        let got = select(&scores, 4);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], (ItemId(5), 7.0));
+        // Equal scores come out in ascending item order.
+        assert_eq!(got[1], (ItemId(2), 2.5));
+        assert_eq!(got[2], (ItemId(3), 2.5));
+        assert_eq!(got[3], (ItemId(0), 0.3));
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let got = select(&[1.0, 2.0], 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, ItemId(1));
+    }
+
+    #[test]
+    fn k_zero_keeps_nothing() {
+        let got = select(&[1.0, 2.0], 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn reuse_does_not_leak_state() {
+        let mut t = TopK::new();
+        t.reset(2);
+        t.offer(ItemId(0), 9.0);
+        t.offer(ItemId(1), 8.0);
+        let mut out = Vec::new();
+        t.drain_sorted_into(&mut out);
+        assert_eq!(out.len(), 2);
+
+        t.reset(3);
+        t.offer(ItemId(5), 1.0);
+        t.drain_sorted_into(&mut out);
+        assert_eq!(out, vec![(ItemId(5), 1.0)]);
+    }
+
+    #[test]
+    fn threshold_tracks_worst_kept() {
+        let mut t = TopK::new();
+        t.reset(2);
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+        t.offer(ItemId(0), 3.0);
+        t.offer(ItemId(1), 5.0);
+        assert_eq!(t.threshold(), 3.0);
+        t.offer(ItemId(2), 4.0); // evicts 3.0
+        assert_eq!(t.threshold(), 4.0);
+        t.offer(ItemId(3), 1.0); // below threshold: ignored
+        assert_eq!(t.threshold(), 4.0);
+    }
+
+    #[test]
+    fn block_kernel_matches_scalar_dots() {
+        let k = 3;
+        let query = [0.5f32, -1.0, 2.0];
+        let rows: Vec<f32> = (0..5 * k).map(|i| i as f32 * 0.1).collect();
+        let mut out = vec![0.0f32; 5];
+        score_block_into(&query, &rows, &mut out);
+        for i in 0..5 {
+            let expect = ops::dot(&query, &rows[i * k..(i + 1) * k]);
+            assert!((out[i] - expect).abs() < 1e-6);
+        }
+    }
+}

@@ -45,12 +45,14 @@ impl<'m> Scorer<'m> {
 
     /// Effective long-term factor of an item.
     pub fn item_factor(&self, item: ItemId) -> &[f32] {
-        self.eff_nodes.row(self.model.taxonomy().item_node(item).index())
+        self.eff_nodes
+            .row(self.model.taxonomy().item_node(item).index())
     }
 
     /// Effective next-item factor of an item.
     pub fn next_item_factor(&self, item: ItemId) -> &[f32] {
-        self.eff_next.row(self.model.taxonomy().item_node(item).index())
+        self.eff_next
+            .row(self.model.taxonomy().item_node(item).index())
     }
 
     /// Build the query vector `q = v_u + Σ_n (α_n/|B_{t−n}|) Σ_ℓ v→_ℓ`
@@ -182,9 +184,9 @@ mod tests {
     use super::*;
     use crate::config::ModelConfig;
     use crate::model::TfModel;
-    use std::sync::Arc;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
     use taxrec_taxonomy::{Taxonomy, TaxonomyGenerator, TaxonomyShape};
 
     fn tax() -> Arc<Taxonomy> {
@@ -201,7 +203,9 @@ mod tests {
 
     fn model(b: usize) -> TfModel {
         // Gaussian node init so scores are non-degenerate without training.
-        let cfg = ModelConfig::tf(4, b).with_factors(6).with_node_init_sigma(0.1);
+        let cfg = ModelConfig::tf(4, b)
+            .with_factors(6)
+            .with_node_init_sigma(0.1);
         TfModel::init(cfg, tax(), 10, 3)
     }
 

@@ -136,8 +136,7 @@ impl TfTrainer {
         let nodes = SharedFactors::new(node_factors);
         let nexts = SharedFactors::new(next_factors);
 
-        let steps_per_epoch =
-            (index.len() as u64) * self.config.negatives_per_positive as u64;
+        let steps_per_epoch = (index.len() as u64) * self.config.negatives_per_positive as u64;
         let per_thread = steps_per_epoch.div_ceil(threads as u64);
 
         for epoch in 0..self.config.epochs {
@@ -308,8 +307,7 @@ mod tests {
                     for &i in basket {
                         use rand::Rng;
                         let j = ItemId(rng.gen_range(0..m.num_items() as u32));
-                        total +=
-                            (scorer.score_item(&q, i) - scorer.score_item(&q, j)) as f64;
+                        total += (scorer.score_item(&q, i) - scorer.score_item(&q, j)) as f64;
                         n += 1;
                     }
                 }
@@ -320,7 +318,10 @@ mod tests {
         let mp = margin(&parallel);
         assert!(ms > 0.0, "serial model failed to learn (margin {ms})");
         assert!(mp > 0.0, "parallel model failed to learn (margin {mp})");
-        assert!((ms - mp).abs() < 0.5 * ms.max(mp), "margins diverge: {ms} vs {mp}");
+        assert!(
+            (ms - mp).abs() < 0.5 * ms.max(mp),
+            "margins diverge: {ms} vs {mp}"
+        );
     }
 
     #[test]

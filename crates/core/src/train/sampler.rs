@@ -159,7 +159,10 @@ mod tests {
         }
         let expect = draws as f64 / idx.len() as f64;
         for &c in &counts {
-            assert!((c as f64 - expect).abs() < expect * 0.1, "count {c} vs {expect}");
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "count {c} vs {expect}"
+            );
         }
     }
 

@@ -581,7 +581,14 @@ mod tests {
             let m_before_2 = f.margin(1, ItemId(1), ItemId(2));
             let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(1));
             // Transaction t=1 contains item 1; the negative is 0 or 2.
-            w.step(&f.log, PurchaseEvent { user: 0, tx: 1, pos: 0 });
+            w.step(
+                &f.log,
+                PurchaseEvent {
+                    user: 0,
+                    tx: 1,
+                    pos: 0,
+                },
+            );
             w.flush();
             let m_after_1 = f.margin(1, ItemId(1), ItemId(0));
             let m_after_2 = f.margin(1, ItemId(1), ItemId(2));
@@ -598,7 +605,14 @@ mod tests {
         let f = Fixture::new(base_cfg(3, 1));
         let before = f.nexts.snapshot();
         let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(2));
-        w.step(&f.log, PurchaseEvent { user: 0, tx: 1, pos: 0 });
+        w.step(
+            &f.log,
+            PurchaseEvent {
+                user: 0,
+                tx: 1,
+                pos: 0,
+            },
+        );
         w.flush();
         let after = f.nexts.snapshot();
         assert_ne!(before, after, "Markov step must move next-item factors");
@@ -609,7 +623,14 @@ mod tests {
         let f = Fixture::new(base_cfg(3, 0));
         let before = f.nexts.snapshot();
         let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(2));
-        w.step(&f.log, PurchaseEvent { user: 0, tx: 1, pos: 0 });
+        w.step(
+            &f.log,
+            PurchaseEvent {
+                user: 0,
+                tx: 1,
+                pos: 0,
+            },
+        );
         w.flush();
         assert_eq!(before, f.nexts.snapshot());
     }
@@ -619,7 +640,14 @@ mod tests {
         let f = Fixture::new(base_cfg(1, 0));
         let before = f.nodes.snapshot();
         let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(3));
-        w.step(&f.log, PurchaseEvent { user: 0, tx: 0, pos: 0 });
+        w.step(
+            &f.log,
+            PurchaseEvent {
+                user: 0,
+                tx: 0,
+                pos: 0,
+            },
+        );
         w.flush();
         let after = f.nodes.snapshot();
         // Interior rows (root=0, catA=1, catB=2) untouched with U = 1.
@@ -637,7 +665,14 @@ mod tests {
         let f = Fixture::new(cfg);
         let before = f.nodes.snapshot();
         let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(4));
-        w.step(&f.log, PurchaseEvent { user: 0, tx: 0, pos: 0 });
+        w.step(
+            &f.log,
+            PurchaseEvent {
+                user: 0,
+                tx: 0,
+                pos: 0,
+            },
+        );
         w.flush();
         assert!(w.stats.sibling_steps == 1);
         let after = f.nodes.snapshot();
@@ -656,7 +691,14 @@ mod tests {
         let norm_before = f.nodes.snapshot().frob_norm_sq();
         let mut w = Worker::new(f.ctx(), rand::rngs::StdRng::seed_from_u64(5));
         for _ in 0..2000 {
-            w.step(&f.log, PurchaseEvent { user: 0, tx: 0, pos: 0 });
+            w.step(
+                &f.log,
+                PurchaseEvent {
+                    user: 0,
+                    tx: 0,
+                    pos: 0,
+                },
+            );
         }
         w.flush();
         let norm_after = f.nodes.snapshot().frob_norm_sq();

@@ -94,7 +94,10 @@ pub fn grid_search(
                 best_auc = auc;
                 best = trials.len();
             }
-            trials.push(Trial { config: cfg, result });
+            trials.push(Trial {
+                config: cfg,
+                result,
+            });
         }
     }
     GridSearchResult { trials, best }
@@ -183,16 +186,7 @@ mod tests {
         // λ = 10 crushes every factor; a sane λ must win the grid.
         let d = data();
         let base = ModelConfig::tf(4, 0).with_epochs(4);
-        let res = grid_search(
-            &base,
-            &d.taxonomy,
-            &d.train,
-            &[0.005, 10.0],
-            &[8],
-            1,
-            7,
-            2,
-        );
+        let res = grid_search(&base, &d.taxonomy, &d.train, &[0.005, 10.0], &[8], 1, 7, 2);
         assert!(
             (res.best_config().lambda - 0.005).abs() < 1e-9,
             "grid search picked λ = {}",

@@ -190,7 +190,11 @@ pub fn tsne_2d(m: &FactorMatrix, config: &TsneConfig) -> Vec<[f32; 2]> {
             }
             if h > target_h {
                 beta_lo = beta;
-                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_hi = beta;
                 beta = (beta + beta_lo) / 2.0;
@@ -229,7 +233,11 @@ pub fn tsne_2d(m: &FactorMatrix, config: &TsneConfig) -> Vec<[f32; 2]> {
     };
 
     for iter in 0..config.iterations {
-        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        let exaggeration = if iter < config.iterations / 4 {
+            4.0
+        } else {
+            1.0
+        };
         // Student-t affinities in the embedding.
         let mut qnum = vec![0.0f64; n * n];
         let mut qsum = 0.0f64;
@@ -408,7 +416,10 @@ mod tests {
         );
         let two = tsne_2d(
             &matrix_from(vec![vec![0.0, 0.0], vec![1.0, 1.0]]),
-            &TsneConfig { iterations: 20, ..Default::default() },
+            &TsneConfig {
+                iterations: 20,
+                ..Default::default()
+            },
         );
         assert_eq!(two.len(), 2);
         assert!(two.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
@@ -431,7 +442,9 @@ mod tests {
     fn distance_ratio_small_for_taxonomy_factors() {
         // A Gaussian-initialised TF model already has eff(child) =
         // eff(parent) + small offset, so the ratio must be well below 1.
-        let cfg = ModelConfig::tf(4, 0).with_factors(8).with_node_init_sigma(0.1);
+        let cfg = ModelConfig::tf(4, 0)
+            .with_factors(8)
+            .with_node_init_sigma(0.1);
         let m = TfModel::init(cfg, tax(), 4, 2);
         let s = crate::scoring::Scorer::new(&m);
         let ratio = ancestor_distance_ratio(&s, 1).unwrap();
@@ -446,7 +459,9 @@ mod tests {
         // independent random offsets, children don't hug *their own*
         // parent more than a random one beyond the shared-ancestor term).
         let m = TfModel::init(
-            ModelConfig::tf(1, 0).with_factors(8).with_node_init_sigma(0.1),
+            ModelConfig::tf(1, 0)
+                .with_factors(8)
+                .with_node_init_sigma(0.1),
             tax(),
             4,
             2,

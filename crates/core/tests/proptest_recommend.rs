@@ -1,0 +1,139 @@
+//! Property tests of the batched recommendation engine: heap-based
+//! top-K must equal full-sort top-K, a full-beam cascade must equal
+//! exhaustive inference, and batching must be invisible.
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use taxrec_core::recommend::{Backend, RecommendEngine, RecommendRequest};
+use taxrec_core::{CascadeConfig, ModelConfig, TfModel};
+use taxrec_taxonomy::{ItemId, TaxonomyGenerator, TaxonomyShape};
+
+/// Shared randomly-initialised models (expensive to build; the cases
+/// randomise the query side — user, k, history, exclusions).
+fn models() -> &'static Vec<TfModel> {
+    static MODELS: OnceLock<Vec<TfModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        [3u64, 88, 1040]
+            .iter()
+            .map(|&seed| {
+                let tax = Arc::new(
+                    TaxonomyGenerator::new(TaxonomyShape {
+                        level_sizes: vec![3, 7, 15],
+                        num_items: 160 + (seed as usize % 80),
+                        item_skew: 0.6,
+                    })
+                    .generate(&mut StdRng::seed_from_u64(seed))
+                    .taxonomy,
+                );
+                // Gaussian node offsets so untrained scores are
+                // non-degenerate and (almost surely) distinct.
+                TfModel::init(
+                    ModelConfig::tf(4, 1)
+                        .with_factors(6)
+                        .with_node_init_sigma(0.2),
+                    tax,
+                    40,
+                    seed ^ 0xABCD,
+                )
+            })
+            .collect()
+    })
+}
+
+/// Reference ranking: score everything, sort desc, truncate.
+fn full_sort_top_k(engine: &RecommendEngine<'_>, req: &RecommendRequest<'_>) -> Vec<(ItemId, f32)> {
+    let q = engine.scorer().query(req.user, req.history);
+    let scores = engine.scorer().score_all_items(&q);
+    let mut ranked: Vec<(ItemId, f32)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (ItemId(i as u32), s))
+        .filter(|(i, _)| req.exclude.binary_search(i).is_err())
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(req.k);
+    ranked
+}
+
+/// A random request context against model `m`: user, k, history of
+/// baskets, and a sorted exclusion list.
+fn request_parts(
+    m: &TfModel,
+    user_pick: proptest::sample::Index,
+    history_raw: &[Vec<u32>],
+    exclude_raw: &[u32],
+) -> (usize, Vec<Vec<ItemId>>, Vec<ItemId>) {
+    let n = m.num_items() as u32;
+    let user = user_pick.index(m.num_users());
+    let history: Vec<Vec<ItemId>> = history_raw
+        .iter()
+        .map(|b| b.iter().map(|&i| ItemId(i % n)).collect())
+        .collect();
+    let mut exclude: Vec<ItemId> = exclude_raw.iter().map(|&i| ItemId(i % n)).collect();
+    exclude.sort_unstable();
+    exclude.dedup();
+    (user, history, exclude)
+}
+
+proptest! {
+    #[test]
+    fn heap_top_k_equals_full_sort(
+        model_pick in any::<proptest::sample::Index>(),
+        user_pick in any::<proptest::sample::Index>(),
+        k in 1usize..40,
+        history_raw in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 1..4), 0..4),
+        exclude_raw in proptest::collection::vec(any::<u32>(), 0..12),
+    ) {
+        let m = &models()[model_pick.index(models().len())];
+        let (user, history, exclude) = request_parts(m, user_pick, &history_raw, &exclude_raw);
+        let engine = RecommendEngine::new(m);
+        let req = RecommendRequest { user, history: &history, k, exclude: &exclude };
+        let got = engine.recommend(&req);
+        let expect = full_sort_top_k(&engine, &req);
+        prop_assert_eq!(got.len(), expect.len());
+        // Same items in the same order; identical scores.
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!(g.0, e.0, "rank order diverged");
+            prop_assert!((g.1 - e.1).abs() == 0.0, "score mismatch {} vs {}", g.1, e.1);
+        }
+    }
+
+    #[test]
+    fn full_beam_cascade_equals_exhaustive(
+        model_pick in any::<proptest::sample::Index>(),
+        user_pick in any::<proptest::sample::Index>(),
+        k in 1usize..30,
+    ) {
+        let m = &models()[model_pick.index(models().len())];
+        let user = user_pick.index(m.num_users());
+        let engine = RecommendEngine::new(m);
+        let full_beam = Backend::Cascaded(CascadeConfig::uniform(m.taxonomy().depth(), 1.0));
+        let req = RecommendRequest::simple(user, k);
+        prop_assert_eq!(
+            engine.recommend(&req),
+            engine.recommend_with(&req, &full_beam)
+        );
+    }
+
+    #[test]
+    fn batch_is_invisible(
+        model_pick in any::<proptest::sample::Index>(),
+        threads in 1usize..9,
+        k in 1usize..15,
+        n_users in 1usize..40,
+    ) {
+        let m = &models()[model_pick.index(models().len())];
+        let engine = RecommendEngine::new(m);
+        let requests: Vec<RecommendRequest<'_>> = (0..n_users)
+            .map(|u| RecommendRequest::simple(u % m.num_users(), k))
+            .collect();
+        let batched = engine.recommend_batch(&requests, threads);
+        prop_assert_eq!(batched.len(), requests.len());
+        for (req, got) in requests.iter().zip(&batched) {
+            prop_assert_eq!(got, &engine.recommend(req), "user {}", req.user);
+        }
+    }
+}

@@ -94,11 +94,7 @@ impl SyntheticDataset {
 
 /// Per-item release fraction: an item is admissible in the basket at
 /// timeline position `p ∈ [0, 1]` iff `release[i] <= p`.
-fn draw_release_times<R: Rng + ?Sized>(
-    n_items: usize,
-    new_fraction: f64,
-    rng: &mut R,
-) -> Vec<f32> {
+fn draw_release_times<R: Rng + ?Sized>(n_items: usize, new_fraction: f64, rng: &mut R) -> Vec<f32> {
     let mut release = vec![0.0f32; n_items];
     for r in release.iter_mut() {
         if rng.gen_bool(new_fraction) {
@@ -221,7 +217,10 @@ pub fn generate_log<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PurchaseLog {
     assert!(tax.num_items() > 0, "taxonomy has no items");
-    assert!(tax.depth() >= 2, "taxonomy must have at least one category level");
+    assert!(
+        tax.depth() >= 2,
+        "taxonomy must have at least one category level"
+    );
     let cats = CategoryItems::build(tax, config.item_popularity_skew);
     let release = draw_release_times(tax.num_items(), config.new_item_fraction, rng);
     // Popularity skew across favourite categories: popular categories are

@@ -89,34 +89,35 @@ pub fn parse_purchase_rows(text: &str) -> Result<ImportedDataset, ImportError> {
             continue;
         }
         let mut fields = line.split('\t');
-        let (user, seq, path, item) = match (
-            fields.next(),
-            fields.next(),
-            fields.next(),
-            fields.next(),
-        ) {
-            (Some(u), Some(s), Some(p), Some(i)) => (u.trim(), s.trim(), p.trim(), i.trim()),
-            _ => {
-                // Fall back to whitespace splitting for hand-written files.
-                let mut ws = line.split_whitespace();
-                match (ws.next(), ws.next(), ws.next(), ws.next()) {
-                    (Some(u), Some(s), Some(p), Some(i)) => (u, s, p, i),
-                    _ => {
-                        return Err(ImportError::BadLine(
-                            ln + 1,
-                            "expected 4 fields: user, seq, category-path, item".into(),
-                        ))
+        let (user, seq, path, item) =
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(u), Some(s), Some(p), Some(i)) => (u.trim(), s.trim(), p.trim(), i.trim()),
+                _ => {
+                    // Fall back to whitespace splitting for hand-written files.
+                    let mut ws = line.split_whitespace();
+                    match (ws.next(), ws.next(), ws.next(), ws.next()) {
+                        (Some(u), Some(s), Some(p), Some(i)) => (u, s, p, i),
+                        _ => {
+                            return Err(ImportError::BadLine(
+                                ln + 1,
+                                "expected 4 fields: user, seq, category-path, item".into(),
+                            ))
+                        }
                     }
                 }
-            }
-        };
+            };
         let seq: u64 = seq.parse().map_err(|_| {
             ImportError::BadLine(ln + 1, format!("transaction seq '{seq}' is not a number"))
         })?;
         if user.is_empty() || path.is_empty() || item.is_empty() {
             return Err(ImportError::BadLine(ln + 1, "empty field".into()));
         }
-        rows.push(Row { user, seq, path, item });
+        rows.push(Row {
+            user,
+            seq,
+            path,
+            item,
+        });
     }
 
     // Pass 1: taxonomy. Interior nodes from category paths, then leaves.

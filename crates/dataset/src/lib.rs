@@ -20,6 +20,8 @@
 //! fraction `~ N(µ, 0.05)` of transactions goes to train, the rest to
 //! test, and repeat purchases are removed from test.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod generator;
 pub mod import;

@@ -69,7 +69,10 @@ impl PurchaseLog {
 
     /// Iterate `(user_index, transactions)`.
     pub fn iter_users(&self) -> impl Iterator<Item = (usize, &[Transaction])> {
-        self.users.iter().enumerate().map(|(u, t)| (u, t.as_slice()))
+        self.users
+            .iter()
+            .enumerate()
+            .map(|(u, t)| (u, t.as_slice()))
     }
 
     /// Total number of transactions across users.

@@ -88,7 +88,10 @@ pub fn decode(mut buf: &[u8]) -> Result<PurchaseLog, LogDecodeError> {
         b.push_user(hist);
     }
     if buf.has_remaining() {
-        return Err(LogDecodeError(format!("{} trailing bytes", buf.remaining())));
+        return Err(LogDecodeError(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
     }
     Ok(b.build())
 }

@@ -99,7 +99,14 @@ mod tests {
             vec![item(2)],
             vec![item(3)],
         ]]);
-        let s = split_log(&log, &SplitConfig { mu: 0.5, sigma: 0.0, ..Default::default() });
+        let s = split_log(
+            &log,
+            &SplitConfig {
+                mu: 0.5,
+                sigma: 0.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(s.train.user(0).len(), 2);
         assert_eq!(s.test.user(0).len(), 2);
         assert_eq!(s.train.user(0)[0], vec![item(0)]);
@@ -116,11 +123,15 @@ mod tests {
 
     #[test]
     fn every_user_keeps_at_least_one_train_transaction() {
-        let log = log_with(vec![
-            vec![vec![item(0)], vec![item(1)]];
-            50
-        ]);
-        let s = split_log(&log, &SplitConfig { mu: 0.02, sigma: 0.0, ..Default::default() });
+        let log = log_with(vec![vec![vec![item(0)], vec![item(1)]]; 50]);
+        let s = split_log(
+            &log,
+            &SplitConfig {
+                mu: 0.02,
+                sigma: 0.0,
+                ..Default::default()
+            },
+        );
         for (u, hist) in s.train.iter_users() {
             assert!(!hist.is_empty(), "user {u} has no train data");
         }
@@ -130,10 +141,14 @@ mod tests {
     fn repeats_removed_from_test() {
         let log = log_with(vec![vec![
             vec![item(0), item(1)],
-            vec![item(0)],       // repeat of item 0 → dropped from test
+            vec![item(0)],          // repeat of item 0 → dropped from test
             vec![item(2), item(1)], // item 1 repeat dropped, item 2 stays
         ]]);
-        let cfg = SplitConfig { mu: 0.34, sigma: 0.0, ..Default::default() };
+        let cfg = SplitConfig {
+            mu: 0.34,
+            sigma: 0.0,
+            ..Default::default()
+        };
         let s = split_log(&log, &cfg);
         assert_eq!(s.train.user(0).len(), 1);
         let test_items: Vec<ItemId> = s.test.user(0).iter().flatten().copied().collect();
@@ -143,19 +158,26 @@ mod tests {
     #[test]
     fn repeats_kept_when_disabled() {
         let log = log_with(vec![vec![vec![item(0)], vec![item(0)]]]);
-        let cfg = SplitConfig { mu: 0.5, sigma: 0.0, drop_repeats: false, ..Default::default() };
+        let cfg = SplitConfig {
+            mu: 0.5,
+            sigma: 0.0,
+            drop_repeats: false,
+            ..Default::default()
+        };
         let s = split_log(&log, &cfg);
         assert_eq!(s.test.user(0), &[vec![item(0)]]);
     }
 
     #[test]
     fn mu_controls_train_share() {
-        let log = log_with(vec![
-            vec![vec![item(0)]; 20];
-            200
-        ]);
+        let log = log_with(vec![vec![vec![item(0)]; 20]; 200]);
         let frac = |mu: f64| {
-            let cfg = SplitConfig { mu, sigma: 0.05, drop_repeats: false, ..Default::default() };
+            let cfg = SplitConfig {
+                mu,
+                sigma: 0.05,
+                drop_repeats: false,
+                ..Default::default()
+            };
             let s = split_log(&log, &cfg);
             s.train.num_transactions() as f64 / log.num_transactions() as f64
         };
@@ -173,7 +195,13 @@ mod tests {
         let a = split_log(&log, &SplitConfig::default());
         let b = split_log(&log, &SplitConfig::default());
         assert_eq!(a, b);
-        let c = split_log(&log, &SplitConfig { seed: 999, ..Default::default() });
+        let c = split_log(
+            &log,
+            &SplitConfig {
+                seed: 999,
+                ..Default::default()
+            },
+        );
         // Different seed → different per-user fractions (almost surely).
         assert!(a.train != c.train || a.test != c.test);
     }
@@ -181,10 +209,17 @@ mod tests {
     #[test]
     fn no_purchase_lost_when_repeats_kept() {
         let log = log_with(vec![
-            vec![vec![item(0), item(3)], vec![item(1)], vec![item(2)]];
+            vec![
+                vec![item(0), item(3)],
+                vec![item(1)],
+                vec![item(2)]
+            ];
             10
         ]);
-        let cfg = SplitConfig { drop_repeats: false, ..Default::default() };
+        let cfg = SplitConfig {
+            drop_repeats: false,
+            ..Default::default()
+        };
         let s = split_log(&log, &cfg);
         assert_eq!(
             s.train.num_purchases() + s.test.num_purchases(),

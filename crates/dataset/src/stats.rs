@@ -86,7 +86,11 @@ impl Histogram {
         for (v, &c) in self.bins.iter().enumerate() {
             let w = ((c as f64 / peak as f64) * max_width as f64).round() as usize;
             let tail = if v == self.bins.len() - 1 { "+" } else { " " };
-            out.push_str(&format!("{v:>4}{tail} |{:<w$}| {c}\n", "#".repeat(w), w = max_width));
+            out.push_str(&format!(
+                "{v:>4}{tail} |{:<w$}| {c}\n",
+                "#".repeat(w),
+                w = max_width
+            ));
         }
         out
     }
@@ -290,9 +294,9 @@ mod tests {
 
     #[test]
     fn summary_assembles() {
-        use taxrec_taxonomy::{TaxonomyGenerator, TaxonomyShape};
         use rand::rngs::StdRng;
         use rand::SeedableRng;
+        use taxrec_taxonomy::{TaxonomyGenerator, TaxonomyShape};
         let tax = TaxonomyGenerator::new(TaxonomyShape {
             level_sizes: vec![2, 4],
             num_items: 10,

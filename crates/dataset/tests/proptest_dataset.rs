@@ -10,10 +10,7 @@ use taxrec_taxonomy::ItemId;
 /// over a 50-item catalog.
 fn arb_log() -> impl Strategy<Value = PurchaseLog> {
     proptest::collection::vec(
-        proptest::collection::vec(
-            proptest::collection::vec(0u32..50, 1..5),
-            0..9,
-        ),
+        proptest::collection::vec(proptest::collection::vec(0u32..50, 1..5), 0..9),
         0..20,
     )
     .prop_map(|users| {

@@ -240,7 +240,7 @@ mod tests {
         c.invalidate(&s);
         assert_eq!(c.cached_rows(), 0);
         assert_eq!(s.snapshot().row(0), &[1.0]); // flushed on invalidate
-        // Re-read loads fresh.
+                                                 // Re-read loads fresh.
         assert_eq!(c.read(&s, 0), &[1.0]);
     }
 

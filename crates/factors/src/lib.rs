@@ -19,6 +19,8 @@
 //! * [`ops`] — the tiny dense-vector kernels (dot, axpy) every hot loop
 //!   uses.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod locked;
 pub mod matrix;

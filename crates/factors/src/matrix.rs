@@ -159,7 +159,12 @@ mod tests {
         let m = FactorMatrix::gaussian(200, 50, 0.1, &mut rng);
         let n = m.as_slice().len() as f64;
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.01, "sd {}", var.sqrt());
     }

@@ -22,7 +22,9 @@ impl std::fmt::Display for TaxonomyError {
         match self {
             TaxonomyError::UnknownNode(n) => write!(f, "unknown taxonomy node {n}"),
             TaxonomyError::TooManyNodes => write!(f, "taxonomy exceeds u32::MAX nodes"),
-            TaxonomyError::FrozenNode(n) => write!(f, "node {n} is frozen and cannot take children"),
+            TaxonomyError::FrozenNode(n) => {
+                write!(f, "node {n} is frozen and cannot take children")
+            }
             TaxonomyError::Corrupt(msg) => write!(f, "corrupt taxonomy encoding: {msg}"),
         }
     }

@@ -218,7 +218,9 @@ impl Distribution<usize> for ZipfWeights {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -350,8 +352,12 @@ mod tests {
             ..shape_flat.clone()
         };
         let mut rng = StdRng::seed_from_u64(9);
-        let flat = TaxonomyGenerator::new(shape_flat).generate(&mut rng).taxonomy;
-        let skew = TaxonomyGenerator::new(shape_skew).generate(&mut rng).taxonomy;
+        let flat = TaxonomyGenerator::new(shape_flat)
+            .generate(&mut rng)
+            .taxonomy;
+        let skew = TaxonomyGenerator::new(shape_skew)
+            .generate(&mut rng)
+            .taxonomy;
         let max_children = |t: &Taxonomy| {
             t.nodes_at_level(3)
                 .iter()

@@ -28,11 +28,7 @@ impl LabelTable {
     /// # Panics
     /// If `names.len() != tax.num_nodes()`.
     pub fn from_names(tax: &Taxonomy, names: Vec<String>) -> LabelTable {
-        assert_eq!(
-            names.len(),
-            tax.num_nodes(),
-            "one name per node required"
-        );
+        assert_eq!(names.len(), tax.num_nodes(), "one name per node required");
         LabelTable { names }
     }
 
@@ -106,7 +102,12 @@ mod tests {
         let tax = b.freeze();
         let labels = LabelTable::from_names(
             &tax,
-            vec!["root".into(), "electronics".into(), "cameras".into(), "dslr".into()],
+            vec![
+                "root".into(),
+                "electronics".into(),
+                "cameras".into(),
+                "dslr".into(),
+            ],
         );
         (tax, labels)
     }

@@ -35,6 +35,8 @@
 //! assert!(tax.is_leaf(slr));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod generate;
 pub mod labels;
@@ -44,8 +46,8 @@ pub mod serialize;
 pub mod tree;
 
 pub use error::TaxonomyError;
-pub use labels::LabelTable;
 pub use generate::{GeneratedTaxonomy, TaxonomyGenerator, TaxonomyShape, ZipfWeights};
+pub use labels::LabelTable;
 pub use node::{ItemId, NodeId};
 pub use paths::PathTable;
 pub use tree::{Taxonomy, TaxonomyBuilder};

@@ -295,10 +295,7 @@ impl Taxonomy {
             Some(p) => self.children(p),
             None => &[],
         };
-        slice
-            .iter()
-            .map(|&c| NodeId(c))
-            .filter(move |&c| c != node)
+        slice.iter().map(|&c| NodeId(c)).filter(move |&c| c != node)
     }
 
     /// Number of siblings of `node`.
@@ -430,7 +427,10 @@ mod tests {
     #[test]
     fn builder_assigns_dense_ids() {
         let (_t, [a, bb, x, y, z]) = small();
-        assert_eq!([a, bb, x, y, z], [NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(
+            [a, bb, x, y, z],
+            [NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]
+        );
     }
 
     #[test]
@@ -476,7 +476,10 @@ mod tests {
         let path: Vec<NodeId> = t.root_path(x).collect();
         assert_eq!(path, vec![x, a, NodeId::ROOT]);
         assert_eq!(t.root_path(x).len(), 3);
-        assert_eq!(t.root_path(NodeId::ROOT).collect::<Vec<_>>(), vec![NodeId::ROOT]);
+        assert_eq!(
+            t.root_path(NodeId::ROOT).collect::<Vec<_>>(),
+            vec![NodeId::ROOT]
+        );
     }
 
     #[test]
@@ -564,10 +567,7 @@ mod tests {
     #[test]
     fn with_added_leaf_rejects_leaf_parent() {
         let (t, [_, _, x, ..]) = small();
-        assert_eq!(
-            t.with_added_leaf(x),
-            Err(TaxonomyError::FrozenNode(x))
-        );
+        assert_eq!(t.with_added_leaf(x), Err(TaxonomyError::FrozenNode(x)));
         assert_eq!(
             t.with_added_leaf(NodeId(99)),
             Err(TaxonomyError::UnknownNode(NodeId(99)))

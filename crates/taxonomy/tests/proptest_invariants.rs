@@ -13,7 +13,8 @@ fn tree_from_seeds(seeds: &[u32]) -> Taxonomy {
     let mut b = TaxonomyBuilder::with_capacity(seeds.len() + 1);
     for (i, &s) in seeds.iter().enumerate() {
         let parent = NodeId(s % (i as u32 + 1));
-        b.add_child(parent).expect("parent precedes child by construction");
+        b.add_child(parent)
+            .expect("parent precedes child by construction");
     }
     b.freeze()
 }

@@ -1,0 +1,91 @@
+//! Batch serving: answer a 64-user top-K batch through the
+//! [`RecommendEngine`], compare the exhaustive and cascaded backends,
+//! and verify they agree with per-user calls.
+//!
+//! ```text
+//! cargo run --release --example batch_serving
+//! ```
+//!
+//! [`RecommendEngine`]: taxrec::model::recommend::RecommendEngine
+
+use std::time::Instant;
+use taxrec::dataset::{DatasetConfig, SyntheticDataset};
+use taxrec::model::recommend::{Backend, RecommendEngine, RecommendRequest};
+use taxrec::model::{CascadeConfig, ModelConfig, TfTrainer};
+use taxrec::taxonomy::ItemId;
+
+fn main() {
+    // 1. Data + model, as in the quickstart.
+    let data = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(2000), 42);
+    let config = ModelConfig::tf(4, 1).with_factors(16).with_epochs(10);
+    println!("training {} ...", config.system_name());
+    let (model, _) = TfTrainer::new(config, &data.taxonomy).fit_parallel(&data.train, 7, 4);
+
+    // 2. Freeze the model into a serving engine. This materialises the
+    //    effective factors once; every request after that is scan + heap.
+    let t0 = Instant::now();
+    let engine = RecommendEngine::new(&model);
+    println!("engine built in {:.2?}", t0.elapsed());
+
+    // 3. A 64-user batch: full training history as the Markov
+    //    conditioning context, past purchases excluded.
+    let users: Vec<usize> = (0..64).collect();
+    let excludes: Vec<Vec<ItemId>> = users
+        .iter()
+        .map(|&u| data.train.distinct_items(u))
+        .collect();
+    let requests: Vec<RecommendRequest<'_>> = users
+        .iter()
+        .zip(&excludes)
+        .map(|(&u, excl)| RecommendRequest {
+            user: u,
+            history: data.train.user(u),
+            k: 10,
+            exclude: excl,
+        })
+        .collect();
+
+    // 4. Serve the batch through both backends.
+    let t0 = Instant::now();
+    let exhaustive = engine.recommend_batch(&requests, 4);
+    let t_exhaustive = t0.elapsed();
+
+    let cascaded_backend = Backend::Cascaded(CascadeConfig::uniform(model.taxonomy().depth(), 0.2));
+    let t0 = Instant::now();
+    let cascaded = engine.recommend_batch_with(&requests, 4, &cascaded_backend);
+    let t_cascaded = t0.elapsed();
+
+    let rate = |d: std::time::Duration| users.len() as f64 / d.as_secs_f64().max(1e-9);
+    println!(
+        "exhaustive: {t_exhaustive:.2?} ({:.0} users/sec)   cascaded K=0.2: {t_cascaded:.2?} ({:.0} users/sec)",
+        rate(t_exhaustive),
+        rate(t_cascaded)
+    );
+
+    // 5. Batched results are exactly the per-user results.
+    for (req, batched) in requests.iter().zip(&exhaustive) {
+        assert_eq!(batched, &engine.recommend(req), "user {}", req.user);
+    }
+    println!(
+        "verified: batch output == per-user output for all {} users",
+        users.len()
+    );
+
+    // 6. How much of the exhaustive top-10 does the fast path keep?
+    let mut overlap = 0usize;
+    for (full, fast) in exhaustive.iter().zip(&cascaded) {
+        overlap += fast
+            .iter()
+            .filter(|(i, _)| full.iter().any(|(j, _)| j == i))
+            .count();
+    }
+    println!(
+        "cascade K=0.2 kept {overlap}/{} of the exhaustive top-10 picks",
+        10 * users.len()
+    );
+
+    println!("\nuser 0 top-5 (exhaustive):");
+    for (rank, (item, score)) in exhaustive[0].iter().take(5).enumerate() {
+        println!("  #{:<2} item {item}  score {score:+.3}", rank + 1);
+    }
+}

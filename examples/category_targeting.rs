@@ -49,9 +49,12 @@ fn main() {
     let buys_in_target = |users: &[usize]| {
         let mut buyers = 0usize;
         for &u in users {
-            let bought = data.test.user(u).iter().flatten().any(|&i| {
-                tax.ancestor_at_level(tax.item_node(i), 1) == target
-            });
+            let bought = data
+                .test
+                .user(u)
+                .iter()
+                .flatten()
+                .any(|&i| tax.ancestor_at_level(tax.item_node(i), 1) == target);
             if bought {
                 buyers += 1;
             }
@@ -81,9 +84,18 @@ fn main() {
         tax.num_items()
     );
     for (li, level) in result.per_level.iter().enumerate().take(2) {
-        let head: Vec<String> = level.iter().take(3).map(|(n, s)| format!("{n}({s:+.2})")).collect();
+        let head: Vec<String> = level
+            .iter()
+            .take(3)
+            .map(|(n, s)| format!("{n}({s:+.2})"))
+            .collect();
         println!("  level {} leaders: {}", li + 1, head.join("  "));
     }
-    let top: Vec<String> = result.items.iter().take(5).map(|(i, s)| format!("{i}({s:+.2})")).collect();
+    let top: Vec<String> = result
+        .items
+        .iter()
+        .take(5)
+        .map(|(i, s)| format!("{i}({s:+.2})"))
+        .collect();
     println!("  top items: {}", top.join("  "));
 }

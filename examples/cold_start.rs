@@ -44,7 +44,9 @@ fn main() {
         let scorer = Scorer::new(model);
         let mut scores = vec![0.0f32; n];
         for u in 0..data.test.num_users() {
-            let Some(basket) = data.test.user(u).first() else { continue };
+            let Some(basket) = data.test.user(u).first() else {
+                continue;
+            };
             let query = scorer.query(u, data.train.user(u));
             scorer.score_all_items_into(&query, &mut scores);
             for &item in basket {
@@ -58,8 +60,14 @@ fn main() {
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!("cold purchases evaluated : {}", tf_norm.len());
-    println!("MF(0)  mean normalised rank of cold items: {:.3} (0.5 = random)", mean(&mf_norm));
-    println!("TF(4,0) mean normalised rank of cold items: {:.3}", mean(&tf_norm));
+    println!(
+        "MF(0)  mean normalised rank of cold items: {:.3} (0.5 = random)",
+        mean(&mf_norm)
+    );
+    println!(
+        "TF(4,0) mean normalised rank of cold items: {:.3}",
+        mean(&tf_norm)
+    );
     println!(
         "\nThe TF model places never-seen items {:.0}% higher than chance by\n\
          scoring them through their category's learned factor.",

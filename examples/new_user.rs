@@ -45,7 +45,9 @@ fn main() {
     let mut count = 0u32;
     for u in cutoff..data.train.num_users() {
         let history = data.train.user(u);
-        let Some(target) = data.test.user(u).first() else { continue };
+        let Some(target) = data.test.user(u).first() else {
+            continue;
+        };
         if history.is_empty() || target.is_empty() {
             continue;
         }
@@ -56,10 +58,8 @@ fn main() {
         let positives: Vec<usize> = target.iter().map(|i| i.index()).collect();
         let sf = scorer.score_all_items(&q_folded);
         let sa = scorer.score_all_items(&q_anon);
-        if let (Some(af), Some(aa)) = (
-            metrics::auc(&sf, &positives),
-            metrics::auc(&sa, &positives),
-        ) {
+        if let (Some(af), Some(aa)) = (metrics::auc(&sf, &positives), metrics::auc(&sa, &positives))
+        {
             folded_auc += af;
             anon_auc += aa;
             count += 1;
@@ -67,8 +67,14 @@ fn main() {
         let _ = n;
     }
     println!("late signups evaluated : {count}");
-    println!("anonymous (history-only) AUC : {:.4}", anon_auc / count as f64);
-    println!("after fold-in            AUC : {:.4}", folded_auc / count as f64);
+    println!(
+        "anonymous (history-only) AUC : {:.4}",
+        anon_auc / count as f64
+    );
+    println!(
+        "after fold-in            AUC : {:.4}",
+        folded_auc / count as f64
+    );
     println!(
         "\nFold-in lifts a brand-new user's ranking quality without touching\n\
          any shared parameter — the item, taxonomy and next-item factors\n\

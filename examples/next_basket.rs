@@ -37,20 +37,39 @@ fn main() {
     let user = 7usize;
     println!("user {user}, model {}\n", model.config().system_name());
     for (label, basket) in [
-        (format!("after buying {item_a} (top category {})", top_cat(tax, item_a)), vec![item_a]),
-        (format!("after buying {item_b} (top category {})", top_cat(tax, item_b)), vec![item_b]),
+        (
+            format!(
+                "after buying {item_a} (top category {})",
+                top_cat(tax, item_a)
+            ),
+            vec![item_a],
+        ),
+        (
+            format!(
+                "after buying {item_b} (top category {})",
+                top_cat(tax, item_b)
+            ),
+            vec![item_b],
+        ),
     ] {
         let history: Vec<Transaction> = vec![basket];
         let query = scorer.query(user, &history);
         println!("top-5 {label}:");
         let mut same_cat = 0;
         let conditioning_cat = top_cat(tax, history[0][0]);
-        for (rank, (item, score)) in scorer.top_k_items(&query, 5, &history[0]).iter().enumerate() {
+        for (rank, (item, score)) in scorer
+            .top_k_items(&query, 5, &history[0])
+            .iter()
+            .enumerate()
+        {
             let cat = top_cat(tax, *item);
             if cat == conditioning_cat {
                 same_cat += 1;
             }
-            println!("  #{:<2} item {item} (top category {cat}) score {score:+.3}", rank + 1);
+            println!(
+                "  #{:<2} item {item} (top category {cat}) score {score:+.3}",
+                rank + 1
+            );
         }
         println!("  → {same_cat}/5 recommendations share the conditioning basket's top category\n");
     }

@@ -49,11 +49,17 @@ fn main() {
     let scorer = Scorer::new(&model);
     let query = scorer.query(user, data.train.user(user));
     let bought = data.train.distinct_items(user);
-    println!("\nuser {user} bought {} distinct items; top-5 recommendations:", bought.len());
+    println!(
+        "\nuser {user} bought {} distinct items; top-5 recommendations:",
+        bought.len()
+    );
     for (rank, (item, score)) in scorer.top_k_items(&query, 5, &bought).iter().enumerate() {
         let node = data.taxonomy.item_node(*item);
         let cat = data.taxonomy.parent(node).expect("items have parents");
-        println!("  #{:<2} item {item}  (category {cat})  score {score:+.3}", rank + 1);
+        println!(
+            "  #{:<2} item {item}  (category {cat})  score {score:+.3}",
+            rank + 1
+        );
     }
     println!("top-3 categories (taxonomy level 1):");
     for (rank, (node, score)) in scorer.rank_level(&query, 1).iter().take(3).enumerate() {

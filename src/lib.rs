@@ -31,6 +31,8 @@
 //! assert_eq!(top.len(), 5);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use taxrec_core as model;
 pub use taxrec_dataset as dataset;
 pub use taxrec_factors as factors;

@@ -52,7 +52,10 @@ fn category_level_ranking_works_only_with_taxonomy() {
     let train = |cfg: ModelConfig| {
         TfTrainer::new(cfg.with_factors(8).with_epochs(8), &d.taxonomy).fit(&d.train, 2)
     };
-    let cfg = EvalConfig { category_level: Some(1), ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        category_level: Some(1),
+        ..EvalConfig::default()
+    };
     let tf = evaluate(&train(ModelConfig::tf(4, 0)), &d.train, &d.test, &cfg);
     let mf = evaluate(&train(ModelConfig::mf(0)), &d.train, &d.test, &cfg);
     // MF has no interior factors: every category ties at score 0 → 0.5.
@@ -67,7 +70,10 @@ fn cold_start_taxonomy_advantage() {
     let train = |cfg: ModelConfig| {
         TfTrainer::new(cfg.with_factors(16).with_epochs(12), &d.taxonomy).fit(&d.train, 3)
     };
-    let cfg = EvalConfig { cold_start: true, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        cold_start: true,
+        ..EvalConfig::default()
+    };
     let tf = evaluate(&train(ModelConfig::tf(4, 0)), &d.train, &d.test, &cfg);
     let mf = evaluate(&train(ModelConfig::mf(0)), &d.train, &d.test, &cfg);
     assert!(tf.cold_count > 0, "dataset must contain cold purchases");
@@ -126,7 +132,9 @@ fn cascade_trades_accuracy_for_work() {
         let mut auc_sum = 0.0;
         let mut cnt = 0u32;
         for u in 0..200 {
-            let Some(basket) = d.test.user(u).first() else { continue };
+            let Some(basket) = d.test.user(u).first() else {
+                continue;
+            };
             if basket.is_empty() {
                 continue;
             }
@@ -192,7 +200,12 @@ fn resplit_consistency() {
 #[test]
 fn custom_split_config_flows_through() {
     let cfg = DatasetConfig {
-        split: SplitConfig { mu: 0.6, sigma: 0.0, drop_repeats: false, seed: 1 },
+        split: SplitConfig {
+            mu: 0.6,
+            sigma: 0.0,
+            drop_repeats: false,
+            seed: 1,
+        },
         ..DatasetConfig::tiny()
     };
     let d = SyntheticDataset::generate(&cfg, 5);

@@ -1,0 +1,44 @@
+//! Derive macros for the vendored `serde` marker traits.
+//!
+//! Parses just enough of the item declaration (no `syn` available
+//! offline) to find the type name, and emits an empty marker impl. The
+//! workspace only derives on plain non-generic structs and enums.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derive the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derive the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// The identifier following the `struct` / `enum` / `union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde derive: could not find the type name");
+}
