@@ -173,7 +173,7 @@ fn main() {
 
 /// Dump a t-SNE embedding of the upper-level effective factors as TSV
 /// (`level<TAB>x<TAB>y`), mirroring the paper's coloured scatter.
-fn write_embedding(m: &taxrec_core::TfModel, scorer: &Scorer<'_>, seed: u64) {
+fn write_embedding(m: &taxrec_core::TfModel, scorer: &Scorer<&taxrec_core::TfModel>, seed: u64) {
     let tax = m.taxonomy();
     let max_level = 3.min(tax.depth() - 1);
     let mut nodes: Vec<NodeId> = Vec::new();

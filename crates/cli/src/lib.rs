@@ -12,6 +12,9 @@
 //! taxrec recommend --data data/ --model m.tfm --user 0 [--top 10] [--cascade 0.3]
 //! taxrec recommend --data data/ --model m.tfm --users 0-63 [--threads 8]
 //! taxrec inspect   --model m.tfm
+//! taxrec replay    --model snap.tfm --log events.log --out recovered.tfm
+//! taxrec serve     --data data/ --model m.tfm [--port 8080]
+//!                  [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //! ```
 //!
 //! A data directory holds `taxonomy.bin` (taxonomy), `train.bin` /
@@ -22,6 +25,7 @@
 
 mod args;
 mod commands;
+pub mod json;
 pub mod serve;
 mod store;
 mod users;
@@ -42,6 +46,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "evaluate" => commands::evaluate(&args),
         "recommend" => commands::recommend(&args),
         "inspect" => commands::inspect(&args),
+        "replay" => commands::replay(&args),
         "serve" => serve::serve(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -62,7 +67,9 @@ USAGE:
   taxrec recommend --data DIR --model FILE (--user U | --users LIST)
                    [--top K] [--cascade F] [--threads T]
   taxrec inspect   --model FILE
+  taxrec replay    --model FILE --log FILE --out FILE [--lossy] [--json]
   taxrec serve     --data DIR --model FILE [--port 8080]
+                   [--live-log FILE] [--snapshot FILE] [--snapshot-every N]
 
 LIST is comma ids and/or inclusive ranges: 0,3,9 or 0-63 or 0-7,32-39.
 "

@@ -1,60 +1,156 @@
-//! `taxrec serve` — a minimal HTTP recommendation service over a trained
+//! `taxrec serve` — an HTTP recommendation service over a **live**
 //! model (std-only; no framework dependency).
 //!
 //! ```text
 //! taxrec serve --data data/ --model m.tfm --port 8080
+//!              [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //!
-//! GET /health                             → 200 "ok"
-//! GET /model                              → model summary (JSON)
-//! GET /recommend?user=0&top=10            → ranked items (JSON)
-//! GET /recommend?user=0&cascade=0.3       → cascaded fast path
-//! GET /recommend/batch?users=0,1,2&top=10 → multi-user batch (JSON)
-//! GET /recommend/batch?users=0-63&cascade=0.3&threads=8
-//! GET /categories?user=0&level=1          → ranked categories (JSON)
+//! GET  /health                             → 200 {"status":"ok"}
+//! GET  /model                              → model summary (JSON)
+//! GET  /recommend?user=0&top=10            → ranked items (JSON)
+//! GET  /recommend?user=0&cascade=0.3       → cascaded fast path
+//! GET  /recommend/batch?users=0-63&top=10  → multi-user batch (JSON)
+//! GET  /categories?user=0&level=1          → ranked categories (JSON)
+//! GET  /live/stats                         → live-subsystem counters
+//! POST /items          {"parent": 17}      → add an item under a category
+//! POST /users/fold-in  {"history": [[1,2],[3]], "steps": 400, "seed": 7}
 //! ```
 //!
-//! The server is deliberately simple: HTTP/1.1, GET only, requests
-//! handled on the accept loop, shared immutable state behind `Arc`. All
-//! scoring goes through one [`RecommendEngine`] built at startup —
-//! read-only, so serving needs no locking; `/recommend/batch` fans a
-//! batch out over the engine's worker shards (see
-//! `taxrec_core::recommend`).
+//! Serving is built on the live subsystem (`taxrec_core::live`): every
+//! GET loads the current epoch's immutable snapshot from a
+//! [`taxrec_core::live::ModelCell`] and scores against it, while POSTs
+//! enqueue update events for the applier thread, which publishes a new
+//! snapshot (and appends the event to the `--live-log` WAL) without
+//! blocking readers. Users folded in live get fresh user ids and are
+//! immediately servable through the same GET routes;
+//! `--snapshot`/`--snapshot-every` bound recovery time (see
+//! `docs/guide/serving.md`).
+//!
+//! Errors are structured JSON — `{"error": "..."}` with 400 (bad
+//! request), 404 (unknown route) or 405 (wrong method, with `allow`).
 
+use crate::json::{self, Json};
 use crate::store::DataDir;
 use crate::{CliArgs, CliError};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
-use taxrec_core::{persist, Backend, CascadeConfig, RecommendEngine, RecommendRequest, TfModel};
-use taxrec_dataset::PurchaseLog;
-use taxrec_taxonomy::ItemId;
+use taxrec_core::live::{
+    decode_log_lossy, replay, snapshot::decode_live, LiveConfig, LiveEngine, LiveError, LiveHandle,
+    LiveState, UpdateEvent,
+};
+use taxrec_core::{Backend, CascadeConfig, RecommendRequest};
+use taxrec_dataset::{PurchaseLog, Transaction};
+use taxrec_taxonomy::{ItemId, NodeId};
 
-/// Shared immutable serving state.
-pub struct ServeState {
-    model: TfModel,
+/// Default BPR steps for `POST /users/fold-in` when the body names none.
+const DEFAULT_FOLD_STEPS: usize = 400;
+/// Hard cap on request bodies.
+const MAX_BODY_BYTES: usize = 1 << 20;
+/// Hard cap on total items in one fold-in history.
+const MAX_FOLD_ITEMS: usize = 10_000;
+/// Hard cap on requested fold-in steps (the event codec enforces the
+/// same bound at decode time).
+const MAX_FOLD_STEPS: usize = taxrec_core::live::MAX_EVENT_FOLD_STEPS;
+/// Largest user batch one HTTP request may name.
+const BATCH_CAP: usize = 4096;
+
+/// The serving frontend: the live subsystem plus the read-only data-dir
+/// state (training histories, item names).
+pub struct LiveServer {
     train: PurchaseLog,
     item_names: Option<Vec<String>>,
+    live: LiveHandle,
 }
 
-impl ServeState {
-    /// Load state from a data directory and model file.
-    pub fn load(data: &DataDir, model_path: &str) -> Result<ServeState, CliError> {
-        let bytes = std::fs::read(model_path)?;
-        let model =
-            persist::decode(&bytes).map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
-        let train = data.train()?;
-        if model.num_users() != train.num_users() {
+impl LiveServer {
+    /// Spawn the live subsystem over `state` and wrap it for HTTP.
+    ///
+    /// `state.base_users()` must match the training log — trained users
+    /// resolve their histories there; folded users carry their own.
+    pub fn new(
+        state: LiveState,
+        train: PurchaseLog,
+        item_names: Option<Vec<String>>,
+        config: LiveConfig,
+    ) -> Result<LiveServer, CliError> {
+        if state.base_users() != train.num_users() {
             return Err(CliError::Data(format!(
-                "model has {} users, data dir has {}",
-                model.num_users(),
+                "model was trained on {} users, data dir has {}",
+                state.base_users(),
                 train.num_users()
             )));
         }
-        Ok(ServeState {
-            model,
+        let live = LiveHandle::spawn(state, config)
+            .map_err(|e| CliError::Data(format!("starting live subsystem: {e}")))?;
+        Ok(LiveServer {
             train,
-            item_names: data.item_names()?,
+            item_names,
+            live,
         })
+    }
+
+    /// Load everything `taxrec serve` needs from disk: the data dir,
+    /// the model (plain `.tfm` or a live snapshot with folded users),
+    /// and — if `config.log_path` names an existing log — the events to
+    /// replay on top of it before serving resumes.
+    pub fn load(
+        data: &DataDir,
+        model_path: &str,
+        config: LiveConfig,
+    ) -> Result<LiveServer, CliError> {
+        let bytes = std::fs::read(model_path)?;
+        let mut state =
+            decode_live(&bytes).map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
+        if let Some(log_path) = &config.log_path {
+            if std::fs::metadata(log_path).map(|m| m.len()).unwrap_or(0) > 0 {
+                let log_bytes = std::fs::read(log_path)?;
+                let (header, events, ignored) = decode_log_lossy(&log_bytes)
+                    .map_err(|e| CliError::Data(format!("{}: {e}", log_path.display())))?;
+                // Lineage check: the log's events apply to a specific
+                // base state. Replaying them over any other (e.g. the
+                // pre-snapshot model after the log was rotated) would
+                // silently lose acked updates.
+                if header.base_users as usize != state.model().num_users()
+                    || header.base_items as usize != state.model().num_items()
+                {
+                    return Err(CliError::Data(format!(
+                        "{}: event log starts from a state with {} users / {} items, \
+                         but {model_path} has {} / {} — the log was likely rotated by a \
+                         snapshot; restart with --model <snapshot> instead",
+                        log_path.display(),
+                        header.base_users,
+                        header.base_items,
+                        state.model().num_users(),
+                        state.model().num_items(),
+                    )));
+                }
+                if ignored > 0 {
+                    eprintln!(
+                        "taxrec serve: ignoring {ignored} trailing bytes of {} (crash mid-append)",
+                        log_path.display()
+                    );
+                }
+                let n = events.len();
+                replay(&mut state, &events).map_err(|e| {
+                    CliError::Data(format!("replaying {}: {e}", log_path.display()))
+                })?;
+                if n > 0 {
+                    eprintln!(
+                        "taxrec serve: replayed {n} events from {}",
+                        log_path.display()
+                    );
+                }
+            }
+        }
+        let train = data.train()?;
+        LiveServer::new(state, train, data.item_names()?, config)
+    }
+
+    /// The live handle (stats, direct event submission — used by tests
+    /// and the bench harness).
+    pub fn live(&self) -> &LiveHandle {
+        &self.live
     }
 
     fn item_label(&self, i: ItemId) -> String {
@@ -63,6 +159,33 @@ impl ServeState {
             .and_then(|n| n.get(i.index()).cloned())
             .unwrap_or_else(|| format!("{i}"))
     }
+
+    /// The history a user's Markov term conditions on: the training log
+    /// for trained users, the fold-in history for live users.
+    fn history_for<'a>(&'a self, snap: &'a LiveEngine, user: usize) -> &'a [Transaction] {
+        if user < snap.base_users() {
+            self.train.user(user)
+        } else {
+            snap.folded_history(user).unwrap_or(&[])
+        }
+    }
+
+    /// Items to exclude (already purchased), sorted ascending.
+    fn exclude_for(&self, snap: &LiveEngine, user: usize) -> Vec<ItemId> {
+        if user < snap.base_users() {
+            self.train.distinct_items(user)
+        } else {
+            let mut items: Vec<ItemId> = self
+                .history_for(snap, user)
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            items.sort_unstable();
+            items.dedup();
+            items
+        }
+    }
 }
 
 /// One parsed HTTP response: status line + body.
@@ -70,7 +193,7 @@ impl ServeState {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (JSON or plain text).
+    /// Response body (JSON).
     pub body: String,
 }
 
@@ -92,6 +215,16 @@ impl Response {
             body: "{\"error\":\"not found\"}".to_string(),
         }
     }
+
+    fn method_not_allowed(allow: &str) -> Response {
+        Response {
+            status: 405,
+            body: format!(
+                "{{\"error\":\"method not allowed\",\"allow\":{}}}",
+                json_str(allow)
+            ),
+        }
+    }
 }
 
 /// Parse the `cascade` parameter into a backend override.
@@ -102,17 +235,14 @@ fn backend_from(cascade: Option<&str>, depth: usize) -> Backend {
     }
 }
 
-/// Largest user batch one HTTP request may name.
-const BATCH_CAP: usize = 4096;
-
 /// One user's recommendations as a JSON object.
-fn user_json(state: &ServeState, user: usize, recs: &[(ItemId, f32)]) -> String {
+fn user_json(server: &LiveServer, user: usize, recs: &[(ItemId, f32)]) -> String {
     let items: Vec<String> = recs
         .iter()
         .map(|(i, s)| {
             format!(
                 "{{\"item\":{},\"id\":{},\"score\":{s:.4}}}",
-                json_str(&state.item_label(*i)),
+                json_str(&server.item_label(*i)),
                 i.0
             )
         })
@@ -123,109 +253,154 @@ fn user_json(state: &ServeState, user: usize, recs: &[(ItemId, f32)]) -> String 
     )
 }
 
-/// Route a request path (e.g. `/recommend?user=3&top=5`). Exposed for
-/// in-process tests; the TCP loop is a thin shell around this.
-pub fn route(state: &ServeState, engine: &RecommendEngine<'_>, path_query: &str) -> Response {
+fn live_error_response(e: LiveError) -> Response {
+    match e {
+        // Client errors: bad parent node, unknown item in a history.
+        LiveError::Taxonomy(_) | LiveError::UnknownItem(_) => Response::bad(&e.to_string()),
+        // Applier gone / IO trouble: the server's fault, not the client's.
+        LiveError::QueueClosed | LiveError::Io(_) => Response {
+            status: 503,
+            body: format!("{{\"error\":{}}}", json_str(&e.to_string())),
+        },
+    }
+}
+
+/// Route one request. Exposed for in-process tests; the TCP loop is a
+/// thin shell around this.
+pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -> Response {
     let (path, query) = match path_query.split_once('?') {
         Some((p, q)) => (p, q),
         None => (path_query, ""),
     };
-    let get = |name: &str| -> Option<&str> {
+    let get_param = |name: &str| -> Option<&str> {
         query
             .split('&')
             .filter_map(|kv| kv.split_once('='))
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v)
     };
+    const GET_ROUTES: &[&str] = &[
+        "/health",
+        "/model",
+        "/recommend",
+        "/recommend/batch",
+        "/categories",
+        "/live/stats",
+    ];
+    const POST_ROUTES: &[&str] = &["/items", "/users/fold-in"];
+    match method {
+        "GET" if GET_ROUTES.contains(&path) => {}
+        "POST" if POST_ROUTES.contains(&path) => {}
+        _ if GET_ROUTES.contains(&path) => return Response::method_not_allowed("GET"),
+        _ if POST_ROUTES.contains(&path) => return Response::method_not_allowed("POST"),
+        "GET" | "POST" => return Response::not_found(),
+        _ => return Response::method_not_allowed("GET, POST"),
+    }
+
+    let snap = server.live.cell().load();
     match path {
-        "/health" => Response::ok("ok".to_string()),
+        "/health" => Response::ok("{\"status\":\"ok\"}".to_string()),
         "/model" => {
-            let cfg = state.model.config();
+            let model = snap.model();
+            let cfg = model.config();
             Response::ok(format!(
-                "{{\"system\":{},\"factors\":{},\"users\":{},\"items\":{},\"levels\":{:?}}}",
+                "{{\"system\":{},\"factors\":{},\"users\":{},\"items\":{},\"levels\":{:?},\
+                 \"epoch\":{},\"items_added\":{},\"users_folded\":{}}}",
                 json_str(&cfg.system_name()),
                 cfg.factors,
-                state.model.num_users(),
-                state.model.num_items(),
-                state.model.taxonomy().level_sizes(),
+                model.num_users(),
+                model.num_items(),
+                model.taxonomy().level_sizes(),
+                snap.epoch(),
+                snap.items_added(),
+                snap.users_folded(),
             ))
         }
         "/recommend" => {
-            let Some(user) = get("user").and_then(|v| v.parse::<usize>().ok()) else {
+            let Some(user) = get_param("user").and_then(|v| v.parse::<usize>().ok()) else {
                 return Response::bad("user parameter required");
             };
-            if user >= state.train.num_users() {
+            if user >= snap.model().num_users() {
                 return Response::bad("user out of range");
             }
-            let top = get("top").and_then(|v| v.parse().ok()).unwrap_or(10usize);
-            let backend = backend_from(get("cascade"), state.model.taxonomy().depth());
-            let bought = state.train.distinct_items(user);
-            let recs = engine.recommend_with(
+            let top = get_param("top")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10usize);
+            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
+            let bought = server.exclude_for(&snap, user);
+            let recs = snap.engine().recommend_with(
                 &RecommendRequest {
                     user,
-                    history: state.train.user(user),
+                    history: server.history_for(&snap, user),
                     k: top,
                     exclude: &bought,
                 },
                 &backend,
             );
-            Response::ok(user_json(state, user, &recs))
+            Response::ok(user_json(server, user, &recs))
         }
         "/recommend/batch" => {
-            let Some(spec) = get("users") else {
+            let Some(spec) = get_param("users") else {
                 return Response::bad("users parameter required (e.g. users=0,1,2 or users=0-63)");
             };
             let users =
-                match crate::users::parse_user_list(spec, state.train.num_users(), BATCH_CAP) {
+                match crate::users::parse_user_list(spec, snap.model().num_users(), BATCH_CAP) {
                     Ok(u) => u,
                     Err(e) => return Response::bad(&e),
                 };
-            let top = get("top").and_then(|v| v.parse().ok()).unwrap_or(10usize);
-            let threads = get("threads")
+            let top = get_param("top")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10usize);
+            let threads = get_param("threads")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(default_threads)
                 .clamp(1, 64);
-            let backend = backend_from(get("cascade"), state.model.taxonomy().depth());
+            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
 
             let excludes: Vec<Vec<ItemId>> = users
                 .iter()
-                .map(|&u| state.train.distinct_items(u))
+                .map(|&u| server.exclude_for(&snap, u))
                 .collect();
             let requests: Vec<RecommendRequest<'_>> = users
                 .iter()
                 .zip(&excludes)
                 .map(|(&u, excl)| RecommendRequest {
                     user: u,
-                    history: state.train.user(u),
+                    history: server.history_for(&snap, u),
                     k: top,
                     exclude: excl,
                 })
                 .collect();
-            let results = engine.recommend_batch_with(&requests, threads, &backend);
+            let results = snap
+                .engine()
+                .recommend_batch_with(&requests, threads, &backend);
             let body: Vec<String> = users
                 .iter()
                 .zip(&results)
-                .map(|(&u, recs)| user_json(state, u, recs))
+                .map(|(&u, recs)| user_json(server, u, recs))
                 .collect();
             Response::ok(format!(
-                "{{\"batch\":{},\"results\":[{}]}}",
+                "{{\"batch\":{},\"epoch\":{},\"results\":[{}]}}",
                 users.len(),
+                snap.epoch(),
                 body.join(",")
             ))
         }
         "/categories" => {
-            let Some(user) = get("user").and_then(|v| v.parse::<usize>().ok()) else {
+            let Some(user) = get_param("user").and_then(|v| v.parse::<usize>().ok()) else {
                 return Response::bad("user parameter required");
             };
-            if user >= state.train.num_users() {
+            if user >= snap.model().num_users() {
                 return Response::bad("user out of range");
             }
-            let level = get("level").and_then(|v| v.parse().ok()).unwrap_or(1usize);
-            if level > state.model.taxonomy().depth() {
+            let level = get_param("level")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1usize);
+            if level > snap.model().taxonomy().depth() {
                 return Response::bad("level deeper than the taxonomy");
             }
-            let scorer = engine.scorer();
-            let query_vec = scorer.query(user, state.train.user(user));
+            let scorer = snap.engine().scorer();
+            let query_vec = scorer.query(user, server.history_for(&snap, user));
             let cats: Vec<String> = scorer
                 .rank_level(&query_vec, level)
                 .iter()
@@ -237,8 +412,137 @@ pub fn route(state: &ServeState, engine: &RecommendEngine<'_>, path_query: &str)
                 cats.join(",")
             ))
         }
+        "/live/stats" => {
+            let s = server.live.stats().snapshot();
+            Response::ok(format!(
+                "{{\"epoch\":{},\"users\":{},\"items\":{},\"base_users\":{},\"base_items\":{},\
+                 \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
+                 \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
+                 \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{}}}",
+                snap.epoch(),
+                snap.model().num_users(),
+                snap.model().num_items(),
+                snap.base_users(),
+                snap.base_items(),
+                s.enqueued,
+                s.applied,
+                s.rejected,
+                server.live.stats().pending(),
+                s.items_added,
+                s.users_folded,
+                s.publishes,
+                s.snapshots_written,
+                s.log_bytes,
+                s.log_errors,
+            ))
+        }
+        "/items" => {
+            let parsed = match parse_body(body) {
+                Ok(v) => v,
+                Err(e) => return Response::bad(&e),
+            };
+            let Some(parent) = parsed.get("parent").and_then(Json::as_u64) else {
+                return Response::bad("body must be {\"parent\": <interior node id>}");
+            };
+            let Ok(parent) = u32::try_from(parent) else {
+                return Response::bad("parent node id out of range");
+            };
+            match server.live.submit(UpdateEvent::AddItem {
+                parent: NodeId(parent),
+            }) {
+                Ok(done) => {
+                    let taxrec_core::live::Applied::ItemAdded { item, node } = done.applied else {
+                        return Response::bad("applier returned a mismatched result");
+                    };
+                    Response::ok(format!(
+                        "{{\"item\":{},\"node\":{},\"epoch\":{}}}",
+                        item.0, node.0, done.epoch
+                    ))
+                }
+                Err(e) => live_error_response(e),
+            }
+        }
+        "/users/fold-in" => {
+            let parsed = match parse_body(body) {
+                Ok(v) => v,
+                Err(e) => return Response::bad(&e),
+            };
+            let history = match fold_in_history(&parsed) {
+                Ok(h) => h,
+                Err(e) => return Response::bad(&e),
+            };
+            let steps = match parsed.get("steps") {
+                None => DEFAULT_FOLD_STEPS,
+                Some(v) => match v.as_usize() {
+                    Some(s) if s <= MAX_FOLD_STEPS => s,
+                    _ => return Response::bad("steps must be an integer within bounds"),
+                },
+            };
+            let seed = match parsed.get("seed") {
+                None => server.live.stats().snapshot().enqueued,
+                Some(v) => match v.as_u64() {
+                    Some(s) => s,
+                    None => return Response::bad("seed must be a non-negative integer"),
+                },
+            };
+            let transactions = history.len();
+            match server.live.submit(UpdateEvent::FoldInUser {
+                history,
+                steps,
+                seed,
+            }) {
+                Ok(done) => {
+                    let taxrec_core::live::Applied::UserFolded { user } = done.applied else {
+                        return Response::bad("applier returned a mismatched result");
+                    };
+                    Response::ok(format!(
+                        "{{\"user\":{user},\"transactions\":{transactions},\"epoch\":{}}}",
+                        done.epoch
+                    ))
+                }
+                Err(e) => live_error_response(e),
+            }
+        }
         _ => Response::not_found(),
     }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("request body required".to_string());
+    }
+    json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+/// Extract and validate `{"history": [[item, ...], ...]}`.
+fn fold_in_history(parsed: &Json) -> Result<Vec<Transaction>, String> {
+    let Some(baskets) = parsed.get("history").and_then(Json::as_array) else {
+        return Err("body must contain \"history\": [[item ids], ...]".to_string());
+    };
+    let mut history: Vec<Transaction> = Vec::with_capacity(baskets.len());
+    let mut total = 0usize;
+    for basket in baskets {
+        let Some(items) = basket.as_array() else {
+            return Err("history entries must be arrays of item ids".to_string());
+        };
+        let mut tx: Transaction = Vec::with_capacity(items.len());
+        for item in items {
+            let Some(id) = item.as_u64().and_then(|v| u32::try_from(v).ok()) else {
+                return Err("item ids must be non-negative integers".to_string());
+            };
+            tx.push(ItemId(id));
+        }
+        total += tx.len();
+        if total > MAX_FOLD_ITEMS {
+            return Err(format!("history exceeds {MAX_FOLD_ITEMS} items"));
+        }
+        history.push(tx);
+    }
+    if total == 0 {
+        return Err("history must contain at least one purchase".to_string());
+    }
+    Ok(history)
 }
 
 fn default_threads() -> usize {
@@ -250,27 +554,36 @@ fn default_threads() -> usize {
 /// `taxrec serve` command: blocks forever handling requests.
 pub fn serve(args: &CliArgs) -> Result<String, CliError> {
     let data = DataDir::new(args.require("data")?);
-    let state = Arc::new(ServeState::load(&data, args.require("model")?)?);
+    let config = LiveConfig {
+        log_path: args.value("live-log").map(Into::into),
+        snapshot_path: args.value("snapshot").map(Into::into),
+        snapshot_every: args.get("snapshot-every", 256u64)?,
+        ..LiveConfig::default()
+    };
+    if config.snapshot_path.is_some() && config.log_path.is_none() {
+        return Err(CliError::Usage(
+            "--snapshot requires --live-log (snapshots rotate the event log)".into(),
+        ));
+    }
+    let server = Arc::new(LiveServer::load(&data, args.require("model")?, config)?);
     let port: u16 = args.get("port", 8080u16)?;
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     eprintln!("taxrec serving on http://{addr}");
-    serve_on(listener, state, None);
+    serve_on(listener, server, None);
     Ok(String::new())
 }
 
 /// Accept loop; `max_requests` bounds the loop for tests (`None` = forever).
 ///
-/// The [`RecommendEngine`] (materialised factors + dense item matrix) is
-/// built once here and shared by every request; per-request parallelism
-/// happens *inside* the engine's batch path, so the accept loop itself
-/// stays single-threaded.
-pub fn serve_on(listener: TcpListener, state: Arc<ServeState>, max_requests: Option<usize>) {
-    let engine = RecommendEngine::new(&state.model);
+/// The accept loop itself stays single-threaded: GETs fan out *inside*
+/// the engine's batch path, POSTs hand work to the applier thread and
+/// wait for the publish.
+pub fn serve_on(listener: TcpListener, server: Arc<LiveServer>, max_requests: Option<usize>) {
     let mut handled = 0usize;
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
-        handle_connection(stream, &state, &engine);
+        handle_connection(stream, &server);
         handled += 1;
         if let Some(max) = max_requests {
             if handled >= max {
@@ -280,36 +593,45 @@ pub fn serve_on(listener: TcpListener, state: Arc<ServeState>, max_requests: Opt
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServeState, engine: &RecommendEngine<'_>) {
-    let peer = stream.peer_addr().ok();
+fn handle_connection(stream: TcpStream, server: &LiveServer) {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     if reader.read_line(&mut request_line).is_err() {
         return;
     }
-    // Drain headers.
+    // Drain headers, keeping Content-Length.
+    let mut content_length = 0usize;
     let mut line = String::new();
     while reader.read_line(&mut line).is_ok() {
         if line == "\r\n" || line == "\n" || line.is_empty() {
             break;
         }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
         line.clear();
     }
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
-    let resp = if method != "GET" {
-        Response {
-            status: 405,
-            body: "{\"error\":\"GET only\"}".to_string(),
-        }
+
+    let resp = if content_length > MAX_BODY_BYTES {
+        Response::bad("request body too large")
     } else {
-        route(state, engine, path)
+        let mut body = vec![0u8; content_length];
+        if content_length > 0 && reader.read_exact(&mut body).is_err() {
+            Response::bad("request body shorter than Content-Length")
+        } else {
+            route(server, method, path, &body)
+        }
     };
     let reason = match resp.status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let payload = format!(
@@ -320,7 +642,6 @@ fn handle_connection(stream: TcpStream, state: &ServeState, engine: &RecommendEn
     );
     let mut stream = reader.into_inner();
     let _ = stream.write_all(payload.as_bytes());
-    let _ = peer;
 }
 
 fn json_str(s: &str) -> String {
@@ -342,56 +663,66 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
     use taxrec_core::{ModelConfig, TfTrainer};
     use taxrec_dataset::{DatasetConfig, SyntheticDataset};
 
-    fn state() -> ServeState {
+    fn server_with(config: LiveConfig) -> LiveServer {
         let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(100), 3);
         let model = TfTrainer::new(
             ModelConfig::tf(4, 1).with_factors(4).with_epochs(2),
             &d.taxonomy,
         )
         .fit(&d.train, 1);
-        ServeState {
-            model,
-            train: d.train,
-            item_names: None,
-        }
+        LiveServer::new(LiveState::new(model), d.train, None, config).unwrap()
+    }
+
+    fn server() -> LiveServer {
+        server_with(LiveConfig::default())
+    }
+
+    fn get(s: &LiveServer, path: &str) -> Response {
+        route(s, "GET", path, b"")
+    }
+
+    fn post(s: &LiveServer, path: &str, body: &str) -> Response {
+        route(s, "POST", path, body.as_bytes())
+    }
+
+    fn interior_parent(s: &LiveServer) -> u32 {
+        let snap = s.live().cell().load();
+        let tax = snap.model().taxonomy();
+        tax.parent(tax.item_node(ItemId(0))).unwrap().0
     }
 
     #[test]
     fn health_and_model_routes() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        assert_eq!(route(&st, &engine, "/health").body, "ok");
-        let m = route(&st, &engine, "/model");
+        let st = server();
+        assert_eq!(get(&st, "/health").body, "{\"status\":\"ok\"}");
+        let m = get(&st, "/model");
         assert_eq!(m.status, 200);
         assert!(m.body.contains("\"system\":\"TF(4,1)\""), "{}", m.body);
+        assert!(m.body.contains("\"epoch\":0"), "{}", m.body);
     }
 
     #[test]
     fn recommend_route() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        let r = route(&st, &engine, "/recommend?user=0&top=3");
+        let st = server();
+        let r = get(&st, "/recommend?user=0&top=3");
         assert_eq!(r.status, 200);
         assert_eq!(r.body.matches("\"score\"").count(), 3, "{}", r.body);
-        let rc = route(&st, &engine, "/recommend?user=0&top=3&cascade=0.3");
+        let rc = get(&st, "/recommend?user=0&top=3&cascade=0.3");
         assert_eq!(rc.status, 200);
         assert!(rc.body.contains("recommendations"));
     }
 
     #[test]
     fn batch_route_matches_single_requests() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        let batch = route(&st, &engine, "/recommend/batch?users=0-63&top=5&threads=4");
+        let st = server();
+        let batch = get(&st, "/recommend/batch?users=0-63&top=5&threads=4");
         assert_eq!(batch.status, 200);
         assert!(batch.body.starts_with("{\"batch\":64,"), "{}", batch.body);
-        // Every user's object in the batch equals their single-user route.
         for user in [0usize, 17, 63] {
-            let single = route(&st, &engine, &format!("/recommend?user={user}&top=5"));
+            let single = get(&st, &format!("/recommend?user={user}&top=5"));
             assert!(
                 batch.body.contains(&single.body),
                 "batch response diverges for user {user}:\n{}\nnot in\n{}",
@@ -403,82 +734,167 @@ mod tests {
 
     #[test]
     fn batch_route_cascaded() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        let r = route(
-            &st,
-            &engine,
-            "/recommend/batch?users=1,5,9&top=4&cascade=0.3",
-        );
+        let st = server();
+        let r = get(&st, "/recommend/batch?users=1,5,9&top=4&cascade=0.3");
         assert_eq!(r.status, 200);
         assert!(r.body.starts_with("{\"batch\":3,"), "{}", r.body);
         for user in [1usize, 5, 9] {
-            let single = route(
-                &st,
-                &engine,
-                &format!("/recommend?user={user}&top=4&cascade=0.3"),
-            );
+            let single = get(&st, &format!("/recommend?user={user}&top=4&cascade=0.3"));
             assert!(r.body.contains(&single.body), "user {user}");
         }
     }
 
     #[test]
     fn huge_top_and_huge_range_do_not_allocate() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        // top= is attacker-controlled; must clamp, not reserve 2^64.
-        let r = route(&st, &engine, "/recommend?user=0&top=18446744073709551615");
+        let st = server();
+        let r = get(&st, "/recommend?user=0&top=18446744073709551615");
         assert_eq!(r.status, 200);
-        // A u64::MAX-wide range must be rejected before materialising.
-        let r = route(
-            &st,
-            &engine,
-            "/recommend/batch?users=0-18446744073709551614&top=1",
-        );
+        let r = get(&st, "/recommend/batch?users=0-18446744073709551614&top=1");
         assert_eq!(r.status, 400, "{}", r.body);
     }
 
     #[test]
     fn batch_route_rejects_bad_specs() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        assert_eq!(route(&st, &engine, "/recommend/batch").status, 400);
-        assert_eq!(route(&st, &engine, "/recommend/batch?users=").status, 400);
-        assert_eq!(
-            route(&st, &engine, "/recommend/batch?users=abc").status,
-            400
-        );
-        assert_eq!(
-            route(&st, &engine, "/recommend/batch?users=5-2").status,
-            400
-        );
-        assert_eq!(
-            route(&st, &engine, "/recommend/batch?users=0,999999").status,
-            400
-        );
-        assert_eq!(
-            route(&st, &engine, "/recommend/batch?users=0-99999").status,
-            400
-        );
+        let st = server();
+        for q in [
+            "/recommend/batch",
+            "/recommend/batch?users=",
+            "/recommend/batch?users=abc",
+            "/recommend/batch?users=5-2",
+            "/recommend/batch?users=0,999999",
+            "/recommend/batch?users=0-99999",
+        ] {
+            let r = get(&st, q);
+            assert_eq!(r.status, 400, "{q}");
+            assert!(r.body.starts_with("{\"error\":"), "{q}: {}", r.body);
+        }
     }
 
     #[test]
     fn categories_route() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        let r = route(&st, &engine, "/categories?user=1&level=1");
+        let st = server();
+        let r = get(&st, "/categories?user=1&level=1");
         assert_eq!(r.status, 200);
         assert!(r.body.contains("\"categories\""));
-        assert!(route(&st, &engine, "/categories?user=1&level=99").status == 400);
+        assert_eq!(get(&st, "/categories?user=1&level=99").status, 400);
     }
 
     #[test]
-    fn error_routes() {
-        let st = state();
-        let engine = RecommendEngine::new(&st.model);
-        assert_eq!(route(&st, &engine, "/recommend").status, 400);
-        assert_eq!(route(&st, &engine, "/recommend?user=999999").status, 400);
-        assert_eq!(route(&st, &engine, "/nope").status, 404);
+    fn error_routes_are_structured_json() {
+        let st = server();
+        for (resp, want_status) in [
+            (get(&st, "/recommend"), 400),
+            (get(&st, "/recommend?user=999999"), 400),
+            (get(&st, "/nope"), 404),
+            (post(&st, "/nope", "{}"), 404),
+            (post(&st, "/recommend?user=0", ""), 405),
+            (get(&st, "/items"), 405),
+            (get(&st, "/users/fold-in"), 405),
+            (route(&st, "PUT", "/items", b"{}"), 405),
+            (route(&st, "DELETE", "/health", b""), 405),
+        ] {
+            assert_eq!(resp.status, want_status, "{}", resp.body);
+            assert!(resp.body.starts_with("{\"error\":"), "{}", resp.body);
+        }
+        // 405s advertise the allowed method.
+        assert!(post(&st, "/recommend", "")
+            .body
+            .contains("\"allow\":\"GET\""));
+        assert!(get(&st, "/items").body.contains("\"allow\":\"POST\""));
+    }
+
+    #[test]
+    fn post_items_grows_catalog_and_serves_it() {
+        let st = server();
+        let before = get(&st, "/model");
+        let items_before: usize = st.live().cell().load().model().num_items();
+        let parent = interior_parent(&st);
+        let r = post(&st, "/items", &format!("{{\"parent\": {parent}}}"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(
+            r.body.contains(&format!("\"item\":{items_before}")),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains("\"epoch\":1"), "{}", r.body);
+        let after = get(&st, "/model");
+        assert_ne!(before.body, after.body);
+        assert!(after.body.contains("\"items_added\":1"), "{}", after.body);
+
+        // Bad parents are client errors with structured bodies.
+        let leaf = {
+            let snap = st.live().cell().load();
+            snap.model().taxonomy().item_node(ItemId(0)).0
+        };
+        for body in [
+            format!("{{\"parent\": {leaf}}}"),
+            "{\"parent\": 99999999}".to_string(),
+            "{}".to_string(),
+            "not json".to_string(),
+            String::new(),
+        ] {
+            let r = post(&st, "/items", &body);
+            assert_eq!(r.status, 400, "{body}: {}", r.body);
+            assert!(r.body.starts_with("{\"error\":"), "{}", r.body);
+        }
+    }
+
+    #[test]
+    fn post_fold_in_makes_user_servable() {
+        let st = server();
+        let users_before = st.live().cell().load().model().num_users();
+        let r = post(
+            &st,
+            "/users/fold-in",
+            "{\"history\": [[1,2],[3]], \"steps\": 50, \"seed\": 7}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(
+            r.body.contains(&format!("\"user\":{users_before}")),
+            "{}",
+            r.body
+        );
+        // The folded user is immediately servable, conditioned on their
+        // fold-in history and excluding its items.
+        let rec = get(&st, &format!("/recommend?user={users_before}&top=5"));
+        assert_eq!(rec.status, 200, "{}", rec.body);
+        assert_eq!(rec.body.matches("\"score\"").count(), 5);
+        for bought in ["\"id\":1,", "\"id\":2,", "\"id\":3,"] {
+            assert!(!rec.body.contains(bought), "{}", rec.body);
+        }
+        // And shows up in batch + categories routes too.
+        let batch = get(&st, &format!("/recommend/batch?users={users_before}&top=2"));
+        assert_eq!(batch.status, 200);
+        let cats = get(&st, &format!("/categories?user={users_before}&level=1"));
+        assert_eq!(cats.status, 200);
+
+        // Malformed bodies are 400s.
+        for body in [
+            "{\"history\": []}",
+            "{\"history\": [[]]}",
+            "{\"history\": [[999999999]]}",
+            "{\"history\": \"nope\"}",
+            "{\"history\": [[1]], \"steps\": -1}",
+            "{}",
+        ] {
+            let r = post(&st, "/users/fold-in", body);
+            assert_eq!(r.status, 400, "{body}: {}", r.body);
+        }
+    }
+
+    #[test]
+    fn live_stats_route_tracks_activity() {
+        let st = server();
+        let parent = interior_parent(&st);
+        let s0 = get(&st, "/live/stats");
+        assert_eq!(s0.status, 200);
+        assert!(s0.body.contains("\"applied\":0"), "{}", s0.body);
+        post(&st, "/items", &format!("{{\"parent\": {parent}}}"));
+        post(&st, "/users/fold-in", "{\"history\": [[0]], \"steps\": 10}");
+        let s1 = get(&st, "/live/stats");
+        assert!(s1.body.contains("\"applied\":2"), "{}", s1.body);
+        assert!(s1.body.contains("\"items_added\":1"), "{}", s1.body);
+        assert!(s1.body.contains("\"users_folded\":1"), "{}", s1.body);
     }
 
     #[test]
@@ -487,22 +903,103 @@ mod tests {
     }
 
     #[test]
-    fn tcp_end_to_end() {
-        let st = Arc::new(state());
+    fn tcp_end_to_end_with_posts() {
+        let st = Arc::new(server());
+        let parent = interior_parent(&st);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn({
+        let server_thread = std::thread::spawn({
             let st = Arc::clone(&st);
-            move || serve_on(listener, st, Some(2))
+            move || serve_on(listener, st, Some(5))
         });
-        for path in ["/health", "/recommend?user=2&top=2"] {
+        let send = |req: String| -> String {
             let mut conn = TcpStream::connect(addr).unwrap();
-            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
-                .unwrap();
+            conn.write_all(req.as_bytes()).unwrap();
             let mut buf = String::new();
             conn.read_to_string(&mut buf).unwrap();
+            buf
+        };
+        for path in ["/health", "/recommend?user=2&top=2"] {
+            let buf = send(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"));
             assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
         }
-        server.join().unwrap();
+        // POST an item, then a fold-in, over the wire.
+        let body = format!("{{\"parent\": {parent}}}");
+        let buf = send(format!(
+            "POST /items HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+        assert!(buf.contains("\"item\":"), "{buf}");
+        let body = "{\"history\": [[1,2]], \"steps\": 20, \"seed\": 1}";
+        let buf = send(format!(
+            "POST /users/fold-in HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+        assert!(buf.contains("\"user\":100"), "{buf}");
+        // Wrong method over the wire → structured 405.
+        let buf = send("DELETE /health HTTP/1.1\r\nHost: x\r\n\r\n".to_string());
+        assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
+        assert!(buf.contains("{\"error\":"), "{buf}");
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn wal_then_restart_recovers_live_state() {
+        // End-to-end recovery: serve with a WAL, apply updates, kill,
+        // reload from the same model + log — identical serving state.
+        let dir = std::env::temp_dir().join(format!("taxrec-serve-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("events.log");
+
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(100), 3);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(4).with_epochs(2),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        let st = LiveServer::new(
+            LiveState::new(model.clone()),
+            d.train.clone(),
+            None,
+            LiveConfig {
+                log_path: Some(log_path.clone()),
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        let parent = interior_parent(&st);
+        assert_eq!(
+            post(&st, "/items", &format!("{{\"parent\": {parent}}}")).status,
+            200
+        );
+        assert_eq!(
+            post(
+                &st,
+                "/users/fold-in",
+                "{\"history\": [[4]], \"steps\": 25, \"seed\": 2}"
+            )
+            .status,
+            200
+        );
+        let folded_user = st.live().cell().load().model().num_users() - 1;
+        let want = get(&st, &format!("/recommend?user={folded_user}&top=5")).body;
+        drop(st);
+
+        // "Restart": replay the WAL over the original model.
+        let mut state = LiveState::new(model);
+        let (header, events, ignored) =
+            decode_log_lossy(&std::fs::read(&log_path).unwrap()).unwrap();
+        assert_eq!(ignored, 0);
+        assert_eq!(header.base_users as usize, state.model().num_users());
+        replay(&mut state, &events).unwrap();
+        let st2 = LiveServer::new(state, d.train, None, LiveConfig::default()).unwrap();
+        assert_eq!(
+            get(&st2, &format!("/recommend?user={folded_user}&top=5")).body,
+            want
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -30,25 +30,39 @@ impl TfModel {
     /// (an interior category node). Existing ids and factors are
     /// untouched; the new node's offsets start at 0 in both matrices.
     pub fn with_added_item(&self, parent: NodeId) -> Result<(TfModel, ItemId), TaxonomyError> {
+        let mut grown = self.clone();
+        let item = grown.add_item_mut(parent)?;
+        Ok((grown, item))
+    }
+
+    /// In-place variant of [`with_added_item`](Self::with_added_item) —
+    /// the live applier's primitive. Appends one zero offset row to both
+    /// node matrices (`O(K)`), swaps in the grown taxonomy, and rebuilds
+    /// the truncated path table. Every existing node/item/user id keeps
+    /// its meaning, factors are bit-identical, and the new item's
+    /// effective factor equals its category's (the paper's Fig. 7(c)
+    /// cold-start estimate).
+    pub fn add_item_mut(&mut self, parent: NodeId) -> Result<ItemId, TaxonomyError> {
         let (tax, _node, item) = self.taxonomy().with_added_leaf(parent)?;
-        let tax = Arc::new(tax);
-        let k = self.k();
-        let grow = |m: &FactorMatrix| {
-            let mut g = FactorMatrix::zeros(m.rows() + 1, k);
-            g.as_mut_slice()[..m.rows() * k].copy_from_slice(m.as_slice());
-            g
-        };
-        let paths = PathTable::build(&tax, self.config().taxonomy_update_levels);
-        let model = TfModel {
-            node_factors: grow(&self.node_factors),
-            next_factors: grow(&self.next_factors),
-            user_factors: self.user_factors.clone(),
-            config: self.config().clone(),
-            cutoff_level: self.cutoff_level(),
-            paths,
-            taxonomy: tax,
-        };
-        Ok((model, item))
+        self.taxonomy = Arc::new(tax);
+        let zero = vec![0.0f32; self.k()];
+        self.node_factors.push_row(&zero);
+        self.next_factors.push_row(&zero);
+        self.paths = PathTable::build(&self.taxonomy, self.config.taxonomy_update_levels);
+        self.cutoff_level =
+            crate::model::cutoff_for(&self.taxonomy, self.config.taxonomy_update_levels);
+        Ok(item)
+    }
+
+    /// Append one user row (a folded-in user's factor, computed by
+    /// [`fold_in_user`]) and return the new user id. `O(K)`; no other
+    /// parameter moves.
+    ///
+    /// # Panics
+    /// If `factor.len() != K`.
+    pub fn push_user(&mut self, factor: &[f32]) -> usize {
+        self.user_factors.push_row(factor);
+        self.user_factors.rows() - 1
     }
 }
 
@@ -59,8 +73,8 @@ impl TfModel {
 /// purchase `(t, i)`, a catalog negative `j`, and ascend
 /// `ln σ(s_t(i) − s_t(j))` in the user coordinate. Returns the folded-in
 /// factor; score with [`folded_user_query`].
-pub fn fold_in_user(
-    scorer: &Scorer<'_>,
+pub fn fold_in_user<M: std::ops::Deref<Target = TfModel>>(
+    scorer: &Scorer<M>,
     history: &[Transaction],
     steps: usize,
     seed: u64,
@@ -117,8 +131,8 @@ pub fn fold_in_user(
 
 /// Build the query vector for a folded-in user (the analogue of
 /// [`Scorer::query`] with an external user factor).
-pub fn folded_user_query(
-    scorer: &Scorer<'_>,
+pub fn folded_user_query<M: std::ops::Deref<Target = TfModel>>(
+    scorer: &Scorer<M>,
     user_factor: &[f32],
     history: &[Transaction],
 ) -> Vec<f32> {
@@ -290,6 +304,101 @@ mod tests {
             mf > mz + 0.01,
             "fold-in mean AUC {mf:.4} must beat history-only baseline {mz:.4} over {total} users"
         );
+    }
+
+    #[test]
+    fn fold_in_is_deterministic_and_leaves_model_untouched() {
+        let d = data();
+        let m = trained(&d, 4);
+        let before = m.clone();
+        let scorer = Scorer::new(&m);
+        let hist = d.train.user(0).to_vec();
+        let a = fold_in_user(&scorer, &hist, 300, 1234);
+        let b = fold_in_user(&scorer, &hist, 300, 1234);
+        // Bit-identical for a fixed seed: the event log replays fold-ins
+        // by (history, steps, seed) and must land on the same factor.
+        assert_eq!(a, b);
+        // A different seed explores a different sample path.
+        let c = fold_in_user(&scorer, &hist, 300, 99);
+        assert_ne!(a, c);
+        drop(scorer);
+        // Every item/category factor stays bit-identical: fold-in only
+        // produces a user vector, it never writes the model.
+        assert_eq!(before.node_factors, m.node_factors);
+        assert_eq!(before.next_factors, m.next_factors);
+        assert_eq!(before.user_factors, m.user_factors);
+    }
+
+    #[test]
+    fn added_item_preserves_rankings_for_untouched_users() {
+        use crate::recommend::{RecommendEngine, RecommendRequest};
+        let d = data();
+        let m = trained(&d, 4);
+        let parent = {
+            let tax = m.taxonomy();
+            tax.parent(tax.item_node(ItemId(5))).unwrap()
+        };
+        let (m2, new_item) = m.with_added_item(parent).unwrap();
+        // All existing ids survive.
+        for i in m.taxonomy().item_ids() {
+            assert_eq!(m.taxonomy().item_node(i), m2.taxonomy().item_node(i));
+        }
+        // With the new item masked out, every user's full ranking over
+        // the pre-existing catalog is unchanged.
+        let before = RecommendEngine::new(&m);
+        let after = RecommendEngine::new(&m2);
+        let exclude = [new_item];
+        for user in [0usize, 13, 77, 401] {
+            let hist = d.train.user(user);
+            let old = before.recommend(&RecommendRequest {
+                user,
+                history: hist,
+                k: 25,
+                exclude: &[],
+            });
+            let new = after.recommend(&RecommendRequest {
+                user,
+                history: hist,
+                k: 25,
+                exclude: &exclude,
+            });
+            assert_eq!(old.len(), new.len(), "user {user}");
+            for (rank, ((ia, sa), (ib, sb))) in old.iter().zip(&new).enumerate() {
+                assert_eq!(ia, ib, "user {user} rank {rank}");
+                assert!((sa - sb).abs() < 1e-6, "user {user} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_item_mut_matches_with_added_item() {
+        let d = data();
+        let m = trained(&d, 2);
+        let parent = {
+            let tax = m.taxonomy();
+            tax.parent(tax.item_node(ItemId(0))).unwrap()
+        };
+        let (grown, item) = m.with_added_item(parent).unwrap();
+        let mut mutated = m.clone();
+        let item2 = mutated.add_item_mut(parent).unwrap();
+        assert_eq!(item, item2);
+        assert_eq!(grown.node_factors, mutated.node_factors);
+        assert_eq!(grown.next_factors, mutated.next_factors);
+        assert_eq!(grown.user_factors, mutated.user_factors);
+        assert_eq!(grown.taxonomy().num_nodes(), mutated.taxonomy().num_nodes());
+        assert_eq!(grown.cutoff_level(), mutated.cutoff_level());
+    }
+
+    #[test]
+    fn push_user_appends_and_scores() {
+        let d = data();
+        let mut m = trained(&d, 2);
+        let n = m.num_users();
+        let factor: Vec<f32> = (0..m.k()).map(|i| i as f32 * 0.01).collect();
+        let u = m.push_user(&factor);
+        assert_eq!(u, n);
+        assert_eq!(m.num_users(), n + 1);
+        assert_eq!(m.user_factor(u), factor.as_slice());
     }
 
     #[test]

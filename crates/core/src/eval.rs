@@ -106,8 +106,8 @@ pub fn evaluate(
 }
 
 /// [`evaluate`] against a prebuilt scorer (reuse across sweeps).
-pub fn evaluate_with_scorer(
-    scorer: &Scorer<'_>,
+pub fn evaluate_with_scorer<M: std::ops::Deref<Target = TfModel> + Sync>(
+    scorer: &Scorer<M>,
     train: &PurchaseLog,
     test: &PurchaseLog,
     config: &EvalConfig,
@@ -205,8 +205,8 @@ impl Shard {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn eval_shard(
-    scorer: &Scorer<'_>,
+fn eval_shard<M: std::ops::Deref<Target = TfModel> + Sync>(
+    scorer: &Scorer<M>,
     train: &PurchaseLog,
     test: &PurchaseLog,
     lo: usize,
@@ -323,8 +323,8 @@ impl CascadeEvalResult {
 
 /// Evaluate cascaded inference vs exhaustive scoring over the standard
 /// protocol (first test transaction per user).
-pub fn evaluate_cascaded(
-    scorer: &Scorer<'_>,
+pub fn evaluate_cascaded<M: std::ops::Deref<Target = TfModel>>(
+    scorer: &Scorer<M>,
     train: &PurchaseLog,
     test: &PurchaseLog,
     cascade_config: &crate::inference::CascadeConfig,

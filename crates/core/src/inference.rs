@@ -8,6 +8,7 @@
 //! work — Fig. 8(c,d) — and the per-level rankings double as the paper's
 //! "structured" (category-level) recommendations.
 
+use crate::model::TfModel;
 use crate::scoring::Scorer;
 use std::cmp::Ordering;
 use taxrec_taxonomy::{ItemId, NodeId};
@@ -72,7 +73,11 @@ impl CascadeResult {
 }
 
 /// Run cascaded inference for a prepared query vector.
-pub fn cascade(scorer: &Scorer<'_>, query: &[f32], config: &CascadeConfig) -> CascadeResult {
+pub fn cascade<M: std::ops::Deref<Target = TfModel>>(
+    scorer: &Scorer<M>,
+    query: &[f32],
+    config: &CascadeConfig,
+) -> CascadeResult {
     let tax = scorer.model().taxonomy();
     let depth = tax.depth();
     let mut per_level: Vec<Vec<(NodeId, f32)>> = Vec::with_capacity(depth);

@@ -37,6 +37,7 @@ pub mod config;
 pub mod dynamic;
 pub mod eval;
 pub mod inference;
+pub mod live;
 pub mod loss;
 pub mod metrics;
 pub mod model;
@@ -52,6 +53,7 @@ pub use eval::{
     evaluate, evaluate_cascaded, evaluate_static, CascadeEvalResult, EvalConfig, EvalResult,
 };
 pub use inference::{cascade, cascaded_auc, CascadeConfig, CascadeResult};
+pub use live::{LiveConfig, LiveEngine, LiveHandle, LiveState, ModelCell, UpdateEvent};
 pub use model::TfModel;
 pub use recommend::{Backend, RecommendEngine, RecommendRequest};
 pub use scoring::Scorer;

@@ -1,0 +1,50 @@
+//! The epoch/RCU-style snapshot cell readers load from.
+
+use super::engine::LiveEngine;
+use std::sync::{Arc, RwLock};
+
+/// A hot-swappable slot holding the current [`LiveEngine`].
+///
+/// Readers call [`load`](ModelCell::load) and get an `Arc` clone of the
+/// current snapshot — from then on they are lock-free and isolated: the
+/// snapshot is immutable, so a reader mid-batch keeps a fully
+/// consistent engine even while the applier publishes successors. The
+/// writer side ([`publish`](ModelCell::publish)) replaces the `Arc`
+/// under a write lock held only for the pointer swap; engine
+/// construction happens entirely outside the lock.
+///
+/// This is the epoch-based-reclamation shape without a dependency:
+/// `Arc`'s refcount is the epoch bookkeeping (an old snapshot is freed
+/// when its last reader drops it), and the brief `RwLock` around the
+/// slot replaces `arc-swap`'s lock-free pointer (the vendored-deps
+/// policy of this workspace; see `vendor/README.md`).
+#[derive(Debug)]
+pub struct ModelCell {
+    slot: RwLock<Arc<LiveEngine>>,
+}
+
+impl ModelCell {
+    /// A cell serving `initial` as epoch 0.
+    pub fn new(initial: LiveEngine) -> ModelCell {
+        ModelCell {
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current snapshot. Cheap (one refcount bump under a read
+    /// lock); hold the returned `Arc` for the duration of one request
+    /// and re-`load` for the next.
+    pub fn load(&self) -> Arc<LiveEngine> {
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Swap in the next snapshot; in-flight readers keep the old one.
+    pub fn publish(&self, next: LiveEngine) {
+        *self.slot.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+}

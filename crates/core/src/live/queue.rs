@@ -1,0 +1,524 @@
+//! The update queue and its applier thread.
+//!
+//! Durability discipline (what makes the recovery law hold for every
+//! *acknowledged* update):
+//!
+//! 1. an event is **validated** against the current state (no
+//!    mutation);
+//! 2. valid events are applied and their encodings buffered;
+//! 3. the batch's encodings are appended to the WAL and flushed;
+//! 4. only then is the successor snapshot published and the submitters
+//!    acked.
+//!
+//! If the WAL write fails, nothing is published or acked, and the
+//! applier enters a **read-only degraded mode**: every further update
+//! is rejected with an I/O error (readers keep the last published
+//! snapshot). An acked update is therefore always durably logged, and
+//! a logged event is always one that validated — replay never chokes
+//! on its own log.
+
+use super::cell::ModelCell;
+use super::engine::LiveEngine;
+use super::event::{encode_event, encode_log_header, LogHeader, UpdateEvent, LOG_HEADER_LEN};
+use super::snapshot::encode_live;
+use super::state::{Applied, LiveState};
+use super::stats::LiveStats;
+use super::LiveError;
+use crate::recommend::Backend;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Applier configuration.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Inference backend every published snapshot serves with.
+    pub backend: Backend,
+    /// Most events folded into one publish. Batching amortises the
+    /// per-publish model clone and the WAL flush; each event is still
+    /// applied (and logged) individually, so replay semantics are
+    /// unaffected.
+    pub batch_cap: usize,
+    /// Write a snapshot (and rotate the log) every this many applied
+    /// events; `0` disables snapshotting.
+    pub snapshot_every: u64,
+    /// Event log path (the WAL). `None` = in-memory only.
+    pub log_path: Option<PathBuf>,
+    /// Snapshot path; required for `snapshot_every > 0` to take effect.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> LiveConfig {
+        LiveConfig {
+            backend: Backend::Exhaustive,
+            batch_cap: 64,
+            snapshot_every: 0,
+            log_path: None,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// A successfully applied update: what it produced and the epoch at
+/// which it became visible to readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedUpdate {
+    /// The assigned id (item or user).
+    pub applied: Applied,
+    /// First epoch whose snapshots include this update. By the time the
+    /// submitter sees this value, [`ModelCell::load`] already returns
+    /// that epoch (replies are sent *after* publish), and the event is
+    /// durably in the WAL (if one is configured).
+    pub epoch: u64,
+}
+
+enum Command {
+    Apply(UpdateEvent, mpsc::Sender<Result<AppliedUpdate, LiveError>>),
+    Flush(mpsc::Sender<()>),
+    Shutdown,
+}
+
+/// Owner handle for a running live subsystem: the snapshot cell for
+/// readers, the update queue for writers, shared stats, and the applier
+/// thread (joined on drop).
+#[derive(Debug)]
+pub struct LiveHandle {
+    cell: Arc<ModelCell>,
+    stats: Arc<LiveStats>,
+    tx: mpsc::Sender<Command>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LiveHandle {
+    /// Publish `state` as epoch 0 and start the applier thread.
+    ///
+    /// If `config.log_path` exists and is non-empty its header is
+    /// validated and new events are appended — the caller is expected
+    /// to have replayed it into `state` first (`taxrec serve` does; see
+    /// [`super::replay`]). A fresh log is stamped with `state`'s
+    /// current shape as its lineage.
+    pub fn spawn(state: LiveState, config: LiveConfig) -> Result<LiveHandle, LiveError> {
+        let log = match &config.log_path {
+            Some(p) => Some(open_log(p, &lineage_of(&state))?),
+            None => None,
+        };
+        let cell = Arc::new(ModelCell::new(LiveEngine::initial(
+            &state,
+            config.backend.clone(),
+        )));
+        let stats = Arc::new(LiveStats::default());
+        let (tx, rx) = mpsc::channel();
+        let thread = std::thread::Builder::new()
+            .name("taxrec-live-applier".into())
+            .spawn({
+                let cell = Arc::clone(&cell);
+                let stats = Arc::clone(&stats);
+                move || applier(state, config, log, cell, stats, rx)
+            })
+            .map_err(|e| LiveError::Io(format!("spawning applier: {e}")))?;
+        Ok(LiveHandle {
+            cell,
+            stats,
+            tx,
+            thread: Some(thread),
+        })
+    }
+
+    /// The snapshot cell readers load from. Clone the `Arc` and hand it
+    /// to as many reader threads as you like.
+    pub fn cell(&self) -> &Arc<ModelCell> {
+        &self.cell
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &Arc<LiveStats> {
+        &self.stats
+    }
+
+    /// Enqueue one event and wait for it to be logged, applied **and
+    /// published** (the returned epoch is already visible) or rejected.
+    pub fn submit(&self, ev: UpdateEvent) -> Result<AppliedUpdate, LiveError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.stats.inc_enqueued();
+        self.tx
+            .send(Command::Apply(ev, rtx))
+            .map_err(|_| LiveError::QueueClosed)?;
+        rrx.recv().map_err(|_| LiveError::QueueClosed)?
+    }
+
+    /// Wait until every event enqueued before this call is applied.
+    pub fn flush(&self) -> Result<(), LiveError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.tx
+            .send(Command::Flush(rtx))
+            .map_err(|_| LiveError::QueueClosed)?;
+        rrx.recv().map_err(|_| LiveError::QueueClosed)
+    }
+}
+
+impl Drop for LiveHandle {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn lineage_of(state: &LiveState) -> LogHeader {
+    LogHeader {
+        base_users: state.model().num_users() as u64,
+        base_items: state.model().num_items() as u64,
+    }
+}
+
+/// Open (or create) the event log for appending. A fresh/empty log is
+/// stamped with `lineage`; an existing one only has its magic/version
+/// checked (its events are assumed already replayed by the caller —
+/// appending preserves its original lineage).
+fn open_log(path: &Path, lineage: &LogHeader) -> Result<File, LiveError> {
+    let io = |e: std::io::Error| LiveError::Io(format!("{}: {e}", path.display()));
+    let existing_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    if existing_len > 0 {
+        let mut head = vec![0u8; LOG_HEADER_LEN.min(existing_len as usize)];
+        File::open(path)
+            .map_err(io)?
+            .read_exact(&mut head)
+            .map_err(io)?;
+        let mut expect = Vec::new();
+        encode_log_header(&mut expect, lineage);
+        // Magic + version must match; the lineage stamp may differ (the
+        // log predates this session's state).
+        if head.len() < 5 || head[..5] != expect[..5] {
+            return Err(LiveError::Io(format!(
+                "{}: existing file is not a taxrec event log",
+                path.display()
+            )));
+        }
+    }
+    let mut file = OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+        .map_err(io)?;
+    if existing_len == 0 {
+        let mut header = Vec::new();
+        encode_log_header(&mut header, lineage);
+        file.write_all(&header).map_err(io)?;
+        file.flush().map_err(io)?;
+    }
+    Ok(file)
+}
+
+/// Truncate the log back to a bare header stamped with the
+/// just-snapshotted state's lineage (the snapshot captured everything
+/// the log contained).
+fn rotate_log(path: &Path, lineage: &LogHeader) -> Result<File, LiveError> {
+    let io = |e: std::io::Error| LiveError::Io(format!("{}: {e}", path.display()));
+    let mut file = File::create(path).map_err(io)?;
+    let mut header = Vec::new();
+    encode_log_header(&mut header, lineage);
+    file.write_all(&header).map_err(io)?;
+    file.flush().map_err(io)?;
+    Ok(file)
+}
+
+fn applier(
+    mut state: LiveState,
+    config: LiveConfig,
+    mut log: Option<File>,
+    cell: Arc<ModelCell>,
+    stats: Arc<LiveStats>,
+    rx: mpsc::Receiver<Command>,
+) {
+    let mut since_snapshot = 0u64;
+    let mut log_buf = Vec::new();
+    // Set when a WAL write fails: acked-but-unlogged events would break
+    // the recovery law, so the applier stops accepting updates.
+    let mut degraded = false;
+    loop {
+        let Ok(first) = rx.recv() else { break };
+        // Drain a batch: everything already queued, up to the cap, is
+        // folded into one WAL flush + publish.
+        let mut batch = vec![first];
+        while batch.len() < config.batch_cap.max(1) {
+            match rx.try_recv() {
+                Ok(cmd) => batch.push(cmd),
+                Err(_) => break,
+            }
+        }
+
+        log_buf.clear();
+        let mut pending: Vec<(mpsc::Sender<Result<AppliedUpdate, LiveError>>, Applied)> =
+            Vec::new();
+        let mut flushes = Vec::new();
+        let mut shutdown = false;
+        for cmd in batch {
+            match cmd {
+                Command::Apply(ev, reply) => {
+                    if degraded {
+                        stats.inc_rejected();
+                        let _ = reply.send(Err(LiveError::Io(
+                            "event log write failed earlier; updates disabled \
+                             (restart the server to recover)"
+                                .into(),
+                        )));
+                        continue;
+                    }
+                    // Validate first so only applicable events reach
+                    // the WAL; then apply. `validate` mirrors `apply`'s
+                    // failure cases exactly, so the apply cannot fail.
+                    match state.validate(&ev) {
+                        Ok(()) => {
+                            encode_event(&mut log_buf, &ev);
+                            let applied = state.apply(&ev).expect("validated event must apply");
+                            match applied {
+                                Applied::ItemAdded { .. } => stats.inc_items_added(),
+                                Applied::UserFolded { .. } => stats.inc_users_folded(),
+                            }
+                            stats.inc_applied();
+                            since_snapshot += 1;
+                            pending.push((reply, applied));
+                        }
+                        Err(e) => {
+                            stats.inc_rejected();
+                            let _ = reply.send(Err(e));
+                        }
+                    }
+                }
+                Command::Flush(reply) => flushes.push(reply),
+                Command::Shutdown => shutdown = true,
+            }
+        }
+
+        // WAL before visibility: if the append fails, nothing from this
+        // batch is published or acked, and updates are disabled.
+        let mut wal_ok = true;
+        if !log_buf.is_empty() {
+            if let Some(f) = &mut log {
+                match f.write_all(&log_buf).and_then(|_| f.flush()) {
+                    Ok(()) => stats.add_log_bytes(log_buf.len() as u64),
+                    Err(_) => {
+                        stats.inc_log_errors();
+                        degraded = true;
+                        wal_ok = false;
+                    }
+                }
+            }
+        }
+
+        if !pending.is_empty() && !wal_ok {
+            for (reply, _) in pending.drain(..) {
+                let _ = reply.send(Err(LiveError::Io(
+                    "event log write failed; update not accepted".into(),
+                )));
+            }
+        }
+
+        if !pending.is_empty() {
+            // Build the successor outside any lock, swap, then reply:
+            // a submitter that hears back can immediately load() an
+            // engine containing its update.
+            let prev = cell.load();
+            let next = LiveEngine::next_from(&prev, &state);
+            let epoch = next.epoch();
+            cell.publish(next);
+            stats.inc_publishes();
+            for (reply, applied) in pending {
+                let _ = reply.send(Ok(AppliedUpdate { applied, epoch }));
+            }
+
+            if config.snapshot_every > 0 && since_snapshot >= config.snapshot_every {
+                if let Some(snap_path) = &config.snapshot_path {
+                    if write_snapshot(snap_path, &state).is_ok() {
+                        stats.inc_snapshots();
+                        since_snapshot = 0;
+                        // The snapshot covers every logged event:
+                        // restart the log (stamped with the snapshot's
+                        // lineage) so recovery replays only what the
+                        // snapshot missed. If a crash lands between the
+                        // two writes, the stale log's lineage no longer
+                        // matches the snapshot and loaders refuse the
+                        // pair instead of double-applying.
+                        if let Some(log_path) = &config.log_path {
+                            match rotate_log(log_path, &lineage_of(&state)) {
+                                Ok(f) => log = Some(f),
+                                Err(_) => stats.inc_log_errors(),
+                            }
+                        }
+                    } else {
+                        stats.inc_log_errors();
+                    }
+                }
+            }
+        }
+
+        for reply in flushes {
+            let _ = reply.send(());
+        }
+        if shutdown {
+            break;
+        }
+    }
+}
+
+/// Write a live snapshot atomically (temp file + rename).
+fn write_snapshot(path: &Path, state: &LiveState) -> Result<(), LiveError> {
+    let io = |e: std::io::Error| LiveError::Io(format!("{}: {e}", path.display()));
+    let tmp = path.with_extension("tfm.tmp");
+    std::fs::write(&tmp, encode_live(state)).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::live::snapshot::decode_live;
+    use crate::live::{decode_log, replay};
+    use crate::train::TfTrainer;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+    use taxrec_taxonomy::{ItemId, NodeId};
+
+    fn fixture() -> (SyntheticDataset, LiveState) {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(150), 31);
+        let m = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(6).with_epochs(1),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        (d, LiveState::new(m))
+    }
+
+    fn some_parent(state: &LiveState) -> NodeId {
+        let tax = state.model().taxonomy();
+        tax.parent(tax.item_node(ItemId(0))).unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("taxrec-live-queue-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn submit_add_item_becomes_visible() {
+        let (_, state) = fixture();
+        let parent = some_parent(&state);
+        let items_before = state.model().num_items();
+        let handle = LiveHandle::spawn(state, LiveConfig::default()).unwrap();
+        let got = handle.submit(UpdateEvent::AddItem { parent }).unwrap();
+        assert!(matches!(
+            got.applied,
+            Applied::ItemAdded { item, .. } if item.index() == items_before
+        ));
+        let snap = handle.cell().load();
+        assert_eq!(snap.model().num_items(), items_before + 1);
+        assert!(snap.epoch() >= got.epoch);
+        assert!(snap.verify_consistent());
+    }
+
+    #[test]
+    fn rejected_events_do_not_publish() {
+        let (_, state) = fixture();
+        let leaf = state.model().taxonomy().item_node(ItemId(3));
+        let handle = LiveHandle::spawn(state, LiveConfig::default()).unwrap();
+        let before = handle.cell().epoch();
+        let err = handle.submit(UpdateEvent::AddItem { parent: leaf });
+        assert!(err.is_err());
+        assert_eq!(handle.cell().epoch(), before);
+        assert_eq!(handle.stats().snapshot().rejected, 1);
+        assert_eq!(handle.stats().snapshot().applied, 0);
+    }
+
+    #[test]
+    fn log_and_snapshot_rotation() {
+        let (d, state) = fixture();
+        let dir = tmpdir("rotation");
+        let log_path = dir.join("events.log");
+        let snap_path = dir.join("snap.tfm");
+        let parent = some_parent(&state);
+        let cfg = LiveConfig {
+            snapshot_every: 4,
+            batch_cap: 1, // deterministic publish-per-event for the test
+            log_path: Some(log_path.clone()),
+            snapshot_path: Some(snap_path.clone()),
+            ..LiveConfig::default()
+        };
+        let handle = LiveHandle::spawn(state, cfg).unwrap();
+        for i in 0..6u64 {
+            if i % 2 == 0 {
+                handle.submit(UpdateEvent::AddItem { parent }).unwrap();
+            } else {
+                handle
+                    .submit(UpdateEvent::FoldInUser {
+                        history: d.train.user(i as usize).to_vec(),
+                        steps: 30,
+                        seed: i,
+                    })
+                    .unwrap();
+            }
+        }
+        handle.flush().unwrap();
+        let live_model = handle.cell().load().model().clone();
+        let stats = handle.stats().snapshot();
+        drop(handle);
+        assert_eq!(stats.applied, 6);
+        assert!(stats.snapshots_written >= 1, "{stats:?}");
+        // Recovery: snapshot + remaining log ≡ live state.
+        let mut recovered = decode_live(&std::fs::read(&snap_path).unwrap()).unwrap();
+        let (header, tail) = decode_log(&std::fs::read(&log_path).unwrap()).unwrap();
+        assert!(
+            tail.len() < 6,
+            "rotated log must not contain snapshotted events"
+        );
+        // The rotated log's lineage stamps the snapshot it follows.
+        assert_eq!(header.base_users as usize, recovered.model().num_users());
+        assert_eq!(header.base_items as usize, recovered.model().num_items());
+        replay(&mut recovered, &tail).unwrap();
+        assert_eq!(recovered.model().num_items(), live_model.num_items());
+        assert_eq!(recovered.model().num_users(), live_model.num_users());
+        assert_eq!(recovered.model().user_factors, live_model.user_factors);
+        assert_eq!(recovered.model().node_factors, live_model.node_factors);
+    }
+
+    #[test]
+    fn fresh_log_carries_base_lineage() {
+        let (_, state) = fixture();
+        let dir = tmpdir("lineage");
+        let log_path = dir.join("events.log");
+        let (users, items) = (state.model().num_users(), state.model().num_items());
+        let parent = some_parent(&state);
+        let handle = LiveHandle::spawn(
+            state,
+            LiveConfig {
+                log_path: Some(log_path.clone()),
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        handle.submit(UpdateEvent::AddItem { parent }).unwrap();
+        drop(handle);
+        let (header, events) = decode_log(&std::fs::read(&log_path).unwrap()).unwrap();
+        assert_eq!(header.base_users as usize, users);
+        assert_eq!(header.base_items as usize, items);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn open_log_rejects_foreign_files() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("not-a-log.bin");
+        std::fs::write(&path, b"definitely not an event log").unwrap();
+        let lineage = LogHeader {
+            base_users: 1,
+            base_items: 1,
+        };
+        assert!(matches!(open_log(&path, &lineage), Err(LiveError::Io(_))));
+    }
+}

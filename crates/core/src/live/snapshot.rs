@@ -1,0 +1,205 @@
+//! Live snapshots: a plain model encoding plus an appended live
+//! section.
+//!
+//! ```text
+//! persist::encode(model)            — self-delimiting (decode_prefix)
+//! live section:
+//!   magic  u32 = 0x5446_4c53 ("TFLS"), version u8 = 1
+//!   base_users u64, base_items u64
+//!   folded u32, per folded user: u32 baskets, per basket u32 items, items…
+//! ```
+//!
+//! Because [`crate::persist::decode`] tolerates trailing bytes (format
+//! rule since v2), a live snapshot **is** a valid `.tfm` model file:
+//! `taxrec inspect` and plain `decode` read the model and skip the live
+//! section, while [`decode_live`] reads both and reconstructs the full
+//! [`LiveState`] — folded users keep their ids *and* their histories.
+//! A snapshot of a never-updated model is byte-identical to
+//! `persist::encode` output, and [`decode_live`] accepts plain model
+//! files too (all users then count as trained).
+
+use super::state::LiveState;
+use crate::persist::bytes_shim::{get_u32, get_u64, put_u32, put_u64};
+use crate::persist::{self, PersistError};
+use std::sync::Arc;
+use taxrec_dataset::Transaction;
+
+const LIVE_MAGIC: u32 = 0x5446_4c53; // "TFLS"
+const LIVE_VERSION: u8 = 1;
+
+/// Serialise the full live state (model + live section).
+pub fn encode_live(state: &LiveState) -> Vec<u8> {
+    let mut out = persist::encode(state.model());
+    if state.base_users() == state.model().num_users()
+        && state.base_items() == state.model().num_items()
+    {
+        // Nothing live yet: stay byte-identical to a plain model file.
+        return out;
+    }
+    put_u32(&mut out, LIVE_MAGIC);
+    out.push(LIVE_VERSION);
+    put_u64(&mut out, state.base_users() as u64);
+    put_u64(&mut out, state.base_items() as u64);
+    put_u32(&mut out, state.histories().len() as u32);
+    for history in state.histories() {
+        put_u32(&mut out, history.len() as u32);
+        for basket in history.iter() {
+            put_u32(&mut out, basket.len() as u32);
+            for item in basket {
+                put_u32(&mut out, item.0);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a live snapshot **or** a plain model file into a
+/// [`LiveState`]. Never panics on arbitrary input.
+pub fn decode_live(buf: &[u8]) -> Result<LiveState, PersistError> {
+    let (model, mut pos) = persist::decode_prefix(buf)?;
+    if pos == buf.len() {
+        return Ok(LiveState::new(model));
+    }
+    let magic = get_u32(buf, &mut pos)?;
+    if magic != LIVE_MAGIC {
+        return Err(PersistError::Corrupt(format!(
+            "bad live-section magic 0x{magic:08x}, expected 0x{LIVE_MAGIC:08x}"
+        )));
+    }
+    match buf.get(pos) {
+        Some(&LIVE_VERSION) => pos += 1,
+        Some(&v) => {
+            return Err(PersistError::Corrupt(format!(
+                "unsupported live-section version {v}"
+            )))
+        }
+        None => return Err(PersistError::Corrupt("missing live-section version".into())),
+    }
+    let base_users = get_u64(buf, &mut pos)? as usize;
+    let base_items = get_u64(buf, &mut pos)? as usize;
+    let folded = get_u32(buf, &mut pos)? as usize;
+    if base_users.checked_add(folded) != Some(model.num_users()) {
+        return Err(PersistError::Corrupt(format!(
+            "live section covers {base_users}+{folded} users, model has {}",
+            model.num_users()
+        )));
+    }
+    if base_items > model.num_items() {
+        return Err(PersistError::Corrupt(format!(
+            "base_items {base_items} exceeds model catalog {}",
+            model.num_items()
+        )));
+    }
+    let n_items = model.num_items();
+    let mut histories: Vec<Arc<[Transaction]>> = Vec::with_capacity(folded.min(1 << 16));
+    for _ in 0..folded {
+        // Same guarded nested decode (and item-range check) as the
+        // event codec — one implementation for both formats.
+        let history = super::event::decode_baskets(buf, &mut pos, Some(n_items))?;
+        histories.push(Arc::from(history.as_slice()));
+    }
+    if pos != buf.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} stray bytes after live section",
+            buf.len() - pos
+        )));
+    }
+    Ok(LiveState::from_parts(
+        model, base_users, base_items, histories,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::live::UpdateEvent;
+    use crate::train::TfTrainer;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+    use taxrec_taxonomy::{ItemId, NodeId};
+
+    fn live_state() -> (SyntheticDataset, LiveState) {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(120), 23);
+        let m = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(6).with_epochs(1),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        (d, LiveState::new(m))
+    }
+
+    #[test]
+    fn pristine_state_encodes_as_plain_model() {
+        let (_, s) = live_state();
+        let enc = encode_live(&s);
+        assert_eq!(enc, persist::encode(s.model()));
+        let dec = decode_live(&enc).unwrap();
+        assert_eq!(dec.base_users(), s.base_users());
+        assert_eq!(dec.histories().len(), 0);
+    }
+
+    #[test]
+    fn roundtrip_with_live_section() {
+        let (d, mut s) = live_state();
+        let parent = {
+            let tax = s.model().taxonomy();
+            tax.parent(tax.item_node(ItemId(1))).unwrap()
+        };
+        s.apply(&UpdateEvent::AddItem { parent }).unwrap();
+        s.apply(&UpdateEvent::FoldInUser {
+            history: d.train.user(5).to_vec(),
+            steps: 60,
+            seed: 8,
+        })
+        .unwrap();
+        let enc = encode_live(&s);
+        // Plain decode still reads the model (trailing live section).
+        let plain = persist::decode(&enc).unwrap();
+        assert_eq!(plain.num_users(), s.model().num_users());
+        // Full decode restores base counts and histories.
+        let dec = decode_live(&enc).unwrap();
+        assert_eq!(dec.base_users(), s.base_users());
+        assert_eq!(dec.base_items(), s.base_items());
+        assert_eq!(dec.histories().len(), 1);
+        assert_eq!(
+            dec.folded_history(s.base_users()).unwrap(),
+            s.folded_history(s.base_users()).unwrap()
+        );
+        assert_eq!(dec.model().user_factors, s.model().user_factors);
+    }
+
+    #[test]
+    fn corrupt_live_sections_error_cleanly() {
+        let (d, mut s) = live_state();
+        s.apply(&UpdateEvent::FoldInUser {
+            history: d.train.user(2).to_vec(),
+            steps: 10,
+            seed: 1,
+        })
+        .unwrap();
+        let enc = encode_live(&s);
+        let model_len = persist::decode_prefix(&enc).unwrap().1;
+        // A cut exactly at the model boundary is a *valid plain model*
+        // (that is the compatibility story); anything inside the live
+        // section fails cleanly, never panics.
+        assert!(decode_live(&enc[..model_len]).is_ok());
+        assert_eq!(decode_live(&enc[..model_len]).unwrap().histories().len(), 0);
+        for cut in model_len + 1..enc.len() {
+            assert!(decode_live(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        // A flipped magic fails.
+        let mut bad = enc.clone();
+        bad[model_len] ^= 0xFF;
+        assert!(decode_live(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_parent_node() {
+        let (_, mut s) = live_state();
+        assert!(s
+            .apply(&UpdateEvent::AddItem {
+                parent: NodeId(u32::MAX)
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,354 @@
+//! The authoritative mutable live state and its deterministic event
+//! application — shared verbatim by the online applier thread and the
+//! offline `taxrec replay` path, which is what makes
+//! `snapshot + replay(log) ≡ live state` a theorem instead of a hope.
+
+use super::event::UpdateEvent;
+use super::LiveError;
+use crate::dynamic::fold_in_user;
+use crate::model::TfModel;
+use crate::scoring::Scorer;
+use std::sync::Arc;
+use taxrec_dataset::Transaction;
+use taxrec_taxonomy::{ItemId, NodeId};
+
+/// What one applied event produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// An `AddItem` event: the new item id and its taxonomy node.
+    ItemAdded {
+        /// Dense id of the new item.
+        item: ItemId,
+        /// The new leaf node carrying the item.
+        node: NodeId,
+    },
+    /// A `FoldInUser` event: the new user id.
+    UserFolded {
+        /// Row of the folded-in user in the grown user matrix.
+        user: usize,
+    },
+}
+
+/// The live model plus the side state serving needs: which users are
+/// folded-in (vs trained) and their histories.
+///
+/// Mutated only by one owner at a time (the applier thread online, the
+/// replay loop offline); readers see immutable [`super::LiveEngine`]
+/// snapshots derived from it.
+#[derive(Debug, Clone)]
+pub struct LiveState {
+    model: TfModel,
+    /// Histories of folded-in users, indexed by `user - base_users`.
+    /// `Arc` so snapshots share them by pointer.
+    histories: Vec<Arc<[Transaction]>>,
+    /// Users the model was trained with; ids at or above this are
+    /// folded-in live.
+    base_users: usize,
+    /// Items the model was trained with; ids at or above this were
+    /// added live.
+    base_items: usize,
+    events_applied: u64,
+}
+
+impl LiveState {
+    /// Wrap a freshly trained (or snapshot-decoded) model: every current
+    /// user/item counts as "base".
+    pub fn new(model: TfModel) -> LiveState {
+        let base_users = model.num_users();
+        let base_items = model.num_items();
+        LiveState {
+            model,
+            histories: Vec::new(),
+            base_users,
+            base_items,
+            events_applied: 0,
+        }
+    }
+
+    /// Reconstruct a state whose folded users are already present in
+    /// `model` (the snapshot-decode path). `histories.len()` must equal
+    /// `model.num_users() - base_users`.
+    pub(crate) fn from_parts(
+        model: TfModel,
+        base_users: usize,
+        base_items: usize,
+        histories: Vec<Arc<[Transaction]>>,
+    ) -> LiveState {
+        assert_eq!(
+            model.num_users(),
+            base_users + histories.len(),
+            "histories must cover exactly the folded users"
+        );
+        LiveState {
+            model,
+            histories,
+            base_users,
+            base_items,
+            events_applied: 0,
+        }
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &TfModel {
+        &self.model
+    }
+
+    /// Users the model was trained with (smaller ids are trained users).
+    pub fn base_users(&self) -> usize {
+        self.base_users
+    }
+
+    /// Items the model was trained with (larger ids were added live).
+    pub fn base_items(&self) -> usize {
+        self.base_items
+    }
+
+    /// Events applied to this state since construction.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// History of a folded-in user (`None` for trained users or
+    /// out-of-range ids).
+    pub fn folded_history(&self, user: usize) -> Option<&[Transaction]> {
+        user.checked_sub(self.base_users)
+            .and_then(|i| self.histories.get(i))
+            .map(|h| &**h)
+    }
+
+    /// Shared handles to all folded histories, in user-id order.
+    pub(crate) fn histories(&self) -> &[Arc<[Transaction]>] {
+        &self.histories
+    }
+
+    /// Check whether `ev` would apply cleanly, without mutating
+    /// anything. The applier validates *before* appending to the WAL so
+    /// a durably-logged event is always an applicable one; mirrors
+    /// exactly the failure cases of [`apply`](Self::apply).
+    pub fn validate(&self, ev: &UpdateEvent) -> Result<(), LiveError> {
+        match ev {
+            UpdateEvent::AddItem { parent } => {
+                let tax = self.model.taxonomy();
+                if parent.index() >= tax.num_nodes() {
+                    return Err(taxrec_taxonomy::TaxonomyError::UnknownNode(*parent).into());
+                }
+                if tax.is_leaf(*parent) && *parent != NodeId::ROOT {
+                    return Err(taxrec_taxonomy::TaxonomyError::FrozenNode(*parent).into());
+                }
+                Ok(())
+            }
+            UpdateEvent::FoldInUser { history, .. } => {
+                let n_items = self.model.num_items();
+                match history.iter().flatten().find(|i| i.index() >= n_items) {
+                    Some(bad) => Err(LiveError::UnknownItem(bad.0)),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Apply one event. Deterministic: the same event on the same state
+    /// always yields the bit-identical successor. On error the state is
+    /// unchanged.
+    pub fn apply(&mut self, ev: &UpdateEvent) -> Result<Applied, LiveError> {
+        let applied = match ev {
+            UpdateEvent::AddItem { parent } => {
+                let item = self.model.add_item_mut(*parent)?;
+                Applied::ItemAdded {
+                    item,
+                    node: self.model.taxonomy().item_node(item),
+                }
+            }
+            UpdateEvent::FoldInUser {
+                history,
+                steps,
+                seed,
+            } => {
+                let n_items = self.model.num_items();
+                if let Some(bad) = history.iter().flatten().find(|i| i.index() >= n_items) {
+                    return Err(LiveError::UnknownItem(bad.0));
+                }
+                // Fold against the *current* frozen factors. Building a
+                // scorer here is O(nodes × K) per fold-in; acceptable for
+                // the applier's batch cadence, and required for replay
+                // determinism (the factor depends on every item added
+                // before this event).
+                let factor = {
+                    let scorer = Scorer::new(&self.model);
+                    fold_in_user(&scorer, history, *steps, *seed)
+                };
+                let user = self.model.push_user(&factor);
+                self.histories.push(Arc::from(history.as_slice()));
+                Applied::UserFolded { user }
+            }
+        };
+        self.events_applied += 1;
+        Ok(applied)
+    }
+}
+
+/// Apply `events` in order (the recovery path: decode a snapshot, then
+/// `replay` its event log). Returns what each event produced.
+///
+/// Fails on the first invalid event, leaving `state` with every prior
+/// event applied — mirroring exactly what the online applier would have
+/// accepted.
+pub fn replay(state: &mut LiveState, events: &[UpdateEvent]) -> Result<Vec<Applied>, LiveError> {
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        out.push(state.apply(ev)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+    fn state() -> (SyntheticDataset, LiveState) {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(200), 17);
+        let m = crate::train::TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(8).with_epochs(2),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        let s = LiveState::new(m);
+        (d, s)
+    }
+
+    fn parent_of(s: &LiveState, item: u32) -> NodeId {
+        let tax = s.model().taxonomy();
+        tax.parent(tax.item_node(ItemId(item))).unwrap()
+    }
+
+    #[test]
+    fn add_item_grows_catalog() {
+        let (_, mut s) = state();
+        let before = s.model().num_items();
+        let parent = parent_of(&s, 0);
+        let got = s.apply(&UpdateEvent::AddItem { parent }).unwrap();
+        assert_eq!(s.model().num_items(), before + 1);
+        assert!(matches!(got, Applied::ItemAdded { item, .. } if item.index() == before));
+        assert_eq!(s.base_items(), before);
+        assert_eq!(s.events_applied(), 1);
+    }
+
+    #[test]
+    fn fold_in_grows_users_and_keeps_history() {
+        let (d, mut s) = state();
+        let before = s.model().num_users();
+        let history = d.train.user(3).to_vec();
+        let got = s
+            .apply(&UpdateEvent::FoldInUser {
+                history: history.clone(),
+                steps: 50,
+                seed: 5,
+            })
+            .unwrap();
+        assert_eq!(got, Applied::UserFolded { user: before });
+        assert_eq!(s.model().num_users(), before + 1);
+        assert_eq!(s.folded_history(before).unwrap(), history.as_slice());
+        assert!(s.folded_history(0).is_none());
+        assert!(s.folded_history(before + 1).is_none());
+    }
+
+    #[test]
+    fn validate_mirrors_apply_exactly() {
+        let (d, s) = state();
+        let good = [
+            UpdateEvent::AddItem {
+                parent: parent_of(&s, 0),
+            },
+            UpdateEvent::FoldInUser {
+                history: d.train.user(1).to_vec(),
+                steps: 10,
+                seed: 0,
+            },
+        ];
+        let bad = [
+            UpdateEvent::AddItem {
+                parent: s.model().taxonomy().item_node(ItemId(0)),
+            },
+            UpdateEvent::AddItem {
+                parent: NodeId(u32::MAX),
+            },
+            UpdateEvent::FoldInUser {
+                history: vec![vec![ItemId(u32::MAX)]],
+                steps: 10,
+                seed: 0,
+            },
+        ];
+        for ev in good.iter().chain(&bad) {
+            let verdict = s.validate(ev);
+            let outcome = s.clone().apply(ev).map(|_| ());
+            assert_eq!(verdict, outcome, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn errors_leave_state_unchanged() {
+        let (_, mut s) = state();
+        let snapshot = s.clone();
+        let leaf = s.model().taxonomy().item_node(ItemId(0));
+        assert!(s.apply(&UpdateEvent::AddItem { parent: leaf }).is_err());
+        let bad = UpdateEvent::FoldInUser {
+            history: vec![vec![ItemId(9_999_999)]],
+            steps: 10,
+            seed: 1,
+        };
+        assert_eq!(s.apply(&bad), Err(LiveError::UnknownItem(9_999_999)));
+        assert_eq!(s.model().num_items(), snapshot.model().num_items());
+        assert_eq!(s.model().num_users(), snapshot.model().num_users());
+        assert_eq!(s.events_applied(), 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let (d, s0) = state();
+        let parent = parent_of(&s0, 4);
+        let events = vec![
+            UpdateEvent::AddItem { parent },
+            UpdateEvent::FoldInUser {
+                history: d.train.user(7).to_vec(),
+                steps: 120,
+                seed: 99,
+            },
+            UpdateEvent::AddItem { parent },
+        ];
+        let mut a = s0.clone();
+        let mut b = s0.clone();
+        replay(&mut a, &events).unwrap();
+        replay(&mut b, &events).unwrap();
+        assert_eq!(a.model().user_factors, b.model().user_factors);
+        assert_eq!(a.model().node_factors, b.model().node_factors);
+        assert_eq!(a.model().next_factors, b.model().next_factors);
+    }
+
+    #[test]
+    fn fold_in_after_add_item_sees_grown_catalog() {
+        // The folded factor depends on the catalog size at application
+        // time (negative sampling) — the reason replay must preserve
+        // event order.
+        let (d, s0) = state();
+        let parent = parent_of(&s0, 4);
+        let fold = UpdateEvent::FoldInUser {
+            history: d.train.user(2).to_vec(),
+            steps: 200,
+            seed: 3,
+        };
+        let mut with_add = s0.clone();
+        with_add.apply(&UpdateEvent::AddItem { parent }).unwrap();
+        with_add.apply(&fold).unwrap();
+        let mut without_add = s0.clone();
+        without_add.apply(&fold).unwrap();
+        let u1 = with_add.model().num_users() - 1;
+        let u2 = without_add.model().num_users() - 1;
+        assert_ne!(
+            with_add.model().user_factor(u1),
+            without_add.model().user_factor(u2),
+            "catalog growth must influence later fold-ins"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Counters the applier maintains and `GET /live/stats` serves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free counters describing the live subsystem's activity.
+/// All counters are monotone; read them individually or grab a
+/// coherent-enough [`snapshot`](LiveStats::snapshot) for reporting.
+#[derive(Debug, Default)]
+pub struct LiveStats {
+    enqueued: AtomicU64,
+    applied: AtomicU64,
+    rejected: AtomicU64,
+    items_added: AtomicU64,
+    users_folded: AtomicU64,
+    publishes: AtomicU64,
+    snapshots_written: AtomicU64,
+    log_bytes: AtomicU64,
+    log_errors: AtomicU64,
+}
+
+/// A plain-data copy of every counter at one read point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveStatsSnapshot {
+    /// Events accepted into the queue.
+    pub enqueued: u64,
+    /// Events applied to the model.
+    pub applied: u64,
+    /// Events rejected (invalid parent, unknown item, …).
+    pub rejected: u64,
+    /// `AddItem` events applied.
+    pub items_added: u64,
+    /// `FoldInUser` events applied.
+    pub users_folded: u64,
+    /// Snapshot publishes (equals the current epoch).
+    pub publishes: u64,
+    /// `.tfm` snapshots written by the applier.
+    pub snapshots_written: u64,
+    /// Bytes appended to the event log.
+    pub log_bytes: u64,
+    /// Event-log write failures (durability is then degraded; the
+    /// in-memory state is still correct).
+    pub log_errors: u64,
+}
+
+impl LiveStats {
+    pub(crate) fn inc_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_applied(&self) {
+        self.applied.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_items_added(&self) {
+        self.items_added.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_users_folded(&self) {
+        self.users_folded.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_publishes(&self) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_snapshots(&self) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_log_bytes(&self, n: u64) {
+        self.log_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_log_errors(&self) {
+        self.log_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events enqueued but not yet applied or rejected (approximate —
+    /// the counters are read independently).
+    pub fn pending(&self) -> u64 {
+        let done = self.applied.load(Ordering::Relaxed) + self.rejected.load(Ordering::Relaxed);
+        self.enqueued.load(Ordering::Relaxed).saturating_sub(done)
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> LiveStatsSnapshot {
+        LiveStatsSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            applied: self.applied.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            items_added: self.items_added.load(Ordering::Relaxed),
+            users_folded: self.users_folded.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            log_bytes: self.log_bytes.load(Ordering::Relaxed),
+            log_errors: self.log_errors.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! magic   u32 = 0x5446_4d31 ("TFM1")
+//! version u8  = 2
 //! config  length-prefixed JSON-free K/V block (serde-free: fixed fields)
 //! taxonomy: length-prefixed taxrec-taxonomy binary encoding
 //! 3 × matrix: rows u64, k u64, then rows·k f32
@@ -14,6 +15,14 @@
 //! against a different tree, and shipping both in one artifact removes
 //! the classic "factor matrix paired with the wrong catalog snapshot"
 //! failure mode.
+//!
+//! **Trailing bytes are tolerated** (format rule since version 2):
+//! [`decode`] stops after the last matrix and ignores anything after it.
+//! This is what lets richer artifacts *extend* the format by appending
+//! sections — the live-serving snapshot ([`crate::live::snapshot`])
+//! appends folded-user histories after the model, and a plain `decode`
+//! of such a file still yields the model. [`decode_prefix`] additionally
+//! reports where the model ended so extenders can pick up from there.
 
 use crate::config::ModelConfig;
 use crate::model::TfModel;
@@ -23,6 +32,9 @@ use taxrec_factors::FactorMatrix;
 use taxrec_taxonomy::{serialize as tax_ser, PathTable};
 
 const MAGIC: u32 = 0x5446_4d31;
+/// Current format version. Version 1 (no version byte) was never
+/// shipped in a release; decoders accept version 2 only.
+const VERSION: u8 = 2;
 
 /// Errors from decoding a persisted model.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +62,7 @@ pub fn encode(model: &TfModel) -> Vec<u8> {
         16 + (model.user_factors.rows() + 2 * model.node_factors.rows()) * model.k() * 4,
     );
     put_u32(&mut out, MAGIC);
+    out.push(VERSION);
     encode_config(&mut out, model.config());
     let tax = tax_ser::encode(model.taxonomy());
     put_u64(&mut out, tax.len() as u64);
@@ -64,14 +77,29 @@ pub fn encode(model: &TfModel) -> Vec<u8> {
     out
 }
 
-/// Decode a model produced by [`encode`].
+/// Decode a model produced by [`encode`], ignoring any trailing bytes.
 pub fn decode(buf: &[u8]) -> Result<TfModel, PersistError> {
+    decode_prefix(buf).map(|(model, _)| model)
+}
+
+/// [`decode`], additionally returning the offset one past the model's
+/// last byte — the start of any appended extension section.
+pub fn decode_prefix(buf: &[u8]) -> Result<(TfModel, usize), PersistError> {
     let mut pos = 0usize;
     let magic = get_u32(buf, &mut pos)?;
     if magic != MAGIC {
         return Err(PersistError::Corrupt(format!(
             "bad magic 0x{magic:08x}, expected 0x{MAGIC:08x}"
         )));
+    }
+    match buf.get(pos) {
+        Some(&VERSION) => pos += 1,
+        Some(&v) => {
+            return Err(PersistError::Corrupt(format!(
+                "unsupported format version {v}, expected {VERSION}"
+            )))
+        }
+        None => return Err(PersistError::Corrupt("missing version byte".into())),
     }
     let config = decode_config(buf, &mut pos)?;
     config
@@ -88,12 +116,8 @@ pub fn decode(buf: &[u8]) -> Result<TfModel, PersistError> {
     let user_factors = decode_matrix(buf, &mut pos)?;
     let node_factors = decode_matrix(buf, &mut pos)?;
     let next_factors = decode_matrix(buf, &mut pos)?;
-    if pos != buf.len() {
-        return Err(PersistError::Corrupt(format!(
-            "{} trailing bytes",
-            buf.len() - pos
-        )));
-    }
+    // Trailing bytes are deliberately tolerated: extension sections
+    // (e.g. the live snapshot's folded-user histories) live there.
     for (name, m) in [("node", &node_factors), ("next", &next_factors)] {
         if m.rows() != taxonomy.num_nodes() {
             return Err(PersistError::Corrupt(format!(
@@ -119,15 +143,18 @@ pub fn decode(buf: &[u8]) -> Result<TfModel, PersistError> {
     let taxonomy = Arc::new(taxonomy);
     let paths = PathTable::build(&taxonomy, config.taxonomy_update_levels);
     let cutoff_level = crate::model::cutoff_for(&taxonomy, config.taxonomy_update_levels);
-    Ok(TfModel {
-        taxonomy,
-        config,
-        user_factors,
-        node_factors,
-        next_factors,
-        paths,
-        cutoff_level,
-    })
+    Ok((
+        TfModel {
+            taxonomy,
+            config,
+            user_factors,
+            node_factors,
+            next_factors,
+            paths,
+            cutoff_level,
+        },
+        pos,
+    ))
 }
 
 fn encode_config(out: &mut Vec<u8>, c: &ModelConfig) {
@@ -217,8 +244,9 @@ fn decode_matrix(buf: &[u8], pos: &mut usize) -> Result<FactorMatrix, PersistErr
     Ok(m)
 }
 
-/// Minimal byte-cursor helpers (kept local: the on-disk format is ours).
-mod bytes_shim {
+/// Minimal byte-cursor helpers (the on-disk formats are ours; shared
+/// with the live event-log codec in [`crate::live`]).
+pub(crate) mod bytes_shim {
     use super::PersistError;
 
     pub fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -320,11 +348,29 @@ mod tests {
     }
 
     #[test]
-    fn rejects_trailing_bytes() {
+    fn tolerates_trailing_bytes() {
+        // Format rule since v2: extension sections may follow the model.
         let (_, m) = trained();
         let mut enc = encode(&m);
-        enc.push(0);
-        assert!(decode(&enc).is_err());
+        let (_, end) = decode_prefix(&enc).unwrap();
+        assert_eq!(end, enc.len());
+        enc.extend_from_slice(b"extension section");
+        let dec = decode(&enc).expect("trailing bytes are not an error");
+        assert_eq!(m.user_factors, dec.user_factors);
+        let (_, end2) = decode_prefix(&enc).unwrap();
+        assert_eq!(end2, end, "prefix end must not move with trailing data");
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let (_, m) = trained();
+        let mut enc = encode(&m);
+        enc[4] = 99; // version byte follows the 4-byte magic
+        let err = decode(&enc).unwrap_err();
+        assert!(
+            err.to_string().contains("version"),
+            "want version error, got: {err}"
+        );
     }
 
     #[test]

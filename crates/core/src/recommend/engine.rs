@@ -11,8 +11,9 @@ use super::topk::{score_block_into, TopK, SCORE_BLOCK};
 use crate::inference::{cascade, CascadeConfig};
 use crate::model::TfModel;
 use crate::scoring::Scorer;
+use std::ops::Deref;
 use taxrec_dataset::Transaction;
-use taxrec_factors::FactorMatrix;
+use taxrec_factors::GrowMatrix;
 use taxrec_taxonomy::ItemId;
 
 /// Which inference path serves a batch.
@@ -104,29 +105,68 @@ impl Scratch {
 /// assert_eq!(results.len(), 8);
 /// assert!(results.iter().all(|r| r.len() == 5));
 /// ```
+///
+/// `M` is the model holder: `&TfModel` for the borrowed offline shape,
+/// `Arc<TfModel>` for owned snapshots published by [`crate::live`]. The
+/// dense item matrix is a [`GrowMatrix`], so the successor engine after
+/// a catalog change ([`RecommendEngine::grown_from`]) appends the new
+/// items' rows instead of recopying the whole scan matrix.
 #[derive(Debug)]
-pub struct RecommendEngine<'m> {
-    scorer: Scorer<'m>,
+pub struct RecommendEngine<M: Deref<Target = TfModel>> {
+    scorer: Scorer<M>,
     /// Dense effective item factors, row `i` = item `i`.
-    items: FactorMatrix,
+    items: GrowMatrix,
     backend: Backend,
 }
 
-impl<'m> RecommendEngine<'m> {
+use crate::scoring::COMPACT_TAIL_FRACTION;
+
+impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
     /// Engine over the exhaustive backend.
-    pub fn new(model: &'m TfModel) -> RecommendEngine<'m> {
+    pub fn new(model: M) -> RecommendEngine<M> {
         Self::with_backend(model, Backend::Exhaustive)
     }
 
     /// Engine over an explicit backend.
-    pub fn with_backend(model: &'m TfModel, backend: Backend) -> RecommendEngine<'m> {
+    pub fn with_backend(model: M, backend: Backend) -> RecommendEngine<M> {
         let scorer = Scorer::new(model);
+        let model = scorer.model();
         let k = model.k();
-        let mut items = FactorMatrix::zeros(model.num_items(), k);
+        let mut items = taxrec_factors::FactorMatrix::zeros(model.num_items(), k);
         for i in 0..model.num_items() {
             items
                 .row_mut(i)
                 .copy_from_slice(scorer.item_factor(ItemId(i as u32)));
+        }
+        RecommendEngine {
+            items: GrowMatrix::from_owned(items),
+            scorer,
+            backend,
+        }
+    }
+
+    /// Build the successor engine for a model that extends `prev`'s
+    /// catalog (same contract as [`Scorer::grown_from`]): the scan
+    /// matrix and effective-factor tables are shared with `prev` and
+    /// only rows for the appended items/nodes are computed — publish
+    /// cost is `O(change)`, not `O(catalog)`.
+    ///
+    /// Once the appended tail outgrows a quarter of the shared base the
+    /// matrix is compacted back into one contiguous segment, so a
+    /// long-lived update stream cannot degrade the blocked scan.
+    pub fn grown_from<P: Deref<Target = TfModel>>(
+        prev: &RecommendEngine<P>,
+        model: M,
+        backend: Backend,
+    ) -> RecommendEngine<M> {
+        let prev_items = prev.model().num_items();
+        let scorer = Scorer::grown_from(&prev.scorer, model);
+        let mut items = prev.items.clone();
+        for i in prev_items..scorer.model().num_items() {
+            items.push_row(scorer.item_factor(ItemId(i as u32)));
+        }
+        if items.tail_rows() * COMPACT_TAIL_FRACTION > items.base_rows() {
+            items.compact();
         }
         RecommendEngine {
             scorer,
@@ -141,13 +181,33 @@ impl<'m> RecommendEngine<'m> {
     }
 
     /// The underlying scorer (query building, category ranking).
-    pub fn scorer(&self) -> &Scorer<'m> {
+    pub fn scorer(&self) -> &Scorer<M> {
         &self.scorer
     }
 
     /// The active backend.
     pub fn backend(&self) -> &Backend {
         &self.backend
+    }
+
+    /// Rows in the dense scan matrix (always `model().num_items()`; the
+    /// live subsystem's consistency checks assert the two never diverge
+    /// across an epoch swap).
+    pub fn catalog_len(&self) -> usize {
+        self.items.rows()
+    }
+
+    /// `(base, tail)` segmentation of the dense item matrix — how many
+    /// rows are shared with the ancestor engine vs appended since.
+    pub fn catalog_segments(&self) -> (usize, usize) {
+        (self.items.base_rows(), self.items.tail_rows())
+    }
+
+    /// The dense effective factor row the exhaustive scan uses for
+    /// `item`. Exposed so consistency checks can verify it against
+    /// [`Scorer::item_factor`] on a live snapshot.
+    pub fn dense_item_factor(&self, item: ItemId) -> &[f32] {
+        self.items.row(item.index())
     }
 
     /// Serve one request. Equivalent to a 1-element
@@ -179,7 +239,10 @@ impl<'m> RecommendEngine<'m> {
         &self,
         requests: &[RecommendRequest<'_>],
         threads: usize,
-    ) -> Vec<Vec<(ItemId, f32)>> {
+    ) -> Vec<Vec<(ItemId, f32)>>
+    where
+        M: Sync,
+    {
         self.recommend_batch_with(requests, threads, &self.backend)
     }
 
@@ -190,7 +253,10 @@ impl<'m> RecommendEngine<'m> {
         requests: &[RecommendRequest<'_>],
         threads: usize,
         backend: &Backend,
-    ) -> Vec<Vec<(ItemId, f32)>> {
+    ) -> Vec<Vec<(ItemId, f32)>>
+    where
+        M: Sync,
+    {
         let costs: Vec<u64> = requests.iter().map(|r| self.cost(r, backend)).collect();
         let shards = batch::plan(&costs, threads.max(1).min(requests.len().max(1)));
 
@@ -288,27 +354,33 @@ impl<'m> RecommendEngine<'m> {
         // reservation (the HTTP layer passes `top=` through unchecked).
         let k = req.k.min(n);
         scratch.topk.reset(k);
-        let flat = self.items.as_slice();
-        let mut first = 0usize;
-        while first < n {
-            let len = SCORE_BLOCK.min(n - first);
-            let rows = &flat[first * k_factors..(first + len) * k_factors];
-            let scores = &mut scratch.block[..len];
-            score_block_into(&scratch.query, rows, scores);
-            let threshold = scratch.topk.threshold();
-            for (off, &s) in scores.iter().enumerate() {
-                // Fast reject: full heaps only admit strictly better
-                // scores, and the threshold only rises within a block.
-                if s <= threshold && scratch.topk.len() >= k {
-                    continue;
+        // The matrix is one contiguous segment offline; after live
+        // catalog growth it is base + a small appended tail, each
+        // scanned with the same blocked kernel.
+        for (seg_start, seg) in self.items.segments() {
+            let seg_rows = seg.rows();
+            let flat = seg.as_slice();
+            let mut first = 0usize;
+            while first < seg_rows {
+                let len = SCORE_BLOCK.min(seg_rows - first);
+                let rows = &flat[first * k_factors..(first + len) * k_factors];
+                let scores = &mut scratch.block[..len];
+                score_block_into(&scratch.query, rows, scores);
+                let threshold = scratch.topk.threshold();
+                for (off, &s) in scores.iter().enumerate() {
+                    // Fast reject: full heaps only admit strictly better
+                    // scores, and the threshold only rises within a block.
+                    if s <= threshold && scratch.topk.len() >= k {
+                        continue;
+                    }
+                    let item = ItemId((seg_start + first + off) as u32);
+                    if req.exclude.binary_search(&item).is_ok() {
+                        continue;
+                    }
+                    scratch.topk.offer(item, s);
                 }
-                let item = ItemId((first + off) as u32);
-                if req.exclude.binary_search(&item).is_ok() {
-                    continue;
-                }
-                scratch.topk.offer(item, s);
+                first += len;
             }
-            first += len;
         }
         scratch.topk.drain_sorted_into(out);
     }

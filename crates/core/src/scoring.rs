@@ -5,37 +5,129 @@
 //! any number of `(user, history)` queries with one dot product per
 //! candidate. Build one per trained model and reuse it — evaluation and
 //! the figure benches score millions of (user, item) pairs.
+//!
+//! The scorer is generic over *how it holds the model*: `Scorer<&TfModel>`
+//! borrows (the offline evaluation/bench shape), while
+//! `Scorer<Arc<TfModel>>` owns a shared handle — the shape the live
+//! serving subsystem ([`crate::live`]) publishes through its
+//! epoch-swapped snapshots. The effective-factor tables are stored as
+//! [`GrowMatrix`]es so a successor scorer over a grown catalog can be
+//! derived row-by-row via [`Scorer::grown_from`] instead of re-running
+//! the full forward pass.
 
 use crate::model::TfModel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::ops::Deref;
 use taxrec_dataset::Transaction;
-use taxrec_factors::{ops, FactorMatrix};
+use taxrec_factors::{ops, GrowMatrix};
 use taxrec_taxonomy::{ItemId, NodeId};
 
+/// Tail fraction (vs base) past which a grown matrix is folded back
+/// into one contiguous segment — shared by [`Scorer::grown_from`] and
+/// the recommend engine's dense item matrix.
+pub(crate) const COMPACT_TAIL_FRACTION: usize = 4; // tail > base/4 → compact
+
 /// Precomputed effective factors for fast scoring.
+///
+/// `M` is the model holder: `&TfModel` for borrowed (offline) use,
+/// `Arc<TfModel>` for owned serving snapshots.
 #[derive(Debug)]
-pub struct Scorer<'m> {
-    model: &'m TfModel,
+pub struct Scorer<M: Deref<Target = TfModel>> {
+    model: M,
     /// Effective long-term factor per node.
-    eff_nodes: FactorMatrix,
+    eff_nodes: GrowMatrix,
     /// Effective next-item factor per node.
-    eff_next: FactorMatrix,
+    eff_next: GrowMatrix,
 }
 
-impl<'m> Scorer<'m> {
+impl<M: Deref<Target = TfModel>> Scorer<M> {
     /// Materialise effective factors for `model`.
-    pub fn new(model: &'m TfModel) -> Scorer<'m> {
+    pub fn new(model: M) -> Scorer<M> {
+        let eff_nodes = GrowMatrix::from_owned(model.effective_all_nodes(&model.node_factors));
+        let eff_next = GrowMatrix::from_owned(model.effective_all_nodes(&model.next_factors));
         Scorer {
             model,
-            eff_nodes: model.effective_all_nodes(&model.node_factors),
-            eff_next: model.effective_all_nodes(&model.next_factors),
+            eff_nodes,
+            eff_next,
+        }
+    }
+
+    /// Derive the scorer for a model that *extends* `prev`'s: same
+    /// config and cutoff, same offsets and levels for every node `prev`
+    /// already knew, plus zero or more appended nodes (the
+    /// [`TfModel::with_added_item`] / [`crate::live`] evolution). Only
+    /// the appended nodes' effective rows are computed — `O(new × K)`
+    /// instead of the full `O(nodes × K)` forward pass; existing rows
+    /// are shared with `prev` by pointer.
+    ///
+    /// The caller guarantees the prefix property; it is cheap to uphold
+    /// (every mutation in [`crate::dynamic`] and [`crate::live`] does)
+    /// but only spot-checked here via `debug_assert`.
+    ///
+    /// # Panics
+    /// If `K`, the cutoff level, or the user count shrank — symptoms of
+    /// a model that is not a descendant of `prev`'s.
+    pub fn grown_from<P: Deref<Target = TfModel>>(prev: &Scorer<P>, model: M) -> Scorer<M> {
+        let old = prev.model();
+        assert_eq!(old.k(), model.k(), "factor dim changed");
+        assert_eq!(
+            old.cutoff_level(),
+            model.cutoff_level(),
+            "cutoff level changed"
+        );
+        assert!(
+            model.taxonomy().num_nodes() >= old.taxonomy().num_nodes(),
+            "node arena shrank"
+        );
+        debug_assert!(
+            (0..old.taxonomy().num_nodes().min(8)).all(|i| {
+                model.node_factors.row(i) == old.node_factors.row(i)
+                    && model.taxonomy().parent(NodeId(i as u32))
+                        == old.taxonomy().parent(NodeId(i as u32))
+            }),
+            "existing nodes changed: model does not extend prev"
+        );
+        let mut eff_nodes = prev.eff_nodes.clone();
+        let mut eff_next = prev.eff_next.clone();
+        let k = model.k();
+        let mut buf = vec![0.0f32; k];
+        for idx in old.taxonomy().num_nodes()..model.taxonomy().num_nodes() {
+            let node = NodeId(idx as u32);
+            let parent = model
+                .taxonomy()
+                .parent(node)
+                .expect("appended node is not the root");
+            let include_self = model.taxonomy().level(node) >= model.cutoff_level();
+            for (eff, offsets) in [
+                (&mut eff_nodes, &model.node_factors),
+                (&mut eff_next, &model.next_factors),
+            ] {
+                buf.copy_from_slice(eff.row(parent.index()));
+                if include_self {
+                    ops::add_assign(offsets.row(idx), &mut buf);
+                }
+                eff.push_row(&buf);
+            }
+        }
+        // A long-lived update stream must not degrade publishes to
+        // O(total added): once the appended tail outgrows a quarter of
+        // the shared base, fold it back into one segment.
+        for eff in [&mut eff_nodes, &mut eff_next] {
+            if eff.tail_rows() * COMPACT_TAIL_FRACTION > eff.base_rows() {
+                eff.compact();
+            }
+        }
+        Scorer {
+            model,
+            eff_nodes,
+            eff_next,
         }
     }
 
     /// The model being scored.
     pub fn model(&self) -> &TfModel {
-        self.model
+        &self.model
     }
 
     /// Effective long-term factor of a node.
@@ -58,7 +150,7 @@ impl<'m> Scorer<'m> {
     /// Build the query vector `q = v_u + Σ_n (α_n/|B_{t−n}|) Σ_ℓ v→_ℓ`
     /// using the materialised next-item factors.
     pub fn query_into(&self, user: usize, history: &[Transaction], out: &mut [f32]) {
-        let model = self.model;
+        let model = self.model();
         out.copy_from_slice(model.user_factor(user));
         if model.config().max_prev_transactions == 0 {
             return;

@@ -280,7 +280,10 @@ pub fn tsne_2d(m: &FactorMatrix, config: &TsneConfig) -> Vec<[f32; 2]> {
 /// a random other node at the same level. Returns
 /// `mean(d_parent) / mean(d_random)`; `< 1` means children hug their own
 /// ancestors (taxonomy structure is visible in factor space).
-pub fn ancestor_distance_ratio(scorer: &Scorer<'_>, seed: u64) -> Option<f64> {
+pub fn ancestor_distance_ratio<M: std::ops::Deref<Target = crate::model::TfModel>>(
+    scorer: &Scorer<M>,
+    seed: u64,
+) -> Option<f64> {
     let tax = scorer.model().taxonomy();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut d_parent = 0.0f64;

@@ -1,0 +1,303 @@
+//! Property tests for the live-model subsystem (ISSUE 2 acceptance):
+//!
+//! * for any generated update stream, `snapshot + replay(event log)`
+//!   yields a model whose top-K for every user equals the live
+//!   [`ModelCell`] state;
+//! * concurrent readers during a swap only ever observe a
+//!   fully-consistent engine (old or new, never a mix);
+//! * the event-log codec never panics on arbitrary bytes and recovers
+//!   cleanly from truncation.
+
+// The vendored proptest! macro is recursive over the body; the
+// acceptance property is long enough to need more headroom.
+#![recursion_limit = "2048"]
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use taxrec_core::live::{
+    decode_log, decode_log_lossy, encode_event, encode_log_header, replay,
+    snapshot::{decode_live, encode_live},
+    LiveConfig, LiveHandle, LiveState, LogHeader, UpdateEvent,
+};
+use taxrec_core::{ModelConfig, RecommendEngine, RecommendRequest, TfModel, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset, Transaction};
+use taxrec_taxonomy::{ItemId, NodeId};
+
+struct Fixture {
+    data: SyntheticDataset,
+    model: TfModel,
+    /// Interior nodes that can parent a new item.
+    interior: Vec<NodeId>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(120), 7);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(6).with_epochs(1),
+            &data.taxonomy,
+        )
+        .fit(&data.train, 1);
+        let tax = model.taxonomy();
+        let interior: Vec<NodeId> = tax
+            .node_ids()
+            .filter(|&n| tax.node_item(n).is_none() && tax.level(n) > 0)
+            .collect();
+        assert!(!interior.is_empty());
+        Fixture {
+            data,
+            model,
+            interior,
+        }
+    })
+}
+
+/// Deterministically expand an abstract `(kind, salt)` spec into a
+/// valid event against the fixture.
+fn make_event(fix: &Fixture, kind: u8, salt: u16) -> UpdateEvent {
+    if kind == 0 {
+        UpdateEvent::AddItem {
+            parent: fix.interior[salt as usize % fix.interior.len()],
+        }
+    } else {
+        let user = salt as usize % fix.data.train.num_users();
+        let hist = fix.data.train.user(user);
+        let keep = 1 + (salt as usize % hist.len().max(1));
+        let history: Vec<Transaction> = hist.iter().take(keep).cloned().collect();
+        UpdateEvent::FoldInUser {
+            history,
+            steps: 20 + (salt as usize % 60),
+            seed: salt as u64,
+        }
+    }
+}
+
+fn top_k_all_users(
+    engine: &RecommendEngine<impl std::ops::Deref<Target = TfModel>>,
+    users: usize,
+    k: usize,
+) -> Vec<Vec<(ItemId, f32)>> {
+    (0..users)
+        .map(|u| engine.recommend(&RecommendRequest::simple(u, k)))
+        .collect()
+}
+
+/// The acceptance property: run a stream through the real applier
+/// thread (queue, WAL, epoch swaps), then recover from a snapshot taken
+/// at an arbitrary point plus the on-disk log tail — the recovered
+/// model must match the live cell bit-for-bit and in every user's
+/// top-K. (Body lives outside `proptest!` — the vendored macro
+/// tt-munches its input and long bodies overflow the recursion limit.)
+fn check_snapshot_plus_replay(spec: &[(u8, u16)], cut_salt: u16) {
+    let fix = fixture();
+    let events: Vec<UpdateEvent> = spec.iter().map(|&(k, s)| make_event(fix, k, s)).collect();
+
+    let dir = std::env::temp_dir().join(format!(
+        "taxrec-proptest-live-{}-{cut_salt}-{}",
+        std::process::id(),
+        spec.len()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("events.log");
+
+    // Live path: the real queue + applier + WAL.
+    let state0 = LiveState::new(fix.model.clone());
+    let handle = LiveHandle::spawn(
+        state0.clone(),
+        LiveConfig {
+            log_path: Some(log_path.clone()),
+            ..LiveConfig::default()
+        },
+    )
+    .unwrap();
+    for ev in &events {
+        handle.submit(ev.clone()).unwrap();
+    }
+    handle.flush().unwrap();
+    let live = handle.cell().load();
+    assert!(live.verify_consistent());
+    drop(handle);
+
+    // The WAL must contain exactly the submitted stream, stamped with
+    // the base state's lineage.
+    let (header, logged) = decode_log(&std::fs::read(&log_path).unwrap()).unwrap();
+    assert_eq!(header.base_users as usize, fix.model.num_users());
+    assert_eq!(header.base_items as usize, fix.model.num_items());
+    assert_eq!(&logged, &events);
+
+    // Snapshot at an arbitrary point, replay the log tail.
+    let cut = cut_salt as usize % (events.len() + 1);
+    let mut at_cut = state0;
+    replay(&mut at_cut, &events[..cut]).unwrap();
+    let mut recovered = decode_live(&encode_live(&at_cut)).unwrap();
+    replay(&mut recovered, &logged[cut..]).unwrap();
+
+    // Bit-identical parameters: the canonical encoding covers the
+    // config, the taxonomy and all three factor matrices.
+    assert_eq!(
+        taxrec_core::persist::encode(recovered.model()),
+        taxrec_core::persist::encode(live.model())
+    );
+    // …and identical serving behaviour: top-K for EVERY user
+    // (trained and folded) matches the live engine's.
+    let rec_engine = RecommendEngine::new(recovered.model());
+    let users = live.model().num_users();
+    assert_eq!(
+        top_k_all_users(&rec_engine, users, 10),
+        top_k_all_users(live.engine(), users, 10)
+    );
+    // Folded histories survive the round trip.
+    for u in recovered.base_users()..users {
+        assert_eq!(
+            recovered.folded_history(u).unwrap(),
+            live.folded_history(u).unwrap()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn snapshot_plus_replay_equals_live(
+        spec in proptest::collection::vec((0u8..2, any::<u16>()), 1..10),
+        cut_salt in any::<u16>(),
+    ) {
+        check_snapshot_plus_replay(&spec, cut_salt);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn event_codec_roundtrip(spec in proptest::collection::vec((0u8..2, any::<u16>()), 0..20)) {
+        let fix = fixture();
+        let events: Vec<UpdateEvent> =
+            spec.iter().map(|&(k, s)| make_event(fix, k, s)).collect();
+        let mut buf = Vec::new();
+        let hdr = LogHeader {
+            base_users: fix.model.num_users() as u64,
+            base_items: fix.model.num_items() as u64,
+        };
+        encode_log_header(&mut buf, &hdr);
+        for ev in &events {
+            encode_event(&mut buf, ev);
+        }
+        prop_assert_eq!(decode_log(&buf).unwrap(), (hdr, events.clone()));
+        let (lossy_hdr, lossy, ignored) = decode_log_lossy(&buf).unwrap();
+        prop_assert_eq!(lossy_hdr, hdr);
+        prop_assert_eq!(lossy, events);
+        prop_assert_eq!(ignored, 0);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn log_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // The event-log decoder meets the same bar as persist::decode:
+        // arbitrary bytes return Ok or Err, never panic or hang.
+        let _ = decode_log(&bytes);
+        let _ = decode_log_lossy(&bytes);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn log_truncation_strict_fails_lossy_recovers(
+        spec in proptest::collection::vec((0u8..2, any::<u16>()), 1..8),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let fix = fixture();
+        let events: Vec<UpdateEvent> =
+            spec.iter().map(|&(k, s)| make_event(fix, k, s)).collect();
+        let mut buf = Vec::new();
+        let hdr = LogHeader {
+            base_users: fix.model.num_users() as u64,
+            base_items: fix.model.num_items() as u64,
+        };
+        encode_log_header(&mut buf, &hdr);
+        let mut boundaries = vec![buf.len()];
+        for ev in &events {
+            encode_event(&mut buf, ev);
+            boundaries.push(buf.len());
+        }
+        let cut = ((buf.len() as u64 * cut_ppm as u64) / 1_000_000) as usize;
+        if cut < buf.len() {
+            if boundaries.contains(&cut) {
+                // Clean record boundary: a shorter but valid log.
+                prop_assert!(decode_log(&buf[..cut]).is_ok());
+            } else if cut >= taxrec_core::live::LOG_HEADER_LEN {
+                // Mid-record: strict decode must fail…
+                prop_assert!(decode_log(&buf[..cut]).is_err());
+                // …and lossy decode recovers exactly the whole records.
+                let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+                let (_, recovered, ignored) = decode_log_lossy(&buf[..cut]).unwrap();
+                prop_assert_eq!(recovered, events[..whole].to_vec());
+                prop_assert!(ignored > 0);
+            }
+        }
+    }
+}
+
+/// Readers hammering `load()` during a stream of swaps must only ever
+/// observe fully-consistent snapshots, with monotone epochs.
+#[test]
+fn concurrent_readers_never_observe_a_mix() {
+    let fix = fixture();
+    let handle =
+        LiveHandle::spawn(LiveState::new(fix.model.clone()), LiveConfig::default()).expect("spawn");
+    let cell = Arc::clone(handle.cell());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut loads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = cell.load();
+                    assert!(
+                        snap.verify_consistent(),
+                        "reader {r} observed an inconsistent snapshot at epoch {}",
+                        snap.epoch()
+                    );
+                    assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                    last_epoch = snap.epoch();
+                    // Exercise the engine, not just the metadata.
+                    let recs = snap
+                        .engine()
+                        .recommend(&RecommendRequest::simple(loads as usize % 50, 5));
+                    assert_eq!(recs.len(), 5);
+                    loads += 1;
+                }
+                loads
+            })
+        })
+        .collect();
+
+    for i in 0..40u16 {
+        let ev = make_event(fix, (i % 2) as u8, i.wrapping_mul(37));
+        handle.submit(ev).expect("valid event");
+    }
+    let final_epoch = handle.cell().epoch();
+    assert!(final_epoch >= 1, "updates must have published");
+    stop.store(true, Ordering::Relaxed);
+    let total_loads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total_loads > 0);
+    let snap = handle.cell().load();
+    assert_eq!(snap.model().num_items(), fix.model.num_items() + 20);
+    assert_eq!(snap.model().num_users(), fix.model.num_users() + 20);
+}

@@ -35,6 +35,22 @@ proptest! {
     }
 
     #[test]
+    fn trailing_bytes_always_tolerated(suffix in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Format rule since v2: a valid model followed by ANY suffix
+        // decodes to the same model (extension sections live there).
+        let mut enc = encoded_model();
+        let base = persist::decode(&enc).unwrap();
+        let (_, end) = persist::decode_prefix(&enc).unwrap();
+        prop_assert_eq!(end, enc.len());
+        enc.extend_from_slice(&suffix);
+        let dec = persist::decode(&enc).unwrap();
+        prop_assert_eq!(base.num_items(), dec.num_items());
+        prop_assert_eq!(base.num_users(), dec.num_users());
+        let (_, end2) = persist::decode_prefix(&enc).unwrap();
+        prop_assert_eq!(end2, end);
+    }
+
+    #[test]
     fn header_bit_flips_never_panic(pos in 0usize..256, bit in 0u8..8) {
         let mut enc = encoded_model();
         let pos = pos % enc.len().min(256);

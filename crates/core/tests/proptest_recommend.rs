@@ -43,7 +43,10 @@ fn models() -> &'static Vec<TfModel> {
 }
 
 /// Reference ranking: score everything, sort desc, truncate.
-fn full_sort_top_k(engine: &RecommendEngine<'_>, req: &RecommendRequest<'_>) -> Vec<(ItemId, f32)> {
+fn full_sort_top_k(
+    engine: &RecommendEngine<&TfModel>,
+    req: &RecommendRequest<'_>,
+) -> Vec<(ItemId, f32)> {
     let q = engine.scorer().query(req.user, req.history);
     let scores = engine.scorer().score_all_items(&q);
     let mut ranked: Vec<(ItemId, f32)> = scores

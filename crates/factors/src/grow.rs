@@ -1,0 +1,221 @@
+//! Append-only segmented factor matrix for live serving snapshots.
+//!
+//! A hot-swappable serving path republishes its scan state on every
+//! catalog change. Recopying an `items × K` [`FactorMatrix`] per publish
+//! would make publish cost proportional to the *whole* catalog instead
+//! of the *change*; [`GrowMatrix`] splits the matrix into an immutable
+//! shared **base** (an `Arc<FactorMatrix>`, shared by every snapshot
+//! that descends from it) and a small owned **tail** of appended rows.
+//!
+//! * [`GrowMatrix::push_row`] appends to the tail — `O(K)`;
+//! * [`Clone`] is `O(tail)` — the base is shared by pointer;
+//! * [`GrowMatrix::row`] picks the segment by index — one branch;
+//! * [`GrowMatrix::compact`] folds the tail into a fresh base once it
+//!   grows past a caller-chosen fraction, restoring one contiguous
+//!   segment for scan-heavy readers.
+
+use crate::matrix::FactorMatrix;
+use std::sync::Arc;
+
+/// A `rows × k` factor matrix stored as a shared immutable base plus an
+/// owned growable tail (see the module docs).
+#[derive(Debug, Clone)]
+pub struct GrowMatrix {
+    base: Arc<FactorMatrix>,
+    tail: FactorMatrix,
+}
+
+impl GrowMatrix {
+    /// Wrap an owned matrix as the (initially tail-free) base.
+    pub fn from_owned(m: FactorMatrix) -> GrowMatrix {
+        let k = m.k();
+        GrowMatrix {
+            base: Arc::new(m),
+            tail: FactorMatrix::zeros(0, k),
+        }
+    }
+
+    /// Wrap an already-shared matrix as the base without copying.
+    pub fn from_shared(m: Arc<FactorMatrix>) -> GrowMatrix {
+        let k = m.k();
+        GrowMatrix {
+            base: m,
+            tail: FactorMatrix::zeros(0, k),
+        }
+    }
+
+    /// Total logical rows (base + tail).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.base.rows() + self.tail.rows()
+    }
+
+    /// Rows in the shared base segment.
+    #[inline]
+    pub fn base_rows(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// Rows in the owned tail segment.
+    #[inline]
+    pub fn tail_rows(&self) -> usize {
+        self.tail.rows()
+    }
+
+    /// Factor dimensionality `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.base.k()
+    }
+
+    /// Row `r`, wherever it lives.
+    ///
+    /// # Panics
+    /// If `r >= rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let b = self.base.rows();
+        if r < b {
+            self.base.row(r)
+        } else {
+            self.tail.row(r - b)
+        }
+    }
+
+    /// Append one row to the tail.
+    ///
+    /// # Panics
+    /// If `row.len() != k()`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        self.tail.push_row(row);
+    }
+
+    /// The segments in row order as `(first_row, segment)` pairs; empty
+    /// segments are skipped, so scan loops never see a zero-length block.
+    pub fn segments(&self) -> impl Iterator<Item = (usize, &FactorMatrix)> {
+        let base_rows = self.base.rows();
+        [(0usize, &*self.base), (base_rows, &self.tail)]
+            .into_iter()
+            .filter(|(_, m)| m.rows() > 0)
+    }
+
+    /// Fold the tail into a freshly allocated base so the matrix is one
+    /// contiguous segment again. `O(rows × k)` — call when the tail has
+    /// outgrown the branch-per-row cost, not on every append.
+    pub fn compact(&mut self) {
+        if self.tail.rows() == 0 {
+            return;
+        }
+        let k = self.k();
+        let mut merged = FactorMatrix::zeros(self.rows(), k);
+        merged.as_mut_slice()[..self.base.as_slice().len()].copy_from_slice(self.base.as_slice());
+        merged.as_mut_slice()[self.base.as_slice().len()..].copy_from_slice(self.tail.as_slice());
+        *self = GrowMatrix::from_owned(merged);
+    }
+
+    /// Materialise one contiguous owned copy (tests, serialisation).
+    pub fn to_dense(&self) -> FactorMatrix {
+        let mut copy = self.clone();
+        copy.compact();
+        Arc::try_unwrap(copy.base).unwrap_or_else(|a| (*a).clone())
+    }
+}
+
+impl PartialEq for GrowMatrix {
+    /// Logical equality: same shape and same row contents, regardless of
+    /// how rows are split between base and tail.
+    fn eq(&self, other: &Self) -> bool {
+        self.rows() == other.rows()
+            && self.k() == other.k()
+            && (0..self.rows()).all(|r| self.row(r) == other.row(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, k: usize) -> FactorMatrix {
+        let mut m = FactorMatrix::zeros(rows, k);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        m
+    }
+
+    #[test]
+    fn rows_span_base_and_tail() {
+        let mut g = GrowMatrix::from_owned(filled(3, 2));
+        g.push_row(&[10.0, 11.0]);
+        g.push_row(&[12.0, 13.0]);
+        assert_eq!(g.rows(), 5);
+        assert_eq!(g.base_rows(), 3);
+        assert_eq!(g.tail_rows(), 2);
+        assert_eq!(g.row(0), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[4.0, 5.0]);
+        assert_eq!(g.row(3), &[10.0, 11.0]);
+        assert_eq!(g.row(4), &[12.0, 13.0]);
+    }
+
+    #[test]
+    fn clone_shares_base_storage() {
+        let mut g = GrowMatrix::from_owned(filled(4, 3));
+        g.push_row(&[9.0; 3]);
+        let c = g.clone();
+        assert!(Arc::ptr_eq(&g.base, &c.base), "base must be shared");
+        assert_eq!(g, c);
+    }
+
+    #[test]
+    fn clone_then_diverge() {
+        let mut a = GrowMatrix::from_owned(filled(2, 2));
+        let mut b = a.clone();
+        a.push_row(&[1.0, 1.0]);
+        b.push_row(&[2.0, 2.0]);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(a.row(2), &[1.0, 1.0]);
+        assert_eq!(b.row(2), &[2.0, 2.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn compact_preserves_contents() {
+        let mut g = GrowMatrix::from_owned(filled(3, 2));
+        g.push_row(&[7.0, 8.0]);
+        let before: Vec<Vec<f32>> = (0..g.rows()).map(|r| g.row(r).to_vec()).collect();
+        g.compact();
+        assert_eq!(g.tail_rows(), 0);
+        assert_eq!(g.segments().count(), 1);
+        for (r, row) in before.iter().enumerate() {
+            assert_eq!(g.row(r), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn segments_skip_empty() {
+        let g = GrowMatrix::from_owned(filled(2, 2));
+        let segs: Vec<(usize, usize)> = g.segments().map(|(s, m)| (s, m.rows())).collect();
+        assert_eq!(segs, vec![(0, 2)]);
+        let mut g = GrowMatrix::from_owned(FactorMatrix::zeros(0, 2));
+        g.push_row(&[1.0, 2.0]);
+        let segs: Vec<(usize, usize)> = g.segments().map(|(s, m)| (s, m.rows())).collect();
+        assert_eq!(segs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn logical_equality_ignores_segmentation() {
+        let mut a = GrowMatrix::from_owned(filled(2, 2));
+        a.push_row(&[4.0, 5.0]);
+        let b = GrowMatrix::from_owned(filled(3, 2));
+        assert_eq!(a, b);
+        assert_eq!(a.to_dense(), filled(3, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_row_checks_width() {
+        let mut g = GrowMatrix::from_owned(filled(1, 3));
+        g.push_row(&[1.0, 2.0]);
+    }
+}

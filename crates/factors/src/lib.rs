@@ -17,15 +17,20 @@
 //! * [`DriftCache`] — the per-thread write-back cache with an L1-drift
 //!   flush threshold (the paper's `th = 0.1`);
 //! * [`ops`] — the tiny dense-vector kernels (dot, axpy) every hot loop
-//!   uses.
+//!   uses;
+//! * [`GrowMatrix`] — an append-only segmented matrix (shared immutable
+//!   base + owned tail) for live-serving snapshots that must absorb new
+//!   rows without recopying the catalog.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod grow;
 pub mod locked;
 pub mod matrix;
 pub mod ops;
 
 pub use cache::DriftCache;
+pub use grow::GrowMatrix;
 pub use locked::SharedFactors;
 pub use matrix::FactorMatrix;

@@ -84,6 +84,17 @@ impl FactorMatrix {
         }
     }
 
+    /// Append one row (the dynamic-catalog path: new items and folded-in
+    /// users arrive one row at a time).
+    ///
+    /// # Panics
+    /// If `row.len() != k()`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.k, "row width {} != K {}", row.len(), self.k);
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Raw storage (row-major), e.g. for serialisation or t-SNE input.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
