@@ -351,9 +351,7 @@ pub fn replay(args: &CliArgs) -> Result<String, CliError> {
         })?;
         (header, events, 0)
     };
-    if header.base_users as usize != state.model().num_users()
-        || header.base_items as usize != state.model().num_items()
-    {
+    if !header.matches_model(state.model()) {
         return Err(CliError::Data(format!(
             "{log_path}: log lineage ({} users / {} items) does not match {model_path} \
              ({} / {}) — replaying would corrupt the model; use the snapshot the log \
@@ -373,11 +371,11 @@ pub fn replay(args: &CliArgs) -> Result<String, CliError> {
     if args.flag("json") {
         return Ok(format!(
             "{{\"events\":{},\"items_added\":{items_added},\"users_folded\":{users_folded},\
-             \"ignored_bytes\":{ignored},\"users\":{},\"items\":{},\"out\":{:?}}}\n",
+             \"ignored_bytes\":{ignored},\"users\":{},\"items\":{},\"out\":{}}}\n",
             applied.len(),
             state.model().num_users(),
             state.model().num_items(),
-            out_path,
+            crate::json::json_str(out_path),
         ));
     }
     Ok(format!(

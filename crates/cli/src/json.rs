@@ -35,11 +35,16 @@ impl Json {
     }
 
     /// Numeric value as a non-negative integer, if it is one exactly.
+    ///
+    /// Bounded to `< 2^53`: every accepted value round-trips through
+    /// the `f64` this parser stores without losing a bit. Above that,
+    /// adjacent integers collapse (e.g. a large seed would decode to a
+    /// *different* u64 than the client sent, and `u64::MAX` rounds up
+    /// to 2^64), so those are rejected rather than silently mangled.
     pub fn as_u64(&self) -> Option<u64> {
+        const EXACT_LIMIT: f64 = 9_007_199_254_740_992.0; // 2^53
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < EXACT_LIMIT => Some(*n as u64),
             _ => None,
         }
     }
@@ -56,6 +61,24 @@ impl Json {
             _ => None,
         }
     }
+}
+
+/// Encode `s` as a JSON string literal (quotes included) — the one
+/// escaper every JSON-emitting path in the CLI shares.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 const MAX_DEPTH: usize = 16;
@@ -266,5 +289,18 @@ mod tests {
         assert_eq!(parse("3.5").unwrap().as_u64(), None);
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("4294967295").unwrap().as_u64(), Some(4294967295));
+        // Largest exactly-representable integer is accepted…
+        assert_eq!(
+            parse("9007199254740991").unwrap().as_u64(),
+            Some((1u64 << 53) - 1)
+        );
+        // …but anything at or past 2^53 is not exact in f64 (2^53 + 1
+        // parses to the same float as 2^53) and must be rejected, not
+        // silently rounded — including u64::MAX, which rounds *up* to
+        // 2^64 and used to sneak through a `<= u64::MAX as f64` bound.
+        for too_big in ["9007199254740992", "9007199254740993", "1e20"] {
+            assert_eq!(parse(too_big).unwrap().as_u64(), None, "{too_big}");
+        }
+        assert_eq!(parse("18446744073709551615").unwrap().as_u64(), None);
     }
 }

@@ -29,12 +29,13 @@
 //! Errors are structured JSON — `{"error": "..."}` with 400 (bad
 //! request), 404 (unknown route) or 405 (wrong method, with `allow`).
 
-use crate::json::{self, Json};
+use crate::json::{self, json_str, Json};
 use crate::store::DataDir;
 use crate::{CliArgs, CliError};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use taxrec_core::live::{
     decode_log_lossy, replay, snapshot::decode_live, LiveConfig, LiveEngine, LiveError, LiveHandle,
     LiveState, UpdateEvent,
@@ -99,49 +100,9 @@ impl LiveServer {
         model_path: &str,
         config: LiveConfig,
     ) -> Result<LiveServer, CliError> {
-        let bytes = std::fs::read(model_path)?;
-        let mut state =
-            decode_live(&bytes).map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
+        let (mut state, base_desc) = resolve_base_state(model_path, &config)?;
         if let Some(log_path) = &config.log_path {
-            if std::fs::metadata(log_path).map(|m| m.len()).unwrap_or(0) > 0 {
-                let log_bytes = std::fs::read(log_path)?;
-                let (header, events, ignored) = decode_log_lossy(&log_bytes)
-                    .map_err(|e| CliError::Data(format!("{}: {e}", log_path.display())))?;
-                // Lineage check: the log's events apply to a specific
-                // base state. Replaying them over any other (e.g. the
-                // pre-snapshot model after the log was rotated) would
-                // silently lose acked updates.
-                if header.base_users as usize != state.model().num_users()
-                    || header.base_items as usize != state.model().num_items()
-                {
-                    return Err(CliError::Data(format!(
-                        "{}: event log starts from a state with {} users / {} items, \
-                         but {model_path} has {} / {} — the log was likely rotated by a \
-                         snapshot; restart with --model <snapshot> instead",
-                        log_path.display(),
-                        header.base_users,
-                        header.base_items,
-                        state.model().num_users(),
-                        state.model().num_items(),
-                    )));
-                }
-                if ignored > 0 {
-                    eprintln!(
-                        "taxrec serve: ignoring {ignored} trailing bytes of {} (crash mid-append)",
-                        log_path.display()
-                    );
-                }
-                let n = events.len();
-                replay(&mut state, &events).map_err(|e| {
-                    CliError::Data(format!("replaying {}: {e}", log_path.display()))
-                })?;
-                if n > 0 {
-                    eprintln!(
-                        "taxrec serve: replayed {n} events from {}",
-                        log_path.display()
-                    );
-                }
-            }
+            recover_from_wal(&mut state, log_path, &base_desc)?;
         }
         let train = data.train()?;
         LiveServer::new(state, train, data.item_names()?, config)
@@ -186,6 +147,120 @@ impl LiveServer {
             items
         }
     }
+}
+
+/// Pick the base state the event log replays over. Normally `--model`;
+/// but once a snapshot has rotated the log, the log's lineage no longer
+/// matches the original model — if `--snapshot` names a snapshot whose
+/// shape *does* match, resume from it, so the documented command line
+/// (same `--model` every restart) stays restart-safe across rotations.
+/// Returns the state and a description of where it came from (for
+/// error messages).
+fn resolve_base_state(
+    model_path: &str,
+    config: &LiveConfig,
+) -> Result<(LiveState, String), CliError> {
+    let bytes = std::fs::read(model_path)?;
+    let state = decode_live(&bytes).map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
+    let from_model = |state| Ok((state, model_path.to_string()));
+    let (Some(log_path), Some(snap_path)) = (&config.log_path, &config.snapshot_path) else {
+        return from_model(state);
+    };
+    if std::fs::metadata(log_path).map(|m| m.len()).unwrap_or(0) == 0 {
+        return from_model(state);
+    }
+    let log_bytes = std::fs::read(log_path)?;
+    // An undecodable log header is reported by recover_from_wal with
+    // full context; don't duplicate that here.
+    let Ok((header, _, _)) = decode_log_lossy(&log_bytes) else {
+        return from_model(state);
+    };
+    if header.matches_model(state.model()) {
+        return from_model(state);
+    }
+    let snap_bytes = match std::fs::read(snap_path) {
+        Ok(b) => b,
+        // No snapshot yet → fall through to the guided lineage error.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return from_model(state),
+        // An existing-but-unreadable snapshot must surface its real
+        // cause, not the misleading "restart with --model <snapshot>".
+        Err(e) => {
+            return Err(CliError::Data(format!("{}: {e}", snap_path.display())));
+        }
+    };
+    let snap_state = decode_live(&snap_bytes)
+        .map_err(|e| CliError::Data(format!("{}: {e}", snap_path.display())))?;
+    if header.matches_model(snap_state.model()) {
+        eprintln!(
+            "taxrec serve: {} was rotated past {model_path}; resuming from snapshot {}",
+            log_path.display(),
+            snap_path.display()
+        );
+        return Ok((snap_state, snap_path.display().to_string()));
+    }
+    from_model(state)
+}
+
+/// Replay an existing event log over `state`, repairing a crash-torn
+/// tail first: the torn bytes are truncated off the file, because the
+/// applier refuses to append after undecodable bytes (records written
+/// there would be invisible to every future replay — acked updates
+/// silently lost on the *next* recovery).
+fn recover_from_wal(
+    state: &mut LiveState,
+    log_path: &std::path::Path,
+    model_path: &str,
+) -> Result<(), CliError> {
+    if std::fs::metadata(log_path).map(|m| m.len()).unwrap_or(0) == 0 {
+        return Ok(());
+    }
+    let log_bytes = std::fs::read(log_path)?;
+    let (header, events, ignored) = decode_log_lossy(&log_bytes)
+        .map_err(|e| CliError::Data(format!("{}: {e}", log_path.display())))?;
+    // Lineage check: the log's events apply to a specific base state.
+    // Replaying them over any other (e.g. the pre-snapshot model after
+    // the log was rotated) would silently lose acked updates.
+    if !header.matches_model(state.model()) {
+        return Err(CliError::Data(format!(
+            "{}: event log starts from a state with {} users / {} items, \
+             but {model_path} has {} / {} — the log was likely rotated by a \
+             snapshot; restart with --model <snapshot> instead",
+            log_path.display(),
+            header.base_users,
+            header.base_items,
+            state.model().num_users(),
+            state.model().num_items(),
+        )));
+    }
+    if ignored > 0 {
+        // The usual cause is a crash mid-append (a partial final
+        // record), but `ignored` covers everything past the *first*
+        // undecodable byte — after mid-log corruption that can include
+        // still-valid later records. Save the cut bytes aside before
+        // truncating so nothing is destroyed that a human (or
+        // `taxrec replay --lossy`) might still salvage.
+        let torn_path = log_path.with_extension("log.torn");
+        std::fs::write(&torn_path, &log_bytes[log_bytes.len() - ignored..])?;
+        eprintln!(
+            "taxrec serve: truncating {ignored} undecodable trailing bytes of {} \
+             (crash mid-append?); saved aside as {}",
+            log_path.display(),
+            torn_path.display()
+        );
+        let file = std::fs::OpenOptions::new().write(true).open(log_path)?;
+        file.set_len((log_bytes.len() - ignored) as u64)?;
+        file.sync_all()?;
+    }
+    let n = events.len();
+    replay(state, &events)
+        .map_err(|e| CliError::Data(format!("replaying {}: {e}", log_path.display())))?;
+    if n > 0 {
+        eprintln!(
+            "taxrec serve: replayed {n} events from {}",
+            log_path.display()
+        );
+    }
+    Ok(())
 }
 
 /// One parsed HTTP response: status line + body.
@@ -255,8 +330,11 @@ fn user_json(server: &LiveServer, user: usize, recs: &[(ItemId, f32)]) -> String
 
 fn live_error_response(e: LiveError) -> Response {
     match e {
-        // Client errors: bad parent node, unknown item in a history.
-        LiveError::Taxonomy(_) | LiveError::UnknownItem(_) => Response::bad(&e.to_string()),
+        // Client errors: bad parent node, unknown item in a history,
+        // excessive fold-in steps.
+        LiveError::Taxonomy(_) | LiveError::UnknownItem(_) | LiveError::FoldStepsTooLarge(_) => {
+            Response::bad(&e.to_string())
+        }
         // Applier gone / IO trouble: the server's fault, not the client's.
         LiveError::QueueClosed | LiveError::Io(_) => Response {
             status: 503,
@@ -482,7 +560,7 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 None => server.live.stats().snapshot().enqueued,
                 Some(v) => match v.as_u64() {
                     Some(s) => s,
-                    None => return Response::bad("seed must be a non-negative integer"),
+                    None => return Response::bad("seed must be a non-negative integer below 2^53"),
                 },
             };
             let transactions = history.len();
@@ -574,15 +652,55 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
     Ok(String::new())
 }
 
+/// How long one client may stall a single read or write before its
+/// connection is dropped. The accept loop is single-threaded, so
+/// without this a client that connects and sends nothing would stall
+/// every other reader and updater indefinitely.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Total wall-clock budget for receiving one request (head + body). A
+/// per-read timeout alone does not bound a slow-drip client that sends
+/// one byte every few seconds — each byte resets the timer; the
+/// absolute deadline does.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// A `TcpStream` reader that enforces an absolute deadline: every raw
+/// read re-arms the socket timeout with the time remaining (capped at
+/// [`CLIENT_IO_TIMEOUT`]), so no sequence of drip-fed bytes can hold
+/// the connection open past the deadline.
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_duration_since(Instant::now())
+            .filter(|r| !r.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline exceeded")
+            })?;
+        self.stream
+            .set_read_timeout(Some(remaining.min(CLIENT_IO_TIMEOUT)))?;
+        self.stream.read(buf)
+    }
+}
+
 /// Accept loop; `max_requests` bounds the loop for tests (`None` = forever).
 ///
 /// The accept loop itself stays single-threaded: GETs fan out *inside*
 /// the engine's batch path, POSTs hand work to the applier thread and
-/// wait for the publish.
+/// wait for the publish. Each accepted stream gets per-I/O timeouts
+/// ([`CLIENT_IO_TIMEOUT`]) plus an absolute request deadline
+/// ([`REQUEST_DEADLINE`]) so a stuck or drip-feeding client cannot
+/// wedge the loop.
 pub fn serve_on(listener: TcpListener, server: Arc<LiveServer>, max_requests: Option<usize>) {
     let mut handled = 0usize;
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
+        let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
         handle_connection(stream, &server);
         handled += 1;
         if let Some(max) = max_requests {
@@ -593,25 +711,45 @@ pub fn serve_on(listener: TcpListener, server: Arc<LiveServer>, max_requests: Op
     }
 }
 
+/// Hard cap on the request line plus all headers. `read_line` grows its
+/// `String` until it sees a newline, so without a bound one client
+/// streaming newline-free bytes would grow server memory without limit.
+const MAX_HEAD_BYTES: u64 = 8 << 10;
+
 fn handle_connection(stream: TcpStream, server: &LiveServer) {
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        deadline: Instant::now() + REQUEST_DEADLINE,
+    });
+    // The head is read through a byte-capped lens; a request whose line
+    // or headers run past the cap hits EOF mid-line and is dropped.
+    let mut head = (&mut reader).take(MAX_HEAD_BYTES);
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
+    if head.read_line(&mut request_line).is_err() || !request_line.ends_with('\n') {
         return;
     }
-    // Drain headers, keeping Content-Length.
+    // Drain headers, keeping Content-Length. A read error (timeout,
+    // reset) or truncation (cap, peer gone) drops the connection
+    // without a response.
     let mut content_length = 0usize;
     let mut line = String::new();
-    while reader.read_line(&mut line).is_ok() {
-        if line == "\r\n" || line == "\n" || line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+    loop {
+        match head.read_line(&mut line) {
+            Err(_) => return,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(0) => return,
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    return;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    }
+                }
+                line.clear();
             }
         }
-        line.clear();
     }
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
@@ -640,24 +778,8 @@ fn handle_connection(stream: TcpStream, server: &LiveServer) {
         resp.body.len(),
         resp.body
     );
-    let mut stream = reader.into_inner();
+    let mut stream = reader.into_inner().stream;
     let _ = stream.write_all(payload.as_bytes());
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -943,6 +1065,139 @@ mod tests {
         assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
         assert!(buf.contains("{\"error\":"), "{buf}");
         server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_repaired_and_later_appends_survive_recovery() {
+        // Crash mid-append leaves a partial record at the log's tail.
+        // Recovery must truncate it before the applier reopens the log
+        // for append — otherwise every event acked after the restart
+        // lands *behind* the junk and the next recovery silently stops
+        // at the junk, dropping acked updates.
+        let dir = std::env::temp_dir().join(format!("taxrec-serve-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("events.log");
+        let live_cfg = || LiveConfig {
+            log_path: Some(log_path.clone()),
+            ..LiveConfig::default()
+        };
+
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(100), 3);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(4).with_epochs(2),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        let items0 = model.num_items();
+
+        // Session 1: one acked event, then a simulated torn append.
+        let st = LiveServer::new(
+            LiveState::new(model.clone()),
+            d.train.clone(),
+            None,
+            live_cfg(),
+        )
+        .unwrap();
+        let parent = interior_parent(&st);
+        assert_eq!(
+            post(&st, "/items", &format!("{{\"parent\": {parent}}}")).status,
+            200
+        );
+        drop(st);
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&log_path).unwrap();
+            // A record claiming a 9-byte payload, cut off after 2 bytes.
+            f.write_all(&[9, 0, 0, 0, 1, 3]).unwrap();
+        }
+        let torn_len = std::fs::metadata(&log_path).unwrap().len();
+
+        // Session 2: recovery repairs the tail, and a fresh event is
+        // acked through the repaired log.
+        let mut state = LiveState::new(model.clone());
+        recover_from_wal(&mut state, &log_path, "m.tfm").unwrap();
+        assert_eq!(state.model().num_items(), items0 + 1);
+        assert!(std::fs::metadata(&log_path).unwrap().len() < torn_len);
+        // The cut bytes are preserved aside, not destroyed.
+        assert_eq!(
+            std::fs::read(log_path.with_extension("log.torn")).unwrap(),
+            vec![9, 0, 0, 0, 1, 3]
+        );
+        let st2 = LiveServer::new(state, d.train.clone(), None, live_cfg()).unwrap();
+        assert_eq!(
+            post(&st2, "/items", &format!("{{\"parent\": {parent}}}")).status,
+            200
+        );
+        drop(st2);
+
+        // Session 3: BOTH acked events survive — the log is strictly
+        // intact and replays past where the junk used to sit.
+        let (_, events) = taxrec_core::live::decode_log(&std::fs::read(&log_path).unwrap())
+            .expect("repaired log must decode strictly");
+        assert_eq!(events.len(), 2);
+        let mut state = LiveState::new(model);
+        recover_from_wal(&mut state, &log_path, "m.tfm").unwrap();
+        assert_eq!(state.model().num_items(), items0 + 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_with_original_model_resumes_from_rotated_snapshot() {
+        // After a snapshot rotates the log, the log's lineage no longer
+        // matches the original --model. A restart under the unchanged
+        // command line must resume from the --snapshot automatically
+        // instead of hard-erroring until an operator edits the unit file.
+        let dir = std::env::temp_dir().join(format!("taxrec-serve-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.tfm");
+        let cfg = LiveConfig {
+            snapshot_every: 2,
+            log_path: Some(dir.join("events.log")),
+            snapshot_path: Some(dir.join("snap.tfm")),
+            ..LiveConfig::default()
+        };
+
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(100), 3);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(4).with_epochs(2),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        std::fs::write(&model_path, taxrec_core::persist::encode(&model)).unwrap();
+
+        // Session 1: three acked adds → a snapshot lands after the
+        // second, rotating the log; the third lives in the rotated log.
+        let st = LiveServer::new(
+            LiveState::new(model.clone()),
+            d.train.clone(),
+            None,
+            cfg.clone(),
+        )
+        .unwrap();
+        let parent = interior_parent(&st);
+        for _ in 0..3 {
+            assert_eq!(
+                post(&st, "/items", &format!("{{\"parent\": {parent}}}")).status,
+                200
+            );
+        }
+        let want_items = st.live().cell().load().model().num_items();
+        assert!(st.live().stats().snapshot().snapshots_written >= 1);
+        drop(st);
+
+        // Restart with the ORIGINAL model path: the snapshot is picked
+        // as the base and the rotated log replays the third add on top.
+        let (mut state, base_desc) =
+            resolve_base_state(model_path.to_str().unwrap(), &cfg).unwrap();
+        assert_eq!(
+            base_desc,
+            cfg.snapshot_path.as_ref().unwrap().display().to_string()
+        );
+        recover_from_wal(&mut state, cfg.log_path.as_ref().unwrap(), &base_desc).unwrap();
+        assert_eq!(state.model().num_items(), want_items);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub struct LogHeader {
     pub base_items: u64,
 }
 
+impl LogHeader {
+    /// Whether this lineage stamp matches `model`'s current shape — the
+    /// precondition for replaying the log over that model. Every loader
+    /// (`taxrec serve`, `taxrec replay`) checks this before replaying.
+    pub fn matches_model(&self, model: &crate::model::TfModel) -> bool {
+        self.base_users as usize == model.num_users()
+            && self.base_items as usize == model.num_items()
+    }
+}
+
 /// One update to the live model. Events are **deterministic**: applying
 /// the same event sequence to the same starting model always produces
 /// the bit-identical result (fold-ins carry their own seed), which is

@@ -78,6 +78,11 @@ pub enum LiveError {
     /// A `FoldInUser` event referenced an item id outside the catalog
     /// as of the event's application point.
     UnknownItem(u32),
+    /// A `FoldInUser` event asked for more BPR steps than
+    /// [`MAX_EVENT_FOLD_STEPS`]. Rejected *before* logging: the log
+    /// codec refuses such records at decode time, so accepting one
+    /// here would produce an acked event that replay cannot read.
+    FoldStepsTooLarge(usize),
     /// The applier thread is gone (shutdown or panic); the update was
     /// not applied.
     QueueClosed,
@@ -90,6 +95,11 @@ impl std::fmt::Display for LiveError {
         match self {
             LiveError::Taxonomy(e) => write!(f, "add-item: {e}"),
             LiveError::UnknownItem(i) => write!(f, "fold-in history references unknown item {i}"),
+            LiveError::FoldStepsTooLarge(s) => write!(
+                f,
+                "fold-in steps {s} exceeds cap {}",
+                event::MAX_EVENT_FOLD_STEPS
+            ),
             LiveError::QueueClosed => write!(f, "live update queue is closed"),
             LiveError::Io(m) => write!(f, "live I/O: {m}"),
         }

@@ -13,20 +13,22 @@
 //! If the WAL write fails, nothing is published or acked, and the
 //! applier enters a **read-only degraded mode**: every further update
 //! is rejected with an I/O error (readers keep the last published
-//! snapshot). An acked update is therefore always durably logged, and
-//! a logged event is always one that validated — replay never chokes
-//! on its own log.
+//! snapshot). A failed post-snapshot log rotation degrades the same
+//! way — acking against a log that could not be restarted would lose
+//! those events on recovery. An acked update is therefore always
+//! durably logged, and a logged event is always one that validated —
+//! replay never chokes on its own log.
 
 use super::cell::ModelCell;
 use super::engine::LiveEngine;
-use super::event::{encode_event, encode_log_header, LogHeader, UpdateEvent, LOG_HEADER_LEN};
+use super::event::{decode_log, encode_event, encode_log_header, LogHeader, UpdateEvent};
 use super::snapshot::encode_live;
 use super::state::{Applied, LiveState};
 use super::stats::LiveStats;
 use super::LiveError;
 use crate::recommend::Backend;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -176,28 +178,25 @@ fn lineage_of(state: &LiveState) -> LogHeader {
 }
 
 /// Open (or create) the event log for appending. A fresh/empty log is
-/// stamped with `lineage`; an existing one only has its magic/version
-/// checked (its events are assumed already replayed by the caller —
-/// appending preserves its original lineage).
+/// stamped with `lineage`; an existing one must decode **strictly** —
+/// its events are assumed already replayed by the caller, and appending
+/// preserves its original lineage (the stamp may differ from
+/// `lineage`). A log with a torn tail is refused: records appended
+/// after undecodable bytes would be invisible to every future replay,
+/// silently dropping acked updates. Callers must truncate the torn
+/// tail first (`taxrec serve` does on startup).
 fn open_log(path: &Path, lineage: &LogHeader) -> Result<File, LiveError> {
     let io = |e: std::io::Error| LiveError::Io(format!("{}: {e}", path.display()));
     let existing_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     if existing_len > 0 {
-        let mut head = vec![0u8; LOG_HEADER_LEN.min(existing_len as usize)];
-        File::open(path)
-            .map_err(io)?
-            .read_exact(&mut head)
-            .map_err(io)?;
-        let mut expect = Vec::new();
-        encode_log_header(&mut expect, lineage);
-        // Magic + version must match; the lineage stamp may differ (the
-        // log predates this session's state).
-        if head.len() < 5 || head[..5] != expect[..5] {
-            return Err(LiveError::Io(format!(
-                "{}: existing file is not a taxrec event log",
+        let bytes = std::fs::read(path).map_err(io)?;
+        decode_log(&bytes).map_err(|e| {
+            LiveError::Io(format!(
+                "{}: refusing to append to a damaged event log ({e}); \
+                 truncate the torn tail or recover with `taxrec replay --lossy`",
                 path.display()
-            )));
-        }
+            ))
+        })?;
     }
     let mut file = OpenOptions::new()
         .append(true)
@@ -213,17 +212,39 @@ fn open_log(path: &Path, lineage: &LogHeader) -> Result<File, LiveError> {
     Ok(file)
 }
 
-/// Truncate the log back to a bare header stamped with the
-/// just-snapshotted state's lineage (the snapshot captured everything
-/// the log contained).
+/// Restart the log as a bare header stamped with the just-snapshotted
+/// state's lineage (the snapshot captured everything the log
+/// contained). Atomic and durable — the temp file is fsynced before
+/// the rename and the parent directory after it — so neither a failure
+/// mid-rotation nor a power loss just after it can leave a headerless,
+/// partial, or zero-length log that a loader would misread.
 fn rotate_log(path: &Path, lineage: &LogHeader) -> Result<File, LiveError> {
     let io = |e: std::io::Error| LiveError::Io(format!("{}: {e}", path.display()));
-    let mut file = File::create(path).map_err(io)?;
     let mut header = Vec::new();
     encode_log_header(&mut header, lineage);
-    file.write_all(&header).map_err(io)?;
-    file.flush().map_err(io)?;
-    Ok(file)
+    let tmp = path.with_extension("log.tmp");
+    {
+        let mut f = File::create(&tmp).map_err(io)?;
+        f.write_all(&header).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)?;
+    sync_parent_dir(path);
+    OpenOptions::new().append(true).open(path).map_err(io)
+}
+
+/// Best-effort fsync of `path`'s parent directory, making a just-done
+/// rename durable across power loss. Errors are ignored: not every
+/// platform/filesystem lets a directory be opened and synced, and the
+/// rename itself already succeeded.
+fn sync_parent_dir(path: &Path) {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = File::open(parent) {
+        let _ = dir.sync_all();
+    }
 }
 
 fn applier(
@@ -275,12 +296,9 @@ fn applier(
                         Ok(()) => {
                             encode_event(&mut log_buf, &ev);
                             let applied = state.apply(&ev).expect("validated event must apply");
-                            match applied {
-                                Applied::ItemAdded { .. } => stats.inc_items_added(),
-                                Applied::UserFolded { .. } => stats.inc_users_folded(),
-                            }
-                            stats.inc_applied();
-                            since_snapshot += 1;
+                            // Stats are deferred until the WAL append
+                            // succeeds: an event nacked by a WAL failure
+                            // must count as rejected, not applied.
                             pending.push((reply, applied));
                         }
                         Err(e) => {
@@ -312,6 +330,7 @@ fn applier(
 
         if !pending.is_empty() && !wal_ok {
             for (reply, _) in pending.drain(..) {
+                stats.inc_rejected();
                 let _ = reply.send(Err(LiveError::Io(
                     "event log write failed; update not accepted".into(),
                 )));
@@ -319,6 +338,14 @@ fn applier(
         }
 
         if !pending.is_empty() {
+            for (_, applied) in &pending {
+                match applied {
+                    Applied::ItemAdded { .. } => stats.inc_items_added(),
+                    Applied::UserFolded { .. } => stats.inc_users_folded(),
+                }
+                stats.inc_applied();
+            }
+            since_snapshot += pending.len() as u64;
             // Build the successor outside any lock, swap, then reply:
             // a submitter that hears back can immediately load() an
             // engine containing its update.
@@ -342,11 +369,18 @@ fn applier(
                         // snapshot missed. If a crash lands between the
                         // two writes, the stale log's lineage no longer
                         // matches the snapshot and loaders refuse the
-                        // pair instead of double-applying.
+                        // pair instead of double-applying. A failed
+                        // rotation degrades like a failed WAL append:
+                        // continuing to ack against a log we could not
+                        // restart would break the recovery law.
                         if let Some(log_path) = &config.log_path {
                             match rotate_log(log_path, &lineage_of(&state)) {
                                 Ok(f) => log = Some(f),
-                                Err(_) => stats.inc_log_errors(),
+                                Err(_) => {
+                                    stats.inc_log_errors();
+                                    degraded = true;
+                                    log = None;
+                                }
                             }
                         }
                     } else {
@@ -365,12 +399,20 @@ fn applier(
     }
 }
 
-/// Write a live snapshot atomically (temp file + rename).
+/// Write a live snapshot atomically and durably (temp file fsynced
+/// before the rename, parent directory after — same discipline as
+/// [`rotate_log`]).
 fn write_snapshot(path: &Path, state: &LiveState) -> Result<(), LiveError> {
     let io = |e: std::io::Error| LiveError::Io(format!("{}: {e}", path.display()));
     let tmp = path.with_extension("tfm.tmp");
-    std::fs::write(&tmp, encode_live(state)).map_err(io)?;
-    std::fs::rename(&tmp, path).map_err(io)
+    {
+        let mut f = File::create(&tmp).map_err(io)?;
+        f.write_all(&encode_live(state)).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)?;
+    sync_parent_dir(path);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -520,5 +562,71 @@ mod tests {
             base_items: 1,
         };
         assert!(matches!(open_log(&path, &lineage), Err(LiveError::Io(_))));
+    }
+
+    #[test]
+    fn open_log_refuses_torn_tail() {
+        // A crash mid-append leaves a partial record. Appending after it
+        // would hide every later record from replay, so open_log must
+        // refuse until the tail is truncated away.
+        let (_, state) = fixture();
+        let dir = tmpdir("torn");
+        let log_path = dir.join("events.log");
+        let parent = some_parent(&state);
+        let lineage = lineage_of(&state);
+        let handle = LiveHandle::spawn(
+            state,
+            LiveConfig {
+                log_path: Some(log_path.clone()),
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        handle.submit(UpdateEvent::AddItem { parent }).unwrap();
+        drop(handle);
+        let intact = std::fs::read(&log_path).unwrap();
+        // Claim an 8-byte payload but supply only one byte of it.
+        let mut torn = intact.clone();
+        torn.extend_from_slice(&[8, 0, 0, 0, 1]);
+        std::fs::write(&log_path, &torn).unwrap();
+        assert!(matches!(
+            open_log(&log_path, &lineage),
+            Err(LiveError::Io(_))
+        ));
+        // Truncating back to the last whole record makes it appendable.
+        std::fs::write(&log_path, &intact).unwrap();
+        assert!(open_log(&log_path, &lineage).is_ok());
+    }
+
+    #[test]
+    fn rotation_failure_enters_degraded_mode() {
+        // Snapshots land in a healthy dir but the log's dir vanishes, so
+        // the post-snapshot rotation fails. The applier must stop acking
+        // (degraded mode), not keep appending to a log it cannot restart.
+        let (_, state) = fixture();
+        let parent = some_parent(&state);
+        let log_dir = tmpdir("rotfail-log");
+        let snap_dir = tmpdir("rotfail-snap");
+        let handle = LiveHandle::spawn(
+            state,
+            LiveConfig {
+                snapshot_every: 2,
+                batch_cap: 1,
+                log_path: Some(log_dir.join("events.log")),
+                snapshot_path: Some(snap_dir.join("snap.tfm")),
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        handle.submit(UpdateEvent::AddItem { parent }).unwrap();
+        // The open handle keeps the inode alive; only rotation's fresh
+        // temp-file write can notice the directory is gone.
+        std::fs::remove_dir_all(&log_dir).unwrap();
+        handle.submit(UpdateEvent::AddItem { parent }).unwrap();
+        let err = handle.submit(UpdateEvent::AddItem { parent });
+        assert!(matches!(err, Err(LiveError::Io(_))), "{err:?}");
+        let stats = handle.stats().snapshot();
+        assert!(stats.log_errors >= 1, "{stats:?}");
+        assert_eq!(stats.applied, 2);
     }
 }

@@ -137,7 +137,10 @@ impl LiveState {
                 }
                 Ok(())
             }
-            UpdateEvent::FoldInUser { history, .. } => {
+            UpdateEvent::FoldInUser { history, steps, .. } => {
+                if *steps > super::event::MAX_EVENT_FOLD_STEPS {
+                    return Err(LiveError::FoldStepsTooLarge(*steps));
+                }
                 let n_items = self.model.num_items();
                 match history.iter().flatten().find(|i| i.index() >= n_items) {
                     Some(bad) => Err(LiveError::UnknownItem(bad.0)),
@@ -164,6 +167,9 @@ impl LiveState {
                 steps,
                 seed,
             } => {
+                if *steps > super::event::MAX_EVENT_FOLD_STEPS {
+                    return Err(LiveError::FoldStepsTooLarge(*steps));
+                }
                 let n_items = self.model.num_items();
                 if let Some(bad) = history.iter().flatten().find(|i| i.index() >= n_items) {
                     return Err(LiveError::UnknownItem(bad.0));
@@ -277,6 +283,13 @@ mod tests {
             UpdateEvent::FoldInUser {
                 history: vec![vec![ItemId(u32::MAX)]],
                 steps: 10,
+                seed: 0,
+            },
+            // Steps past the log codec's decode cap must be rejected
+            // here too, or an acked event would be unreplayable.
+            UpdateEvent::FoldInUser {
+                history: vec![vec![ItemId(0)]],
+                steps: crate::live::MAX_EVENT_FOLD_STEPS + 1,
                 seed: 0,
             },
         ];
