@@ -11,31 +11,41 @@
 //!   `recommend_batch` with no updates in flight;
 //! * **churn** — the same readers, while an updater thread streams
 //!   alternating `AddItem` / `FoldInUser` events through the applier
-//!   (event log + epoch swaps included).
+//!   (event log + epoch swaps included);
+//! * **multi-client** (with `--workers N`) — reader throughput through
+//!   the real pooled HTTP server: `--clients` concurrent TCP clients
+//!   issuing `GET /recommend` against `taxrec-cli`'s worker-pool accept
+//!   loop, swept over worker counts 1, 2, 4, … N — the bench measures
+//!   how the *serving layer* scales with workers, not just how the
+//!   engine absorbs update churn.
 //!
 //! Reported: reads/sec per phase, the degradation factor, events
-//! applied, epochs published, and snapshot-consistency checks (every
+//! applied, epochs published, snapshot-consistency checks (every
 //! loaded snapshot is verified with `LiveEngine::verify_consistent` —
-//! the "readers never observe a mix" property).
+//! the "readers never observe a mix" property), and HTTP requests/sec
+//! per worker count.
 //!
 //! ```text
 //! cargo run --release -p taxrec-bench --bin fig7c_live -- --scale small
 //!   [--readers 2] [--batch 32] [--top 10] [--duration-ms 3000]
-//!   [--max-degradation 50]
-//! cargo run --release -p taxrec-bench --bin fig7c_live -- --smoke
+//!   [--max-degradation 50] [--workers 4] [--clients 4]
+//! cargo run --release -p taxrec-bench --bin fig7c_live -- --smoke --workers 2
 //! ```
 //!
 //! `--smoke` runs a seconds-long tiny-scale pass and **fails the
-//! process** on any consistency violation, zero read progress, or
-//! degradation beyond `--max-degradation` — the CI guard for the live
-//! path under release optimizations.
+//! process** on any consistency violation, zero read progress, HTTP
+//! errors, or degradation beyond `--max-degradation` — the CI guard
+//! for the live path under release optimizations.
 
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taxrec_bench::args::Args;
 use taxrec_bench::fixtures;
 use taxrec_bench::report::{fmt, Table};
+use taxrec_cli::serve::{serve_on, LiveServer, ServeOptions};
 use taxrec_core::live::{LiveConfig, LiveHandle, LiveState, UpdateEvent};
 use taxrec_core::{ModelConfig, RecommendRequest, TfModel};
 use taxrec_dataset::{DatasetConfig, SyntheticDataset};
@@ -164,6 +174,120 @@ fn run_phase(
     }
 }
 
+struct HttpPhaseResult {
+    workers: usize,
+    requests: u64,
+    errors: u64,
+    secs: f64,
+}
+
+impl HttpPhaseResult {
+    fn rate(&self) -> f64 {
+        self.requests as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// One multi-client phase: a pooled HTTP server with `workers` workers
+/// on an ephemeral port, `clients` TCP client threads issuing single-
+/// user `GET /recommend` requests until the deadline.
+fn run_http_phase(
+    model: &TfModel,
+    data: &SyntheticDataset,
+    workers: usize,
+    clients: usize,
+    top: usize,
+    duration: Duration,
+) -> HttpPhaseResult {
+    let server = Arc::new(
+        LiveServer::new(
+            LiveState::new(model.clone()),
+            data.train.clone(),
+            None,
+            LiveConfig::default(),
+        )
+        .expect("spawn live server"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = std::thread::spawn({
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        move || {
+            serve_on(
+                listener,
+                server,
+                ServeOptions {
+                    workers,
+                    queue_depth: clients.max(4) * 2,
+                    max_conns: None,
+                    stop: Some(stop),
+                },
+            )
+        }
+    });
+
+    let users = model.num_users();
+    let t0 = Instant::now();
+    let deadline = t0 + duration;
+    let (requests, errors) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                scope.spawn(move || {
+                    let (mut ok, mut err) = (0u64, 0u64);
+                    let mut cursor = c * 31;
+                    while Instant::now() < deadline {
+                        let user = cursor % users;
+                        cursor += 1;
+                        let req = format!(
+                            "GET /recommend?user={user}&top={top} HTTP/1.1\r\nHost: x\r\n\r\n"
+                        );
+                        let outcome = TcpStream::connect(addr).and_then(|mut conn| {
+                            conn.write_all(req.as_bytes())?;
+                            let mut buf = String::new();
+                            conn.read_to_string(&mut buf)?;
+                            Ok(buf.starts_with("HTTP/1.1 200"))
+                        });
+                        match outcome {
+                            Ok(true) => ok += 1,
+                            // 503s under backpressure count as errors here:
+                            // GET-only load must never trip the queue bound.
+                            _ => err += 1,
+                        }
+                    }
+                    (ok, err)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(addr);
+    server_thread.join().unwrap();
+    HttpPhaseResult {
+        workers,
+        requests,
+        errors,
+        secs,
+    }
+}
+
+/// Worker counts to sweep: 1, 2, 4, … doubling up to and including `max`.
+fn worker_sweep(max: usize) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut w = 1;
+    while w < max {
+        counts.push(w);
+        w *= 2;
+    }
+    counts.push(max);
+    counts
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.flag("smoke");
@@ -180,6 +304,10 @@ fn main() {
     let duration =
         Duration::from_millis(args.get("duration-ms", if smoke { 500u64 } else { 3000u64 }));
     let max_degradation = args.get("max-degradation", 50.0f64);
+    // `--workers N` enables the multi-client HTTP phase, swept over
+    // worker counts 1..=N (doubling); 0 skips it.
+    let max_workers = args.get("workers", 0usize);
+    let clients = args.get("clients", 4usize);
 
     eprintln!(
         "# fig7c_live: users={} items={} readers={readers} batch={batch} \
@@ -203,6 +331,14 @@ fn main() {
 
     let baseline = run_phase(&model, &data, readers, batch, top, duration, false, &dir);
     let churn = run_phase(&model, &data, readers, batch, top, duration, true, &dir);
+    let http_phases: Vec<HttpPhaseResult> = if max_workers > 0 {
+        worker_sweep(max_workers)
+            .into_iter()
+            .map(|w| run_http_phase(&model, &data, w, clients, top, duration))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let mut t = Table::new(
         [
@@ -236,11 +372,42 @@ fn main() {
         churn.events_applied, churn.final_epoch
     );
 
+    if !http_phases.is_empty() {
+        let mut t = Table::new(
+            ["workers", "clients", "reqs/sec", "errors"]
+                .into_iter()
+                .map(String::from),
+        );
+        for p in &http_phases {
+            t.row([
+                p.workers.to_string(),
+                clients.to_string(),
+                fmt(p.rate(), 0),
+                p.errors.to_string(),
+            ]);
+        }
+        t.print("Pooled HTTP server: reader throughput vs worker count");
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
 
     // The guard: consistency is absolute; liveness and bounded
     // degradation hold in every mode.
     let mut failures = Vec::new();
+    for p in &http_phases {
+        if p.requests == 0 {
+            failures.push(format!(
+                "HTTP clients made no progress at {} workers",
+                p.workers
+            ));
+        }
+        if p.errors > 0 {
+            failures.push(format!(
+                "{} HTTP requests failed at {} workers (GET-only load must not error)",
+                p.errors, p.workers
+            ));
+        }
+    }
     if baseline.consistency_failures + churn.consistency_failures > 0 {
         failures.push("a reader observed an inconsistent snapshot".to_string());
     }

@@ -1,0 +1,176 @@
+//! Per-connection I/O: bounded request parsing, timeouts, deadlines,
+//! and response framing.
+//!
+//! Each worker thread runs [`handle_connection`] on the sockets the
+//! accept loop hands it. All the limits that used to protect the old
+//! single-threaded loop still apply per connection — a worker stuck on
+//! one slow client stalls only itself; with `--workers ≥ 2` the other
+//! workers keep serving (asserted by `crates/cli/tests/slow_client.rs`).
+
+use super::metrics::HttpMetrics;
+use super::router::{self, Response};
+use crate::serve::LiveServer;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long one client may stall a single read or write before its
+/// connection is dropped. This bounds how long one worker can be held
+/// by an idle client.
+pub const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Total wall-clock budget for receiving one request (head + body). A
+/// per-read timeout alone does not bound a slow-drip client that sends
+/// one byte every few seconds — each byte resets the timer; the
+/// absolute deadline does.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Hard cap on the request line plus all headers. `read_line` grows its
+/// `String` until it sees a newline, so without a bound one client
+/// streaming newline-free bytes would grow server memory without limit.
+pub const MAX_HEAD_BYTES: u64 = 8 << 10;
+
+/// Hard cap on request bodies.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A `TcpStream` reader that enforces an absolute deadline: every raw
+/// read re-arms the socket timeout with the time remaining (capped at
+/// [`CLIENT_IO_TIMEOUT`]), so no sequence of drip-fed bytes can hold
+/// the connection open past the deadline.
+pub struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    /// Wrap `stream` with a fresh [`REQUEST_DEADLINE`] budget.
+    pub fn new(stream: TcpStream) -> DeadlineStream {
+        DeadlineStream {
+            stream,
+            deadline: Instant::now() + REQUEST_DEADLINE,
+        }
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_duration_since(Instant::now())
+            .filter(|r| !r.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline exceeded")
+            })?;
+        self.stream
+            .set_read_timeout(Some(remaining.min(CLIENT_IO_TIMEOUT)))?;
+        self.stream.read(buf)
+    }
+}
+
+/// Serve one connection end-to-end: parse the request under the byte
+/// caps and deadline, route it, write the response, record metrics.
+/// Malformed or timed-out requests drop the connection without a
+/// response (counted in `dropped`).
+pub fn handle_connection(stream: TcpStream, server: &LiveServer) {
+    let metrics = server.http_metrics();
+    metrics.inc_connection();
+    let mut reader = BufReader::new(DeadlineStream::new(stream));
+    // The head is read through a byte-capped lens; a request whose line
+    // or headers run past the cap hits EOF mid-line and is dropped.
+    let mut head = (&mut reader).take(MAX_HEAD_BYTES);
+    let mut request_line = String::new();
+    if head.read_line(&mut request_line).is_err() || !request_line.ends_with('\n') {
+        metrics.inc_dropped();
+        return;
+    }
+    // Drain headers, keeping Content-Length. A read error (timeout,
+    // reset) or truncation (cap, peer gone) drops the connection
+    // without a response.
+    let mut content_length = 0usize;
+    let mut line = String::new();
+    loop {
+        match head.read_line(&mut line) {
+            Err(_) => {
+                metrics.inc_dropped();
+                return;
+            }
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(0) => {
+                metrics.inc_dropped();
+                return;
+            }
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    metrics.inc_dropped();
+                    return;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    }
+                }
+                line.clear();
+            }
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+
+    // The latency clock starts once the head is in: it measures
+    // server-side handling (body read + route + write), not how slowly
+    // the client typed its request line.
+    let started = Instant::now();
+    let resp = if content_length > MAX_BODY_BYTES {
+        Response::bad("request body too large")
+    } else {
+        let mut body = vec![0u8; content_length];
+        if content_length > 0 && reader.read_exact(&mut body).is_err() {
+            Response::bad("request body shorter than Content-Length")
+        } else {
+            router::route(server, method, path, &body)
+        }
+    };
+    let mut stream = reader.into_inner().stream;
+    let _ = write_response(&mut stream, &resp, None);
+    metrics.record_response(path, resp.status, started.elapsed());
+}
+
+/// Refuse a connection at the accept loop because the worker queue is
+/// full: a minimal `503` with `Retry-After`, written with the socket's
+/// existing write timeout so a dead client cannot wedge the accept
+/// loop for long.
+pub fn reject_busy(mut stream: TcpStream, retry_after_secs: u64, metrics: &HttpMetrics) {
+    metrics.inc_queue_full();
+    let resp = Response {
+        status: 503,
+        body: "{\"error\":\"server busy, retry shortly\"}".to_string(),
+    };
+    let _ = write_response(&mut stream, &resp, Some(retry_after_secs));
+}
+
+/// Serialize and send one response (`Connection: close` framing).
+fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    retry_after_secs: Option<u64>,
+) -> std::io::Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let retry = match retry_after_secs {
+        Some(s) => format!("Retry-After: {s}\r\n"),
+        None => String::new(),
+    };
+    let payload = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n{}",
+        resp.status,
+        resp.body.len(),
+        resp.body
+    );
+    stream.write_all(payload.as_bytes())
+}

@@ -1,0 +1,336 @@
+//! Lock-free serving metrics: per-route counters and a latency
+//! histogram, surfaced through `GET /live/stats`.
+//!
+//! Everything here is `AtomicU64` with relaxed ordering — workers
+//! record concurrently without coordination, and a reader gets a
+//! coherent-enough snapshot for reporting. The histogram is a fixed
+//! array of power-of-two microsecond buckets, so recording is one
+//! `leading_zeros` plus one `fetch_add` (no locks, no allocation) and
+//! quantiles are read by walking the cumulative counts.
+
+use crate::json::json_str;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Routes tracked individually; anything else lands in `"other"`.
+/// Order matters only for display.
+pub const ROUTE_LABELS: &[&str] = &[
+    "/health",
+    "/model",
+    "/recommend",
+    "/recommend/batch",
+    "/categories",
+    "/live/stats",
+    "/items",
+    "/users/fold-in",
+    "other",
+];
+
+/// Power-of-two microsecond buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` µs. 40 buckets reach ~2^40 µs ≈ 12.7 days — far
+/// past any request the 30 s deadline lets live.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free latency histogram.
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one latency (sub-microsecond values count as 1 µs).
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128).max(1) as u64;
+        let idx = (63 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy every bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data bucket counts at one read point.
+pub struct HistogramSnapshot {
+    /// Count per power-of-two bucket (see [`HISTOGRAM_BUCKETS`]).
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `p`-quantile in microseconds (upper bound of the bucket the
+    /// quantile falls in); 0 when nothing was recorded.
+    pub fn quantile_us(&self, p: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << HISTOGRAM_BUCKETS
+    }
+}
+
+/// Counters for one route.
+#[derive(Debug, Default)]
+struct RouteCounters {
+    requests: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+}
+
+/// Plain-data per-route counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteSnapshot {
+    /// Requests routed here (any status).
+    pub requests: u64,
+    /// Responses with a 4xx status.
+    pub status_4xx: u64,
+    /// Responses with a 5xx status.
+    pub status_5xx: u64,
+}
+
+/// All serving-layer metrics, shared across workers and the accept
+/// loop. One instance lives inside the `LiveServer`.
+pub struct HttpMetrics {
+    routes: Vec<RouteCounters>,
+    latency: Histogram,
+    connections: AtomicU64,
+    dropped: AtomicU64,
+    queue_full: AtomicU64,
+    workers: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+impl Default for HttpMetrics {
+    fn default() -> HttpMetrics {
+        HttpMetrics::new()
+    }
+}
+
+impl HttpMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> HttpMetrics {
+        HttpMetrics {
+            routes: ROUTE_LABELS
+                .iter()
+                .map(|_| RouteCounters::default())
+                .collect(),
+            latency: Histogram::new(),
+            connections: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Index into [`ROUTE_LABELS`] for a request path (query string
+    /// already stripped or not — both work).
+    pub fn route_index(path: &str) -> usize {
+        let path = path.split('?').next().unwrap_or(path);
+        ROUTE_LABELS
+            .iter()
+            .position(|&l| l == path)
+            .unwrap_or(ROUTE_LABELS.len() - 1)
+    }
+
+    /// Record one completed request: route, response status, and the
+    /// server-side handling latency (parse-to-write, excluding the
+    /// client's own upload time).
+    pub fn record_response(&self, path: &str, status: u16, latency: Duration) {
+        let r = &self.routes[Self::route_index(path)];
+        r.requests.fetch_add(1, Ordering::Relaxed);
+        match status {
+            400..=499 => {
+                r.status_4xx.fetch_add(1, Ordering::Relaxed);
+            }
+            500..=599 => {
+                r.status_5xx.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.latency.record(latency);
+    }
+
+    /// A connection reached a worker.
+    pub fn inc_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was closed without a response (bad head, timeout,
+    /// peer gone).
+    pub fn inc_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused at the accept loop because the work
+    /// queue was full (the backpressure 503).
+    pub fn inc_queue_full(&self) {
+        self.queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the pool shape for reporting (`serve_on` calls this).
+    pub fn set_pool(&self, workers: usize, queue_depth: usize) {
+        self.workers.store(workers as u64, Ordering::Relaxed);
+        self.queue_depth
+            .store(queue_depth as u64, Ordering::Relaxed);
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> HttpMetricsSnapshot {
+        let latency = self.latency.snapshot();
+        HttpMetricsSnapshot {
+            routes: self
+                .routes
+                .iter()
+                .map(|r| RouteSnapshot {
+                    requests: r.requests.load(Ordering::Relaxed),
+                    status_4xx: r.status_4xx.load(Ordering::Relaxed),
+                    status_5xx: r.status_5xx.load(Ordering::Relaxed),
+                })
+                .collect(),
+            connections: self.connections.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            queue_full: self.queue_full.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            p50_us: latency.quantile_us(0.50),
+            p99_us: latency.quantile_us(0.99),
+            requests: latency.total(),
+        }
+    }
+
+    /// The `"http"` object embedded in `GET /live/stats`.
+    pub fn to_json(&self) -> String {
+        let s = self.snapshot();
+        let routes: Vec<String> = ROUTE_LABELS
+            .iter()
+            .zip(&s.routes)
+            .map(|(label, r)| {
+                format!(
+                    "{}:{{\"requests\":{},\"4xx\":{},\"5xx\":{}}}",
+                    json_str(label),
+                    r.requests,
+                    r.status_4xx,
+                    r.status_5xx
+                )
+            })
+            .collect();
+        format!(
+            "{{\"workers\":{},\"queue_depth\":{},\"connections\":{},\"dropped\":{},\
+             \"queue_full\":{},\"requests\":{},\"latency_p50_us\":{},\"latency_p99_us\":{},\
+             \"routes\":{{{}}}}}",
+            s.workers,
+            s.queue_depth,
+            s.connections,
+            s.dropped,
+            s.queue_full,
+            s.requests,
+            s.p50_us,
+            s.p99_us,
+            routes.join(",")
+        )
+    }
+}
+
+/// Plain-data copy of [`HttpMetrics`] at one read point.
+pub struct HttpMetricsSnapshot {
+    /// Per-route counts, in [`ROUTE_LABELS`] order.
+    pub routes: Vec<RouteSnapshot>,
+    /// Connections handed to a worker.
+    pub connections: u64,
+    /// Connections closed without a response.
+    pub dropped: u64,
+    /// Connections 503-rejected because the queue was full.
+    pub queue_full: u64,
+    /// Worker-thread count (as configured at serve time).
+    pub workers: u64,
+    /// Queue capacity (as configured at serve time).
+    pub queue_depth: u64,
+    /// Latency p50, microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// Latency p99, microseconds (bucket upper bound).
+    pub p99_us: u64,
+    /// Total responses with a recorded latency.
+    pub requests: u64,
+}
+
+impl HttpMetricsSnapshot {
+    /// The [`RouteSnapshot`] for a labelled route.
+    pub fn route(&self, label: &str) -> RouteSnapshot {
+        self.routes[HttpMetrics::route_index(label)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_recordings() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64,128)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768,65536) us
+        let s = h.snapshot();
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.quantile_us(0.50), 128);
+        assert!(s.quantile_us(0.99) <= 128);
+        assert_eq!(s.quantile_us(1.0), 65536);
+        assert_eq!(
+            HistogramSnapshot {
+                counts: [0; HISTOGRAM_BUCKETS]
+            }
+            .quantile_us(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn sub_microsecond_and_huge_latencies_clamp() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(60 * 60 * 24 * 365));
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn routes_and_statuses_are_attributed() {
+        let m = HttpMetrics::new();
+        m.record_response("/recommend?user=1", 200, Duration::from_micros(10));
+        m.record_response("/recommend", 400, Duration::from_micros(10));
+        m.record_response("/unknown", 404, Duration::from_micros(10));
+        m.record_response("/items", 503, Duration::from_micros(10));
+        let s = m.snapshot();
+        assert_eq!(s.route("/recommend").requests, 2);
+        assert_eq!(s.route("/recommend").status_4xx, 1);
+        assert_eq!(s.route("other").status_4xx, 1);
+        assert_eq!(s.route("/items").status_5xx, 1);
+        assert_eq!(s.requests, 4);
+        let json = m.to_json();
+        assert!(json.contains("\"/recommend\":{\"requests\":2"), "{json}");
+        assert!(json.contains("\"queue_full\":0"), "{json}");
+    }
+}

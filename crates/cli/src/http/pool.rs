@@ -1,0 +1,244 @@
+//! A bounded work queue and the fixed-size worker pool built on it.
+//!
+//! The queue is the server's backpressure point: when every worker is
+//! busy and the queue is full, [`WorkerPool::submit`] refuses the job
+//! immediately (the accept loop turns that into a `503` with
+//! `Retry-After`) instead of queueing unboundedly or blocking the
+//! accept loop. Shutdown is *draining*: every job accepted before
+//! [`WorkerPool::shutdown`] is still run, and nothing submitted after
+//! the close is.
+//!
+//! Invariants (property-tested in `crates/cli/tests/proptest_pool.rs`):
+//!
+//! * an accepted job is run **exactly once**;
+//! * a rejected job ([`SubmitError::Full`] / [`SubmitError::Closed`])
+//!   is **never** run, and ownership returns to the caller;
+//! * shutdown drains exactly the accepted-but-unfinished set, then
+//!   joins every worker.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Why a submission was refused. The job comes back to the caller in
+/// both cases, so nothing is silently dropped.
+#[derive(Debug)]
+pub enum SubmitError<T> {
+    /// The queue is at capacity — the backpressure signal.
+    Full(T),
+    /// The queue was closed (pool shutting down).
+    Closed(T),
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer FIFO with a hard capacity.
+///
+/// `try_push` never blocks; `pop` blocks until an item arrives or the
+/// queue is closed *and* drained. Closing wakes every blocked popper.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue without blocking; `Full`/`Closed` return the item.
+    pub fn try_push(&self, item: T) -> Result<(), SubmitError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(SubmitError::Closed(item));
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err(SubmitError::Full(item));
+        }
+        inner.queue.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is open and empty. `None`
+    /// means closed **and** fully drained — items accepted before the
+    /// close are always handed out first.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Refuse further pushes and wake every blocked popper. Items
+    /// already accepted remain poppable (drain semantics).
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued (racy; for reporting only).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty (racy; for reporting only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// N worker threads looping over one [`Bounded`] queue.
+pub struct WorkerPool<T> {
+    queue: Arc<Bounded<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `workers` threads (min 1) named `name-<i>`, each running
+    /// `handler` on every job it pops. A panicking handler is caught so
+    /// one poisoned job cannot shrink the pool for the rest of the
+    /// process's life.
+    pub fn spawn<F>(workers: usize, queue_depth: usize, name: &str, handler: F) -> WorkerPool<T>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let queue = Arc::new(Bounded::new(queue_depth));
+        let handler = Arc::new(handler);
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                handler(job)
+                            }));
+                        }
+                    })
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        WorkerPool { queue, workers }
+    }
+
+    /// Hand a job to the pool without blocking.
+    pub fn submit(&self, job: T) -> Result<(), SubmitError<T>> {
+        self.queue.try_push(job)
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful shutdown: refuse new jobs, let the workers drain
+    /// everything already accepted, then join them all.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<T> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bounded_rejects_when_full_and_after_close() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(matches!(q.try_push(3), Err(SubmitError::Full(3))));
+        q.close();
+        assert!(matches!(q.try_push(4), Err(SubmitError::Closed(4))));
+        // Drain semantics: accepted items survive the close, in order.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_drains_on_shutdown() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::spawn(3, 16, "test-pool", {
+            let ran = Arc::clone(&ran);
+            move |n: usize| {
+                ran.fetch_add(n, Ordering::SeqCst);
+            }
+        });
+        let mut accepted_sum = 0usize;
+        for n in 1..=10usize {
+            if pool.submit(n).is_ok() {
+                accepted_sum += n;
+            }
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), accepted_sum);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::spawn(1, 8, "test-panic", {
+            let ran = Arc::clone(&ran);
+            move |n: usize| {
+                if n == 0 {
+                    panic!("poisoned job");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        pool.submit(0).unwrap();
+        pool.submit(1).unwrap();
+        pool.submit(2).unwrap();
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,393 @@
+//! Request routing: the pure `(method, path, body)` →
+//! [`Response`] map.
+//!
+//! Every handler loads its own immutable snapshot from the
+//! [`taxrec_core::live::ModelCell`] at entry and keeps it for the whole
+//! request — concurrent workers read lock-free and never observe a
+//! half-published model, even while the applier publishes successors.
+
+use crate::json::{self, json_str, Json};
+use crate::serve::LiveServer;
+use taxrec_core::live::{LiveError, UpdateEvent};
+use taxrec_core::{Backend, CascadeConfig, RecommendRequest};
+use taxrec_dataset::Transaction;
+use taxrec_taxonomy::{ItemId, NodeId};
+
+/// Default BPR steps for `POST /users/fold-in` when the body names none.
+pub const DEFAULT_FOLD_STEPS: usize = 400;
+/// Hard cap on total items in one fold-in history.
+pub const MAX_FOLD_ITEMS: usize = 10_000;
+/// Hard cap on requested fold-in steps (the event codec enforces the
+/// same bound at decode time).
+pub const MAX_FOLD_STEPS: usize = taxrec_core::live::MAX_EVENT_FOLD_STEPS;
+/// Largest user batch one HTTP request may name.
+pub const BATCH_CAP: usize = 4096;
+
+/// One parsed HTTP response: status line + body.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON).
+    pub body: String,
+}
+
+impl Response {
+    pub(crate) fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    pub(crate) fn bad(msg: &str) -> Response {
+        Response {
+            status: 400,
+            body: format!("{{\"error\":{}}}", json_str(msg)),
+        }
+    }
+
+    pub(crate) fn not_found() -> Response {
+        Response {
+            status: 404,
+            body: "{\"error\":\"not found\"}".to_string(),
+        }
+    }
+
+    pub(crate) fn method_not_allowed(allow: &str) -> Response {
+        Response {
+            status: 405,
+            body: format!(
+                "{{\"error\":\"method not allowed\",\"allow\":{}}}",
+                json_str(allow)
+            ),
+        }
+    }
+}
+
+/// Parse the `cascade` parameter into a backend override.
+fn backend_from(cascade: Option<&str>, depth: usize) -> Backend {
+    match cascade.and_then(|v| v.parse::<f64>().ok()) {
+        Some(k) if k < 1.0 => Backend::Cascaded(CascadeConfig::uniform(depth, k.max(0.01))),
+        _ => Backend::Exhaustive,
+    }
+}
+
+/// One user's recommendations as a JSON object.
+fn user_json(server: &LiveServer, user: usize, recs: &[(ItemId, f32)]) -> String {
+    let items: Vec<String> = recs
+        .iter()
+        .map(|(i, s)| {
+            format!(
+                "{{\"item\":{},\"id\":{},\"score\":{s:.4}}}",
+                json_str(&server.item_label(*i)),
+                i.0
+            )
+        })
+        .collect();
+    format!(
+        "{{\"user\":{user},\"recommendations\":[{}]}}",
+        items.join(",")
+    )
+}
+
+fn live_error_response(e: LiveError) -> Response {
+    match e {
+        // Client errors: bad parent node, unknown item in a history,
+        // excessive fold-in steps.
+        LiveError::Taxonomy(_) | LiveError::UnknownItem(_) | LiveError::FoldStepsTooLarge(_) => {
+            Response::bad(&e.to_string())
+        }
+        // Applier gone / IO trouble: the server's fault, not the client's.
+        LiveError::QueueClosed | LiveError::Io(_) => Response {
+            status: 503,
+            body: format!("{{\"error\":{}}}", json_str(&e.to_string())),
+        },
+    }
+}
+
+/// Route one request. Exposed for in-process tests; the TCP workers are
+/// a thin shell around this. Thread-safe: takes `&LiveServer`, loads
+/// its own snapshot, and touches only atomic counters.
+pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -> Response {
+    let (path, query) = match path_query.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path_query, ""),
+    };
+    let get_param = |name: &str| -> Option<&str> {
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    };
+    const GET_ROUTES: &[&str] = &[
+        "/health",
+        "/model",
+        "/recommend",
+        "/recommend/batch",
+        "/categories",
+        "/live/stats",
+    ];
+    const POST_ROUTES: &[&str] = &["/items", "/users/fold-in"];
+    match method {
+        "GET" if GET_ROUTES.contains(&path) => {}
+        "POST" if POST_ROUTES.contains(&path) => {}
+        _ if GET_ROUTES.contains(&path) => return Response::method_not_allowed("GET"),
+        _ if POST_ROUTES.contains(&path) => return Response::method_not_allowed("POST"),
+        "GET" | "POST" => return Response::not_found(),
+        _ => return Response::method_not_allowed("GET, POST"),
+    }
+
+    let snap = server.live().cell().load();
+    match path {
+        "/health" => Response::ok("{\"status\":\"ok\"}".to_string()),
+        "/model" => {
+            let model = snap.model();
+            let cfg = model.config();
+            Response::ok(format!(
+                "{{\"system\":{},\"factors\":{},\"users\":{},\"items\":{},\"levels\":{:?},\
+                 \"epoch\":{},\"items_added\":{},\"users_folded\":{}}}",
+                json_str(&cfg.system_name()),
+                cfg.factors,
+                model.num_users(),
+                model.num_items(),
+                model.taxonomy().level_sizes(),
+                snap.epoch(),
+                snap.items_added(),
+                snap.users_folded(),
+            ))
+        }
+        "/recommend" => {
+            let Some(user) = get_param("user").and_then(|v| v.parse::<usize>().ok()) else {
+                return Response::bad("user parameter required");
+            };
+            if user >= snap.model().num_users() {
+                return Response::bad("user out of range");
+            }
+            let top = get_param("top")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10usize);
+            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
+            let bought = server.exclude_for(&snap, user);
+            let recs = snap.engine().recommend_with(
+                &RecommendRequest {
+                    user,
+                    history: server.history_for(&snap, user),
+                    k: top,
+                    exclude: &bought,
+                },
+                &backend,
+            );
+            Response::ok(user_json(server, user, &recs))
+        }
+        "/recommend/batch" => {
+            let Some(spec) = get_param("users") else {
+                return Response::bad("users parameter required (e.g. users=0,1,2 or users=0-63)");
+            };
+            let users =
+                match crate::users::parse_user_list(spec, snap.model().num_users(), BATCH_CAP) {
+                    Ok(u) => u,
+                    Err(e) => return Response::bad(&e),
+                };
+            let top = get_param("top")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10usize);
+            let threads = get_param("threads")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(default_threads)
+                .clamp(1, 64);
+            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
+
+            let excludes: Vec<Vec<ItemId>> = users
+                .iter()
+                .map(|&u| server.exclude_for(&snap, u))
+                .collect();
+            let requests: Vec<RecommendRequest<'_>> = users
+                .iter()
+                .zip(&excludes)
+                .map(|(&u, excl)| RecommendRequest {
+                    user: u,
+                    history: server.history_for(&snap, u),
+                    k: top,
+                    exclude: excl,
+                })
+                .collect();
+            let results = snap
+                .engine()
+                .recommend_batch_with(&requests, threads, &backend);
+            let body: Vec<String> = users
+                .iter()
+                .zip(&results)
+                .map(|(&u, recs)| user_json(server, u, recs))
+                .collect();
+            Response::ok(format!(
+                "{{\"batch\":{},\"epoch\":{},\"results\":[{}]}}",
+                users.len(),
+                snap.epoch(),
+                body.join(",")
+            ))
+        }
+        "/categories" => {
+            let Some(user) = get_param("user").and_then(|v| v.parse::<usize>().ok()) else {
+                return Response::bad("user parameter required");
+            };
+            if user >= snap.model().num_users() {
+                return Response::bad("user out of range");
+            }
+            let level = get_param("level")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1usize);
+            if level > snap.model().taxonomy().depth() {
+                return Response::bad("level deeper than the taxonomy");
+            }
+            let scorer = snap.engine().scorer();
+            let query_vec = scorer.query(user, server.history_for(&snap, user));
+            let cats: Vec<String> = scorer
+                .rank_level(&query_vec, level)
+                .iter()
+                .take(10)
+                .map(|(n, s)| format!("{{\"node\":{},\"score\":{s:.4}}}", n.0))
+                .collect();
+            Response::ok(format!(
+                "{{\"user\":{user},\"level\":{level},\"categories\":[{}]}}",
+                cats.join(",")
+            ))
+        }
+        "/live/stats" => {
+            let s = server.live().stats().snapshot();
+            Response::ok(format!(
+                "{{\"epoch\":{},\"users\":{},\"items\":{},\"base_users\":{},\"base_items\":{},\
+                 \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
+                 \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
+                 \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{},\"http\":{}}}",
+                snap.epoch(),
+                snap.model().num_users(),
+                snap.model().num_items(),
+                snap.base_users(),
+                snap.base_items(),
+                s.enqueued,
+                s.applied,
+                s.rejected,
+                server.live().stats().pending(),
+                s.items_added,
+                s.users_folded,
+                s.publishes,
+                s.snapshots_written,
+                s.log_bytes,
+                s.log_errors,
+                server.http_metrics().to_json(),
+            ))
+        }
+        "/items" => {
+            let parsed = match parse_body(body) {
+                Ok(v) => v,
+                Err(e) => return Response::bad(&e),
+            };
+            let Some(parent) = parsed.get("parent").and_then(Json::as_u64) else {
+                return Response::bad("body must be {\"parent\": <interior node id>}");
+            };
+            let Ok(parent) = u32::try_from(parent) else {
+                return Response::bad("parent node id out of range");
+            };
+            match server.live().submit(UpdateEvent::AddItem {
+                parent: NodeId(parent),
+            }) {
+                Ok(done) => {
+                    let taxrec_core::live::Applied::ItemAdded { item, node } = done.applied else {
+                        return Response::bad("applier returned a mismatched result");
+                    };
+                    Response::ok(format!(
+                        "{{\"item\":{},\"node\":{},\"epoch\":{}}}",
+                        item.0, node.0, done.epoch
+                    ))
+                }
+                Err(e) => live_error_response(e),
+            }
+        }
+        "/users/fold-in" => {
+            let parsed = match parse_body(body) {
+                Ok(v) => v,
+                Err(e) => return Response::bad(&e),
+            };
+            let history = match fold_in_history(&parsed) {
+                Ok(h) => h,
+                Err(e) => return Response::bad(&e),
+            };
+            let steps = match parsed.get("steps") {
+                None => DEFAULT_FOLD_STEPS,
+                Some(v) => match v.as_usize() {
+                    Some(s) if s <= MAX_FOLD_STEPS => s,
+                    _ => return Response::bad("steps must be an integer within bounds"),
+                },
+            };
+            let seed = match parsed.get("seed") {
+                None => server.next_fold_seed(),
+                Some(v) => match v.as_u64() {
+                    Some(s) => s,
+                    None => return Response::bad("seed must be a non-negative integer below 2^53"),
+                },
+            };
+            let transactions = history.len();
+            match server.live().submit(UpdateEvent::FoldInUser {
+                history,
+                steps,
+                seed,
+            }) {
+                Ok(done) => {
+                    let taxrec_core::live::Applied::UserFolded { user } = done.applied else {
+                        return Response::bad("applier returned a mismatched result");
+                    };
+                    Response::ok(format!(
+                        "{{\"user\":{user},\"transactions\":{transactions},\"epoch\":{}}}",
+                        done.epoch
+                    ))
+                }
+                Err(e) => live_error_response(e),
+            }
+        }
+        _ => Response::not_found(),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("request body required".to_string());
+    }
+    json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+/// Extract and validate `{"history": [[item, ...], ...]}`.
+fn fold_in_history(parsed: &Json) -> Result<Vec<Transaction>, String> {
+    let Some(baskets) = parsed.get("history").and_then(Json::as_array) else {
+        return Err("body must contain \"history\": [[item ids], ...]".to_string());
+    };
+    let mut history: Vec<Transaction> = Vec::with_capacity(baskets.len());
+    let mut total = 0usize;
+    for basket in baskets {
+        let Some(items) = basket.as_array() else {
+            return Err("history entries must be arrays of item ids".to_string());
+        };
+        let mut tx: Transaction = Vec::with_capacity(items.len());
+        for item in items {
+            let Some(id) = item.as_u64().and_then(|v| u32::try_from(v).ok()) else {
+                return Err("item ids must be non-negative integers".to_string());
+            };
+            tx.push(ItemId(id));
+        }
+        total += tx.len();
+        if total > MAX_FOLD_ITEMS {
+            return Err(format!("history exceeds {MAX_FOLD_ITEMS} items"));
+        }
+        history.push(tx);
+    }
+    if total == 0 {
+        return Err("history must contain at least one purchase".to_string());
+    }
+    Ok(history)
+}
+
+/// Engine-internal parallelism default for one batch request.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}

@@ -14,6 +14,7 @@
 //! taxrec inspect   --model m.tfm
 //! taxrec replay    --model snap.tfm --log events.log --out recovered.tfm
 //! taxrec serve     --data data/ --model m.tfm [--port 8080]
+//!                  [--workers N] [--queue-depth M]
 //!                  [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //! ```
 //!
@@ -25,6 +26,7 @@
 
 mod args;
 mod commands;
+pub mod http;
 pub mod json;
 pub mod serve;
 mod store;
@@ -69,6 +71,7 @@ USAGE:
   taxrec inspect   --model FILE
   taxrec replay    --model FILE --log FILE --out FILE [--lossy] [--json]
   taxrec serve     --data DIR --model FILE [--port 8080]
+                   [--workers N] [--queue-depth M]
                    [--live-log FILE] [--snapshot FILE] [--snapshot-every N]
 
 LIST is comma ids and/or inclusive ranges: 0,3,9 or 0-63 or 0-7,32-39.

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! taxrec serve --data data/ --model m.tfm --port 8080
+//!              [--workers N] [--queue-depth M]
 //!              [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //!
 //! GET  /health                             → 200 {"status":"ok"}
@@ -11,57 +12,53 @@
 //! GET  /recommend?user=0&cascade=0.3       → cascaded fast path
 //! GET  /recommend/batch?users=0-63&top=10  → multi-user batch (JSON)
 //! GET  /categories?user=0&level=1          → ranked categories (JSON)
-//! GET  /live/stats                         → live-subsystem counters
+//! GET  /live/stats                         → live + HTTP serving counters
 //! POST /items          {"parent": 17}      → add an item under a category
 //! POST /users/fold-in  {"history": [[1,2],[3]], "steps": 400, "seed": 7}
 //! ```
 //!
-//! Serving is built on the live subsystem (`taxrec_core::live`): every
-//! GET loads the current epoch's immutable snapshot from a
-//! [`taxrec_core::live::ModelCell`] and scores against it, while POSTs
-//! enqueue update events for the applier thread, which publishes a new
-//! snapshot (and appends the event to the `--live-log` WAL) without
-//! blocking readers. Users folded in live get fresh user ids and are
-//! immediately servable through the same GET routes;
+//! Serving is built on the live subsystem (`taxrec_core::live`) and the
+//! worker-pool HTTP layer (`crate::http`): the accept loop hands each
+//! `TcpStream` to one of `--workers` threads over a bounded queue
+//! (`--queue-depth`); when the queue is full the connection is refused
+//! immediately with `503` + `Retry-After` instead of stalling the
+//! accept loop. Every GET loads the current epoch's immutable snapshot
+//! from a [`taxrec_core::live::ModelCell`] and scores against it —
+//! readers scale with cores — while POSTs enqueue update events for the
+//! single applier thread, which publishes a new snapshot (and appends
+//! the event to the `--live-log` WAL) without blocking readers.
 //! `--snapshot`/`--snapshot-every` bound recovery time (see
 //! `docs/guide/serving.md`).
 //!
 //! Errors are structured JSON — `{"error": "..."}` with 400 (bad
-//! request), 404 (unknown route) or 405 (wrong method, with `allow`).
+//! request), 404 (unknown route), 405 (wrong method, with `allow`), or
+//! 503 (backpressure / applier unavailable).
 
-use crate::json::{self, json_str, Json};
+use crate::http::conn::{self, CLIENT_IO_TIMEOUT};
+use crate::http::metrics::HttpMetrics;
+use crate::http::pool::{SubmitError, WorkerPool};
 use crate::store::DataDir;
 use crate::{CliArgs, CliError};
-use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 use taxrec_core::live::{
-    decode_log_lossy, replay, snapshot::decode_live, LiveConfig, LiveEngine, LiveError, LiveHandle,
-    LiveState, UpdateEvent,
+    decode_log_lossy, replay, snapshot::decode_live, LiveConfig, LiveEngine, LiveHandle, LiveState,
 };
-use taxrec_core::{Backend, CascadeConfig, RecommendRequest};
 use taxrec_dataset::{PurchaseLog, Transaction};
-use taxrec_taxonomy::{ItemId, NodeId};
+use taxrec_taxonomy::ItemId;
 
-/// Default BPR steps for `POST /users/fold-in` when the body names none.
-const DEFAULT_FOLD_STEPS: usize = 400;
-/// Hard cap on request bodies.
-const MAX_BODY_BYTES: usize = 1 << 20;
-/// Hard cap on total items in one fold-in history.
-const MAX_FOLD_ITEMS: usize = 10_000;
-/// Hard cap on requested fold-in steps (the event codec enforces the
-/// same bound at decode time).
-const MAX_FOLD_STEPS: usize = taxrec_core::live::MAX_EVENT_FOLD_STEPS;
-/// Largest user batch one HTTP request may name.
-const BATCH_CAP: usize = 4096;
+pub use crate::http::router::{route, Response};
 
 /// The serving frontend: the live subsystem plus the read-only data-dir
-/// state (training histories, item names).
+/// state (training histories, item names) and the HTTP metrics shared
+/// by every worker.
 pub struct LiveServer {
     train: PurchaseLog,
     item_names: Option<Vec<String>>,
     live: LiveHandle,
+    metrics: Arc<HttpMetrics>,
+    fold_seed: std::sync::atomic::AtomicU64,
 }
 
 impl LiveServer {
@@ -88,6 +85,8 @@ impl LiveServer {
             train,
             item_names,
             live,
+            metrics: Arc::new(HttpMetrics::new()),
+            fold_seed: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -114,7 +113,22 @@ impl LiveServer {
         &self.live
     }
 
-    fn item_label(&self, i: ItemId) -> String {
+    /// The HTTP serving metrics (per-route counters, latency histogram).
+    pub fn http_metrics(&self) -> &Arc<HttpMetrics> {
+        &self.metrics
+    }
+
+    /// A process-unique default seed for a seedless `POST
+    /// /users/fold-in`. A dedicated atomic, not a stats read: two
+    /// workers handling seedless fold-ins concurrently must never
+    /// draw the same seed (the old single-threaded accept loop made
+    /// the stats-counter default unique by accident).
+    pub(crate) fn next_fold_seed(&self) -> u64 {
+        self.fold_seed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub(crate) fn item_label(&self, i: ItemId) -> String {
         self.item_names
             .as_ref()
             .and_then(|n| n.get(i.index()).cloned())
@@ -123,7 +137,11 @@ impl LiveServer {
 
     /// The history a user's Markov term conditions on: the training log
     /// for trained users, the fold-in history for live users.
-    fn history_for<'a>(&'a self, snap: &'a LiveEngine, user: usize) -> &'a [Transaction] {
+    pub(crate) fn history_for<'a>(
+        &'a self,
+        snap: &'a LiveEngine,
+        user: usize,
+    ) -> &'a [Transaction] {
         if user < snap.base_users() {
             self.train.user(user)
         } else {
@@ -132,7 +150,7 @@ impl LiveServer {
     }
 
     /// Items to exclude (already purchased), sorted ascending.
-    fn exclude_for(&self, snap: &LiveEngine, user: usize) -> Vec<ItemId> {
+    pub(crate) fn exclude_for(&self, snap: &LiveEngine, user: usize) -> Vec<ItemId> {
         if user < snap.base_users() {
             self.train.distinct_items(user)
         } else {
@@ -263,370 +281,90 @@ fn recover_from_wal(
     Ok(())
 }
 
-/// One parsed HTTP response: status line + body.
-#[derive(Debug, PartialEq, Eq)]
-pub struct Response {
-    /// HTTP status code.
-    pub status: u16,
-    /// Response body (JSON).
-    pub body: String,
-}
-
-impl Response {
-    fn ok(body: String) -> Response {
-        Response { status: 200, body }
-    }
-
-    fn bad(msg: &str) -> Response {
-        Response {
-            status: 400,
-            body: format!("{{\"error\":{}}}", json_str(msg)),
-        }
-    }
-
-    fn not_found() -> Response {
-        Response {
-            status: 404,
-            body: "{\"error\":\"not found\"}".to_string(),
-        }
-    }
-
-    fn method_not_allowed(allow: &str) -> Response {
-        Response {
-            status: 405,
-            body: format!(
-                "{{\"error\":\"method not allowed\",\"allow\":{}}}",
-                json_str(allow)
-            ),
-        }
-    }
-}
-
-/// Parse the `cascade` parameter into a backend override.
-fn backend_from(cascade: Option<&str>, depth: usize) -> Backend {
-    match cascade.and_then(|v| v.parse::<f64>().ok()) {
-        Some(k) if k < 1.0 => Backend::Cascaded(CascadeConfig::uniform(depth, k.max(0.01))),
-        _ => Backend::Exhaustive,
-    }
-}
-
-/// One user's recommendations as a JSON object.
-fn user_json(server: &LiveServer, user: usize, recs: &[(ItemId, f32)]) -> String {
-    let items: Vec<String> = recs
-        .iter()
-        .map(|(i, s)| {
-            format!(
-                "{{\"item\":{},\"id\":{},\"score\":{s:.4}}}",
-                json_str(&server.item_label(*i)),
-                i.0
-            )
-        })
-        .collect();
-    format!(
-        "{{\"user\":{user},\"recommendations\":[{}]}}",
-        items.join(",")
-    )
-}
-
-fn live_error_response(e: LiveError) -> Response {
-    match e {
-        // Client errors: bad parent node, unknown item in a history,
-        // excessive fold-in steps.
-        LiveError::Taxonomy(_) | LiveError::UnknownItem(_) | LiveError::FoldStepsTooLarge(_) => {
-            Response::bad(&e.to_string())
-        }
-        // Applier gone / IO trouble: the server's fault, not the client's.
-        LiveError::QueueClosed | LiveError::Io(_) => Response {
-            status: 503,
-            body: format!("{{\"error\":{}}}", json_str(&e.to_string())),
-        },
-    }
-}
-
-/// Route one request. Exposed for in-process tests; the TCP loop is a
-/// thin shell around this.
-pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -> Response {
-    let (path, query) = match path_query.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (path_query, ""),
-    };
-    let get_param = |name: &str| -> Option<&str> {
-        query
-            .split('&')
-            .filter_map(|kv| kv.split_once('='))
-            .find(|(k, _)| *k == name)
-            .map(|(_, v)| v)
-    };
-    const GET_ROUTES: &[&str] = &[
-        "/health",
-        "/model",
-        "/recommend",
-        "/recommend/batch",
-        "/categories",
-        "/live/stats",
-    ];
-    const POST_ROUTES: &[&str] = &["/items", "/users/fold-in"];
-    match method {
-        "GET" if GET_ROUTES.contains(&path) => {}
-        "POST" if POST_ROUTES.contains(&path) => {}
-        _ if GET_ROUTES.contains(&path) => return Response::method_not_allowed("GET"),
-        _ if POST_ROUTES.contains(&path) => return Response::method_not_allowed("POST"),
-        "GET" | "POST" => return Response::not_found(),
-        _ => return Response::method_not_allowed("GET, POST"),
-    }
-
-    let snap = server.live.cell().load();
-    match path {
-        "/health" => Response::ok("{\"status\":\"ok\"}".to_string()),
-        "/model" => {
-            let model = snap.model();
-            let cfg = model.config();
-            Response::ok(format!(
-                "{{\"system\":{},\"factors\":{},\"users\":{},\"items\":{},\"levels\":{:?},\
-                 \"epoch\":{},\"items_added\":{},\"users_folded\":{}}}",
-                json_str(&cfg.system_name()),
-                cfg.factors,
-                model.num_users(),
-                model.num_items(),
-                model.taxonomy().level_sizes(),
-                snap.epoch(),
-                snap.items_added(),
-                snap.users_folded(),
-            ))
-        }
-        "/recommend" => {
-            let Some(user) = get_param("user").and_then(|v| v.parse::<usize>().ok()) else {
-                return Response::bad("user parameter required");
-            };
-            if user >= snap.model().num_users() {
-                return Response::bad("user out of range");
-            }
-            let top = get_param("top")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(10usize);
-            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
-            let bought = server.exclude_for(&snap, user);
-            let recs = snap.engine().recommend_with(
-                &RecommendRequest {
-                    user,
-                    history: server.history_for(&snap, user),
-                    k: top,
-                    exclude: &bought,
-                },
-                &backend,
-            );
-            Response::ok(user_json(server, user, &recs))
-        }
-        "/recommend/batch" => {
-            let Some(spec) = get_param("users") else {
-                return Response::bad("users parameter required (e.g. users=0,1,2 or users=0-63)");
-            };
-            let users =
-                match crate::users::parse_user_list(spec, snap.model().num_users(), BATCH_CAP) {
-                    Ok(u) => u,
-                    Err(e) => return Response::bad(&e),
-                };
-            let top = get_param("top")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(10usize);
-            let threads = get_param("threads")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(default_threads)
-                .clamp(1, 64);
-            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
-
-            let excludes: Vec<Vec<ItemId>> = users
-                .iter()
-                .map(|&u| server.exclude_for(&snap, u))
-                .collect();
-            let requests: Vec<RecommendRequest<'_>> = users
-                .iter()
-                .zip(&excludes)
-                .map(|(&u, excl)| RecommendRequest {
-                    user: u,
-                    history: server.history_for(&snap, u),
-                    k: top,
-                    exclude: excl,
-                })
-                .collect();
-            let results = snap
-                .engine()
-                .recommend_batch_with(&requests, threads, &backend);
-            let body: Vec<String> = users
-                .iter()
-                .zip(&results)
-                .map(|(&u, recs)| user_json(server, u, recs))
-                .collect();
-            Response::ok(format!(
-                "{{\"batch\":{},\"epoch\":{},\"results\":[{}]}}",
-                users.len(),
-                snap.epoch(),
-                body.join(",")
-            ))
-        }
-        "/categories" => {
-            let Some(user) = get_param("user").and_then(|v| v.parse::<usize>().ok()) else {
-                return Response::bad("user parameter required");
-            };
-            if user >= snap.model().num_users() {
-                return Response::bad("user out of range");
-            }
-            let level = get_param("level")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1usize);
-            if level > snap.model().taxonomy().depth() {
-                return Response::bad("level deeper than the taxonomy");
-            }
-            let scorer = snap.engine().scorer();
-            let query_vec = scorer.query(user, server.history_for(&snap, user));
-            let cats: Vec<String> = scorer
-                .rank_level(&query_vec, level)
-                .iter()
-                .take(10)
-                .map(|(n, s)| format!("{{\"node\":{},\"score\":{s:.4}}}", n.0))
-                .collect();
-            Response::ok(format!(
-                "{{\"user\":{user},\"level\":{level},\"categories\":[{}]}}",
-                cats.join(",")
-            ))
-        }
-        "/live/stats" => {
-            let s = server.live.stats().snapshot();
-            Response::ok(format!(
-                "{{\"epoch\":{},\"users\":{},\"items\":{},\"base_users\":{},\"base_items\":{},\
-                 \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
-                 \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
-                 \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{}}}",
-                snap.epoch(),
-                snap.model().num_users(),
-                snap.model().num_items(),
-                snap.base_users(),
-                snap.base_items(),
-                s.enqueued,
-                s.applied,
-                s.rejected,
-                server.live.stats().pending(),
-                s.items_added,
-                s.users_folded,
-                s.publishes,
-                s.snapshots_written,
-                s.log_bytes,
-                s.log_errors,
-            ))
-        }
-        "/items" => {
-            let parsed = match parse_body(body) {
-                Ok(v) => v,
-                Err(e) => return Response::bad(&e),
-            };
-            let Some(parent) = parsed.get("parent").and_then(Json::as_u64) else {
-                return Response::bad("body must be {\"parent\": <interior node id>}");
-            };
-            let Ok(parent) = u32::try_from(parent) else {
-                return Response::bad("parent node id out of range");
-            };
-            match server.live.submit(UpdateEvent::AddItem {
-                parent: NodeId(parent),
-            }) {
-                Ok(done) => {
-                    let taxrec_core::live::Applied::ItemAdded { item, node } = done.applied else {
-                        return Response::bad("applier returned a mismatched result");
-                    };
-                    Response::ok(format!(
-                        "{{\"item\":{},\"node\":{},\"epoch\":{}}}",
-                        item.0, node.0, done.epoch
-                    ))
-                }
-                Err(e) => live_error_response(e),
-            }
-        }
-        "/users/fold-in" => {
-            let parsed = match parse_body(body) {
-                Ok(v) => v,
-                Err(e) => return Response::bad(&e),
-            };
-            let history = match fold_in_history(&parsed) {
-                Ok(h) => h,
-                Err(e) => return Response::bad(&e),
-            };
-            let steps = match parsed.get("steps") {
-                None => DEFAULT_FOLD_STEPS,
-                Some(v) => match v.as_usize() {
-                    Some(s) if s <= MAX_FOLD_STEPS => s,
-                    _ => return Response::bad("steps must be an integer within bounds"),
-                },
-            };
-            let seed = match parsed.get("seed") {
-                None => server.live.stats().snapshot().enqueued,
-                Some(v) => match v.as_u64() {
-                    Some(s) => s,
-                    None => return Response::bad("seed must be a non-negative integer below 2^53"),
-                },
-            };
-            let transactions = history.len();
-            match server.live.submit(UpdateEvent::FoldInUser {
-                history,
-                steps,
-                seed,
-            }) {
-                Ok(done) => {
-                    let taxrec_core::live::Applied::UserFolded { user } = done.applied else {
-                        return Response::bad("applier returned a mismatched result");
-                    };
-                    Response::ok(format!(
-                        "{{\"user\":{user},\"transactions\":{transactions},\"epoch\":{}}}",
-                        done.epoch
-                    ))
-                }
-                Err(e) => live_error_response(e),
-            }
-        }
-        _ => Response::not_found(),
-    }
-}
-
-fn parse_body(body: &[u8]) -> Result<Json, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
-    if text.trim().is_empty() {
-        return Err("request body required".to_string());
-    }
-    json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
-}
-
-/// Extract and validate `{"history": [[item, ...], ...]}`.
-fn fold_in_history(parsed: &Json) -> Result<Vec<Transaction>, String> {
-    let Some(baskets) = parsed.get("history").and_then(Json::as_array) else {
-        return Err("body must contain \"history\": [[item ids], ...]".to_string());
-    };
-    let mut history: Vec<Transaction> = Vec::with_capacity(baskets.len());
-    let mut total = 0usize;
-    for basket in baskets {
-        let Some(items) = basket.as_array() else {
-            return Err("history entries must be arrays of item ids".to_string());
-        };
-        let mut tx: Transaction = Vec::with_capacity(items.len());
-        for item in items {
-            let Some(id) = item.as_u64().and_then(|v| u32::try_from(v).ok()) else {
-                return Err("item ids must be non-negative integers".to_string());
-            };
-            tx.push(ItemId(id));
-        }
-        total += tx.len();
-        if total > MAX_FOLD_ITEMS {
-            return Err(format!("history exceeds {MAX_FOLD_ITEMS} items"));
-        }
-        history.push(tx);
-    }
-    if total == 0 {
-        return Err("history must contain at least one purchase".to_string());
-    }
-    Ok(history)
-}
-
-fn default_threads() -> usize {
+/// Default worker-pool width: one per core, at least 2 (so a single
+/// stalled client never serializes the server even on a 1-core box),
+/// capped at 64.
+pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+        .clamp(2, 64)
+}
+
+/// How the pooled accept loop runs. `Default` matches the CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads handling connections (min 1).
+    pub workers: usize,
+    /// Bounded queue depth between the accept loop and the workers;
+    /// connections beyond `workers + queue_depth` in flight are
+    /// 503-rejected (min 1).
+    pub queue_depth: usize,
+    /// Stop after accepting this many connections (tests/benches);
+    /// `None` = serve forever.
+    pub max_conns: Option<usize>,
+    /// Cooperative stop flag: checked whenever a connection arrives, so
+    /// a controller sets it and then makes one dummy connection to
+    /// unblock the accept loop.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: default_workers(),
+            queue_depth: 64,
+            max_conns: None,
+            stop: None,
+        }
+    }
+}
+
+/// The pooled accept loop: hand each accepted stream to the worker
+/// pool; refuse with `503` + `Retry-After` when the queue is full.
+///
+/// On exit (stop flag, `max_conns`, or listener error) the shutdown is
+/// graceful: the queue is closed and drained — every accepted
+/// connection still gets its response — the workers are joined, the
+/// applier queue is flushed, and a final snapshot is written (if one is
+/// configured) so a restart recovers instantly instead of replaying the
+/// whole log.
+pub fn serve_on(listener: TcpListener, server: Arc<LiveServer>, opts: ServeOptions) {
+    let workers = opts.workers.max(1);
+    let queue_depth = opts.queue_depth.max(1);
+    server.http_metrics().set_pool(workers, queue_depth);
+    let pool: WorkerPool<TcpStream> = WorkerPool::spawn(workers, queue_depth, "taxrec-http", {
+        let server = Arc::clone(&server);
+        move |stream: TcpStream| conn::handle_connection(stream, &server)
+    });
+    let mut accepted = 0usize;
+    for stream in listener.incoming() {
+        if let Some(stop) = &opts.stop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
+        match pool.submit(stream) {
+            Ok(()) => accepted += 1,
+            Err(SubmitError::Full(stream)) | Err(SubmitError::Closed(stream)) => {
+                conn::reject_busy(stream, 1, server.http_metrics());
+            }
+        }
+        if let Some(max) = opts.max_conns {
+            if accepted >= max {
+                break;
+            }
+        }
+    }
+    // Drain the queue and join the workers before declaring the state
+    // final; then persist it.
+    pool.shutdown();
+    let _ = server.live().flush();
+    if let Err(e) = server.live().snapshot_now() {
+        eprintln!("taxrec serve: final snapshot failed: {e}");
+    }
 }
 
 /// `taxrec serve` command: blocks forever handling requests.
@@ -643,148 +381,36 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
             "--snapshot requires --live-log (snapshots rotate the event log)".into(),
         ));
     }
+    let workers = args.get("workers", default_workers())?;
+    let queue_depth = args.get("queue-depth", 64usize)?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    if queue_depth == 0 {
+        return Err(CliError::Usage("--queue-depth must be at least 1".into()));
+    }
     let server = Arc::new(LiveServer::load(&data, args.require("model")?, config)?);
     let port: u16 = args.get("port", 8080u16)?;
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
-    eprintln!("taxrec serving on http://{addr}");
-    serve_on(listener, server, None);
-    Ok(String::new())
-}
-
-/// How long one client may stall a single read or write before its
-/// connection is dropped. The accept loop is single-threaded, so
-/// without this a client that connects and sends nothing would stall
-/// every other reader and updater indefinitely.
-const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// Total wall-clock budget for receiving one request (head + body). A
-/// per-read timeout alone does not bound a slow-drip client that sends
-/// one byte every few seconds — each byte resets the timer; the
-/// absolute deadline does.
-const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
-
-/// A `TcpStream` reader that enforces an absolute deadline: every raw
-/// read re-arms the socket timeout with the time remaining (capped at
-/// [`CLIENT_IO_TIMEOUT`]), so no sequence of drip-fed bytes can hold
-/// the connection open past the deadline.
-struct DeadlineStream {
-    stream: TcpStream,
-    deadline: Instant,
-}
-
-impl Read for DeadlineStream {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let remaining = self
-            .deadline
-            .checked_duration_since(Instant::now())
-            .filter(|r| !r.is_zero())
-            .ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline exceeded")
-            })?;
-        self.stream
-            .set_read_timeout(Some(remaining.min(CLIENT_IO_TIMEOUT)))?;
-        self.stream.read(buf)
-    }
-}
-
-/// Accept loop; `max_requests` bounds the loop for tests (`None` = forever).
-///
-/// The accept loop itself stays single-threaded: GETs fan out *inside*
-/// the engine's batch path, POSTs hand work to the applier thread and
-/// wait for the publish. Each accepted stream gets per-I/O timeouts
-/// ([`CLIENT_IO_TIMEOUT`]) plus an absolute request deadline
-/// ([`REQUEST_DEADLINE`]) so a stuck or drip-feeding client cannot
-/// wedge the loop.
-pub fn serve_on(listener: TcpListener, server: Arc<LiveServer>, max_requests: Option<usize>) {
-    let mut handled = 0usize;
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
-        handle_connection(stream, &server);
-        handled += 1;
-        if let Some(max) = max_requests {
-            if handled >= max {
-                break;
-            }
-        }
-    }
-}
-
-/// Hard cap on the request line plus all headers. `read_line` grows its
-/// `String` until it sees a newline, so without a bound one client
-/// streaming newline-free bytes would grow server memory without limit.
-const MAX_HEAD_BYTES: u64 = 8 << 10;
-
-fn handle_connection(stream: TcpStream, server: &LiveServer) {
-    let mut reader = BufReader::new(DeadlineStream {
-        stream,
-        deadline: Instant::now() + REQUEST_DEADLINE,
-    });
-    // The head is read through a byte-capped lens; a request whose line
-    // or headers run past the cap hits EOF mid-line and is dropped.
-    let mut head = (&mut reader).take(MAX_HEAD_BYTES);
-    let mut request_line = String::new();
-    if head.read_line(&mut request_line).is_err() || !request_line.ends_with('\n') {
-        return;
-    }
-    // Drain headers, keeping Content-Length. A read error (timeout,
-    // reset) or truncation (cap, peer gone) drops the connection
-    // without a response.
-    let mut content_length = 0usize;
-    let mut line = String::new();
-    loop {
-        match head.read_line(&mut line) {
-            Err(_) => return,
-            Ok(_) if line == "\r\n" || line == "\n" => break,
-            Ok(0) => return,
-            Ok(_) => {
-                if !line.ends_with('\n') {
-                    return;
-                }
-                if let Some((name, value)) = line.split_once(':') {
-                    if name.eq_ignore_ascii_case("content-length") {
-                        content_length = value.trim().parse().unwrap_or(0);
-                    }
-                }
-                line.clear();
-            }
-        }
-    }
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
-
-    let resp = if content_length > MAX_BODY_BYTES {
-        Response::bad("request body too large")
-    } else {
-        let mut body = vec![0u8; content_length];
-        if content_length > 0 && reader.read_exact(&mut body).is_err() {
-            Response::bad("request body shorter than Content-Length")
-        } else {
-            route(server, method, path, &body)
-        }
-    };
-    let reason = match resp.status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        503 => "Service Unavailable",
-        _ => "Error",
-    };
-    let payload = format!(
-        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        resp.status,
-        resp.body.len(),
-        resp.body
+    eprintln!("taxrec serving on http://{addr} ({workers} workers, queue depth {queue_depth})");
+    serve_on(
+        listener,
+        server,
+        ServeOptions {
+            workers,
+            queue_depth,
+            ..ServeOptions::default()
+        },
     );
-    let mut stream = reader.into_inner().stream;
-    let _ = stream.write_all(payload.as_bytes());
+    Ok(String::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::json_str;
+    use std::io::{Read, Write};
     use taxrec_core::{ModelConfig, TfTrainer};
     use taxrec_dataset::{DatasetConfig, SyntheticDataset};
 
@@ -1011,6 +637,7 @@ mod tests {
         let s0 = get(&st, "/live/stats");
         assert_eq!(s0.status, 200);
         assert!(s0.body.contains("\"applied\":0"), "{}", s0.body);
+        assert!(s0.body.contains("\"http\":{"), "{}", s0.body);
         post(&st, "/items", &format!("{{\"parent\": {parent}}}"));
         post(&st, "/users/fold-in", "{\"history\": [[0]], \"steps\": 10}");
         let s1 = get(&st, "/live/stats");
@@ -1032,7 +659,18 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let server_thread = std::thread::spawn({
             let st = Arc::clone(&st);
-            move || serve_on(listener, st, Some(5))
+            move || {
+                serve_on(
+                    listener,
+                    st,
+                    ServeOptions {
+                        workers: 2,
+                        queue_depth: 8,
+                        max_conns: Some(5),
+                        stop: None,
+                    },
+                )
+            }
         });
         let send = |req: String| -> String {
             let mut conn = TcpStream::connect(addr).unwrap();
@@ -1065,6 +703,15 @@ mod tests {
         assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
         assert!(buf.contains("{\"error\":"), "{buf}");
         server_thread.join().unwrap();
+        // The pooled loop recorded every wire request.
+        let m = st.http_metrics().snapshot();
+        assert_eq!(m.connections, 5);
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.queue_full, 0);
+        // Two hit /health: the GET (200) and the DELETE (405 → 4xx).
+        assert_eq!(m.route("/health").requests, 2);
+        assert_eq!(m.route("/health").status_4xx, 1);
+        assert_eq!(m.route("/items").requests, 1);
     }
 
     #[test]
@@ -1256,5 +903,73 @@ mod tests {
             want
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backpressure_rejects_with_503_retry_after() {
+        // One worker, queue depth 1, and the worker is pinned by a
+        // connection that never completes its request: the 3rd+
+        // concurrent connection must be refused immediately with a 503
+        // carrying Retry-After — not queued without bound, not stalled.
+        let st = Arc::new(server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server_thread = std::thread::spawn({
+            let st = Arc::clone(&st);
+            let stop = Arc::clone(&stop);
+            move || {
+                serve_on(
+                    listener,
+                    st,
+                    ServeOptions {
+                        workers: 1,
+                        queue_depth: 1,
+                        max_conns: None,
+                        stop: Some(stop),
+                    },
+                )
+            }
+        });
+        // Pin the worker: connect and send a partial request line, then
+        // wait until it has actually reached the worker.
+        let mut pin = TcpStream::connect(addr).unwrap();
+        pin.write_all(b"GET /health HT").unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while st.http_metrics().snapshot().connections < 1 {
+            assert!(std::time::Instant::now() < deadline, "worker never pinned");
+            std::thread::yield_now();
+        }
+        // Open idle connections one at a time: the first fills the
+        // queue, the next must bounce off it. The `queue_full` counter
+        // tells us exactly which connection got the 503.
+        let mut held = Vec::new();
+        let mut rejected = None;
+        for _ in 0..10 {
+            let c = TcpStream::connect(addr).unwrap();
+            let wait = std::time::Instant::now() + std::time::Duration::from_millis(500);
+            while st.http_metrics().snapshot().queue_full == 0 && std::time::Instant::now() < wait {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            if st.http_metrics().snapshot().queue_full >= 1 {
+                rejected = Some(c);
+                break;
+            }
+            held.push(c);
+        }
+        let mut c = rejected.expect("queue-full connections were never 503-rejected");
+        c.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = String::new();
+        let _ = c.read_to_string(&mut buf);
+        assert!(buf.starts_with("HTTP/1.1 503"), "{buf}");
+        assert!(buf.contains("Retry-After: 1"), "{buf}");
+        assert!(buf.contains("server busy"), "{buf}");
+        // Unpin everything and shut down.
+        drop(pin);
+        drop(held);
+        stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(addr);
+        server_thread.join().unwrap();
     }
 }

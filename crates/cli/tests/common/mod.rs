@@ -1,0 +1,51 @@
+//! Shared HTTP client plumbing for the integration-test harnesses:
+//! one request per connection over the wire, `Connection: close`
+//! framing, panicking on transport errors (a test failure, never a
+//! retry).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use taxrec_cli::json::{self, Json};
+
+/// One HTTP request over a fresh connection; returns (status, body).
+pub fn send(addr: SocketAddr, req: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(req.as_bytes()).expect("write request");
+    let mut buf = String::new();
+    conn.read_to_string(&mut buf).expect("read response");
+    let status: u16 = buf
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {buf}"));
+    let body = buf
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// `GET path` over a fresh connection.
+pub fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    send(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+}
+
+/// `POST path` with a body over a fresh connection.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    send(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Extract a required non-negative integer field from a JSON body.
+pub fn field_u64(body: &str, name: &str) -> u64 {
+    json::parse(body)
+        .unwrap_or_else(|e| panic!("invalid JSON body ({e}): {body}"))
+        .get(name)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no {name:?} in {body}"))
+}

@@ -1,0 +1,168 @@
+//! Property tests for the bounded work queue and worker pool
+//! (ISSUE 3): across arbitrary pool shapes and submission counts,
+//! no accepted task is lost, no task runs twice, rejected tasks never
+//! run, and shutdown drains exactly the accepted set.
+
+// The vendored proptest! macro is recursive over the body; these
+// properties are long enough to need more headroom.
+#![recursion_limit = "2048"]
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use taxrec_cli::http::pool::{Bounded, SubmitError, WorkerPool};
+
+/// A gate every job blocks on until the test opens it — this lets the
+/// queue fill deterministically no matter how fast the workers are.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+fn cases() -> ProptestConfig {
+    ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32),
+    )
+}
+
+proptest! {
+    #![proptest_config(cases())]
+
+    // Submit/reject/drain: with every worker gated, the queue fills
+    // and rejects within the documented bounds; after the gate opens
+    // and the pool shuts down, the executed multiset equals the
+    // accepted set exactly — each accepted job once, no rejected job
+    // ever.
+    #[test]
+    fn pool_executes_exactly_the_accepted_set(
+        workers in 1usize..4, capacity in 1usize..6, jobs in 1usize..40
+    ) {
+        let executed: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(Gate::new());
+        let pool = WorkerPool::spawn(workers, capacity, "prop-pool", {
+            let executed = Arc::clone(&executed);
+            let gate = Arc::clone(&gate);
+            move |id: usize| {
+                gate.wait();
+                executed.lock().unwrap().push(id);
+            }
+        });
+
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        for id in 0..jobs {
+            match pool.submit(id) {
+                Ok(()) => accepted.push(id),
+                Err(SubmitError::Full(id)) => rejected.push(id),
+                Err(SubmitError::Closed(_)) => {
+                    return Err(TestCaseError::fail("queue closed before shutdown"));
+                }
+            }
+        }
+        // The queue alone always holds `capacity`; each gated worker
+        // may have popped at most one more.
+        prop_assert!(accepted.len() >= capacity.min(jobs));
+        prop_assert!(accepted.len() <= (capacity + workers).min(jobs));
+        prop_assert_eq!(accepted.len() + rejected.len(), jobs);
+
+        gate.open();
+        pool.shutdown();
+
+        let mut run = executed.lock().unwrap().clone();
+        run.sort_unstable();
+        // `accepted` is already sorted (submission order is 0..jobs).
+        prop_assert_eq!(run, accepted);
+    }
+}
+
+proptest! {
+    #![proptest_config(cases())]
+
+    // The queue itself: FIFO order, capacity enforcement, and
+    // close-then-drain semantics, single-threaded and fully
+    // deterministic.
+    #[test]
+    fn bounded_queue_fifo_capacity_and_close(capacity in 1usize..8, pushes in 0usize..20) {
+        let q: Bounded<usize> = Bounded::new(capacity);
+        let mut accepted = VecDeque::new();
+        for id in 0..pushes {
+            match q.try_push(id) {
+                Ok(()) => accepted.push_back(id),
+                Err(SubmitError::Full(back)) => {
+                    prop_assert_eq!(back, id); // ownership comes back
+                    prop_assert_eq!(q.len(), capacity);
+                }
+                Err(SubmitError::Closed(_)) => {
+                    return Err(TestCaseError::fail("queue closed prematurely"));
+                }
+            }
+        }
+        prop_assert_eq!(accepted.len(), pushes.min(capacity));
+        q.close();
+        prop_assert!(matches!(q.try_push(999), Err(SubmitError::Closed(999))));
+        // Drain: everything accepted before the close, in FIFO order,
+        // then a clean None.
+        while let Some(want) = accepted.pop_front() {
+            prop_assert_eq!(q.pop(), Some(want));
+        }
+        prop_assert_eq!(q.pop(), None);
+        prop_assert!(q.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(cases())]
+
+    // Concurrent poppers racing a close still hand out every accepted
+    // item exactly once (no loss, no duplication at the drain barrier).
+    #[test]
+    fn concurrent_poppers_drain_exactly_once(poppers in 1usize..5, items in 0usize..30) {
+        let q: Arc<Bounded<usize>> = Arc::new(Bounded::new(items.max(1)));
+        for id in 0..items {
+            q.try_push(id).map_err(|_| TestCaseError::fail("push failed below capacity"))?;
+        }
+        let threads: Vec<_> = (0..poppers)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(id) = q.pop() {
+                        got.push(id);
+                    }
+                    got
+                })
+            })
+            .collect();
+        q.close();
+        let mut all: Vec<usize> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..items).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,107 @@
+//! Slow-client isolation (ISSUE 3): with `--workers ≥ 2`, one
+//! drip-feeding or stalled connection (the PR 2 `DeadlineStream` case)
+//! pins at most its own worker — a concurrent fast request must
+//! complete in bounded wall time instead of waiting out the slow
+//! client's 10 s idle timeout / 30 s request deadline.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taxrec_cli::serve::{serve_on, LiveServer, ServeOptions};
+use taxrec_core::live::{LiveConfig, LiveState};
+use taxrec_core::{ModelConfig, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+
+/// Generous bound for a handful of /health round trips on a loaded CI
+/// box — but far below the 10 s idle timeout the fast requests would
+/// eat if the stalled client still serialized the server.
+const FAST_BUDGET: Duration = Duration::from_secs(5);
+
+#[test]
+fn stalled_client_does_not_delay_other_connections() {
+    let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(60), 13);
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 1).with_factors(4).with_epochs(1),
+        &d.taxonomy,
+    )
+    .fit(&d.train, 1);
+    let server = Arc::new(
+        LiveServer::new(LiveState::new(model), d.train, None, LiveConfig::default()).unwrap(),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = std::thread::spawn({
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        move || {
+            serve_on(
+                listener,
+                server,
+                ServeOptions {
+                    workers: 2,
+                    queue_depth: 8,
+                    max_conns: None,
+                    stop: Some(stop),
+                },
+            )
+        }
+    });
+
+    // The slow client: sends a partial request line and then drips one
+    // more byte mid-test — exactly the shape that used to reset the old
+    // single-threaded loop's idle timer while everyone else waited.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.write_all(b"GET /hea").unwrap();
+    // Wait until it has actually pinned a worker.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.http_metrics().snapshot().connections < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "slow client never reached a worker"
+        );
+        std::thread::yield_now();
+    }
+
+    // Concurrent fast requests must all complete within the budget.
+    let t0 = Instant::now();
+    for i in 0..5 {
+        if i == 2 {
+            // Keep the slow connection actively dripping, not just idle.
+            let _ = slow.write_all(b"l");
+        }
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(FAST_BUDGET)).unwrap();
+        conn.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf)
+            .unwrap_or_else(|e| panic!("fast request {i} stalled behind the slow client: {e}"));
+        assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < FAST_BUDGET,
+        "5 fast requests took {elapsed:?} with a stalled client connected \
+         (worker pool failed to isolate it)"
+    );
+
+    // The slow client is still just pinned (not answered): nothing but
+    // the 5 fast requests completed.
+    let m = server.http_metrics().snapshot();
+    assert_eq!(m.requests, 5);
+    assert_eq!(m.route("/health").requests, 5);
+
+    // Shut down: drop the slow client (its worker sees EOF and exits),
+    // then stop the accept loop.
+    drop(slow);
+    stop.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(addr);
+    server_thread.join().unwrap();
+    // The slow connection ended as a drop (no response), not a request.
+    let m = server.http_metrics().snapshot();
+    assert_eq!(m.dropped, 1);
+    assert_eq!(m.requests, 5);
+}

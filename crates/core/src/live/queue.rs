@@ -80,6 +80,7 @@ pub struct AppliedUpdate {
 enum Command {
     Apply(UpdateEvent, mpsc::Sender<Result<AppliedUpdate, LiveError>>),
     Flush(mpsc::Sender<()>),
+    Snapshot(mpsc::Sender<Result<bool, LiveError>>),
     Shutdown,
 }
 
@@ -158,6 +159,21 @@ impl LiveHandle {
             .send(Command::Flush(rtx))
             .map_err(|_| LiveError::QueueClosed)?;
         rrx.recv().map_err(|_| LiveError::QueueClosed)
+    }
+
+    /// Write a snapshot (and rotate the log) **now**, regardless of the
+    /// periodic `snapshot_every` counter — used for graceful shutdown,
+    /// so a restart recovers instantly instead of replaying the whole
+    /// log. Returns `Ok(false)` when no snapshot path is configured,
+    /// and an error if the applier is degraded (its in-memory state may
+    /// contain applied-but-unacknowledged events that must not be
+    /// persisted as acked).
+    pub fn snapshot_now(&self) -> Result<bool, LiveError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.tx
+            .send(Command::Snapshot(rtx))
+            .map_err(|_| LiveError::QueueClosed)?;
+        rrx.recv().map_err(|_| LiveError::QueueClosed)?
     }
 }
 
@@ -276,6 +292,7 @@ fn applier(
         let mut pending: Vec<(mpsc::Sender<Result<AppliedUpdate, LiveError>>, Applied)> =
             Vec::new();
         let mut flushes = Vec::new();
+        let mut snapshot_requests = Vec::new();
         let mut shutdown = false;
         for cmd in batch {
             match cmd {
@@ -308,6 +325,7 @@ fn applier(
                     }
                 }
                 Command::Flush(reply) => flushes.push(reply),
+                Command::Snapshot(reply) => snapshot_requests.push(reply),
                 Command::Shutdown => shutdown = true,
             }
         }
@@ -359,34 +377,40 @@ fn applier(
             }
 
             if config.snapshot_every > 0 && since_snapshot >= config.snapshot_every {
-                if let Some(snap_path) = &config.snapshot_path {
-                    if write_snapshot(snap_path, &state).is_ok() {
-                        stats.inc_snapshots();
-                        since_snapshot = 0;
-                        // The snapshot covers every logged event:
-                        // restart the log (stamped with the snapshot's
-                        // lineage) so recovery replays only what the
-                        // snapshot missed. If a crash lands between the
-                        // two writes, the stale log's lineage no longer
-                        // matches the snapshot and loaders refuse the
-                        // pair instead of double-applying. A failed
-                        // rotation degrades like a failed WAL append:
-                        // continuing to ack against a log we could not
-                        // restart would break the recovery law.
-                        if let Some(log_path) = &config.log_path {
-                            match rotate_log(log_path, &lineage_of(&state)) {
-                                Ok(f) => log = Some(f),
-                                Err(_) => {
-                                    stats.inc_log_errors();
-                                    degraded = true;
-                                    log = None;
-                                }
-                            }
-                        }
-                    } else {
-                        stats.inc_log_errors();
-                    }
-                }
+                let _ = snapshot_and_rotate(
+                    &config,
+                    &state,
+                    &mut log,
+                    &mut since_snapshot,
+                    &mut degraded,
+                    &stats,
+                );
+            }
+        }
+
+        // Explicit snapshot requests (graceful shutdown): refuse while
+        // degraded — the in-memory state may then hold applied-but-
+        // unacknowledged events, and persisting them as acked would
+        // break the recovery law.
+        if !snapshot_requests.is_empty() {
+            let result = if degraded {
+                Err(LiveError::Io(
+                    "event log write failed earlier; refusing to snapshot \
+                     possibly-unacknowledged state"
+                        .into(),
+                ))
+            } else {
+                snapshot_and_rotate(
+                    &config,
+                    &state,
+                    &mut log,
+                    &mut since_snapshot,
+                    &mut degraded,
+                    &stats,
+                )
+            };
+            for reply in snapshot_requests {
+                let _ = reply.send(result.clone());
             }
         }
 
@@ -395,6 +419,52 @@ fn applier(
         }
         if shutdown {
             break;
+        }
+    }
+}
+
+/// Write a snapshot and restart the log, shared by the periodic path
+/// and explicit [`LiveHandle::snapshot_now`] requests.
+///
+/// The snapshot covers every logged event: the log is restarted
+/// (stamped with the snapshot's lineage) so recovery replays only what
+/// the snapshot missed. If a crash lands between the two writes, the
+/// stale log's lineage no longer matches the snapshot and loaders
+/// refuse the pair instead of double-applying. A failed rotation
+/// degrades like a failed WAL append: continuing to ack against a log
+/// we could not restart would break the recovery law. Returns
+/// `Ok(false)` when no snapshot path is configured.
+fn snapshot_and_rotate(
+    config: &LiveConfig,
+    state: &LiveState,
+    log: &mut Option<File>,
+    since_snapshot: &mut u64,
+    degraded: &mut bool,
+    stats: &LiveStats,
+) -> Result<bool, LiveError> {
+    let Some(snap_path) = &config.snapshot_path else {
+        return Ok(false);
+    };
+    match write_snapshot(snap_path, state) {
+        Ok(()) => {
+            stats.inc_snapshots();
+            *since_snapshot = 0;
+            if let Some(log_path) = &config.log_path {
+                match rotate_log(log_path, &lineage_of(state)) {
+                    Ok(f) => *log = Some(f),
+                    Err(e) => {
+                        stats.inc_log_errors();
+                        *degraded = true;
+                        *log = None;
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(true)
+        }
+        Err(e) => {
+            stats.inc_log_errors();
+            Err(e)
         }
     }
 }
@@ -550,6 +620,57 @@ mod tests {
         assert_eq!(header.base_users as usize, users);
         assert_eq!(header.base_items as usize, items);
         assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn explicit_snapshot_now_rotates_and_recovers() {
+        // Graceful shutdown path: snapshot_now persists the exact live
+        // state regardless of the periodic counter, and rotates the log
+        // so a restart replays nothing.
+        let (d, state) = fixture();
+        let dir = tmpdir("snapnow");
+        let log_path = dir.join("events.log");
+        let snap_path = dir.join("snap.tfm");
+        let parent = some_parent(&state);
+        let handle = LiveHandle::spawn(
+            state,
+            LiveConfig {
+                snapshot_every: 1000, // periodic path never fires
+                log_path: Some(log_path.clone()),
+                snapshot_path: Some(snap_path.clone()),
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        handle.submit(UpdateEvent::AddItem { parent }).unwrap();
+        handle
+            .submit(UpdateEvent::FoldInUser {
+                history: d.train.user(3).to_vec(),
+                steps: 25,
+                seed: 9,
+            })
+            .unwrap();
+        assert_eq!(handle.snapshot_now(), Ok(true));
+        let live_model = handle.cell().load().model().clone();
+        assert_eq!(handle.stats().snapshot().snapshots_written, 1);
+        drop(handle);
+        // The snapshot alone IS the final state; the rotated log holds
+        // zero events and stamps the snapshot's lineage.
+        let recovered = decode_live(&std::fs::read(&snap_path).unwrap()).unwrap();
+        assert_eq!(recovered.model().user_factors, live_model.user_factors);
+        assert_eq!(recovered.model().node_factors, live_model.node_factors);
+        let (header, tail) = decode_log(&std::fs::read(&log_path).unwrap()).unwrap();
+        assert!(tail.is_empty(), "rotated log must be empty");
+        assert_eq!(header.base_users as usize, recovered.model().num_users());
+        assert_eq!(header.base_items as usize, recovered.model().num_items());
+    }
+
+    #[test]
+    fn snapshot_now_without_snapshot_path_is_a_noop() {
+        let (_, state) = fixture();
+        let handle = LiveHandle::spawn(state, LiveConfig::default()).unwrap();
+        assert_eq!(handle.snapshot_now(), Ok(false));
+        assert_eq!(handle.stats().snapshot().snapshots_written, 0);
     }
 
     #[test]
