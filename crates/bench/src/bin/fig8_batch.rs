@@ -1,16 +1,26 @@
 //! Figure 8-style study for the serving path: batched multi-user top-K
-//! throughput, exhaustive vs cascaded backends.
+//! throughput, exhaustive vs cascaded backends, plus a catalog
+//! shard-count sweep over the sharded exhaustive scan.
 //!
 //! The paper's Fig. 8 trades inference work against accuracy for one
 //! user at a time; a serving system amortises that work across a batch.
 //! This binary sweeps worker threads and the cascade keep-fraction and
 //! reports end-to-end batch throughput (users/sec) plus the speed-up of
-//! the cascaded backend over exhaustive at the same thread count.
+//! the cascaded backend over exhaustive at the same thread count. A
+//! second table sweeps `--shards-list` catalog shard counts: batched
+//! serving (per-shard scans inside each batch worker) and single-user
+//! scatter-gather (`recommend_scatter`, shard-parallel), asserting the
+//! sharded results stay identical to the unsharded baseline.
 //!
 //! ```text
 //! cargo run --release -p taxrec-bench --bin fig8_batch -- --scale small
 //!   [--batch 512] [--top 10] [--factors 20] [--threads-list 1,2,4,8]
+//!   [--shards-list 1,2,4] [--smoke]
 //! ```
+//!
+//! `--smoke` runs a seconds-long tiny-scale pass for CI: 1 repetition,
+//! small batch, and it **fails the process** if any sharded ranking
+//! diverges from the unsharded one.
 
 use std::time::Instant;
 use taxrec_bench::args::Args;
@@ -18,23 +28,38 @@ use taxrec_bench::fixtures;
 use taxrec_bench::report::{fmt, Table};
 use taxrec_core::recommend::{Backend, RecommendEngine, RecommendRequest};
 use taxrec_core::{CascadeConfig, ModelConfig};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
 
 fn main() {
     let args = Args::from_env();
-    let data = fixtures::dataset(&args);
-    let epochs = fixtures::epochs(&args);
-    let k_factors = args.get("factors", 20usize);
-    let batch = args.get("batch", 512usize).min(data.train.num_users());
+    let smoke = args.flag("smoke");
+    let data = if smoke {
+        SyntheticDataset::generate(&DatasetConfig::tiny().with_users(500), args.seed())
+    } else {
+        fixtures::dataset(&args)
+    };
+    let epochs = if smoke { 1 } else { fixtures::epochs(&args) };
+    let k_factors = args.get("factors", if smoke { 8 } else { 20 });
+    let batch = args
+        .get("batch", if smoke { 128 } else { 512 })
+        .min(data.train.num_users());
     let top = args.get("top", 10usize);
+    let reps = if smoke { 1 } else { 3 };
     let thread_list: Vec<usize> = args
         .value("threads-list")
-        .unwrap_or("1,2,4,8")
+        .unwrap_or(if smoke { "1,2" } else { "1,2,4,8" })
+        .split(',')
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    let shards_list: Vec<usize> = args
+        .value("shards-list")
+        .unwrap_or(if smoke { "1,2" } else { "1,2,4" })
         .split(',')
         .filter_map(|t| t.parse().ok())
         .collect();
 
     eprintln!(
-        "# fig8batch: users={} items={} epochs={epochs} batch={batch} top={top}",
+        "# fig8batch: users={} items={} epochs={epochs} batch={batch} top={top} smoke={smoke}",
         data.train.num_users(),
         data.taxonomy.num_items()
     );
@@ -96,7 +121,6 @@ fn main() {
             // Warm-up pass (page in factors), then measure.
             let _ = engine.recommend_batch_with(&requests, threads, backend);
             let t0 = Instant::now();
-            let reps = 3;
             for _ in 0..reps {
                 let results = engine.recommend_batch_with(&requests, threads, backend);
                 assert_eq!(results.len(), batch);
@@ -123,4 +147,61 @@ fn main() {
     t.print(&format!(
         "Batched top-{top} throughput over {batch} users (exhaustive vs cascaded)"
     ));
+
+    // ── Catalog shard-count sweep ───────────────────────────────────
+    // Batched serving scans shards sequentially inside each batch
+    // worker; the scatter column serves ONE user with the scan split
+    // across shard-parallel workers (the latency lever for hot single
+    // requests). Every sharded result is checked against the unsharded
+    // baseline — identical scores, ids, and order.
+    let threads = *thread_list.iter().max().unwrap_or(&2);
+    let baseline = engine.recommend_batch(&requests, threads);
+    let single_req = &requests[0];
+    let baseline_single = engine.recommend(single_req);
+    let scatter_reps = if smoke { 8 } else { 64 };
+    let mut st = Table::new(
+        [
+            "scan shards",
+            "aligned batch users/sec",
+            "scatter 1-user latency",
+            "identical",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    for &s in &shards_list {
+        let sharded = RecommendEngine::with_backend_sharded(&model, Backend::Exhaustive, s);
+        let _ = sharded.recommend_batch(&requests, threads);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let got = sharded.recommend_batch(&requests, threads);
+            assert_eq!(
+                got, baseline,
+                "S={s}: sharded batch ranking diverged from unsharded"
+            );
+        }
+        let rate = batch as f64 / (t0.elapsed().as_secs_f64() / reps as f64);
+        let t1 = Instant::now();
+        for _ in 0..scatter_reps {
+            let got = sharded.recommend_scatter(single_req, s);
+            assert_eq!(
+                got, baseline_single,
+                "S={s}: scatter-gather ranking diverged from unsharded"
+            );
+        }
+        let scatter_us = t1.elapsed().as_secs_f64() * 1e6 / scatter_reps as f64;
+        st.row([
+            s.to_string(),
+            fmt(rate, 0),
+            format!("{scatter_us:.0} µs"),
+            "yes".to_string(),
+        ]);
+    }
+    st.print(&format!(
+        "Catalog shard sweep (batch={batch} users @ {threads} threads; \
+         scatter = 1 user across S shard workers)"
+    ));
+    if smoke {
+        eprintln!("fig8_batch --smoke OK: sharded ≡ unsharded for shards {shards_list:?}");
+    }
 }

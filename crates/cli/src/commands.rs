@@ -188,6 +188,10 @@ pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
     let top: usize = args.get("top", 10usize)?;
     let cascade_k: f64 = args.get("cascade", 1.0f64)?;
     let threads = args.get("threads", default_threads())?;
+    let scan_shards = args.get("scan-shards", 1usize)?;
+    if scan_shards == 0 {
+        return Err(CliError::Usage("--scan-shards must be at least 1".into()));
+    }
     let train_log = data.train()?;
     check_model_fits(&model, &train_log)?;
 
@@ -227,7 +231,9 @@ pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
     } else {
         Backend::Exhaustive
     };
-    let engine = RecommendEngine::with_backend(&model, backend);
+    // The served ranking is bit-for-bit identical at any shard count;
+    // --scan-shards only changes how the exhaustive scan is partitioned.
+    let engine = RecommendEngine::with_backend_sharded(&model, backend, scan_shards);
 
     let excludes: Vec<Vec<taxrec_taxonomy::ItemId>> =
         users.iter().map(|&u| train_log.distinct_items(u)).collect();

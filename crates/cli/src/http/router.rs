@@ -255,6 +255,7 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
             let s = server.live().stats().snapshot();
             Response::ok(format!(
                 "{{\"epoch\":{},\"users\":{},\"items\":{},\"base_users\":{},\"base_items\":{},\
+                 \"scan_shards\":{},\
                  \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
                  \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
                  \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{},\"http\":{}}}",
@@ -263,6 +264,7 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 snap.model().num_items(),
                 snap.base_users(),
                 snap.base_items(),
+                snap.scan_shards(),
                 s.enqueued,
                 s.applied,
                 s.rejected,

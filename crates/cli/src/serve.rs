@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! taxrec serve --data data/ --model m.tfm --port 8080
-//!              [--workers N] [--queue-depth M]
+//!              [--workers N] [--queue-depth M] [--scan-shards S]
 //!              [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //!
 //! GET  /health                             → 200 {"status":"ok"}
@@ -370,10 +370,15 @@ pub fn serve_on(listener: TcpListener, server: Arc<LiveServer>, opts: ServeOptio
 /// `taxrec serve` command: blocks forever handling requests.
 pub fn serve(args: &CliArgs) -> Result<String, CliError> {
     let data = DataDir::new(args.require("data")?);
+    let scan_shards = args.get("scan-shards", 1usize)?;
+    if scan_shards == 0 {
+        return Err(CliError::Usage("--scan-shards must be at least 1".into()));
+    }
     let config = LiveConfig {
         log_path: args.value("live-log").map(Into::into),
         snapshot_path: args.value("snapshot").map(Into::into),
         snapshot_every: args.get("snapshot-every", 256u64)?,
+        scan_shards,
         ..LiveConfig::default()
     };
     if config.snapshot_path.is_some() && config.log_path.is_none() {
@@ -393,7 +398,10 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
     let port: u16 = args.get("port", 8080u16)?;
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
-    eprintln!("taxrec serving on http://{addr} ({workers} workers, queue depth {queue_depth})");
+    eprintln!(
+        "taxrec serving on http://{addr} \
+         ({workers} workers, queue depth {queue_depth}, {scan_shards} scan shards)"
+    );
     serve_on(
         listener,
         server,

@@ -3,6 +3,12 @@
 //! periodic snapshots rotate the WAL mid-run, then restarts verifying
 //! `snapshot + replay ≡ live state` end-to-end — the PR 2 recovery law,
 //! now exercised through the multi-threaded connection pool.
+//!
+//! Extended for ISSUE 4: the soak phase serves from an **unsharded**
+//! catalog while every restart loads the same WAL/snapshot artifacts at
+//! `--scan-shards 4` — so the byte-for-byte body comparisons across
+//! phases double as the proof that sharded and unsharded serving are
+//! identical, including after a WAL-replay restart.
 
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,16 +73,17 @@ fn concurrent_soak_with_wal_rotation_then_restart_recovers_exactly() {
     ])
     .unwrap();
 
-    let config = || LiveConfig {
+    let config = |scan_shards: usize| LiveConfig {
         log_path: Some(dir.join("events.log")),
         snapshot_path: Some(dir.join("snap.tfm")),
         snapshot_every: 8, // rotations fire repeatedly during the soak
+        scan_shards,
         ..LiveConfig::default()
     };
     let data = DataDir::new(s(&data_dir));
 
-    // ── Phase 1: concurrent soak over the pooled server ─────────────
-    let server = Arc::new(LiveServer::load(&data, &s(&model_path), config()).unwrap());
+    // ── Phase 1: concurrent soak over the pooled server (unsharded) ──
+    let server = Arc::new(LiveServer::load(&data, &s(&model_path), config(1)).unwrap());
     let parent = {
         let snap = server.live().cell().load();
         let tax = snap.model().taxonomy();
@@ -170,10 +177,13 @@ fn concurrent_soak_with_wal_rotation_then_restart_recovers_exactly() {
     server_thread.join().unwrap();
     drop(server);
 
-    // ── Phase 2: restart under the unchanged command line ────────────
+    // ── Phase 2: restart under the unchanged command line, but with
+    // the catalog cut into 4 scan shards ─────────────────────────────
     // The final snapshot rotated the log, so the base resolves to the
-    // snapshot and replay is empty — served state must be identical.
-    let restarted = LiveServer::load(&data, &s(&model_path), config()).unwrap();
+    // snapshot and replay is empty — served state must be identical,
+    // byte for byte, to what the unsharded phase-1 server produced.
+    let restarted = LiveServer::load(&data, &s(&model_path), config(4)).unwrap();
+    assert_eq!(restarted.live().cell().load().scan_shards(), 4);
     assert_eq!(
         model_shape(&route(&restarted, "GET", "/model", b"").body),
         live_shape
@@ -181,7 +191,10 @@ fn concurrent_soak_with_wal_rotation_then_restart_recovers_exactly() {
     for (q, want) in queries.iter().zip(&live_bodies) {
         let got = route(&restarted, "GET", q, b"");
         assert_eq!(got.status, 200);
-        assert_eq!(&got.body, want, "restart diverged on {q}");
+        assert_eq!(
+            &got.body, want,
+            "4-shard restart diverged from unsharded live serving on {q}"
+        );
     }
 
     // ── Phase 3: more acked updates, then an UNGRACEFUL stop ─────────
@@ -219,8 +232,13 @@ fn concurrent_soak_with_wal_rotation_then_restart_recovers_exactly() {
     assert_eq!(tail_shape, (live_shape.0 + 1, live_shape.1 + 1));
     drop(restarted);
 
-    // ── Phase 4: snapshot + non-empty replay ≡ live state ────────────
-    let recovered = LiveServer::load(&data, &s(&model_path), config()).unwrap();
+    // ── Phase 4: snapshot + non-empty replay ≡ live state, crossing
+    // back to an unsharded catalog ───────────────────────────────────
+    // The tail events were served (and WAL-logged) by the 4-shard
+    // server; replaying them into a 1-shard server must reproduce every
+    // body byte for byte — the reverse direction of phase 2.
+    let recovered = LiveServer::load(&data, &s(&model_path), config(1)).unwrap();
+    assert_eq!(recovered.live().cell().load().scan_shards(), 1);
     assert_eq!(
         model_shape(&route(&recovered, "GET", "/model", b"").body),
         tail_shape

@@ -22,10 +22,19 @@ pub struct LiveEngine {
 }
 
 impl LiveEngine {
-    /// Build epoch 0 from scratch (full engine construction).
-    pub fn initial(state: &LiveState, backend: Backend) -> LiveEngine {
+    /// Build epoch 0 from scratch (full engine construction), with the
+    /// item catalog partitioned into `scan_shards` contiguous scan
+    /// shards (1 = unsharded; see
+    /// [`crate::recommend::RecommendEngine::with_backend_sharded`]).
+    /// Successor epochs inherit the shard layout — a live `AddItem`
+    /// appends to the last shard's tail.
+    pub fn initial(state: &LiveState, backend: Backend, scan_shards: usize) -> LiveEngine {
         LiveEngine {
-            engine: RecommendEngine::with_backend(Arc::new(state.model().clone()), backend),
+            engine: RecommendEngine::with_backend_sharded(
+                Arc::new(state.model().clone()),
+                backend,
+                scan_shards,
+            ),
             histories: state.histories().to_vec(),
             base_users: state.base_users(),
             base_items: state.base_items(),
@@ -87,6 +96,12 @@ impl LiveEngine {
         self.histories.len()
     }
 
+    /// Catalog scan shards every snapshot of this lineage partitions
+    /// the item matrix into (surfaced in `GET /live/stats`).
+    pub fn scan_shards(&self) -> usize {
+        self.engine.scan_shards()
+    }
+
     /// History of a folded-in user (`None` for trained users, whose
     /// history lives in the training log).
     pub fn folded_history(&self, user: usize) -> Option<&[Transaction]> {
@@ -109,6 +124,18 @@ impl LiveEngine {
             return false;
         }
         if model.num_items() < self.base_items {
+            return false;
+        }
+        // The scan shards must tile the catalog exactly once — no gap,
+        // no overlap, nothing past the model's item count.
+        let mut next = 0usize;
+        for (start, end) in self.engine.shard_ranges() {
+            if start != next || end < start {
+                return false;
+            }
+            next = end;
+        }
+        if next != model.num_items() {
             return false;
         }
         // Spot-check first/last item: dense row ≡ effective factor.

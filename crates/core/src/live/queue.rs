@@ -50,6 +50,10 @@ pub struct LiveConfig {
     pub log_path: Option<PathBuf>,
     /// Snapshot path; required for `snapshot_every > 0` to take effect.
     pub snapshot_path: Option<PathBuf>,
+    /// Catalog scan shards every published engine partitions its item
+    /// matrix into (1 = unsharded). The served ranking is bit-for-bit
+    /// identical at any value; see `crate::recommend::shards`.
+    pub scan_shards: usize,
 }
 
 impl Default for LiveConfig {
@@ -60,6 +64,7 @@ impl Default for LiveConfig {
             snapshot_every: 0,
             log_path: None,
             snapshot_path: None,
+            scan_shards: 1,
         }
     }
 }
@@ -111,6 +116,7 @@ impl LiveHandle {
         let cell = Arc::new(ModelCell::new(LiveEngine::initial(
             &state,
             config.backend.clone(),
+            config.scan_shards,
         )));
         let stats = Arc::new(LiveStats::default());
         let (tx, rx) = mpsc::channel();

@@ -7,13 +7,14 @@
 //! [`crate::recommend`] for the data-path overview.
 
 use super::batch::{self, Shard};
+use super::shards::{self, CatalogPartition};
 use super::topk::{score_block_into, TopK, SCORE_BLOCK};
 use crate::inference::{cascade, CascadeConfig};
 use crate::model::TfModel;
 use crate::scoring::Scorer;
 use std::ops::Deref;
 use taxrec_dataset::Transaction;
-use taxrec_factors::GrowMatrix;
+use taxrec_factors::{FactorMatrix, GrowMatrix};
 use taxrec_taxonomy::ItemId;
 
 /// Which inference path serves a batch.
@@ -61,6 +62,8 @@ struct Scratch {
     query: Vec<f32>,
     block: Vec<f32>,
     topk: TopK,
+    /// One drained top-K list per catalog shard, reused across requests.
+    partials: Vec<Vec<(ItemId, f32)>>,
 }
 
 impl Scratch {
@@ -69,6 +72,57 @@ impl Scratch {
             query: vec![0.0; k_factors],
             block: vec![0.0; SCORE_BLOCK],
             topk: TopK::new(),
+            partials: Vec::new(),
+        }
+    }
+}
+
+/// One contiguous slice of the catalog, owning the dense effective
+/// factors of items `[first, first + items.rows())`.
+#[derive(Debug, Clone)]
+struct CatalogShard {
+    first: usize,
+    items: GrowMatrix,
+}
+
+/// Blocked top-K scan of one shard: dense dot products per block, then
+/// a thresholded sweep into the (reset) reusable heap. Identical kernel
+/// to the unsharded scan — only the item-id offset differs.
+fn scan_shard(
+    shard: &CatalogShard,
+    query: &[f32],
+    exclude: &[ItemId],
+    k: usize,
+    topk: &mut TopK,
+    block: &mut [f32],
+) {
+    let k_factors = query.len();
+    topk.reset(k);
+    // One contiguous segment offline; base + appended tail after live
+    // catalog growth, each scanned with the same blocked kernel.
+    for (seg_start, seg) in shard.items.segments() {
+        let seg_rows = seg.rows();
+        let flat = seg.as_slice();
+        let mut first = 0usize;
+        while first < seg_rows {
+            let len = SCORE_BLOCK.min(seg_rows - first);
+            let rows = &flat[first * k_factors..(first + len) * k_factors];
+            let scores = &mut block[..len];
+            score_block_into(query, rows, scores);
+            let threshold = topk.threshold();
+            for (off, &s) in scores.iter().enumerate() {
+                // Fast reject: full heaps only admit strictly better
+                // scores, and the threshold only rises within a block.
+                if s <= threshold && topk.len() >= k {
+                    continue;
+                }
+                let item = ItemId((shard.first + seg_start + first + off) as u32);
+                if exclude.binary_search(&item).is_ok() {
+                    continue;
+                }
+                topk.offer(item, s);
+            }
+            first += len;
         }
     }
 }
@@ -108,52 +162,83 @@ impl Scratch {
 ///
 /// `M` is the model holder: `&TfModel` for the borrowed offline shape,
 /// `Arc<TfModel>` for owned snapshots published by [`crate::live`]. The
-/// dense item matrix is a [`GrowMatrix`], so the successor engine after
-/// a catalog change ([`RecommendEngine::grown_from`]) appends the new
-/// items' rows instead of recopying the whole scan matrix.
+/// dense item matrix is partitioned into contiguous, taxonomy-aligned
+/// catalog shards (see [`crate::recommend::shards`]); each shard's
+/// matrix is a [`GrowMatrix`], so the successor engine after a catalog
+/// change ([`RecommendEngine::grown_from`]) appends the new items' rows
+/// to the owning shard's tail instead of recopying any scan state.
 #[derive(Debug)]
 pub struct RecommendEngine<M: Deref<Target = TfModel>> {
     scorer: Scorer<M>,
-    /// Dense effective item factors, row `i` = item `i`.
-    items: GrowMatrix,
+    /// Contiguous catalog shards in item-id order; shard `s` holds the
+    /// dense effective factors of items `[first_s, first_{s+1})`.
+    shards: Vec<CatalogShard>,
     backend: Backend,
 }
 
 use crate::scoring::COMPACT_TAIL_FRACTION;
 
 impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
-    /// Engine over the exhaustive backend.
+    /// Engine over the exhaustive backend, unsharded.
     pub fn new(model: M) -> RecommendEngine<M> {
         Self::with_backend(model, Backend::Exhaustive)
     }
 
-    /// Engine over an explicit backend.
+    /// Engine over an explicit backend, unsharded (one catalog shard —
+    /// the scatter-gather merge degenerates to the identity).
     pub fn with_backend(model: M, backend: Backend) -> RecommendEngine<M> {
+        Self::with_backend_sharded(model, backend, 1)
+    }
+
+    /// Engine whose item catalog is partitioned into `scan_shards`
+    /// contiguous, taxonomy-subtree-aligned shards (clamped to
+    /// `[1, num_items]`; see [`CatalogPartition::plan`]). The served
+    /// ranking is bit-for-bit identical at every shard count — sharding
+    /// only changes how the exhaustive scan is laid out and (via
+    /// [`recommend_scatter`](Self::recommend_scatter)) parallelised.
+    pub fn with_backend_sharded(
+        model: M,
+        backend: Backend,
+        scan_shards: usize,
+    ) -> RecommendEngine<M> {
         let scorer = Scorer::new(model);
         let model = scorer.model();
         let k = model.k();
-        let mut items = taxrec_factors::FactorMatrix::zeros(model.num_items(), k);
-        for i in 0..model.num_items() {
-            items
-                .row_mut(i)
-                .copy_from_slice(scorer.item_factor(ItemId(i as u32)));
-        }
+        let partition = CatalogPartition::plan(model.taxonomy(), scan_shards);
+        let shards = partition
+            .ranges()
+            .iter()
+            .map(|range| {
+                let mut m = FactorMatrix::zeros(range.len(), k);
+                for (row, i) in (range.start..range.end).enumerate() {
+                    m.row_mut(row)
+                        .copy_from_slice(scorer.item_factor(ItemId(i as u32)));
+                }
+                CatalogShard {
+                    first: range.start,
+                    items: GrowMatrix::from_owned(m),
+                }
+            })
+            .collect();
         RecommendEngine {
-            items: GrowMatrix::from_owned(items),
             scorer,
+            shards,
             backend,
         }
     }
 
     /// Build the successor engine for a model that extends `prev`'s
-    /// catalog (same contract as [`Scorer::grown_from`]): the scan
-    /// matrix and effective-factor tables are shared with `prev` and
-    /// only rows for the appended items/nodes are computed — publish
-    /// cost is `O(change)`, not `O(catalog)`.
+    /// catalog (same contract as [`Scorer::grown_from`]): the per-shard
+    /// scan matrices and effective-factor tables are shared with `prev`
+    /// and only rows for the appended items/nodes are computed —
+    /// publish cost is `O(change)`, not `O(catalog)`.
     ///
-    /// Once the appended tail outgrows a quarter of the shared base the
-    /// matrix is compacted back into one contiguous segment, so a
-    /// long-lived update stream cannot degrade the blocked scan.
+    /// Appended item ids extend the id space past the last shard's
+    /// range, so a live `AddItem` routes to the **last shard's tail**;
+    /// every other shard is shared with `prev` by pointer. Once a
+    /// shard's appended tail outgrows a quarter of its shared base it
+    /// is compacted back into one contiguous segment, so a long-lived
+    /// update stream cannot degrade the blocked scan.
     pub fn grown_from<P: Deref<Target = TfModel>>(
         prev: &RecommendEngine<P>,
         model: M,
@@ -161,16 +246,18 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
     ) -> RecommendEngine<M> {
         let prev_items = prev.model().num_items();
         let scorer = Scorer::grown_from(&prev.scorer, model);
-        let mut items = prev.items.clone();
+        let mut shards = prev.shards.clone();
+        debug_assert!(!shards.is_empty(), "partition always yields a shard");
+        let tail = shards.last_mut().expect("at least one shard");
         for i in prev_items..scorer.model().num_items() {
-            items.push_row(scorer.item_factor(ItemId(i as u32)));
+            tail.items.push_row(scorer.item_factor(ItemId(i as u32)));
         }
-        if items.tail_rows() * COMPACT_TAIL_FRACTION > items.base_rows() {
-            items.compact();
+        if tail.items.tail_rows() * COMPACT_TAIL_FRACTION > tail.items.base_rows() {
+            tail.items.compact();
         }
         RecommendEngine {
             scorer,
-            items,
+            shards,
             backend,
         }
     }
@@ -190,24 +277,49 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         &self.backend
     }
 
-    /// Rows in the dense scan matrix (always `model().num_items()`; the
-    /// live subsystem's consistency checks assert the two never diverge
-    /// across an epoch swap).
+    /// Rows in the dense scan matrices (always `model().num_items()`;
+    /// the live subsystem's consistency checks assert the two never
+    /// diverge across an epoch swap).
     pub fn catalog_len(&self) -> usize {
-        self.items.rows()
+        self.shards.iter().map(|s| s.items.rows()).sum()
     }
 
-    /// `(base, tail)` segmentation of the dense item matrix — how many
-    /// rows are shared with the ancestor engine vs appended since.
+    /// Number of catalog scan shards this engine partitions the item
+    /// matrix into (1 = unsharded).
+    pub fn scan_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The `(start, end)` item-id range of every shard, in order. The
+    /// ranges tile `0..catalog_len()` exactly once — asserted by the
+    /// live subsystem's swap-consistency checks.
+    pub fn shard_ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.shards
+            .iter()
+            .map(|s| (s.first, s.first + s.items.rows()))
+    }
+
+    /// `(base, tail)` segmentation of the dense item matrices summed
+    /// over shards — how many rows are shared with the ancestor engine
+    /// vs appended since.
     pub fn catalog_segments(&self) -> (usize, usize) {
-        (self.items.base_rows(), self.items.tail_rows())
+        self.shards.iter().fold((0, 0), |(b, t), s| {
+            (b + s.items.base_rows(), t + s.items.tail_rows())
+        })
     }
 
     /// The dense effective factor row the exhaustive scan uses for
     /// `item`. Exposed so consistency checks can verify it against
     /// [`Scorer::item_factor`] on a live snapshot.
+    ///
+    /// # Panics
+    /// If `item` is outside the catalog.
     pub fn dense_item_factor(&self, item: ItemId) -> &[f32] {
-        self.items.row(item.index())
+        let idx = item.index();
+        // Shards are sorted by `first` and contiguous, so the owner is
+        // the last shard starting at or before the id.
+        let si = self.shards.partition_point(|s| s.first <= idx) - 1;
+        self.shards[si].items.row(idx - self.shards[si].first)
     }
 
     /// Serve one request. Equivalent to a 1-element
@@ -311,6 +423,87 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         (scan + 4 * markov) as u64
     }
 
+    /// Scatter-gather serving of one request: the per-shard blocked
+    /// scans run in parallel on up to `threads` scoped workers (the
+    /// same idiom as [`recommend_batch`](Self::recommend_batch), but
+    /// across the *catalog* instead of across users), and the per-shard
+    /// winners are merged deterministically by
+    /// [`shards::merge_topk`]. Bit-for-bit identical to
+    /// [`recommend`](Self::recommend) at any shard/thread count; with
+    /// one shard or one thread it degenerates to the sequential path.
+    ///
+    /// The cascaded backend beams through the taxonomy rather than
+    /// scanning the catalog, so it is served sequentially regardless.
+    pub fn recommend_scatter(
+        &self,
+        req: &RecommendRequest<'_>,
+        threads: usize,
+    ) -> Vec<(ItemId, f32)>
+    where
+        M: Sync,
+    {
+        self.recommend_scatter_with(req, threads, &self.backend)
+    }
+
+    /// [`recommend_scatter`](Self::recommend_scatter) through an
+    /// explicit backend, overriding the engine default for this request.
+    pub fn recommend_scatter_with(
+        &self,
+        req: &RecommendRequest<'_>,
+        threads: usize,
+        backend: &Backend,
+    ) -> Vec<(ItemId, f32)>
+    where
+        M: Sync,
+    {
+        let workers = threads.max(1).min(self.shards.len());
+        if workers <= 1 || !matches!(backend, Backend::Exhaustive) {
+            return self.recommend_with(req, backend);
+        }
+        debug_assert!(
+            req.exclude.windows(2).all(|w| w[0] <= w[1]),
+            "exclude list must be sorted"
+        );
+        let mut query = vec![0.0f32; self.model().k()];
+        self.scorer.query_into(req.user, req.history, &mut query);
+        let k = req.k.min(self.catalog_len());
+        // Cost-balance shard groups by row count, one scoped worker per
+        // group. `shards::pack` emits exactly `workers` non-empty
+        // groups — a heavy tail shard (where live AddItems accumulate)
+        // can skew one group, never collapse the parallelism.
+        let costs: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.items.rows().max(1) as u64)
+            .collect();
+        let groups = shards::pack(&costs, workers);
+        let mut partials: Vec<Vec<(ItemId, f32)>> = Vec::with_capacity(self.shards.len());
+        partials.resize_with(self.shards.len(), Vec::new);
+        let exclude = req.exclude;
+        std::thread::scope(|scope| {
+            let query = &query;
+            let mut rest: &mut [Vec<(ItemId, f32)>] = &mut partials;
+            let mut consumed = 0usize;
+            for (start, end) in groups {
+                let (mine, tail) = rest.split_at_mut(end - consumed);
+                rest = tail;
+                consumed = end;
+                let span = &self.shards[start..end];
+                scope.spawn(move || {
+                    let mut topk = TopK::new();
+                    let mut block = vec![0.0f32; SCORE_BLOCK];
+                    for (shard, out) in span.iter().zip(mine.iter_mut()) {
+                        scan_shard(shard, query, exclude, k, &mut topk, &mut block);
+                        topk.drain_sorted_into(out);
+                    }
+                });
+            }
+        });
+        let mut out = Vec::new();
+        shards::merge_topk(&mut partials, k, &mut out);
+        out
+    }
+
     fn serve_into(
         &self,
         req: &RecommendRequest<'_>,
@@ -339,50 +532,32 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         }
     }
 
-    /// Blocked exhaustive scan: dense dot products per block, then a
-    /// thresholded sweep into the reusable top-K heap.
+    /// Sequential exhaustive serving: one blocked top-K scan per shard,
+    /// then the deterministic scatter-gather merge. With one shard this
+    /// is exactly the classic single-heap scan.
     fn exhaustive_into(
         &self,
         req: &RecommendRequest<'_>,
         scratch: &mut Scratch,
         out: &mut Vec<(ItemId, f32)>,
     ) {
-        let n = self.items.rows();
-        let k_factors = self.model().k();
         // Clamp to the catalog: more than n items can never be returned,
         // and an attacker-supplied huge `k` must not drive the heap
         // reservation (the HTTP layer passes `top=` through unchecked).
-        let k = req.k.min(n);
-        scratch.topk.reset(k);
-        // The matrix is one contiguous segment offline; after live
-        // catalog growth it is base + a small appended tail, each
-        // scanned with the same blocked kernel.
-        for (seg_start, seg) in self.items.segments() {
-            let seg_rows = seg.rows();
-            let flat = seg.as_slice();
-            let mut first = 0usize;
-            while first < seg_rows {
-                let len = SCORE_BLOCK.min(seg_rows - first);
-                let rows = &flat[first * k_factors..(first + len) * k_factors];
-                let scores = &mut scratch.block[..len];
-                score_block_into(&scratch.query, rows, scores);
-                let threshold = scratch.topk.threshold();
-                for (off, &s) in scores.iter().enumerate() {
-                    // Fast reject: full heaps only admit strictly better
-                    // scores, and the threshold only rises within a block.
-                    if s <= threshold && scratch.topk.len() >= k {
-                        continue;
-                    }
-                    let item = ItemId((seg_start + first + off) as u32);
-                    if req.exclude.binary_search(&item).is_ok() {
-                        continue;
-                    }
-                    scratch.topk.offer(item, s);
-                }
-                first += len;
-            }
+        let k = req.k.min(self.catalog_len());
+        scratch.partials.resize_with(self.shards.len(), Vec::new);
+        for (si, shard) in self.shards.iter().enumerate() {
+            scan_shard(
+                shard,
+                &scratch.query,
+                req.exclude,
+                k,
+                &mut scratch.topk,
+                &mut scratch.block,
+            );
+            scratch.topk.drain_sorted_into(&mut scratch.partials[si]);
         }
-        scratch.topk.drain_sorted_into(out);
+        shards::merge_topk(&mut scratch.partials, k, out);
     }
 }
 
@@ -542,6 +717,83 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         assert!(engine.recommend_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn sharded_engine_matches_unsharded_bit_for_bit() {
+        let m = model(1);
+        let hist = vec![vec![ItemId(4), ItemId(9)], vec![ItemId(2)]];
+        let exclude = [ItemId(3), ItemId(17), ItemId(120)];
+        let oracle = RecommendEngine::new(&m);
+        for s in [2usize, 3, 5, 8] {
+            let sharded = RecommendEngine::with_backend_sharded(&m, Backend::Exhaustive, s);
+            assert_eq!(sharded.scan_shards(), s);
+            assert_eq!(sharded.catalog_len(), m.num_items());
+            for (user, k) in [(0usize, 1usize), (5, 10), (30, 400)] {
+                let req = RecommendRequest {
+                    user,
+                    history: &hist,
+                    k,
+                    exclude: &exclude,
+                };
+                let want = oracle.recommend(&req);
+                let got = sharded.recommend(&req);
+                assert_eq!(got.len(), want.len(), "S={s} user={user} k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "S={s} user={user} k={k}: id order");
+                    assert_eq!(
+                        g.1.to_bits(),
+                        w.1.to_bits(),
+                        "S={s} user={user} k={k}: score bits"
+                    );
+                }
+                // Scatter-gather across shard workers is the same again.
+                for threads in [2usize, 3, 8] {
+                    assert_eq!(
+                        sharded.recommend_scatter(&req, threads),
+                        want,
+                        "S={s} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_catalog() {
+        let m = model(0);
+        for s in [1usize, 2, 4, 7] {
+            let engine = RecommendEngine::with_backend_sharded(&m, Backend::Exhaustive, s);
+            let mut next = 0usize;
+            for (start, end) in engine.shard_ranges() {
+                assert_eq!(start, next, "S={s}: gap or overlap");
+                assert!(end > start, "S={s}: empty shard");
+                next = end;
+            }
+            assert_eq!(next, m.num_items(), "S={s}: items dropped");
+            // Every item's dense row resolves through the right shard.
+            for i in [0usize, 1, 150, m.num_items() - 1] {
+                let item = ItemId(i as u32);
+                assert_eq!(
+                    engine.dense_item_factor(item),
+                    engine.scorer().item_factor(item),
+                    "S={s} item {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_on_cascaded_backend_falls_back_to_sequential() {
+        let m = model(0);
+        let depth = m.taxonomy().depth();
+        let engine = RecommendEngine::with_backend_sharded(
+            &m,
+            Backend::Cascaded(CascadeConfig::uniform(depth, 0.4)),
+            4,
+        );
+        let req = RecommendRequest::simple(3, 8);
+        assert_eq!(engine.recommend_scatter(&req, 4), engine.recommend(&req));
     }
 
     #[test]

@@ -36,10 +36,27 @@
 //! [`batch::plan`], so stealing would only add queue traffic. The
 //! dependency-free choice also matches this workspace's offline build
 //! constraints (see `vendor/README.md`).
+//!
+//! Orthogonally to user batching, the **catalog** itself is partitioned
+//! into contiguous, taxonomy-subtree-aligned scan shards
+//! ([`shards::CatalogPartition`]; opt in via
+//! [`RecommendEngine::with_backend_sharded`]). Every request is served
+//! as per-shard blocked top-K scans — sequentially inside a batch
+//! worker, or scattered across scoped threads by
+//! [`RecommendEngine::recommend_scatter`] — whose winners are folded by
+//! a deterministic merge ([`shards::merge_topk`], tie-break: score
+//! descending then item id ascending). A fourth pinned property joins
+//! the three above:
+//!
+//! * **sharded ≡ unsharded** — for any shard count, backend, exclusion
+//!   set and `k`, the served scores, ids, and order are bit-for-bit
+//!   those of the single-shard engine (`tests/proptest_shards.rs`,
+//!   `tests/differential_shards.rs`).
 
 pub mod batch;
 mod engine;
+pub mod shards;
 mod topk;
 
 pub use engine::{Backend, RecommendEngine, RecommendRequest};
-pub use topk::{score_block_into, TopK, SCORE_BLOCK};
+pub use topk::{rank_cmp, ranks_before, score_block_into, TopK, SCORE_BLOCK};

@@ -2,10 +2,15 @@
 //!
 //! [`TopK`] is a bounded min-heap that an engine worker resets and
 //! refills once per request — no per-request allocation after the first
-//! use. Selection semantics match [`Scorer::top_k_items`]: candidates
-//! are offered in ascending item order and evict the current minimum
-//! only on a strictly greater score, so both paths pick the identical
-//! item set (and identical order for distinct scores).
+//! use. Selection implements the total order **(score descending, item
+//! id ascending)** exactly, for *any* offer order: a full heap evicts
+//! its worst entry (minimum score; largest item id among equal scores)
+//! whenever a strictly better candidate arrives — better score, or an
+//! equal score with a smaller id. That total order is what makes the
+//! per-shard scatter-gather merge ([`crate::recommend::shards`])
+//! bit-for-bit identical to a single catalog-wide heap even when tied
+//! scores straddle a shard boundary; [`Scorer::top_k_items`] follows
+//! the same rule.
 //!
 //! [`score_block_into`] is the inner loop of exhaustive inference: one
 //! query against a contiguous block of item-factor rows, written to a
@@ -19,6 +24,26 @@
 use std::cmp::Ordering;
 use taxrec_factors::ops;
 use taxrec_taxonomy::ItemId;
+
+/// THE ranking order of this crate: score descending, item id ascending
+/// on equal scores (`Ordering::Less` = ranks earlier). Every selection
+/// and merge path — [`TopK`], [`Scorer::top_k_items`], the scatter-
+/// gather merge in [`crate::recommend::shards`] — must use this one
+/// function (or [`ranks_before`]); the sharded ≡ unsharded law holds
+/// only while they agree bit for bit.
+#[inline]
+pub fn rank_cmp(a: &(ItemId, f32), b: &(ItemId, f32)) -> Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// `true` iff candidate `a` outranks `b` under [`rank_cmp`] — the
+/// admission/eviction predicate of every bounded selection heap.
+#[inline]
+pub fn ranks_before(a: (ItemId, f32), b: (ItemId, f32)) -> bool {
+    a.1 > b.1 || (a.1 == b.1 && a.0 < b.0)
+}
 
 /// Min-heap entry ordered so the *worst* kept candidate is at the root.
 #[derive(Debug, Clone, Copy)]
@@ -40,13 +65,15 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed on score: `std::collections::BinaryHeap` is a
-        // max-heap, so "greater" here means "worse candidate".
+        // Reversed on score: the backing heap is a max-heap, so
+        // "greater" here means "worse candidate" — lower score, and
+        // among equal scores the *larger* item id (the entry the
+        // (score desc, id asc) total order ranks last).
         other
             .score
             .partial_cmp(&self.score)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| other.item.cmp(&self.item))
+            .then_with(|| self.item.cmp(&other.item))
     }
 }
 
@@ -85,8 +112,12 @@ impl TopK {
         self.heap.is_empty()
     }
 
-    /// The score a candidate must strictly beat to enter a full heap,
-    /// or `-inf` while the heap still has room.
+    /// The score a candidate must beat to enter a full heap, or `-inf`
+    /// while the heap still has room. A candidate *equal* to the
+    /// threshold can still enter on the id tie-break (see
+    /// [`offer`](TopK::offer)) — but never when offered in ascending
+    /// item order, which is what lets scan loops pre-filter blocks with
+    /// a plain `> threshold` test.
     #[inline]
     pub fn threshold(&self) -> f32 {
         if self.k == 0 {
@@ -99,7 +130,8 @@ impl TopK {
         }
     }
 
-    /// Offer one candidate.
+    /// Offer one candidate: a full heap admits it iff it beats the
+    /// current worst entry under the (score desc, id asc) total order.
     #[inline]
     pub fn offer(&mut self, item: ItemId, score: f32) {
         if self.k == 0 {
@@ -110,26 +142,25 @@ impl TopK {
                 score,
                 item: item.0,
             });
-        } else if score > self.heap[0].score {
-            self.pop_root();
-            self.push(Entry {
-                score,
-                item: item.0,
-            });
+        } else {
+            let root = self.heap[0];
+            if ranks_before((item, score), (ItemId(root.item), root.score)) {
+                self.pop_root();
+                self.push(Entry {
+                    score,
+                    item: item.0,
+                });
+            }
         }
     }
 
-    /// Drain into `out`, best first (descending score; ascending item id
-    /// among exactly-equal scores).
+    /// Drain into `out`, best first under [`rank_cmp`] (descending
+    /// score; ascending item id among exactly-equal scores).
     pub fn drain_sorted_into(&mut self, out: &mut Vec<(ItemId, f32)>) {
         out.clear();
         out.extend(self.heap.iter().map(|e| (ItemId(e.item), e.score)));
         self.heap.clear();
-        out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        out.sort_by(rank_cmp);
     }
 
     // Plain sift-up/sift-down on the Vec; `BinaryHeap` itself would force
@@ -262,6 +293,31 @@ mod tests {
         assert_eq!(t.threshold(), 4.0);
         t.offer(ItemId(3), 1.0); // below threshold: ignored
         assert_eq!(t.threshold(), 4.0);
+    }
+
+    #[test]
+    fn boundary_ties_keep_lowest_ids_in_any_offer_order() {
+        // Four candidates tie at the boundary score; the kept pair must
+        // be the two lowest ids under the (score desc, id asc) total
+        // order, no matter how arrivals interleave with the eviction.
+        for order in [
+            vec![(0u32, 1.0f32), (5, 1.0), (2, 1.0), (9, 1.0), (3, 7.0)],
+            vec![(9, 1.0), (5, 1.0), (3, 7.0), (2, 1.0), (0, 1.0)],
+            vec![(3, 7.0), (9, 1.0), (2, 1.0), (0, 1.0), (5, 1.0)],
+        ] {
+            let mut t = TopK::new();
+            t.reset(3);
+            for (i, s) in &order {
+                t.offer(ItemId(*i), *s);
+            }
+            let mut out = Vec::new();
+            t.drain_sorted_into(&mut out);
+            assert_eq!(
+                out,
+                vec![(ItemId(3), 7.0), (ItemId(0), 1.0), (ItemId(2), 1.0)],
+                "offer order {order:?}"
+            );
+        }
     }
 
     #[test]

@@ -207,8 +207,12 @@ impl<M: Deref<Target = TfModel>> Scorer<M> {
     }
 
     /// Exhaustive top-`k` items, best first, skipping `exclude`
-    /// (typically the user's already-purchased items).
+    /// (typically the user's already-purchased items). Selection and
+    /// output follow [`crate::recommend::rank_cmp`] — the one (score
+    /// descending, item id ascending) total order shared with the
+    /// recommend engine's heap and its scatter-gather merge.
     pub fn top_k_items(&self, query: &[f32], k: usize, exclude: &[ItemId]) -> Vec<(ItemId, f32)> {
+        use crate::recommend::{rank_cmp, ranks_before};
         let tax = self.model.taxonomy();
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
         for i in 0..tax.num_items() {
@@ -220,14 +224,14 @@ impl<M: Deref<Target = TfModel>> Scorer<M> {
             if heap.len() < k {
                 heap.push(HeapEntry(s, item));
             } else if let Some(min) = heap.peek() {
-                if s > min.0 {
+                if ranks_before((item, s), (min.1, min.0)) {
                     heap.pop();
                     heap.push(HeapEntry(s, item));
                 }
             }
         }
         let mut out: Vec<(ItemId, f32)> = heap.into_iter().map(|e| (e.1, e.0)).collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        out.sort_by(rank_cmp);
         out
     }
 
@@ -262,12 +266,14 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: smaller score = "greater" for the max-heap.
+        // Reversed: smaller score = "greater" for the max-heap, and
+        // among equal scores the larger item id (the candidate the
+        // (score desc, id asc) total order ranks last).
         other
             .0
             .partial_cmp(&self.0)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| other.1.cmp(&self.1))
+            .then_with(|| self.1.cmp(&other.1))
     }
 }
 

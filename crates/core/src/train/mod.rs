@@ -46,6 +46,25 @@ impl TrainStats {
     }
 }
 
+/// Mini-batch size of [`TfTrainer::fit_deterministic`]: steps inside
+/// one batch read factors at most this stale, and the barrier applies
+/// their updates in global step order. Small enough that quality tracks
+/// plain SGD, large enough that the per-batch join cost amortises.
+pub const DETERMINISTIC_BATCH: u64 = 256;
+
+/// Per-step seed for deterministic training: a splitmix64 of the run
+/// seed, the epoch, and the *global* step index, so a step's entire
+/// randomness is independent of which worker executes it.
+fn step_seed(seed: u64, epoch: usize, step: u64) -> u64 {
+    let mut z = seed
+        ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ step.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Trains TF(U, B) models over a fixed taxonomy.
 #[derive(Debug, Clone)]
 pub struct TfTrainer {
@@ -101,6 +120,121 @@ impl TfTrainer {
             seed,
         );
         self.fit_parallel_from(model, train, seed, threads)
+    }
+
+    /// Multi-threaded training whose result is **bit-identical for any
+    /// thread count** (and to its own single-threaded run): the epoch
+    /// is cut into fixed synchronous mini-batches; within a batch every
+    /// step draws its entire randomness from a seed derived from the
+    /// *global* step index and computes its gradients against the
+    /// frozen batch-start factors, recording updates in a per-worker
+    /// [`worker::DeltaLog`] instead of the shared matrices; at the
+    /// batch barrier the logs are applied back-to-back in worker order
+    /// — with contiguous step ranges per worker that is exactly the
+    /// global step order, so every `f32` addition happens in one
+    /// canonical sequence regardless of the partition.
+    ///
+    /// Compared to [`fit_parallel`](Self::fit_parallel) (Hogwild,
+    /// non-deterministic interleavings) this trades some freshness —
+    /// steps inside one mini-batch see factors up to
+    /// [`DETERMINISTIC_BATCH`] steps stale, the bounded-staleness
+    /// regime the paper's cached workers already rely on — for exact
+    /// replayability. Drift caches are disabled (their flush points
+    /// would depend on the partition). Locked in by
+    /// `tests/train_determinism.rs`.
+    pub fn fit_deterministic(
+        &self,
+        train: &PurchaseLog,
+        seed: u64,
+        threads: usize,
+    ) -> (TfModel, TrainStats) {
+        let threads = threads.max(1);
+        let model = TfModel::init(
+            self.config.clone(),
+            Arc::clone(&self.taxonomy),
+            train.num_users(),
+            seed,
+        );
+        let index = PurchaseIndex::build(train);
+        let mut stats = TrainStats {
+            threads,
+            ..TrainStats::default()
+        };
+        if index.is_empty() || self.config.epochs == 0 {
+            return (model, stats);
+        }
+
+        let TfModel {
+            taxonomy,
+            config,
+            user_factors,
+            node_factors,
+            next_factors,
+            paths,
+            cutoff_level,
+        } = model;
+        let users = SharedFactors::new(user_factors);
+        let nodes = SharedFactors::new(node_factors);
+        let nexts = SharedFactors::new(next_factors);
+        let steps_per_epoch = (index.len() as u64) * self.config.negatives_per_positive as u64;
+
+        for epoch in 0..self.config.epochs {
+            let t0 = Instant::now();
+            let ctx = SharedModel {
+                cfg: &config,
+                tax: &taxonomy,
+                paths: &paths,
+                users: &users,
+                nodes: &nodes,
+                nexts: &nexts,
+            };
+            let mut workers: Vec<Worker> = (0..threads)
+                .map(|_| Worker::new_deterministic(ctx))
+                .collect();
+            let mut done = 0u64;
+            while done < steps_per_epoch {
+                let batch = DETERMINISTIC_BATCH.min(steps_per_epoch - done);
+                let per_worker = batch.div_ceil(threads as u64);
+                std::thread::scope(|scope| {
+                    let index = &index;
+                    for (w, worker) in workers.iter_mut().enumerate() {
+                        let lo = done + per_worker * w as u64;
+                        let hi = (lo + per_worker).min(done + batch);
+                        if lo >= hi {
+                            continue;
+                        }
+                        scope.spawn(move || {
+                            for s in lo..hi {
+                                worker.run_step_seeded(train, index, step_seed(seed, epoch, s));
+                            }
+                        });
+                    }
+                });
+                // Barrier: apply every worker's deltas in worker order
+                // (= global step order), single-threaded.
+                for worker in &mut workers {
+                    worker.drain_pending();
+                }
+                done += batch;
+            }
+            stats.epoch_times.push(t0.elapsed());
+            for ws in workers.iter().map(|w| w.stats) {
+                stats.steps += ws.steps;
+                stats.sibling_steps += ws.sibling_steps;
+                stats.skipped_steps += ws.skipped;
+            }
+        }
+
+        let model = TfModel {
+            taxonomy,
+            config,
+            user_factors: users.into_matrix(),
+            node_factors: nodes.into_matrix(),
+            next_factors: nexts.into_matrix(),
+            paths,
+            cutoff_level,
+        };
+        (model, stats)
     }
 
     /// Run the SGD epochs starting from an existing model's factors

@@ -61,6 +61,62 @@ pub(crate) struct WorkerStats {
     pub cache_flushes: u64,
 }
 
+/// Which shared matrix a deferred update targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// The user-factor matrix.
+    User,
+    /// The long-term node-offset matrix.
+    Long,
+    /// The next-item node-offset matrix.
+    Next,
+}
+
+/// Deferred-update sink for deterministic training: instead of applying
+/// row deltas to the shared matrices as they are computed, a worker
+/// records them *in step order*. The driver applies the logs of all
+/// workers back-to-back in worker order — which, with contiguous step
+/// ranges per worker, is exactly the global step order — so the final
+/// factors are bit-identical no matter how the steps were partitioned
+/// (f32 addition is applied in one canonical sequence per row).
+#[derive(Debug, Default)]
+pub(crate) struct DeltaLog {
+    targets: Vec<(Target, u32)>,
+    data: Vec<f32>,
+    k: usize,
+}
+
+impl DeltaLog {
+    fn new(k: usize) -> DeltaLog {
+        DeltaLog {
+            targets: Vec::new(),
+            data: Vec::new(),
+            k,
+        }
+    }
+
+    fn push(&mut self, target: Target, row: usize, delta: &[f32]) {
+        debug_assert_eq!(delta.len(), self.k);
+        self.targets.push((target, row as u32));
+        self.data.extend_from_slice(delta);
+    }
+
+    /// Apply every recorded delta in recording order, then clear.
+    fn drain_into(&mut self, ctx: &SharedModel<'_>) {
+        for (i, &(target, row)) in self.targets.iter().enumerate() {
+            let delta = &self.data[i * self.k..(i + 1) * self.k];
+            let sf = match target {
+                Target::User => ctx.users,
+                Target::Long => ctx.nodes,
+                Target::Next => ctx.nexts,
+            };
+            sf.add_to_row(row as usize, delta);
+        }
+        self.targets.clear();
+        self.data.clear();
+    }
+}
+
 /// Reusable per-step buffers (allocated once per worker per epoch).
 struct StepBufs {
     q: Vec<f32>,
@@ -101,6 +157,9 @@ pub(crate) struct Worker<'a> {
     rng: StdRng,
     node_cache: Option<DriftCache>,
     next_cache: Option<DriftCache>,
+    /// `Some` in deterministic mode: updates are recorded instead of
+    /// applied, and reads see the frozen batch-start factors.
+    pending: Option<DeltaLog>,
     bufs: StepBufs,
     pub stats: WorkerStats,
 }
@@ -126,9 +185,25 @@ impl<'a> Worker<'a> {
             rng,
             node_cache,
             next_cache,
+            pending: None,
             bufs: StepBufs::new(k, max_path),
             stats: WorkerStats::default(),
         }
+    }
+
+    /// Worker for [`crate::train::TfTrainer::fit_deterministic`]: no
+    /// drift caches (their flush points depend on the partition), and
+    /// every update lands in a [`DeltaLog`] instead of the shared
+    /// matrices. The RNG is replaced per step by
+    /// [`run_step_seeded`](Self::run_step_seeded).
+    pub fn new_deterministic(ctx: SharedModel<'a>) -> Worker<'a> {
+        use rand::SeedableRng;
+        let k = ctx.cfg.factors;
+        let mut w = Worker::new(ctx, StdRng::seed_from_u64(0));
+        w.node_cache = None;
+        w.next_cache = None;
+        w.pending = Some(DeltaLog::new(k));
+        w
     }
 
     /// Run `n` SGD steps over events drawn from `log` via the sampler.
@@ -143,6 +218,31 @@ impl<'a> Worker<'a> {
             self.step(log, ev);
         }
         self.flush();
+    }
+
+    /// Run ONE step whose entire randomness (event draw, negative,
+    /// sibling picks) comes from a fresh RNG seeded with `step_seed` —
+    /// so the step's effect depends only on `(model state, step_seed)`,
+    /// never on which worker ran it or what it ran before.
+    pub fn run_step_seeded(
+        &mut self,
+        log: &PurchaseLog,
+        index: &crate::train::sampler::PurchaseIndex,
+        step_seed: u64,
+    ) {
+        use rand::SeedableRng;
+        self.rng = StdRng::seed_from_u64(step_seed);
+        let ev = index.sample(&mut self.rng);
+        self.step(log, ev);
+    }
+
+    /// Apply (in recording order) and clear the deferred updates of
+    /// deterministic mode. No-op for Hogwild workers.
+    pub fn drain_pending(&mut self) {
+        let ctx = self.ctx;
+        if let Some(p) = &mut self.pending {
+            p.drain_into(&ctx);
+        }
     }
 
     /// Publish all cached updates (epoch barrier).
@@ -192,6 +292,14 @@ impl<'a> Worker<'a> {
     }
 
     fn update_row(&mut self, mat: Mat, row: usize, delta: &[f32]) {
+        if let Some(p) = &mut self.pending {
+            let target = match mat {
+                Mat::Long => Target::Long,
+                Mat::Next => Target::Next,
+            };
+            p.push(target, row, delta);
+            return;
+        }
         let hot = self.is_hot(row);
         let (sf, cache) = match mat {
             Mat::Long => (self.ctx.nodes, &mut self.node_cache),
@@ -200,6 +308,15 @@ impl<'a> Worker<'a> {
         match cache {
             Some(c) if hot => c.update(sf, row, delta),
             _ => sf.add_to_row(row, delta),
+        }
+    }
+
+    /// User-row update, routed through the deterministic sink when one
+    /// is armed (mirrors [`update_row`](Self::update_row)).
+    fn update_user(&mut self, row: usize, delta: &[f32]) {
+        match &mut self.pending {
+            Some(p) => p.push(Target::User, row, delta),
+            None => self.ctx.users.add_to_row(row, delta),
         }
     }
 
@@ -304,7 +421,7 @@ impl<'a> Worker<'a> {
             up.fill(0.0);
             ops::axpy(lr * c, &self.bufs.diff, &mut up);
             ops::axpy(-lr * lam, &self.bufs.u_row, &mut up);
-            self.ctx.users.add_to_row(u, &up);
+            self.update_user(u, &up);
             self.bufs.tmp = up;
         }
 
@@ -417,7 +534,7 @@ impl<'a> Worker<'a> {
                 up.fill(0.0);
                 ops::axpy(lr * c, &self.bufs.diff, &mut up);
                 ops::axpy(-lr * lam, &self.bufs.u_row, &mut up);
-                self.ctx.users.add_to_row(u, &up);
+                self.update_user(u, &up);
                 self.bufs.tmp = up;
             }
 
