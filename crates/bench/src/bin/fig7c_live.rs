@@ -17,26 +17,41 @@
 //!   issuing `GET /recommend` against `taxrec-cli`'s worker-pool accept
 //!   loop, swept over worker counts 1, 2, 4, … N — the bench measures
 //!   how the *serving layer* scales with workers, not just how the
-//!   engine absorbs update churn.
+//!   engine absorbs update churn;
+//! * **publish sweep** — per-publish cost at catalog sizes N, 4N and
+//!   16N: events/sec through the applier, the publish p50/p99 from the
+//!   live stats histogram, the chunk-sharing counters, and the
+//!   O(model) deep-clone baseline a publish used to pay before the
+//!   copy-on-write model storage. Factor *values* don't affect publish
+//!   cost, so the sweep uses untrained models and scales the catalog
+//!   only.
 //!
 //! Reported: reads/sec per phase, the degradation factor, events
 //! applied, epochs published, snapshot-consistency checks (every
 //! loaded snapshot is verified with `LiveEngine::verify_consistent` —
-//! the "readers never observe a mix" property), and HTTP requests/sec
-//! per worker count.
+//! the "readers never observe a mix" property), HTTP requests/sec
+//! per worker count, and the publish sweep. Everything machine-readable
+//! lands in `BENCH_live.json` (`--bench-json` to relocate).
 //!
 //! ```text
 //! cargo run --release -p taxrec-bench --bin fig7c_live -- --scale small
 //!   [--readers 2] [--batch 32] [--top 10] [--duration-ms 3000]
 //!   [--max-degradation 50] [--workers 4] [--clients 4]
+//!   [--sweep-base-items 2000] [--sweep-events 256] [--bench-json BENCH_live.json]
 //! cargo run --release -p taxrec-bench --bin fig7c_live -- --smoke --workers 2
 //! ```
 //!
 //! `--smoke` runs a seconds-long tiny-scale pass and **fails the
 //! process** on any consistency violation, zero read progress, HTTP
-//! errors, or degradation beyond `--max-degradation` — the CI guard
-//! for the live path under release optimizations.
+//! errors, degradation beyond `--max-degradation`, publish latency
+//! that *grows* with catalog size (the O(change) guard: p50 at 16N
+//! must stay within 8× of p50 at N), or a publish that is not at
+//! least `--min-clone-ratio` (default 3) times cheaper than the deep
+//! clone it replaced — the CI guard for the live path under release
+//! optimizations.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,9 +62,9 @@ use taxrec_bench::fixtures;
 use taxrec_bench::report::{fmt, Table};
 use taxrec_cli::serve::{serve_on, LiveServer, ServeOptions};
 use taxrec_core::live::{LiveConfig, LiveHandle, LiveState, UpdateEvent};
-use taxrec_core::{ModelConfig, RecommendRequest, TfModel};
+use taxrec_core::{untrained_model, ModelConfig, RecommendRequest, TfModel};
 use taxrec_dataset::{DatasetConfig, SyntheticDataset};
-use taxrec_taxonomy::NodeId;
+use taxrec_taxonomy::{NodeId, TaxonomyGenerator, TaxonomyShape};
 
 struct PhaseResult {
     reads: u64,
@@ -276,6 +291,164 @@ fn run_http_phase(
     }
 }
 
+/// One catalog size of the publish-cost sweep.
+struct PublishPoint {
+    items: usize,
+    nodes: usize,
+    events: u64,
+    events_per_sec: f64,
+    publish_p50_us: u64,
+    publish_p99_us: u64,
+    publish_mean_us: f64,
+    deep_clone_us: f64,
+    shared_chunks: u64,
+    copied_chunks: u64,
+}
+
+impl PublishPoint {
+    /// How many times cheaper a structural-sharing publish is than the
+    /// O(model) deep clone each publish used to pay.
+    fn clone_ratio(&self) -> f64 {
+        // Floor at 50 ns: latencies are accumulated in nanoseconds, so
+        // a zero mean means nothing ran — never divide toward a
+        // vacuously huge ratio.
+        self.deep_clone_us / self.publish_mean_us.max(0.05)
+    }
+}
+
+/// Publish cost at one catalog size: `events` synchronous `AddItem`s
+/// through the real applier (batch cap 1 → one publish per event, WAL
+/// on), plus the deep-clone baseline measured on the same model.
+fn run_publish_point(
+    items: usize,
+    users: usize,
+    k: usize,
+    events: u64,
+    seed: u64,
+    dir: &std::path::Path,
+) -> PublishPoint {
+    let shape = TaxonomyShape {
+        level_sizes: vec![
+            (4 * items / 400).max(2),
+            (10 * items / 400).max(4),
+            (30 * items / 400).max(8),
+        ],
+        num_items: items,
+        item_skew: 0.5,
+    };
+    let tax = TaxonomyGenerator::new(shape)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .taxonomy;
+    let nodes = tax.num_nodes();
+    let model = untrained_model(ModelConfig::tf(4, 1).with_factors(k), &tax, users, seed);
+    let parents: Vec<NodeId> = {
+        let t = model.taxonomy();
+        t.node_ids()
+            .filter(|&n| t.node_item(n).is_none() && t.level(n) > 0)
+            .collect()
+    };
+    // The O(model) baseline: what one publish cost when the successor
+    // model was a deep copy instead of shared chunks.
+    let deep_clone_us = {
+        let reps = 8u32;
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(model.deep_clone());
+        }
+        t.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+    let handle = LiveHandle::spawn(
+        LiveState::new(model),
+        LiveConfig {
+            batch_cap: 1,
+            log_path: Some(dir.join(format!("sweep-{items}.log"))),
+            ..LiveConfig::default()
+        },
+    )
+    .expect("spawn live subsystem");
+    let t0 = Instant::now();
+    for i in 0..events {
+        handle
+            .submit(UpdateEvent::AddItem {
+                parent: parents[i as usize % parents.len()],
+            })
+            .expect("valid add-item");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = handle.stats().snapshot();
+    drop(handle);
+    assert_eq!(stats.publishes, events, "batch_cap=1 → publish per event");
+    PublishPoint {
+        items,
+        nodes,
+        events,
+        events_per_sec: events as f64 / secs.max(1e-9),
+        publish_p50_us: stats.publish_p50_us,
+        publish_p99_us: stats.publish_p99_us,
+        publish_mean_us: stats.publish_us_total as f64 / stats.publishes.max(1) as f64,
+        deep_clone_us,
+        shared_chunks: stats.model_shared_chunks,
+        copied_chunks: stats.model_copied_chunks,
+    }
+}
+
+/// Render everything machine-readable (the committed bench trajectory).
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    baseline: &PhaseResult,
+    churn: &PhaseResult,
+    degradation: f64,
+    http_phases: &[HttpPhaseResult],
+    clients: usize,
+    sweep: &[PublishPoint],
+    smoke: bool,
+) -> String {
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"items\":{},\"nodes\":{},\"events\":{},\"events_per_sec\":{:.1},\
+                 \"publish_p50_us\":{},\"publish_p99_us\":{},\"publish_mean_us\":{:.2},\
+                 \"deep_clone_us\":{:.2},\"clone_ratio\":{:.1},\
+                 \"model_shared_chunks\":{},\"model_copied_chunks\":{}}}",
+                p.items,
+                p.nodes,
+                p.events,
+                p.events_per_sec,
+                p.publish_p50_us,
+                p.publish_p99_us,
+                p.publish_mean_us,
+                p.deep_clone_us,
+                p.clone_ratio(),
+                p.shared_chunks,
+                p.copied_chunks
+            )
+        })
+        .collect();
+    let http_json: Vec<String> = http_phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"workers\":{},\"clients\":{clients},\"requests_per_sec\":{:.1},\"errors\":{}}}",
+                p.workers,
+                p.rate(),
+                p.errors
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"fig7c_live\",\"smoke\":{smoke},\
+         \"baseline_reads_per_sec\":{:.1},\"churn_reads_per_sec\":{:.1},\
+         \"degradation\":{degradation:.2},\"churn_events_applied\":{},\
+         \"http\":[{}],\"publish_sweep\":[{}]}}\n",
+        baseline.rate(),
+        churn.rate(),
+        churn.events_applied,
+        http_json.join(","),
+        sweep_json.join(",")
+    )
+}
+
 /// Worker counts to sweep: 1, 2, 4, … doubling up to and including `max`.
 fn worker_sweep(max: usize) -> Vec<usize> {
     let mut counts = Vec::new();
@@ -340,6 +513,25 @@ fn main() {
         Vec::new()
     };
 
+    // Publish-cost sweep at catalog sizes N, 4N, 16N.
+    let sweep_base = args.get("sweep-base-items", if smoke { 400usize } else { 2000 });
+    let sweep_users = args.get("sweep-users", if smoke { 500usize } else { 2000 });
+    let sweep_events = args.get("sweep-events", if smoke { 64u64 } else { 256 });
+    let min_clone_ratio = args.get("min-clone-ratio", 3.0f64);
+    let sweep: Vec<PublishPoint> = [1usize, 4, 16]
+        .into_iter()
+        .map(|scale| {
+            run_publish_point(
+                sweep_base * scale,
+                sweep_users,
+                k_factors,
+                sweep_events,
+                args.seed(),
+                &dir,
+            )
+        })
+        .collect();
+
     let mut t = Table::new(
         [
             "phase",
@@ -389,6 +581,56 @@ fn main() {
         t.print("Pooled HTTP server: reader throughput vs worker count");
     }
 
+    let mut t = Table::new(
+        [
+            "items",
+            "events/sec",
+            "publish p50 µs",
+            "publish p99 µs",
+            "publish mean µs",
+            "deep clone µs",
+            "ratio",
+            "chunks shared/copied",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    for p in &sweep {
+        t.row([
+            p.items.to_string(),
+            fmt(p.events_per_sec, 0),
+            p.publish_p50_us.to_string(),
+            p.publish_p99_us.to_string(),
+            fmt(p.publish_mean_us, 1),
+            fmt(p.deep_clone_us, 1),
+            format!("{:.0}×", p.clone_ratio()),
+            format!("{}/{}", p.shared_chunks, p.copied_chunks),
+        ]);
+    }
+    t.print("Publish cost vs catalog size (structural sharing vs the deep-clone baseline)");
+
+    let json = bench_json(
+        &baseline,
+        &churn,
+        baseline.rate() / churn.rate().max(1e-9),
+        &http_phases,
+        clients,
+        &sweep,
+        smoke,
+    );
+    // Smoke runs (CI, quick checks) must not clobber the committed
+    // full-run BENCH_live.json in the repo root: their numbers land in
+    // the temp dir unless --bench-json says otherwise.
+    let json_path = match args.value("bench-json") {
+        Some(p) => std::path::PathBuf::from(p),
+        None if smoke => std::env::temp_dir().join("BENCH_live.smoke.json"),
+        None => std::path::PathBuf::from("BENCH_live.json"),
+    };
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("# wrote {}", json_path.display()),
+        Err(e) => eprintln!("# could not write {}: {e}", json_path.display()),
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
 
     // The guard: consistency is absolute; liveness and bounded
@@ -421,6 +663,37 @@ fn main() {
         failures.push(format!(
             "readers degraded {degradation:.1}× under churn (bound {max_degradation:.0}×)"
         ));
+    }
+    // The O(change) guards. Publish latency must be flat-ish in catalog
+    // size: the p50 at 16N may wander a few power-of-two histogram
+    // buckets (noise on a loaded CI box) but must not scale with the
+    // 16× catalog the deep clone pays for.
+    let (small, large) = (&sweep[0], &sweep[sweep.len() - 1]);
+    if large.publish_p50_us > 8 * small.publish_p50_us.max(16) {
+        failures.push(format!(
+            "publish p50 grew with catalog size: {} µs at {} items vs {} µs at {} items \
+             (publishes are not O(change))",
+            large.publish_p50_us, large.items, small.publish_p50_us, small.items
+        ));
+    }
+    if large.clone_ratio() < min_clone_ratio {
+        failures.push(format!(
+            "publish at {} items is only {:.1}× cheaper than a deep clone \
+             (bound {min_clone_ratio}×)",
+            large.items,
+            large.clone_ratio()
+        ));
+    }
+    for p in &sweep {
+        // COW must be engaged: every publish appends one node row to
+        // two matrices, so per publish at most a few chunks may be
+        // unshared while the rest of the model stays pointer-shared.
+        if p.shared_chunks == 0 || p.copied_chunks > 4 * p.events {
+            failures.push(format!(
+                "chunk sharing off at {} items: {} shared / {} copied over {} publishes",
+                p.items, p.shared_chunks, p.copied_chunks, p.events
+            ));
+        }
     }
     if !failures.is_empty() {
         for f in &failures {

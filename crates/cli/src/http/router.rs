@@ -258,6 +258,8 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                  \"scan_shards\":{},\
                  \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
                  \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
+                 \"publish_p50_us\":{},\"publish_p99_us\":{},\
+                 \"model_shared_chunks\":{},\"model_copied_chunks\":{},\
                  \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{},\"http\":{}}}",
                 snap.epoch(),
                 snap.model().num_users(),
@@ -272,6 +274,10 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 s.items_added,
                 s.users_folded,
                 s.publishes,
+                s.publish_p50_us,
+                s.publish_p99_us,
+                s.model_shared_chunks,
+                s.model_copied_chunks,
                 s.snapshots_written,
                 s.log_bytes,
                 s.log_errors,

@@ -44,6 +44,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use taxrec_core::live::{
     decode_log_lossy, replay, snapshot::decode_live, LiveConfig, LiveEngine, LiveHandle, LiveState,
+    LogHeader, UpdateEvent,
 };
 use taxrec_dataset::{PurchaseLog, Transaction};
 use taxrec_taxonomy::ItemId;
@@ -72,6 +73,16 @@ impl LiveServer {
         item_names: Option<Vec<String>>,
         config: LiveConfig,
     ) -> Result<LiveServer, CliError> {
+        LiveServer::new_inner(state, train, item_names, config, false)
+    }
+
+    fn new_inner(
+        state: LiveState,
+        train: PurchaseLog,
+        item_names: Option<Vec<String>>,
+        config: LiveConfig,
+        wal_already_verified: bool,
+    ) -> Result<LiveServer, CliError> {
         if state.base_users() != train.num_users() {
             return Err(CliError::Data(format!(
                 "model was trained on {} users, data dir has {}",
@@ -79,8 +90,12 @@ impl LiveServer {
                 train.num_users()
             )));
         }
-        let live = LiveHandle::spawn(state, config)
-            .map_err(|e| CliError::Data(format!("starting live subsystem: {e}")))?;
+        let live = if wal_already_verified {
+            LiveHandle::spawn_recovered(state, config)
+        } else {
+            LiveHandle::spawn(state, config)
+        }
+        .map_err(|e| CliError::Data(format!("starting live subsystem: {e}")))?;
         Ok(LiveServer {
             train,
             item_names,
@@ -94,17 +109,25 @@ impl LiveServer {
     /// the model (plain `.tfm` or a live snapshot with folded users),
     /// and — if `config.log_path` names an existing log — the events to
     /// replay on top of it before serving resumes.
+    ///
+    /// The WAL is read and decoded **once**: [`load_wal`] repairs a
+    /// crash-torn tail and yields the verified header + events, which
+    /// are then threaded through base-state resolution
+    /// ([`resolve_base_state`]), replay ([`replay_wal`]) and the
+    /// applier spawn ([`LiveHandle::spawn_recovered`]) instead of each
+    /// step re-reading and re-decoding the file.
     pub fn load(
         data: &DataDir,
         model_path: &str,
         config: LiveConfig,
     ) -> Result<LiveServer, CliError> {
-        let (mut state, base_desc) = resolve_base_state(model_path, &config)?;
-        if let Some(log_path) = &config.log_path {
-            recover_from_wal(&mut state, log_path, &base_desc)?;
+        let wal = load_wal(&config)?;
+        let (mut state, base_desc) = resolve_base_state(model_path, &config, wal.as_ref())?;
+        if let Some(wal) = &wal {
+            replay_wal(&mut state, wal, &base_desc)?;
         }
         let train = data.train()?;
-        LiveServer::new(state, train, data.item_names()?, config)
+        LiveServer::new_inner(state, train, data.item_names()?, config, wal.is_some())
     }
 
     /// The live handle (stats, direct event submission — used by tests
@@ -167,89 +190,34 @@ impl LiveServer {
     }
 }
 
-/// Pick the base state the event log replays over. Normally `--model`;
-/// but once a snapshot has rotated the log, the log's lineage no longer
-/// matches the original model — if `--snapshot` names a snapshot whose
-/// shape *does* match, resume from it, so the documented command line
-/// (same `--model` every restart) stays restart-safe across rotations.
-/// Returns the state and a description of where it came from (for
-/// error messages).
-fn resolve_base_state(
-    model_path: &str,
-    config: &LiveConfig,
-) -> Result<(LiveState, String), CliError> {
-    let bytes = std::fs::read(model_path)?;
-    let state = decode_live(&bytes).map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
-    let from_model = |state| Ok((state, model_path.to_string()));
-    let (Some(log_path), Some(snap_path)) = (&config.log_path, &config.snapshot_path) else {
-        return from_model(state);
-    };
-    if std::fs::metadata(log_path).map(|m| m.len()).unwrap_or(0) == 0 {
-        return from_model(state);
-    }
-    let log_bytes = std::fs::read(log_path)?;
-    // An undecodable log header is reported by recover_from_wal with
-    // full context; don't duplicate that here.
-    let Ok((header, _, _)) = decode_log_lossy(&log_bytes) else {
-        return from_model(state);
-    };
-    if header.matches_model(state.model()) {
-        return from_model(state);
-    }
-    let snap_bytes = match std::fs::read(snap_path) {
-        Ok(b) => b,
-        // No snapshot yet → fall through to the guided lineage error.
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return from_model(state),
-        // An existing-but-unreadable snapshot must surface its real
-        // cause, not the misleading "restart with --model <snapshot>".
-        Err(e) => {
-            return Err(CliError::Data(format!("{}: {e}", snap_path.display())));
-        }
-    };
-    let snap_state = decode_live(&snap_bytes)
-        .map_err(|e| CliError::Data(format!("{}: {e}", snap_path.display())))?;
-    if header.matches_model(snap_state.model()) {
-        eprintln!(
-            "taxrec serve: {} was rotated past {model_path}; resuming from snapshot {}",
-            log_path.display(),
-            snap_path.display()
-        );
-        return Ok((snap_state, snap_path.display().to_string()));
-    }
-    from_model(state)
+/// The event log, read and decoded **once** at startup: the verified
+/// lineage header and events, with any crash-torn tail already repaired
+/// on disk. Every startup consumer — base-state resolution, replay, and
+/// the applier's append-mode open — works from this instead of
+/// re-reading and re-decoding the file.
+struct LoadedWal {
+    log_path: std::path::PathBuf,
+    header: LogHeader,
+    events: Vec<UpdateEvent>,
 }
 
-/// Replay an existing event log over `state`, repairing a crash-torn
-/// tail first: the torn bytes are truncated off the file, because the
-/// applier refuses to append after undecodable bytes (records written
-/// there would be invisible to every future replay — acked updates
-/// silently lost on the *next* recovery).
-fn recover_from_wal(
-    state: &mut LiveState,
-    log_path: &std::path::Path,
-    model_path: &str,
-) -> Result<(), CliError> {
+/// Read `config.log_path` (if configured and non-empty) and decode it
+/// exactly once, repairing a crash-torn tail first: the torn bytes are
+/// truncated off the file (saved aside as `<log>.log.torn`), because
+/// the applier must never append after undecodable bytes — records
+/// written there would be invisible to every future replay, silently
+/// losing acked updates on the *next* recovery. After repair the file
+/// strictly decodes to exactly `events`.
+fn load_wal(config: &LiveConfig) -> Result<Option<LoadedWal>, CliError> {
+    let Some(log_path) = &config.log_path else {
+        return Ok(None);
+    };
     if std::fs::metadata(log_path).map(|m| m.len()).unwrap_or(0) == 0 {
-        return Ok(());
+        return Ok(None);
     }
     let log_bytes = std::fs::read(log_path)?;
     let (header, events, ignored) = decode_log_lossy(&log_bytes)
         .map_err(|e| CliError::Data(format!("{}: {e}", log_path.display())))?;
-    // Lineage check: the log's events apply to a specific base state.
-    // Replaying them over any other (e.g. the pre-snapshot model after
-    // the log was rotated) would silently lose acked updates.
-    if !header.matches_model(state.model()) {
-        return Err(CliError::Data(format!(
-            "{}: event log starts from a state with {} users / {} items, \
-             but {model_path} has {} / {} — the log was likely rotated by a \
-             snapshot; restart with --model <snapshot> instead",
-            log_path.display(),
-            header.base_users,
-            header.base_items,
-            state.model().num_users(),
-            state.model().num_items(),
-        )));
-    }
     if ignored > 0 {
         // The usual cause is a crash mid-append (a partial final
         // record), but `ignored` covers everything past the *first*
@@ -269,13 +237,81 @@ fn recover_from_wal(
         file.set_len((log_bytes.len() - ignored) as u64)?;
         file.sync_all()?;
     }
-    let n = events.len();
-    replay(state, &events)
-        .map_err(|e| CliError::Data(format!("replaying {}: {e}", log_path.display())))?;
-    if n > 0 {
+    Ok(Some(LoadedWal {
+        log_path: log_path.clone(),
+        header,
+        events,
+    }))
+}
+
+/// Pick the base state the event log replays over. Normally `--model`;
+/// but once a snapshot has rotated the log, the log's lineage no longer
+/// matches the original model — if `--snapshot` names a snapshot whose
+/// shape *does* match, resume from it, so the documented command line
+/// (same `--model` every restart) stays restart-safe across rotations.
+/// Returns the state and a description of where it came from (for
+/// error messages).
+fn resolve_base_state(
+    model_path: &str,
+    config: &LiveConfig,
+    wal: Option<&LoadedWal>,
+) -> Result<(LiveState, String), CliError> {
+    let bytes = std::fs::read(model_path)?;
+    let state = decode_live(&bytes).map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
+    let from_model = |state| Ok((state, model_path.to_string()));
+    let (Some(wal), Some(snap_path)) = (wal, &config.snapshot_path) else {
+        return from_model(state);
+    };
+    if wal.header.matches_model(state.model()) {
+        return from_model(state);
+    }
+    let snap_bytes = match std::fs::read(snap_path) {
+        Ok(b) => b,
+        // No snapshot yet → fall through to the guided lineage error.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return from_model(state),
+        // An existing-but-unreadable snapshot must surface its real
+        // cause, not the misleading "restart with --model <snapshot>".
+        Err(e) => {
+            return Err(CliError::Data(format!("{}: {e}", snap_path.display())));
+        }
+    };
+    let snap_state = decode_live(&snap_bytes)
+        .map_err(|e| CliError::Data(format!("{}: {e}", snap_path.display())))?;
+    if wal.header.matches_model(snap_state.model()) {
         eprintln!(
-            "taxrec serve: replayed {n} events from {}",
-            log_path.display()
+            "taxrec serve: {} was rotated past {model_path}; resuming from snapshot {}",
+            wal.log_path.display(),
+            snap_path.display()
+        );
+        return Ok((snap_state, snap_path.display().to_string()));
+    }
+    from_model(state)
+}
+
+/// Replay the already-decoded event log over `state`.
+fn replay_wal(state: &mut LiveState, wal: &LoadedWal, model_path: &str) -> Result<(), CliError> {
+    // Lineage check: the log's events apply to a specific base state.
+    // Replaying them over any other (e.g. the pre-snapshot model after
+    // the log was rotated) would silently lose acked updates.
+    if !wal.header.matches_model(state.model()) {
+        return Err(CliError::Data(format!(
+            "{}: event log starts from a state with {} users / {} items, \
+             but {model_path} has {} / {} — the log was likely rotated by a \
+             snapshot; restart with --model <snapshot> instead",
+            wal.log_path.display(),
+            wal.header.base_users,
+            wal.header.base_items,
+            state.model().num_users(),
+            state.model().num_items(),
+        )));
+    }
+    replay(state, &wal.events)
+        .map_err(|e| CliError::Data(format!("replaying {}: {e}", wal.log_path.display())))?;
+    if !wal.events.is_empty() {
+        eprintln!(
+            "taxrec serve: replayed {} events from {}",
+            wal.events.len(),
+            wal.log_path.display()
         );
     }
     Ok(())
@@ -652,6 +688,20 @@ mod tests {
         assert!(s1.body.contains("\"applied\":2"), "{}", s1.body);
         assert!(s1.body.contains("\"items_added\":1"), "{}", s1.body);
         assert!(s1.body.contains("\"users_folded\":1"), "{}", s1.body);
+        // Publish cost is surfaced, and the COW counters prove the
+        // successor models shared storage with their predecessors.
+        assert!(s1.body.contains("\"publish_p50_us\":"), "{}", s1.body);
+        assert!(s1.body.contains("\"publish_p99_us\":"), "{}", s1.body);
+        let stats = st.live().stats().snapshot();
+        assert!(stats.publish_p50_us >= 1, "{stats:?}");
+        assert!(
+            stats.model_shared_chunks > 0,
+            "publishes must share chunks: {stats:?}"
+        );
+        assert!(
+            stats.model_copied_chunks >= 1 && stats.model_copied_chunks <= 8,
+            "per-event copies must be bounded: {stats:?}"
+        );
     }
 
     #[test]
@@ -771,7 +821,8 @@ mod tests {
         // Session 2: recovery repairs the tail, and a fresh event is
         // acked through the repaired log.
         let mut state = LiveState::new(model.clone());
-        recover_from_wal(&mut state, &log_path, "m.tfm").unwrap();
+        let wal = load_wal(&live_cfg()).unwrap().expect("log exists");
+        replay_wal(&mut state, &wal, "m.tfm").unwrap();
         assert_eq!(state.model().num_items(), items0 + 1);
         assert!(std::fs::metadata(&log_path).unwrap().len() < torn_len);
         // The cut bytes are preserved aside, not destroyed.
@@ -792,7 +843,9 @@ mod tests {
             .expect("repaired log must decode strictly");
         assert_eq!(events.len(), 2);
         let mut state = LiveState::new(model);
-        recover_from_wal(&mut state, &log_path, "m.tfm").unwrap();
+        let wal = load_wal(&live_cfg()).unwrap().expect("log exists");
+        assert_eq!(wal.events.len(), 2, "one read, zero re-decodes");
+        replay_wal(&mut state, &wal, "m.tfm").unwrap();
         assert_eq!(state.model().num_items(), items0 + 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -842,15 +895,17 @@ mod tests {
         assert!(st.live().stats().snapshot().snapshots_written >= 1);
         drop(st);
 
-        // Restart with the ORIGINAL model path: the snapshot is picked
-        // as the base and the rotated log replays the third add on top.
+        // Restart with the ORIGINAL model path: the WAL is decoded
+        // once, the snapshot is picked as the base, and the rotated
+        // log's events replay the third add on top.
+        let wal = load_wal(&cfg).unwrap().expect("rotated log exists");
         let (mut state, base_desc) =
-            resolve_base_state(model_path.to_str().unwrap(), &cfg).unwrap();
+            resolve_base_state(model_path.to_str().unwrap(), &cfg, Some(&wal)).unwrap();
         assert_eq!(
             base_desc,
             cfg.snapshot_path.as_ref().unwrap().display().to_string()
         );
-        recover_from_wal(&mut state, cfg.log_path.as_ref().unwrap(), &base_desc).unwrap();
+        replay_wal(&mut state, &wal, &base_desc).unwrap();
         assert_eq!(state.model().num_items(), want_items);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -36,21 +36,35 @@ impl TfModel {
     }
 
     /// In-place variant of [`with_added_item`](Self::with_added_item) —
-    /// the live applier's primitive. Appends one zero offset row to both
-    /// node matrices (`O(K)`), swaps in the grown taxonomy, and rebuilds
-    /// the truncated path table. Every existing node/item/user id keeps
-    /// its meaning, factors are bit-identical, and the new item's
-    /// effective factor equals its category's (the paper's Fig. 7(c)
-    /// cold-start estimate).
+    /// the live applier's primitive. Swaps in the grown taxonomy,
+    /// appends one zero offset row to both node matrices, and appends
+    /// the new item's truncated path. Every mutation is chunk-local
+    /// copy-on-write: the matrix appends touch only the tail chunk
+    /// (copied once if shared with an earlier clone) and the path table
+    /// diverges once per clone via `Arc::make_mut` — the rest of the
+    /// model stays structurally shared with every snapshot it descended
+    /// from. Every existing node/item/user id keeps its meaning, factors
+    /// are bit-identical, and the new item's effective factor equals its
+    /// category's (the paper's Fig. 7(c) cold-start estimate).
     pub fn add_item_mut(&mut self, parent: NodeId) -> Result<ItemId, TaxonomyError> {
         let (tax, _node, item) = self.taxonomy().with_added_leaf(parent)?;
+        let old_depth = self.taxonomy.depth();
         self.taxonomy = Arc::new(tax);
         let zero = vec![0.0f32; self.k()];
         self.node_factors.push_row(&zero);
         self.next_factors.push_row(&zero);
-        self.paths = PathTable::build(&self.taxonomy, self.config.taxonomy_update_levels);
-        self.cutoff_level =
-            crate::model::cutoff_for(&self.taxonomy, self.config.taxonomy_update_levels);
+        let cutoff = crate::model::cutoff_for(&self.taxonomy, self.config.taxonomy_update_levels);
+        if cutoff == self.cutoff_level && self.taxonomy.depth() == old_depth {
+            Arc::make_mut(&mut self.paths).append_item(&self.taxonomy, item);
+        } else {
+            // Degenerate growth (a leaf under a childless root) changed
+            // the level structure; rebuild instead of appending.
+            self.paths = Arc::new(PathTable::build(
+                &self.taxonomy,
+                self.config.taxonomy_update_levels,
+            ));
+            self.cutoff_level = cutoff;
+        }
         Ok(item)
     }
 
@@ -190,9 +204,7 @@ impl TfTrainer {
         );
         // Seed matrices from the model, growing the user matrix if the
         // log brings new users.
-        let mut user_factors = FactorMatrix::zeros(train.num_users(), cfg.factors);
-        user_factors.as_mut_slice()[..model.user_factors.as_slice().len()]
-            .copy_from_slice(model.user_factors.as_slice());
+        let mut user_factors = model.user_factors.clone();
         if train.num_users() > model.num_users() {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
             let fresh = FactorMatrix::gaussian(
@@ -201,8 +213,9 @@ impl TfTrainer {
                 cfg.init_sigma,
                 &mut rng,
             );
-            user_factors.as_mut_slice()[model.user_factors.as_slice().len()..]
-                .copy_from_slice(fresh.as_slice());
+            for r in 0..fresh.rows() {
+                user_factors.push_row(fresh.row(r));
+            }
         }
         let warm = TfModel {
             taxonomy: model.taxonomy_arc(),
@@ -210,7 +223,9 @@ impl TfTrainer {
             user_factors,
             node_factors: model.node_factors.clone(),
             next_factors: model.next_factors.clone(),
-            paths: PathTable::build(model.taxonomy(), cfg.taxonomy_update_levels),
+            // Same taxonomy + same update levels (asserted above), so
+            // the model's existing table is bit-identical — share it.
+            paths: Arc::clone(&model.paths),
             cutoff_level: model.cutoff_level(),
         };
         self.fit_parallel_from(warm, train, seed, threads)

@@ -1,0 +1,119 @@
+//! A lock-free power-of-two latency histogram, shared by the HTTP
+//! serving metrics (`taxrec-cli`) and the live publish-cost counters
+//! ([`crate::live::LiveStats`]).
+//!
+//! Everything is `AtomicU64` with relaxed ordering — writers record
+//! concurrently without coordination, and a reader gets a
+//! coherent-enough snapshot for reporting. Recording is one
+//! `leading_zeros` plus one `fetch_add` (no locks, no allocation);
+//! quantiles are read by walking the cumulative counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two microsecond buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` µs. 40 buckets reach ~2^40 µs ≈ 12.7 days — far
+/// past anything a request deadline lets live.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Fresh all-zero histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one latency (sub-microsecond values count as 1 µs).
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128).max(1) as u64;
+        let idx = (63 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy every bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data bucket counts at one read point.
+pub struct HistogramSnapshot {
+    /// Count per power-of-two bucket (see [`HISTOGRAM_BUCKETS`]).
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `p`-quantile in microseconds (upper bound of the bucket the
+    /// quantile falls in); 0 when nothing was recorded.
+    pub fn quantile_us(&self, p: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << HISTOGRAM_BUCKETS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_recordings() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64,128)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768,65536) us
+        let s = h.snapshot();
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.quantile_us(0.50), 128);
+        assert!(s.quantile_us(0.99) <= 128);
+        assert_eq!(s.quantile_us(1.0), 65536);
+        assert_eq!(
+            HistogramSnapshot {
+                counts: [0; HISTOGRAM_BUCKETS]
+            }
+            .quantile_us(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn sub_microsecond_and_huge_latencies_clamp() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(60 * 60 * 24 * 365));
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[HISTOGRAM_BUCKETS - 1], 1);
+    }
+}

@@ -36,6 +36,7 @@ pub mod baselines;
 pub mod config;
 pub mod dynamic;
 pub mod eval;
+pub mod histogram;
 pub mod inference;
 pub mod live;
 pub mod loss;

@@ -29,14 +29,21 @@
 //!    keeps scoring against the engine it started with while the
 //!    applier publishes the next one. The only shared mutable state is
 //!    the `Arc` slot itself, swapped under a briefly-held lock.
-//! 2. **Publishes cost `O(change)`, not `O(catalog)`.** The successor
-//!    engine is derived via [`crate::recommend::RecommendEngine::grown_from`]: the dense
-//!    item matrix and the effective-factor tables are
+//! 2. **Publishes cost `O(change)`, not `O(model)` — end to end.** The
+//!    successor engine is derived via
+//!    [`crate::recommend::RecommendEngine::grown_from`]: the dense item
+//!    matrix and the effective-factor tables are
 //!    [`taxrec_factors::GrowMatrix`]es whose base is shared with the
 //!    predecessor snapshot and whose appended tail holds only the new
-//!    rows. (The authoritative [`crate::TfModel`] is still cloned per publish —
-//!    per *batch*, not per event; making the model itself persistent is
-//!    future work.)
+//!    rows. The authoritative [`crate::TfModel`] is **persistent** too:
+//!    its factor tables are chunked copy-on-write matrices
+//!    ([`taxrec_factors::CowMatrix`]) and its path table sits behind an
+//!    `Arc`, so the per-publish `model().clone()` bumps refcounts
+//!    instead of copying factors, and the events that preceded the
+//!    publish copied only the chunks they touched. The applier records
+//!    the publish latency histogram and a shared/copied chunk counter
+//!    pair ([`LiveStats`]) so `GET /live/stats` *proves* the sharing in
+//!    production; `fig7c_live`'s publish sweep guards it in CI.
 //! 3. **`snapshot + replay(log) ≡ live state`.** Every applied event is
 //!    appended to a length-prefixed binary event log before it becomes
 //!    visible; events are deterministic (fold-ins carry their seed), so

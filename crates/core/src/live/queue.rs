@@ -109,8 +109,28 @@ impl LiveHandle {
     /// [`super::replay`]). A fresh log is stamped with `state`'s
     /// current shape as its lineage.
     pub fn spawn(state: LiveState, config: LiveConfig) -> Result<LiveHandle, LiveError> {
+        LiveHandle::spawn_inner(state, config, true)
+    }
+
+    /// [`spawn`](Self::spawn) for a caller that has **already strictly
+    /// decoded** `config.log_path` this startup (and truncated any torn
+    /// tail before replaying it into `state`): the verification decode
+    /// is skipped, so the WAL is read and decoded exactly once across
+    /// recovery and spawn instead of three times. The contract is the
+    /// caller's to uphold — appending after undecodable bytes would
+    /// hide every later record from replay, which is exactly what the
+    /// strict decode in [`spawn`](Self::spawn) exists to prevent.
+    pub fn spawn_recovered(state: LiveState, config: LiveConfig) -> Result<LiveHandle, LiveError> {
+        LiveHandle::spawn_inner(state, config, false)
+    }
+
+    fn spawn_inner(
+        state: LiveState,
+        config: LiveConfig,
+        verify_existing_log: bool,
+    ) -> Result<LiveHandle, LiveError> {
         let log = match &config.log_path {
-            Some(p) => Some(open_log(p, &lineage_of(&state))?),
+            Some(p) => Some(open_log(p, &lineage_of(&state), verify_existing_log)?),
             None => None,
         };
         let cell = Arc::new(ModelCell::new(LiveEngine::initial(
@@ -206,11 +226,13 @@ fn lineage_of(state: &LiveState) -> LogHeader {
 /// `lineage`). A log with a torn tail is refused: records appended
 /// after undecodable bytes would be invisible to every future replay,
 /// silently dropping acked updates. Callers must truncate the torn
-/// tail first (`taxrec serve` does on startup).
-fn open_log(path: &Path, lineage: &LogHeader) -> Result<File, LiveError> {
+/// tail first (`taxrec serve` does on startup). `verify_existing` may
+/// be false only when the caller itself strictly decoded the file this
+/// startup ([`LiveHandle::spawn_recovered`]).
+fn open_log(path: &Path, lineage: &LogHeader, verify_existing: bool) -> Result<File, LiveError> {
     let io = |e: std::io::Error| LiveError::Io(format!("{}: {e}", path.display()));
     let existing_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-    if existing_len > 0 {
+    if existing_len > 0 && verify_existing {
         let bytes = std::fs::read(path).map_err(io)?;
         decode_log(&bytes).map_err(|e| {
             LiveError::Io(format!(
@@ -372,12 +394,19 @@ fn applier(
             since_snapshot += pending.len() as u64;
             // Build the successor outside any lock, swap, then reply:
             // a submitter that hears back can immediately load() an
-            // engine containing its update.
+            // engine containing its update. The whole derivation is
+            // structural sharing — `state.model().clone()` inside
+            // `next_from` bumps chunk refcounts, it does not copy
+            // factors — so this block is O(rows touched by the batch);
+            // the histogram + chunk counters prove it in production.
+            let t_publish = std::time::Instant::now();
             let prev = cell.load();
             let next = LiveEngine::next_from(&prev, &state);
             let epoch = next.epoch();
+            let (shared, copied) = next.model().chunk_sharing_with(prev.model());
             cell.publish(next);
             stats.inc_publishes();
+            stats.record_publish(t_publish.elapsed(), shared, copied);
             for (reply, applied) in pending {
                 let _ = reply.send(Ok(AppliedUpdate { applied, epoch }));
             }
@@ -688,7 +717,10 @@ mod tests {
             base_users: 1,
             base_items: 1,
         };
-        assert!(matches!(open_log(&path, &lineage), Err(LiveError::Io(_))));
+        assert!(matches!(
+            open_log(&path, &lineage, true),
+            Err(LiveError::Io(_))
+        ));
     }
 
     #[test]
@@ -717,12 +749,12 @@ mod tests {
         torn.extend_from_slice(&[8, 0, 0, 0, 1]);
         std::fs::write(&log_path, &torn).unwrap();
         assert!(matches!(
-            open_log(&log_path, &lineage),
+            open_log(&log_path, &lineage, true),
             Err(LiveError::Io(_))
         ));
         // Truncating back to the last whole record makes it appendable.
         std::fs::write(&log_path, &intact).unwrap();
-        assert!(open_log(&log_path, &lineage).is_ok());
+        assert!(open_log(&log_path, &lineage, true).is_ok());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Counters the applier maintains and `GET /live/stats` serves.
 
+use crate::histogram::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Shared, lock-free counters describing the live subsystem's activity.
 /// All counters are monotone; read them individually or grab a
@@ -16,6 +18,20 @@ pub struct LiveStats {
     snapshots_written: AtomicU64,
     log_bytes: AtomicU64,
     log_errors: AtomicU64,
+    /// Per-publish cost of deriving + swapping the successor snapshot
+    /// (the structural-sharing block, not the per-event apply).
+    publish_latency: Histogram,
+    /// Sum of all publish latencies, in **nanoseconds** — accumulated
+    /// at full resolution so sub-microsecond publishes (the common case
+    /// for a structural-sharing publish) are not truncated to zero.
+    /// Surfaced as microseconds in the snapshot.
+    publish_ns_total: AtomicU64,
+    /// Factor chunks the successor model shared with its predecessor by
+    /// pointer, summed over publishes — the proof COW is engaged.
+    model_shared_chunks: AtomicU64,
+    /// Factor chunks the successor model did *not* share (copied for a
+    /// mutation or freshly appended), summed over publishes.
+    model_copied_chunks: AtomicU64,
 }
 
 /// A plain-data copy of every counter at one read point.
@@ -40,6 +56,20 @@ pub struct LiveStatsSnapshot {
     /// Event-log write failures (durability is then degraded; the
     /// in-memory state is still correct).
     pub log_errors: u64,
+    /// Publish-cost p50, microseconds (power-of-two bucket upper bound).
+    pub publish_p50_us: u64,
+    /// Publish-cost p99, microseconds (power-of-two bucket upper bound).
+    pub publish_p99_us: u64,
+    /// Sum of all publish latencies, microseconds (accumulated in
+    /// nanoseconds internally, so many sub-µs publishes still add up).
+    pub publish_us_total: u64,
+    /// Model factor chunks shared with the predecessor across all
+    /// publishes (see [`crate::TfModel::chunk_sharing_with`]).
+    pub model_shared_chunks: u64,
+    /// Model factor chunks copied/appended across all publishes. For an
+    /// O(change) publish path this stays near the event count while
+    /// `model_shared_chunks` grows with catalog × publishes.
+    pub model_copied_chunks: u64,
 }
 
 impl LiveStats {
@@ -70,6 +100,17 @@ impl LiveStats {
     pub(crate) fn inc_log_errors(&self) {
         self.log_errors.fetch_add(1, Ordering::Relaxed);
     }
+    pub(crate) fn record_publish(&self, took: Duration, shared_chunks: u64, copied_chunks: u64) {
+        self.publish_latency.record(took);
+        self.publish_ns_total.fetch_add(
+            took.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        self.model_shared_chunks
+            .fetch_add(shared_chunks, Ordering::Relaxed);
+        self.model_copied_chunks
+            .fetch_add(copied_chunks, Ordering::Relaxed);
+    }
 
     /// Events enqueued but not yet applied or rejected (approximate —
     /// the counters are read independently).
@@ -80,6 +121,7 @@ impl LiveStats {
 
     /// Copy every counter.
     pub fn snapshot(&self) -> LiveStatsSnapshot {
+        let publish = self.publish_latency.snapshot();
         LiveStatsSnapshot {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             applied: self.applied.load(Ordering::Relaxed),
@@ -90,6 +132,11 @@ impl LiveStats {
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
             log_bytes: self.log_bytes.load(Ordering::Relaxed),
             log_errors: self.log_errors.load(Ordering::Relaxed),
+            publish_p50_us: publish.quantile_us(0.50),
+            publish_p99_us: publish.quantile_us(0.99),
+            publish_us_total: self.publish_ns_total.load(Ordering::Relaxed) / 1_000,
+            model_shared_chunks: self.model_shared_chunks.load(Ordering::Relaxed),
+            model_copied_chunks: self.model_copied_chunks.load(Ordering::Relaxed),
         }
     }
 }

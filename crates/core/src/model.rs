@@ -25,22 +25,33 @@ use crate::config::ModelConfig;
 use crate::scoring::Scorer;
 use std::sync::Arc;
 use taxrec_dataset::Transaction;
-use taxrec_factors::{ops, FactorMatrix};
+use taxrec_factors::{ops, CowMatrix, FactorMatrix};
 use taxrec_taxonomy::{ItemId, NodeId, PathTable, Taxonomy};
 
 /// A trained (or freshly initialised) TF(U, B) model.
+///
+/// Storage is **persistent** (structurally shared): the three factor
+/// tables are chunked copy-on-write matrices ([`CowMatrix`]) and the
+/// path table and taxonomy sit behind `Arc`s, so `clone()` costs one
+/// refcount bump per chunk and the live publish path can derive a
+/// successor model in `O(rows touched)` instead of `O(model)`. Mutating
+/// a clone (the [`crate::dynamic`] operations) copies only the touched
+/// chunks; every other byte stays shared with the models it descended
+/// from.
 #[derive(Debug, Clone)]
 pub struct TfModel {
     pub(crate) taxonomy: Arc<Taxonomy>,
     pub(crate) config: ModelConfig,
     /// `v^U` — one row per user.
-    pub(crate) user_factors: FactorMatrix,
+    pub(crate) user_factors: CowMatrix,
     /// `w^I` — long-term offset per taxonomy node.
-    pub(crate) node_factors: FactorMatrix,
+    pub(crate) node_factors: CowMatrix,
     /// `w^I→` — next-item offset per taxonomy node.
-    pub(crate) next_factors: FactorMatrix,
-    /// Item root paths truncated to `U` levels.
-    pub(crate) paths: PathTable,
+    pub(crate) next_factors: CowMatrix,
+    /// Item root paths truncated to `U` levels. `Arc`-shared across
+    /// clones; [`crate::dynamic`]'s item growth appends via
+    /// `Arc::make_mut` (copy-on-write, once per divergence).
+    pub(crate) paths: Arc<PathTable>,
     /// Nodes at level ≥ `cutoff_level` carry factors; shallower nodes are
     /// outside the configured `taxonomyUpdateLevels` and contribute 0.
     pub(crate) cutoff_level: usize,
@@ -70,19 +81,31 @@ impl TfModel {
         // exactly its super-category's — the paper's Fig. 7(c) estimate
         // ("we use the item's immediate super-category as an estimate for
         // its factor") — instead of category + noise.
-        let user_factors = FactorMatrix::gaussian(num_users, k, config.init_sigma, &mut rng);
+        let user_factors = CowMatrix::from_dense(FactorMatrix::gaussian(
+            num_users,
+            k,
+            config.init_sigma,
+            &mut rng,
+        ));
         let (node_factors, next_factors) = if config.node_init_sigma > 0.0 {
             (
-                FactorMatrix::gaussian(n_nodes, k, config.node_init_sigma, &mut rng),
-                FactorMatrix::gaussian(n_nodes, k, config.node_init_sigma, &mut rng),
+                CowMatrix::from_dense(FactorMatrix::gaussian(
+                    n_nodes,
+                    k,
+                    config.node_init_sigma,
+                    &mut rng,
+                )),
+                CowMatrix::from_dense(FactorMatrix::gaussian(
+                    n_nodes,
+                    k,
+                    config.node_init_sigma,
+                    &mut rng,
+                )),
             )
         } else {
-            (
-                FactorMatrix::zeros(n_nodes, k),
-                FactorMatrix::zeros(n_nodes, k),
-            )
+            (CowMatrix::zeros(n_nodes, k), CowMatrix::zeros(n_nodes, k))
         };
-        let paths = PathTable::build(&taxonomy, config.taxonomy_update_levels);
+        let paths = Arc::new(PathTable::build(&taxonomy, config.taxonomy_update_levels));
         let cutoff_level = cutoff_for(&taxonomy, config.taxonomy_update_levels);
         TfModel {
             taxonomy,
@@ -214,7 +237,7 @@ impl TfModel {
     /// Materialise the effective factors of **all nodes** for the given
     /// offset matrix, in one forward pass (node ids are topological, so
     /// `eff[n] = eff[parent(n)] + w_n` with the cutoff applied).
-    pub(crate) fn effective_all_nodes(&self, offsets: &FactorMatrix) -> FactorMatrix {
+    pub(crate) fn effective_all_nodes(&self, offsets: &CowMatrix) -> FactorMatrix {
         let k = self.k();
         let tax = &*self.taxonomy;
         let mut eff = FactorMatrix::zeros(tax.num_nodes(), k);
@@ -250,6 +273,44 @@ impl TfModel {
         let mut q = vec![0.0f32; self.k()];
         self.query_into(user, history, &mut q);
         scorer.top_k_items(&q, k, &[])
+    }
+
+    /// The three chunked factor tables in `(user, node, next)` order —
+    /// the storage-sharing diagnostics surface used by the COW tests
+    /// and the live publish counters.
+    pub fn cow_matrices(&self) -> [&CowMatrix; 3] {
+        [&self.user_factors, &self.node_factors, &self.next_factors]
+    }
+
+    /// How much factor storage this model shares with `prev`, by
+    /// pointer: `(shared, unshared)` chunk counts summed over all three
+    /// matrices. After a live publish, `unshared` is exactly the chunks
+    /// that batch of events had to copy or append — the proof that the
+    /// publish was `O(change)`.
+    pub fn chunk_sharing_with(&self, prev: &TfModel) -> (u64, u64) {
+        self.cow_matrices()
+            .iter()
+            .zip(prev.cow_matrices())
+            .map(|(a, b)| a.shared_chunks_with(b))
+            .fold((0, 0), |(s, c), (ds, dc)| (s + ds, c + dc))
+    }
+
+    /// A fully independent copy: every factor chunk and the path table
+    /// are reallocated; nothing is shared with `self` (the taxonomy
+    /// stays `Arc`-shared — it is immutable and replaced, never written,
+    /// on growth). This is what a publish used to cost before the
+    /// copy-on-write storage; benches use it as the O(model) baseline
+    /// and the COW property tests as an isolation control.
+    pub fn deep_clone(&self) -> TfModel {
+        TfModel {
+            taxonomy: Arc::clone(&self.taxonomy),
+            config: self.config.clone(),
+            user_factors: self.user_factors.deep_clone(),
+            node_factors: self.node_factors.deep_clone(),
+            next_factors: self.next_factors.deep_clone(),
+            paths: Arc::new(PathTable::clone(&self.paths)),
+            cutoff_level: self.cutoff_level,
+        }
     }
 }
 

@@ -28,7 +28,7 @@ use crate::config::ModelConfig;
 use crate::model::TfModel;
 use bytes_shim::{get_f32, get_u32, get_u64, put_f32, put_u32, put_u64};
 use std::sync::Arc;
-use taxrec_factors::FactorMatrix;
+use taxrec_factors::{CowMatrix, FactorMatrix};
 use taxrec_taxonomy::{serialize as tax_ser, PathTable};
 
 const MAGIC: u32 = 0x5446_4d31;
@@ -141,15 +141,15 @@ pub fn decode_prefix(buf: &[u8]) -> Result<(TfModel, usize), PersistError> {
         }
     }
     let taxonomy = Arc::new(taxonomy);
-    let paths = PathTable::build(&taxonomy, config.taxonomy_update_levels);
+    let paths = Arc::new(PathTable::build(&taxonomy, config.taxonomy_update_levels));
     let cutoff_level = crate::model::cutoff_for(&taxonomy, config.taxonomy_update_levels);
     Ok((
         TfModel {
             taxonomy,
             config,
-            user_factors,
-            node_factors,
-            next_factors,
+            user_factors: CowMatrix::from_dense(user_factors),
+            node_factors: CowMatrix::from_dense(node_factors),
+            next_factors: CowMatrix::from_dense(next_factors),
             paths,
             cutoff_level,
         },
@@ -220,11 +220,16 @@ fn decode_config(buf: &[u8], pos: &mut usize) -> Result<ModelConfig, PersistErro
     })
 }
 
-fn encode_matrix(out: &mut Vec<u8>, m: &FactorMatrix) {
+fn encode_matrix(out: &mut Vec<u8>, m: &CowMatrix) {
     put_u64(out, m.rows() as u64);
     put_u64(out, m.k() as u64);
-    for &v in m.as_slice() {
-        put_f32(out, v);
+    // Walk the chunks directly: chunks are row-major and contiguous, so
+    // the bytes are identical to a dense row-major walk — the on-disk
+    // format does not know (or care) how the matrix was stored.
+    for chunk in m.chunks() {
+        for &v in chunk.as_slice() {
+            put_f32(out, v);
+        }
     }
 }
 

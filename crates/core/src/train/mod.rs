@@ -173,9 +173,9 @@ impl TfTrainer {
             paths,
             cutoff_level,
         } = model;
-        let users = SharedFactors::new(user_factors);
-        let nodes = SharedFactors::new(node_factors);
-        let nexts = SharedFactors::new(next_factors);
+        let users = SharedFactors::new(user_factors.to_dense());
+        let nodes = SharedFactors::new(node_factors.to_dense());
+        let nexts = SharedFactors::new(next_factors.to_dense());
         let steps_per_epoch = (index.len() as u64) * self.config.negatives_per_positive as u64;
 
         for epoch in 0..self.config.epochs {
@@ -228,9 +228,9 @@ impl TfTrainer {
         let model = TfModel {
             taxonomy,
             config,
-            user_factors: users.into_matrix(),
-            node_factors: nodes.into_matrix(),
-            next_factors: nexts.into_matrix(),
+            user_factors: taxrec_factors::CowMatrix::from_dense(users.into_matrix()),
+            node_factors: taxrec_factors::CowMatrix::from_dense(nodes.into_matrix()),
+            next_factors: taxrec_factors::CowMatrix::from_dense(nexts.into_matrix()),
             paths,
             cutoff_level,
         };
@@ -266,9 +266,9 @@ impl TfTrainer {
             paths,
             cutoff_level,
         } = model;
-        let users = SharedFactors::new(user_factors);
-        let nodes = SharedFactors::new(node_factors);
-        let nexts = SharedFactors::new(next_factors);
+        let users = SharedFactors::new(user_factors.to_dense());
+        let nodes = SharedFactors::new(node_factors.to_dense());
+        let nexts = SharedFactors::new(next_factors.to_dense());
 
         let steps_per_epoch = (index.len() as u64) * self.config.negatives_per_positive as u64;
         let per_thread = steps_per_epoch.div_ceil(threads as u64);
@@ -316,9 +316,9 @@ impl TfTrainer {
         let model = TfModel {
             taxonomy,
             config,
-            user_factors: users.into_matrix(),
-            node_factors: nodes.into_matrix(),
-            next_factors: nexts.into_matrix(),
+            user_factors: taxrec_factors::CowMatrix::from_dense(users.into_matrix()),
+            node_factors: taxrec_factors::CowMatrix::from_dense(nodes.into_matrix()),
+            next_factors: taxrec_factors::CowMatrix::from_dense(nexts.into_matrix()),
             paths,
             cutoff_level,
         };
@@ -391,7 +391,7 @@ mod tests {
         let cfg = ModelConfig::tf(4, 2).with_factors(8).with_epochs(5);
         let m = TfTrainer::new(cfg, &d.taxonomy).fit(&d.train, 1);
         for mat in [&m.user_factors, &m.node_factors, &m.next_factors] {
-            assert!(mat.as_slice().iter().all(|v| v.is_finite()));
+            assert!(mat.values().all(|v| v.is_finite()));
         }
     }
 
@@ -467,7 +467,7 @@ mod tests {
             .with_cache_threshold(Some(0.1));
         let (m, stats) = TfTrainer::new(cfg, &d.taxonomy).fit_parallel(&d.train, 6, 3);
         assert!(stats.cache_flushes > 0, "cache never reconciled");
-        assert!(m.node_factors.as_slice().iter().all(|v| v.is_finite()));
+        assert!(m.node_factors.values().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -20,17 +20,23 @@
 //!   uses;
 //! * [`GrowMatrix`] — an append-only segmented matrix (shared immutable
 //!   base + owned tail) for live-serving snapshots that must absorb new
-//!   rows without recopying the catalog.
+//!   rows without recopying the catalog;
+//! * [`CowMatrix`] — chunked copy-on-write storage (`Arc`-shared
+//!   fixed-size row chunks) so cloning a whole model is refcount bumps
+//!   and mutating a row copies one chunk — the persistent backing of
+//!   the live `TfModel`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cow;
 pub mod grow;
 pub mod locked;
 pub mod matrix;
 pub mod ops;
 
 pub use cache::DriftCache;
+pub use cow::{CowMatrix, COW_CHUNK_ROWS};
 pub use grow::GrowMatrix;
 pub use locked::SharedFactors;
 pub use matrix::FactorMatrix;

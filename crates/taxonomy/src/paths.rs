@@ -52,6 +52,31 @@ impl PathTable {
         }
     }
 
+    /// Append the path of a just-added item (the dynamic-catalog path:
+    /// `item` must be the next dense id, i.e. the table currently
+    /// covers exactly `item.index()` items). `O(update_levels)` — the
+    /// incremental alternative to rebuilding the whole table per added
+    /// leaf. Existing entries are untouched, so the result is identical
+    /// to a fresh [`PathTable::build`] over the grown taxonomy.
+    ///
+    /// # Panics
+    /// If `item` is not the next id or its node is unknown to `tax`.
+    pub fn append_item(&mut self, tax: &Taxonomy, item: ItemId) {
+        assert_eq!(
+            item.index(),
+            self.num_items(),
+            "append_item requires the next dense item id"
+        );
+        let node = tax.item_node(item);
+        for (k, anc) in tax.root_path(node).enumerate() {
+            if k >= self.update_levels {
+                break;
+            }
+            self.data.push(anc.0);
+        }
+        self.index.push(self.data.len() as u32);
+    }
+
     /// The truncated root path of `item`, leaf-first.
     #[inline]
     pub fn path(&self, item: ItemId) -> &[u32] {
@@ -147,6 +172,30 @@ mod tests {
         let pt = PathTable::build(&t, 3);
         let ids: Vec<u32> = pt.path_ids(ItemId(0)).map(|n| n.0).collect();
         assert_eq!(ids.as_slice(), pt.path(ItemId(0)));
+    }
+
+    #[test]
+    fn append_item_matches_full_rebuild() {
+        let mut b = TaxonomyBuilder::new();
+        let cat = b.add_child(NodeId::ROOT).unwrap();
+        let sub = b.add_child(cat).unwrap();
+        b.add_child(sub).unwrap();
+        b.add_child(sub).unwrap();
+        let t = b.freeze();
+        for u in [1usize, 2, 16] {
+            let mut incremental = PathTable::build(&t, u);
+            let (grown, _, item) = t.with_added_leaf(sub).unwrap();
+            incremental.append_item(&grown, item);
+            assert_eq!(incremental, PathTable::build(&grown, u), "u={u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "next dense item id")]
+    fn append_item_rejects_gaps() {
+        let t = tree();
+        let mut pt = PathTable::build(&t, 2);
+        pt.append_item(&t, ItemId(7));
     }
 
     #[test]
