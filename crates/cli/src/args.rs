@@ -58,6 +58,18 @@ impl CliArgs {
         }
     }
 
+    /// Typed optional value: `None` when the flag is absent, an error
+    /// when it is present but malformed.
+    pub fn opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse '{v}'"))),
+        }
+    }
+
     /// Required typed value.
     pub fn get_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
         let v = self.require(name)?;

@@ -2,8 +2,11 @@
 //! so the whole surface is testable without spawning processes.
 
 use crate::args::CliArgs;
+use crate::evalset::{self, EvalOverrides};
+use crate::json::Json;
 use crate::store::DataDir;
 use crate::CliError;
+use taxrec_core::eval::dataset::{evaluate_retrieval, rerank_retrieval};
 use taxrec_core::{
     eval::EvalConfig, persist, Backend, CascadeConfig, ModelConfig, RecommendEngine,
     RecommendRequest, TfModel, TfTrainer,
@@ -101,7 +104,13 @@ pub fn train(args: &CliArgs) -> Result<String, CliError> {
     let taxonomy = data.taxonomy()?;
     let train_log = data.train()?;
     let trainer = TfTrainer::new(cfg.clone(), &taxonomy);
-    let (model, stats) = trainer.fit_parallel(&train_log, seed, threads);
+    // --deterministic trades hogwild throughput for bit-identical
+    // models at any thread count (what the eval baseline needs).
+    let (model, stats) = if args.flag("deterministic") {
+        trainer.fit_deterministic(&train_log, seed, threads)
+    } else {
+        trainer.fit_parallel(&train_log, seed, threads)
+    };
     std::fs::write(&model_path, persist::encode(&model))?;
     Ok(format!(
         "trained {} (K={factors}) on {} purchases: {} steps over {} epochs, \
@@ -114,8 +123,13 @@ pub fn train(args: &CliArgs) -> Result<String, CliError> {
     ))
 }
 
-/// `taxrec evaluate` — paper-protocol metrics of a model on a split.
+/// `taxrec evaluate` — paper-protocol metrics of a model on a split,
+/// or (with `--dataset`) the retrieval-quality harness over a query
+/// file (see `docs/guide/evaluation.md`).
 pub fn evaluate(args: &CliArgs) -> Result<String, CliError> {
+    if args.value("dataset").is_some() {
+        return evaluate_dataset(args);
+    }
     let data = DataDir::new(args.require("data")?);
     let model = load_model(args.require("model")?)?;
     let threads = args.get("threads", default_threads())?;
@@ -131,23 +145,28 @@ pub fn evaluate(args: &CliArgs) -> Result<String, CliError> {
     };
     let r = taxrec_core::eval::evaluate(&model, &train_log, &test_log, &cfg);
     if args.flag("json") {
-        let j = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.6}"));
-        return Ok(format!(
-            "{{\"system\":\"{}\",\"users_evaluated\":{},\"auc\":{},\"mean_rank\":{},\
-             \"hit_at_10\":{},\"mrr\":{},\"category_level\":{category_level},\
-             \"category_auc\":{},\"category_mean_rank\":{},\"cold_norm_rank\":{},\
-             \"cold_count\":{}}}\n",
-            model.config().system_name(),
-            r.users_evaluated,
-            j(r.auc),
-            j(r.mean_rank),
-            j(r.hit_at_k),
-            j(r.mrr),
-            j(r.category_auc),
-            j(r.category_mean_rank),
-            j(r.cold_norm_rank),
-            r.cold_count,
-        ));
+        // Assembled as a Json value (not format!) so the system name
+        // and NaN/absent metrics can never produce invalid JSON.
+        let doc = Json::Obj(vec![
+            ("system".into(), Json::str(model.config().system_name())),
+            (
+                "users_evaluated".into(),
+                Json::Num(r.users_evaluated as f64),
+            ),
+            ("auc".into(), Json::opt_num(r.auc)),
+            ("mean_rank".into(), Json::opt_num(r.mean_rank)),
+            ("hit_at_10".into(), Json::opt_num(r.hit_at_k)),
+            ("mrr".into(), Json::opt_num(r.mrr)),
+            ("category_level".into(), Json::Num(category_level as f64)),
+            ("category_auc".into(), Json::opt_num(r.category_auc)),
+            (
+                "category_mean_rank".into(),
+                Json::opt_num(r.category_mean_rank),
+            ),
+            ("cold_norm_rank".into(), Json::opt_num(r.cold_norm_rank)),
+            ("cold_count".into(), Json::Num(r.cold_count as f64)),
+        ]);
+        return Ok(doc.render() + "\n");
     }
     let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.4}"));
     Ok(format!(
@@ -172,6 +191,117 @@ pub fn evaluate(args: &CliArgs) -> Result<String, CliError> {
         fmt(r.cold_norm_rank),
         r.cold_count,
     ))
+}
+
+/// The `--dataset` mode of `taxrec evaluate`: run a committed query
+/// file through the real [`RecommendEngine`] and report ranking
+/// quality (recall@K / precision@K / MRR / nDCG@K) plus per-query
+/// latency. Supports trace-compare (`--compare cfg.json`, re-ranking
+/// config A's candidates under config B without re-scanning) and
+/// regression gating (`--write-baseline` / `--assert-baseline`).
+fn evaluate_dataset(args: &CliArgs) -> Result<String, CliError> {
+    let data = DataDir::new(args.require("data")?);
+    let model_path = args.require("model")?.to_string();
+    let model = load_model(&model_path)?;
+    let dataset_path = args.require("dataset")?.to_string();
+    let threads = args.get("threads", default_threads())?;
+    let train_log = data.train()?;
+    check_model_fits(&model, &train_log)?;
+
+    let cli = EvalOverrides {
+        k: args.opt("k")?,
+        candidate_k: args.opt("candidate-k")?,
+        scan_shards: args.opt("scan-shards")?,
+        backend: args.value("backend").map(str::to_string),
+        cascade: args.opt("cascade")?,
+        exclude_history: args.flag("exclude-history").then_some(true),
+    };
+    let text = std::fs::read_to_string(&dataset_path)?;
+    let dataset = evalset::parse_dataset(&text, &cli, &train_log)
+        .map_err(|e| CliError::Data(format!("{dataset_path}: {e}")))?;
+    let report = evaluate_retrieval(&model, &dataset, threads).map_err(CliError::Data)?;
+    let system = model.config().system_name();
+
+    if let Some(cfg_path) = args.value("compare") {
+        if args.value("write-baseline").is_some() || args.value("assert-baseline").is_some() {
+            return Err(CliError::Usage(
+                "--compare cannot be combined with --write-baseline / --assert-baseline".into(),
+            ));
+        }
+        // Config B is a small JSON file: {"model": "other.tfm", "k": 8}
+        // — both fields optional; an absent model re-ranks under A
+        // (an identity check for harness changes).
+        let cfg_text = std::fs::read_to_string(cfg_path)?;
+        let cfg = crate::json::parse(&cfg_text)
+            .map_err(|e| CliError::Data(format!("{cfg_path}: {e}")))?;
+        let model_b_path = cfg.get("model").and_then(Json::as_str).map(str::to_string);
+        let k_b = cfg.get("k").and_then(Json::as_usize);
+        let model_b_loaded;
+        let (model_b, label_b) = match &model_b_path {
+            Some(p) => {
+                model_b_loaded = load_model(p)?;
+                if model_b_loaded.num_items() != model.num_items() {
+                    return Err(CliError::Data(format!(
+                        "compare model {p} covers {} items but config A covers {}",
+                        model_b_loaded.num_items(),
+                        model.num_items()
+                    )));
+                }
+                (&model_b_loaded, p.as_str())
+            }
+            None => (&model, model_path.as_str()),
+        };
+        let cmp = rerank_retrieval(&report, &dataset, model_b, k_b).map_err(CliError::Data)?;
+        return Ok(if args.flag("json") {
+            evalset::compare_to_json(&cmp, &model_path, label_b).render() + "\n"
+        } else {
+            evalset::render_compare_text(&cmp, &model_path, label_b)
+        });
+    }
+
+    let mut out = if args.flag("json") {
+        evalset::report_to_json(&report, &dataset_path, &model_path, &system).render() + "\n"
+    } else {
+        evalset::render_report_text(&report, &model_path, &system)
+    };
+
+    if let Some(path) = args.value("write-baseline") {
+        let tolerance: f64 = args.get("tolerance", 0.02f64)?;
+        if !(0.0..=1.0).contains(&tolerance) {
+            return Err(CliError::Usage(format!(
+                "--tolerance {tolerance} outside [0,1]"
+            )));
+        }
+        std::fs::write(
+            path,
+            evalset::baseline_to_json(&report, tolerance).render() + "\n",
+        )?;
+        if !args.flag("json") {
+            out.push_str(&format!(
+                "baseline written to {path} (tolerance {tolerance})\n"
+            ));
+        }
+    }
+    if let Some(path) = args.value("assert-baseline") {
+        let base_text = std::fs::read_to_string(path)?;
+        let baseline =
+            crate::json::parse(&base_text).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+        match evalset::assert_baseline(&report, &baseline) {
+            Ok(detail) => {
+                if !args.flag("json") {
+                    out.push_str(&format!("baseline gate PASSED against {path}:\n{detail}"));
+                }
+            }
+            Err(msg) => {
+                return Err(CliError::Data(format!(
+                    "{msg}\n(intended quality shift? regenerate the artifact with \
+                     `taxrec evaluate --data ... --model ... --dataset {dataset_path} \
+                     --write-baseline {path}`)"
+                )));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Largest user batch `taxrec recommend --users` accepts; generous for

@@ -1,12 +1,18 @@
-//! A minimal JSON value parser for the serve endpoints' POST bodies.
+//! A minimal JSON parser and serializer.
 //!
 //! The workspace builds offline against API-subset stubs (see
-//! `vendor/README.md`) and has no `serde_json`; the two request bodies
-//! the server accepts (`{"parent": 5}` and
-//! `{"history": [[1,2],[3]], "steps": 200, "seed": 7}`) need only this
-//! strict, allocation-bounded subset: objects, arrays, numbers,
-//! strings (no escapes beyond `\" \\ \/ \n \r \t`), booleans, null.
-//! Depth is capped so hostile bodies cannot blow the stack.
+//! `vendor/README.md`) and has no `serde_json`; the request bodies the
+//! server accepts (`{"parent": 5}`,
+//! `{"history": [[1,2],[3]], "steps": 200, "seed": 7}`) and the eval
+//! harness's dataset files need only this strict, allocation-bounded
+//! subset: objects, arrays, numbers, strings (no escapes beyond
+//! `\" \\ \/ \n \r \t`), booleans, null. Depth is capped so hostile
+//! bodies cannot blow the stack.
+//!
+//! [`Json::render`] is the one serializer every JSON-*emitting* CLI
+//! path must go through: strings are escaped by [`json_str`] and
+//! non-finite numbers become `null`, so no report can ever contain
+//! invalid JSON no matter what path names or NaN metrics flow into it.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +65,87 @@ impl Json {
         match self {
             Json::Arr(v) => Some(v),
             _ => None,
+        }
+    }
+
+    /// The float value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A number from an optional metric: `None` / non-finite → `null`,
+    /// so a report can never emit `NaN` (invalid JSON).
+    pub fn opt_num(v: Option<f64>) -> Json {
+        match v {
+            Some(x) if x.is_finite() => Json::Num(x),
+            _ => Json::Null,
+        }
+    }
+
+    /// A string value (convenience for building documents).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serialize to compact JSON text. Deterministic: object fields
+    /// keep insertion order, floats use Rust's shortest round-trip
+    /// formatting (integers valued exactly print without a fraction),
+    /// and non-finite numbers render as `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < EXACT {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => out.push_str(&json_str(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_str(k));
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -282,6 +369,41 @@ mod tests {
         assert!(parse(&deep).is_err());
         let ok = "[".repeat(8) + &"]".repeat(8);
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn render_roundtrips_and_never_emits_invalid_json() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("a\n\"b\" ✓")),
+            ("n".into(), Json::Num(3.0)),
+            ("frac".into(), Json::Num(0.5)),
+            ("nan".into(), Json::opt_num(Some(f64::NAN))),
+            ("inf".into(), Json::Num(f64::INFINITY)),
+            ("missing".into(), Json::opt_num(None)),
+            ("arr".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        let text = doc.render();
+        assert_eq!(
+            text,
+            "{\"name\":\"a\\n\\\"b\\\" ✓\",\"n\":3,\"frac\":0.5,\
+             \"nan\":null,\"inf\":null,\"missing\":null,\"arr\":[true,null]}"
+        );
+        // It parses back (NaN/Inf collapsed to Null by construction).
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(back.get("nan"), Some(&Json::Null));
+        assert_eq!(back.get("name").and_then(Json::as_str), Some("a\n\"b\" ✓"));
+    }
+
+    #[test]
+    fn render_large_and_negative_numbers() {
+        assert_eq!(Json::Num(-2.0).render(), "-2");
+        assert_eq!(Json::Num(-2.5).render(), "-2.5");
+        assert_eq!(Json::Num((1u64 << 53) as f64).render(), "9007199254740992");
+        // Huge floats render as plain decimal digits (Rust's f64
+        // Display never emits exponents) and still roundtrip.
+        let big = Json::Num(1e300).render();
+        assert_eq!(parse(&big).unwrap().as_f64(), Some(1e300));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! taxrec train     --data data/ --model m.tfm [--tf 4,1 | --mf 0] [--factors 16]
 //!                  [--epochs 20] [--threads N] [--cache-th 0.1]
 //! taxrec evaluate  --data data/ --model m.tfm [--category-level 1]
+//! taxrec evaluate  --data data/ --model m.tfm --dataset eval.json
+//!                  [--compare b.json] [--assert-baseline base.json]
 //! taxrec recommend --data data/ --model m.tfm --user 0 [--top 10] [--cascade 0.3]
 //! taxrec recommend --data data/ --model m.tfm --users 0-63 [--threads 8]
 //! taxrec inspect   --model m.tfm
@@ -26,6 +28,7 @@
 
 mod args;
 mod commands;
+pub mod evalset;
 pub mod http;
 pub mod json;
 pub mod serve;
@@ -65,7 +68,13 @@ USAGE:
   taxrec import    --input FILE.tsv --out DIR [--mu F] [--seed S]
   taxrec train     --data DIR --model FILE [--tf U,B | --mf B] [--factors K]
                    [--epochs E] [--threads T] [--cache-th TH] [--seed S]
+                   [--deterministic]
   taxrec evaluate  --data DIR --model FILE [--category-level L] [--threads T]
+  taxrec evaluate  --data DIR --model FILE --dataset FILE.json [--json]
+                   [--k K] [--candidate-k C] [--scan-shards S] [--threads T]
+                   [--backend exhaustive|cascaded] [--cascade F] [--exclude-history]
+                   [--compare CFG.json] [--write-baseline FILE [--tolerance F]]
+                   [--assert-baseline FILE]
   taxrec recommend --data DIR --model FILE (--user U | --users LIST)
                    [--top K] [--cascade F] [--threads T]
   taxrec inspect   --model FILE

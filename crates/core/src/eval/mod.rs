@@ -18,6 +18,8 @@ use crate::scoring::Scorer;
 use taxrec_dataset::PurchaseLog;
 use taxrec_taxonomy::NodeId;
 
+pub mod dataset;
+
 /// What to evaluate and with how many threads.
 #[derive(Debug, Clone)]
 pub struct EvalConfig {

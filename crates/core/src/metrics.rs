@@ -1,9 +1,22 @@
-//! Ranking metrics (Sec. 7.3): AUC and average mean-rank, plus hit@k.
+//! Ranking metrics (Sec. 7.3): AUC and average mean-rank, plus hit@k,
+//! and the list-based retrieval metrics (recall@K, precision@K,
+//! reciprocal rank, nDCG@K) behind the offline eval harness.
 //!
-//! All metrics operate on a full score array (`scores[i]` = model score of
-//! item/category `i`) and a set of positive indices — the per-user glue
-//! (query building, category roll-up, cold-item filtering) lives in
-//! [`crate::eval`].
+//! Two families:
+//!
+//! * **score-array metrics** ([`auc`], [`mean_rank`], [`hit_at_k`],
+//!   [`mrr`]) operate on a full score array (`scores[i]` = model score
+//!   of item/category `i`) and a set of positive indices — the per-user
+//!   glue (query building, category roll-up, cold-item filtering) lives
+//!   in [`crate::eval`];
+//! * **list metrics** ([`recall_at_k`], [`precision_at_k`],
+//!   [`reciprocal_rank_at_k`], [`ndcg_at_k`]) operate on an already
+//!   ranked result list (best first) and an *unordered* expected set —
+//!   the shape [`crate::eval::dataset`] gets back from the serving-path
+//!   [`crate::recommend::RecommendEngine`]. All four treat the expected
+//!   set as binary relevance, are invariant under permutation of the
+//!   expected set, and return values in `[0, 1]` (`None` when the
+//!   expected set is empty, so unjudgeable queries never skew a mean).
 
 /// Area under the ROC curve for one ranking.
 ///
@@ -105,6 +118,80 @@ pub fn mrr(scores: &[f32], positives: &[usize]) -> Option<f64> {
         .map(|&p| rank_of(scores, p))
         .fold(f64::INFINITY, f64::min);
     Some(1.0 / best)
+}
+
+/// How many of the first `k` entries of `ranked` are relevant
+/// (membership in `expected`), shared by every list metric.
+fn hits_at_k<T: PartialEq>(ranked: &[T], expected: &[T], k: usize) -> usize {
+    ranked
+        .iter()
+        .take(k)
+        .filter(|r| expected.contains(r))
+        .count()
+}
+
+/// Recall@K over a ranked list: the fraction of the expected set found
+/// in the first `k` results. `None` when `expected` is empty.
+pub fn recall_at_k<T: PartialEq>(ranked: &[T], expected: &[T], k: usize) -> Option<f64> {
+    if expected.is_empty() {
+        return None;
+    }
+    Some(hits_at_k(ranked, expected, k) as f64 / expected.len() as f64)
+}
+
+/// Precision@K over a ranked list: the fraction of the first `k`
+/// results that are expected. The denominator is `min(k, ranked.len())`
+/// — the slots that were actually fillable — so a catalog smaller than
+/// `k` is not penalised for positions that cannot exist. `None` when
+/// `expected` is empty or no slot was fillable.
+pub fn precision_at_k<T: PartialEq>(ranked: &[T], expected: &[T], k: usize) -> Option<f64> {
+    let slots = k.min(ranked.len());
+    if expected.is_empty() || slots == 0 {
+        return None;
+    }
+    Some(hits_at_k(ranked, expected, k) as f64 / slots as f64)
+}
+
+/// Reciprocal rank of the first expected item within the first `k`
+/// results: `1/(i+1)` for the earliest hit at 0-based position `i`,
+/// `0.0` when no expected item appears (the standard MRR convention).
+/// `None` when `expected` is empty.
+pub fn reciprocal_rank_at_k<T: PartialEq>(ranked: &[T], expected: &[T], k: usize) -> Option<f64> {
+    if expected.is_empty() {
+        return None;
+    }
+    Some(
+        ranked
+            .iter()
+            .take(k)
+            .position(|r| expected.contains(r))
+            .map_or(0.0, |i| 1.0 / (i + 1) as f64),
+    )
+}
+
+/// Normalised discounted cumulative gain at `k` with binary relevance:
+/// `DCG = Σ_{i : ranked[i] ∈ expected, i < k} 1/log2(i+2)` divided by
+/// the ideal DCG (all of `expected` packed at the top). `None` when
+/// `expected` is empty.
+pub fn ndcg_at_k<T: PartialEq>(ranked: &[T], expected: &[T], k: usize) -> Option<f64> {
+    if expected.is_empty() {
+        return None;
+    }
+    let gain = |i: usize| 1.0 / ((i + 2) as f64).log2();
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, r)| expected.contains(r))
+        .map(|(i, _)| gain(i))
+        .sum();
+    let ideal: f64 = (0..expected.len().min(k)).map(gain).sum();
+    if ideal == 0.0 {
+        // k == 0: no position can hold a result, ideal and actual agree.
+        return Some(1.0);
+    }
+    // + 0.0: an empty `sum()` is -0.0, which would print as "-0.0000".
+    Some(dcg / ideal + 0.0)
 }
 
 /// Online accumulator averaging per-user metric values.
@@ -225,6 +312,70 @@ mod tests {
         a.merge(b);
         assert_eq!(a.mean(), Some(3.0));
         assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn list_metrics_on_perfect_ranking() {
+        let ranked = [7u32, 3, 9, 1, 4];
+        let expected = [9u32, 7, 3]; // unordered
+        assert_eq!(recall_at_k(&ranked, &expected, 3), Some(1.0));
+        assert_eq!(precision_at_k(&ranked, &expected, 3), Some(1.0));
+        assert_eq!(reciprocal_rank_at_k(&ranked, &expected, 3), Some(1.0));
+        assert_eq!(ndcg_at_k(&ranked, &expected, 3), Some(1.0));
+    }
+
+    #[test]
+    fn list_metrics_on_total_miss() {
+        let ranked = [1u32, 2, 3];
+        let expected = [8u32, 9];
+        assert_eq!(recall_at_k(&ranked, &expected, 3), Some(0.0));
+        assert_eq!(precision_at_k(&ranked, &expected, 3), Some(0.0));
+        assert_eq!(reciprocal_rank_at_k(&ranked, &expected, 3), Some(0.0));
+        assert_eq!(ndcg_at_k(&ranked, &expected, 3), Some(0.0));
+    }
+
+    #[test]
+    fn list_metrics_partial_hit_positions() {
+        // Expected item at 0-based position 1 of 4; one of two found.
+        let ranked = [5u32, 8, 6, 2];
+        let expected = [8u32, 99];
+        assert_eq!(recall_at_k(&ranked, &expected, 4), Some(0.5));
+        assert_eq!(precision_at_k(&ranked, &expected, 4), Some(0.25));
+        assert_eq!(reciprocal_rank_at_k(&ranked, &expected, 4), Some(0.5));
+        // DCG = 1/log2(3); IDCG = 1/log2(2) + 1/log2(3).
+        let want = (1.0 / 3f64.log2()) / (1.0 + 1.0 / 3f64.log2());
+        let got = ndcg_at_k(&ranked, &expected, 4).unwrap();
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn list_metrics_respect_the_k_cutoff() {
+        let ranked = [1u32, 2, 3, 9];
+        let expected = [9u32];
+        assert_eq!(recall_at_k(&ranked, &expected, 3), Some(0.0));
+        assert_eq!(recall_at_k(&ranked, &expected, 4), Some(1.0));
+        assert_eq!(reciprocal_rank_at_k(&ranked, &expected, 3), Some(0.0));
+        assert_eq!(reciprocal_rank_at_k(&ranked, &expected, 4), Some(0.25));
+    }
+
+    #[test]
+    fn list_metrics_empty_expected_is_none() {
+        let ranked = [1u32, 2];
+        let expected: [u32; 0] = [];
+        assert_eq!(recall_at_k(&ranked, &expected, 2), None);
+        assert_eq!(precision_at_k(&ranked, &expected, 2), None);
+        assert_eq!(reciprocal_rank_at_k(&ranked, &expected, 2), None);
+        assert_eq!(ndcg_at_k(&ranked, &expected, 2), None);
+    }
+
+    #[test]
+    fn precision_denominator_caps_at_catalog() {
+        // Only 2 results exist; k = 10 must not dilute precision.
+        let ranked = [4u32, 7];
+        let expected = [4u32, 7];
+        assert_eq!(precision_at_k(&ranked, &expected, 10), Some(1.0));
+        let empty: [u32; 0] = [];
+        assert_eq!(precision_at_k(&empty, &expected, 10), None);
     }
 
     #[test]

@@ -2,9 +2,30 @@
 //! accounting.
 
 use proptest::prelude::*;
+use taxrec_core::eval::dataset::rank_candidates;
 use taxrec_core::inference::{cascaded_auc, CascadeResult};
-use taxrec_core::metrics::{auc, hit_at_k, mean_rank, mrr, rank_of};
+use taxrec_core::metrics::{
+    auc, hit_at_k, mean_rank, mrr, ndcg_at_k, precision_at_k, rank_of, recall_at_k,
+    reciprocal_rank_at_k,
+};
 use taxrec_taxonomy::ItemId;
+
+/// A ranked list (distinct ids `0..n` in rank order) with a non-empty
+/// expected set that may include ids missing from the list, plus a
+/// cutoff K that may exceed the list length. Relevance positions are
+/// what the list metrics see, so a fixed id order loses no generality.
+fn ranked_expected_k() -> impl Strategy<Value = (Vec<u32>, Vec<u32>, usize)> {
+    (2usize..40).prop_flat_map(|n| {
+        let picks = proptest::collection::vec(any::<proptest::sample::Index>(), 1..8);
+        (Just(n), picks, 1usize..(n + 5)).prop_map(|(n, picks, k)| {
+            let ranked: Vec<u32> = (0..n as u32).collect();
+            let mut expected: Vec<u32> = picks.iter().map(|i| i.index(n + 4) as u32).collect();
+            expected.sort_unstable();
+            expected.dedup();
+            (ranked, expected, k)
+        })
+    })
+}
 
 /// Scores with deliberate ties (quantised) plus a positive-index subset.
 fn scores_and_positives() -> impl Strategy<Value = (Vec<f32>, Vec<usize>)> {
@@ -117,6 +138,102 @@ proptest! {
             cascaded_auc(&result, scores.len(), &positives),
         ) else { return Ok(()); };
         prop_assert!((exact - casc).abs() < 1e-9, "{exact} vs {casc}");
+    }
+
+    #[test]
+    fn list_metrics_are_probabilities((ranked, expected, k) in ranked_expected_k()) {
+        for v in [
+            recall_at_k(&ranked, &expected, k),
+            precision_at_k(&ranked, &expected, k),
+            reciprocal_rank_at_k(&ranked, &expected, k),
+            ndcg_at_k(&ranked, &expected, k),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of [0,1]: {v}");
+        }
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one((_ranked, expected, _k) in ranked_expected_k()) {
+        // Every expected item first, K covering them all: all four
+        // metrics must be exactly 1.
+        let mut ranked = expected.clone();
+        ranked.extend((1000u32..1008).filter(|i| !expected.contains(i)));
+        let k = expected.len();
+        prop_assert_eq!(recall_at_k(&ranked, &expected, k), Some(1.0));
+        prop_assert_eq!(precision_at_k(&ranked, &expected, k), Some(1.0));
+        prop_assert_eq!(reciprocal_rank_at_k(&ranked, &expected, k), Some(1.0));
+        prop_assert_eq!(ndcg_at_k(&ranked, &expected, k), Some(1.0));
+    }
+
+    #[test]
+    fn list_metrics_invariant_under_expected_permutation(
+        (ranked, expected, k) in ranked_expected_k()
+    ) {
+        // The expected set is a *set*: its ordering must never matter.
+        let mut rev = expected.clone();
+        rev.reverse();
+        let mut rot = expected.clone();
+        rot.rotate_left(expected.len() / 2);
+        for perm in [rev, rot] {
+            prop_assert_eq!(recall_at_k(&ranked, &expected, k), recall_at_k(&ranked, &perm, k));
+            prop_assert_eq!(
+                precision_at_k(&ranked, &expected, k),
+                precision_at_k(&ranked, &perm, k)
+            );
+            prop_assert_eq!(
+                reciprocal_rank_at_k(&ranked, &expected, k),
+                reciprocal_rank_at_k(&ranked, &perm, k)
+            );
+            prop_assert_eq!(ndcg_at_k(&ranked, &expected, k), ndcg_at_k(&ranked, &perm, k));
+        }
+    }
+
+    #[test]
+    fn ndcg_never_drops_when_a_hit_moves_up((ranked, expected, k) in ranked_expected_k()) {
+        // Swap the highest-ranked miss with a hit ranked below it — a
+        // strictly beneficial move when it lands inside the K window.
+        let is_hit = |x: &u32| expected.contains(x);
+        let Some(lo) = ranked.iter().position(|x| !is_hit(x)) else { return Ok(()); };
+        let Some(hi) = ranked
+            .iter()
+            .skip(lo + 1)
+            .position(is_hit)
+            .map(|p| p + lo + 1)
+        else { return Ok(()); };
+        let before = ndcg_at_k(&ranked, &expected, k).unwrap();
+        let mut swapped = ranked.clone();
+        swapped.swap(lo, hi);
+        let after = ndcg_at_k(&swapped, &expected, k).unwrap();
+        prop_assert!(after >= before - 1e-12, "swap {lo}<->{hi}: {before} -> {after}");
+        if lo < k {
+            prop_assert!(after > before + 1e-12, "in-window swap must strictly help");
+        }
+    }
+
+    #[test]
+    fn rank_candidates_is_deterministic_under_ties(
+        scores in proptest::collection::vec((0i32..4).prop_map(|v| v as f32 / 2.0), 1..50)
+    ) {
+        // Quantised scores force ties; sorting any input order must
+        // land on the same (score desc, id asc) ranking.
+        let mut a: Vec<(ItemId, f32)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (ItemId(i as u32), s))
+            .collect();
+        let mut b: Vec<(ItemId, f32)> = a.iter().rev().cloned().collect();
+        rank_candidates(&mut a);
+        rank_candidates(&mut b);
+        prop_assert_eq!(&a, &b);
+        for w in a.windows(2) {
+            prop_assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0.index() < w[1].0.index()),
+                "rank_cmp order violated at {:?} vs {:?}", w[0], w[1]
+            );
+        }
     }
 
     #[test]
