@@ -18,6 +18,13 @@
 //!   loop, swept over worker counts 1, 2, 4, … N — the bench measures
 //!   how the *serving layer* scales with workers, not just how the
 //!   engine absorbs update churn;
+//! * **trace overhead** — the inline recommend loop with the request
+//!   tracer off vs at 1% sampling (`taxrec serve`'s default), plus a
+//!   per-stage breakdown (query → per-shard scan → merge) aggregated
+//!   from the same spans `GET /live/trace` serves; the multi-client
+//!   phase also curls `/metrics` and `/live/trace` on the running
+//!   server and fails if the expected families or scan spans are
+//!   missing;
 //! * **publish sweep** — per-publish cost at catalog sizes N, 4N and
 //!   16N: events/sec through the applier, the publish p50/p99 from the
 //!   live stats histogram, the chunk-sharing counters, and the
@@ -45,10 +52,11 @@
 //! process** on any consistency violation, zero read progress, HTTP
 //! errors, degradation beyond `--max-degradation`, publish latency
 //! that *grows* with catalog size (the O(change) guard: p50 at 16N
-//! must stay within 8× of p50 at N), or a publish that is not at
+//! must stay within 8× of p50 at N), a publish that is not at
 //! least `--min-clone-ratio` (default 3) times cheaper than the deep
-//! clone it replaced — the CI guard for the live path under release
-//! optimizations.
+//! clone it replaced, or 1% trace sampling costing more than 10% of
+//! untraced read throughput — the CI guard for the live path under
+//! release optimizations.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,9 +68,12 @@ use std::time::{Duration, Instant};
 use taxrec_bench::args::Args;
 use taxrec_bench::fixtures;
 use taxrec_bench::report::{fmt, Table};
+use taxrec_bench::spans;
 use taxrec_cli::serve::{serve_on, LiveServer, ServeOptions};
 use taxrec_core::live::{LiveConfig, LiveHandle, LiveState, UpdateEvent};
-use taxrec_core::{untrained_model, ModelConfig, RecommendRequest, TfModel};
+use taxrec_core::obs::Tracer;
+use taxrec_core::recommend::{Backend, RecommendEngine};
+use taxrec_core::{untrained_model, ModelConfig, Obs, RecommendRequest, TfModel};
 use taxrec_dataset::{DatasetConfig, SyntheticDataset};
 use taxrec_taxonomy::{NodeId, TaxonomyGenerator, TaxonomyShape};
 
@@ -194,6 +205,10 @@ struct HttpPhaseResult {
     requests: u64,
     errors: u64,
     secs: f64,
+    /// Observability endpoint checks that failed against the running
+    /// server (`/metrics` families present, `/live/trace` has a
+    /// recommend trace with scan spans). Empty = all green.
+    obs_failures: Vec<String>,
 }
 
 impl HttpPhaseResult {
@@ -213,12 +228,20 @@ fn run_http_phase(
     top: usize,
     duration: Duration,
 ) -> HttpPhaseResult {
+    // Trace every request (sample 1.0): the phase doubles as the live
+    // check that the observability endpoints work against a real
+    // pooled server, and the same treatment at every worker count
+    // keeps the sweep comparable. The isolated cost of sampling is
+    // measured separately by the trace-overhead phase.
     let server = Arc::new(
         LiveServer::new(
             LiveState::new(model.clone()),
             data.train.clone(),
             None,
-            LiveConfig::default(),
+            LiveConfig {
+                obs: Obs::shared_with_tracing(1.0, 0),
+                ..LiveConfig::default()
+            },
         )
         .expect("spawn live server"),
     );
@@ -280,6 +303,42 @@ fn run_http_phase(
             .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
     });
     let secs = t0.elapsed().as_secs_f64();
+
+    // With the load applied, the observability endpoints must reflect
+    // it: /metrics exposes the HTTP, applier, and per-shard scan
+    // families, and /live/trace holds sampled recommend traces with
+    // their scan spans.
+    let fetch = |path: &str| -> String {
+        TcpStream::connect(addr)
+            .and_then(|mut conn| {
+                conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())?;
+                let mut buf = String::new();
+                conn.read_to_string(&mut buf)?;
+                Ok(buf)
+            })
+            .unwrap_or_default()
+    };
+    let metrics_body = fetch("/metrics");
+    let trace_body = fetch("/live/trace?n=5");
+    let mut obs_failures = Vec::new();
+    for needle in [
+        "# TYPE taxrec_http_request_seconds histogram",
+        "taxrec_http_requests_total{route=\"/recommend\"}",
+        "taxrec_live_publishes_total",
+        "taxrec_scan_rows_total{shard=\"0\"}",
+    ] {
+        if !metrics_body.contains(needle) {
+            obs_failures.push(format!(
+                "/metrics at {workers} workers is missing `{needle}`"
+            ));
+        }
+    }
+    if !trace_body.contains("\"spans\":") || !trace_body.contains("scan[0]") {
+        obs_failures.push(format!(
+            "/live/trace at {workers} workers has no recommend trace with scan spans"
+        ));
+    }
+
     stop.store(true, Ordering::Relaxed);
     let _ = TcpStream::connect(addr);
     server_thread.join().unwrap();
@@ -288,6 +347,65 @@ fn run_http_phase(
         requests,
         errors,
         secs,
+        obs_failures,
+    }
+}
+
+/// Read throughput of the inline recommend path with tracing fully off
+/// vs 1% sampling — best-of-2 passes each, so a scheduler hiccup in
+/// one pass doesn't masquerade as tracing overhead.
+struct TraceOverhead {
+    off_rate: f64,
+    sampled_rate: f64,
+}
+
+impl TraceOverhead {
+    /// Sampled throughput relative to tracing-off (1.0 = free).
+    fn ratio(&self) -> f64 {
+        self.sampled_rate / self.off_rate.max(1e-9)
+    }
+}
+
+/// Measure the cost the tracer adds to the hot read path: the same
+/// single-user recommend loop, first with the tracer disabled (its
+/// `start` is one relaxed load), then with 1% sampling (the `serve`
+/// default) where 1-in-100 requests records spans.
+fn run_trace_overhead(model: &TfModel, top: usize, duration: Duration) -> TraceOverhead {
+    let engine = RecommendEngine::new(model);
+    let backend = engine.backend().clone();
+    let users = model.num_users();
+    let tracer = Tracer::new();
+    let measure = |tracer: &Tracer| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let deadline = t0 + duration;
+            let mut reads = 0u64;
+            let mut cursor = 0usize;
+            while Instant::now() < deadline {
+                let req = RecommendRequest::simple(cursor % users, top);
+                cursor += 1;
+                match tracer.start("recommend") {
+                    Some(mut t) => {
+                        std::hint::black_box(engine.recommend_traced(&req, &backend, &mut t));
+                        tracer.finish(t);
+                    }
+                    None => {
+                        std::hint::black_box(engine.recommend(&req));
+                    }
+                }
+                reads += 1;
+            }
+            best = best.max(reads as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        best
+    };
+    let off_rate = measure(&tracer);
+    tracer.configure(0.01, 0);
+    let sampled_rate = measure(&tracer);
+    TraceOverhead {
+        off_rate,
+        sampled_rate,
     }
 }
 
@@ -401,6 +519,7 @@ fn bench_json(
     http_phases: &[HttpPhaseResult],
     clients: usize,
     sweep: &[PublishPoint],
+    overhead: &TraceOverhead,
     smoke: bool,
 ) -> String {
     let sweep_json: Vec<String> = sweep
@@ -440,10 +559,15 @@ fn bench_json(
         "{{\"bench\":\"fig7c_live\",\"smoke\":{smoke},\
          \"baseline_reads_per_sec\":{:.1},\"churn_reads_per_sec\":{:.1},\
          \"degradation\":{degradation:.2},\"churn_events_applied\":{},\
+         \"trace_off_reads_per_sec\":{:.1},\"trace_sampled_reads_per_sec\":{:.1},\
+         \"trace_overhead_ratio\":{:.3},\
          \"http\":[{}],\"publish_sweep\":[{}]}}\n",
         baseline.rate(),
         churn.rate(),
         churn.events_applied,
+        overhead.off_rate,
+        overhead.sampled_rate,
+        overhead.ratio(),
         http_json.join(","),
         sweep_json.join(",")
     )
@@ -504,6 +628,7 @@ fn main() {
 
     let baseline = run_phase(&model, &data, readers, batch, top, duration, false, &dir);
     let churn = run_phase(&model, &data, readers, batch, top, duration, true, &dir);
+    let overhead = run_trace_overhead(&model, top, duration);
     let http_phases: Vec<HttpPhaseResult> = if max_workers > 0 {
         worker_sweep(max_workers)
             .into_iter()
@@ -563,6 +688,23 @@ fn main() {
          {} updates absorbed across {} epochs",
         churn.events_applied, churn.final_epoch
     );
+    println!(
+        "trace overhead: {} reads/sec tracing off, {} reads/sec at 1% sampling \
+         ({:.3}× of untraced)",
+        fmt(overhead.off_rate, 0),
+        fmt(overhead.sampled_rate, 0),
+        overhead.ratio()
+    );
+
+    // Where a sampled request's time goes, stage by stage (the same
+    // spans `GET /live/trace` serves).
+    let breakdown_shards = 2usize;
+    let traced_engine =
+        RecommendEngine::with_backend_sharded(&model, Backend::Exhaustive, breakdown_shards);
+    spans::print_stage_table(
+        &format!("Recommend pipeline per-stage cost (exhaustive, {breakdown_shards} scan shards)"),
+        &spans::recommend_stage_means(&traced_engine, top, 128),
+    );
 
     if !http_phases.is_empty() {
         let mut t = Table::new(
@@ -616,6 +758,7 @@ fn main() {
         &http_phases,
         clients,
         &sweep,
+        &overhead,
         smoke,
     );
     // Smoke runs (CI, quick checks) must not clobber the committed
@@ -649,6 +792,18 @@ fn main() {
                 p.errors, p.workers
             ));
         }
+        failures.extend(p.obs_failures.iter().cloned());
+    }
+    // The observability cost guard (smoke only — full runs on shared
+    // boxes are too noisy for a hard ratio): 1% sampling must keep the
+    // read path within 10% of tracing-off.
+    if smoke && overhead.ratio() < 0.90 {
+        failures.push(format!(
+            "1% trace sampling costs too much: {} reads/sec vs {} untraced ({:.3}× < 0.90×)",
+            fmt(overhead.sampled_rate, 0),
+            fmt(overhead.off_rate, 0),
+            overhead.ratio()
+        ));
     }
     if baseline.consistency_failures + churn.consistency_failures > 0 {
         failures.push("a reader observed an inconsistent snapshot".to_string());

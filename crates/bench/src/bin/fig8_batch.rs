@@ -26,6 +26,7 @@ use std::time::Instant;
 use taxrec_bench::args::Args;
 use taxrec_bench::fixtures;
 use taxrec_bench::report::{fmt, Table};
+use taxrec_bench::spans;
 use taxrec_core::recommend::{Backend, RecommendEngine, RecommendRequest};
 use taxrec_core::{CascadeConfig, ModelConfig};
 use taxrec_dataset::{DatasetConfig, SyntheticDataset};
@@ -201,6 +202,26 @@ fn main() {
         "Catalog shard sweep (batch={batch} users @ {threads} threads; \
          scatter = 1 user across S shard workers)"
     ));
+
+    // Per-stage cost of one serving request, from the same spans
+    // `GET /live/trace` exposes: exhaustive at the largest shard count
+    // of the sweep, and the cascaded fast path for contrast.
+    let s_max = *shards_list.iter().max().unwrap_or(&1);
+    let sharded = RecommendEngine::with_backend_sharded(&model, Backend::Exhaustive, s_max);
+    spans::print_stage_table(
+        &format!("Per-stage cost, exhaustive backend ({s_max} scan shards)"),
+        &spans::recommend_stage_means(&sharded, top, 128),
+    );
+    let cascaded = RecommendEngine::with_backend_sharded(
+        &model,
+        Backend::Cascaded(CascadeConfig::uniform(depth, 0.2)),
+        1,
+    );
+    spans::print_stage_table(
+        "Per-stage cost, cascaded backend (K=0.2)",
+        &spans::recommend_stage_means(&cascaded, top, 128),
+    );
+
     if smoke {
         eprintln!("fig8_batch --smoke OK: sharded ≡ unsharded for shards {shards_list:?}");
     }

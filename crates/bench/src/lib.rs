@@ -29,3 +29,4 @@
 pub mod args;
 pub mod fixtures;
 pub mod report;
+pub mod spans;

@@ -1,0 +1,87 @@
+//! Per-stage cost aggregation for the traced recommend pipeline.
+//!
+//! The observability subsystem (`taxrec_core::obs`) records one span
+//! per pipeline stage — `query`, one `scan[i]` per catalog shard,
+//! `merge` / `cascade_rescore` — when a request is sampled. The fig
+//! benches use this module to run a batch of fully-sampled requests
+//! through [`RecommendEngine::recommend_traced`] and report where the
+//! time actually goes, so a throughput regression can be localised to
+//! a stage instead of re-profiled from scratch.
+
+use crate::report::{fmt, Table};
+use std::collections::HashMap;
+use std::ops::Deref;
+use taxrec_core::obs::Tracer;
+use taxrec_core::recommend::{RecommendEngine, RecommendRequest};
+use taxrec_core::TfModel;
+
+/// Mean duration (µs) per pipeline stage over `reps` fully-sampled
+/// single-user requests against `engine`'s default backend, in span
+/// order. The root request span is reported as `total`; the per-shard
+/// `scan[i]` spans are folded into one `scan ×S` row (their sum per
+/// request), since the table localises cost by *stage*, not by shard.
+pub fn recommend_stage_means<M: Deref<Target = TfModel>>(
+    engine: &RecommendEngine<M>,
+    top: usize,
+    reps: usize,
+) -> Vec<(String, f64)> {
+    let tracer = Tracer::new();
+    tracer.configure(1.0, 0);
+    let users = engine.model().num_users().max(1);
+    let backend = engine.backend().clone();
+    let reps = reps.clamp(1, taxrec_core::obs::TRACE_RING_SLOTS);
+    for i in 0..reps {
+        let req = RecommendRequest::simple(i % users, top);
+        let mut t = tracer.start("recommend").expect("sample rate 1.0");
+        std::hint::black_box(engine.recommend_traced(&req, &backend, &mut t));
+        tracer.finish(t);
+    }
+    let records = tracer.recent(reps);
+    let n = records.len().max(1);
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: HashMap<String, u64> = HashMap::new();
+    // Oldest first, so stage order follows the pipeline.
+    for rec in records.iter().rev() {
+        for s in &rec.spans {
+            let name = if s.parent.is_none() {
+                "total".to_string()
+            } else if s.name.starts_with("scan[") {
+                format!("scan ×{}", engine.scan_shards())
+            } else {
+                s.name.clone()
+            };
+            if !sums.contains_key(&name) {
+                order.push(name.clone());
+            }
+            *sums.entry(name).or_insert(0) += s.dur_us;
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let mean = sums[&name] as f64 / n as f64;
+            (name, mean)
+        })
+        .collect()
+}
+
+/// Print a stage table (`stage | mean µs | share`) from
+/// [`recommend_stage_means`] output. `share` is relative to the root
+/// `total` span.
+pub fn print_stage_table(title: &str, stages: &[(String, f64)]) {
+    let total = stages
+        .iter()
+        .find(|(name, _)| name == "total")
+        .map(|(_, us)| *us)
+        .unwrap_or(0.0);
+    let mut t = Table::new(["stage", "mean µs", "share"].into_iter().map(String::from));
+    for (name, us) in stages {
+        let share = if total <= 0.0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", us / total * 100.0)
+        };
+        t.row([name.clone(), fmt(*us, 1), share]);
+    }
+    t.print(title);
+}

@@ -144,6 +144,7 @@ pub fn reject_busy(mut stream: TcpStream, retry_after_secs: u64, metrics: &HttpM
     let resp = Response {
         status: 503,
         body: "{\"error\":\"server busy, retry shortly\"}".to_string(),
+        content_type: router::CONTENT_TYPE_JSON,
     };
     let _ = write_response(&mut stream, &resp, Some(retry_after_secs));
 }
@@ -167,8 +168,9 @@ fn write_response(
         None => String::new(),
     };
     let payload = format!(
-        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n{}",
         resp.status,
+        resp.content_type,
         resp.body.len(),
         resp.body
     );

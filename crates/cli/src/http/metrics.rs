@@ -1,17 +1,21 @@
 //! Lock-free serving metrics: per-route counters and a latency
-//! histogram, surfaced through `GET /live/stats`.
+//! histogram, surfaced through `GET /live/stats` and, since the
+//! observability rework, registered into the unified
+//! [`MetricsRegistry`] so `GET /metrics` exposes the same atomics as
+//! Prometheus families.
 //!
-//! Everything here is `AtomicU64` with relaxed ordering — workers
-//! record concurrently without coordination, and a reader gets a
-//! coherent-enough snapshot for reporting. The latency histogram is
-//! [`taxrec_core::histogram::Histogram`] — the same power-of-two-bucket
-//! structure the live applier uses for publish cost — so recording is
-//! one `leading_zeros` plus one `fetch_add` (no locks, no allocation)
-//! and quantiles are read by walking the cumulative counts.
+//! Everything here is a registry handle over `AtomicU64` with relaxed
+//! ordering — workers record concurrently without coordination, and a
+//! reader gets a coherent-enough snapshot for reporting. The latency
+//! histogram is [`taxrec_core::histogram::Histogram`] — the same
+//! power-of-two-bucket structure the live applier uses for publish and
+//! WAL cost — so recording is one `leading_zeros` plus one `fetch_add`
+//! (no locks, no allocation) and quantiles are read by walking the
+//! cumulative counts in exactly one place.
 
 use crate::json::json_str;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use taxrec_core::obs::{Counter, Gauge, HistogramHandle, MetricsRegistry};
 
 pub use taxrec_core::histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 
@@ -24,17 +28,20 @@ pub const ROUTE_LABELS: &[&str] = &[
     "/recommend/batch",
     "/categories",
     "/live/stats",
+    "/live/trace",
+    "/metrics",
     "/items",
     "/users/fold-in",
     "other",
 ];
 
-/// Counters for one route.
-#[derive(Debug, Default)]
+/// Counters for one route, each a labelled series of the
+/// `taxrec_http_*` families.
+#[derive(Debug)]
 struct RouteCounters {
-    requests: AtomicU64,
-    status_4xx: AtomicU64,
-    status_5xx: AtomicU64,
+    requests: Counter,
+    status_4xx: Counter,
+    status_5xx: Counter,
 }
 
 /// Plain-data per-route counts.
@@ -49,37 +56,84 @@ pub struct RouteSnapshot {
 }
 
 /// All serving-layer metrics, shared across workers and the accept
-/// loop. One instance lives inside the `LiveServer`.
+/// loop. One instance lives inside the `LiveServer`; construct with
+/// [`HttpMetrics::new`] to register into the server's registry (the
+/// `Default` impl registers into a private throwaway one).
+#[derive(Debug)]
 pub struct HttpMetrics {
     routes: Vec<RouteCounters>,
-    latency: Histogram,
-    connections: AtomicU64,
-    dropped: AtomicU64,
-    queue_full: AtomicU64,
-    workers: AtomicU64,
-    queue_depth: AtomicU64,
+    latency: HistogramHandle,
+    connections: Counter,
+    dropped: Counter,
+    queue_full: Counter,
+    workers: Gauge,
+    queue_depth: Gauge,
 }
 
 impl Default for HttpMetrics {
     fn default() -> HttpMetrics {
-        HttpMetrics::new()
+        HttpMetrics::new(&MetricsRegistry::new())
     }
 }
 
 impl HttpMetrics {
-    /// Fresh all-zero metrics.
-    pub fn new() -> HttpMetrics {
+    /// Register every HTTP family into `registry` and return the handle
+    /// bundle. Idempotent per registry.
+    pub fn new(registry: &MetricsRegistry) -> HttpMetrics {
         HttpMetrics {
             routes: ROUTE_LABELS
                 .iter()
-                .map(|_| RouteCounters::default())
+                .map(|route| {
+                    let labels = [("route", *route)];
+                    RouteCounters {
+                        requests: registry.counter(
+                            "taxrec_http_requests_total",
+                            "Requests handled, by route (any status)",
+                            &labels,
+                        ),
+                        status_4xx: registry.counter(
+                            "taxrec_http_responses_4xx_total",
+                            "Responses with a 4xx status, by route",
+                            &labels,
+                        ),
+                        status_5xx: registry.counter(
+                            "taxrec_http_responses_5xx_total",
+                            "Responses with a 5xx status, by route",
+                            &labels,
+                        ),
+                    }
+                })
                 .collect(),
-            latency: Histogram::new(),
-            connections: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            queue_full: AtomicU64::new(0),
-            workers: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
+            latency: registry.histogram(
+                "taxrec_http_request_seconds",
+                "Server-side request handling latency (parse-to-write)",
+                &[],
+            ),
+            connections: registry.counter(
+                "taxrec_http_connections_total",
+                "Connections handed to a worker",
+                &[],
+            ),
+            dropped: registry.counter(
+                "taxrec_http_dropped_total",
+                "Connections closed without a response (bad head, timeout, peer gone)",
+                &[],
+            ),
+            queue_full: registry.counter(
+                "taxrec_http_queue_full_total",
+                "Connections 503-rejected at the accept loop (backpressure)",
+                &[],
+            ),
+            workers: registry.gauge(
+                "taxrec_http_workers",
+                "Worker-thread count, as configured at serve time",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "taxrec_http_queue_depth",
+                "Connection-queue capacity, as configured at serve time",
+                &[],
+            ),
         }
     }
 
@@ -98,14 +152,10 @@ impl HttpMetrics {
     /// client's own upload time).
     pub fn record_response(&self, path: &str, status: u16, latency: Duration) {
         let r = &self.routes[Self::route_index(path)];
-        r.requests.fetch_add(1, Ordering::Relaxed);
+        r.requests.inc();
         match status {
-            400..=499 => {
-                r.status_4xx.fetch_add(1, Ordering::Relaxed);
-            }
-            500..=599 => {
-                r.status_5xx.fetch_add(1, Ordering::Relaxed);
-            }
+            400..=499 => r.status_4xx.inc(),
+            500..=599 => r.status_5xx.inc(),
             _ => {}
         }
         self.latency.record(latency);
@@ -113,26 +163,25 @@ impl HttpMetrics {
 
     /// A connection reached a worker.
     pub fn inc_connection(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.connections.inc();
     }
 
     /// A connection was closed without a response (bad head, timeout,
     /// peer gone).
     pub fn inc_dropped(&self) {
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.inc();
     }
 
     /// A connection was refused at the accept loop because the work
     /// queue was full (the backpressure 503).
     pub fn inc_queue_full(&self) {
-        self.queue_full.fetch_add(1, Ordering::Relaxed);
+        self.queue_full.inc();
     }
 
     /// Record the pool shape for reporting (`serve_on` calls this).
     pub fn set_pool(&self, workers: usize, queue_depth: usize) {
-        self.workers.store(workers as u64, Ordering::Relaxed);
-        self.queue_depth
-            .store(queue_depth as u64, Ordering::Relaxed);
+        self.workers.set(workers as u64);
+        self.queue_depth.set(queue_depth as u64);
     }
 
     /// Copy every counter.
@@ -143,16 +192,16 @@ impl HttpMetrics {
                 .routes
                 .iter()
                 .map(|r| RouteSnapshot {
-                    requests: r.requests.load(Ordering::Relaxed),
-                    status_4xx: r.status_4xx.load(Ordering::Relaxed),
-                    status_5xx: r.status_5xx.load(Ordering::Relaxed),
+                    requests: r.requests.get(),
+                    status_4xx: r.status_4xx.get(),
+                    status_5xx: r.status_5xx.get(),
                 })
                 .collect(),
-            connections: self.connections.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            queue_full: self.queue_full.load(Ordering::Relaxed),
-            workers: self.workers.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            dropped: self.dropped.get(),
+            queue_full: self.queue_full.get(),
+            workers: self.workers.get(),
+            queue_depth: self.queue_depth.get(),
             p50_us: latency.quantile_us(0.50),
             p99_us: latency.quantile_us(0.99),
             requests: latency.total(),
@@ -238,7 +287,7 @@ mod tests {
 
     #[test]
     fn routes_and_statuses_are_attributed() {
-        let m = HttpMetrics::new();
+        let m = HttpMetrics::default();
         m.record_response("/recommend?user=1", 200, Duration::from_micros(10));
         m.record_response("/recommend", 400, Duration::from_micros(10));
         m.record_response("/unknown", 404, Duration::from_micros(10));
@@ -252,5 +301,23 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"/recommend\":{\"requests\":2"), "{json}");
         assert!(json.contains("\"queue_full\":0"), "{json}");
+    }
+
+    #[test]
+    fn http_families_render_in_the_registry() {
+        let reg = MetricsRegistry::new();
+        let m = HttpMetrics::new(&reg);
+        m.record_response("/recommend", 200, Duration::from_micros(50));
+        m.set_pool(4, 64);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("taxrec_http_requests_total{route=\"/recommend\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("taxrec_http_workers 4"), "{text}");
+        assert!(
+            text.contains("taxrec_http_request_seconds_count 1"),
+            "{text}"
+        );
     }
 }

@@ -23,24 +23,45 @@ pub const MAX_FOLD_STEPS: usize = taxrec_core::live::MAX_EVENT_FOLD_STEPS;
 /// Largest user batch one HTTP request may name.
 pub const BATCH_CAP: usize = 4096;
 
+/// The `Content-Type` of every JSON response.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// The `Content-Type` of the Prometheus text exposition (`/metrics`).
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// One parsed HTTP response: status line + body.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (JSON).
+    /// Response body (JSON, except `/metrics`).
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
     pub(crate) fn ok(body: String) -> Response {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            content_type: CONTENT_TYPE_JSON,
+        }
+    }
+
+    /// A 200 with the Prometheus text-exposition content type.
+    pub(crate) fn prometheus(body: String) -> Response {
+        Response {
+            status: 200,
+            body,
+            content_type: CONTENT_TYPE_PROMETHEUS,
+        }
     }
 
     pub(crate) fn bad(msg: &str) -> Response {
         Response {
             status: 400,
             body: format!("{{\"error\":{}}}", json_str(msg)),
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 
@@ -48,6 +69,7 @@ impl Response {
         Response {
             status: 404,
             body: "{\"error\":\"not found\"}".to_string(),
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 
@@ -58,6 +80,7 @@ impl Response {
                 "{{\"error\":\"method not allowed\",\"allow\":{}}}",
                 json_str(allow)
             ),
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 }
@@ -99,6 +122,7 @@ fn live_error_response(e: LiveError) -> Response {
         LiveError::QueueClosed | LiveError::Io(_) => Response {
             status: 503,
             body: format!("{{\"error\":{}}}", json_str(&e.to_string())),
+            content_type: CONTENT_TYPE_JSON,
         },
     }
 }
@@ -125,6 +149,8 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
         "/recommend/batch",
         "/categories",
         "/live/stats",
+        "/live/trace",
+        "/metrics",
     ];
     const POST_ROUTES: &[&str] = &["/items", "/users/fold-in"];
     match method {
@@ -166,6 +192,31 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(10usize);
             let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
+            // Trace the full pipeline when this request is sampled (or
+            // slow capture is armed): prepare → per-shard scan → merge
+            // (or cascade) → response framing, all under one root span.
+            let tracer = server.obs().tracer();
+            if let Some(mut t) = tracer.start("recommend") {
+                let t_prep = t.clock();
+                let bought = server.exclude_for(&snap, user);
+                let history = server.history_for(&snap, user);
+                t.close("prepare", t_prep);
+                let recs = snap.engine().recommend_traced(
+                    &RecommendRequest {
+                        user,
+                        history,
+                        k: top,
+                        exclude: &bought,
+                    },
+                    &backend,
+                    &mut t,
+                );
+                let t_frame = t.clock();
+                let resp = Response::ok(user_json(server, user, &recs));
+                t.close("response_framing", t_frame);
+                tracer.finish(t);
+                return resp;
+            }
             let bought = server.exclude_for(&snap, user);
             let recs = snap.engine().recommend_with(
                 &RecommendRequest {
@@ -254,13 +305,18 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
         "/live/stats" => {
             let s = server.live().stats().snapshot();
             Response::ok(format!(
-                "{{\"epoch\":{},\"users\":{},\"items\":{},\"base_users\":{},\"base_items\":{},\
+                "{{\"version\":{},\"uptime_seconds\":{},\
+                 \"epoch\":{},\"users\":{},\"items\":{},\"base_users\":{},\"base_items\":{},\
                  \"scan_shards\":{},\
                  \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
                  \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
                  \"publish_p50_us\":{},\"publish_p99_us\":{},\
+                 \"wal_append_p50_us\":{},\"wal_append_p99_us\":{},\
+                 \"wal_fsync_p50_us\":{},\"wal_fsync_p99_us\":{},\
                  \"model_shared_chunks\":{},\"model_copied_chunks\":{},\
                  \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{},\"http\":{}}}",
+                json_str(env!("CARGO_PKG_VERSION")),
+                server.obs().uptime_seconds(),
                 snap.epoch(),
                 snap.model().num_users(),
                 snap.model().num_items(),
@@ -276,6 +332,10 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 s.publishes,
                 s.publish_p50_us,
                 s.publish_p99_us,
+                s.wal_append_p50_us,
+                s.wal_append_p99_us,
+                s.wal_fsync_p50_us,
+                s.wal_fsync_p99_us,
                 s.model_shared_chunks,
                 s.model_copied_chunks,
                 s.snapshots_written,
@@ -283,6 +343,14 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 s.log_errors,
                 server.http_metrics().to_json(),
             ))
+        }
+        "/metrics" => Response::prometheus(server.obs().registry().render_prometheus()),
+        "/live/trace" => {
+            let n = get_param("n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(20)
+                .min(1024);
+            Response::ok(traces_json(server, n))
         }
         "/items" => {
             let parsed = match parse_body(body) {
@@ -353,6 +421,48 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
         }
         _ => Response::not_found(),
     }
+}
+
+/// The `GET /live/trace` body: the `n` most recent captured traces
+/// (newest first) rendered through [`Json::render`].
+fn traces_json(server: &LiveServer, n: usize) -> String {
+    let tracer = server.obs().tracer();
+    let num = |v: u64| Json::Num(v as f64);
+    let traces: Vec<Json> = tracer
+        .recent(n)
+        .into_iter()
+        .map(|t| {
+            let spans: Vec<Json> = t
+                .spans
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("id".into(), num(s.id as u64)),
+                        (
+                            "parent".into(),
+                            s.parent.map_or(Json::Null, |p| num(p as u64)),
+                        ),
+                        ("name".into(), Json::Str(s.name.clone())),
+                        ("start_us".into(), num(s.start_us)),
+                        ("dur_us".into(), num(s.dur_us)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("seq".into(), num(t.seq)),
+                ("kind".into(), Json::Str(t.kind.to_string())),
+                ("total_us".into(), num(t.total_us)),
+                ("reason".into(), Json::Str(t.reason.as_str().to_string())),
+                ("spans".into(), Json::Arr(spans)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("enabled".into(), Json::Bool(tracer.enabled())),
+        ("captured".into(), num(tracer.captured())),
+        ("traces".into(), Json::Arr(traces)),
+    ])
+    .render()
 }
 
 fn parse_body(body: &[u8]) -> Result<Json, String> {

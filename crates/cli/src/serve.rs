@@ -5,6 +5,7 @@
 //! taxrec serve --data data/ --model m.tfm --port 8080
 //!              [--workers N] [--queue-depth M] [--scan-shards S]
 //!              [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
+//!              [--trace-sample 0.01] [--trace-slow-ms 250]
 //!
 //! GET  /health                             → 200 {"status":"ok"}
 //! GET  /model                              → model summary (JSON)
@@ -13,6 +14,8 @@
 //! GET  /recommend/batch?users=0-63&top=10  → multi-user batch (JSON)
 //! GET  /categories?user=0&level=1          → ranked categories (JSON)
 //! GET  /live/stats                         → live + HTTP serving counters
+//! GET  /metrics                            → Prometheus text exposition
+//! GET  /live/trace?n=20                    → recent request traces (JSON)
 //! POST /items          {"parent": 17}      → add an item under a category
 //! POST /users/fold-in  {"history": [[1,2],[3]], "steps": 400, "seed": 7}
 //! ```
@@ -30,6 +33,13 @@
 //! `--snapshot`/`--snapshot-every` bound recovery time (see
 //! `docs/guide/serving.md`).
 //!
+//! Observability: every metric the server records lives in one
+//! [`taxrec_core::obs::MetricsRegistry`], scraped at `GET /metrics`;
+//! `--trace-sample R` captures a fraction of recommend/apply requests
+//! as structured span trees and `--trace-slow-ms T` always captures
+//! requests slower than `T` ms, both readable at `GET /live/trace`
+//! (see `docs/guide/observability.md`).
+//!
 //! Errors are structured JSON — `{"error": "..."}` with 400 (bad
 //! request), 404 (unknown route), 405 (wrong method, with `allow`), or
 //! 503 (backpressure / applier unavailable).
@@ -46,6 +56,7 @@ use taxrec_core::live::{
     decode_log_lossy, replay, snapshot::decode_live, LiveConfig, LiveEngine, LiveHandle, LiveState,
     LogHeader, UpdateEvent,
 };
+use taxrec_core::Obs;
 use taxrec_dataset::{PurchaseLog, Transaction};
 use taxrec_taxonomy::ItemId;
 
@@ -58,6 +69,7 @@ pub struct LiveServer {
     train: PurchaseLog,
     item_names: Option<Vec<String>>,
     live: LiveHandle,
+    obs: Arc<Obs>,
     metrics: Arc<HttpMetrics>,
     fold_seed: std::sync::atomic::AtomicU64,
 }
@@ -90,6 +102,11 @@ impl LiveServer {
                 train.num_users()
             )));
         }
+        // The server and the applier share one registry (and one
+        // tracer): /metrics exposes HTTP, applier, and scan families
+        // from the same atomics the JSON stats read.
+        let obs = Arc::clone(&config.obs);
+        let metrics = Arc::new(HttpMetrics::new(obs.registry()));
         let live = if wal_already_verified {
             LiveHandle::spawn_recovered(state, config)
         } else {
@@ -100,7 +117,8 @@ impl LiveServer {
             train,
             item_names,
             live,
-            metrics: Arc::new(HttpMetrics::new()),
+            obs,
+            metrics,
             fold_seed: std::sync::atomic::AtomicU64::new(0),
         })
     }
@@ -139,6 +157,12 @@ impl LiveServer {
     /// The HTTP serving metrics (per-route counters, latency histogram).
     pub fn http_metrics(&self) -> &Arc<HttpMetrics> {
         &self.metrics
+    }
+
+    /// The shared observability bundle: the unified metrics registry
+    /// (`GET /metrics`) and the request tracer (`GET /live/trace`).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// A process-unique default seed for a seedless `POST
@@ -410,11 +434,19 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
     if scan_shards == 0 {
         return Err(CliError::Usage("--scan-shards must be at least 1".into()));
     }
+    let trace_sample = args.get("trace-sample", 0.01f64)?;
+    if !(0.0..=1.0).contains(&trace_sample) {
+        return Err(CliError::Usage(
+            "--trace-sample must be between 0.0 and 1.0".into(),
+        ));
+    }
+    let trace_slow_ms = args.get("trace-slow-ms", 250u64)?;
     let config = LiveConfig {
         log_path: args.value("live-log").map(Into::into),
         snapshot_path: args.value("snapshot").map(Into::into),
         snapshot_every: args.get("snapshot-every", 256u64)?,
         scan_shards,
+        obs: Obs::shared_with_tracing(trace_sample, trace_slow_ms),
         ..LiveConfig::default()
     };
     if config.snapshot_path.is_some() && config.log_path.is_none() {

@@ -1,0 +1,506 @@
+//! End-to-end observability checks (ISSUE 7 acceptance): `GET
+//! /metrics` must emit *valid* Prometheus text exposition — verified
+//! by a small purpose-built parser of the v0.0.4 grammar, not by
+//! substring spotting — with counters that only ever move up, and a
+//! sampled recommend trace must decompose the request into exactly one
+//! scan span per configured catalog shard whose durations account for
+//! the bulk of the request span.
+
+use std::collections::HashMap;
+use taxrec_cli::json::{self, Json};
+use taxrec_cli::serve::{route, LiveServer, Response};
+use taxrec_core::live::{LiveConfig, LiveState};
+use taxrec_core::obs::SampleReason;
+use taxrec_core::{untrained_model, ModelConfig, Obs, TfTrainer};
+use taxrec_dataset::{DatasetConfig, PurchaseLogBuilder, SyntheticDataset};
+use taxrec_taxonomy::{ItemId, TaxonomyGenerator, TaxonomyShape};
+
+// ── A strict-enough Prometheus text parser ──────────────────────────
+//
+// Grammar checked (text exposition format v0.0.4):
+//   exposition  := family*
+//   family      := "# HELP" name help NL "# TYPE" name kind NL sample*
+//   sample      := name labels? SP value NL
+//   labels      := "{" (label "=" quoted ",")* label "=" quoted "}"
+// plus: names match [a-zA-Z_:][a-zA-Z0-9_:]*, label values use only
+// the \\ \" \n escapes, every sample belongs to the family declared
+// above it (histogram samples may suffix _bucket/_sum/_count), each
+// family is declared at most once, and histogram buckets are
+// cumulative with an +Inf bucket equal to _count.
+
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: String,
+    samples: Vec<Sample>,
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse one `{label="value",...}` block; the input starts just after
+/// the `{`. Returns the labels and the rest of the line after `}`.
+type Labels = Vec<(String, String)>;
+
+fn parse_labels(mut s: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    loop {
+        let eq = s
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {s}"))?;
+        let name = &s[..eq];
+        if !valid_name(name) || name.contains(':') {
+            return Err(format!("bad label name {name:?}"));
+        }
+        s = s[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value not quoted after {name}"))?;
+        let mut value = String::new();
+        let mut chars = s.char_indices();
+        let rest_at = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break i + 1,
+                '\\' => match chars.next().ok_or("dangling backslash")?.1 {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("invalid escape \\{other}")),
+                },
+                '\n' => return Err("raw newline in label value".into()),
+                c => value.push(c),
+            }
+        };
+        labels.push((name.to_string(), value));
+        s = &s[rest_at..];
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+            continue;
+        }
+        let rest = s
+            .strip_prefix('}')
+            .ok_or_else(|| format!("label block not closed: {s:?}"))?;
+        return Ok((labels, rest));
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse().map_err(|e| format!("bad value {s:?}: {e}")),
+    }
+}
+
+/// Whether a sample name belongs to the family `fam` of the given kind.
+fn belongs_to(sample: &str, fam: &str, kind: &str) -> bool {
+    if kind == "histogram" {
+        sample
+            .strip_prefix(fam)
+            .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count"))
+    } else {
+        sample == fam
+    }
+}
+
+fn parse_prometheus(text: &str) -> Result<HashMap<String, Family>, String> {
+    let mut families: HashMap<String, Family> = HashMap::new();
+    let mut current: Option<String> = None; // family awaiting samples
+    let mut pending_help: Option<String> = None; // HELP seen, TYPE not yet
+    for line in text.lines() {
+        if line.is_empty() {
+            return Err("blank line in exposition".into());
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("HELP without text: {line}"))?;
+            if !valid_name(name) {
+                return Err(format!("bad metric name {name:?}"));
+            }
+            if families.contains_key(name) {
+                return Err(format!("family {name} declared twice"));
+            }
+            if help.contains('\n') {
+                return Err(format!("unescaped newline in help of {name}"));
+            }
+            if pending_help.is_some() {
+                return Err("HELP not followed by TYPE".into());
+            }
+            pending_help = Some(name.to_string());
+            current = None;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("TYPE without kind: {line}"))?;
+            if pending_help.as_deref() != Some(name) {
+                return Err(format!("TYPE {name} without a preceding HELP {name}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown kind {kind:?} for {name}"));
+            }
+            pending_help = None;
+            families.insert(
+                name.to_string(),
+                Family {
+                    kind: kind.to_string(),
+                    samples: Vec::new(),
+                },
+            );
+            current = Some(name.to_string());
+        } else if line.starts_with('#') {
+            return Err(format!("unknown comment line: {line}"));
+        } else {
+            let fam_name = current
+                .clone()
+                .ok_or_else(|| format!("sample before any family: {line}"))?;
+            let name_end = line
+                .find(['{', ' '])
+                .ok_or_else(|| format!("sample without value: {line}"))?;
+            let name = &line[..name_end];
+            if !valid_name(name) {
+                return Err(format!("bad sample name {name:?}"));
+            }
+            let (labels, rest) = if line[name_end..].starts_with('{') {
+                parse_labels(&line[name_end + 1..])?
+            } else {
+                (Vec::new(), &line[name_end..])
+            };
+            let value = parse_value(
+                rest.strip_prefix(' ')
+                    .ok_or_else(|| format!("no space before value: {line}"))?,
+            )?;
+            let fam = families.get_mut(&fam_name).expect("current family exists");
+            if !belongs_to(name, &fam_name, &fam.kind) {
+                return Err(format!(
+                    "sample {name} does not belong to family {fam_name} ({})",
+                    fam.kind
+                ));
+            }
+            let sample = Sample {
+                name: name.to_string(),
+                labels,
+                value,
+            };
+            if fam
+                .samples
+                .iter()
+                .any(|s| s.name == sample.name && s.labels == sample.labels)
+            {
+                return Err(format!("duplicate series: {line}"));
+            }
+            fam.samples.push(sample);
+        }
+    }
+    if pending_help.is_some() {
+        return Err("trailing HELP without TYPE".into());
+    }
+    // Histogram invariants: buckets are cumulative, end at +Inf, and
+    // the +Inf bucket equals _count.
+    for (name, fam) in &families {
+        if fam.kind != "histogram" {
+            continue;
+        }
+        let buckets: Vec<&Sample> = fam
+            .samples
+            .iter()
+            .filter(|s| s.name == format!("{name}_bucket"))
+            .collect();
+        if buckets.is_empty() {
+            return Err(format!("histogram {name} has no buckets"));
+        }
+        let mut prev = -1.0f64;
+        let mut prev_count = 0.0f64;
+        for b in &buckets {
+            let le = b
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| parse_value(v))
+                .ok_or_else(|| format!("bucket of {name} without le"))??;
+            if le <= prev {
+                return Err(format!("histogram {name} buckets out of order"));
+            }
+            if b.value < prev_count {
+                return Err(format!("histogram {name} buckets not cumulative"));
+            }
+            prev = le;
+            prev_count = b.value;
+        }
+        if prev != f64::INFINITY {
+            return Err(format!("histogram {name} missing the +Inf bucket"));
+        }
+        let count = fam
+            .samples
+            .iter()
+            .find(|s| s.name == format!("{name}_count"))
+            .ok_or_else(|| format!("histogram {name} missing _count"))?;
+        if count.value != prev_count {
+            return Err(format!("histogram {name}: +Inf bucket != _count"));
+        }
+        if !fam.samples.iter().any(|s| s.name == format!("{name}_sum")) {
+            return Err(format!("histogram {name} missing _sum"));
+        }
+    }
+    Ok(families)
+}
+
+/// Every counter series as `(family{label=value,...}, value)`.
+fn counter_series(families: &HashMap<String, Family>) -> HashMap<String, f64> {
+    families
+        .iter()
+        .filter(|(_, f)| f.kind == "counter")
+        .flat_map(|(name, f)| {
+            f.samples.iter().map(move |s| {
+                let labels: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                (format!("{name}{{{}}}", labels.join(",")), s.value)
+            })
+        })
+        .collect()
+}
+
+// ── Fixtures ────────────────────────────────────────────────────────
+
+/// A trained tiny server with everything observable: 2 scan shards and
+/// a tracer sampling every request.
+fn observed_server(scan_shards: usize) -> LiveServer {
+    let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(100), 3);
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 1).with_factors(4).with_epochs(2),
+        &d.taxonomy,
+    )
+    .fit(&d.train, 1);
+    LiveServer::new(
+        LiveState::new(model),
+        d.train,
+        None,
+        LiveConfig {
+            scan_shards,
+            obs: Obs::shared_with_tracing(1.0, 0),
+            ..LiveConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn get(s: &LiveServer, path: &str) -> Response {
+    route(s, "GET", path, b"")
+}
+
+// ── Tests ───────────────────────────────────────────────────────────
+
+#[test]
+fn metrics_endpoint_is_valid_prometheus_and_counters_are_monotone() {
+    let st = observed_server(2);
+    // Drive every family: reads across both shards, a 4xx, a write.
+    for u in 0..4 {
+        assert_eq!(get(&st, &format!("/recommend?user={u}&top=5")).status, 200);
+    }
+    assert_eq!(get(&st, "/recommend?user=999999").status, 400);
+    let parent = {
+        let snap = st.live().cell().load();
+        let tax = snap.model().taxonomy();
+        tax.parent(tax.item_node(ItemId(0))).unwrap().0
+    };
+    assert_eq!(
+        route(
+            &st,
+            "POST",
+            "/items",
+            format!("{{\"parent\": {parent}}}").as_bytes(),
+        )
+        .status,
+        200
+    );
+
+    let resp = get(&st, "/metrics");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.content_type.starts_with("text/plain; version=0.0.4"),
+        "{}",
+        resp.content_type
+    );
+    let families = parse_prometheus(&resp.body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n---\n{}", resp.body));
+
+    // Tentpole coverage: HTTP, applier, publish, WAL, and per-shard
+    // scan families all present in the one registry.
+    for (family, kind) in [
+        ("taxrec_http_requests_total", "counter"),
+        ("taxrec_http_responses_4xx_total", "counter"),
+        ("taxrec_http_request_seconds", "histogram"),
+        ("taxrec_http_workers", "gauge"),
+        ("taxrec_live_events_applied_total", "counter"),
+        ("taxrec_live_publishes_total", "counter"),
+        ("taxrec_live_publish_seconds", "histogram"),
+        ("taxrec_wal_append_seconds", "histogram"),
+        ("taxrec_wal_fsync_seconds", "histogram"),
+        ("taxrec_scan_rows_total", "counter"),
+        ("taxrec_scan_blocks_total", "counter"),
+        ("taxrec_scan_busy_us_total", "counter"),
+    ] {
+        let fam = families
+            .get(family)
+            .unwrap_or_else(|| panic!("family {family} missing from /metrics"));
+        assert_eq!(fam.kind, kind, "{family}");
+    }
+    // Both scan shards actually scanned rows.
+    for shard in ["0", "1"] {
+        let rows = families["taxrec_scan_rows_total"]
+            .samples
+            .iter()
+            .find(|s| s.labels == vec![("shard".to_string(), shard.to_string())])
+            .unwrap_or_else(|| panic!("no scan series for shard {shard}"));
+        assert!(rows.value > 0.0, "shard {shard} scanned no rows");
+    }
+
+    // Counter monotonicity: more traffic never decreases any series.
+    // In-process `route()` bypasses the connection layer, so drive its
+    // metrics hook directly alongside real routed reads.
+    let before = counter_series(&families);
+    for u in 0..3 {
+        get(&st, &format!("/recommend?user={u}&top=3"));
+        st.http_metrics()
+            .record_response("/recommend", 200, std::time::Duration::from_micros(40));
+    }
+    st.http_metrics()
+        .record_response("/nope", 404, std::time::Duration::from_micros(5));
+    let after = counter_series(&parse_prometheus(&get(&st, "/metrics").body).unwrap());
+    assert!(!before.is_empty());
+    for (series, v0) in &before {
+        let v1 = after
+            .get(series)
+            .unwrap_or_else(|| panic!("series {series} disappeared"));
+        assert!(v1 >= v0, "{series} went backwards: {v0} -> {v1}");
+    }
+    for advanced in [
+        "taxrec_http_requests_total{route=/recommend}",
+        "taxrec_scan_rows_total{shard=0}",
+        "taxrec_scan_rows_total{shard=1}",
+    ] {
+        assert!(
+            after[advanced] > before[advanced],
+            "{advanced} did not advance: {} -> {}",
+            before[advanced],
+            after[advanced]
+        );
+    }
+}
+
+#[test]
+fn recommend_trace_has_one_scan_span_per_shard_summing_to_the_request() {
+    // A catalog big enough that scanning dominates the request (4000
+    // untrained items at k=32), so span accounting is measurable.
+    const SHARDS: usize = 4;
+    let shape = TaxonomyShape {
+        level_sizes: vec![4, 40, 300],
+        num_items: 4000,
+        item_skew: 0.5,
+    };
+    use rand::SeedableRng;
+    let tax = TaxonomyGenerator::new(shape)
+        .generate(&mut rand::rngs::StdRng::seed_from_u64(7))
+        .taxonomy;
+    let model = untrained_model(ModelConfig::tf(4, 1).with_factors(32), &tax, 8, 7);
+    let mut log = PurchaseLogBuilder::with_capacity(8);
+    for _ in 0..8 {
+        log.push_user(vec![vec![ItemId(0), ItemId(1)], vec![ItemId(2)]]);
+    }
+    let st = LiveServer::new(
+        LiveState::new(model),
+        log.build(),
+        None,
+        LiveConfig {
+            scan_shards: SHARDS,
+            obs: Obs::shared_with_tracing(1.0, 0),
+            ..LiveConfig::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(get(&st, "/recommend?user=0&top=10").status, 200);
+    let traces = st.obs().tracer().recent(1);
+    assert_eq!(traces.len(), 1, "sample rate 1.0 must capture the request");
+    let t = &traces[0];
+    assert_eq!(t.kind, "recommend");
+    assert_eq!(t.reason, SampleReason::Sampled);
+
+    // Root span: id 1, no parent, spanning the whole request.
+    assert_eq!(t.spans[0].id, 1);
+    assert_eq!(t.spans[0].parent, None);
+    assert_eq!(t.spans[0].dur_us, t.total_us);
+    // Exactly one scan span per configured shard, all parented on the
+    // root, with unique ids.
+    let scans: Vec<_> = t
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("scan["))
+        .collect();
+    assert_eq!(scans.len(), SHARDS, "{:?}", t.spans);
+    for i in 0..SHARDS {
+        assert!(
+            scans.iter().any(|s| s.name == format!("scan[{i}]")),
+            "missing scan[{i}]: {scans:?}"
+        );
+    }
+    let mut ids: Vec<u32> = t.spans.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), t.spans.len(), "span ids must be unique");
+    for s in &t.spans[1..] {
+        assert_eq!(s.parent, Some(1), "{s:?}");
+        assert!(
+            s.start_us + s.dur_us <= t.total_us + 1,
+            "child span exceeds the request span: {s:?}"
+        );
+    }
+    // The stages must account for the request: children never exceed
+    // the root (they are disjoint sub-intervals of it), and the scans
+    // dominate this scan-bound request.
+    let child_sum: u64 = t.spans[1..].iter().map(|s| s.dur_us).sum();
+    let scan_sum: u64 = scans.iter().map(|s| s.dur_us).sum();
+    assert!(
+        child_sum <= t.total_us + t.spans.len() as u64,
+        "stage spans sum past the request: {child_sum} > {}",
+        t.total_us
+    );
+    assert!(
+        2 * scan_sum >= t.total_us,
+        "scan spans should dominate a {SHARDS}-shard scan-bound request: \
+         scans {scan_sum} µs of {} µs total",
+        t.total_us
+    );
+
+    // The same trace is served over /live/trace as JSON.
+    let resp = get(&st, "/live/trace?n=4");
+    assert_eq!(resp.status, 200);
+    let parsed = json::parse(&resp.body).expect("trace body parses as JSON");
+    assert_eq!(parsed.get("enabled"), Some(&Json::Bool(true)));
+    assert!(
+        resp.body.contains("\"kind\":\"recommend\""),
+        "{}",
+        resp.body
+    );
+    assert!(
+        resp.body.contains("\"reason\":\"sampled\""),
+        "{}",
+        resp.body
+    );
+    for i in 0..SHARDS {
+        assert!(resp.body.contains(&format!("scan[{i}]")), "{}", resp.body);
+    }
+}

@@ -42,6 +42,7 @@ pub mod live;
 pub mod loss;
 pub mod metrics;
 pub mod model;
+pub mod obs;
 pub mod persist;
 pub mod recommend;
 pub mod scoring;
@@ -56,6 +57,7 @@ pub use eval::{
 pub use inference::{cascade, cascaded_auc, CascadeConfig, CascadeResult};
 pub use live::{LiveConfig, LiveEngine, LiveHandle, LiveState, ModelCell, UpdateEvent};
 pub use model::TfModel;
+pub use obs::{MetricsRegistry, Obs, ScanMetrics, Tracer};
 pub use recommend::{Backend, RecommendEngine, RecommendRequest};
 pub use scoring::Scorer;
 pub use train::{untrained_model, TfTrainer, TrainStats};

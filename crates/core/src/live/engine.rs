@@ -2,6 +2,7 @@
 
 use super::state::LiveState;
 use crate::model::TfModel;
+use crate::obs::{MetricsRegistry, ScanMetrics};
 use crate::recommend::{Backend, RecommendEngine};
 use std::sync::Arc;
 use taxrec_dataset::Transaction;
@@ -40,6 +41,24 @@ impl LiveEngine {
             base_items: state.base_items(),
             epoch: 0,
         }
+    }
+
+    /// [`initial`](Self::initial) with per-shard scan counters
+    /// registered into `registry` (one rows/blocks/busy-µs triple per
+    /// *actual* shard — the plan may clamp the requested count).
+    /// Successor epochs share the counters by `Arc` through
+    /// [`RecommendEngine::grown_from`], so scan totals survive
+    /// publishes.
+    pub fn initial_observed(
+        state: &LiveState,
+        backend: Backend,
+        scan_shards: usize,
+        registry: &MetricsRegistry,
+    ) -> LiveEngine {
+        let mut live = LiveEngine::initial(state, backend, scan_shards);
+        let metrics = ScanMetrics::register(registry, live.engine.scan_shards());
+        live.engine.set_scan_metrics(metrics);
+        live
     }
 
     /// Build the successor snapshot after `state` absorbed a batch of

@@ -26,6 +26,7 @@ use super::snapshot::encode_live;
 use super::state::{Applied, LiveState};
 use super::stats::LiveStats;
 use super::LiveError;
+use crate::obs::Obs;
 use crate::recommend::Backend;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -54,6 +55,12 @@ pub struct LiveConfig {
     /// matrix into (1 = unsharded). The served ranking is bit-for-bit
     /// identical at any value; see `crate::recommend::shards`.
     pub scan_shards: usize,
+    /// Observability bundle: the applier registers its counters and
+    /// WAL/publish histograms into `obs.registry()` and traces the
+    /// write path through `obs.tracer()`. The default bundle has
+    /// tracing disabled and a private registry — callers that scrape
+    /// `/metrics` pass the server-wide one.
+    pub obs: Arc<Obs>,
 }
 
 impl Default for LiveConfig {
@@ -65,6 +72,7 @@ impl Default for LiveConfig {
             log_path: None,
             snapshot_path: None,
             scan_shards: 1,
+            obs: Arc::new(Obs::new()),
         }
     }
 }
@@ -133,12 +141,13 @@ impl LiveHandle {
             Some(p) => Some(open_log(p, &lineage_of(&state), verify_existing_log)?),
             None => None,
         };
-        let cell = Arc::new(ModelCell::new(LiveEngine::initial(
+        let cell = Arc::new(ModelCell::new(LiveEngine::initial_observed(
             &state,
             config.backend.clone(),
             config.scan_shards,
+            config.obs.registry(),
         )));
-        let stats = Arc::new(LiveStats::default());
+        let stats = Arc::new(LiveStats::new(config.obs.registry()));
         let (tx, rx) = mpsc::channel();
         let thread = std::thread::Builder::new()
             .name("taxrec-live-applier".into())
@@ -301,6 +310,7 @@ fn applier(
 ) {
     let mut since_snapshot = 0u64;
     let mut log_buf = Vec::new();
+    let tracer = config.obs.tracer();
     // Set when a WAL write fails: acked-but-unlogged events would break
     // the recovery law, so the applier stops accepting updates.
     let mut degraded = false;
@@ -317,6 +327,12 @@ fn applier(
         }
 
         log_buf.clear();
+        // Write-path trace: one trace per applied batch, with spans for
+        // validate/apply, the two WAL halves, and the publish. Dropped
+        // unfinished for batches that apply nothing (flush-only, all
+        // rejected) so the journal holds real write work only.
+        let mut trace = tracer.start("apply");
+        let t_validate = trace.as_ref().map(|t| t.clock());
         let mut pending: Vec<(mpsc::Sender<Result<AppliedUpdate, LiveError>>, Applied)> =
             Vec::new();
         let mut flushes = Vec::new();
@@ -358,13 +374,36 @@ fn applier(
             }
         }
 
+        if let (Some(t), Some(start)) = (trace.as_mut(), t_validate) {
+            t.close("validate_apply", start);
+        }
+
         // WAL before visibility: if the append fails, nothing from this
-        // batch is published or acked, and updates are disabled.
+        // batch is published or acked, and updates are disabled. The
+        // two halves of the ack critical path — buffer write and flush
+        // — are timed separately into the WAL histograms.
         let mut wal_ok = true;
         if !log_buf.is_empty() {
             if let Some(f) = &mut log {
-                match f.write_all(&log_buf).and_then(|_| f.flush()) {
-                    Ok(()) => stats.add_log_bytes(log_buf.len() as u64),
+                let t_span_append = trace.as_ref().map(|t| t.clock());
+                let t_append = std::time::Instant::now();
+                let appended = f.write_all(&log_buf);
+                let append_took = t_append.elapsed();
+                if let (Some(t), Some(start)) = (trace.as_mut(), t_span_append) {
+                    t.close("wal_append", start);
+                }
+                let t_span_fsync = trace.as_ref().map(|t| t.clock());
+                let t_fsync = std::time::Instant::now();
+                let flushed = appended.and_then(|_| f.flush());
+                let fsync_took = t_fsync.elapsed();
+                if let (Some(t), Some(start)) = (trace.as_mut(), t_span_fsync) {
+                    t.close("wal_fsync", start);
+                }
+                match flushed {
+                    Ok(()) => {
+                        stats.add_log_bytes(log_buf.len() as u64);
+                        stats.record_wal(append_took, fsync_took);
+                    }
                     Err(_) => {
                         stats.inc_log_errors();
                         degraded = true;
@@ -399,6 +438,7 @@ fn applier(
             // `next_from` bumps chunk refcounts, it does not copy
             // factors — so this block is O(rows touched by the batch);
             // the histogram + chunk counters prove it in production.
+            let t_span_publish = trace.as_ref().map(|t| t.clock());
             let t_publish = std::time::Instant::now();
             let prev = cell.load();
             let next = LiveEngine::next_from(&prev, &state);
@@ -407,6 +447,14 @@ fn applier(
             cell.publish(next);
             stats.inc_publishes();
             stats.record_publish(t_publish.elapsed(), shared, copied);
+            if let (Some(t), Some(start)) = (trace.as_mut(), t_span_publish) {
+                t.close("publish", start);
+            }
+            // The batch applied real events: the write-path trace is
+            // complete, hand it to the sampler.
+            if let Some(t) = trace.take() {
+                tracer.finish(t);
+            }
             for (reply, applied) in pending {
                 let _ = reply.send(Ok(AppliedUpdate { applied, epoch }));
             }

@@ -1,37 +1,51 @@
 //! Counters the applier maintains and `GET /live/stats` serves.
+//!
+//! Since the observability rework every counter and latency histogram
+//! here is a handle into the unified [`MetricsRegistry`] — `/live/stats`
+//! and `GET /metrics` read the very same atomics, and quantiles come
+//! from the one [`crate::histogram`] implementation.
 
-use crate::histogram::Histogram;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::obs::{Counter, HistogramHandle, MetricsRegistry};
 use std::time::Duration;
 
 /// Shared, lock-free counters describing the live subsystem's activity.
 /// All counters are monotone; read them individually or grab a
 /// coherent-enough [`snapshot`](LiveStats::snapshot) for reporting.
-#[derive(Debug, Default)]
+///
+/// Construct with [`LiveStats::new`] to register every series into a
+/// [`MetricsRegistry`]; `Default` registers into a private throwaway
+/// registry (tests, benches that don't scrape).
+#[derive(Debug)]
 pub struct LiveStats {
-    enqueued: AtomicU64,
-    applied: AtomicU64,
-    rejected: AtomicU64,
-    items_added: AtomicU64,
-    users_folded: AtomicU64,
-    publishes: AtomicU64,
-    snapshots_written: AtomicU64,
-    log_bytes: AtomicU64,
-    log_errors: AtomicU64,
+    enqueued: Counter,
+    applied: Counter,
+    rejected: Counter,
+    items_added: Counter,
+    users_folded: Counter,
+    publishes: Counter,
+    snapshots_written: Counter,
+    log_bytes: Counter,
+    log_errors: Counter,
     /// Per-publish cost of deriving + swapping the successor snapshot
     /// (the structural-sharing block, not the per-event apply).
-    publish_latency: Histogram,
-    /// Sum of all publish latencies, in **nanoseconds** — accumulated
-    /// at full resolution so sub-microsecond publishes (the common case
-    /// for a structural-sharing publish) are not truncated to zero.
-    /// Surfaced as microseconds in the snapshot.
-    publish_ns_total: AtomicU64,
+    publish_latency: HistogramHandle,
+    /// WAL buffer write (`write_all`) — the first half of the ack
+    /// critical path.
+    wal_append: HistogramHandle,
+    /// WAL flush — the second half of the ack critical path.
+    wal_fsync: HistogramHandle,
     /// Factor chunks the successor model shared with its predecessor by
     /// pointer, summed over publishes — the proof COW is engaged.
-    model_shared_chunks: AtomicU64,
+    model_shared_chunks: Counter,
     /// Factor chunks the successor model did *not* share (copied for a
     /// mutation or freshly appended), summed over publishes.
-    model_copied_chunks: AtomicU64,
+    model_copied_chunks: Counter,
+}
+
+impl Default for LiveStats {
+    fn default() -> LiveStats {
+        LiveStats::new(&MetricsRegistry::new())
+    }
 }
 
 /// A plain-data copy of every counter at one read point.
@@ -63,6 +77,14 @@ pub struct LiveStatsSnapshot {
     /// Sum of all publish latencies, microseconds (accumulated in
     /// nanoseconds internally, so many sub-µs publishes still add up).
     pub publish_us_total: u64,
+    /// WAL append (`write_all`) p50, microseconds.
+    pub wal_append_p50_us: u64,
+    /// WAL append (`write_all`) p99, microseconds.
+    pub wal_append_p99_us: u64,
+    /// WAL fsync/flush p50, microseconds.
+    pub wal_fsync_p50_us: u64,
+    /// WAL fsync/flush p99, microseconds.
+    pub wal_fsync_p99_us: u64,
     /// Model factor chunks shared with the predecessor across all
     /// publishes (see [`crate::TfModel::chunk_sharing_with`]).
     pub model_shared_chunks: u64,
@@ -73,70 +95,178 @@ pub struct LiveStatsSnapshot {
 }
 
 impl LiveStats {
+    /// Register every live-subsystem series into `registry` and return
+    /// the handle bundle. Idempotent per registry: a second call hands
+    /// back handles onto the same atomics.
+    pub fn new(registry: &MetricsRegistry) -> LiveStats {
+        let c = |name: &str, help: &str| registry.counter(name, help, &[]);
+        let h = |name: &str, help: &str| registry.histogram(name, help, &[]);
+        LiveStats {
+            enqueued: c(
+                "taxrec_live_events_enqueued_total",
+                "Update events accepted into the live queue",
+            ),
+            applied: c(
+                "taxrec_live_events_applied_total",
+                "Update events applied to the model",
+            ),
+            rejected: c(
+                "taxrec_live_events_rejected_total",
+                "Update events rejected (invalid parent, unknown item, ...)",
+            ),
+            items_added: c("taxrec_live_items_added_total", "AddItem events applied"),
+            users_folded: c(
+                "taxrec_live_users_folded_total",
+                "FoldInUser events applied",
+            ),
+            publishes: c(
+                "taxrec_live_publishes_total",
+                "Model snapshot publishes (equals the current epoch)",
+            ),
+            snapshots_written: c(
+                "taxrec_live_snapshots_written_total",
+                ".tfm snapshots written by the applier",
+            ),
+            log_bytes: c(
+                "taxrec_live_wal_bytes_total",
+                "Bytes appended to the event log",
+            ),
+            log_errors: c(
+                "taxrec_live_wal_errors_total",
+                "Event-log write failures (durability degraded)",
+            ),
+            publish_latency: h(
+                "taxrec_live_publish_seconds",
+                "Per-publish cost of deriving + swapping the successor snapshot",
+            ),
+            wal_append: h(
+                "taxrec_wal_append_seconds",
+                "WAL buffer write (write_all) latency, first half of the ack critical path",
+            ),
+            wal_fsync: h(
+                "taxrec_wal_fsync_seconds",
+                "WAL flush latency, second half of the ack critical path",
+            ),
+            model_shared_chunks: c(
+                "taxrec_live_model_shared_chunks_total",
+                "Factor chunks shared with the predecessor model across publishes",
+            ),
+            model_copied_chunks: c(
+                "taxrec_live_model_copied_chunks_total",
+                "Factor chunks copied or appended across publishes",
+            ),
+        }
+    }
+
     pub(crate) fn inc_enqueued(&self) {
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.enqueued.inc();
     }
     pub(crate) fn inc_applied(&self) {
-        self.applied.fetch_add(1, Ordering::Relaxed);
+        self.applied.inc();
     }
     pub(crate) fn inc_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
     pub(crate) fn inc_items_added(&self) {
-        self.items_added.fetch_add(1, Ordering::Relaxed);
+        self.items_added.inc();
     }
     pub(crate) fn inc_users_folded(&self) {
-        self.users_folded.fetch_add(1, Ordering::Relaxed);
+        self.users_folded.inc();
     }
     pub(crate) fn inc_publishes(&self) {
-        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.publishes.inc();
     }
     pub(crate) fn inc_snapshots(&self) {
-        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.snapshots_written.inc();
     }
     pub(crate) fn add_log_bytes(&self, n: u64) {
-        self.log_bytes.fetch_add(n, Ordering::Relaxed);
+        self.log_bytes.add(n);
     }
     pub(crate) fn inc_log_errors(&self) {
-        self.log_errors.fetch_add(1, Ordering::Relaxed);
+        self.log_errors.inc();
     }
     pub(crate) fn record_publish(&self, took: Duration, shared_chunks: u64, copied_chunks: u64) {
         self.publish_latency.record(took);
-        self.publish_ns_total.fetch_add(
-            took.as_nanos().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
-        self.model_shared_chunks
-            .fetch_add(shared_chunks, Ordering::Relaxed);
-        self.model_copied_chunks
-            .fetch_add(copied_chunks, Ordering::Relaxed);
+        self.model_shared_chunks.add(shared_chunks);
+        self.model_copied_chunks.add(copied_chunks);
+    }
+    /// Record one WAL append+flush on the ack critical path.
+    pub(crate) fn record_wal(&self, append: Duration, fsync: Duration) {
+        self.wal_append.record(append);
+        self.wal_fsync.record(fsync);
     }
 
     /// Events enqueued but not yet applied or rejected (approximate —
     /// the counters are read independently).
     pub fn pending(&self) -> u64 {
-        let done = self.applied.load(Ordering::Relaxed) + self.rejected.load(Ordering::Relaxed);
-        self.enqueued.load(Ordering::Relaxed).saturating_sub(done)
+        let done = self.applied.get() + self.rejected.get();
+        self.enqueued.get().saturating_sub(done)
     }
 
     /// Copy every counter.
     pub fn snapshot(&self) -> LiveStatsSnapshot {
-        let publish = self.publish_latency.snapshot();
         LiveStatsSnapshot {
-            enqueued: self.enqueued.load(Ordering::Relaxed),
-            applied: self.applied.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            items_added: self.items_added.load(Ordering::Relaxed),
-            users_folded: self.users_folded.load(Ordering::Relaxed),
-            publishes: self.publishes.load(Ordering::Relaxed),
-            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
-            log_bytes: self.log_bytes.load(Ordering::Relaxed),
-            log_errors: self.log_errors.load(Ordering::Relaxed),
-            publish_p50_us: publish.quantile_us(0.50),
-            publish_p99_us: publish.quantile_us(0.99),
-            publish_us_total: self.publish_ns_total.load(Ordering::Relaxed) / 1_000,
-            model_shared_chunks: self.model_shared_chunks.load(Ordering::Relaxed),
-            model_copied_chunks: self.model_copied_chunks.load(Ordering::Relaxed),
+            enqueued: self.enqueued.get(),
+            applied: self.applied.get(),
+            rejected: self.rejected.get(),
+            items_added: self.items_added.get(),
+            users_folded: self.users_folded.get(),
+            publishes: self.publishes.get(),
+            snapshots_written: self.snapshots_written.get(),
+            log_bytes: self.log_bytes.get(),
+            log_errors: self.log_errors.get(),
+            publish_p50_us: self.publish_latency.quantile_us(0.50),
+            publish_p99_us: self.publish_latency.quantile_us(0.99),
+            publish_us_total: self.publish_latency.sum_us(),
+            wal_append_p50_us: self.wal_append.quantile_us(0.50),
+            wal_append_p99_us: self.wal_append.quantile_us(0.99),
+            wal_fsync_p50_us: self.wal_fsync.quantile_us(0.50),
+            wal_fsync_p99_us: self.wal_fsync.quantile_us(0.99),
+            model_shared_chunks: self.model_shared_chunks.get(),
+            model_copied_chunks: self.model_copied_chunks.get(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_register_into_the_shared_registry() {
+        let reg = MetricsRegistry::new();
+        let stats = LiveStats::new(&reg);
+        stats.inc_applied();
+        stats.record_wal(Duration::from_micros(40), Duration::from_micros(900));
+        stats.record_publish(Duration::from_micros(7), 10, 2);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("taxrec_live_events_applied_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("taxrec_wal_append_seconds_count 1"), "{text}");
+        assert!(text.contains("taxrec_wal_fsync_seconds_count 1"), "{text}");
+        assert!(
+            text.contains("taxrec_live_publish_seconds_count 1"),
+            "{text}"
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.applied, 1);
+        assert_eq!(snap.wal_append_p50_us, 64);
+        assert_eq!(snap.wal_fsync_p50_us, 1024);
+        assert_eq!(snap.model_shared_chunks, 10);
+        assert_eq!(snap.model_copied_chunks, 2);
+    }
+
+    #[test]
+    fn default_stats_still_work_standalone() {
+        let stats = LiveStats::default();
+        stats.inc_enqueued();
+        stats.inc_enqueued();
+        stats.inc_applied();
+        assert_eq!(stats.pending(), 1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.enqueued, 2);
+        assert_eq!(snap.publish_p50_us, 0, "empty histogram quantile is 0");
     }
 }

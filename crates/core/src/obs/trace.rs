@@ -1,0 +1,436 @@
+//! Request-scoped structured tracing.
+//!
+//! A [`Tracer`] hands out [`TraceBuilder`]s; each builder records
+//! named spans (monotonic-clock offsets from the request start, with
+//! parent ids) and, at [`Tracer::finish`], the completed trace is
+//! published into a lock-free fixed-size ring journal if it was either
+//! probabilistically sampled or slower than the slow-capture
+//! threshold. Readers ([`Tracer::recent`]) drain the ring without
+//! blocking writers.
+//!
+//! The ring is an array of `AtomicPtr<TraceRecord>` slots. Writers
+//! `swap` a freshly boxed record into the next slot (dropping whatever
+//! was there); readers `swap` a slot out, clone it, and try to CAS it
+//! back. If a writer raced in between, the reader simply drops the
+//! older record — losing one entry under contention is an acceptable
+//! trade for a journal that never blocks the request path.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of trace slots in the ring journal.
+pub const TRACE_RING_SLOTS: usize = 256;
+
+/// One completed span inside a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Span id, unique within the trace. The root span is id 1.
+    pub id: u32,
+    /// Parent span id; `None` for the root.
+    pub parent: Option<u32>,
+    /// Stage name (e.g. `"scan[0]"`, `"merge"`, `"wal_fsync"`).
+    pub name: String,
+    /// Offset from the trace start, microseconds.
+    pub start_us: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// Why a trace was kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleReason {
+    /// Chosen by the probabilistic sampler.
+    Sampled,
+    /// Exceeded the slow-capture threshold.
+    Slow,
+}
+
+impl SampleReason {
+    /// Stable string form used in the JSON exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SampleReason::Sampled => "sampled",
+            SampleReason::Slow => "slow",
+        }
+    }
+}
+
+/// One completed, captured trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotone capture sequence number (process-wide per tracer).
+    pub seq: u64,
+    /// Request kind (e.g. `"recommend"`, `"apply"`).
+    pub kind: &'static str,
+    /// End-to-end duration of the root span, microseconds.
+    pub total_us: u64,
+    /// Why this trace was captured.
+    pub reason: SampleReason,
+    /// Child spans, in completion order. The implicit root span has
+    /// id 1, `start_us == 0`, `dur_us == total_us`.
+    pub spans: Vec<SpanRec>,
+}
+
+/// In-flight trace under construction. Obtained from
+/// [`Tracer::start`]; record stages with [`TraceBuilder::close`] and
+/// hand the builder back to [`Tracer::finish`].
+#[derive(Debug)]
+pub struct TraceBuilder {
+    t0: Instant,
+    kind: &'static str,
+    spans: Vec<SpanRec>,
+    next_id: u32,
+    sampled: bool,
+}
+
+impl TraceBuilder {
+    /// Monotonic offset from the trace start, microseconds. Use the
+    /// returned value as the `start` argument of a later
+    /// [`TraceBuilder::close`].
+    pub fn clock(&self) -> u64 {
+        self.t0.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Record a completed stage that began at `start` (a
+    /// [`TraceBuilder::clock`] reading) and ends now. The span's
+    /// parent is the root span. Returns the new span's id.
+    pub fn close(&mut self, name: &str, start: u64) -> u32 {
+        let end = self.clock();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.spans.push(SpanRec {
+            id,
+            parent: Some(1),
+            name: name.to_string(),
+            start_us: start,
+            dur_us: end.saturating_sub(start),
+        });
+        id
+    }
+
+    /// Whether this trace was selected by the probabilistic sampler
+    /// (it may still be captured as slow even when `false`).
+    pub fn sampled(&self) -> bool {
+        self.sampled
+    }
+}
+
+/// Trace collector: sampling decision, slow-capture threshold, and the
+/// ring journal of recent captures.
+#[derive(Debug)]
+pub struct Tracer {
+    /// Capture every Nth request; 0 disables probabilistic sampling.
+    sample_every: AtomicU64,
+    /// Always capture requests slower than this many µs; 0 disables.
+    slow_us: AtomicU64,
+    /// Request counter driving the every-Nth sampler.
+    seq: AtomicU64,
+    /// Capture counter (stamped into records).
+    captures: AtomicU64,
+    /// Next ring slot to write.
+    cursor: AtomicU64,
+    ring: Vec<AtomicPtr<TraceRecord>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer {
+            sample_every: AtomicU64::new(0),
+            slow_us: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            captures: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            ring: (0..TRACE_RING_SLOTS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        for slot in &self.ring {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: every non-null slot pointer was produced by
+                // Box::into_raw in publish() and ownership is unique
+                // here (we just swapped it out).
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+impl Tracer {
+    /// Tracer with sampling disabled (the default).
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Configure sampling: capture each request with probability
+    /// `sample_rate` (clamped to `[0, 1]`, implemented as every-Nth
+    /// with `N = round(1/rate)`), and always capture requests slower
+    /// than `slow_ms` milliseconds (0 disables slow capture).
+    pub fn configure(&self, sample_rate: f64, slow_ms: u64) {
+        let every = if sample_rate <= 0.0 {
+            0
+        } else if sample_rate >= 1.0 {
+            1
+        } else {
+            (1.0 / sample_rate).round().max(1.0) as u64
+        };
+        self.sample_every.store(every, Ordering::Relaxed);
+        self.slow_us
+            .store(slow_ms.saturating_mul(1_000), Ordering::Relaxed);
+    }
+
+    /// Whether any capture mode is active. When false,
+    /// [`Tracer::start`] returns `None` and tracing costs one relaxed
+    /// load per request.
+    pub fn enabled(&self) -> bool {
+        self.sample_every.load(Ordering::Relaxed) != 0 || self.slow_us.load(Ordering::Relaxed) != 0
+    }
+
+    /// Begin a trace for one request of the given kind. Returns `None`
+    /// when tracing is entirely disabled, so callers can skip all
+    /// clock reads on the fast path.
+    pub fn start(&self, kind: &'static str) -> Option<TraceBuilder> {
+        let every = self.sample_every.load(Ordering::Relaxed);
+        let slow = self.slow_us.load(Ordering::Relaxed);
+        if every == 0 && slow == 0 {
+            return None;
+        }
+        let sampled = every != 0
+            && self
+                .seq
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(every);
+        if !sampled && slow == 0 {
+            // Sampling active but this request lost the draw, and no
+            // slow capture to arm: skip span recording entirely.
+            return None;
+        }
+        Some(TraceBuilder {
+            t0: Instant::now(),
+            kind,
+            spans: Vec::new(),
+            next_id: 2, // root is 1
+            sampled,
+        })
+    }
+
+    /// Complete a trace: decide capture (sampled, or total ≥ slow
+    /// threshold), stamp the root span, and publish to the ring.
+    /// Returns the total duration in µs regardless of capture.
+    pub fn finish(&self, b: TraceBuilder) -> u64 {
+        let total_us = b.clock();
+        let slow = self.slow_us.load(Ordering::Relaxed);
+        let is_slow = slow != 0 && total_us >= slow;
+        if !b.sampled && !is_slow {
+            return total_us;
+        }
+        let reason = if b.sampled {
+            SampleReason::Sampled
+        } else {
+            SampleReason::Slow
+        };
+        let mut spans = b.spans;
+        spans.insert(
+            0,
+            SpanRec {
+                id: 1,
+                parent: None,
+                name: b.kind.to_string(),
+                start_us: 0,
+                dur_us: total_us,
+            },
+        );
+        let rec = Box::new(TraceRecord {
+            seq: self.captures.fetch_add(1, Ordering::Relaxed),
+            kind: b.kind,
+            total_us,
+            reason,
+            spans,
+        });
+        self.publish(rec);
+        total_us
+    }
+
+    fn publish(&self, rec: Box<TraceRecord>) {
+        let slot = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.ring.len();
+        let old = self.ring[slot].swap(Box::into_raw(rec), Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: non-null slot pointers are uniquely owned by the
+            // slot; swap transferred that ownership to us.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    /// The `n` most recent captured traces, newest first. Lock-free:
+    /// each slot is swapped out, cloned, and CAS-ed back; if a writer
+    /// reused the slot meanwhile the older record is dropped.
+    pub fn recent(&self, n: usize) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = Vec::new();
+        for slot in &self.ring {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if p.is_null() {
+                continue;
+            }
+            // SAFETY: swap gave us unique ownership of the record.
+            let boxed = unsafe { Box::from_raw(p) };
+            out.push((*boxed).clone());
+            let raw = Box::into_raw(boxed);
+            if slot
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    raw,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // A writer claimed the slot while we held the record;
+                // the newer trace wins, ours is dropped.
+                // SAFETY: raw came from Box::into_raw two lines up and
+                // the CAS failure means the slot never took ownership.
+                drop(unsafe { Box::from_raw(raw) });
+            }
+        }
+        out.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        out.truncate(n);
+        out
+    }
+
+    /// Total traces captured since startup.
+    pub fn captured(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared tracer handle.
+pub type SharedTracer = Arc<Tracer>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_tracer_starts_nothing() {
+        let t = Tracer::new();
+        assert!(!t.enabled());
+        assert!(t.start("recommend").is_none());
+    }
+
+    #[test]
+    fn sample_every_request_captures_spans_with_root() {
+        let t = Tracer::new();
+        t.configure(1.0, 0);
+        let mut b = t.start("recommend").expect("rate 1.0 samples everything");
+        assert!(b.sampled());
+        let s = b.clock();
+        std::thread::sleep(Duration::from_millis(2));
+        let id = b.close("scan[0]", s);
+        assert_eq!(id, 2);
+        let total = t.finish(b);
+        assert!(total >= 2_000, "slept 2ms, total {total}µs");
+        let recent = t.recent(10);
+        assert_eq!(recent.len(), 1);
+        let rec = &recent[0];
+        assert_eq!(rec.kind, "recommend");
+        assert_eq!(rec.reason, SampleReason::Sampled);
+        assert_eq!(rec.spans[0].id, 1);
+        assert_eq!(rec.spans[0].parent, None);
+        assert_eq!(rec.spans[0].dur_us, rec.total_us);
+        assert_eq!(rec.spans[1].name, "scan[0]");
+        assert_eq!(rec.spans[1].parent, Some(1));
+        assert!(rec.spans[1].dur_us >= 2_000);
+        assert!(rec.spans[1].dur_us <= rec.total_us);
+    }
+
+    #[test]
+    fn sampling_rate_is_every_nth() {
+        let t = Tracer::new();
+        t.configure(0.25, 0);
+        let mut captured = 0;
+        for _ in 0..100 {
+            if let Some(b) = t.start("recommend") {
+                if b.sampled() {
+                    t.finish(b);
+                    captured += 1;
+                }
+            }
+        }
+        assert_eq!(captured, 25, "every-4th of 100");
+        assert_eq!(t.captured(), 25);
+    }
+
+    #[test]
+    fn slow_capture_keeps_only_slow_requests() {
+        let t = Tracer::new();
+        t.configure(0.0, 1); // no sampling, slow threshold 1 ms
+                             // Fast request: dropped.
+        let b = t.start("apply").expect("slow capture arms tracing");
+        assert!(!b.sampled());
+        t.finish(b);
+        assert_eq!(t.recent(10).len(), 0);
+        // Slow request: captured.
+        let b = t.start("apply").unwrap();
+        std::thread::sleep(Duration::from_millis(3));
+        t.finish(b);
+        let recent = t.recent(10);
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].reason, SampleReason::Slow);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_orders_newest_first() {
+        let t = Tracer::new();
+        t.configure(1.0, 0);
+        for _ in 0..(TRACE_RING_SLOTS + 50) {
+            let b = t.start("recommend").unwrap();
+            t.finish(b);
+        }
+        let recent = t.recent(5);
+        assert_eq!(recent.len(), 5);
+        let top = (TRACE_RING_SLOTS + 50 - 1) as u64;
+        let seqs: Vec<u64> = recent.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![top, top - 1, top - 2, top - 3, top - 4]);
+        // Reads are non-destructive (records are CAS-ed back).
+        assert_eq!(t.recent(5).len(), 5);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_dont_lose_the_ring() {
+        let t = Arc::new(Tracer::new());
+        t.configure(1.0, 0);
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let b = t.start("recommend").unwrap();
+                        t.finish(b);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                for _ in 0..50 {
+                    seen = seen.max(t.recent(TRACE_RING_SLOTS).len());
+                }
+                seen
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(t.captured(), 2_000);
+        assert!(!t.recent(TRACE_RING_SLOTS).is_empty());
+    }
+}

@@ -11,8 +11,11 @@ use super::shards::{self, CatalogPartition};
 use super::topk::{score_block_into, TopK, SCORE_BLOCK};
 use crate::inference::{cascade, CascadeConfig};
 use crate::model::TfModel;
+use crate::obs::{ScanMetrics, TraceBuilder};
 use crate::scoring::Scorer;
 use std::ops::Deref;
+use std::sync::Arc;
+use std::time::Instant;
 use taxrec_dataset::Transaction;
 use taxrec_factors::{FactorMatrix, GrowMatrix};
 use taxrec_taxonomy::ItemId;
@@ -87,7 +90,8 @@ struct CatalogShard {
 
 /// Blocked top-K scan of one shard: dense dot products per block, then
 /// a thresholded sweep into the (reset) reusable heap. Identical kernel
-/// to the unsharded scan — only the item-id offset differs.
+/// to the unsharded scan — only the item-id offset differs. Returns
+/// `(rows scanned, blocks scored)` for the per-shard scan counters.
 fn scan_shard(
     shard: &CatalogShard,
     query: &[f32],
@@ -95,8 +99,9 @@ fn scan_shard(
     k: usize,
     topk: &mut TopK,
     block: &mut [f32],
-) {
+) -> (u64, u64) {
     let k_factors = query.len();
+    let mut blocks = 0u64;
     topk.reset(k);
     // One contiguous segment offline; base + appended tail after live
     // catalog growth, each scanned with the same blocked kernel.
@@ -106,6 +111,7 @@ fn scan_shard(
         let mut first = 0usize;
         while first < seg_rows {
             let len = SCORE_BLOCK.min(seg_rows - first);
+            blocks += 1;
             let rows = &flat[first * k_factors..(first + len) * k_factors];
             let scores = &mut block[..len];
             score_block_into(query, rows, scores);
@@ -125,6 +131,7 @@ fn scan_shard(
             first += len;
         }
     }
+    (shard.items.rows() as u64, blocks)
 }
 
 /// A frozen model ready to serve batched top-K recommendations.
@@ -174,6 +181,10 @@ pub struct RecommendEngine<M: Deref<Target = TfModel>> {
     /// dense effective factors of items `[first_s, first_{s+1})`.
     shards: Vec<CatalogShard>,
     backend: Backend,
+    /// Per-shard scan counters (rows, blocks, busy µs) registered in
+    /// the unified metrics registry. `None` outside an observed serving
+    /// context: recording then costs nothing, not even a clock read.
+    scan_metrics: Option<Arc<ScanMetrics>>,
 }
 
 use crate::scoring::COMPACT_TAIL_FRACTION;
@@ -224,6 +235,7 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
             scorer,
             shards,
             backend,
+            scan_metrics: None,
         }
     }
 
@@ -259,7 +271,16 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
             scorer,
             shards,
             backend,
+            scan_metrics: prev.scan_metrics.clone(),
         }
+    }
+
+    /// Attach per-shard scan counters; every subsequent scan (and every
+    /// successor engine via [`grown_from`](Self::grown_from)) records
+    /// rows/blocks/busy-time into them. Counters registered for a
+    /// different shard count silently ignore out-of-range shards.
+    pub fn set_scan_metrics(&mut self, metrics: Arc<ScanMetrics>) {
+        self.scan_metrics = Some(metrics);
     }
 
     /// The model being served.
@@ -492,8 +513,13 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
                 scope.spawn(move || {
                     let mut topk = TopK::new();
                     let mut block = vec![0.0f32; SCORE_BLOCK];
-                    for (shard, out) in span.iter().zip(mine.iter_mut()) {
-                        scan_shard(shard, query, exclude, k, &mut topk, &mut block);
+                    for (off, (shard, out)) in span.iter().zip(mine.iter_mut()).enumerate() {
+                        let t0 = self.scan_metrics.as_ref().map(|_| Instant::now());
+                        let (rows, blocks) =
+                            scan_shard(shard, query, exclude, k, &mut topk, &mut block);
+                        if let (Some(sm), Some(t0)) = (self.scan_metrics.as_ref(), t0) {
+                            sm.record(start + off, rows, blocks, t0.elapsed());
+                        }
                         topk.drain_sorted_into(out);
                     }
                 });
@@ -504,6 +530,22 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         out
     }
 
+    /// [`recommend_with`](Self::recommend_with) recording one span per
+    /// pipeline stage into `trace`: `query`, one `scan[i]` per catalog
+    /// shard, `merge` (exhaustive backend) or `cascade_rescore`
+    /// (cascaded backend). Identical results to the untraced path.
+    pub fn recommend_traced(
+        &self,
+        req: &RecommendRequest<'_>,
+        backend: &Backend,
+        trace: &mut TraceBuilder,
+    ) -> Vec<(ItemId, f32)> {
+        let mut scratch = Scratch::new(self.model().k());
+        let mut out = Vec::new();
+        self.serve_traced_into(req, backend, &mut scratch, &mut out, Some(trace));
+        out
+    }
+
     fn serve_into(
         &self,
         req: &RecommendRequest<'_>,
@@ -511,15 +553,31 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         scratch: &mut Scratch,
         out: &mut Vec<(ItemId, f32)>,
     ) {
+        self.serve_traced_into(req, backend, scratch, out, None);
+    }
+
+    fn serve_traced_into(
+        &self,
+        req: &RecommendRequest<'_>,
+        backend: &Backend,
+        scratch: &mut Scratch,
+        out: &mut Vec<(ItemId, f32)>,
+        mut trace: Option<&mut TraceBuilder>,
+    ) {
         debug_assert!(
             req.exclude.windows(2).all(|w| w[0] <= w[1]),
             "exclude list must be sorted"
         );
+        let t_query = trace.as_ref().map(|t| t.clock());
         self.scorer
             .query_into(req.user, req.history, &mut scratch.query);
+        if let (Some(t), Some(start)) = (trace.as_mut(), t_query) {
+            t.close("query", start);
+        }
         match backend {
-            Backend::Exhaustive => self.exhaustive_into(req, scratch, out),
+            Backend::Exhaustive => self.exhaustive_into(req, scratch, out, trace),
             Backend::Cascaded(cfg) => {
+                let t_cascade = trace.as_ref().map(|t| t.clock());
                 let res = cascade(&self.scorer, &scratch.query, cfg);
                 out.clear();
                 out.extend(
@@ -528,6 +586,9 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
                         .filter(|(i, _)| req.exclude.binary_search(i).is_err())
                         .take(req.k),
                 );
+                if let (Some(t), Some(start)) = (trace.as_mut(), t_cascade) {
+                    t.close("cascade_rescore", start);
+                }
             }
         }
     }
@@ -540,6 +601,7 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         req: &RecommendRequest<'_>,
         scratch: &mut Scratch,
         out: &mut Vec<(ItemId, f32)>,
+        mut trace: Option<&mut TraceBuilder>,
     ) {
         // Clamp to the catalog: more than n items can never be returned,
         // and an attacker-supplied huge `k` must not drive the heap
@@ -547,7 +609,9 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         let k = req.k.min(self.catalog_len());
         scratch.partials.resize_with(self.shards.len(), Vec::new);
         for (si, shard) in self.shards.iter().enumerate() {
-            scan_shard(
+            let t_metric = self.scan_metrics.as_ref().map(|_| Instant::now());
+            let t_span = trace.as_ref().map(|t| t.clock());
+            let (rows, blocks) = scan_shard(
                 shard,
                 &scratch.query,
                 req.exclude,
@@ -555,9 +619,19 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
                 &mut scratch.topk,
                 &mut scratch.block,
             );
+            if let (Some(sm), Some(t0)) = (self.scan_metrics.as_ref(), t_metric) {
+                sm.record(si, rows, blocks, t0.elapsed());
+            }
+            if let (Some(t), Some(start)) = (trace.as_mut(), t_span) {
+                t.close(&format!("scan[{si}]"), start);
+            }
             scratch.topk.drain_sorted_into(&mut scratch.partials[si]);
         }
+        let t_merge = trace.as_ref().map(|t| t.clock());
         shards::merge_topk(&mut scratch.partials, k, out);
+        if let (Some(t), Some(start)) = (trace.as_mut(), t_merge) {
+            t.close("merge", start);
+        }
     }
 }
 
