@@ -7,7 +7,7 @@
 //! half-published model, even while the applier publishes successors.
 
 use crate::json::{self, json_str, Json};
-use crate::serve::LiveServer;
+use crate::serve::{LiveServer, ReplRole};
 use taxrec_core::live::{LiveError, UpdateEvent};
 use taxrec_core::{Backend, CascadeConfig, RecommendRequest};
 use taxrec_dataset::Transaction;
@@ -162,6 +162,23 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
         _ => return Response::method_not_allowed("GET, POST"),
     }
 
+    // Followers are read replicas: the only writer to their model is
+    // the leader's record stream, so every HTTP write is refused with
+    // a pointer at the node that can take it.
+    if method == "POST" {
+        if let Some(leader) = server.follower_leader() {
+            return Response {
+                status: 403,
+                body: format!(
+                    "{{\"error\":\"this node is a read-only follower; \
+                     send writes to the leader\",\"leader\":{}}}",
+                    json_str(leader)
+                ),
+                content_type: CONTENT_TYPE_JSON,
+            };
+        }
+    }
+
     let snap = server.live().cell().load();
     match path {
         "/health" => Response::ok("{\"status\":\"ok\"}".to_string()),
@@ -314,7 +331,8 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                  \"wal_append_p50_us\":{},\"wal_append_p99_us\":{},\
                  \"wal_fsync_p50_us\":{},\"wal_fsync_p99_us\":{},\
                  \"model_shared_chunks\":{},\"model_copied_chunks\":{},\
-                 \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{},\"http\":{}}}",
+                 \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{},\
+                 \"degraded\":{},{},\"http\":{}}}",
                 json_str(env!("CARGO_PKG_VERSION")),
                 server.obs().uptime_seconds(),
                 snap.epoch(),
@@ -341,6 +359,8 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 s.snapshots_written,
                 s.log_bytes,
                 s.log_errors,
+                s.degraded,
+                replication_json(server),
                 server.http_metrics().to_json(),
             ))
         }
@@ -420,6 +440,40 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
             }
         }
         _ => Response::not_found(),
+    }
+}
+
+/// The role-dependent `/live/stats` fields: `"role"` always, plus a
+/// `"replication"` object on leaders/followers and a top-level
+/// `"replication_lag"` on followers (the headline convergence signal).
+fn replication_json(server: &LiveServer) -> String {
+    match server.repl_role() {
+        ReplRole::Standalone => "\"role\":\"standalone\"".to_string(),
+        ReplRole::Leader { .. } => {
+            let hub = server
+                .live()
+                .replication()
+                .expect("a replication leader retains records");
+            let rs = hub.stats();
+            format!(
+                "\"role\":\"leader\",\"replication\":{{\"committed\":{},\"followers\":{},\
+                 \"records_shipped\":{},\"handshakes_rejected\":{}}}",
+                rs.committed(),
+                rs.followers(),
+                rs.records_shipped(),
+                rs.handshakes_rejected(),
+            )
+        }
+        ReplRole::Follower { leader, stats } => format!(
+            "\"role\":\"follower\",\"replication_lag\":{},\
+             \"replication\":{{\"leader\":{},\"leader_committed\":{},\"applied\":{},\
+             \"reconnects\":{}}}",
+            stats.lag(),
+            json_str(leader),
+            stats.leader_committed(),
+            stats.records_applied(),
+            stats.reconnects(),
+        ),
     }
 }
 

@@ -18,6 +18,7 @@
 //! taxrec serve     --data data/ --model m.tfm [--port 8080]
 //!                  [--workers N] [--queue-depth M]
 //!                  [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
+//!                  [--replicate-on HOST:PORT | --follow HOST:PORT]
 //! ```
 //!
 //! A data directory holds `taxonomy.bin` (taxonomy), `train.bin` /
@@ -82,6 +83,7 @@ USAGE:
   taxrec serve     --data DIR --model FILE [--port 8080]
                    [--workers N] [--queue-depth M]
                    [--live-log FILE] [--snapshot FILE] [--snapshot-every N]
+                   [--replicate-on HOST:PORT | --follow HOST:PORT]
 
 LIST is comma ids and/or inclusive ranges: 0,3,9 or 0-63 or 0-7,32-39.
 "

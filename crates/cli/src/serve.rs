@@ -6,6 +6,7 @@
 //!              [--workers N] [--queue-depth M] [--scan-shards S]
 //!              [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //!              [--trace-sample 0.01] [--trace-slow-ms 250]
+//!              [--replicate-on HOST:PORT | --follow HOST:PORT]
 //!
 //! GET  /health                             → 200 {"status":"ok"}
 //! GET  /model                              → model summary (JSON)
@@ -33,6 +34,12 @@
 //! `--snapshot`/`--snapshot-every` bound recovery time (see
 //! `docs/guide/serving.md`).
 //!
+//! Replication (`docs/guide/serving.md` § Replication): a leader
+//! (`--replicate-on`) streams every committed WAL record to follower
+//! processes (`--follow`), which apply them through the same
+//! validate → WAL → publish path and serve reads from their own
+//! engines; follower POSTs are refused with a 403 naming the leader.
+//!
 //! Observability: every metric the server records lives in one
 //! [`taxrec_core::obs::MetricsRegistry`], scraped at `GET /metrics`;
 //! `--trace-sample R` captures a fraction of recommend/apply requests
@@ -49,9 +56,10 @@ use crate::http::metrics::HttpMetrics;
 use crate::http::pool::{SubmitError, WorkerPool};
 use crate::store::DataDir;
 use crate::{CliArgs, CliError};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use taxrec_core::live::replication::{self, FollowerStats, ReplicationListener};
 use taxrec_core::live::{
     decode_log_lossy, replay, snapshot::decode_live, LiveConfig, LiveEngine, LiveHandle, LiveState,
     LogHeader, UpdateEvent,
@@ -61,6 +69,27 @@ use taxrec_dataset::{PurchaseLog, Transaction};
 use taxrec_taxonomy::ItemId;
 
 pub use crate::http::router::{route, Response};
+
+/// The replication role this serving process plays (see
+/// `docs/guide/serving.md` § Replication).
+pub enum ReplRole {
+    /// No replication configured (the default).
+    Standalone,
+    /// Streaming committed WAL records to followers; the listener's
+    /// accept loop lives as long as the server.
+    Leader {
+        /// The replication listener (dropping it closes the stream).
+        listener: ReplicationListener,
+    },
+    /// Applying a leader's record stream; HTTP writes are refused with
+    /// a 403 pointing at the leader.
+    Follower {
+        /// The leader's replication address (`host:port`).
+        leader: String,
+        /// Follower-side lag/applied/reconnect metrics.
+        stats: Arc<FollowerStats>,
+    },
+}
 
 /// The serving frontend: the live subsystem plus the read-only data-dir
 /// state (training histories, item names) and the HTTP metrics shared
@@ -72,6 +101,7 @@ pub struct LiveServer {
     obs: Arc<Obs>,
     metrics: Arc<HttpMetrics>,
     fold_seed: std::sync::atomic::AtomicU64,
+    repl: ReplRole,
 }
 
 impl LiveServer {
@@ -120,6 +150,7 @@ impl LiveServer {
             obs,
             metrics,
             fold_seed: std::sync::atomic::AtomicU64::new(0),
+            repl: ReplRole::Standalone,
         })
     }
 
@@ -152,6 +183,52 @@ impl LiveServer {
     /// and the bench harness).
     pub fn live(&self) -> &LiveHandle {
         &self.live
+    }
+
+    /// This process's replication role.
+    pub fn repl_role(&self) -> &ReplRole {
+        &self.repl
+    }
+
+    /// The leader address when this server is a follower (HTTP writes
+    /// are then refused and redirected there).
+    pub(crate) fn follower_leader(&self) -> Option<&str> {
+        match &self.repl {
+            ReplRole::Follower { leader, .. } => Some(leader),
+            _ => None,
+        }
+    }
+
+    /// Become a replication leader: start streaming committed WAL
+    /// records on `listener`. The live subsystem must have been spawned
+    /// with [`LiveConfig::replicate`] set (so the applier retains
+    /// committed records). Returns the bound address.
+    pub fn start_replication(&mut self, listener: TcpListener) -> Result<SocketAddr, CliError> {
+        let hub = self.live.replication().cloned().ok_or_else(|| {
+            CliError::Usage(
+                "replication requires the live subsystem to retain records \
+                 (LiveConfig { replicate: true, .. })"
+                    .into(),
+            )
+        })?;
+        let listener = ReplicationListener::spawn(listener, hub)
+            .map_err(|e| CliError::Data(format!("starting replication listener: {e}")))?;
+        let addr = listener.addr();
+        self.repl = ReplRole::Leader { listener };
+        Ok(addr)
+    }
+
+    /// Become a follower of `leader` (a replication address): HTTP
+    /// writes are refused from here on, and the returned stats feed
+    /// `/live/stats` + `/metrics`. The caller starts the apply loop
+    /// with [`spawn_follow`] once the server is behind an `Arc`.
+    pub fn set_follower(&mut self, leader: String) -> Arc<FollowerStats> {
+        let stats = Arc::new(FollowerStats::new(self.obs.registry()));
+        self.repl = ReplRole::Follower {
+            leader,
+            stats: Arc::clone(&stats),
+        };
+        stats
     }
 
     /// The HTTP serving metrics (per-route counters, latency histogram).
@@ -341,6 +418,27 @@ fn replay_wal(state: &mut LiveState, wal: &LoadedWal, model_path: &str) -> Resul
     Ok(())
 }
 
+/// Start the follower apply loop on its own thread: connect to the
+/// leader recorded by [`LiveServer::set_follower`], stream records into
+/// the local applier, reconnect with backoff on socket failures. The
+/// thread ends when `stop` is set, or on a fatal replication error
+/// (lineage mismatch, local apply failure) — which it logs to stderr.
+/// No-op (immediate return) when the server is not a follower.
+pub fn spawn_follow(server: Arc<LiveServer>, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("taxrec-repl-follow".into())
+        .spawn(move || {
+            let ReplRole::Follower { leader, stats } = server.repl_role() else {
+                return;
+            };
+            let (leader, stats) = (leader.clone(), Arc::clone(stats));
+            if let Err(e) = replication::follow(&leader, server.live(), &stats, &stop) {
+                eprintln!("taxrec serve: follower replication stopped: {e}");
+            }
+        })
+        .expect("spawning follower thread")
+}
+
 /// Default worker-pool width: one per core, at least 2 (so a single
 /// stalled client never serializes the server even on a 1-core box),
 /// capped at 64.
@@ -441,12 +539,22 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
         ));
     }
     let trace_slow_ms = args.get("trace-slow-ms", 250u64)?;
+    let replicate_on = args.value("replicate-on").map(str::to_string);
+    let follow_addr = args.value("follow").map(str::to_string);
+    if replicate_on.is_some() && follow_addr.is_some() {
+        return Err(CliError::Usage(
+            "--replicate-on and --follow are mutually exclusive \
+             (a process is a leader or a follower, not both)"
+                .into(),
+        ));
+    }
     let config = LiveConfig {
         log_path: args.value("live-log").map(Into::into),
         snapshot_path: args.value("snapshot").map(Into::into),
         snapshot_every: args.get("snapshot-every", 256u64)?,
         scan_shards,
         obs: Obs::shared_with_tracing(trace_sample, trace_slow_ms),
+        replicate: replicate_on.is_some(),
         ..LiveConfig::default()
     };
     if config.snapshot_path.is_some() && config.log_path.is_none() {
@@ -462,7 +570,39 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
     if queue_depth == 0 {
         return Err(CliError::Usage("--queue-depth must be at least 1".into()));
     }
-    let server = Arc::new(LiveServer::load(&data, args.require("model")?, config)?);
+    let mut server = LiveServer::load(&data, args.require("model")?, config)?;
+    if let Some(repl_addr) = &replicate_on {
+        let repl_listener = TcpListener::bind(repl_addr.as_str()).map_err(|e| {
+            CliError::Usage(format!("--replicate-on {repl_addr}: cannot bind: {e}"))
+        })?;
+        let bound = server.start_replication(repl_listener)?;
+        eprintln!("taxrec replicating on {bound}");
+    }
+    if let Some(leader) = &follow_addr {
+        // Fail fast on a dead leader or a lineage mismatch before
+        // binding the HTTP port: a follower that cannot converge must
+        // not serve.
+        let snap = server.live().cell().load();
+        let (users, items) = (
+            snap.model().num_users() as u64,
+            snap.model().num_items() as u64,
+        );
+        drop(snap);
+        let hs = replication::probe(leader, users, items)
+            .map_err(|e| CliError::Data(format!("--follow {leader}: {e}")))?;
+        server.set_follower(leader.clone());
+        eprintln!(
+            "taxrec following {leader} (resuming at offset {} of {} committed)",
+            hs.resume_from, hs.committed
+        );
+    }
+    let server = Arc::new(server);
+    let follow_stop = Arc::new(AtomicBool::new(false));
+    if matches!(server.repl_role(), ReplRole::Follower { .. }) {
+        // The CLI serves until killed; the follower thread dies with
+        // the process (the stop flag exists for embedders/tests).
+        let _ = spawn_follow(Arc::clone(&server), Arc::clone(&follow_stop));
+    }
     let port: u16 = args.get("port", 8080u16)?;
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
@@ -479,6 +619,7 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
             ..ServeOptions::default()
         },
     );
+    follow_stop.store(true, Ordering::Relaxed);
     Ok(String::new())
 }
 

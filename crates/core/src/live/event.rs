@@ -189,7 +189,9 @@ pub(crate) fn decode_baskets(
 }
 
 /// Decode one event payload (everything after the length prefix).
-fn decode_payload(payload: &[u8]) -> Result<UpdateEvent, PersistError> {
+/// Shared with the replication frame codec ([`super::replication`]),
+/// which ships the exact WAL record bytes over the wire.
+pub(crate) fn decode_payload(payload: &[u8]) -> Result<UpdateEvent, PersistError> {
     let mut pos = 0usize;
     let tag = *payload
         .first()
@@ -395,5 +397,35 @@ mod tests {
             },
         );
         assert_eq!(decode_log(&buf).unwrap().1.len(), 1);
+    }
+
+    #[test]
+    fn log_header_matches_model_shape_exactly() {
+        // The lineage stamp is shape equality on BOTH axes. Replication
+        // leans on this: a follower handshake presents its shape, and
+        // any divergence — including the equal-sum swap where one axis
+        // is up and the other down — must read as a different lineage,
+        // never as a resumable offset.
+        use crate::config::ModelConfig;
+        use crate::train::TfTrainer;
+        use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(40), 11);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(4).with_epochs(1),
+            &d.taxonomy,
+        )
+        .fit(&d.train, 1);
+        let hdr = LogHeader {
+            base_users: model.num_users() as u64,
+            base_items: model.num_items() as u64,
+        };
+        assert!(hdr.matches_model(&model));
+        for (du, di) in [(1i64, 0i64), (0, 1), (-1, 0), (0, -1), (1, -1), (-1, 1)] {
+            let h = LogHeader {
+                base_users: hdr.base_users.wrapping_add_signed(du),
+                base_items: hdr.base_items.wrapping_add_signed(di),
+            };
+            assert!(!h.matches_model(&model), "{h:?} must not match");
+        }
     }
 }

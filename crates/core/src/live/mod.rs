@@ -54,12 +54,15 @@
 //! Entry points: build a [`LiveState`] from a trained model, spawn a
 //! [`LiveHandle`], hand its [`ModelCell`] to readers and submit
 //! [`UpdateEvent`]s. `taxrec serve` does exactly this; `taxrec replay`
-//! drives [`replay`] offline.
+//! drives [`replay`] offline. Because the log is deterministic and
+//! lineage-stamped, shipping it over a socket is enough to keep a
+//! whole fleet of read replicas converged — see [`replication`].
 
 mod cell;
 mod engine;
 mod event;
 mod queue;
+pub mod replication;
 pub mod snapshot;
 mod state;
 mod stats;

@@ -22,6 +22,7 @@
 use super::cell::ModelCell;
 use super::engine::LiveEngine;
 use super::event::{decode_log, encode_event, encode_log_header, LogHeader, UpdateEvent};
+use super::replication::ReplicationHub;
 use super::snapshot::encode_live;
 use super::state::{Applied, LiveState};
 use super::stats::LiveStats;
@@ -61,6 +62,12 @@ pub struct LiveConfig {
     /// tracing disabled and a private registry — callers that scrape
     /// `/metrics` pass the server-wide one.
     pub obs: Arc<Obs>,
+    /// Retain committed records for WAL shipping: when true the handle
+    /// owns a [`ReplicationHub`] (see
+    /// [`LiveHandle::replication`]) that the applier commits every
+    /// WAL-acked record into, and a
+    /// [`super::replication::ReplicationListener`] can stream from.
+    pub replicate: bool,
 }
 
 impl Default for LiveConfig {
@@ -73,6 +80,7 @@ impl Default for LiveConfig {
             snapshot_path: None,
             scan_shards: 1,
             obs: Arc::new(Obs::new()),
+            replicate: false,
         }
     }
 }
@@ -104,6 +112,7 @@ enum Command {
 pub struct LiveHandle {
     cell: Arc<ModelCell>,
     stats: Arc<LiveStats>,
+    repl: Option<Arc<ReplicationHub>>,
     tx: mpsc::Sender<Command>,
     thread: Option<JoinHandle<()>>,
 }
@@ -148,18 +157,29 @@ impl LiveHandle {
             config.obs.registry(),
         )));
         let stats = Arc::new(LiveStats::new(config.obs.registry()));
+        // The replication stream's base is the shape at applier start:
+        // a follower that bootstrapped from the same snapshot + log
+        // lands exactly here.
+        let repl = config.replicate.then(|| {
+            Arc::new(ReplicationHub::new(
+                lineage_of(&state),
+                config.obs.registry(),
+            ))
+        });
         let (tx, rx) = mpsc::channel();
         let thread = std::thread::Builder::new()
             .name("taxrec-live-applier".into())
             .spawn({
                 let cell = Arc::clone(&cell);
                 let stats = Arc::clone(&stats);
-                move || applier(state, config, log, cell, stats, rx)
+                let repl = repl.clone();
+                move || applier(state, config, log, cell, stats, repl, rx)
             })
             .map_err(|e| LiveError::Io(format!("spawning applier: {e}")))?;
         Ok(LiveHandle {
             cell,
             stats,
+            repl,
             tx,
             thread: Some(thread),
         })
@@ -174,6 +194,12 @@ impl LiveHandle {
     /// Live counters.
     pub fn stats(&self) -> &Arc<LiveStats> {
         &self.stats
+    }
+
+    /// The committed-record buffer WAL shipping streams from; `Some`
+    /// only when spawned with [`LiveConfig::replicate`] set.
+    pub fn replication(&self) -> Option<&Arc<ReplicationHub>> {
+        self.repl.as_ref()
     }
 
     /// Enqueue one event and wait for it to be logged, applied **and
@@ -214,6 +240,9 @@ impl LiveHandle {
 
 impl Drop for LiveHandle {
     fn drop(&mut self) {
+        if let Some(hub) = &self.repl {
+            hub.close();
+        }
         let _ = self.tx.send(Command::Shutdown);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -306,10 +335,14 @@ fn applier(
     mut log: Option<File>,
     cell: Arc<ModelCell>,
     stats: Arc<LiveStats>,
+    repl: Option<Arc<ReplicationHub>>,
     rx: mpsc::Receiver<Command>,
 ) {
     let mut since_snapshot = 0u64;
     let mut log_buf = Vec::new();
+    // Per-batch record bytes + post-apply shape, handed to the
+    // replication hub only once the WAL flush and publish succeed.
+    let mut repl_batch: Vec<(Vec<u8>, u64, u64)> = Vec::new();
     let tracer = config.obs.tracer();
     // Set when a WAL write fails: acked-but-unlogged events would break
     // the recovery law, so the applier stops accepting updates.
@@ -327,6 +360,7 @@ fn applier(
         }
 
         log_buf.clear();
+        repl_batch.clear();
         // Write-path trace: one trace per applied batch, with spans for
         // validate/apply, the two WAL halves, and the publish. Dropped
         // unfinished for batches that apply nothing (flush-only, all
@@ -355,8 +389,16 @@ fn applier(
                     // failure cases exactly, so the apply cannot fail.
                     match state.validate(&ev) {
                         Ok(()) => {
+                            let record_start = log_buf.len();
                             encode_event(&mut log_buf, &ev);
                             let applied = state.apply(&ev).expect("validated event must apply");
+                            if repl.is_some() {
+                                repl_batch.push((
+                                    log_buf[record_start..].to_vec(),
+                                    state.model().num_users() as u64,
+                                    state.model().num_items() as u64,
+                                ));
+                            }
                             // Stats are deferred until the WAL append
                             // succeeds: an event nacked by a WAL failure
                             // must count as rejected, not applied.
@@ -406,6 +448,7 @@ fn applier(
                     }
                     Err(_) => {
                         stats.inc_log_errors();
+                        stats.set_degraded();
                         degraded = true;
                         wal_ok = false;
                     }
@@ -414,6 +457,8 @@ fn applier(
         }
 
         if !pending.is_empty() && !wal_ok {
+            // Nacked events are never shipped to followers either.
+            repl_batch.clear();
             for (reply, _) in pending.drain(..) {
                 stats.inc_rejected();
                 let _ = reply.send(Err(LiveError::Io(
@@ -447,6 +492,13 @@ fn applier(
             cell.publish(next);
             stats.inc_publishes();
             stats.record_publish(t_publish.elapsed(), shared, copied);
+            // Commit to the replication stream only now: the batch is
+            // durably logged and visible to local readers, so shipping
+            // it cannot expose a follower to anything a leader restart
+            // would not also recover.
+            if let Some(hub) = &repl {
+                hub.commit(std::mem::take(&mut repl_batch));
+            }
             if let (Some(t), Some(start)) = (trace.as_mut(), t_span_publish) {
                 t.close("publish", start);
             }
@@ -537,6 +589,7 @@ fn snapshot_and_rotate(
                     Ok(f) => *log = Some(f),
                     Err(e) => {
                         stats.inc_log_errors();
+                        stats.set_degraded();
                         *degraded = true;
                         *log = None;
                         return Err(e);

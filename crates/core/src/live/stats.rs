@@ -5,7 +5,7 @@
 //! and `GET /metrics` read the very same atomics, and quantiles come
 //! from the one [`crate::histogram`] implementation.
 
-use crate::obs::{Counter, HistogramHandle, MetricsRegistry};
+use crate::obs::{Counter, Gauge, HistogramHandle, MetricsRegistry};
 use std::time::Duration;
 
 /// Shared, lock-free counters describing the live subsystem's activity.
@@ -40,6 +40,9 @@ pub struct LiveStats {
     /// Factor chunks the successor model did *not* share (copied for a
     /// mutation or freshly appended), summed over publishes.
     model_copied_chunks: Counter,
+    /// 1 once the applier has dropped to read-only degraded mode after a
+    /// WAL append/rotation failure; never clears without a restart.
+    degraded: Gauge,
 }
 
 impl Default for LiveStats {
@@ -92,6 +95,10 @@ pub struct LiveStatsSnapshot {
     /// O(change) publish path this stays near the event count while
     /// `model_shared_chunks` grows with catalog × publishes.
     pub model_copied_chunks: u64,
+    /// True once the applier has dropped to read-only degraded mode
+    /// after a WAL append/rotation failure. A degraded leader stops
+    /// acking writes and stops shipping replication records.
+    pub degraded: bool,
 }
 
 impl LiveStats {
@@ -155,6 +162,11 @@ impl LiveStats {
                 "taxrec_live_model_copied_chunks_total",
                 "Factor chunks copied or appended across publishes",
             ),
+            degraded: registry.gauge(
+                "taxrec_live_degraded",
+                "1 when the applier is read-only degraded after a WAL failure",
+                &[],
+            ),
         }
     }
 
@@ -195,6 +207,14 @@ impl LiveStats {
         self.wal_append.record(append);
         self.wal_fsync.record(fsync);
     }
+    pub(crate) fn set_degraded(&self) {
+        self.degraded.set(1);
+    }
+
+    /// True once the applier has dropped to read-only degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded.get() != 0
+    }
 
     /// Events enqueued but not yet applied or rejected (approximate —
     /// the counters are read independently).
@@ -224,6 +244,7 @@ impl LiveStats {
             wal_fsync_p99_us: self.wal_fsync.quantile_us(0.99),
             model_shared_chunks: self.model_shared_chunks.get(),
             model_copied_chunks: self.model_copied_chunks.get(),
+            degraded: self.degraded(),
         }
     }
 }

@@ -68,6 +68,20 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Add one (e.g. a connection opened).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one, saturating at zero (e.g. a connection closed).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
