@@ -6,10 +6,10 @@ use crate::evalset::{self, EvalOverrides};
 use crate::json::Json;
 use crate::store::DataDir;
 use crate::CliError;
-use taxrec_core::eval::dataset::{evaluate_retrieval, rerank_retrieval};
+use taxrec_core::eval::dataset::{evaluate_retrieval_forced, rerank_retrieval};
 use taxrec_core::{
-    eval::EvalConfig, persist, Backend, CascadeConfig, ModelConfig, RecommendEngine,
-    RecommendRequest, TfModel, TfTrainer,
+    eval::EvalConfig, persist, Backend, CascadeConfig, F32Kernel, ModelConfig, QuantizedConfig,
+    RecommendEngine, RecommendRequest, TfModel, TfTrainer,
 };
 use taxrec_dataset::{split_log, DatasetConfig, SplitConfig, SyntheticDataset};
 use taxrec_taxonomy::TaxonomyShape;
@@ -208,18 +208,32 @@ fn evaluate_dataset(args: &CliArgs) -> Result<String, CliError> {
     let train_log = data.train()?;
     check_model_fits(&model, &train_log)?;
 
+    let kernel = parse_scan_kernel(args)?;
+    let backend_override = match (args.value("backend"), kernel.quantized) {
+        (Some(_), true) => {
+            return Err(CliError::Usage(
+                "--scan-kernel quantized and --backend are exclusive \
+                 (use --backend quantized)"
+                    .into(),
+            ))
+        }
+        (Some(b), false) => Some(b.to_string()),
+        (None, true) => Some("quantized".to_string()),
+        (None, false) => None,
+    };
     let cli = EvalOverrides {
         k: args.opt("k")?,
         candidate_k: args.opt("candidate-k")?,
         scan_shards: args.opt("scan-shards")?,
-        backend: args.value("backend").map(str::to_string),
+        backend: backend_override,
         cascade: args.opt("cascade")?,
         exclude_history: args.flag("exclude-history").then_some(true),
     };
     let text = std::fs::read_to_string(&dataset_path)?;
     let dataset = evalset::parse_dataset(&text, &cli, &train_log)
         .map_err(|e| CliError::Data(format!("{dataset_path}: {e}")))?;
-    let report = evaluate_retrieval(&model, &dataset, threads).map_err(CliError::Data)?;
+    let report = evaluate_retrieval_forced(&model, &dataset, threads, kernel.force)
+        .map_err(CliError::Data)?;
     let system = model.config().system_name();
 
     if let Some(cfg_path) = args.value("compare") {
@@ -353,17 +367,29 @@ pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
             .unwrap_or_else(|| format!("{i}"))
     };
 
+    let kernel = parse_scan_kernel(args)?;
     let backend = if cascade_k < 1.0 {
+        if kernel.quantized {
+            return Err(CliError::Usage(
+                "--scan-kernel quantized and --cascade are exclusive".into(),
+            ));
+        }
         Backend::Cascaded(CascadeConfig::uniform(
             model.taxonomy().depth(),
             cascade_k.max(0.01),
         ))
+    } else if kernel.quantized {
+        Backend::Quantized(QuantizedConfig::default())
     } else {
         Backend::Exhaustive
     };
-    // The served ranking is bit-for-bit identical at any shard count;
-    // --scan-shards only changes how the exhaustive scan is partitioned.
-    let engine = RecommendEngine::with_backend_sharded(&model, backend, scan_shards);
+    // The served ranking is bit-for-bit identical at any shard count
+    // and under any scan kernel; --scan-shards only changes how the
+    // scan is partitioned, --scan-kernel only how each dot is computed.
+    let mut engine = RecommendEngine::with_backend_sharded(&model, backend, scan_shards);
+    if let Some(force) = kernel.force {
+        engine.set_scan_kernel(force);
+    }
 
     let excludes: Vec<Vec<taxrec_taxonomy::ItemId>> =
         users.iter().map(|&u| train_log.distinct_items(u)).collect();
@@ -384,9 +410,10 @@ pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
     let mut out = String::new();
     if users.len() > 1 {
         out.push_str(&format!(
-            "batch of {} users ({}, {threads} threads): {:.2?} total, {:.0} users/sec\n",
+            "batch of {} users ({}, kernel {}, {threads} threads): {:.2?} total, {:.0} users/sec\n",
             users.len(),
             backend_name(engine.backend(), cascade_k),
+            engine.scan_kernel().name(),
             elapsed,
             users.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         ));
@@ -426,6 +453,41 @@ fn backend_name(backend: &Backend, cascade_k: f64) -> String {
     match backend {
         Backend::Exhaustive => "exhaustive".to_string(),
         Backend::Cascaded(_) => format!("cascaded K={cascade_k}"),
+        Backend::Quantized(_) => "quantized".to_string(),
+    }
+}
+
+/// Parsed `--scan-kernel {scalar,simd,quantized}`: an f32 kernel to
+/// force on the engine, and/or the int8 first-pass backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ScanKernelChoice {
+    /// Force this f32 kernel instead of auto-detection (`scalar`/`simd`).
+    pub force: Option<F32Kernel>,
+    /// Serve through [`Backend::Quantized`] (`quantized`).
+    pub quantized: bool,
+}
+
+/// Parse `--scan-kernel`. `scalar` and `simd` force the f32 kernel
+/// (overriding both CPU detection and the `TAXREC_SCAN_KERNEL` env
+/// var); `quantized` selects the int8 first-pass backend, whose exact
+/// rescore still uses the detected kernel.
+pub(crate) fn parse_scan_kernel(args: &CliArgs) -> Result<ScanKernelChoice, CliError> {
+    match args.value("scan-kernel") {
+        None => Ok(ScanKernelChoice::default()),
+        Some("quantized") => Ok(ScanKernelChoice {
+            force: None,
+            quantized: true,
+        }),
+        Some(name) => match F32Kernel::parse(name) {
+            Ok(k) => Ok(ScanKernelChoice {
+                force: Some(k),
+                quantized: false,
+            }),
+            Err(_) => Err(CliError::Usage(format!(
+                "--scan-kernel: unknown kernel '{name}' \
+                 (expected 'scalar', 'simd', or 'quantized')"
+            ))),
+        },
     }
 }
 

@@ -243,8 +243,10 @@ fn resolve_backend(
     match name.as_str() {
         "exhaustive" => Ok(BackendSpec::Exhaustive),
         "cascaded" => Ok(BackendSpec::Cascaded(fraction)),
+        "quantized" => Ok(BackendSpec::Quantized),
         other => Err(format!(
-            "{whence}: unknown backend '{other}' (expected 'exhaustive' or 'cascaded')"
+            "{whence}: unknown backend '{other}' \
+             (expected 'exhaustive', 'cascaded', or 'quantized')"
         )),
     }
 }

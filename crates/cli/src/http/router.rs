@@ -85,11 +85,13 @@ impl Response {
     }
 }
 
-/// Parse the `cascade` parameter into a backend override.
-fn backend_from(cascade: Option<&str>, depth: usize) -> Backend {
+/// Parse the `cascade` parameter into a backend override; without one
+/// the request serves through the engine's own configured backend
+/// (e.g. the quantized scan under `--scan-kernel quantized`).
+fn backend_from(cascade: Option<&str>, depth: usize, default: &Backend) -> Backend {
     match cascade.and_then(|v| v.parse::<f64>().ok()) {
         Some(k) if k < 1.0 => Backend::Cascaded(CascadeConfig::uniform(depth, k.max(0.01))),
-        _ => Backend::Exhaustive,
+        _ => default.clone(),
     }
 }
 
@@ -208,7 +210,11 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
             let top = get_param("top")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(10usize);
-            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
+            let backend = backend_from(
+                get_param("cascade"),
+                snap.model().taxonomy().depth(),
+                snap.engine().backend(),
+            );
             // Trace the full pipeline when this request is sampled (or
             // slow capture is armed): prepare → per-shard scan → merge
             // (or cascade) → response framing, all under one root span.
@@ -262,7 +268,11 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(default_threads)
                 .clamp(1, 64);
-            let backend = backend_from(get_param("cascade"), snap.model().taxonomy().depth());
+            let backend = backend_from(
+                get_param("cascade"),
+                snap.model().taxonomy().depth(),
+                snap.engine().backend(),
+            );
 
             let excludes: Vec<Vec<ItemId>> = users
                 .iter()
@@ -324,7 +334,8 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
             Response::ok(format!(
                 "{{\"version\":{},\"uptime_seconds\":{},\
                  \"epoch\":{},\"users\":{},\"items\":{},\"base_users\":{},\"base_items\":{},\
-                 \"scan_shards\":{},\
+                 \"scan_shards\":{},\"scan_kernel\":{},\
+                 \"quant_pool\":{{\"scans\":{},\"sufficient\":{},\"insufficient\":{}}},\
                  \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
                  \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
                  \"publish_p50_us\":{},\"publish_p99_us\":{},\
@@ -341,6 +352,10 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 snap.base_users(),
                 snap.base_items(),
                 snap.scan_shards(),
+                json_str(snap.scan_kernel()),
+                snap.quant_pool_stats().scans,
+                snap.quant_pool_stats().sufficient,
+                snap.quant_pool_stats().insufficient,
                 s.enqueued,
                 s.applied,
                 s.rejected,

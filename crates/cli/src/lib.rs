@@ -73,15 +73,18 @@ USAGE:
   taxrec evaluate  --data DIR --model FILE [--category-level L] [--threads T]
   taxrec evaluate  --data DIR --model FILE --dataset FILE.json [--json]
                    [--k K] [--candidate-k C] [--scan-shards S] [--threads T]
-                   [--backend exhaustive|cascaded] [--cascade F] [--exclude-history]
+                   [--backend exhaustive|cascaded|quantized] [--cascade F]
+                   [--scan-kernel scalar|simd|quantized] [--exclude-history]
                    [--compare CFG.json] [--write-baseline FILE [--tolerance F]]
                    [--assert-baseline FILE]
   taxrec recommend --data DIR --model FILE (--user U | --users LIST)
                    [--top K] [--cascade F] [--threads T]
+                   [--scan-shards S] [--scan-kernel scalar|simd|quantized]
   taxrec inspect   --model FILE
   taxrec replay    --model FILE --log FILE --out FILE [--lossy] [--json]
   taxrec serve     --data DIR --model FILE [--port 8080]
                    [--workers N] [--queue-depth M]
+                   [--scan-shards S] [--scan-kernel scalar|simd|quantized]
                    [--live-log FILE] [--snapshot FILE] [--snapshot-every N]
                    [--replicate-on HOST:PORT | --follow HOST:PORT]
 

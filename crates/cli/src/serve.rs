@@ -4,6 +4,7 @@
 //! ```text
 //! taxrec serve --data data/ --model m.tfm --port 8080
 //!              [--workers N] [--queue-depth M] [--scan-shards S]
+//!              [--scan-kernel scalar|simd|quantized]
 //!              [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //!              [--trace-sample 0.01] [--trace-slow-ms 250]
 //!              [--replicate-on HOST:PORT | --follow HOST:PORT]
@@ -548,11 +549,18 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
                 .into(),
         ));
     }
+    let kernel = crate::commands::parse_scan_kernel(args)?;
     let config = LiveConfig {
+        backend: if kernel.quantized {
+            taxrec_core::Backend::Quantized(taxrec_core::QuantizedConfig::default())
+        } else {
+            taxrec_core::Backend::Exhaustive
+        },
         log_path: args.value("live-log").map(Into::into),
         snapshot_path: args.value("snapshot").map(Into::into),
         snapshot_every: args.get("snapshot-every", 256u64)?,
         scan_shards,
+        scan_kernel: kernel.force,
         obs: Obs::shared_with_tracing(trace_sample, trace_slow_ms),
         replicate: replicate_on.is_some(),
         ..LiveConfig::default()

@@ -31,7 +31,7 @@ use crate::metrics::{
     ndcg_at_k, precision_at_k, recall_at_k, reciprocal_rank_at_k, MeanAccumulator,
 };
 use crate::model::TfModel;
-use crate::recommend::{rank_cmp, Backend, RecommendEngine, RecommendRequest};
+use crate::recommend::{rank_cmp, Backend, F32Kernel, RecommendEngine, RecommendRequest};
 use crate::scoring::Scorer;
 use std::time::Instant;
 use taxrec_dataset::Transaction;
@@ -44,6 +44,9 @@ pub enum BackendSpec {
     Exhaustive,
     /// Taxonomy beam with this uniform keep fraction (Sec. 5.1).
     Cascaded(f64),
+    /// Int8 first-pass scan with exact f32 rescore (default pool
+    /// sizing) — serves the exhaustive ranking bit-for-bit.
+    Quantized,
 }
 
 impl BackendSpec {
@@ -55,14 +58,19 @@ impl BackendSpec {
                 model.taxonomy().depth(),
                 f.clamp(0.01, 1.0),
             )),
+            BackendSpec::Quantized => {
+                Backend::Quantized(crate::recommend::QuantizedConfig::default())
+            }
         }
     }
 
-    /// Stable label for reports (`"exhaustive"` / `"cascaded(0.4)"`).
+    /// Stable label for reports (`"exhaustive"` / `"cascaded(0.4)"` /
+    /// `"quantized"`).
     pub fn label(&self) -> String {
         match self {
             BackendSpec::Exhaustive => "exhaustive".to_string(),
             BackendSpec::Cascaded(f) => format!("cascaded({f})"),
+            BackendSpec::Quantized => "quantized".to_string(),
         }
     }
 }
@@ -210,6 +218,19 @@ pub fn evaluate_retrieval(
     dataset: &RetrievalDataset,
     threads: usize,
 ) -> Result<RetrievalReport, String> {
+    evaluate_retrieval_forced(model, dataset, threads, None)
+}
+
+/// [`evaluate_retrieval`] with the engines' f32 scan kernel forced to
+/// `kernel` instead of auto-detected (`None` = detect). The kernels
+/// are bit-identical, so the report differs only in latency fields —
+/// the property the CLI's kernel test matrix pins.
+pub fn evaluate_retrieval_forced(
+    model: &TfModel,
+    dataset: &RetrievalDataset,
+    threads: usize,
+    kernel: Option<F32Kernel>,
+) -> Result<RetrievalReport, String> {
     validate(model, dataset)?;
 
     // One engine per distinct shard count; the backend is chosen per
@@ -221,10 +242,11 @@ pub fn evaluate_retrieval(
     let engines: Vec<(usize, RecommendEngine<&TfModel>)> = shard_counts
         .iter()
         .map(|&s| {
-            (
-                s,
-                RecommendEngine::with_backend_sharded(model, Backend::Exhaustive, s),
-            )
+            let mut e = RecommendEngine::with_backend_sharded(model, Backend::Exhaustive, s);
+            if let Some(k) = kernel {
+                e.set_scan_kernel(k);
+            }
+            (s, e)
         })
         .collect();
     let engine_for = |shards: usize| -> &RecommendEngine<&TfModel> {

@@ -58,7 +58,10 @@ pub use inference::{cascade, cascaded_auc, CascadeConfig, CascadeResult};
 pub use live::{LiveConfig, LiveEngine, LiveHandle, LiveState, ModelCell, UpdateEvent};
 pub use model::TfModel;
 pub use obs::{MetricsRegistry, Obs, ScanMetrics, Tracer};
-pub use recommend::{Backend, RecommendEngine, RecommendRequest};
+pub use recommend::{
+    Backend, F32Kernel, QuantPoolStats, QuantizedConfig, RecommendEngine, RecommendRequest,
+    SCAN_KERNEL_ENV,
+};
 pub use scoring::Scorer;
 pub use train::{untrained_model, TfTrainer, TrainStats};
 pub use tune::{grid_search, holdout_last_t, GridSearchResult};

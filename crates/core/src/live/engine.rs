@@ -48,16 +48,23 @@ impl LiveEngine {
     /// *actual* shard — the plan may clamp the requested count).
     /// Successor epochs share the counters by `Arc` through
     /// [`RecommendEngine::grown_from`], so scan totals survive
-    /// publishes.
+    /// publishes. `kernel` forces the f32 scan kernel (`None` =
+    /// auto-detect); the `taxrec_scan_kernel` info metric reports
+    /// whichever ends up active.
     pub fn initial_observed(
         state: &LiveState,
         backend: Backend,
         scan_shards: usize,
+        kernel: Option<crate::recommend::F32Kernel>,
         registry: &MetricsRegistry,
     ) -> LiveEngine {
         let mut live = LiveEngine::initial(state, backend, scan_shards);
+        if let Some(k) = kernel {
+            live.engine.set_scan_kernel(k);
+        }
         let metrics = ScanMetrics::register(registry, live.engine.scan_shards());
         live.engine.set_scan_metrics(metrics);
+        ScanMetrics::register_kernel_info(registry, live.engine.scan_kernel().name());
         live
     }
 
@@ -119,6 +126,19 @@ impl LiveEngine {
     /// the item matrix into (surfaced in `GET /live/stats`).
     pub fn scan_shards(&self) -> usize {
         self.engine.scan_shards()
+    }
+
+    /// Name of the active f32 scan kernel (`"scalar"` / `"avx2"`),
+    /// selected once at epoch-0 construction and inherited by every
+    /// successor snapshot (surfaced in `GET /live/stats`).
+    pub fn scan_kernel(&self) -> &'static str {
+        self.engine.scan_kernel().name()
+    }
+
+    /// Lineage-wide quantized first-pass pool counters (zero unless the
+    /// backend is [`Backend::Quantized`]; surfaced in `GET /live/stats`).
+    pub fn quant_pool_stats(&self) -> crate::recommend::QuantPoolStats {
+        self.engine.quant_pool_stats()
     }
 
     /// History of a folded-in user (`None` for trained users, whose

@@ -56,6 +56,11 @@ pub struct LiveConfig {
     /// matrix into (1 = unsharded). The served ranking is bit-for-bit
     /// identical at any value; see `crate::recommend::shards`.
     pub scan_shards: usize,
+    /// Force the f32 scan kernel instead of auto-detecting it (`None`
+    /// = detect; the kernels are bit-identical, so this only changes
+    /// throughput). Surfaced as `scan_kernel` in `/live/stats` and the
+    /// `taxrec_scan_kernel` info metric.
+    pub scan_kernel: Option<crate::recommend::F32Kernel>,
     /// Observability bundle: the applier registers its counters and
     /// WAL/publish histograms into `obs.registry()` and traces the
     /// write path through `obs.tracer()`. The default bundle has
@@ -79,6 +84,7 @@ impl Default for LiveConfig {
             log_path: None,
             snapshot_path: None,
             scan_shards: 1,
+            scan_kernel: None,
             obs: Arc::new(Obs::new()),
             replicate: false,
         }
@@ -154,6 +160,7 @@ impl LiveHandle {
             &state,
             config.backend.clone(),
             config.scan_shards,
+            config.scan_kernel,
             config.obs.registry(),
         )));
         let stats = Arc::new(LiveStats::new(config.obs.registry()));

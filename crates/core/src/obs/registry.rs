@@ -382,6 +382,9 @@ fn valid_label_name(name: &str) -> bool {
 #[derive(Debug)]
 pub struct ScanMetrics {
     shards: Vec<ShardScanCounters>,
+    quant_scans: Counter,
+    quant_sufficient: Counter,
+    quant_insufficient: Counter,
 }
 
 #[derive(Debug)]
@@ -417,7 +420,57 @@ impl ScanMetrics {
                 }
             })
             .collect();
-        Arc::new(ScanMetrics { shards })
+        Arc::new(ScanMetrics {
+            shards,
+            quant_scans: registry.counter(
+                "taxrec_quant_pool_scans_total",
+                "Quantized first-pass shard scans served",
+                &[],
+            ),
+            quant_sufficient: registry.counter(
+                "taxrec_quant_pool_sufficient_total",
+                "Quantized scans whose exact-rescore work stayed within the pool budget",
+                &[],
+            ),
+            quant_insufficient: registry.counter(
+                "taxrec_quant_pool_insufficient_total",
+                "Quantized scans whose exact-rescore work overran the pool budget",
+                &[],
+            ),
+        })
+    }
+
+    /// Register the `taxrec_scan_kernel` info metric: value 1 on the
+    /// series labelled with the active f32 kernel's name.
+    pub fn register_kernel_info(registry: &MetricsRegistry, kernel: &str) {
+        registry
+            .gauge(
+                "taxrec_scan_kernel",
+                "Active f32 scan kernel (info metric: 1 on the labelled series)",
+                &[("kernel", kernel)],
+            )
+            .set(1);
+    }
+
+    /// Record one quantized first-pass scan and whether its exact-rescore
+    /// work stayed within the configured pool budget.
+    pub fn record_quant(&self, sufficient: bool) {
+        self.quant_scans.inc();
+        if sufficient {
+            self.quant_sufficient.inc();
+        } else {
+            self.quant_insufficient.inc();
+        }
+    }
+
+    /// Quantized first-pass scans recorded.
+    pub fn quant_scans(&self) -> u64 {
+        self.quant_scans.get()
+    }
+
+    /// Quantized scans that fell back to the exact f32 path.
+    pub fn quant_insufficient(&self) -> u64 {
+        self.quant_insufficient.get()
     }
 
     /// Record one shard scan. Out-of-range indices (an engine rebuilt

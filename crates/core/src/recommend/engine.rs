@@ -7,18 +7,58 @@
 //! [`crate::recommend`] for the data-path overview.
 
 use super::batch::{self, Shard};
+use super::kernel::{F32Kernel, QuantQuery};
 use super::shards::{self, CatalogPartition};
-use super::topk::{score_block_into, TopK, SCORE_BLOCK};
+use super::topk::{TopK, SCORE_BLOCK};
 use crate::inference::{cascade, CascadeConfig};
 use crate::model::TfModel;
 use crate::obs::{ScanMetrics, TraceBuilder};
 use crate::scoring::Scorer;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use taxrec_dataset::Transaction;
-use taxrec_factors::{FactorMatrix, GrowMatrix};
+use taxrec_factors::{FactorMatrix, GrowMatrix, QuantMatrix};
 use taxrec_taxonomy::ItemId;
+
+/// Knobs of the int8-quantized scan backend.
+///
+/// The quantized pass prunes with approximate int8 scores and
+/// rescores in exact f32 only the rows still competing within the
+/// rigorous error bound ([`QuantQuery::error_bound`]), so results are
+/// exact unconditionally. `pool_size(k) = max(pool_factor · k,
+/// k + pool_margin)` is the per-shard **rescore budget**: a scan
+/// whose exact-rescore count stays within it is counted *sufficient*
+/// in [`RecommendEngine::quant_pool_stats`] — the quantized grid is
+/// resolving the top of the ranking cheaply — while overruns are
+/// counted *insufficient*. The budget is an observability threshold,
+/// not a correctness knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizedConfig {
+    /// Pool size as a multiple of the requested `k` (default 4).
+    pub pool_factor: usize,
+    /// Minimum extra candidates beyond `k` (default 32).
+    pub pool_margin: usize,
+}
+
+impl Default for QuantizedConfig {
+    fn default() -> QuantizedConfig {
+        QuantizedConfig {
+            pool_factor: 4,
+            pool_margin: 32,
+        }
+    }
+}
+
+impl QuantizedConfig {
+    /// Candidate-pool size for a request wanting `k` items.
+    pub fn pool_size(&self, k: usize) -> usize {
+        self.pool_factor
+            .saturating_mul(k)
+            .max(k.saturating_add(self.pool_margin))
+    }
+}
 
 /// Which inference path serves a batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +69,13 @@ pub enum Backend {
     /// fractions (approximate; Sec. 5.1). Keep fractions of 1.0
     /// reproduce the exhaustive ranking.
     Cascaded(CascadeConfig),
+    /// Int8-quantized branch-and-bound scan: approximate int8 scores
+    /// prune the catalog and only rows still competing within the
+    /// rigorous error bound are rescored in exact f32 — always the
+    /// exhaustive ranking, with
+    /// [`RecommendEngine::quant_pool_stats`] counting scans whose
+    /// rescore count stayed within the configured budget.
+    Quantized(QuantizedConfig),
 }
 
 /// One user's slot in a batch.
@@ -65,6 +112,11 @@ struct Scratch {
     query: Vec<f32>,
     block: Vec<f32>,
     topk: TopK,
+    /// Int8 dot buffer of the quantized scan, one chunk at a time.
+    qdots: Vec<i32>,
+    /// Approximate-score buffer of the quantized scan, one chunk at a
+    /// time.
+    qapprox: Vec<f32>,
     /// One drained top-K list per catalog shard, reused across requests.
     partials: Vec<Vec<(ItemId, f32)>>,
 }
@@ -75,17 +127,21 @@ impl Scratch {
             query: vec![0.0; k_factors],
             block: vec![0.0; SCORE_BLOCK],
             topk: TopK::new(),
+            qdots: Vec::new(),
+            qapprox: Vec::new(),
             partials: Vec::new(),
         }
     }
 }
 
 /// One contiguous slice of the catalog, owning the dense effective
-/// factors of items `[first, first + items.rows())`.
+/// factors of items `[first, first + items.rows())` plus their int8
+/// shadow for the quantized first pass.
 #[derive(Debug, Clone)]
 struct CatalogShard {
     first: usize,
     items: GrowMatrix,
+    quant: QuantMatrix,
 }
 
 /// Blocked top-K scan of one shard: dense dot products per block, then
@@ -94,6 +150,7 @@ struct CatalogShard {
 /// `(rows scanned, blocks scored)` for the per-shard scan counters.
 fn scan_shard(
     shard: &CatalogShard,
+    kernel: F32Kernel,
     query: &[f32],
     exclude: &[ItemId],
     k: usize,
@@ -114,7 +171,7 @@ fn scan_shard(
             blocks += 1;
             let rows = &flat[first * k_factors..(first + len) * k_factors];
             let scores = &mut block[..len];
-            score_block_into(query, rows, scores);
+            kernel.score_block(query, rows, scores);
             let threshold = topk.threshold();
             for (off, &s) in scores.iter().enumerate() {
                 // Fast reject: full heaps only admit strictly better
@@ -132,6 +189,83 @@ fn scan_shard(
         }
     }
     (shard.items.rows() as u64, blocks)
+}
+
+/// Quantized branch-and-bound scan of one shard.
+///
+/// Per chunk: exact int8 block dots ([`F32Kernel::dot_i8_block`]),
+/// the vectorized affine combine ([`QuantQuery::approx_block`]), then
+/// a pruned exact pass — a row is rescored with the exact f32 dot
+/// only when its approximate score plus the rigorous error bound
+/// ([`QuantQuery::error_bound`]) still reaches the evolving k-th
+/// exact score. Every row whose true score could belong to (or tie
+/// into) the top-K is therefore rescored — skipping on a tie would
+/// lose the id tie-break — so the result is exactly the exhaustive
+/// ranking under every kernel dispatch: the integer dots and the
+/// pure-f32 combine are dispatch-invariant, and the exact rescore
+/// uses the bit-identical f32 kernel family
+/// ([`Scorer::score_item`]'s).
+///
+/// Returns `(rows scanned, within budget)`: the scan is *sufficient*
+/// when the int8 pre-filter kept the number of exact rescores within
+/// the configured budget `pool_k`, the signal surfaced by
+/// [`RecommendEngine::quant_pool_stats`] that the quantized grid is
+/// still resolving the top of the ranking cheaply.
+#[allow(clippy::too_many_arguments)]
+fn scan_shard_quantized(
+    shard: &CatalogShard,
+    kernel: F32Kernel,
+    qq: &QuantQuery,
+    query: &[f32],
+    exclude: &[ItemId],
+    k: usize,
+    pool_k: usize,
+    dots: &mut Vec<i32>,
+    approx: &mut Vec<f32>,
+    topk: &mut TopK,
+) -> (u64, bool) {
+    // Rigorous slack for this (query, table) pair: every row's exact
+    // f32 score is within `eps` of its approximate score.
+    let eps = qq.error_bound(shard.quant.max_scale(), shard.quant.max_abs_sum());
+    topk.reset(k);
+    // Rows with approximation strictly below `threshold − eps` cannot
+    // reach the k-th exact score and are skipped without touching the
+    // f32 table. −∞ until the heap fills (every row competes); +∞ for
+    // k = 0 (nothing does).
+    let mut cutoff = if k == 0 {
+        f64::INFINITY
+    } else {
+        f64::NEG_INFINITY
+    };
+    let mut rescored = 0usize;
+    dots.clear();
+    dots.resize(taxrec_factors::COW_CHUNK_ROWS, 0);
+    approx.clear();
+    approx.resize(taxrec_factors::COW_CHUNK_ROWS, 0.0);
+    let mut base = 0usize;
+    for chunk in shard.quant.chunks() {
+        let n = chunk.rows();
+        let dots = &mut dots[..n];
+        let approx = &mut approx[..n];
+        kernel.dot_i8_block(qq.codes(), chunk.flat_codes(), dots);
+        qq.approx_block(dots, chunk.mins(), chunk.scales(), approx);
+        for (r, &s) in approx.iter().enumerate() {
+            if (s as f64) < cutoff {
+                continue;
+            }
+            let item = ItemId((shard.first + base + r) as u32);
+            if exclude.binary_search(&item).is_ok() {
+                continue;
+            }
+            topk.offer(item, kernel.dot(query, shard.items.row(base + r)));
+            rescored += 1;
+            if topk.len() == k {
+                cutoff = topk.threshold() as f64 - eps;
+            }
+        }
+        base += n;
+    }
+    (shard.quant.rows() as u64, rescored <= pool_k)
 }
 
 /// A frozen model ready to serve batched top-K recommendations.
@@ -181,10 +315,38 @@ pub struct RecommendEngine<M: Deref<Target = TfModel>> {
     /// dense effective factors of items `[first_s, first_{s+1})`.
     shards: Vec<CatalogShard>,
     backend: Backend,
+    /// The f32 dot-product kernel every scan dispatches through,
+    /// selected once at construction ([`F32Kernel::select`]) and
+    /// inherited by successor engines. Dispatch is bit-invariant.
+    kernel: F32Kernel,
+    /// Quantized-pool budget counters (scans / within budget / over
+    /// budget), carried across successor engines.
+    quant_pool: Arc<QuantPoolCounters>,
     /// Per-shard scan counters (rows, blocks, busy µs) registered in
     /// the unified metrics registry. `None` outside an observed serving
     /// context: recording then costs nothing, not even a clock read.
     scan_metrics: Option<Arc<ScanMetrics>>,
+}
+
+/// Lock-free counters behind [`RecommendEngine::quant_pool_stats`].
+#[derive(Debug, Default)]
+struct QuantPoolCounters {
+    scans: AtomicU64,
+    sufficient: AtomicU64,
+    insufficient: AtomicU64,
+}
+
+/// Budget outcomes of the quantized backend's shard scans, across
+/// every request this engine (and its ancestors) served. Results are
+/// bit-identical either way — the budget is pure observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantPoolStats {
+    /// Quantized shard scans served.
+    pub scans: u64,
+    /// Scans whose exact-rescore work stayed within the pool budget.
+    pub sufficient: u64,
+    /// Scans whose exact-rescore work overran the pool budget.
+    pub insufficient: u64,
 }
 
 use crate::scoring::COMPACT_TAIL_FRACTION;
@@ -225,9 +387,11 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
                     m.row_mut(row)
                         .copy_from_slice(scorer.item_factor(ItemId(i as u32)));
                 }
+                let quant = QuantMatrix::from_rows(k, (0..m.rows()).map(|r| m.row(r)));
                 CatalogShard {
                     first: range.start,
                     items: GrowMatrix::from_owned(m),
+                    quant,
                 }
             })
             .collect();
@@ -235,6 +399,8 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
             scorer,
             shards,
             backend,
+            kernel: F32Kernel::select(),
+            quant_pool: Arc::new(QuantPoolCounters::default()),
             scan_metrics: None,
         }
     }
@@ -262,7 +428,11 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         debug_assert!(!shards.is_empty(), "partition always yields a shard");
         let tail = shards.last_mut().expect("at least one shard");
         for i in prev_items..scorer.model().num_items() {
-            tail.items.push_row(scorer.item_factor(ItemId(i as u32)));
+            let row = scorer.item_factor(ItemId(i as u32));
+            tail.items.push_row(row);
+            // Re-quantizes only the touched tail chunk — every other
+            // quant chunk stays shared with `prev` by pointer.
+            tail.quant.push_row(row);
         }
         if tail.items.tail_rows() * COMPACT_TAIL_FRACTION > tail.items.base_rows() {
             tail.items.compact();
@@ -271,6 +441,8 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
             scorer,
             shards,
             backend,
+            kernel: prev.kernel,
+            quant_pool: prev.quant_pool.clone(),
             scan_metrics: prev.scan_metrics.clone(),
         }
     }
@@ -296,6 +468,27 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
     /// The active backend.
     pub fn backend(&self) -> &Backend {
         &self.backend
+    }
+
+    /// The f32 scan kernel every scan dispatches through.
+    pub fn scan_kernel(&self) -> F32Kernel {
+        self.kernel
+    }
+
+    /// Override the scan kernel (tests, `--scan-kernel`). Results are
+    /// bit-identical under every kernel; only throughput changes.
+    pub fn set_scan_kernel(&mut self, kernel: F32Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// Outcome counters of every quantized first-pass pool this engine
+    /// (and the engines it grew from) served.
+    pub fn quant_pool_stats(&self) -> QuantPoolStats {
+        QuantPoolStats {
+            scans: self.quant_pool.scans.load(Ordering::Relaxed),
+            sufficient: self.quant_pool.sufficient.load(Ordering::Relaxed),
+            insufficient: self.quant_pool.insufficient.load(Ordering::Relaxed),
+        }
     }
 
     /// Rows in the dense scan matrices (always `model().num_items()`;
@@ -327,6 +520,33 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         self.shards.iter().fold((0, 0), |(b, t), s| {
             (b + s.items.base_rows(), t + s.items.tail_rows())
         })
+    }
+
+    /// `(shared, copied)` int8 shadow-matrix chunks relative to
+    /// `prev`, summed over shards: how many `Arc`-shared quantized
+    /// chunks survived [`grown_from`](Self::grown_from) by pointer vs
+    /// were re-quantized. The O(change) publish law for the quantized
+    /// scan state — mirrors [`taxrec_factors::CowMatrix`] accounting.
+    pub fn quant_chunk_sharing_with<N>(&self, prev: &RecommendEngine<N>) -> (u64, u64)
+    where
+        N: std::ops::Deref<Target = TfModel>,
+    {
+        self.shards
+            .iter()
+            .zip(&prev.shards)
+            .fold((0, 0), |(s, c), (a, b)| {
+                let (ds, dc) = a.quant.shared_chunks_with(&b.quant);
+                (s + ds, c + dc)
+            })
+    }
+
+    /// The int8 shadow of shard `si`'s dense item matrix (tests and
+    /// consistency checks; the serving path reads it internally).
+    ///
+    /// # Panics
+    /// If `si >= scan_shards()`.
+    pub fn quant_shard(&self, si: usize) -> &taxrec_factors::QuantMatrix {
+        &self.shards[si].quant
     }
 
     /// The dense effective factor row the exhaustive scan uses for
@@ -430,6 +650,9 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
     fn cost(&self, req: &RecommendRequest<'_>, backend: &Backend) -> u64 {
         let scan = match backend {
             Backend::Exhaustive => self.model().num_items(),
+            // The quantized first pass reads 4× less per row; the
+            // planner only needs relative weights.
+            Backend::Quantized(_) => (self.model().num_items() / 4).max(1),
             // A beam touches a config-dependent fraction of the catalog;
             // the planner only needs relative weights, so approximate
             // with the leaf-level keep fraction.
@@ -454,7 +677,10 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
     /// one shard or one thread it degenerates to the sequential path.
     ///
     /// The cascaded backend beams through the taxonomy rather than
-    /// scanning the catalog, so it is served sequentially regardless.
+    /// scanning the catalog, so it is served sequentially regardless;
+    /// the quantized backend also takes the sequential path (its
+    /// per-shard pools are cheap enough that scattering them has not
+    /// paid for the thread fan-out) — results are identical either way.
     pub fn recommend_scatter(
         &self,
         req: &RecommendRequest<'_>,
@@ -501,6 +727,7 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         let mut partials: Vec<Vec<(ItemId, f32)>> = Vec::with_capacity(self.shards.len());
         partials.resize_with(self.shards.len(), Vec::new);
         let exclude = req.exclude;
+        let kernel = self.kernel;
         std::thread::scope(|scope| {
             let query = &query;
             let mut rest: &mut [Vec<(ItemId, f32)>] = &mut partials;
@@ -516,7 +743,7 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
                     for (off, (shard, out)) in span.iter().zip(mine.iter_mut()).enumerate() {
                         let t0 = self.scan_metrics.as_ref().map(|_| Instant::now());
                         let (rows, blocks) =
-                            scan_shard(shard, query, exclude, k, &mut topk, &mut block);
+                            scan_shard(shard, kernel, query, exclude, k, &mut topk, &mut block);
                         if let (Some(sm), Some(t0)) = (self.scan_metrics.as_ref(), t0) {
                             sm.record(start + off, rows, blocks, t0.elapsed());
                         }
@@ -576,6 +803,7 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
         }
         match backend {
             Backend::Exhaustive => self.exhaustive_into(req, scratch, out, trace),
+            Backend::Quantized(cfg) => self.quantized_into(req, cfg, scratch, out, trace),
             Backend::Cascaded(cfg) => {
                 let t_cascade = trace.as_ref().map(|t| t.clock());
                 let res = cascade(&self.scorer, &scratch.query, cfg);
@@ -613,6 +841,7 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
             let t_span = trace.as_ref().map(|t| t.clock());
             let (rows, blocks) = scan_shard(
                 shard,
+                self.kernel,
                 &scratch.query,
                 req.exclude,
                 k,
@@ -624,6 +853,60 @@ impl<M: Deref<Target = TfModel>> RecommendEngine<M> {
             }
             if let (Some(t), Some(start)) = (trace.as_mut(), t_span) {
                 t.close(&format!("scan[{si}]"), start);
+            }
+            scratch.topk.drain_sorted_into(&mut scratch.partials[si]);
+        }
+        let t_merge = trace.as_ref().map(|t| t.clock());
+        shards::merge_topk(&mut scratch.partials, k, out);
+        if let (Some(t), Some(start)) = (trace.as_mut(), t_merge) {
+            t.close("merge", start);
+        }
+    }
+
+    /// Quantized serving: per-shard int8 branch-and-bound scan with
+    /// exact f32 rescoring of every row still competing within the
+    /// rigorous error bound — so the served ranking is **always**
+    /// exactly the exhaustive one, and the scatter-gather merge and
+    /// sharded ≡ unsharded law apply unchanged.
+    fn quantized_into(
+        &self,
+        req: &RecommendRequest<'_>,
+        cfg: &QuantizedConfig,
+        scratch: &mut Scratch,
+        out: &mut Vec<(ItemId, f32)>,
+        mut trace: Option<&mut TraceBuilder>,
+    ) {
+        let k = req.k.min(self.catalog_len());
+        let qq = QuantQuery::from_query(&scratch.query);
+        let pool_k = cfg.pool_size(k);
+        scratch.partials.resize_with(self.shards.len(), Vec::new);
+        for (si, shard) in self.shards.iter().enumerate() {
+            let t_metric = self.scan_metrics.as_ref().map(|_| Instant::now());
+            let t_span = trace.as_ref().map(|t| t.clock());
+            let (rows, sufficient) = scan_shard_quantized(
+                shard,
+                self.kernel,
+                &qq,
+                &scratch.query,
+                req.exclude,
+                k,
+                pool_k,
+                &mut scratch.qdots,
+                &mut scratch.qapprox,
+                &mut scratch.topk,
+            );
+            self.quant_pool.scans.fetch_add(1, Ordering::Relaxed);
+            if sufficient {
+                self.quant_pool.sufficient.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.quant_pool.insufficient.fetch_add(1, Ordering::Relaxed);
+            }
+            if let (Some(sm), Some(t0)) = (self.scan_metrics.as_ref(), t_metric) {
+                sm.record(si, rows, shard.quant.num_chunks() as u64, t0.elapsed());
+                sm.record_quant(sufficient);
+            }
+            if let (Some(t), Some(start)) = (trace.as_mut(), t_span) {
+                t.close(&format!("qscan[{si}]"), start);
             }
             scratch.topk.drain_sorted_into(&mut scratch.partials[si]);
         }

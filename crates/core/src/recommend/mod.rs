@@ -52,11 +52,27 @@
 //!   set and `k`, the served scores, ids, and order are bit-for-bit
 //!   those of the single-shard engine (`tests/proptest_shards.rs`,
 //!   `tests/differential_shards.rs`).
+//!
+//! The inner dot products dispatch through a runtime-selected
+//! [`F32Kernel`] (portable scalar / AVX2, selected once at engine
+//! construction, forceable via [`SCAN_KERNEL_ENV`]), and
+//! [`Backend::Quantized`] adds an int8 first-pass scan whose candidate
+//! pool is exactly rescored in f32 with a per-shard sufficiency proof
+//! (exhaustive fallback otherwise). Both are *bit-invariant* by
+//! construction — the SIMD kernels reproduce the scalar lane-split
+//! summation exactly, and the quantized backend always serves the
+//! exhaustive ranking — so a fifth law joins the four above:
+//!
+//! * **kernel ≡ kernel** — forced scalar, forced SIMD, and the
+//!   quantized backend serve bit-identical scores, ids, and order
+//!   (`tests/differential_kernels.rs`).
 
 pub mod batch;
 mod engine;
+mod kernel;
 pub mod shards;
 mod topk;
 
-pub use engine::{Backend, RecommendEngine, RecommendRequest};
+pub use engine::{Backend, QuantPoolStats, QuantizedConfig, RecommendEngine, RecommendRequest};
+pub use kernel::{F32Kernel, QuantQuery, SCAN_KERNEL_ENV};
 pub use topk::{rank_cmp, ranks_before, score_block_into, TopK, SCORE_BLOCK};

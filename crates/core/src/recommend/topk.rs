@@ -322,14 +322,26 @@ mod tests {
 
     #[test]
     fn block_kernel_matches_scalar_dots() {
-        let k = 3;
-        let query = [0.5f32, -1.0, 2.0];
-        let rows: Vec<f32> = (0..5 * k).map(|i| i as f32 * 0.1).collect();
-        let mut out = vec![0.0f32; 5];
-        score_block_into(&query, &rows, &mut out);
-        for i in 0..5 {
-            let expect = ops::dot(&query, &rows[i * k..(i + 1) * k]);
-            assert!((out[i] - expect).abs() < 1e-6);
+        // Widths straddling the lane-split boundary (DOT_LANES = 8):
+        // sub-lane, exact multiples, and ragged tails — and block row
+        // counts that are not multiples of SCORE_BLOCK either.
+        for k in [1usize, 3, 7, 8, 9, 16, 19, 32, 33] {
+            for n_rows in [1usize, 2, 5, 8, 13] {
+                let query: Vec<f32> = (0..k).map(|i| (i as f32 * 0.37 - 1.1).sin()).collect();
+                let rows: Vec<f32> = (0..n_rows * k)
+                    .map(|i| (i as f32 * 0.11 - 2.3).cos() * 1.7)
+                    .collect();
+                let mut out = vec![0.0f32; n_rows];
+                score_block_into(&query, &rows, &mut out);
+                for i in 0..n_rows {
+                    let expect = ops::dot(&query, &rows[i * k..(i + 1) * k]);
+                    assert_eq!(
+                        out[i].to_bits(),
+                        expect.to_bits(),
+                        "k={k} n_rows={n_rows} row={i}"
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,317 @@
+//! Kernel-equivalence test matrix (ISSUE 9 acceptance): the same
+//! request stream served under a forced-scalar engine, a forced-SIMD
+//! engine, and the int8-quantized backend must agree **bit-for-bit**
+//! on scores, ids, and order — the `kernel ≡ kernel` law.
+//!
+//! The matrix reuses the shape of `differential_shards.rs`: a trained
+//! model evolved through the real live machinery (fold-ins and item
+//! adds via [`LiveEngine::next_from`], which re-quantizes only touched
+//! chunks), probed after every event across shard counts, the scatter
+//! path, and the batch path. The scalar unsharded chain is the oracle.
+//!
+//! The quantized comparisons additionally assert the pool-budget
+//! counters: the bit-equality is an invariant of the branch-and-bound
+//! scan (every row still competing within the rigorous error bound is
+//! exactly rescored), and the counters record whether that rescore
+//! work stayed within the configured pool budget. A catalog-covering
+//! request is always within budget; a deliberately starved budget is
+//! always over it; results are bit-identical either way.
+//!
+//! CI runs this whole file (and the other differential/property
+//! suites) under `TAXREC_SCAN_KERNEL=scalar` and `=simd`, so engine
+//! constructions that *don't* force a kernel are pinned under both
+//! dispatch outcomes as well.
+
+use taxrec_core::live::{LiveEngine, LiveState, UpdateEvent};
+use taxrec_core::recommend::{Backend, F32Kernel, QuantizedConfig, RecommendRequest};
+use taxrec_core::{MetricsRegistry, ModelConfig, TfModel, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset, Transaction};
+use taxrec_taxonomy::ItemId;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One engine lineage at a fixed shard count and kernel/backend choice.
+struct Chain {
+    label: String,
+    state: LiveState,
+    engine: LiveEngine,
+    backend: Backend,
+    kernel: Option<F32Kernel>,
+}
+
+impl Chain {
+    fn new(
+        model: &TfModel,
+        scan_shards: usize,
+        backend: Backend,
+        kernel: Option<F32Kernel>,
+        label: &str,
+    ) -> Chain {
+        let state = LiveState::new(model.clone());
+        let engine = LiveEngine::initial_observed(
+            &state,
+            backend.clone(),
+            scan_shards,
+            kernel,
+            &MetricsRegistry::new(),
+        );
+        Chain {
+            label: format!("{label} S={scan_shards}"),
+            state,
+            engine,
+            backend,
+            kernel,
+        }
+    }
+
+    fn apply(&mut self, ev: &UpdateEvent) {
+        self.state.apply(ev).expect("scripted event must apply");
+        self.engine = LiveEngine::next_from(&self.engine, &self.state);
+        assert!(
+            self.engine.verify_consistent(),
+            "{}: inconsistent snapshot after {ev:?}",
+            self.label
+        );
+        if let Some(k) = self.kernel {
+            assert_eq!(
+                self.engine.scan_kernel(),
+                k.name(),
+                "{}: forced kernel must survive grown_from",
+                self.label
+            );
+        }
+    }
+
+    /// Serve the fixed probe mix through this chain's own backend:
+    /// per-request, scatter, and batch paths.
+    fn probe(&self) -> Vec<Vec<(ItemId, f32)>> {
+        let engine = self.engine.engine();
+        let model = engine.model();
+        let n_users = model.num_users();
+        let n_items = model.num_items();
+        let history: Vec<Transaction> = vec![
+            vec![ItemId(1 % n_items as u32), ItemId(7 % n_items as u32)],
+            vec![ItemId(12 % n_items as u32)],
+        ];
+        let mut exclude: Vec<ItemId> = (0..6).map(|i| ItemId((i * 13 % n_items) as u32)).collect();
+        exclude.sort_unstable();
+        exclude.dedup();
+
+        let mut out = Vec::new();
+        for (user, hist, excl, k) in [
+            (0usize, &[][..], &[][..], 1usize),
+            (n_users / 2, &history[..], &exclude[..], 10),
+            (n_users - 1, &[][..], &exclude[..], n_items + 50), // K > catalog
+            (1, &history[..], &[][..], 0),                      // K = 0
+        ] {
+            let req = RecommendRequest {
+                user,
+                history: hist,
+                k,
+                exclude: excl,
+            };
+            out.push(engine.recommend_with(&req, &self.backend));
+            out.push(engine.recommend_scatter_with(&req, 3, &self.backend));
+        }
+        let requests: Vec<RecommendRequest<'_>> = (0..n_users.min(12))
+            .map(|u| RecommendRequest::simple(u, 8))
+            .collect();
+        for threads in [1usize, 3] {
+            out.extend(engine.recommend_batch_with(&requests, threads, &self.backend));
+        }
+        out
+    }
+}
+
+fn assert_same(label: &str, want: &[(ItemId, f32)], got: &[(ItemId, f32)]) {
+    assert_eq!(got.len(), want.len(), "{label}: length diverged");
+    for (rank, (w, g)) in want.iter().zip(got).enumerate() {
+        assert_eq!(g.0, w.0, "{label}: id at rank {rank}");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{label}: score bits at rank {rank} ({} vs {})",
+            w.1,
+            g.1
+        );
+    }
+}
+
+fn trained_model() -> (TfModel, SyntheticDataset) {
+    let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(60), 29);
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 1).with_factors(6).with_epochs(2),
+        &d.taxonomy,
+    )
+    .fit(&d.train, 5);
+    (model, d)
+}
+
+#[test]
+fn every_kernel_serves_bit_identical_rankings_through_a_live_stream() {
+    let (model, d) = trained_model();
+    let parent = {
+        let tax = model.taxonomy();
+        tax.parent(tax.item_node(ItemId(0))).unwrap()
+    };
+
+    // Oracle: forced-scalar, unsharded, exhaustive. Candidates: forced
+    // scalar and forced SIMD (scalar on CPUs without AVX2 — the matrix
+    // still runs everywhere) across shard counts, plus the quantized
+    // backend under both kernels.
+    let mut chains: Vec<Chain> = Vec::new();
+    for &s in &SHARD_COUNTS {
+        for (kernel, kname) in [(F32Kernel::Scalar, "scalar"), (F32Kernel::detect(), "simd")] {
+            chains.push(Chain::new(
+                &model,
+                s,
+                Backend::Exhaustive,
+                Some(kernel),
+                &format!("exhaustive/{kname}"),
+            ));
+            chains.push(Chain::new(
+                &model,
+                s,
+                Backend::Quantized(QuantizedConfig::default()),
+                Some(kernel),
+                &format!("quantized/{kname}"),
+            ));
+        }
+    }
+
+    let fold = |user: usize, steps: usize, seed: u64| UpdateEvent::FoldInUser {
+        history: d.train.user(user).to_vec(),
+        steps,
+        seed,
+    };
+    let script: Vec<UpdateEvent> = vec![
+        UpdateEvent::AddItem { parent },
+        fold(3, 60, 1),
+        UpdateEvent::AddItem { parent },
+        fold(11, 40, 2),
+        UpdateEvent::AddItem { parent },
+    ];
+
+    let check_all = |chains: &[Chain], step: &str| {
+        let oracle = chains[0].probe();
+        for chain in &chains[1..] {
+            let got = chain.probe();
+            assert_eq!(got.len(), oracle.len());
+            for (i, (w, g)) in oracle.iter().zip(&got).enumerate() {
+                assert_same(&format!("{step} {} probe {i}", chain.label), w, g);
+            }
+        }
+    };
+
+    check_all(&chains, "pre-stream");
+    for (step, ev) in script.iter().enumerate() {
+        for chain in chains.iter_mut() {
+            chain.apply(ev);
+        }
+        check_all(&chains, &format!("step {step}"));
+    }
+
+    // Every quantized chain actually went through the int8 first pass.
+    // The bit-equality above is never luck: the branch-and-bound scan
+    // exactly rescores every row still competing within the rigorous
+    // error bound, whatever the budget counters say — they only record
+    // whether that rescore work fit the configured pool budget. The
+    // probe mix guarantees both that scans happened and that some were
+    // within budget (k = 0 rescores nothing; k > catalog has a budget
+    // covering every row). The tiny model's nearly flat score tail
+    // makes the k = 10 probes rescore liberally, so over-budget scans
+    // show up here too — exactly the signal the counter exists for.
+    for chain in &chains {
+        if !matches!(chain.backend, Backend::Quantized(_)) {
+            continue;
+        }
+        let stats = chain.engine.quant_pool_stats();
+        assert!(
+            stats.scans > 0,
+            "{}: no quantized scans counted",
+            chain.label
+        );
+        assert_eq!(
+            stats.sufficient + stats.insufficient,
+            stats.scans,
+            "{}: every scan must be classified",
+            chain.label
+        );
+        assert!(
+            stats.sufficient > 0,
+            "{}: the k = 0 and catalog-covering probes must land in budget \
+             ({} sufficient / {} insufficient)",
+            chain.label,
+            stats.sufficient,
+            stats.insufficient
+        );
+    }
+}
+
+#[test]
+fn pools_covering_the_catalog_are_always_proven_sufficient() {
+    let (model, _d) = trained_model();
+    let backend = Backend::Quantized(QuantizedConfig::default());
+    let quant = Chain::new(&model, 1, backend.clone(), None, "covered");
+    let oracle = Chain::new(&model, 1, Backend::Exhaustive, None, "oracle");
+    // k large enough that the budget covers every candidate row: even
+    // rescoring the whole shard stays within it, deterministic by
+    // construction (no score-margin argument involved).
+    let k = model.num_items();
+    for user in 0..model.num_users().min(8) {
+        let req = RecommendRequest::simple(user, k);
+        assert_same(
+            &format!("covered pool user {user}"),
+            &oracle.engine.engine().recommend(&req),
+            &quant.engine.engine().recommend_with(&req, &backend),
+        );
+    }
+    let stats = quant.engine.quant_pool_stats();
+    assert!(stats.scans > 0, "no quantized scans counted");
+    assert_eq!(
+        stats.insufficient, 0,
+        "a catalog-covering budget can never be overrun"
+    );
+}
+
+#[test]
+fn starved_quantized_pools_fall_back_to_exact_scans() {
+    let (model, _d) = trained_model();
+    // budget == k exactly: any scan that rescores even one competitive
+    // non-winner overruns it — yet the served ranking must stay
+    // bit-identical to the f32 oracle, because the budget is pure
+    // observability and never truncates the branch-and-bound rescore.
+    let starved = QuantizedConfig {
+        pool_factor: 1,
+        pool_margin: 0,
+    };
+    let state = LiveState::new(model.clone());
+    let oracle = LiveEngine::initial(&state, Backend::Exhaustive, 1);
+    let quant = Chain::new(&model, 1, Backend::Quantized(starved), None, "starved");
+
+    for user in 0..model.num_users().min(16) {
+        for k in [1usize, 3, 10] {
+            let req = RecommendRequest::simple(user, k);
+            assert_same(
+                &format!("starved pool user {user} k {k}"),
+                &oracle.engine().recommend(&req),
+                &quant.engine.engine().recommend_with(&req, &quant.backend),
+            );
+        }
+    }
+    let stats = quant.engine.quant_pool_stats();
+    assert!(stats.scans > 0, "no quantized scans counted");
+    assert_eq!(
+        stats.sufficient + stats.insufficient,
+        stats.scans,
+        "every scan must be classified"
+    );
+    // With budget == k, the flat-tailed synthetic scores force the
+    // k=1 scans to rescore more than one competitive row, so the
+    // over-budget branch is guaranteed to be recorded — and the
+    // equality above still held.
+    assert!(
+        stats.insufficient > 0,
+        "a starved budget must be recorded as overrun"
+    );
+}

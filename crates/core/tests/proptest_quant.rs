@@ -1,0 +1,247 @@
+//! Int8 quantization properties (ISSUE 9 acceptance):
+//!
+//! * **round-trip** — dequantizing any quantized row reconstructs each
+//!   element to within half a quantization step (`scale/2`), including
+//!   the degenerate rows: all-zero, constant, and extreme-range;
+//! * **layout law** — a [`QuantMatrix`]'s chunk boundaries are a pure
+//!   function of the row count: a matrix grown row-by-row (the live
+//!   path) equals one built in bulk from the same rows (the replayed
+//!   path), chunk for chunk;
+//! * **O(change) publishes** — growing a serving engine re-quantizes
+//!   only the touched tail chunk of the last shard: every other int8
+//!   chunk survives [`RecommendEngine::grown_from`] **by pointer**
+//!   (`Arc`-shared), mirroring the `CowMatrix` publish law.
+
+// The vendored proptest! macro is recursive over the body; long
+// properties need more headroom.
+#![recursion_limit = "8192"]
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use taxrec_core::live::{LiveEngine, LiveState, UpdateEvent};
+use taxrec_core::recommend::Backend;
+use taxrec_core::{ModelConfig, TfModel, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset};
+use taxrec_factors::{QuantMatrix, COW_CHUNK_ROWS};
+use taxrec_taxonomy::NodeId;
+
+/// Per-element round-trip tolerance: half a step, plus slack for the
+/// f64→f32 cast of the reconstructed value.
+fn assert_round_trip(row: &[f32], qm: &QuantMatrix, r: usize, label: &str) {
+    let (_, scale) = qm.params(r);
+    let back = qm.dequantize_row(r);
+    for (j, (&x, &y)) in row.iter().zip(&back).enumerate() {
+        assert!(
+            y.is_finite(),
+            "{label}: row {r} elem {j} reconstructed non-finite"
+        );
+        let tol = (scale as f64) * 0.5 * (1.0 + 1e-6) + (x.abs() as f64) * f32::EPSILON as f64;
+        assert!(
+            ((y as f64) - (x as f64)).abs() <= tol,
+            "{label}: row {r} elem {j}: {x} -> {y} (scale {scale}, tol {tol})"
+        );
+    }
+}
+
+/// The fixed edge rows every case checks alongside the random ones.
+fn edge_rows(k: usize) -> Vec<Vec<f32>> {
+    vec![
+        vec![0.0; k],          // all-zero
+        vec![-3.25; k],        // constant
+        vec![f32::EPSILON; k], // tiny constant
+        (0..k) // extreme range: full f32 span in one row
+            .map(|j| match j % 3 {
+                0 => f32::MIN,
+                1 => f32::MAX,
+                _ => 0.0,
+            })
+            .collect(),
+        (0..k).map(|j| (j as f32) * 1e-30).collect(), // denormal-ish
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn round_trip_error_is_within_half_a_step(
+        k in 1usize..24,
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e4f32..1e4, 1..24),
+            1..20,
+        ),
+    ) {
+        // Random rows are truncated/padded to a fixed width k, then the
+        // edge rows are appended.
+        let mut all: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| (0..k).map(|j| r[j % r.len()]).collect())
+            .collect();
+        all.extend(edge_rows(k));
+        let qm = QuantMatrix::from_rows(k, all.iter().map(|r| r.as_slice()));
+        prop_assert_eq!(qm.rows(), all.len());
+        for (r, row) in all.iter().enumerate() {
+            assert_round_trip(row, &qm, r, "bulk");
+        }
+    }
+
+    #[test]
+    fn chunk_layout_is_a_pure_function_of_row_count(
+        k in 1usize..10,
+        n in 0usize..600,
+        salt in any::<u16>(),
+    ) {
+        let row = |r: usize| -> Vec<f32> {
+            (0..k)
+                .map(|j| ((r * 31 + j * 7 + salt as usize) as f32 * 0.37).sin())
+                .collect()
+        };
+        let rows: Vec<Vec<f32>> = (0..n).map(row).collect();
+
+        // Live: grown one row at a time. Replayed: built in bulk.
+        let mut live = QuantMatrix::new(k);
+        for r in &rows {
+            live.push_row(r);
+        }
+        let bulk = QuantMatrix::from_rows(k, rows.iter().map(|r| r.as_slice()));
+
+        prop_assert_eq!(live.rows(), n);
+        prop_assert_eq!(live.num_chunks(), n.div_ceil(COW_CHUNK_ROWS));
+        prop_assert_eq!(live.num_chunks(), bulk.num_chunks());
+        for (a, b) in live.chunks().iter().zip(bulk.chunks()) {
+            prop_assert_eq!(a.rows(), b.rows(), "chunk row counts diverged");
+        }
+        prop_assert_eq!(&live, &bulk, "replayed matrix != live-grown matrix");
+
+        // Growing a clone copies at most the open tail chunk; full
+        // chunks stay pointer-shared.
+        let mut grown = live.clone();
+        grown.push_row(&row(n));
+        let (shared, copied) = grown.shared_chunks_with(&live);
+        prop_assert!(copied <= 1, "one push copied {} chunks", copied);
+        prop_assert!(shared as usize >= live.num_chunks().saturating_sub(1));
+    }
+}
+
+struct Fixture {
+    model: TfModel,
+    interior: Vec<NodeId>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        // A catalog spanning several 256-row chunks, so untouched
+        // *interior* chunks exist for the sharing assertions.
+        let data = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(60), 17);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(6).with_epochs(1),
+            &data.taxonomy,
+        )
+        .fit(&data.train, 3);
+        let tax = model.taxonomy();
+        let interior: Vec<NodeId> = tax
+            .node_ids()
+            .filter(|&n| tax.node_item(n).is_none() && tax.level(n) > 0)
+            .collect();
+        assert!(!interior.is_empty());
+        assert!(
+            model.num_items() > COW_CHUNK_ROWS,
+            "fixture catalog must span multiple quant chunks"
+        );
+        Fixture { model, interior }
+    })
+}
+
+// Untouched int8 chunks survive `grown_from` by pointer, across a
+// random stream of live item adds, at 1 and 3 scan shards.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn untouched_quant_chunks_survive_grown_from_by_pointer(
+        adds in proptest::collection::vec(any::<u16>(), 1..6),
+        shard_pick in 0usize..2,
+    ) {
+        check_quant_chunks_survive(&adds, [1usize, 3][shard_pick]);
+    }
+}
+
+fn check_quant_chunks_survive(adds: &[u16], scan_shards: usize) {
+    let fix = fixture();
+    let mut state = LiveState::new(fix.model.clone());
+    let mut live = LiveEngine::initial(&state, Backend::Exhaustive, scan_shards);
+    let total_chunks = |e: &LiveEngine| -> usize {
+        (0..e.engine().scan_shards())
+            .map(|s| e.engine().quant_shard(s).num_chunks())
+            .sum()
+    };
+
+    for &salt in adds {
+        let ev = UpdateEvent::AddItem {
+            parent: fix.interior[salt as usize % fix.interior.len()],
+        };
+        state.apply(&ev).unwrap();
+        let next = LiveEngine::next_from(&live, &state);
+        let (shared, copied) = next.engine().quant_chunk_sharing_with(live.engine());
+        assert!(
+            copied <= 1,
+            "one AddItem re-quantized {copied} chunks (want <= 1: the open tail)"
+        );
+        assert!(
+            shared as usize >= total_chunks(&live).saturating_sub(1),
+            "interior quant chunks must survive by pointer ({shared} shared of {})",
+            total_chunks(&live)
+        );
+        live = next;
+    }
+
+    // The grown shadow equals a cold rebuild's, row by row —
+    // incremental re-quantization is not just cheap but correct.
+    // (Compared by global item id: a cold rebuild re-plans shard
+    // boundaries over the grown catalog, but per-row quantization is
+    // independent of which shard or chunk holds the row.)
+    let rebuilt = LiveEngine::initial(&state, Backend::Exhaustive, scan_shards);
+    let locate = |e: &LiveEngine, idx: usize| -> (usize, usize) {
+        e.engine()
+            .shard_ranges()
+            .enumerate()
+            .find(|&(_, (start, end))| idx >= start && idx < end)
+            .map(|(s, (start, _))| (s, idx - start))
+            .expect("item id inside some shard")
+    };
+    for idx in 0..live.engine().catalog_len() {
+        let (ls, lr) = locate(&live, idx);
+        let (rs, rr) = locate(&rebuilt, idx);
+        let (lq, rq) = (
+            live.engine().quant_shard(ls),
+            rebuilt.engine().quant_shard(rs),
+        );
+        assert_eq!(
+            lq.codes(lr),
+            rq.codes(rr),
+            "item {idx}: grown codes diverged from cold rebuild"
+        );
+        assert_eq!(
+            lq.params(lr),
+            rq.params(rr),
+            "item {idx}: grown quant params diverged from cold rebuild"
+        );
+    }
+
+    // And it faithfully shadows the dense f32 rows it serves for.
+    for s in 0..live.engine().scan_shards() {
+        let qm = live.engine().quant_shard(s);
+        let (start, _) = live
+            .engine()
+            .shard_ranges()
+            .nth(s)
+            .expect("shard range exists");
+        for r in [0usize, qm.rows() / 2, qm.rows() - 1] {
+            let dense = live
+                .engine()
+                .dense_item_factor(taxrec_taxonomy::ItemId((start + r) as u32));
+            assert_round_trip(dense, qm, r, "engine shadow");
+        }
+    }
+}

@@ -24,7 +24,10 @@
 //! * [`CowMatrix`] — chunked copy-on-write storage (`Arc`-shared
 //!   fixed-size row chunks) so cloning a whole model is refcount bumps
 //!   and mutating a row copies one chunk — the persistent backing of
-//!   the live `TfModel`.
+//!   the live `TfModel`;
+//! * [`QuantMatrix`] — an int8-quantized shadow of a factor table in
+//!   the same `Arc`-shared chunk layout, feeding first-pass scan
+//!   kernels while keeping live publishes O(change).
 
 #![warn(missing_docs)]
 
@@ -34,9 +37,11 @@ pub mod grow;
 pub mod locked;
 pub mod matrix;
 pub mod ops;
+pub mod quant;
 
 pub use cache::DriftCache;
 pub use cow::{CowMatrix, COW_CHUNK_ROWS};
 pub use grow::GrowMatrix;
 pub use locked::SharedFactors;
 pub use matrix::FactorMatrix;
+pub use quant::{QuantChunk, QuantMatrix};

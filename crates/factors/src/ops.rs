@@ -4,14 +4,46 @@
 //! equal length the compiler auto-vectorises the loops, and keeping them
 //! in one place lets benches compare against manual variants.
 
+/// Independent accumulator lanes in [`dot`]. This matches the 8-lane
+/// AVX2 f32 width so explicit SIMD kernels (taxrec-core's scan layer)
+/// can reproduce the scalar result **bit for bit**: both split the
+/// input into lane-strided partial sums and fold them with
+/// [`reduce_lanes`]' fixed pairwise tree.
+pub const DOT_LANES: usize = 8;
+
+/// Fold the [`DOT_LANES`] partial sums with a fixed pairwise tree —
+/// the one summation order every dot-product kernel (scalar or SIMD)
+/// must share for dispatch to be bit-invariant.
+#[inline]
+pub fn reduce_lanes(acc: &[f32; DOT_LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
 /// Dot product `⟨a, b⟩`.
+///
+/// Lane-split form: [`DOT_LANES`] independent accumulators walk the
+/// slices in stride, the tail (fewer than `DOT_LANES` elements) lands
+/// in lanes `0..tail_len`, and [`reduce_lanes`] folds the lanes. The
+/// order of every addition is thus a pure function of `a.len()`, which
+/// is what lets a vertical-accumulate SIMD kernel match it exactly.
 ///
 /// # Panics
 /// If lengths differ (debug builds; release relies on the zip).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f32; DOT_LANES];
+    let mut wa = a.chunks_exact(DOT_LANES);
+    let mut wb = b.chunks_exact(DOT_LANES);
+    for (ca, cb) in wa.by_ref().zip(wb.by_ref()) {
+        for l in 0..DOT_LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    for (l, (x, y)) in wa.remainder().iter().zip(wb.remainder()).enumerate() {
+        acc[l] += x * y;
+    }
+    reduce_lanes(&acc)
 }
 
 /// `y += alpha * x` (BLAS axpy).
