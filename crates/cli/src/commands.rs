@@ -328,7 +328,7 @@ const CLI_BATCH_CAP: usize = 65_536;
 /// served through the batched [`RecommendEngine`].
 pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
     let data = DataDir::new(args.require("data")?);
-    let model = load_model(args.require("model")?)?;
+    let mut model = load_model(args.require("model")?)?;
     let top: usize = args.get("top", 10usize)?;
     let cascade_k: f64 = args.get("cascade", 1.0f64)?;
     let threads = args.get("threads", default_threads())?;
@@ -338,6 +338,19 @@ pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
     }
     let train_log = data.train()?;
     check_model_fits(&model, &train_log)?;
+
+    // --user-tier-budget caps resident user-factor rows exactly as
+    // `taxrec serve` does: the matrix moves into a hot/cold tier and
+    // requested users fault back in on demand. Output is bit-identical
+    // to the fully-resident run; the tier line below shows the faults.
+    let tier_registry = taxrec_core::MetricsRegistry::new();
+    if let Some(budget) = args.opt::<usize>("user-tier-budget")? {
+        let cold =
+            std::env::temp_dir().join(format!("taxrec-recommend-tier-{}.cold", std::process::id()));
+        model
+            .build_user_tier(&cold, budget, &tier_registry)
+            .map_err(|e| CliError::Data(format!("{}: building user tier: {e}", cold.display())))?;
+    }
 
     // One user via --user, or many via --users.
     let users: Vec<usize> = match (args.value("user"), args.value("users")) {
@@ -435,6 +448,17 @@ pub fn recommend(args: &CliArgs) -> Result<String, CliError> {
                 item_label(*item)
             ));
         }
+    }
+
+    if let Some(t) = model.user_tier_stats() {
+        out.push_str(&format!(
+            "user tier: budget {} rows ({} total), {} hits / {} faults, hit rate {:.2}\n",
+            t.budget_rows,
+            t.total_rows,
+            t.hits,
+            t.faults(),
+            t.hit_rate(),
+        ));
     }
 
     // Category summary only in single-user mode (matches the old CLI).

@@ -116,10 +116,11 @@ fn user_json(server: &LiveServer, user: usize, recs: &[(ItemId, f32)]) -> String
 fn live_error_response(e: LiveError) -> Response {
     match e {
         // Client errors: bad parent node, unknown item in a history,
-        // excessive fold-in steps.
-        LiveError::Taxonomy(_) | LiveError::UnknownItem(_) | LiveError::FoldStepsTooLarge(_) => {
-            Response::bad(&e.to_string())
-        }
+        // a refold naming a non-folded user, excessive fold-in steps.
+        LiveError::Taxonomy(_)
+        | LiveError::UnknownItem(_)
+        | LiveError::UnknownUser(_)
+        | LiveError::FoldStepsTooLarge(_) => Response::bad(&e.to_string()),
         // Applier gone / IO trouble: the server's fault, not the client's.
         LiveError::QueueClosed | LiveError::Io(_) => Response {
             status: 503,
@@ -337,11 +338,12 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                  \"scan_shards\":{},\"scan_kernel\":{},\
                  \"quant_pool\":{{\"scans\":{},\"sufficient\":{},\"insufficient\":{}}},\
                  \"events\":{{\"enqueued\":{},\"applied\":{},\"rejected\":{},\"pending\":{}}},\
-                 \"items_added\":{},\"users_folded\":{},\"publishes\":{},\
+                 \"items_added\":{},\"users_folded\":{},\"users_refolded\":{},\"publishes\":{},\
                  \"publish_p50_us\":{},\"publish_p99_us\":{},\
                  \"wal_append_p50_us\":{},\"wal_append_p99_us\":{},\
                  \"wal_fsync_p50_us\":{},\"wal_fsync_p99_us\":{},\
                  \"model_shared_chunks\":{},\"model_copied_chunks\":{},\
+                 \"model_bytes\":{},\"tier\":{},\
                  \"snapshots_written\":{},\"log_bytes\":{},\"log_errors\":{},\
                  \"degraded\":{},{},\"http\":{}}}",
                 json_str(env!("CARGO_PKG_VERSION")),
@@ -362,6 +364,7 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 server.live().stats().pending(),
                 s.items_added,
                 s.users_folded,
+                s.users_refolded,
                 s.publishes,
                 s.publish_p50_us,
                 s.publish_p99_us,
@@ -371,6 +374,8 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 s.wal_fsync_p99_us,
                 s.model_shared_chunks,
                 s.model_copied_chunks,
+                model_bytes_json(&s),
+                tier_json(snap.model().user_tier_stats()),
                 s.snapshots_written,
                 s.log_bytes,
                 s.log_errors,
@@ -437,6 +442,33 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
                 },
             };
             let transactions = history.len();
+            // An optional "user" names an existing folded-in user to
+            // re-fold: the history REPLACES that user's record (it is
+            // the full history, not a delta), so resubmitting an
+            // extended history never double-counts earlier purchases.
+            if let Some(v) = parsed.get("user") {
+                let Some(user) = v.as_usize() else {
+                    return Response::bad("user must be a non-negative integer");
+                };
+                return match server.live().submit(UpdateEvent::RefoldUser {
+                    user,
+                    history,
+                    steps,
+                    seed,
+                }) {
+                    Ok(done) => {
+                        let taxrec_core::live::Applied::UserRefolded { user } = done.applied else {
+                            return Response::bad("applier returned a mismatched result");
+                        };
+                        Response::ok(format!(
+                            "{{\"user\":{user},\"refolded\":true,\
+                             \"transactions\":{transactions},\"epoch\":{}}}",
+                            done.epoch
+                        ))
+                    }
+                    Err(e) => live_error_response(e),
+                };
+            }
             match server.live().submit(UpdateEvent::FoldInUser {
                 history,
                 steps,
@@ -456,6 +488,52 @@ pub fn route(server: &LiveServer, method: &str, path_query: &str, body: &[u8]) -
         }
         _ => Response::not_found(),
     }
+}
+
+/// The `"model_bytes"` object in `/live/stats`: resident factor bytes
+/// per table, split into chunks shared with another epoch vs owned by
+/// this snapshot alone — the resident-set proof behind the tiering and
+/// O(change)-publish claims. Under tiering the `user` table is the hot
+/// arena's backing matrix only (near zero; cold rows live on disk).
+fn model_bytes_json(s: &taxrec_core::live::LiveStatsSnapshot) -> String {
+    let [(us, uo), (ns, no), (xs, xo)] = s.model_bytes;
+    format!(
+        "{{\"user\":{{\"shared\":{us},\"owned\":{uo}}},\
+         \"node\":{{\"shared\":{ns},\"owned\":{no}}},\
+         \"next\":{{\"shared\":{xs},\"owned\":{xo}}},\
+         \"total\":{}}}",
+        us + uo + ns + no + xs + xo
+    )
+}
+
+/// The `"tier"` object in `/live/stats`: `null` when the user matrix is
+/// fully resident, otherwise the hot/cold tier's sizes, hit/fault
+/// counters and fault-latency quantiles.
+fn tier_json(stats: Option<taxrec_core::TierStatsSnapshot>) -> String {
+    let Some(t) = stats else {
+        return "null".to_string();
+    };
+    format!(
+        "{{\"budget_rows\":{},\"hot_rows\":{},\"cold_rows\":{},\"total_rows\":{},\
+         \"hits\":{},\"faults\":{},\"cold_reads\":{},\"refolds\":{},\"evictions\":{},\
+         \"hit_rate\":{:.4},\
+         \"fault_cold_p50_us\":{},\"fault_cold_p99_us\":{},\
+         \"fault_refold_p50_us\":{},\"fault_refold_p99_us\":{}}}",
+        t.budget_rows,
+        t.hot_rows,
+        t.cold_rows,
+        t.total_rows,
+        t.hits,
+        t.faults(),
+        t.cold_reads,
+        t.refolds,
+        t.evictions,
+        t.hit_rate(),
+        t.fault_cold_p50_us,
+        t.fault_cold_p99_us,
+        t.fault_refold_p50_us,
+        t.fault_refold_p99_us,
+    )
 }
 
 /// The role-dependent `/live/stats` fields: `"role"` always, plus a

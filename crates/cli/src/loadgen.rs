@@ -1,0 +1,558 @@
+//! `taxrec loadgen` — deterministic Zipfian open-loop load generator
+//! for the tiered serving stack (the paper's "serve every user on a
+//! fixed memory budget" claim, scaled to CI).
+//!
+//! ```text
+//! taxrec loadgen [--out BENCH_tiering.json] [--smoke]
+//!                [--users N] [--setup-folds N] [--requests N]
+//!                [--rate RPS] [--skew S] [--seed S] [--clients C]
+//! ```
+//!
+//! The harness synthesises a dataset, trains a small model, and then —
+//! for each user-tier budget in a sweep from all-resident down to ~10%
+//! of rows — boots a real in-process `taxrec serve` stack (worker pool,
+//! ephemeral TCP port, live applier) with `--user-tier-budget` set,
+//! folds a fixed population of live users in, and replays one seeded
+//! request schedule against it:
+//!
+//! * **open loop**: request *i* is scheduled at `t0 + i/rate` and its
+//!   latency is measured from the *scheduled* time, so a stalled server
+//!   accrues the queueing delay it caused (no coordinated omission);
+//! * **Zipfian skew**: recommend targets are drawn from
+//!   [`taxrec_taxonomy::ZipfWeights`] over the user population — the
+//!   same sampler the dataset generator uses — so a small hot tier can
+//!   win exactly as the paper's skewed traffic predicts;
+//! * **mixed traffic**: ~85% recommends, ~10% fold-ins, ~5% add-items,
+//!   all through the public HTTP surface.
+//!
+//! A final **overload phase** blasts a server configured with one
+//! worker and a tiny accept queue at far more than it can absorb and
+//! records the admission behaviour (200s vs 503 busy-rejections, the
+//! `queue_full` counter) — proving backpressure degrades by refusing,
+//! not by stalling.
+//!
+//! Results are written as JSON (default `BENCH_tiering.json`):
+//! per-budget throughput, p50/p99 request latency, tier hit rate,
+//! fault-latency quantiles, evictions, and users served. `--smoke`
+//! shrinks the scale for CI and turns the headline claims into hard
+//! gates: zero request errors, a bounded fault p99, a hit rate the
+//! Zipfian skew must sustain at half budget, and at least 2× more
+//! users served than resident rows at every capped budget.
+
+use crate::json::Json;
+use crate::serve::{serve_on, LiveServer, ServeOptions};
+use crate::{CliArgs, CliError};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taxrec_core::live::{LiveConfig, LiveState, UpdateEvent};
+use taxrec_core::{ModelConfig, TfModel, TfTrainer};
+use taxrec_dataset::{DatasetConfig, PurchaseLog, SyntheticDataset};
+use taxrec_taxonomy::{ItemId, ZipfWeights};
+
+/// One scheduled request of the seeded open-loop mix. The schedule is
+/// built once per run and replayed identically against every budget.
+enum Op {
+    /// `GET /recommend?user=U&top=K` — the Zipf-skewed read path.
+    Recommend { user: usize, top: usize },
+    /// `POST /users/fold-in` — grows the live population mid-run.
+    FoldIn { a: u32, b: u32, seed: u64 },
+    /// `POST /items` — touches the node matrices, not the user tier.
+    AddItem,
+}
+
+/// Client-side outcome of one phase: every latency (µs, measured from
+/// the scheduled arrival time) plus status accounting. `dropped` counts
+/// transport-level failures (connect refused / reset before a status
+/// line) — under deliberate overload those are the TCP backlog
+/// overflowing, which is expected; `errors` counts HTTP statuses other
+/// than 200/503, which never are.
+struct PhaseResult {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    busy_503: u64,
+    dropped: u64,
+    errors: u64,
+    wall: Duration,
+}
+
+impl PhaseResult {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.latencies_us[idx]
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.ok as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A running in-process server: the real pooled accept loop on an
+/// ephemeral port, stopped cooperatively.
+struct Running {
+    server: Arc<LiveServer>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Running {
+    fn start(
+        model: &TfModel,
+        train: &PurchaseLog,
+        budget: usize,
+        workers: usize,
+        queue_depth: usize,
+    ) -> Result<Running, CliError> {
+        let server = Arc::new(LiveServer::new(
+            LiveState::new(model.clone()),
+            train.clone(),
+            None,
+            LiveConfig {
+                user_tier_budget: Some(budget),
+                ..LiveConfig::default()
+            },
+        )?);
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = std::thread::spawn({
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            move || {
+                serve_on(
+                    listener,
+                    server,
+                    ServeOptions {
+                        workers,
+                        queue_depth,
+                        max_conns: None,
+                        stop: Some(stop),
+                    },
+                )
+            }
+        });
+        Ok(Running {
+            server,
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One HTTP request over a fresh connection; `(status, body)`, with
+/// status 0 on transport failure (counted as an error, never a panic —
+/// the generator reports, it does not assert mid-flight).
+fn http(addr: SocketAddr, req: &str) -> (u16, String) {
+    let run = || -> std::io::Result<(u16, String)> {
+        let mut conn = TcpStream::connect(addr)?;
+        conn.write_all(req.as_bytes())?;
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf)?;
+        let status = buf
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.get(..3))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = buf
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, body))
+    };
+    run().unwrap_or((0, String::new()))
+}
+
+fn send_op(addr: SocketAddr, op: &Op, parent: u32) -> u16 {
+    match op {
+        Op::Recommend { user, top } => {
+            http(
+                addr,
+                &format!("GET /recommend?user={user}&top={top} HTTP/1.1\r\nHost: x\r\n\r\n"),
+            )
+            .0
+        }
+        Op::FoldIn { a, b, seed } => {
+            let body = format!("{{\"history\": [[{a}],[{b}]], \"steps\": 24, \"seed\": {seed}}}");
+            http(
+                addr,
+                &format!(
+                    "POST /users/fold-in HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ),
+            )
+            .0
+        }
+        Op::AddItem => {
+            let body = format!("{{\"parent\": {parent}}}");
+            http(
+                addr,
+                &format!(
+                    "POST /items HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ),
+            )
+            .0
+        }
+    }
+}
+
+/// Build the seeded request mix once; every budget replays it verbatim.
+fn build_schedule(
+    requests: usize,
+    population: usize,
+    base_items: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<Op> {
+    let zipf = ZipfWeights::new(population, skew);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4c4f_4144_4745_4e21);
+    (0..requests)
+        .map(|i| {
+            let r: f64 = rng.gen();
+            if r < 0.85 {
+                Op::Recommend {
+                    user: zipf.sample(&mut rng),
+                    top: 5,
+                }
+            } else if r < 0.95 {
+                Op::FoldIn {
+                    a: (rng.gen::<u64>() % base_items as u64) as u32,
+                    b: (rng.gen::<u64>() % base_items as u64) as u32,
+                    seed: 50_000 + i as u64,
+                }
+            } else {
+                Op::AddItem
+            }
+        })
+        .collect()
+}
+
+/// Replay `schedule` against `addr`. With `rate = Some(rps)` this is an
+/// open loop — request *i* fires at `t0 + i/rate` and its latency
+/// includes any queueing delay the server caused past that instant.
+/// With `rate = None` every client sends back-to-back (the overload
+/// phase: offered load is whatever the clients can push).
+fn run_phase(
+    addr: SocketAddr,
+    schedule: &[Op],
+    parent: u32,
+    rate: Option<f64>,
+    clients: usize,
+) -> PhaseResult {
+    let t_wall = Instant::now();
+    // t0 slightly in the future so client 0's first request is not
+    // already late before the other client threads have spawned.
+    let t0 = t_wall + Duration::from_millis(20);
+    let parts: Vec<(Vec<u64>, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let (mut ok, mut busy, mut drop, mut err) = (0u64, 0u64, 0u64, 0u64);
+                    let mut i = c;
+                    while i < schedule.len() {
+                        let scheduled = match rate {
+                            Some(rps) => {
+                                let at = t0 + Duration::from_secs_f64(i as f64 / rps);
+                                if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                                    std::thread::sleep(wait);
+                                }
+                                at
+                            }
+                            None => Instant::now(),
+                        };
+                        let status = send_op(addr, &schedule[i], parent);
+                        lat.push(scheduled.elapsed().as_micros() as u64);
+                        match status {
+                            200 => ok += 1,
+                            503 => busy += 1,
+                            0 => drop += 1,
+                            _ => err += 1,
+                        }
+                        i += clients.max(1);
+                    }
+                    (lat, ok, busy, drop, err)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut r = PhaseResult {
+        latencies_us: Vec::new(),
+        ok: 0,
+        busy_503: 0,
+        dropped: 0,
+        errors: 0,
+        wall: t_wall.elapsed(),
+    };
+    for (lat, ok, busy, drop, err) in parts {
+        r.latencies_us.extend(lat);
+        r.ok += ok;
+        r.busy_503 += busy;
+        r.dropped += drop;
+        r.errors += err;
+    }
+    r.latencies_us.sort_unstable();
+    r
+}
+
+/// The tier + population numbers scraped from `/live/stats` after a
+/// phase (server-side truth, not client inference).
+struct ScrapedStats {
+    users_total: usize,
+    tier: Json,
+}
+
+fn scrape(addr: SocketAddr) -> Result<ScrapedStats, CliError> {
+    let (status, body) = http(addr, "GET /live/stats HTTP/1.1\r\nHost: x\r\n\r\n");
+    if status != 200 {
+        return Err(CliError::Data(format!("/live/stats returned {status}")));
+    }
+    let doc = crate::json::parse(&body).map_err(|e| CliError::Data(format!("/live/stats: {e}")))?;
+    let users_total = doc
+        .get("users")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| CliError::Data("no \"users\" in /live/stats".into()))?;
+    let tier = doc
+        .get("tier")
+        .cloned()
+        .ok_or_else(|| CliError::Data("no \"tier\" in /live/stats".into()))?;
+    Ok(ScrapedStats { users_total, tier })
+}
+
+fn tier_u64(tier: &Json, field: &str) -> u64 {
+    tier.get(field).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn tier_f64(tier: &Json, field: &str) -> f64 {
+    tier.get(field).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// `taxrec loadgen` — run the budget sweep + overload phase and write
+/// the benchmark JSON. See the module docs for the methodology.
+pub fn loadgen(args: &CliArgs) -> Result<String, CliError> {
+    let smoke = args.flag("smoke");
+    let out_path = args
+        .value("out")
+        .unwrap_or("BENCH_tiering.json")
+        .to_string();
+    let trained: usize = args.get("users", if smoke { 192 } else { 600 })?;
+    let setup_folds: usize = args.get("setup-folds", if smoke { 128 } else { 400 })?;
+    let requests: usize = args.get("requests", if smoke { 320 } else { 2000 })?;
+    let rate: f64 = args.get("rate", if smoke { 250.0 } else { 300.0 })?;
+    let skew: f64 = args.get("skew", 1.1f64)?;
+    let seed: u64 = args.get("seed", 42u64)?;
+    let clients: usize = args.get("clients", 3usize)?.max(1);
+    if trained == 0 || requests == 0 || rate <= 0.0 {
+        return Err(CliError::Usage(
+            "--users, --requests and --rate must be positive".into(),
+        ));
+    }
+
+    let d = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(trained), seed);
+    let model = TfTrainer::new(
+        ModelConfig::tf(4, 1).with_factors(8).with_epochs(1),
+        &d.taxonomy,
+    )
+    .fit(&d.train, 1);
+    let base_items = model.num_items();
+    let parent = {
+        let tax = model.taxonomy();
+        tax.parent(tax.item_node(ItemId(0))).unwrap().0
+    };
+
+    // The served population the Zipf sampler draws from: trained users
+    // plus a fixed set folded in during setup. Fold-ins *during* the
+    // measured phase grow past this but are never recommend targets, so
+    // the schedule stays valid at every budget.
+    let population = trained + setup_folds;
+    let mut budgets = vec![
+        population,
+        population / 2,
+        population / 4,
+        (population / 10).max(1),
+    ];
+    budgets.dedup();
+    let schedule = build_schedule(requests, population, base_items, skew, seed);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "loadgen: {trained} trained + {setup_folds} folded users, {requests} requests \
+         @ {rate} rps (skew {skew}, seed {seed}, {clients} clients)\n"
+    ));
+    let mut budget_docs: Vec<Json> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    for &budget in &budgets {
+        let running = Running::start(&model, &d.train, budget, 2, 64)?;
+        // Setup: fold the live population in through the applier (the
+        // measured phase then mixes hot trained users and cold folds).
+        for u in 0..setup_folds {
+            running
+                .server
+                .live()
+                .submit(UpdateEvent::FoldInUser {
+                    history: vec![vec![
+                        ItemId((u % base_items) as u32),
+                        ItemId(((3 * u + 1) % base_items) as u32),
+                    ]],
+                    steps: 24,
+                    seed: 1_000 + u as u64,
+                })
+                .map_err(|e| CliError::Data(format!("setup fold-in: {e}")))?;
+        }
+        let phase = run_phase(running.addr, &schedule, parent, Some(rate), clients);
+        let scraped = scrape(running.addr)?;
+        running.shutdown();
+
+        let hit_rate = tier_f64(&scraped.tier, "hit_rate");
+        let fault_p99 = tier_u64(&scraped.tier, "fault_cold_p99_us")
+            .max(tier_u64(&scraped.tier, "fault_refold_p99_us"));
+        out.push_str(&format!(
+            "  budget {budget:>5} rows: {:>7.1} rps, p50 {:>6} µs, p99 {:>7} µs, \
+             hit rate {hit_rate:.3}, fault p99 {fault_p99} µs, {} users, {} errors\n",
+            phase.throughput_rps(),
+            phase.percentile(0.50),
+            phase.percentile(0.99),
+            scraped.users_total,
+            phase.errors + phase.busy_503 + phase.dropped,
+        ));
+        let num = |v: f64| Json::Num(v);
+        budget_docs.push(Json::Obj(vec![
+            ("budget_rows".into(), num(budget as f64)),
+            ("throughput_rps".into(), num(phase.throughput_rps())),
+            ("p50_us".into(), num(phase.percentile(0.50) as f64)),
+            ("p99_us".into(), num(phase.percentile(0.99) as f64)),
+            ("requests_ok".into(), num(phase.ok as f64)),
+            (
+                "errors".into(),
+                num((phase.errors + phase.busy_503 + phase.dropped) as f64),
+            ),
+            ("users_total".into(), num(scraped.users_total as f64)),
+            ("tier".into(), scraped.tier.clone()),
+        ]));
+
+        // Smoke gates: the headline claims, asserted per budget. The
+        // sweep runs well inside the server's capacity, so any kind of
+        // failure — HTTP error, 503, or transport drop — is a bug.
+        if phase.errors + phase.busy_503 + phase.dropped > 0 {
+            gate_failures.push(format!(
+                "budget {budget}: {} failed requests",
+                phase.errors + phase.busy_503 + phase.dropped
+            ));
+        }
+        if fault_p99 > 200_000 {
+            gate_failures.push(format!("budget {budget}: fault p99 {fault_p99} µs > 200ms"));
+        }
+        if budget == population / 2 && hit_rate < 0.5 {
+            gate_failures.push(format!(
+                "budget {budget} (half): hit rate {hit_rate:.3} < 0.5 despite Zipf skew"
+            ));
+        }
+        if budget < population && scraped.users_total < 2 * budget {
+            gate_failures.push(format!(
+                "budget {budget}: served only {} users (< 2x resident rows)",
+                scraped.users_total
+            ));
+        }
+    }
+
+    // Overload: one worker, a 2-deep accept queue, clients pushing as
+    // fast as they can. Admission must degrade by refusing (503 +
+    // Retry-After, the queue_full counter) — never by stalling reads.
+    // Targets stay within the trained population: the overload server
+    // skips the fold-in setup (it measures admission, not the tier).
+    let over_n = requests.min(240);
+    let over_schedule: Vec<Op> = (0..over_n)
+        .map(|i| Op::Recommend {
+            user: i % trained,
+            top: 5,
+        })
+        .collect();
+    let running = Running::start(&model, &d.train, population / 2, 1, 2)?;
+    let over = run_phase(running.addr, &over_schedule, parent, None, clients * 2);
+    let queue_full = running.server.http_metrics().snapshot().queue_full;
+    // Health check: the blast must not have wedged the server — a plain
+    // read right after it drains must still answer 200.
+    let healthy = scrape(running.addr).is_ok();
+    running.shutdown();
+    out.push_str(&format!(
+        "  overload (1 worker, queue 2): {:.1} rps achieved, {} ok / {} busy-503 / \
+         {} dropped / {} errors, queue_full {queue_full}, healthy after: {healthy}\n",
+        over.throughput_rps(),
+        over.ok,
+        over.busy_503,
+        over.dropped,
+        over.errors,
+    ));
+    if over.errors > 0 {
+        gate_failures.push(format!(
+            "overload: {} unexpected HTTP errors (only 200, 503, and \
+             transport drops are acceptable under overload)",
+            over.errors
+        ));
+    }
+    if !healthy {
+        gate_failures.push("overload: server unresponsive after the blast drained".into());
+    }
+
+    let num = |v: f64| Json::Num(v);
+    let doc = Json::Obj(vec![
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("smoke".into(), Json::Bool(smoke)),
+                ("trained_users".into(), num(trained as f64)),
+                ("setup_folds".into(), num(setup_folds as f64)),
+                ("requests".into(), num(requests as f64)),
+                ("rate_rps".into(), num(rate)),
+                ("skew".into(), num(skew)),
+                ("seed".into(), num(seed as f64)),
+                ("clients".into(), num(clients as f64)),
+            ]),
+        ),
+        ("budgets".into(), Json::Arr(budget_docs)),
+        (
+            "overload".into(),
+            Json::Obj(vec![
+                ("workers".into(), num(1.0)),
+                ("queue_depth".into(), num(2.0)),
+                ("requests".into(), num(over_n as f64)),
+                ("achieved_rps".into(), num(over.throughput_rps())),
+                ("ok".into(), num(over.ok as f64)),
+                ("busy_503".into(), num(over.busy_503 as f64)),
+                ("dropped".into(), num(over.dropped as f64)),
+                ("errors".into(), num(over.errors as f64)),
+                ("queue_full".into(), num(queue_full as f64)),
+                ("healthy_after".into(), Json::Bool(healthy)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.render() + "\n")?;
+    out.push_str(&format!("written to {out_path}\n"));
+
+    if smoke && !gate_failures.is_empty() {
+        return Err(CliError::Data(format!(
+            "loadgen --smoke gates failed:\n  {}",
+            gate_failures.join("\n  ")
+        )));
+    }
+    Ok(out)
+}

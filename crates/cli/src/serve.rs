@@ -7,6 +7,7 @@
 //!              [--scan-kernel scalar|simd|quantized]
 //!              [--live-log events.log] [--snapshot snap.tfm] [--snapshot-every 256]
 //!              [--trace-sample 0.01] [--trace-slow-ms 250]
+//!              [--user-tier-budget ROWS]
 //!              [--replicate-on HOST:PORT | --follow HOST:PORT]
 //!
 //! GET  /health                             → 200 {"status":"ok"}
@@ -34,6 +35,12 @@
 //! the event to the `--live-log` WAL) without blocking readers.
 //! `--snapshot`/`--snapshot-every` bound recovery time (see
 //! `docs/guide/serving.md`).
+//!
+//! `--user-tier-budget ROWS` caps resident user-factor rows: the user
+//! matrix moves into a hot/cold tier (`taxrec_core::tier`), cold rows
+//! are faulted back on demand, and served scores stay bit-identical to
+//! a fully-resident server (`docs/guide/architecture.md` § User-factor
+//! tiering). Works on leaders and followers alike.
 //!
 //! Replication (`docs/guide/serving.md` § Replication): a leader
 //! (`--replicate-on`) streams every committed WAL record to follower
@@ -563,6 +570,7 @@ pub fn serve(args: &CliArgs) -> Result<String, CliError> {
         scan_kernel: kernel.force,
         obs: Obs::shared_with_tracing(trace_sample, trace_slow_ms),
         replicate: replicate_on.is_some(),
+        user_tier_budget: args.opt("user-tier-budget")?,
         ..LiveConfig::default()
     };
     if config.snapshot_path.is_some() && config.log_path.is_none() {
@@ -888,6 +896,99 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn fold_in_with_user_field_refolds_in_place() {
+        let st = server();
+        let r = post(
+            &st,
+            "/users/fold-in",
+            "{\"history\": [[1,2],[3]], \"steps\": 30, \"seed\": 7}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let user = crate::json::parse(&r.body)
+            .unwrap()
+            .get("user")
+            .and_then(crate::json::Json::as_u64)
+            .unwrap();
+        let before = get(&st, &format!("/recommend?user={user}&top=5"));
+
+        // Refold with a replacement history: same user id, new factor,
+        // the replaced items (not the originals) excluded from top-K.
+        let body =
+            format!("{{\"user\": {user}, \"history\": [[5],[8]], \"steps\": 30, \"seed\": 9}}");
+        let r = post(&st, "/users/fold-in", &body);
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains(&format!("\"user\":{user}")), "{}", r.body);
+        assert!(r.body.contains("\"refolded\":true"), "{}", r.body);
+        let after = get(&st, &format!("/recommend?user={user}&top=5"));
+        assert_eq!(after.status, 200, "{}", after.body);
+        assert_ne!(before.body, after.body, "refold must change the factor");
+        for replaced in ["\"id\":5,", "\"id\":8,"] {
+            assert!(!after.body.contains(replaced), "{}", after.body);
+        }
+        // The stats counter distinguishes refolds from first folds.
+        let stats = get(&st, "/live/stats");
+        assert!(stats.body.contains("\"users_folded\":1"), "{}", stats.body);
+        assert!(
+            stats.body.contains("\"users_refolded\":1"),
+            "{}",
+            stats.body
+        );
+
+        // Refolding a trained or unknown user is a client error.
+        for bad in [0u64, user + 50] {
+            let body = format!("{{\"user\": {bad}, \"history\": [[1]], \"steps\": 10}}");
+            let r = post(&st, "/users/fold-in", &body);
+            assert_eq!(r.status, 400, "user {bad}: {}", r.body);
+            assert!(r.body.starts_with("{\"error\":"), "{}", r.body);
+        }
+    }
+
+    #[test]
+    fn live_stats_reports_model_bytes_and_tier() {
+        // Untiered server: model_bytes present, tier explicitly null.
+        let st = server();
+        let s = get(&st, "/live/stats");
+        assert!(s.body.contains("\"model_bytes\":{\"user\":"), "{}", s.body);
+        assert!(s.body.contains("\"tier\":null"), "{}", s.body);
+        let parsed = crate::json::parse(&s.body).unwrap();
+        let total = parsed
+            .get("model_bytes")
+            .and_then(|m| m.get("total"))
+            .and_then(crate::json::Json::as_u64)
+            .unwrap();
+        assert!(total > 0, "{}", s.body);
+
+        // Tiered server: the tier block carries sizes and counters, and
+        // reads past the hot budget show up as faults.
+        let st = server_with(LiveConfig {
+            user_tier_budget: Some(8),
+            ..LiveConfig::default()
+        });
+        for u in 0..40 {
+            assert_eq!(get(&st, &format!("/recommend?user={u}&top=3")).status, 200);
+        }
+        let s = get(&st, "/live/stats");
+        let parsed = crate::json::parse(&s.body).unwrap();
+        let tier = parsed.get("tier").expect("tier block");
+        let t = |f: &str| tier.get(f).and_then(crate::json::Json::as_u64).unwrap();
+        assert_eq!(t("budget_rows"), 8, "{}", s.body);
+        assert_eq!(t("total_rows"), 100, "{}", s.body);
+        assert!(t("faults") > 0, "{}", s.body);
+        assert!(s.body.contains("\"hit_rate\":"), "{}", s.body);
+        // The same counters surface as Prometheus families.
+        let metrics = get(&st, "/metrics");
+        assert_eq!(metrics.status, 200);
+        for family in [
+            "taxrec_tier_budget_rows",
+            "taxrec_tier_cold_reads_total",
+            "taxrec_tier_fault_seconds",
+            "taxrec_model_bytes",
+        ] {
+            assert!(metrics.body.contains(family), "missing {family}");
+        }
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! replication lag drains to zero — surviving a mid-run follower
 //! SIGKILL + restart (it recovers from its own WAL, then resumes the
 //! stream from its exact offset) and mid-run WAL rotations on the
-//! leader (`--snapshot-every 16` under 50 events).
+//! leader (`--snapshot-every 16` under 50 events). Follower 2 serves
+//! from a small `--user-tier-budget` hot/cold tier, so the byte-equal
+//! check also proves tiered reads on a replica are indistinguishable
+//! from fully-resident ones at lag 0.
 
 use std::io::{BufRead, BufReader, Read};
 use std::net::SocketAddr;
@@ -216,7 +219,15 @@ fn leader_and_two_followers_serve_identical_bytes() {
         repl_addr.to_string(),
     ]);
     let mut follower1 = spawn_node(&f1_args);
-    let follower2 = spawn_node(&base_args(&["--follow".into(), repl_addr.to_string()]));
+    // Follower 2 is purely in-memory AND serves its user factors from a
+    // small hot/cold tier: 16 resident rows against 60 trained users
+    // plus every fold-in the soak replicates.
+    let follower2 = spawn_node(&base_args(&[
+        "--follow".into(),
+        repl_addr.to_string(),
+        "--user-tier-budget".into(),
+        "16".into(),
+    ]));
 
     // ── Scripted stream, with a follower SIGKILL + restart and leader
     // WAL rotations in the middle ────────────────────────────────────
@@ -269,6 +280,20 @@ fn leader_and_two_followers_serve_identical_bytes() {
         let (_, stats) = get(node.http, "/live/stats");
         assert!(stats.contains("\"role\":\"follower\""), "{stats}");
     }
+    // Follower 2's tier really was exercised: every read above went
+    // through a 16-row hot set, faulting cold users back on demand.
+    let (_, f2_stats) = get(follower2.http, "/live/stats");
+    let f2 = json::parse(&f2_stats).unwrap();
+    let tier = f2.get("tier").expect("tier block in follower stats");
+    let tier_u64 = |f: &str| tier.get(f).and_then(Json::as_u64).unwrap();
+    assert_eq!(tier_u64("budget_rows"), 16, "{f2_stats}");
+    assert_eq!(
+        tier_u64("total_rows"),
+        60 + (EVENTS_TOTAL / 2) as u64,
+        "{f2_stats}"
+    );
+    assert!(tier_u64("faults") > 0, "{f2_stats}");
+
     let (_, stats) = get(leader.http, "/live/stats");
     assert!(stats.contains("\"role\":\"leader\""), "{stats}");
     assert!(stats.contains("\"degraded\":false"), "{stats}");

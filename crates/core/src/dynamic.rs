@@ -16,6 +16,7 @@
 use crate::config::ModelConfig;
 use crate::model::TfModel;
 use crate::scoring::Scorer;
+use crate::tier::FoldRecipe;
 use crate::train::sampler::sample_negative;
 use crate::train::{TfTrainer, TrainStats};
 use rand::rngs::StdRng;
@@ -73,10 +74,33 @@ impl TfModel {
     /// parameter moves.
     ///
     /// # Panics
-    /// If `factor.len() != K`.
+    /// If `factor.len() != K`, or on a tiered model (which needs the
+    /// fold recipe — use [`push_user_with_recipe`](Self::push_user_with_recipe)).
     pub fn push_user(&mut self, factor: &[f32]) -> usize {
+        assert!(
+            self.user_tier.is_none(),
+            "tiered models require push_user_with_recipe"
+        );
         self.user_factors.push_row(factor);
         self.user_factors.rows() - 1
+    }
+
+    /// [`push_user`](Self::push_user) carrying the [`FoldRecipe`] a
+    /// tiered model needs to reconstruct the row after eviction. On a
+    /// resident model the recipe is ignored.
+    pub(crate) fn push_user_with_recipe(&mut self, factor: &[f32], recipe: FoldRecipe) -> usize {
+        match &mut self.user_tier {
+            None => {
+                self.user_factors.push_row(factor);
+                self.user_factors.rows() - 1
+            }
+            Some(h) => {
+                let id = h.rows;
+                h.tier.set_row(id, factor, recipe);
+                h.rows += 1;
+                id
+            }
+        }
     }
 }
 
@@ -93,6 +117,24 @@ pub fn fold_in_user<M: std::ops::Deref<Target = TfModel>>(
     steps: usize,
     seed: u64,
 ) -> Vec<f32> {
+    let n_items = scorer.model().num_items();
+    fold_in_user_with_catalog(scorer, history, steps, seed, n_items)
+}
+
+/// [`fold_in_user`] with the negative-sampling catalog size pinned to
+/// `n_items` instead of the scorer's current catalog. This is what makes
+/// fold-in **replayable on a grown model**: `add_item` only appends zero
+/// offset rows (existing items' effective factors are bit-identical in
+/// every later model), so re-running with the *recorded* catalog size
+/// replays the exact RNG path and lands on the bit-identical factor —
+/// the hot/cold tier's fault path depends on it.
+pub fn fold_in_user_with_catalog<M: std::ops::Deref<Target = TfModel>>(
+    scorer: &Scorer<M>,
+    history: &[Transaction],
+    steps: usize,
+    seed: u64,
+    n_items: usize,
+) -> Vec<f32> {
     let model = scorer.model();
     let cfg = model.config();
     let k = model.k();
@@ -108,7 +150,6 @@ pub fn fold_in_user<M: std::ops::Deref<Target = TfModel>>(
     if purchases.is_empty() {
         return v_u;
     }
-    let n_items = model.num_items();
     let mut q = vec![0.0f32; k];
     let mut diff = vec![0.0f32; k];
     for _ in 0..steps {
@@ -227,6 +268,7 @@ impl TfTrainer {
             // the model's existing table is bit-identical — share it.
             paths: Arc::clone(&model.paths),
             cutoff_level: model.cutoff_level(),
+            user_tier: None,
         };
         self.fit_parallel_from(warm, train, seed, threads)
     }

@@ -46,6 +46,7 @@ pub mod obs;
 pub mod persist;
 pub mod recommend;
 pub mod scoring;
+pub mod tier;
 pub mod train;
 pub mod tune;
 pub mod viz;
@@ -63,5 +64,6 @@ pub use recommend::{
     SCAN_KERNEL_ENV,
 };
 pub use scoring::Scorer;
+pub use tier::{FoldRecipe, TierStatsSnapshot, UserTier};
 pub use train::{untrained_model, TfTrainer, TrainStats};
 pub use tune::{grid_search, holdout_last_t, GridSearchResult};

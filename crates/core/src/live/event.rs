@@ -10,6 +10,8 @@
 //!   u8 tag = 1 (AddItem):    u32 parent
 //!   u8 tag = 2 (FoldInUser): u64 steps, u64 seed,
 //!                            u32 baskets, per basket: u32 items, items…
+//!   u8 tag = 3 (RefoldUser): u64 user, u64 steps, u64 seed,
+//!                            u32 baskets, per basket: u32 items, items…
 //! ```
 //!
 //! The **lineage stamp** records the user/item counts of the state the
@@ -43,6 +45,7 @@ pub const MAX_EVENT_FOLD_STEPS: usize = 1_000_000;
 
 const TAG_ADD_ITEM: u8 = 1;
 const TAG_FOLD_IN: u8 = 2;
+const TAG_REFOLD: u8 = 3;
 
 /// The lineage stamp a log carries: the shape of the state its first
 /// event applies to (see the module docs).
@@ -88,6 +91,22 @@ pub enum UpdateEvent {
         /// RNG seed — recorded so replay reproduces the exact factor.
         seed: u64,
     },
+    /// An already folded-in user's factor is recomputed **from scratch**
+    /// against the current catalog from a full replacement history. The
+    /// history replaces (never appends to) the stored one, so a user
+    /// who was evicted, faulted back, and folded again is never
+    /// double-counted.
+    RefoldUser {
+        /// The folded-in user id (must be ≥ the base model's user count).
+        user: usize,
+        /// The user's complete baskets, oldest first — replaces the
+        /// stored history.
+        history: Vec<Transaction>,
+        /// BPR steps (at most [`MAX_EVENT_FOLD_STEPS`]).
+        steps: usize,
+        /// RNG seed — recorded so replay reproduces the exact factor.
+        seed: u64,
+    },
 }
 
 /// Write the log file header (magic, version, lineage stamp).
@@ -114,17 +133,33 @@ pub fn encode_event(out: &mut Vec<u8>, ev: &UpdateEvent) {
             payload.push(TAG_FOLD_IN);
             put_u64(&mut payload, *steps as u64);
             put_u64(&mut payload, *seed);
-            put_u32(&mut payload, history.len() as u32);
-            for basket in history {
-                put_u32(&mut payload, basket.len() as u32);
-                for item in basket {
-                    put_u32(&mut payload, item.0);
-                }
-            }
+            encode_baskets(&mut payload, history);
+        }
+        UpdateEvent::RefoldUser {
+            user,
+            history,
+            steps,
+            seed,
+        } => {
+            payload.push(TAG_REFOLD);
+            put_u64(&mut payload, *user as u64);
+            put_u64(&mut payload, *steps as u64);
+            put_u64(&mut payload, *seed);
+            encode_baskets(&mut payload, history);
         }
     }
     put_u32(out, payload.len() as u32);
     out.extend_from_slice(&payload);
+}
+
+fn encode_baskets(payload: &mut Vec<u8>, history: &[Transaction]) {
+    put_u32(payload, history.len() as u32);
+    for basket in history {
+        put_u32(payload, basket.len() as u32);
+        for item in basket {
+            put_u32(payload, item.0);
+        }
+    }
 }
 
 fn decode_header(buf: &[u8], pos: &mut usize) -> Result<LogHeader, PersistError> {
@@ -216,6 +251,23 @@ pub(crate) fn decode_payload(payload: &[u8]) -> Result<UpdateEvent, PersistError
                 seed,
             }
         }
+        TAG_REFOLD => {
+            let user = get_u64(payload, &mut pos)?;
+            let steps = get_u64(payload, &mut pos)?;
+            if steps > MAX_EVENT_FOLD_STEPS as u64 {
+                return Err(PersistError::Corrupt(format!(
+                    "refold steps {steps} exceeds cap {MAX_EVENT_FOLD_STEPS}"
+                )));
+            }
+            let seed = get_u64(payload, &mut pos)?;
+            let history = decode_baskets(payload, &mut pos, None)?;
+            UpdateEvent::RefoldUser {
+                user: user as usize,
+                history,
+                steps: steps as usize,
+                seed,
+            }
+        }
         other => return Err(PersistError::Corrupt(format!("unknown event tag {other}"))),
     };
     if pos != payload.len() {
@@ -289,6 +341,12 @@ mod tests {
                 seed: 0xDEAD_BEEF,
             },
             UpdateEvent::AddItem { parent: NodeId(3) },
+            UpdateEvent::RefoldUser {
+                user: 121,
+                history: vec![vec![ItemId(4)], vec![ItemId(1), ItemId(2)]],
+                steps: 250,
+                seed: 77,
+            },
         ]
     }
 
@@ -327,7 +385,7 @@ mod tests {
         assert!(decode_log(&buf[..cut]).is_err());
         let (header, recovered, ignored) = decode_log_lossy(&buf[..cut]).unwrap();
         assert_eq!(header, HDR);
-        assert_eq!(recovered, events[..2].to_vec());
+        assert_eq!(recovered, events[..3].to_vec());
         assert!(ignored > 0);
     }
 

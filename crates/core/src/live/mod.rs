@@ -88,6 +88,9 @@ pub enum LiveError {
     /// A `FoldInUser` event referenced an item id outside the catalog
     /// as of the event's application point.
     UnknownItem(u32),
+    /// A `RefoldUser` event named a user id that is not a folded-in
+    /// user (trained users are frozen; ids past the model are unknown).
+    UnknownUser(usize),
     /// A `FoldInUser` event asked for more BPR steps than
     /// [`MAX_EVENT_FOLD_STEPS`]. Rejected *before* logging: the log
     /// codec refuses such records at decode time, so accepting one
@@ -105,6 +108,9 @@ impl std::fmt::Display for LiveError {
         match self {
             LiveError::Taxonomy(e) => write!(f, "add-item: {e}"),
             LiveError::UnknownItem(i) => write!(f, "fold-in history references unknown item {i}"),
+            LiveError::UnknownUser(u) => {
+                write!(f, "refold references unknown or non-folded user {u}")
+            }
             LiveError::FoldStepsTooLarge(s) => write!(
                 f,
                 "fold-in steps {s} exceeds cap {}",

@@ -73,6 +73,18 @@ pub struct LiveConfig {
     /// WAL-acked record into, and a
     /// [`super::replication::ReplicationListener`] can stream from.
     pub replicate: bool,
+    /// Cap resident user-factor rows: `Some(n)` moves the user matrix
+    /// into a hot/cold [`crate::tier::UserTier`] before the first
+    /// publish — at most `n` rows stay hot, the rest live in a cold
+    /// file (or as fold recipes) and are faulted back on demand.
+    /// `None` keeps every user factor resident (the pre-tiering
+    /// behaviour). Served scores are bit-identical either way; see
+    /// `crates/core/tests/differential_tiering.rs`.
+    pub user_tier_budget: Option<usize>,
+    /// Where the tier's cold file is written when `user_tier_budget`
+    /// is set. `None` derives a path beside `log_path` (or a
+    /// pid-unique temp file when there is no log).
+    pub tier_cold_path: Option<PathBuf>,
 }
 
 impl Default for LiveConfig {
@@ -87,6 +99,8 @@ impl Default for LiveConfig {
             scan_kernel: None,
             obs: Arc::new(Obs::new()),
             replicate: false,
+            user_tier_budget: None,
+            tier_cold_path: None,
         }
     }
 }
@@ -148,7 +162,7 @@ impl LiveHandle {
     }
 
     fn spawn_inner(
-        state: LiveState,
+        mut state: LiveState,
         config: LiveConfig,
         verify_existing_log: bool,
     ) -> Result<LiveHandle, LiveError> {
@@ -156,6 +170,23 @@ impl LiveHandle {
             Some(p) => Some(open_log(p, &lineage_of(&state), verify_existing_log)?),
             None => None,
         };
+        // Tiering is installed before the first publish so every
+        // snapshot ever handed to a reader already routes user-factor
+        // reads through the tier (no untiered epoch to race with).
+        if let Some(budget) = config.user_tier_budget {
+            let cold = match &config.tier_cold_path {
+                Some(p) => p.clone(),
+                None => default_cold_path(&config),
+            };
+            let tier = crate::tier::UserTier::build(
+                &cold,
+                &state.model().user_factors,
+                budget,
+                config.obs.registry(),
+            )
+            .map_err(|e| LiveError::Io(format!("{}: building user tier: {e}", cold.display())))?;
+            state.attach_user_tier(tier);
+        }
         let cell = Arc::new(ModelCell::new(LiveEngine::initial_observed(
             &state,
             config.backend.clone(),
@@ -164,6 +195,7 @@ impl LiveHandle {
             config.obs.registry(),
         )));
         let stats = Arc::new(LiveStats::new(config.obs.registry()));
+        stats.set_model_bytes(state.model());
         // The replication stream's base is the shape at applier start:
         // a follower that bootstrapped from the same snapshot + log
         // lands exactly here.
@@ -255,6 +287,19 @@ impl Drop for LiveHandle {
             let _ = t.join();
         }
     }
+}
+
+/// Cold-file path when [`LiveConfig::tier_cold_path`] is unset: beside
+/// the WAL when one is configured (so the operator's data dir holds
+/// everything), otherwise a temp file unique per process *and* per
+/// spawn — the file is a rebuildable cache, never recovered from.
+fn default_cold_path(config: &LiveConfig) -> PathBuf {
+    if let Some(log) = &config.log_path {
+        return log.with_extension("cold");
+    }
+    static SPAWNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = SPAWNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("taxrec-tier-{}-{n}.cold", std::process::id()))
 }
 
 fn lineage_of(state: &LiveState) -> LogHeader {
@@ -479,6 +524,7 @@ fn applier(
                 match applied {
                     Applied::ItemAdded { .. } => stats.inc_items_added(),
                     Applied::UserFolded { .. } => stats.inc_users_folded(),
+                    Applied::UserRefolded { .. } => stats.inc_users_refolded(),
                 }
                 stats.inc_applied();
             }
@@ -496,6 +542,7 @@ fn applier(
             let next = LiveEngine::next_from(&prev, &state);
             let epoch = next.epoch();
             let (shared, copied) = next.model().chunk_sharing_with(prev.model());
+            stats.set_model_bytes(next.model());
             cell.publish(next);
             stats.inc_publishes();
             stats.record_publish(t_publish.elapsed(), shared, copied);

@@ -8,6 +8,7 @@ use super::LiveError;
 use crate::dynamic::fold_in_user;
 use crate::model::TfModel;
 use crate::scoring::Scorer;
+use crate::tier::FoldRecipe;
 use std::sync::Arc;
 use taxrec_dataset::Transaction;
 use taxrec_taxonomy::{ItemId, NodeId};
@@ -25,6 +26,12 @@ pub enum Applied {
     /// A `FoldInUser` event: the new user id.
     UserFolded {
         /// Row of the folded-in user in the grown user matrix.
+        user: usize,
+    },
+    /// A `RefoldUser` event: the user whose factor and history were
+    /// replaced in place.
+    UserRefolded {
+        /// Row of the re-folded user.
         user: usize,
     },
 }
@@ -93,6 +100,13 @@ impl LiveState {
         &self.model
     }
 
+    /// Move the model's user factors into a shared hot/cold tier (see
+    /// [`crate::tier::UserTier`]). Serve startup calls this once, before
+    /// the first publish; all later fold-ins/refolds write the tier.
+    pub fn attach_user_tier(&mut self, tier: Arc<crate::tier::UserTier>) {
+        self.model.attach_user_tier(tier);
+    }
+
     /// Users the model was trained with (smaller ids are trained users).
     pub fn base_users(&self) -> usize {
         self.base_users
@@ -147,6 +161,24 @@ impl LiveState {
                     None => Ok(()),
                 }
             }
+            UpdateEvent::RefoldUser {
+                user,
+                history,
+                steps,
+                ..
+            } => {
+                if *steps > super::event::MAX_EVENT_FOLD_STEPS {
+                    return Err(LiveError::FoldStepsTooLarge(*steps));
+                }
+                if *user < self.base_users || *user >= self.model.num_users() {
+                    return Err(LiveError::UnknownUser(*user));
+                }
+                let n_items = self.model.num_items();
+                match history.iter().flatten().find(|i| i.index() >= n_items) {
+                    Some(bad) => Err(LiveError::UnknownItem(bad.0)),
+                    None => Ok(()),
+                }
+            }
         }
     }
 
@@ -183,9 +215,52 @@ impl LiveState {
                     let scorer = Scorer::new(&self.model);
                     fold_in_user(&scorer, history, *steps, *seed)
                 };
-                let user = self.model.push_user(&factor);
-                self.histories.push(Arc::from(history.as_slice()));
+                let hist: Arc<[Transaction]> = Arc::from(history.as_slice());
+                let recipe = FoldRecipe {
+                    history: Arc::clone(&hist),
+                    steps: *steps,
+                    seed: *seed,
+                    n_items,
+                };
+                let user = self.model.push_user_with_recipe(&factor, recipe);
+                self.histories.push(hist);
                 Applied::UserFolded { user }
+            }
+            UpdateEvent::RefoldUser {
+                user,
+                history,
+                steps,
+                seed,
+            } => {
+                if *steps > super::event::MAX_EVENT_FOLD_STEPS {
+                    return Err(LiveError::FoldStepsTooLarge(*steps));
+                }
+                if *user < self.base_users || *user >= self.model.num_users() {
+                    return Err(LiveError::UnknownUser(*user));
+                }
+                let n_items = self.model.num_items();
+                if let Some(bad) = history.iter().flatten().find(|i| i.index() >= n_items) {
+                    return Err(LiveError::UnknownItem(bad.0));
+                }
+                // Re-fold **from scratch** at the current catalog: v_u
+                // restarts at the prior mean and `history` replaces the
+                // stored baskets outright, so a user who was evicted,
+                // faulted back, and folded again never double-counts
+                // earlier purchases.
+                let factor = {
+                    let scorer = Scorer::new(&self.model);
+                    fold_in_user(&scorer, history, *steps, *seed)
+                };
+                let hist: Arc<[Transaction]> = Arc::from(history.as_slice());
+                let recipe = FoldRecipe {
+                    history: Arc::clone(&hist),
+                    steps: *steps,
+                    seed: *seed,
+                    n_items,
+                };
+                self.model.set_user_factor(*user, &factor, recipe);
+                self.histories[*user - self.base_users] = hist;
+                Applied::UserRefolded { user: *user }
             }
         };
         self.events_applied += 1;
@@ -292,6 +367,32 @@ mod tests {
                 steps: crate::live::MAX_EVENT_FOLD_STEPS + 1,
                 seed: 0,
             },
+            // Refolding a trained user, an out-of-range user, an
+            // unknown item, or with absurd steps must all bounce.
+            UpdateEvent::RefoldUser {
+                user: 0,
+                history: vec![vec![ItemId(0)]],
+                steps: 10,
+                seed: 0,
+            },
+            UpdateEvent::RefoldUser {
+                user: 10_000,
+                history: vec![vec![ItemId(0)]],
+                steps: 10,
+                seed: 0,
+            },
+            UpdateEvent::RefoldUser {
+                user: 0,
+                history: vec![vec![ItemId(u32::MAX)]],
+                steps: 10,
+                seed: 0,
+            },
+            UpdateEvent::RefoldUser {
+                user: 0,
+                history: vec![vec![ItemId(0)]],
+                steps: crate::live::MAX_EVENT_FOLD_STEPS + 1,
+                seed: 0,
+            },
         ];
         for ev in good.iter().chain(&bad) {
             let verdict = s.validate(ev);
@@ -337,6 +438,55 @@ mod tests {
         assert_eq!(a.model().user_factors, b.model().user_factors);
         assert_eq!(a.model().node_factors, b.model().node_factors);
         assert_eq!(a.model().next_factors, b.model().next_factors);
+    }
+
+    #[test]
+    fn refold_replaces_factor_and_history_without_double_counting() {
+        let (d, mut s) = state();
+        let hist_a = d.train.user(3).to_vec();
+        let hist_b = d.train.user(8).to_vec();
+        let base = s.model().num_users();
+        s.apply(&UpdateEvent::FoldInUser {
+            history: hist_a,
+            steps: 60,
+            seed: 5,
+        })
+        .unwrap();
+        // Refold the same user with a different full history.
+        let got = s
+            .apply(&UpdateEvent::RefoldUser {
+                user: base,
+                history: hist_b.clone(),
+                steps: 60,
+                seed: 5,
+            })
+            .unwrap();
+        assert_eq!(got, Applied::UserRefolded { user: base });
+        assert_eq!(s.model().num_users(), base + 1, "refold must not append");
+        assert_eq!(s.folded_history(base).unwrap(), hist_b.as_slice());
+        // No double-counting: the refolded factor equals a fresh fold of
+        // hist_b alone on the same catalog — the prior fold left no residue.
+        let fresh = {
+            let scorer = Scorer::new(s.model());
+            fold_in_user(&scorer, &hist_b, 60, 5)
+        };
+        assert_eq!(s.model().user_factor(base), fresh.as_slice());
+    }
+
+    #[test]
+    fn refold_rejects_trained_and_unknown_users() {
+        let (d, mut s) = state();
+        let hist = d.train.user(1).to_vec();
+        let ev = |user| UpdateEvent::RefoldUser {
+            user,
+            history: hist.clone(),
+            steps: 10,
+            seed: 1,
+        };
+        assert_eq!(s.apply(&ev(0)), Err(LiveError::UnknownUser(0)));
+        let past = s.model().num_users();
+        assert_eq!(s.apply(&ev(past)), Err(LiveError::UnknownUser(past)));
+        assert_eq!(s.events_applied(), 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub struct LiveStats {
     rejected: Counter,
     items_added: Counter,
     users_folded: Counter,
+    users_refolded: Counter,
     publishes: Counter,
     snapshots_written: Counter,
     log_bytes: Counter,
@@ -43,6 +44,10 @@ pub struct LiveStats {
     /// 1 once the applier has dropped to read-only degraded mode after a
     /// WAL append/rotation failure; never clears without a restart.
     degraded: Gauge,
+    /// Resident factor bytes per table × sharing kind
+    /// (`taxrec_model_bytes{table,kind}`), refreshed at every publish —
+    /// what tiering saves is visible as the user table's bytes.
+    model_bytes: [[Gauge; 2]; 3],
 }
 
 impl Default for LiveStats {
@@ -64,6 +69,9 @@ pub struct LiveStatsSnapshot {
     pub items_added: u64,
     /// `FoldInUser` events applied.
     pub users_folded: u64,
+    /// `RefoldUser` events applied (an existing folded user's factor
+    /// recomputed from a replacement history).
+    pub users_refolded: u64,
     /// Snapshot publishes (equals the current epoch).
     pub publishes: u64,
     /// `.tfm` snapshots written by the applier.
@@ -99,6 +107,9 @@ pub struct LiveStatsSnapshot {
     /// after a WAL append/rotation failure. A degraded leader stops
     /// acking writes and stops shipping replication records.
     pub degraded: bool,
+    /// Resident factor bytes per table, `(shared, owned)` by chunk
+    /// refcount, in `(user, node, next)` order. Updated at publish time.
+    pub model_bytes: [(u64, u64); 3],
 }
 
 impl LiveStats {
@@ -125,6 +136,10 @@ impl LiveStats {
             users_folded: c(
                 "taxrec_live_users_folded_total",
                 "FoldInUser events applied",
+            ),
+            users_refolded: c(
+                "taxrec_live_users_refolded_total",
+                "RefoldUser events applied (existing folded user recomputed)",
             ),
             publishes: c(
                 "taxrec_live_publishes_total",
@@ -167,6 +182,15 @@ impl LiveStats {
                 "1 when the applier is read-only degraded after a WAL failure",
                 &[],
             ),
+            model_bytes: ["user", "node", "next"].map(|table| {
+                ["shared", "owned"].map(|kind| {
+                    registry.gauge(
+                        "taxrec_model_bytes",
+                        "Resident factor bytes by table and chunk-sharing kind",
+                        &[("table", table), ("kind", kind)],
+                    )
+                })
+            }),
         }
     }
 
@@ -184,6 +208,18 @@ impl LiveStats {
     }
     pub(crate) fn inc_users_folded(&self) {
         self.users_folded.inc();
+    }
+    pub(crate) fn inc_users_refolded(&self) {
+        self.users_refolded.inc();
+    }
+    /// Refresh the `taxrec_model_bytes{table,kind}` gauges from the
+    /// published model's chunk refcounts.
+    pub(crate) fn set_model_bytes(&self, model: &crate::model::TfModel) {
+        for (gauges, m) in self.model_bytes.iter().zip(model.cow_matrices()) {
+            let (shared, owned) = m.byte_sizes();
+            gauges[0].set(shared);
+            gauges[1].set(owned);
+        }
     }
     pub(crate) fn inc_publishes(&self) {
         self.publishes.inc();
@@ -231,6 +267,7 @@ impl LiveStats {
             rejected: self.rejected.get(),
             items_added: self.items_added.get(),
             users_folded: self.users_folded.get(),
+            users_refolded: self.users_refolded.get(),
             publishes: self.publishes.get(),
             snapshots_written: self.snapshots_written.get(),
             log_bytes: self.log_bytes.get(),
@@ -245,6 +282,10 @@ impl LiveStats {
             model_shared_chunks: self.model_shared_chunks.get(),
             model_copied_chunks: self.model_copied_chunks.get(),
             degraded: self.degraded(),
+            model_bytes: [0, 1, 2].map(|i| {
+                let g = &self.model_bytes[i];
+                (g[0].get(), g[1].get())
+            }),
         }
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::config::ModelConfig;
 use crate::scoring::Scorer;
+use crate::tier::{FoldRecipe, TierHandle, TierStatsSnapshot, UserTier};
 use std::sync::Arc;
 use taxrec_dataset::Transaction;
 use taxrec_factors::{ops, CowMatrix, FactorMatrix};
@@ -55,6 +56,10 @@ pub struct TfModel {
     /// Nodes at level ≥ `cutoff_level` carry factors; shallower nodes are
     /// outside the configured `taxonomyUpdateLevels` and contribute 0.
     pub(crate) cutoff_level: usize,
+    /// When set, user factors live in a shared hot/cold [`UserTier`]
+    /// instead of `user_factors` (which is then empty); the handle
+    /// freezes this epoch's user count over the growing store.
+    pub(crate) user_tier: Option<TierHandle>,
 }
 
 impl TfModel {
@@ -115,6 +120,7 @@ impl TfModel {
             next_factors,
             paths,
             cutoff_level,
+            user_tier: None,
         }
     }
 
@@ -133,9 +139,13 @@ impl TfModel {
         &self.config
     }
 
-    /// Number of users the model covers.
+    /// Number of users the model covers. On a tiered model this is the
+    /// epoch's frozen row count, not the (still growing) store's.
     pub fn num_users(&self) -> usize {
-        self.user_factors.rows()
+        match &self.user_tier {
+            Some(h) => h.rows,
+            None => self.user_factors.rows(),
+        }
     }
 
     /// Number of items (taxonomy leaves).
@@ -159,9 +169,115 @@ impl TfModel {
         &self.paths
     }
 
-    /// User factor row.
+    /// User factor row (resident models only).
+    ///
+    /// # Panics
+    /// On a tiered model, where rows are not borrowable — use
+    /// [`copy_user_factor`](Self::copy_user_factor).
     pub fn user_factor(&self, user: usize) -> &[f32] {
+        assert!(
+            self.user_tier.is_none(),
+            "user factors are tiered; use copy_user_factor"
+        );
         self.user_factors.row(user)
+    }
+
+    /// Copy `user`'s factor into `out`. Resident models copy from the
+    /// in-memory matrix; tiered models read through the hot/cold store,
+    /// faulting the row in (cold read or deterministic re-fold) on a
+    /// miss. Either path yields bit-identical bytes.
+    pub fn copy_user_factor(&self, user: usize, out: &mut [f32]) {
+        match &self.user_tier {
+            None => out.copy_from_slice(self.user_factors.row(user)),
+            Some(h) => {
+                assert!(user < h.rows, "user {user} out of {} rows", h.rows);
+                h.tier.copy_row(user, out, |r| {
+                    let scorer = Scorer::new(self);
+                    crate::dynamic::fold_in_user_with_catalog(
+                        &scorer, &r.history, r.steps, r.seed, r.n_items,
+                    )
+                });
+            }
+        }
+    }
+
+    /// Overwrite `user`'s factor. Resident models write the COW matrix
+    /// (copying the touched chunk); tiered models write the shared store
+    /// together with the recipe that reconstructs the row after
+    /// eviction.
+    pub(crate) fn set_user_factor(&mut self, user: usize, factor: &[f32], recipe: FoldRecipe) {
+        match &self.user_tier {
+            None => self.user_factors.row_mut(user).copy_from_slice(factor),
+            Some(h) => {
+                assert!(user < h.rows, "user {user} out of {} rows", h.rows);
+                h.tier.set_row(user, factor, recipe);
+            }
+        }
+    }
+
+    /// Move this model's user factors into a shared hot/cold tier built
+    /// by [`UserTier::build`] from this same matrix. The resident matrix
+    /// is dropped; reads go through [`copy_user_factor`](Self::copy_user_factor).
+    ///
+    /// # Panics
+    /// If the tier's `K` or row count disagree with the model.
+    pub fn attach_user_tier(&mut self, tier: Arc<UserTier>) {
+        assert_eq!(tier.k(), self.k(), "tier K mismatch");
+        assert_eq!(
+            tier.total_rows(),
+            self.user_factors.rows(),
+            "tier row-count mismatch"
+        );
+        let rows = self.user_factors.rows();
+        self.user_factors = CowMatrix::zeros(0, self.k());
+        self.user_tier = Some(TierHandle { tier, rows });
+    }
+
+    /// Build a hot/cold tier from this model's own resident user matrix
+    /// (cold file at `path`, `budget` hot rows) and attach it — the
+    /// one-call form of [`UserTier::build`] + [`attach_user_tier`](Self::attach_user_tier)
+    /// for callers outside the crate, which cannot reach the raw matrix.
+    pub fn build_user_tier(
+        &mut self,
+        path: &std::path::Path,
+        budget: usize,
+        registry: &crate::MetricsRegistry,
+    ) -> std::io::Result<()> {
+        let tier = UserTier::build(path, &self.user_factors, budget, registry)?;
+        self.attach_user_tier(tier);
+        Ok(())
+    }
+
+    /// Whether user factors live in a hot/cold tier.
+    pub fn user_tier_attached(&self) -> bool {
+        self.user_tier.is_some()
+    }
+
+    /// The attached tier's counters and sizes, if any.
+    pub fn user_tier_stats(&self) -> Option<TierStatsSnapshot> {
+        self.user_tier.as_ref().map(|h| h.tier.stats_snapshot())
+    }
+
+    /// Materialise the full user matrix — resident models clone (cheap,
+    /// structural sharing); tiered models reconstruct every row through
+    /// the tier without perturbing the eviction state, so a snapshot of
+    /// tiered state is byte-identical to its untiered twin.
+    pub(crate) fn materialize_user_matrix(&self) -> CowMatrix {
+        let Some(h) = &self.user_tier else {
+            return self.user_factors.clone();
+        };
+        let scorer = Scorer::new(self);
+        let mut m = CowMatrix::zeros(0, self.k());
+        let mut buf = vec![0.0f32; self.k()];
+        for u in 0..h.rows {
+            h.tier.peek_row(u, &mut buf, |r| {
+                crate::dynamic::fold_in_user_with_catalog(
+                    &scorer, &r.history, r.steps, r.seed, r.n_items,
+                )
+            });
+            m.push_row(&buf);
+        }
+        m
     }
 
     /// Raw long-term offset of a node (`w_n`, *not* the effective factor).
@@ -206,7 +322,7 @@ impl TfModel {
     /// (`history` is the user's past baskets, oldest first; the Markov
     /// term conditions on the last `B` of them). See the module docs.
     pub fn query_into(&self, user: usize, history: &[Transaction], out: &mut [f32]) {
-        out.copy_from_slice(self.user_factors.row(user));
+        self.copy_user_factor(user, out);
         if self.config.max_prev_transactions == 0 {
             return;
         }
@@ -310,6 +426,7 @@ impl TfModel {
             next_factors: self.next_factors.deep_clone(),
             paths: Arc::new(PathTable::clone(&self.paths)),
             cutoff_level: self.cutoff_level,
+            user_tier: self.user_tier.clone(),
         }
     }
 }

@@ -56,10 +56,13 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-/// Serialise a trained model (taxonomy included).
+/// Serialise a trained model (taxonomy included). Tiered models
+/// materialise every user row through the tier first, so the encoding
+/// is byte-identical to the same model served fully resident.
 pub fn encode(model: &TfModel) -> Vec<u8> {
+    let user_factors = model.materialize_user_matrix();
     let mut out = Vec::with_capacity(
-        16 + (model.user_factors.rows() + 2 * model.node_factors.rows()) * model.k() * 4,
+        16 + (user_factors.rows() + 2 * model.node_factors.rows()) * model.k() * 4,
     );
     put_u32(&mut out, MAGIC);
     out.push(VERSION);
@@ -67,11 +70,7 @@ pub fn encode(model: &TfModel) -> Vec<u8> {
     let tax = tax_ser::encode(model.taxonomy());
     put_u64(&mut out, tax.len() as u64);
     out.extend_from_slice(&tax);
-    for m in [
-        &model.user_factors,
-        &model.node_factors,
-        &model.next_factors,
-    ] {
+    for m in [&user_factors, &model.node_factors, &model.next_factors] {
         encode_matrix(&mut out, m);
     }
     out
@@ -152,6 +151,7 @@ pub fn decode_prefix(buf: &[u8]) -> Result<(TfModel, usize), PersistError> {
             next_factors: CowMatrix::from_dense(next_factors),
             paths,
             cutoff_level,
+            user_tier: None,
         },
         pos,
     ))

@@ -151,7 +151,20 @@ impl<M: Deref<Target = TfModel>> Scorer<M> {
     /// using the materialised next-item factors.
     pub fn query_into(&self, user: usize, history: &[Transaction], out: &mut [f32]) {
         let model = self.model();
-        out.copy_from_slice(model.user_factor(user));
+        match &model.user_tier {
+            None => out.copy_from_slice(model.user_factor(user)),
+            Some(h) => {
+                assert!(user < h.rows, "user {user} out of {} rows", h.rows);
+                // Fault through the tier, reusing *this* scorer's
+                // materialised factors for recipe-backed rows — no
+                // per-fault O(nodes·K) Scorer rebuild on the hot path.
+                h.tier.copy_row(user, out, |r| {
+                    crate::dynamic::fold_in_user_with_catalog(
+                        self, &r.history, r.steps, r.seed, r.n_items,
+                    )
+                });
+            }
+        }
         if model.config().max_prev_transactions == 0 {
             return;
         }

@@ -172,6 +172,7 @@ impl TfTrainer {
             next_factors,
             paths,
             cutoff_level,
+            user_tier: _,
         } = model;
         let users = SharedFactors::new(user_factors.to_dense());
         let nodes = SharedFactors::new(node_factors.to_dense());
@@ -233,6 +234,7 @@ impl TfTrainer {
             next_factors: taxrec_factors::CowMatrix::from_dense(nexts.into_matrix()),
             paths,
             cutoff_level,
+            user_tier: None,
         };
         (model, stats)
     }
@@ -265,6 +267,7 @@ impl TfTrainer {
             next_factors,
             paths,
             cutoff_level,
+            user_tier: _,
         } = model;
         let users = SharedFactors::new(user_factors.to_dense());
         let nodes = SharedFactors::new(node_factors.to_dense());
@@ -321,6 +324,7 @@ impl TfTrainer {
             next_factors: taxrec_factors::CowMatrix::from_dense(nexts.into_matrix()),
             paths,
             cutoff_level,
+            user_tier: None,
         };
         (model, stats)
     }

@@ -1,0 +1,322 @@
+//! Differential proof for the hot/cold user-factor tier (ISSUE 10
+//! acceptance): replaying one identical live-update + request stream at
+//! tier budgets {∞, half, tiny} — plus an untiered control — must
+//! produce bit-identical scores, ids and order for every user, even
+//! when the tiny budget forces evict → fault → refold round-trips
+//! mid-stream. Also proves `snapshot + replay ≡ live` with tiering
+//! enabled, and that a fold-in → evict → fault → refold sequence
+//! matches its never-evicted twin without double-counting history.
+
+use taxrec_core::live::{
+    decode_log, replay,
+    snapshot::{decode_live, encode_live},
+    LiveConfig, LiveHandle, LiveState, UpdateEvent,
+};
+use taxrec_core::{ModelConfig, RecommendEngine, RecommendRequest, TfModel, TfTrainer};
+use taxrec_dataset::{DatasetConfig, SyntheticDataset, Transaction};
+use taxrec_taxonomy::NodeId;
+
+struct Fixture {
+    data: SyntheticDataset,
+    model: TfModel,
+    interior: Vec<NodeId>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: std::sync::OnceLock<Fixture> = std::sync::OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = SyntheticDataset::generate(&DatasetConfig::tiny().with_users(96), 11);
+        let model = TfTrainer::new(
+            ModelConfig::tf(4, 1).with_factors(6).with_epochs(1),
+            &data.taxonomy,
+        )
+        .fit(&data.train, 1);
+        let tax = model.taxonomy();
+        let interior: Vec<NodeId> = tax
+            .node_ids()
+            .filter(|&n| tax.node_item(n).is_none() && tax.level(n) > 0)
+            .collect();
+        assert!(!interior.is_empty());
+        Fixture {
+            data,
+            model,
+            interior,
+        }
+    })
+}
+
+fn history_for(fix: &Fixture, salt: usize, keep_salt: usize) -> Vec<Transaction> {
+    let user = salt % fix.data.train.num_users();
+    let hist = fix.data.train.user(user);
+    let keep = 1 + keep_salt % hist.len().max(1);
+    hist.iter().take(keep).cloned().collect()
+}
+
+/// One deterministic stream of fold-ins, refolds and catalog growth.
+/// Refolds target previously-folded users, so the stream is valid
+/// regardless of budget; the same `Vec` is submitted to every handle.
+fn build_stream(fix: &Fixture, n: usize) -> Vec<UpdateEvent> {
+    let base = fix.model.num_users();
+    let mut folded = 0usize;
+    (0..n)
+        .map(|i| {
+            let salt = i.wrapping_mul(2_654_435_761) % 65_536;
+            if i % 7 == 5 {
+                UpdateEvent::AddItem {
+                    parent: fix.interior[salt % fix.interior.len()],
+                }
+            } else if i % 7 == 6 && folded > 0 {
+                UpdateEvent::RefoldUser {
+                    user: base + salt % folded,
+                    history: history_for(fix, salt / 3 + 1, salt / 5),
+                    steps: 20 + salt % 40,
+                    seed: 9_000 + i as u64,
+                }
+            } else {
+                folded += 1;
+                UpdateEvent::FoldInUser {
+                    history: history_for(fix, salt, salt / 7),
+                    steps: 20 + salt % 40,
+                    seed: 4_000 + i as u64,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Strict top-K: item ids plus the score's raw bits, so two runs agree
+/// only if every score is bit-identical, not merely numerically close.
+fn top_k_bits(
+    engine: &RecommendEngine<impl std::ops::Deref<Target = TfModel>>,
+    users: usize,
+    k: usize,
+) -> Vec<Vec<(u32, u32)>> {
+    (0..users)
+        .map(|u| {
+            engine
+                .recommend(&RecommendRequest::simple(u, k))
+                .into_iter()
+                .map(|(item, score)| (item.0, score.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the stream through a real applier at the given tier budget
+/// (`None` = untiered control), interleaving the identical read
+/// schedule, and return (canonical model bytes, strict top-K table).
+fn run_at_budget(
+    fix: &Fixture,
+    events: &[UpdateEvent],
+    budget: Option<usize>,
+) -> (Vec<u8>, Vec<Vec<(u32, u32)>>) {
+    let handle = LiveHandle::spawn(
+        LiveState::new(fix.model.clone()),
+        LiveConfig {
+            user_tier_budget: budget,
+            ..LiveConfig::default()
+        },
+    )
+    .unwrap();
+    for (i, ev) in events.iter().enumerate() {
+        handle.submit(ev.clone()).unwrap();
+        // The identical read schedule at every budget: a sweep wide
+        // enough that a tiny hot tier must evict and fault constantly.
+        let snap = handle.cell().load();
+        let users = snap.model().num_users();
+        for probe in 0..4usize {
+            let u = (i * 17 + probe * 31) % users;
+            let recs = snap.engine().recommend(&RecommendRequest::simple(u, 5));
+            assert_eq!(recs.len(), 5);
+        }
+    }
+    handle.flush().unwrap();
+    let live = handle.cell().load();
+    assert!(live.verify_consistent());
+    let users = live.model().num_users();
+    let bytes = taxrec_core::persist::encode(live.model());
+    let table = top_k_bits(live.engine(), users, 10);
+    if let (Some(b), Some(t)) = (budget, live.model().user_tier_stats()) {
+        assert_eq!(t.budget_rows, b.max(1));
+        if b < users {
+            assert!(
+                t.evictions > 0 && t.faults() > 0,
+                "budget {b} of {users} rows should have evicted and faulted \
+                 (evictions {}, faults {})",
+                t.evictions,
+                t.faults()
+            );
+        }
+    }
+    (bytes, table)
+}
+
+/// The tentpole differential: untiered vs {∞, half, tiny} budgets under
+/// one identical update + request stream — canonical model bytes and
+/// every user's strict top-K must agree across all four runs.
+#[test]
+fn top_k_bit_identical_across_budgets() {
+    let fix = fixture();
+    let events = build_stream(fix, 28);
+    let total = fix.model.num_users() + events.len(); // upper bound on rows
+    let (ctrl_bytes, ctrl_table) = run_at_budget(fix, &events, None);
+    for budget in [total * 2, fix.model.num_users() / 2, 3] {
+        let (bytes, table) = run_at_budget(fix, &events, Some(budget));
+        assert_eq!(
+            bytes, ctrl_bytes,
+            "budget {budget}: canonical model bytes diverged from untiered control"
+        );
+        assert_eq!(
+            table, ctrl_table,
+            "budget {budget}: top-K diverged from untiered control"
+        );
+    }
+}
+
+/// Recovery with tiering enabled: a snapshot taken mid-stream plus the
+/// WAL tail must reproduce the tiered live cell bit-for-bit — the
+/// snapshot encoder materialises evicted rows through the tier, so the
+/// recovered (untiered) model carries identical parameters.
+#[test]
+fn snapshot_plus_replay_equals_live_with_tiering() {
+    let fix = fixture();
+    let events = build_stream(fix, 20);
+    let dir = std::env::temp_dir().join(format!("taxrec-diff-tier-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("events.log");
+
+    let state0 = LiveState::new(fix.model.clone());
+    let handle = LiveHandle::spawn(
+        state0.clone(),
+        LiveConfig {
+            log_path: Some(log_path.clone()),
+            user_tier_budget: Some(4),
+            ..LiveConfig::default()
+        },
+    )
+    .unwrap();
+    for (i, ev) in events.iter().enumerate() {
+        handle.submit(ev.clone()).unwrap();
+        // Keep the tiny tier churning while the WAL fills.
+        let snap = handle.cell().load();
+        let u = (i * 13) % snap.model().num_users();
+        snap.engine().recommend(&RecommendRequest::simple(u, 5));
+    }
+    handle.flush().unwrap();
+    let live = handle.cell().load();
+    drop(handle);
+
+    let (_, logged) = decode_log(&std::fs::read(&log_path).unwrap()).unwrap();
+    assert_eq!(&logged, &events);
+    for cut in [0, events.len() / 2, events.len()] {
+        let mut at_cut = state0.clone();
+        replay(&mut at_cut, &events[..cut]).unwrap();
+        let mut recovered = decode_live(&encode_live(&at_cut)).unwrap();
+        replay(&mut recovered, &logged[cut..]).unwrap();
+        assert_eq!(
+            taxrec_core::persist::encode(recovered.model()),
+            taxrec_core::persist::encode(live.model()),
+            "cut {cut}: recovered model diverged from tiered live cell"
+        );
+        let users = live.model().num_users();
+        let rec_engine = RecommendEngine::new(recovered.model());
+        assert_eq!(
+            top_k_bits(&rec_engine, users, 10),
+            top_k_bits(live.engine(), users, 10),
+            "cut {cut}: recovered top-K diverged from tiered live cell"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression for the refold-after-eviction fix: fold a user in, evict
+/// them with unrelated traffic, fault them back, refold them with a
+/// replacement history, evict + fault again — the result must be
+/// bit-identical to a never-evicted control, and the stored history
+/// must be exactly the replacement (full replacement, no appending of
+/// the pre-eviction history).
+#[test]
+fn refold_after_eviction_matches_never_evicted_control() {
+    let fix = fixture();
+    let base = fix.model.num_users();
+    let first = history_for(fix, 5, 2);
+    let replacement = history_for(fix, 23, 4);
+    assert_ne!(first, replacement);
+
+    let fold = UpdateEvent::FoldInUser {
+        history: first.clone(),
+        steps: 30,
+        seed: 77,
+    };
+    let refold = UpdateEvent::RefoldUser {
+        user: base,
+        history: replacement.clone(),
+        steps: 26,
+        seed: 78,
+    };
+    // Unrelated folds whose faults evict user `base` from a tiny tier.
+    let filler: Vec<UpdateEvent> = (0..10)
+        .map(|i| UpdateEvent::FoldInUser {
+            history: history_for(fix, 40 + i, i),
+            steps: 22,
+            seed: 200 + i as u64,
+        })
+        .collect();
+
+    let run = |budget: Option<usize>| {
+        let handle = LiveHandle::spawn(
+            LiveState::new(fix.model.clone()),
+            LiveConfig {
+                user_tier_budget: budget,
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        handle.submit(fold.clone()).unwrap();
+        for ev in &filler[..5] {
+            handle.submit(ev.clone()).unwrap();
+        }
+        // Sweep reads to push `base` out of a tiny hot set, then fault
+        // it back before the refold (evict → fault → refold).
+        let snap = handle.cell().load();
+        for u in 0..snap.model().num_users() {
+            snap.engine().recommend(&RecommendRequest::simple(u, 5));
+        }
+        snap.engine().recommend(&RecommendRequest::simple(base, 5));
+        handle.submit(refold.clone()).unwrap();
+        for ev in &filler[5..] {
+            handle.submit(ev.clone()).unwrap();
+        }
+        // Evict the refolded row too, so the final read is a fault that
+        // reconstructs from the *replacement* recipe.
+        let snap = handle.cell().load();
+        for u in 0..snap.model().num_users() {
+            snap.engine().recommend(&RecommendRequest::simple(u, 5));
+        }
+        handle.flush().unwrap();
+        let live = handle.cell().load();
+        let top: Vec<(u32, u32)> = live
+            .engine()
+            .recommend(&RecommendRequest::simple(base, 10))
+            .into_iter()
+            .map(|(item, score)| (item.0, score.to_bits()))
+            .collect();
+        let history = live.folded_history(base).unwrap().to_vec();
+        let bytes = taxrec_core::persist::encode(live.model());
+        (top, history, bytes)
+    };
+
+    let (ctrl_top, ctrl_hist, ctrl_bytes) = run(None);
+    assert_eq!(
+        ctrl_hist, replacement,
+        "refold must fully replace the folded history"
+    );
+    let (tiny_top, tiny_hist, tiny_bytes) = run(Some(2));
+    assert_eq!(tiny_hist, replacement);
+    assert_eq!(
+        tiny_top, ctrl_top,
+        "evict → fault → refold → evict → fault must match never-evicted control"
+    );
+    assert_eq!(tiny_bytes, ctrl_bytes);
+}

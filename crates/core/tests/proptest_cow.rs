@@ -177,7 +177,7 @@ fn untouched_chunks_are_shared_across_successive_publishes() {
                     }
                 }
             }
-            UpdateEvent::FoldInUser { .. } => {
+            UpdateEvent::FoldInUser { .. } | UpdateEvent::RefoldUser { .. } => {
                 // Node matrices untouched: all chunks shared.
                 assert_eq!(nn.shared_chunks_with(pn), (pn.num_chunks() as u64, 0));
                 assert_eq!(nx.shared_chunks_with(px), (px.num_chunks() as u64, 0));

@@ -169,6 +169,25 @@ impl CowMatrix {
             .flat_map(|c| c.as_slice().iter().copied())
     }
 
+    /// Factor-storage bytes split into `(shared, owned)`: a chunk whose
+    /// `Arc` has more than one strong reference is *shared* (another
+    /// clone or snapshot also holds it); a uniquely held chunk is
+    /// *owned*. The memory-footprint surface behind `/live/stats`'
+    /// `model_bytes` block and the `taxrec_model_bytes` gauges.
+    pub fn byte_sizes(&self) -> (u64, u64) {
+        let mut shared = 0u64;
+        let mut owned = 0u64;
+        for c in &self.chunks {
+            let bytes = std::mem::size_of_val(c.as_slice()) as u64;
+            if Arc::strong_count(c) > 1 {
+                shared += bytes;
+            } else {
+                owned += bytes;
+            }
+        }
+        (shared, owned)
+    }
+
     /// How much storage this matrix shares with `other`, by pointer:
     /// `(shared, unshared)` chunk counts over `self`'s chunks. A chunk
     /// is *shared* when the same `Arc` appears at the same position in
